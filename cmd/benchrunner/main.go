@@ -1,0 +1,114 @@
+// Command benchrunner regenerates every table and figure of the paper's
+// evaluation at laptop scale. Each experiment id corresponds to a table or
+// figure; see DESIGN.md for the per-experiment index and EXPERIMENTS.md for
+// recorded results.
+//
+// Usage:
+//
+//	go run ./cmd/benchrunner -experiment all
+//	go run ./cmd/benchrunner -experiment fig5.8 -dataset SCI_10K -scale 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/benchmark"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id: fig4.1, tab5.2, fig5.7, fig5.8, fig5.10, fig5.14, fig5.17, ch7, ch8, all")
+	dataset := flag.String("dataset", "SCI_10K", "dataset preset for single-dataset experiments")
+	scale := flag.Int("scale", 1, "scale multiplier applied to dataset presets")
+	flag.Parse()
+
+	if err := run(*experiment, *dataset, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment, dataset string, scale int) error {
+	want := func(id string) bool {
+		return experiment == "all" || strings.EqualFold(experiment, id)
+	}
+	ran := false
+	if want("fig4.1") {
+		ran = true
+		_, table, err := benchmark.RunFig41(nil, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table)
+	}
+	if want("tab5.2") {
+		ran = true
+		table, err := benchmark.RunTable52(nil, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table)
+	}
+	if want("fig5.7") {
+		ran = true
+		table, err := benchmark.RunFig57(nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table)
+	}
+	if want("fig5.8") || want("fig5.20") {
+		ran = true
+		_, table, err := benchmark.RunFig58(dataset, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table)
+	}
+	if want("fig5.10") || want("fig5.12") {
+		ran = true
+		table, err := benchmark.RunFig510(nil, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table)
+	}
+	if want("fig5.14") || want("fig5.15") {
+		ran = true
+		table, err := benchmark.RunFig514(nil, scale, 20)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table)
+	}
+	if want("fig5.17") || want("fig5.19") {
+		ran = true
+		table, err := benchmark.RunFig517(dataset, scale, 1.5, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table)
+	}
+	if want("ch7") {
+		ran = true
+		table, err := benchmark.RunCh7(40, 7)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table)
+	}
+	if want("ch8") {
+		ran = true
+		table, err := benchmark.RunCh8(30, 7)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+// Command orpheus is a small command-line front end to the OrpheusDB engine.
+// Because the engine in this repository is embedded and in-memory, the CLI
+// operates on a session script: it reads commands from stdin (or -script),
+// one per line, against a single engine instance — mirroring the interactive
+// command-line workflow of Chapter 3.
+//
+// Supported commands:
+//
+//	init <cvd> <csv-file> pk=<col[,col]>      initialize a CVD from a CSV file
+//	checkout <cvd> -v <v1[,v2,...]> -t <tab>  materialize versions into a table
+//	commit <cvd> -t <tab> -m <message>        commit a staging table
+//	diff <cvd> <v1> <v2>                      records in one version but not the other
+//	ls                                        list CVDs
+//	versions <cvd>                            list versions with metadata
+//	optimize <cvd> [factor]                   run the partition optimizer (γ = factor·|R|)
+//	run <cvd> <vquel query ...>               run a VQuel query
+//	export <cvd> -v <v> -f <csv-file>         write a version to a CSV file
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cvd"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+func main() {
+	script := flag.String("script", "", "file with one command per line (default: stdin)")
+	flag.Parse()
+
+	in := os.Stdin
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "orpheus:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	engine := core.Open("orpheus")
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := execute(engine, line); err != nil {
+			fmt.Fprintf(os.Stderr, "orpheus: %s: %v\n", line, err)
+		}
+	}
+}
+
+func execute(engine *core.Engine, line string) error {
+	fields := strings.Fields(line)
+	cmd := fields[0]
+	args := fields[1:]
+	switch cmd {
+	case "init":
+		return cmdInit(engine, args)
+	case "checkout":
+		return cmdCheckout(engine, args)
+	case "commit":
+		return cmdCommit(engine, args)
+	case "diff":
+		return cmdDiff(engine, args)
+	case "ls":
+		for _, name := range engine.List() {
+			fmt.Println(name)
+		}
+		return nil
+	case "versions":
+		return cmdVersions(engine, args)
+	case "optimize":
+		return cmdOptimize(engine, args)
+	case "run":
+		return cmdRun(engine, args)
+	case "export":
+		return cmdExport(engine, args)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func cmdInit(engine *core.Engine, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: init <cvd> <csv-file> [pk=col,col]")
+	}
+	name, file := args[0], args[1]
+	var pk []string
+	for _, a := range args[2:] {
+		if strings.HasPrefix(a, "pk=") {
+			pk = strings.Split(strings.TrimPrefix(a, "pk="), ",")
+		}
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// Infer a string-typed schema from the CSV header; numeric columns can be
+	// coerced later by queries.
+	header, err := bufio.NewReader(f).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("reading CSV header: %w", err)
+	}
+	cols := strings.Split(strings.TrimSpace(header), ",")
+	schemaCols := make([]relstore.Column, 0, len(cols))
+	for _, cname := range cols {
+		schemaCols = append(schemaCols, relstore.Column{Name: cname, Type: relstore.TypeString})
+	}
+	schema, err := relstore.NewSchema(schemaCols, pk...)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	_, err = engine.InitFromCSV(name, f, schema, cvd.Options{Author: os.Getenv("USER"), Message: "imported from " + file})
+	if err == nil {
+		fmt.Printf("initialized CVD %s from %s\n", name, file)
+	}
+	return err
+}
+
+func parseVersions(s string) ([]vgraph.VersionID, error) {
+	parts := strings.Split(s, ",")
+	out := make([]vgraph.VersionID, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad version id %q", p)
+		}
+		out = append(out, vgraph.VersionID(n))
+	}
+	return out, nil
+}
+
+func flagValue(args []string, flagName string) string {
+	for i, a := range args {
+		if a == flagName && i+1 < len(args) {
+			return args[i+1]
+		}
+	}
+	return ""
+}
+
+func cmdCheckout(engine *core.Engine, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: checkout <cvd> -v <versions> -t <table>")
+	}
+	versions, err := parseVersions(flagValue(args, "-v"))
+	if err != nil {
+		return err
+	}
+	table := flagValue(args, "-t")
+	tab, err := engine.Checkout(args[0], versions, table)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checked out %d records into %s\n", tab.Len(), table)
+	return nil
+}
+
+func cmdCommit(engine *core.Engine, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: commit <cvd> -t <table> -m <message>")
+	}
+	v, err := engine.Commit(args[0], flagValue(args, "-t"), flagValue(args, "-m"), os.Getenv("USER"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("committed version %d\n", v)
+	return nil
+}
+
+func cmdDiff(engine *core.Engine, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: diff <cvd> <v1> <v2>")
+	}
+	a, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil {
+		return err
+	}
+	b, err := strconv.ParseInt(args[2], 10, 64)
+	if err != nil {
+		return err
+	}
+	d, err := engine.Diff(args[0], vgraph.VersionID(a), vgraph.VersionID(b))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("only in v%d: %d records; only in v%d: %d records\n", a, len(d.OnlyInA), b, len(d.OnlyInB))
+	return nil
+}
+
+func cmdVersions(engine *core.Engine, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: versions <cvd>")
+	}
+	c, err := engine.CVD(args[0])
+	if err != nil {
+		return err
+	}
+	for _, m := range c.AllMeta() {
+		fmt.Printf("v%d\tparents=%v\trecords=%d\tauthor=%s\tmsg=%s\n", m.ID, m.Parents, m.NumRecords, m.Author, m.Message)
+	}
+	return nil
+}
+
+func cmdOptimize(engine *core.Engine, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: optimize <cvd> [storage-factor]")
+	}
+	factor := 2.0
+	if len(args) > 1 {
+		f, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return err
+		}
+		factor = f
+	}
+	rep, err := engine.Optimize(args[0], factor)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("partitioned into %d partitions (delta=%.3f, est. storage %d records, est. avg checkout %.1f records)\n",
+		rep.Partitions, rep.Delta, rep.EstimatedStorage, rep.EstimatedAvgCost)
+	return nil
+}
+
+func cmdRun(engine *core.Engine, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: run <cvd> <vquel query>")
+	}
+	res, err := engine.Query(args[0], strings.Join(args[1:], " "))
+	if err != nil {
+		return err
+	}
+	fmt.Println(strings.Join(res.Columns, "\t"))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.AsString()
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	return nil
+}
+
+func cmdExport(engine *core.Engine, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: export <cvd> -v <version> -f <csv-file>")
+	}
+	versions, err := parseVersions(flagValue(args, "-v"))
+	if err != nil {
+		return err
+	}
+	file := flagValue(args, "-f")
+	c, err := engine.CVD(args[0])
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.CheckoutToCSV(versions, f); err != nil {
+		return err
+	}
+	fmt.Printf("exported %v to %s\n", versions, file)
+	return nil
+}

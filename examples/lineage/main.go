@@ -1,0 +1,77 @@
+// Lineage scenario: Chapter 8's generalized provenance manager. A shared
+// folder holds a pile of CSV exports with no recorded derivation metadata;
+// the example infers who derived what from whom, explains each edge, and
+// shows how signature pruning cuts the number of pairwise comparisons.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/provenance"
+	"repro/internal/relstore"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	schema := relstore.MustSchema([]relstore.Column{
+		{Name: "patient", Type: relstore.TypeString},
+		{Name: "marker", Type: relstore.TypeString},
+		{Name: "level", Type: relstore.TypeInt},
+	})
+	base := relstore.NewTable("export", schema)
+	for i := 0; i < 200; i++ {
+		base.MustInsert(relstore.Row{
+			relstore.Str(fmt.Sprintf("p%04d", i)),
+			relstore.Str(fmt.Sprintf("m%02d", rng.Intn(20))),
+			relstore.Int(int64(rng.Intn(500))),
+		})
+	}
+	ts := time.Date(2026, 1, 5, 9, 0, 0, 0, time.UTC)
+	artifacts := []provenance.Artifact{{Name: "export_2026-01-05.csv", ModTime: ts, Table: base}}
+	var truth [][2]string
+
+	// Twelve analysts copy some earlier export and modify it.
+	for v := 2; v <= 13; v++ {
+		parent := artifacts[rng.Intn(len(artifacts))]
+		child := parent.Table.Clone(fmt.Sprintf("t%d", v))
+		switch rng.Intn(3) {
+		case 0: // correct some levels
+			for m := 0; m < 15; m++ {
+				child.Rows[rng.Intn(child.Len())][2] = relstore.Int(int64(rng.Intn(500)))
+			}
+		case 1: // append new patients
+			for m := 0; m < 12; m++ {
+				child.Rows = append(child.Rows, relstore.Row{
+					relstore.Str(fmt.Sprintf("p9%03d", v*10+m)), relstore.Str("m00"), relstore.Int(int64(rng.Intn(500)))})
+			}
+		default: // filter out a cohort
+			child.Rows = child.Rows[:child.Len()-20]
+		}
+		name := fmt.Sprintf("export_2026-01-%02d.csv", 5+v)
+		artifacts = append(artifacts, provenance.Artifact{Name: name, ModTime: ts.Add(time.Duration(v) * 24 * time.Hour), Table: child})
+		truth = append(truth, [2]string{parent.Name, name})
+	}
+
+	exhaustive, err := provenance.InferLineage(artifacts, provenance.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pruned, err := provenance.InferLineage(artifacts, provenance.Options{UseSignatures: true, CandidateLimit: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gt := provenance.NewGroundTruth(truth)
+	qe, qp := gt.Evaluate(exhaustive.Edges), gt.Evaluate(pruned.Edges)
+
+	fmt.Println("inferred lineage (exhaustive):")
+	for _, e := range exhaustive.Edges {
+		fmt.Printf("  %s -> %s   score=%.2f  op=%s (+%d rows, -%d rows, ~%d updated)\n",
+			e.Parent, e.Child, e.Score, e.Explanation.Operation,
+			e.Explanation.RowsInserted, e.Explanation.RowsDeleted, e.Explanation.RowsUpdated)
+	}
+	fmt.Printf("\nexhaustive:        precision=%.2f recall=%.2f (%d pair comparisons)\n", qe.Precision, qe.Recall, exhaustive.PairsCompared)
+	fmt.Printf("signature-pruned:  precision=%.2f recall=%.2f (%d pair comparisons)\n", qp.Precision, qp.Recall, pruned.PairsCompared)
+}

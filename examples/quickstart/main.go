@@ -1,0 +1,102 @@
+// Quickstart: create a CVD, branch it, merge the branches, and query across
+// versions — the minimal OrpheusDB workflow of Chapter 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/cvd"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+func main() {
+	engine := core.Open("quickstart")
+	schema := relstore.MustSchema([]relstore.Column{
+		{Name: "gene", Type: relstore.TypeString},
+		{Name: "score", Type: relstore.TypeInt},
+	}, "gene")
+
+	// Version 1: the initial dataset.
+	c, err := engine.Init("genes", schema, []relstore.Row{
+		{relstore.Str("BRCA1"), relstore.Int(12)},
+		{relstore.Str("TP53"), relstore.Int(48)},
+		{relstore.Str("EGFR"), relstore.Int(31)},
+	}, cvd.Options{Author: "alice", Message: "initial import"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Alice checks out version 1, cleans a value, commits version 2.
+	work, err := engine.Checkout("genes", []vgraph.VersionID{1}, "alice_work")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := work.UpdateWhere(
+		func(r relstore.Row) bool { return r[1].AsString() == "TP53" },
+		func(r relstore.Row) relstore.Row { r[2] = relstore.Int(52); return r },
+	); err != nil {
+		log.Fatal(err)
+	}
+	v2, err := engine.Commit("genes", "alice_work", "recalibrated TP53", "alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bob independently branches from version 1 and adds a gene (version 3).
+	work2, err := engine.Checkout("genes", []vgraph.VersionID{1}, "bob_work")
+	if err != nil {
+		log.Fatal(err)
+	}
+	work2.MustInsert(relstore.Row{relstore.Int(0), relstore.Str("MYC"), relstore.Int(77)})
+	v3, err := engine.Commit("genes", "bob_work", "added MYC", "bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Merge both branches (version 4): checkout both, commit the union.
+	merged, err := engine.Checkout("genes", []vgraph.VersionID{v2, v3}, "merge_work")
+	if err != nil {
+		log.Fatal(err)
+	}
+	v4, err := engine.Commit("genes", "merge_work", "merge alice + bob", "alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("version graph: v1 -> {v%d, v%d} -> v%d (merged, %d records)\n", v2, v3, v4, merged.Len())
+
+	// Diff across branches.
+	d, err := engine.Diff("genes", v3, v2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("diff(v%d, v%d): %d records only in v%d, %d only in v%d\n", v3, v2, len(d.OnlyInA), v3, len(d.OnlyInB), v2)
+
+	// Per-version aggregate: count of high-scoring genes in every version.
+	pred, err := c.NamedPredicate("score", ">", relstore.Int(40))
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts, err := c.AggregateByVersion(nil, pred, cvd.CountAgg())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range c.Versions() {
+		fmt.Printf("version %d: %d genes with score > 40\n", v, counts[v].AsInt())
+	}
+
+	// The same question in VQuel.
+	res, err := engine.Query("genes", `
+		range of V is Version
+		range of E is V.Relations(name = "genes").Tuples
+		retrieve V.id, count(E.gene where E.score > 40)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("VQuel:", res.Columns)
+	for _, row := range res.Rows {
+		fmt.Printf("  %s -> %s\n", row[0].AsString(), row[1].AsString())
+	}
+}

@@ -1,0 +1,133 @@
+package benchmark
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cvd"
+)
+
+// The experiment harness tests run every experiment at the smallest scale and
+// check the qualitative claims of the paper hold (who wins, roughly by what
+// factor), not absolute numbers.
+
+func TestRunFig41Shape(t *testing.T) {
+	results, table, err := RunFig41([]string{"SCI_1K"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("expected 5 model results, got %d", len(results))
+	}
+	byModel := map[cvd.ModelKind]Fig41Result{}
+	for _, r := range results {
+		byModel[r.Model] = r
+	}
+	// Figure 4.1(a): a-table-per-version storage far exceeds split-by-rlist.
+	if byModel[cvd.TablePerVersion].StorageBytes < 2*byModel[cvd.SplitByRlist].StorageBytes {
+		t.Errorf("a-table-per-version storage %d should be well above split-by-rlist %d",
+			byModel[cvd.TablePerVersion].StorageBytes, byModel[cvd.SplitByRlist].StorageBytes)
+	}
+	// Figure 4.1(b): split-by-rlist commit is not slower than combined-table.
+	if byModel[cvd.SplitByRlist].CommitTime > byModel[cvd.CombinedTable].CommitTime*2 {
+		t.Errorf("split-by-rlist commit %v should not be much slower than combined-table %v",
+			byModel[cvd.SplitByRlist].CommitTime, byModel[cvd.CombinedTable].CommitTime)
+	}
+	if !strings.Contains(table.String(), "split-by-rlist") {
+		t.Error("rendered table missing model rows")
+	}
+}
+
+func TestRunTable52(t *testing.T) {
+	table, err := RunTable52([]string{"SCI_10K", "CUR_10K"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(table.Rows))
+	}
+	if table.Rows[0][0] != "SCI_10K" {
+		t.Errorf("first row = %v", table.Rows[0])
+	}
+}
+
+func TestRunFig57(t *testing.T) {
+	table, err := RunFig57([]int64{1000, 4000}, []int64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 cluster modes × 3 joins × 2 partition sizes × 1 rlist size.
+	if len(table.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(table.Rows))
+	}
+}
+
+func TestRunFig58Shape(t *testing.T) {
+	points, _, err := RunFig58("SCI_10K", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LyreSplit's curve must contain at least one point that dominates the
+	// single-partition extreme (storage modestly above |R|, checkout far
+	// below |R|).
+	algos := map[string]bool{}
+	for _, p := range points {
+		algos[p.Algorithm] = true
+	}
+	for _, want := range []string{"LyreSplit", "Agglo", "Kmeans"} {
+		if !algos[want] {
+			t.Errorf("missing %s points", want)
+		}
+	}
+}
+
+func TestRunFig510(t *testing.T) {
+	table, err := RunFig510([]string{"SCI_10K"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (one per algorithm)", len(table.Rows))
+	}
+}
+
+func TestRunFig514(t *testing.T) {
+	table, err := RunFig514([]string{"SCI_10K"}, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// baseline + two gamma settings.
+	if len(table.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(table.Rows))
+	}
+}
+
+func TestRunFig517(t *testing.T) {
+	table, err := RunFig517("SCI_10K", 1, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) == 0 {
+		t.Fatal("no drift rows produced")
+	}
+}
+
+func TestRunCh7(t *testing.T) {
+	table, err := RunCh7(15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) < 5 {
+		t.Fatalf("rows = %d, want at least MST/SPT/LMG/MP entries", len(table.Rows))
+	}
+}
+
+func TestRunCh8(t *testing.T) {
+	table, err := RunCh8(15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(table.Rows))
+	}
+}

@@ -1,0 +1,296 @@
+// Package benchmark generates the versioning benchmark workloads used in the
+// evaluation of Chapters 4 and 5 (originally from the Decibel benchmark of
+// Maddox et al.): the Science (SCI) workload, a mainline with branches and no
+// merges, and the Curation (CUR) workload, where branches periodically merge
+// back, producing a DAG. It also carries the dataset configurations of
+// Table 5.2 (scaled down so they run inside the test harness) and helpers to
+// load a generated workload into a CVD.
+package benchmark
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// WorkloadKind selects the generator.
+type WorkloadKind int
+
+const (
+	// SCI simulates data scientists taking copies of an evolving dataset for
+	// isolated analysis: a mainline with branches, no merges (a version tree).
+	SCI WorkloadKind = iota
+	// CUR simulates curation of a canonical dataset: branches are created and
+	// periodically merged back, producing a DAG.
+	CUR
+)
+
+// String names the workload.
+func (k WorkloadKind) String() string {
+	if k == CUR {
+		return "CUR"
+	}
+	return "SCI"
+}
+
+// Config are the generator parameters of Table 5.2.
+type Config struct {
+	Name string
+	Kind WorkloadKind
+	// Branches is |B|, the number of branches created.
+	Branches int
+	// TargetRecords is the requested |R| (the generator, like the original
+	// benchmark, produces approximately this many records).
+	TargetRecords int64
+	// InsertsPerVersion is |I|, the number of inserts or updates applied when
+	// deriving a new version from its parent(s).
+	InsertsPerVersion int
+	// VersionsPerBranch is how many versions each branch accumulates; the
+	// total version count is roughly Branches * VersionsPerBranch.
+	VersionsPerBranch int
+	// Attributes is the record width (the paper uses 100 4-byte integers).
+	Attributes int
+	// UpdateFraction is the fraction of per-version modifications that update
+	// existing records (the remainder are inserts). Deletions are rare in the
+	// original benchmark; DeleteFraction controls them.
+	UpdateFraction float64
+	// DeleteFraction is the fraction of modifications that delete records.
+	DeleteFraction float64
+	// MergeEvery (CUR only) merges a branch back into its parent branch after
+	// this many versions on the branch.
+	MergeEvery int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Validate checks the configuration and applies defaults.
+func (c *Config) Validate() error {
+	if c.Branches <= 0 {
+		return fmt.Errorf("benchmark: Branches must be positive")
+	}
+	if c.TargetRecords <= 0 {
+		return fmt.Errorf("benchmark: TargetRecords must be positive")
+	}
+	if c.InsertsPerVersion <= 0 {
+		return fmt.Errorf("benchmark: InsertsPerVersion must be positive")
+	}
+	if c.VersionsPerBranch <= 0 {
+		c.VersionsPerBranch = 10
+	}
+	if c.Attributes <= 0 {
+		c.Attributes = 20
+	}
+	if c.UpdateFraction < 0 || c.UpdateFraction > 1 {
+		return fmt.Errorf("benchmark: UpdateFraction must be in [0,1]")
+	}
+	if c.DeleteFraction < 0 || c.DeleteFraction+c.UpdateFraction > 1 {
+		return fmt.Errorf("benchmark: DeleteFraction must be in [0, 1-UpdateFraction]")
+	}
+	if c.Kind == CUR && c.MergeEvery <= 0 {
+		c.MergeEvery = c.VersionsPerBranch
+	}
+	return nil
+}
+
+// Workload is a generated versioned dataset: the version-record bipartite
+// graph, the derivation edges, record contents, and the resulting version
+// graph.
+type Workload struct {
+	Config      Config
+	Bipartite   *vgraph.Bipartite
+	Graph       *vgraph.Graph
+	Derivations [][2]vgraph.VersionID
+	// RecordRows holds the attribute values of every record id.
+	RecordRows map[vgraph.RecordID]relstore.Row
+	// Schema is the relation schema of the records.
+	Schema relstore.Schema
+}
+
+// Stats summarizes a workload in the shape of Table 5.2.
+type Stats struct {
+	Name              string
+	Versions          int
+	Records           int64
+	BipartiteEdges    int64
+	Branches          int
+	InsertsPerVersion int
+	DuplicatedRecords int64 // |R̂| after DAG→tree conversion (0 for trees)
+}
+
+// Stats computes the Table 5.2 row for the workload.
+func (w *Workload) Stats() (Stats, error) {
+	s := Stats{
+		Name:              w.Config.Name,
+		Versions:          w.Bipartite.NumVersions(),
+		Records:           w.Bipartite.NumRecords(),
+		BipartiteEdges:    w.Bipartite.NumEdges(),
+		Branches:          w.Config.Branches,
+		InsertsPerVersion: w.Config.InsertsPerVersion,
+	}
+	tree, err := vgraph.ToTree(w.Graph)
+	if err != nil {
+		return Stats{}, err
+	}
+	s.DuplicatedRecords = tree.DuplicatedRecords
+	return s, nil
+}
+
+// Generate produces a workload from a configuration.
+func Generate(cfg Config) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	w := &Workload{
+		Config:     cfg,
+		Bipartite:  vgraph.NewBipartite(),
+		RecordRows: make(map[vgraph.RecordID]relstore.Row),
+		Schema:     recordSchema(cfg.Attributes),
+	}
+
+	totalVersions := cfg.Branches * cfg.VersionsPerBranch
+	if totalVersions < 1 {
+		totalVersions = 1
+	}
+	// Scale the initial version and per-version inserts so the final record
+	// count lands near TargetRecords.
+	expectedInserted := int64(float64(totalVersions) * float64(cfg.InsertsPerVersion) * (1 - cfg.UpdateFraction - cfg.DeleteFraction))
+	initialSize := cfg.TargetRecords - expectedInserted
+	if initialSize < int64(cfg.InsertsPerVersion) {
+		initialSize = int64(cfg.InsertsPerVersion)
+	}
+
+	nextRID := vgraph.RecordID(1)
+	newRecord := func() vgraph.RecordID {
+		rid := nextRID
+		nextRID++
+		w.RecordRows[rid] = randomRow(rng, cfg.Attributes, int64(rid))
+		return rid
+	}
+
+	// Version 1: the initial canonical dataset.
+	nextVID := vgraph.VersionID(1)
+	base := make([]vgraph.RecordID, 0, initialSize)
+	for i := int64(0); i < initialSize; i++ {
+		base = append(base, newRecord())
+	}
+	w.Bipartite.SetVersion(nextVID, base)
+	versionRecords := map[vgraph.VersionID][]vgraph.RecordID{nextVID: base}
+	nextVID++
+
+	// deriveVersion produces a child of parent by applying InsertsPerVersion
+	// modifications (update / insert / delete mix).
+	derive := func(parent vgraph.VersionID) vgraph.VersionID {
+		parentRecs := versionRecords[parent]
+		child := make([]vgraph.RecordID, len(parentRecs))
+		copy(child, parentRecs)
+		mods := cfg.InsertsPerVersion
+		for i := 0; i < mods; i++ {
+			r := rng.Float64()
+			switch {
+			case r < cfg.DeleteFraction && len(child) > 1:
+				// delete a random record
+				idx := rng.Intn(len(child))
+				child[idx] = child[len(child)-1]
+				child = child[:len(child)-1]
+			case r < cfg.DeleteFraction+cfg.UpdateFraction && len(child) > 0:
+				// update: replace a record with a fresh one (records are
+				// immutable, so updates create new rids)
+				idx := rng.Intn(len(child))
+				child[idx] = newRecord()
+			default:
+				child = append(child, newRecord())
+			}
+		}
+		v := nextVID
+		nextVID++
+		w.Bipartite.SetVersion(v, child)
+		versionRecords[v] = w.Bipartite.Records(v)
+		w.Derivations = append(w.Derivations, [2]vgraph.VersionID{parent, v})
+		return v
+	}
+
+	// mergeVersions produces a child with two parents (CUR): the union of the
+	// parents' records plus the usual modifications.
+	mergeVersions := func(a, b vgraph.VersionID) vgraph.VersionID {
+		union := w.Bipartite.Union([]vgraph.VersionID{a, b})
+		child := make([]vgraph.RecordID, len(union))
+		copy(child, union)
+		for i := 0; i < cfg.InsertsPerVersion; i++ {
+			child = append(child, newRecord())
+		}
+		v := nextVID
+		nextVID++
+		w.Bipartite.SetVersion(v, child)
+		versionRecords[v] = w.Bipartite.Records(v)
+		w.Derivations = append(w.Derivations, [2]vgraph.VersionID{a, v}, [2]vgraph.VersionID{b, v})
+		return v
+	}
+
+	// Mainline: branch 0 extends version 1.
+	mainline := []vgraph.VersionID{1}
+	for i := 1; i < cfg.VersionsPerBranch; i++ {
+		mainline = append(mainline, derive(mainline[len(mainline)-1]))
+	}
+	branchHeads := [][]vgraph.VersionID{mainline}
+
+	for b := 1; b < cfg.Branches; b++ {
+		// Branch from a random point of a random existing branch.
+		src := branchHeads[rng.Intn(len(branchHeads))]
+		forkPoint := src[rng.Intn(len(src))]
+		branch := []vgraph.VersionID{derive(forkPoint)}
+		for i := 1; i < cfg.VersionsPerBranch; i++ {
+			branch = append(branch, derive(branch[len(branch)-1]))
+			if cfg.Kind == CUR && i%cfg.MergeEvery == 0 {
+				// Merge the branch head back into the tip of the source branch.
+				merged := mergeVersions(src[len(src)-1], branch[len(branch)-1])
+				src = append(src, merged)
+				branch = append(branch, merged)
+			}
+		}
+		branchHeads = append(branchHeads, branch)
+	}
+
+	g, err := w.Bipartite.BuildGraph(w.Derivations)
+	if err != nil {
+		return nil, err
+	}
+	w.Graph = g
+	return w, nil
+}
+
+// recordSchema builds the benchmark record schema: a key column plus
+// Attributes-1 integer attributes (the paper uses 100 integer attributes).
+func recordSchema(attrs int) relstore.Schema {
+	cols := make([]relstore.Column, 0, attrs)
+	cols = append(cols, relstore.Column{Name: "key", Type: relstore.TypeInt})
+	for i := 1; i < attrs; i++ {
+		cols = append(cols, relstore.Column{Name: fmt.Sprintf("a%02d", i), Type: relstore.TypeInt})
+	}
+	return relstore.MustSchema(cols, "key")
+}
+
+func randomRow(rng *rand.Rand, attrs int, key int64) relstore.Row {
+	row := make(relstore.Row, attrs)
+	row[0] = relstore.Int(key)
+	for i := 1; i < attrs; i++ {
+		row[i] = relstore.Int(rng.Int63n(1_000_000))
+	}
+	return row
+}
+
+// Rows returns the record contents of a version as relstore rows (in record
+// id order), suitable for committing into a CVD.
+func (w *Workload) Rows(v vgraph.VersionID) []relstore.Row {
+	recs := w.Bipartite.Records(v)
+	out := make([]relstore.Row, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, w.RecordRows[r])
+	}
+	return out
+}
+
+// Tree converts the workload's version graph to a version tree.
+func (w *Workload) Tree() (*vgraph.Tree, error) { return vgraph.ToTree(w.Graph) }

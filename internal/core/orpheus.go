@@ -1,0 +1,170 @@
+// Package core is the OrpheusDB engine façade: the public entry point tying
+// together the relational substrate (relstore), collaborative versioned
+// datasets (cvd), the partition optimizer (partition), and the VQuel query
+// language (vquel). Examples and the command-line tools use this package.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cvd"
+	"repro/internal/partition"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+	"repro/internal/vquel"
+)
+
+// Engine is an OrpheusDB instance: a backing database plus the CVDs it
+// manages.
+type Engine struct {
+	db   *relstore.Database
+	cvds map[string]*cvd.CVD
+}
+
+// Open creates an engine over a fresh in-memory database.
+func Open(name string) *Engine {
+	return &Engine{db: relstore.NewDatabase(name), cvds: make(map[string]*cvd.CVD)}
+}
+
+// Database exposes the backing database (staging tables live there).
+func (e *Engine) Database() *relstore.Database { return e.db }
+
+// Init creates a new CVD from initial rows (the `init` command).
+func (e *Engine) Init(name string, schema relstore.Schema, rows []relstore.Row, opts cvd.Options) (*cvd.CVD, error) {
+	if _, dup := e.cvds[name]; dup {
+		return nil, fmt.Errorf("core: CVD %q already exists", name)
+	}
+	c, err := cvd.Init(e.db, name, schema, rows, opts)
+	if err != nil {
+		return nil, err
+	}
+	e.cvds[name] = c
+	return c, nil
+}
+
+// InitFromCSV creates a new CVD from a CSV stream (the `init -f` path).
+func (e *Engine) InitFromCSV(name string, r io.Reader, schema relstore.Schema, opts cvd.Options) (*cvd.CVD, error) {
+	tab, err := relstore.ReadCSV(r, name+"_import", schema)
+	if err != nil {
+		return nil, err
+	}
+	return e.Init(name, schema, tab.Rows, opts)
+}
+
+// CVD returns a managed CVD by name.
+func (e *Engine) CVD(name string) (*cvd.CVD, error) {
+	c, ok := e.cvds[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown CVD %q", name)
+	}
+	return c, nil
+}
+
+// List returns the names of all managed CVDs (the `ls` command).
+func (e *Engine) List() []string {
+	names := make([]string, 0, len(e.cvds))
+	for n := range e.cvds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Drop removes a CVD and its backing tables (the `drop` command).
+func (e *Engine) Drop(name string) error {
+	c, ok := e.cvds[name]
+	if !ok {
+		return fmt.Errorf("core: unknown CVD %q", name)
+	}
+	c.Drop()
+	delete(e.cvds, name)
+	return nil
+}
+
+// Checkout materializes versions of a CVD into a staging table (the
+// `checkout -t` command).
+func (e *Engine) Checkout(cvdName string, versions []vgraph.VersionID, tableName string) (*relstore.Table, error) {
+	c, err := e.CVD(cvdName)
+	if err != nil {
+		return nil, err
+	}
+	return c.Checkout(versions, tableName)
+}
+
+// Commit commits a staging table back as a new version (the `commit -t`
+// command).
+func (e *Engine) Commit(cvdName, tableName, message, author string) (vgraph.VersionID, error) {
+	c, err := e.CVD(cvdName)
+	if err != nil {
+		return 0, err
+	}
+	return c.CommitTable(tableName, message, author)
+}
+
+// Diff compares two versions (the `diff` command).
+func (e *Engine) Diff(cvdName string, a, b vgraph.VersionID) (cvd.DiffResult, error) {
+	c, err := e.CVD(cvdName)
+	if err != nil {
+		return cvd.DiffResult{}, err
+	}
+	return c.Diff(a, b)
+}
+
+// OptimizeReport summarizes what the `optimize` command did.
+type OptimizeReport struct {
+	Partitions       int
+	Delta            float64
+	EstimatedStorage int64
+	EstimatedAvgCost float64
+}
+
+// Optimize runs the partition optimizer on a split-by-rlist CVD with the
+// given storage threshold factor (γ = factor·|R|) and applies the resulting
+// partitioning (the `optimize` command).
+func (e *Engine) Optimize(cvdName string, storageFactor float64) (OptimizeReport, error) {
+	c, err := e.CVD(cvdName)
+	if err != nil {
+		return OptimizeReport{}, err
+	}
+	m, err := c.Rlist()
+	if err != nil {
+		return OptimizeReport{}, err
+	}
+	tree, err := vgraph.ToTree(c.Graph())
+	if err != nil {
+		return OptimizeReport{}, err
+	}
+	if storageFactor < 1 {
+		storageFactor = 2
+	}
+	gamma := int64(storageFactor * float64(tree.DistinctRecords()))
+	res, err := partition.SolveStorageConstraint(tree, gamma, partition.LyreSplitOptions{})
+	if err != nil {
+		return OptimizeReport{}, err
+	}
+	if err := m.ApplyPartitioning(res.Partitioning); err != nil {
+		return OptimizeReport{}, err
+	}
+	return OptimizeReport{
+		Partitions:       res.Partitioning.NumPartitions,
+		Delta:            res.Delta,
+		EstimatedStorage: res.EstimatedStorage,
+		EstimatedAvgCost: res.EstimatedAvgCheckout,
+	}, nil
+}
+
+// Query runs a VQuel query against a CVD's version history (the `run`
+// command with VQuel input).
+func (e *Engine) Query(cvdName, query string) (*vquel.Result, error) {
+	c, err := e.CVD(cvdName)
+	if err != nil {
+		return nil, err
+	}
+	repo, err := vquel.FromCVD(c)
+	if err != nil {
+		return nil, err
+	}
+	return vquel.NewEvaluator(repo).Run(query)
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cvd"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+func testSchema() relstore.Schema {
+	return relstore.MustSchema([]relstore.Column{
+		{Name: "gene", Type: relstore.TypeString},
+		{Name: "score", Type: relstore.TypeInt},
+	}, "gene")
+}
+
+func TestEngineLifecycle(t *testing.T) {
+	e := Open("orpheus")
+	rows := []relstore.Row{
+		{relstore.Str("BRCA1"), relstore.Int(10)},
+		{relstore.Str("TP53"), relstore.Int(20)},
+	}
+	c, err := e.Init("genes", testSchema(), rows, cvd.Options{Author: "alice", Message: "init"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Init("genes", testSchema(), rows, cvd.Options{}); err == nil {
+		t.Error("duplicate Init should fail")
+	}
+	if got := e.List(); len(got) != 1 || got[0] != "genes" {
+		t.Errorf("List = %v", got)
+	}
+	if _, err := e.CVD("nope"); err == nil {
+		t.Error("unknown CVD should error")
+	}
+	// checkout -> modify -> commit
+	tab, err := e.Checkout("genes", []vgraph.VersionID{1}, "work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.MustInsert(relstore.Row{relstore.Int(0), relstore.Str("EGFR"), relstore.Int(30)})
+	v2, err := e.Commit("genes", "work", "add EGFR", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != 2 {
+		t.Errorf("v2 = %d, want 2", v2)
+	}
+	d, err := e.Diff("genes", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.OnlyInA) != 1 || len(d.OnlyInB) != 0 {
+		t.Errorf("diff = %+v", d)
+	}
+	// VQuel over the engine.
+	res, err := e.Query("genes", `
+		range of V is Version
+		range of E is V.Relations(name = "genes").Tuples
+		retrieve V.id, count(E)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("query rows = %v", res.Rows)
+	}
+	// Optimize applies partitioning and checkouts still work.
+	rep, err := e.Optimize("genes", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partitions < 1 {
+		t.Errorf("optimize report = %+v", rep)
+	}
+	if _, err := e.Checkout("genes", []vgraph.VersionID{2}, "after"); err != nil {
+		t.Fatal(err)
+	}
+	c.DiscardCheckout("after")
+	if err := e.Drop("genes"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drop("genes"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestEngineInitFromCSV(t *testing.T) {
+	e := Open("orpheus")
+	csvText := "gene,score\nBRCA1,10\nTP53,20\n"
+	c, err := e.InitFromCSV("genes", strings.NewReader(csvText), testSchema(), cvd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRecords() != 2 {
+		t.Errorf("records = %d, want 2", c.NumRecords())
+	}
+	if _, err := e.InitFromCSV("bad", strings.NewReader("not,a header only"), testSchema(), cvd.Options{}); err != nil {
+		// A header-only CSV is fine (empty CVD); malformed CSVs error later.
+		t.Logf("init from malformed CSV: %v", err)
+	}
+}
+
+func TestEngineErrorsOnWrongModel(t *testing.T) {
+	e := Open("orpheus")
+	rows := []relstore.Row{{relstore.Str("A"), relstore.Int(1)}}
+	if _, err := e.Init("g", testSchema(), rows, cvd.Options{Model: cvd.DeltaBased}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Optimize("g", 2); err == nil {
+		t.Error("optimize on a non-rlist CVD should fail")
+	}
+	if _, err := e.Optimize("missing", 2); err == nil {
+		t.Error("optimize on missing CVD should fail")
+	}
+	if _, err := e.Checkout("missing", []vgraph.VersionID{1}, "t"); err == nil {
+		t.Error("checkout on missing CVD should fail")
+	}
+	if _, err := e.Commit("missing", "t", "", ""); err == nil {
+		t.Error("commit on missing CVD should fail")
+	}
+	if _, err := e.Diff("missing", 1, 2); err == nil {
+		t.Error("diff on missing CVD should fail")
+	}
+	if _, err := e.Query("missing", "range of V is Version retrieve V.id"); err == nil {
+		t.Error("query on missing CVD should fail")
+	}
+}

@@ -1,0 +1,604 @@
+package cvd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// CVD is a collaborative versioned dataset: a relation whose versions are
+// tracked by OrpheusDB. It owns the version graph, the version-record
+// bipartite graph, version metadata, the attribute registry, and a physical
+// data model inside a relstore database.
+type CVD struct {
+	name   string
+	db     *relstore.Database
+	model  DataModel
+	kind   ModelKind
+	schema relstore.Schema // current single-pool data schema (no rid column)
+
+	graph   *vgraph.Graph
+	bip     *vgraph.Bipartite
+	records map[vgraph.RecordID]relstore.Row // record catalog: rid -> data values
+	meta    *metadataStore
+	attrs   *AttributeRegistry
+
+	nextVID vgraph.VersionID
+	nextRID vgraph.RecordID
+
+	checkouts map[string]checkoutInfo
+	clock     func() time.Time
+}
+
+type checkoutInfo struct {
+	parents []vgraph.VersionID
+	at      time.Time
+}
+
+// Options configures CVD creation.
+type Options struct {
+	// Model selects the physical data model; the default is SplitByRlist,
+	// the model OrpheusDB adopts.
+	Model ModelKind
+	// Author is recorded in the initial version's metadata.
+	Author string
+	// Message is the commit message of the initial version.
+	Message string
+	// Clock overrides the time source (used by tests and the benchmark
+	// harness for reproducibility).
+	Clock func() time.Time
+}
+
+// Init creates a new CVD named name inside db with the given data schema and
+// initial rows, which become version 1.
+func Init(db *relstore.Database, name string, schema relstore.Schema, rows []relstore.Row, opts Options) (*CVD, error) {
+	if name == "" {
+		return nil, fmt.Errorf("cvd: empty CVD name")
+	}
+	if len(schema.Columns) == 0 {
+		return nil, fmt.Errorf("cvd: schema must have at least one column")
+	}
+	if schema.HasColumn(ridColumn) {
+		return nil, fmt.Errorf("cvd: %q is a reserved column name", ridColumn)
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	c := &CVD{
+		name:      name,
+		db:        db,
+		kind:      opts.Model,
+		schema:    schema.Clone(),
+		graph:     vgraph.New(),
+		bip:       vgraph.NewBipartite(),
+		records:   make(map[vgraph.RecordID]relstore.Row),
+		attrs:     NewAttributeRegistry(),
+		nextVID:   1,
+		nextRID:   1,
+		checkouts: make(map[string]checkoutInfo),
+		clock:     clock,
+	}
+	meta, err := newMetadataStore(db, name)
+	if err != nil {
+		return nil, err
+	}
+	c.meta = meta
+	model, err := newModel(opts.Model, db, name, schema)
+	if err != nil {
+		meta.drop()
+		return nil, err
+	}
+	c.model = model
+
+	if err := c.checkPrimaryKey(rows, schema); err != nil {
+		meta.drop()
+		return nil, err
+	}
+	req, err := c.buildCommit(nil, rows, schema)
+	if err != nil {
+		meta.drop()
+		return nil, err
+	}
+	if err := model.Init(req); err != nil {
+		meta.drop()
+		return nil, err
+	}
+	if err := c.recordVersion(req, opts.Message, opts.Author, clock()); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Name returns the CVD name.
+func (c *CVD) Name() string { return c.name }
+
+// Model returns the physical data model kind in use.
+func (c *CVD) Model() ModelKind { return c.kind }
+
+// DataModel returns the underlying data model (for advanced operations such
+// as partitioning of the split-by-rlist model).
+func (c *CVD) DataModel() DataModel { return c.model }
+
+// Rlist returns the split-by-rlist model when that model is in use, for
+// partitioning operations; it returns an error otherwise.
+func (c *CVD) Rlist() (*rlistModel, error) {
+	m, ok := c.model.(*rlistModel)
+	if !ok {
+		return nil, fmt.Errorf("cvd: %s uses %s, not split-by-rlist", c.name, c.kind)
+	}
+	return m, nil
+}
+
+// Schema returns the current (single-pool) data schema.
+func (c *CVD) Schema() relstore.Schema { return c.schema.Clone() }
+
+// Graph returns the version graph.
+func (c *CVD) Graph() *vgraph.Graph { return c.graph }
+
+// Bipartite returns the version-record bipartite graph.
+func (c *CVD) Bipartite() *vgraph.Bipartite { return c.bip }
+
+// Attributes returns the attribute registry (the attribute table of Section 4.3).
+func (c *CVD) Attributes() *AttributeRegistry { return c.attrs }
+
+// Versions returns all version ids in commit order.
+func (c *CVD) Versions() []vgraph.VersionID { return c.graph.Versions() }
+
+// NumVersions returns the number of versions.
+func (c *CVD) NumVersions() int { return c.graph.NumVersions() }
+
+// NumRecords returns the number of distinct records across all versions.
+func (c *CVD) NumRecords() int64 { return int64(len(c.records)) }
+
+// StorageBytes returns the accounted storage of the physical data model.
+func (c *CVD) StorageBytes() int64 { return c.model.StorageBytes() }
+
+// Meta returns the metadata of a version.
+func (c *CVD) Meta(v vgraph.VersionID) (*VersionMeta, bool) { return c.meta.get(v) }
+
+// AllMeta returns metadata for every version ordered by id.
+func (c *CVD) AllMeta() []*VersionMeta { return c.meta.all() }
+
+// LatestVersion returns the version with the most recent commit time.
+func (c *CVD) LatestVersion() (vgraph.VersionID, bool) {
+	m, ok := c.meta.latest()
+	if !ok {
+		return 0, false
+	}
+	return m.ID, true
+}
+
+// RecordContent returns the data values of a record by id.
+func (c *CVD) RecordContent(r vgraph.RecordID) (relstore.Row, bool) {
+	row, ok := c.records[r]
+	if !ok {
+		return nil, false
+	}
+	return padRow(row.Clone(), len(c.schema.Columns)), true
+}
+
+// RecordsOf returns the record ids of a version.
+func (c *CVD) RecordsOf(v vgraph.VersionID) []vgraph.RecordID {
+	rs := c.bip.Records(v)
+	out := make([]vgraph.RecordID, len(rs))
+	copy(out, rs)
+	return out
+}
+
+// Drop removes all backing tables of the CVD from the database.
+func (c *CVD) Drop() {
+	c.model.Drop()
+	c.meta.drop()
+	for tab := range c.checkouts {
+		c.db.DropTable(tab)
+	}
+}
+
+// contentKey encodes a data row (padded to the current schema width) for
+// record-identity comparison during commit.
+func (c *CVD) contentKey(r relstore.Row) string {
+	padded := padRow(r, len(c.schema.Columns))
+	var b strings.Builder
+	for i, v := range padded[:len(c.schema.Columns)] {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(v.AsString())
+	}
+	return b.String()
+}
+
+// checkPrimaryKey verifies that no two rows share primary-key values (a
+// constraint that must hold within a single version).
+func (c *CVD) checkPrimaryKey(rows []relstore.Row, schema relstore.Schema) error {
+	pk := schema.PrimaryKeyIndexes()
+	if len(pk) == 0 {
+		return nil
+	}
+	seen := make(map[string]struct{}, len(rows))
+	for _, r := range rows {
+		var b strings.Builder
+		for _, i := range pk {
+			if i < len(r) {
+				b.WriteString(r[i].AsString())
+			}
+			b.WriteByte('\x1f')
+		}
+		k := b.String()
+		if _, dup := seen[k]; dup {
+			return fmt.Errorf("cvd: %s: duplicate primary key %q within a version", c.name, k)
+		}
+		seen[k] = struct{}{}
+	}
+	return nil
+}
+
+// buildCommit diffs the staged rows against the parent versions following
+// the no cross-version diff rule: a staged row reuses the rid of a parent
+// record with identical content; all other rows get fresh rids.
+func (c *CVD) buildCommit(parents []vgraph.VersionID, rows []relstore.Row, schema relstore.Schema) (CommitRequest, error) {
+	// Single-pool schema evolution first, so content keys use the final width.
+	if err := c.evolveSchema(schema); err != nil {
+		return CommitRequest{}, err
+	}
+	req := CommitRequest{
+		Version:    c.nextVID,
+		Parents:    append([]vgraph.VersionID(nil), parents...),
+		ParentRIDs: make(map[vgraph.VersionID][]vgraph.RecordID, len(parents)),
+		Lookup:     c.lookupRecord,
+	}
+	parentByKey := make(map[string]vgraph.RecordID)
+	for _, p := range parents {
+		rids := c.RecordsOf(p)
+		req.ParentRIDs[p] = rids
+		for _, rid := range rids {
+			key := c.contentKey(c.records[rid])
+			if _, exists := parentByKey[key]; !exists {
+				parentByKey[key] = rid
+			}
+		}
+	}
+	seenRID := make(map[vgraph.RecordID]struct{}, len(rows))
+	for _, r := range rows {
+		aligned, err := c.alignRow(r, schema)
+		if err != nil {
+			return CommitRequest{}, err
+		}
+		key := c.contentKey(aligned)
+		if rid, ok := parentByKey[key]; ok {
+			if _, dup := seenRID[rid]; dup {
+				continue // identical duplicate row within the staged table
+			}
+			seenRID[rid] = struct{}{}
+			req.RIDs = append(req.RIDs, rid)
+			continue
+		}
+		rid := c.nextRID
+		c.nextRID++
+		c.records[rid] = aligned
+		seenRID[rid] = struct{}{}
+		req.RIDs = append(req.RIDs, rid)
+		req.NewRecords = append(req.NewRecords, CommitRecord{RID: rid, Row: aligned})
+	}
+	return req, nil
+}
+
+// alignRow reorders/pads a row expressed in rowSchema's column order into the
+// CVD's current schema order.
+func (c *CVD) alignRow(r relstore.Row, rowSchema relstore.Schema) (relstore.Row, error) {
+	if len(r) != len(rowSchema.Columns) {
+		return nil, fmt.Errorf("cvd: %s: row has %d values but schema has %d columns", c.name, len(r), len(rowSchema.Columns))
+	}
+	out := make(relstore.Row, len(c.schema.Columns))
+	for i := range out {
+		out[i] = relstore.Null()
+	}
+	for j, col := range rowSchema.Columns {
+		i := c.schema.ColumnIndex(col.Name)
+		if i < 0 {
+			return nil, fmt.Errorf("cvd: %s: column %q not in CVD schema after evolution", c.name, col.Name)
+		}
+		out[i] = r[j]
+	}
+	return out, nil
+}
+
+// evolveSchema merges an incoming schema into the CVD's single-pool schema:
+// new attributes are added, and conflicting types are generalized
+// (Section 4.3). The physical model is altered accordingly.
+func (c *CVD) evolveSchema(incoming relstore.Schema) error {
+	changed := false
+	merged := c.schema.Clone()
+	for _, col := range incoming.Columns {
+		if col.Name == ridColumn {
+			continue
+		}
+		i := merged.ColumnIndex(col.Name)
+		if i < 0 {
+			var err error
+			merged, err = merged.WithColumn(col)
+			if err != nil {
+				return err
+			}
+			changed = true
+			continue
+		}
+		gen := relstore.GeneralizeType(merged.Columns[i].Type, col.Type)
+		if gen != merged.Columns[i].Type {
+			merged.Columns[i].Type = gen
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	if err := c.model.AlterSchema(merged); err != nil {
+		return err
+	}
+	c.schema = merged
+	return nil
+}
+
+func (c *CVD) lookupRecord(rid vgraph.RecordID) (relstore.Row, bool) {
+	r, ok := c.records[rid]
+	if !ok {
+		return nil, false
+	}
+	return padRow(r.Clone(), len(c.schema.Columns)), true
+}
+
+// recordVersion updates the version graph, bipartite graph, and metadata
+// after the physical model has accepted the commit.
+func (c *CVD) recordVersion(req CommitRequest, msg, author string, at time.Time) error {
+	if _, err := c.graph.AddVersion(req.Version, int64(len(req.RIDs))); err != nil {
+		return err
+	}
+	vset := make(map[vgraph.RecordID]struct{}, len(req.RIDs))
+	for _, r := range req.RIDs {
+		vset[r] = struct{}{}
+	}
+	attrIDs := c.attrs.RegisterSchema(c.schema)
+	for _, p := range req.Parents {
+		var common int64
+		for _, r := range req.ParentRIDs[p] {
+			if _, ok := vset[r]; ok {
+				common++
+			}
+		}
+		if err := c.graph.AddEdgeAttrs(p, req.Version, common, len(c.schema.Columns)); err != nil {
+			return err
+		}
+	}
+	c.bip.SetVersion(req.Version, req.RIDs)
+	m := &VersionMeta{
+		ID:         req.Version,
+		Parents:    append([]vgraph.VersionID(nil), req.Parents...),
+		CommitAt:   at,
+		Message:    msg,
+		Author:     author,
+		Attributes: attrIDs,
+		NumRecords: int64(len(req.RIDs)),
+	}
+	if err := c.meta.add(m); err != nil {
+		return err
+	}
+	c.nextVID++
+	return nil
+}
+
+// Commit adds a new version derived from parents with the given rows (data
+// attributes in rowSchema order). It returns the new version id. This is the
+// programmatic path; CommitTable commits a previously checked-out staging
+// table.
+func (c *CVD) Commit(parents []vgraph.VersionID, rows []relstore.Row, rowSchema relstore.Schema, msg, author string) (vgraph.VersionID, error) {
+	if len(parents) == 0 {
+		return 0, fmt.Errorf("cvd: %s: commit requires at least one parent version", c.name)
+	}
+	for _, p := range parents {
+		if c.graph.Node(p) == nil {
+			return 0, fmt.Errorf("cvd: %s: unknown parent version %d", c.name, p)
+		}
+	}
+	if err := c.checkPrimaryKey(rows, rowSchema); err != nil {
+		return 0, err
+	}
+	req, err := c.buildCommit(parents, rows, rowSchema)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.model.AppendVersion(req); err != nil {
+		return 0, err
+	}
+	if err := c.recordVersion(req, msg, author, c.clock()); err != nil {
+		return 0, err
+	}
+	return req.Version, nil
+}
+
+// Checkout materializes one or more versions into a staging table registered
+// in the database under tableName. When several versions are listed the
+// records are merged in precedence order: a record whose primary key was
+// already added by an earlier version is omitted (Section 3.3.1). The
+// staging table contains the rid column followed by the data attributes.
+func (c *CVD) Checkout(versions []vgraph.VersionID, tableName string) (*relstore.Table, error) {
+	if len(versions) == 0 {
+		return nil, fmt.Errorf("cvd: %s: checkout requires at least one version", c.name)
+	}
+	if tableName == "" {
+		return nil, fmt.Errorf("cvd: %s: checkout requires a table name", c.name)
+	}
+	if c.db.HasTable(tableName) {
+		return nil, fmt.Errorf("cvd: %s: table %q already exists", c.name, tableName)
+	}
+	for _, v := range versions {
+		if c.graph.Node(v) == nil {
+			return nil, fmt.Errorf("cvd: %s: unknown version %d", c.name, v)
+		}
+	}
+	var out *relstore.Table
+	if len(versions) == 1 {
+		t, err := c.model.Checkout(versions[0], tableName)
+		if err != nil {
+			return nil, err
+		}
+		out = t
+	} else {
+		merged, err := c.checkoutMerged(versions, tableName)
+		if err != nil {
+			return nil, err
+		}
+		out = merged
+	}
+	c.db.AttachTable(out)
+	c.checkouts[tableName] = checkoutInfo{parents: append([]vgraph.VersionID(nil), versions...), at: c.clock()}
+	return out, nil
+}
+
+// checkoutMerged materializes multiple versions with primary-key precedence.
+func (c *CVD) checkoutMerged(versions []vgraph.VersionID, tableName string) (*relstore.Table, error) {
+	out := relstore.NewTable(tableName, dataSchemaWithRID(c.schema))
+	pk := c.schema.PrimaryKeyIndexes()
+	seenPK := make(map[string]struct{})
+	seenRID := make(map[int64]struct{})
+	for _, v := range versions {
+		t, err := c.model.Checkout(v, tableName+"_tmp")
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range t.Rows {
+			rid := r[0].AsInt()
+			if _, dup := seenRID[rid]; dup {
+				continue
+			}
+			if len(pk) > 0 {
+				var b strings.Builder
+				for _, i := range pk {
+					// +1 because checkout rows carry rid first.
+					b.WriteString(r[i+1].AsString())
+					b.WriteByte('\x1f')
+				}
+				k := b.String()
+				if _, dup := seenPK[k]; dup {
+					continue
+				}
+				seenPK[k] = struct{}{}
+			}
+			seenRID[rid] = struct{}{}
+			if err := out.Insert(padRow(r.Clone(), len(out.Schema.Columns))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// CheckoutToCSV materializes versions and writes them to w as CSV (the
+// `checkout -f` path for data-science workflows). The rid column is omitted.
+func (c *CVD) CheckoutToCSV(versions []vgraph.VersionID, w io.Writer) error {
+	tmp := fmt.Sprintf("%s_csv_checkout_%d", c.name, c.clock().UnixNano())
+	t, err := c.Checkout(versions, tmp)
+	if err != nil {
+		return err
+	}
+	defer c.DiscardCheckout(tmp)
+	proj, err := t.Project(tmp+"_proj", c.schema.ColumnNames()...)
+	if err != nil {
+		return err
+	}
+	return relstore.WriteCSV(w, proj)
+}
+
+// CommitTable commits a previously checked-out staging table as a new
+// version; the version's parents are the versions the table was checked out
+// from. The staging table is dropped afterwards.
+func (c *CVD) CommitTable(tableName, msg, author string) (vgraph.VersionID, error) {
+	info, ok := c.checkouts[tableName]
+	if !ok {
+		return 0, fmt.Errorf("cvd: %s: table %q was not produced by checkout", c.name, tableName)
+	}
+	t, ok := c.db.Table(tableName)
+	if !ok {
+		return 0, fmt.Errorf("cvd: %s: staging table %q has been dropped", c.name, tableName)
+	}
+	// Strip the rid column (users may have added rows without rids).
+	dataCols := make([]string, 0, len(t.Schema.Columns))
+	for _, col := range t.Schema.Columns {
+		if col.Name != ridColumn {
+			dataCols = append(dataCols, col.Name)
+		}
+	}
+	proj, err := t.Project(tableName+"_commitproj", dataCols...)
+	if err != nil {
+		return 0, err
+	}
+	v, err := c.Commit(info.parents, proj.Rows, proj.Schema, msg, author)
+	if err != nil {
+		return 0, err
+	}
+	c.DiscardCheckout(tableName)
+	return v, nil
+}
+
+// CommitCSV commits a CSV stream (with header) as a new version derived from
+// parents, coercing values through schema (the `commit -f -s` path).
+func (c *CVD) CommitCSV(parents []vgraph.VersionID, r io.Reader, schema relstore.Schema, msg, author string) (vgraph.VersionID, error) {
+	t, err := relstore.ReadCSV(r, c.name+"_csv_commit", schema)
+	if err != nil {
+		return 0, err
+	}
+	return c.Commit(parents, t.Rows, schema, msg, author)
+}
+
+// DiscardCheckout drops a staging table without committing it.
+func (c *CVD) DiscardCheckout(tableName string) {
+	delete(c.checkouts, tableName)
+	c.db.DropTable(tableName)
+}
+
+// CheckoutParents returns the versions a staging table was checked out from.
+func (c *CVD) CheckoutParents(tableName string) ([]vgraph.VersionID, bool) {
+	info, ok := c.checkouts[tableName]
+	if !ok {
+		return nil, false
+	}
+	return append([]vgraph.VersionID(nil), info.parents...), true
+}
+
+// DiffResult reports the records present in one version but not another.
+type DiffResult struct {
+	OnlyInA []vgraph.RecordID
+	OnlyInB []vgraph.RecordID
+}
+
+// Diff compares two versions and returns the record ids on each side only.
+func (c *CVD) Diff(a, b vgraph.VersionID) (DiffResult, error) {
+	if c.graph.Node(a) == nil || c.graph.Node(b) == nil {
+		return DiffResult{}, fmt.Errorf("cvd: %s: unknown version in diff(%d, %d)", c.name, a, b)
+	}
+	inB := make(map[vgraph.RecordID]struct{})
+	for _, r := range c.bip.Records(b) {
+		inB[r] = struct{}{}
+	}
+	inA := make(map[vgraph.RecordID]struct{})
+	var res DiffResult
+	for _, r := range c.bip.Records(a) {
+		inA[r] = struct{}{}
+		if _, ok := inB[r]; !ok {
+			res.OnlyInA = append(res.OnlyInA, r)
+		}
+	}
+	for _, r := range c.bip.Records(b) {
+		if _, ok := inA[r]; !ok {
+			res.OnlyInB = append(res.OnlyInB, r)
+		}
+	}
+	sort.Slice(res.OnlyInA, func(i, j int) bool { return res.OnlyInA[i] < res.OnlyInA[j] })
+	sort.Slice(res.OnlyInB, func(i, j int) bool { return res.OnlyInB[i] < res.OnlyInB[j] })
+	return res, nil
+}

@@ -1,0 +1,160 @@
+// Package cvd implements collaborative versioned datasets (CVDs): relations
+// that implicitly contain many versions, stored inside the relstore
+// substrate using one of the five data models compared in Chapter 4
+// (a-table-per-version, combined-table, split-by-vlist, split-by-rlist and
+// delta-based). It provides the git-style checkout / commit / diff workflow
+// of Chapter 3, version metadata and schema evolution of Section 4.3, and
+// the versioned query shortcuts used by the OrpheusDB query language.
+package cvd
+
+import (
+	"fmt"
+
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// ModelKind enumerates the physical data models for representing a CVD
+// inside the relational substrate (Section 4.1).
+type ModelKind int
+
+const (
+	// SplitByRlist stores a data table plus a versioning table keyed by vid
+	// with an rlist array (the model OrpheusDB adopts).
+	SplitByRlist ModelKind = iota
+	// SplitByVlist stores a data table plus a versioning table keyed by rid
+	// with a vlist array.
+	SplitByVlist
+	// CombinedTable stores a single table with a vlist array per record.
+	CombinedTable
+	// TablePerVersion stores every version as its own table.
+	TablePerVersion
+	// DeltaBased stores each version as a delta (insertions plus tombstoned
+	// deletions) from a chosen precedent version.
+	DeltaBased
+)
+
+// String names the model.
+func (k ModelKind) String() string {
+	switch k {
+	case SplitByRlist:
+		return "split-by-rlist"
+	case SplitByVlist:
+		return "split-by-vlist"
+	case CombinedTable:
+		return "combined-table"
+	case TablePerVersion:
+		return "a-table-per-version"
+	case DeltaBased:
+		return "delta-based"
+	default:
+		return fmt.Sprintf("model(%d)", int(k))
+	}
+}
+
+// CommitRecord pairs a record id with its data-attribute values.
+type CommitRecord struct {
+	RID vgraph.RecordID
+	Row relstore.Row // data attributes only, aligned with the CVD schema
+}
+
+// CommitRequest carries everything a data model needs to add a new version.
+type CommitRequest struct {
+	// Version is the id of the new version.
+	Version vgraph.VersionID
+	// Parents are the versions the commit derives from (empty for the
+	// initial version).
+	Parents []vgraph.VersionID
+	// ParentRIDs lists, per parent, the record ids that parent contains.
+	ParentRIDs map[vgraph.VersionID][]vgraph.RecordID
+	// RIDs is the complete record id list of the new version.
+	RIDs []vgraph.RecordID
+	// NewRecords are the records in RIDs that are not present in any parent
+	// and must be added to physical storage, with their contents.
+	NewRecords []CommitRecord
+	// Lookup resolves the content of an already-stored record by id. Models
+	// that restate inherited records (delta-based, a-table-per-version) use
+	// it; models with a shared data table do not need it.
+	Lookup func(vgraph.RecordID) (relstore.Row, bool)
+}
+
+// DataModel is the physical-storage strategy behind a CVD. Implementations
+// live entirely inside a relstore.Database so their storage and I/O costs
+// are measured by the substrate.
+type DataModel interface {
+	// Kind identifies the model.
+	Kind() ModelKind
+	// Init creates the model's backing tables for a CVD with the given data
+	// schema (no rid column) and loads the initial version.
+	Init(req CommitRequest) error
+	// AppendVersion adds a committed version to storage.
+	AppendVersion(req CommitRequest) error
+	// Checkout materializes a single version as a fresh table named
+	// tableName containing an rid column followed by the data attributes.
+	Checkout(v vgraph.VersionID, tableName string) (*relstore.Table, error)
+	// StorageBytes returns the accounted storage footprint of the model.
+	StorageBytes() int64
+	// AlterSchema evolves the data schema (single-pool evolution): columns
+	// may be added and column types generalized. Existing records keep NULL
+	// in new columns.
+	AlterSchema(newSchema relstore.Schema) error
+	// Drop removes all backing tables.
+	Drop()
+}
+
+// ridColumn is the name of the synthetic record-id column in data tables and
+// checkout results.
+const ridColumn = "rid"
+
+// vidColumn, rlistColumn, vlistColumn name the versioning-table attributes.
+const (
+	vidColumn   = "vid"
+	rlistColumn = "rlist"
+	vlistColumn = "vlist"
+)
+
+// dataSchemaWithRID prepends the rid column to the data schema and makes rid
+// the physical primary key (the relation primary key only holds within a
+// version, so it cannot index the shared data table).
+func dataSchemaWithRID(data relstore.Schema) relstore.Schema {
+	cols := make([]relstore.Column, 0, len(data.Columns)+1)
+	cols = append(cols, relstore.Column{Name: ridColumn, Type: relstore.TypeInt})
+	cols = append(cols, data.Columns...)
+	return relstore.MustSchema(cols, ridColumn)
+}
+
+// rowWithRID prepends the rid value to a data row.
+func rowWithRID(rid vgraph.RecordID, data relstore.Row) relstore.Row {
+	out := make(relstore.Row, 0, len(data)+1)
+	out = append(out, relstore.Int(int64(rid)))
+	out = append(out, data...)
+	return out
+}
+
+// padRow extends a row with NULLs so its length matches want. Used after
+// schema evolution when older records have fewer attributes.
+func padRow(r relstore.Row, want int) relstore.Row {
+	for len(r) < want {
+		r = append(r, relstore.Null())
+	}
+	return r
+}
+
+// newModel constructs a data model of the requested kind backed by db, with
+// table names prefixed by the CVD name.
+func newModel(kind ModelKind, db *relstore.Database, cvdName string, schema relstore.Schema) (DataModel, error) {
+	switch kind {
+	case SplitByRlist:
+		return newRlistModel(db, cvdName, schema), nil
+	case SplitByVlist:
+		return newVlistModel(db, cvdName, schema), nil
+	case CombinedTable:
+		return newCombinedModel(db, cvdName, schema), nil
+	case TablePerVersion:
+		return newTPVModel(db, cvdName, schema), nil
+	case DeltaBased:
+		return newDeltaModel(db, cvdName, schema), nil
+	default:
+		return nil, fmt.Errorf("cvd: unknown data model %d", int(kind))
+	}
+}

@@ -1,0 +1,512 @@
+package cvd
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// rlistModel is the split-by-rlist data model (Approach 4.3): a shared data
+// table keyed by rid plus a versioning table keyed by vid whose rlist array
+// lists the records in the version. It is the model OrpheusDB adopts, and
+// the only model that supports partitioned storage (Chapter 5): the data
+// table may be split into several partition tables, each holding all records
+// of the versions assigned to it, so a checkout touches exactly one
+// partition.
+type rlistModel struct {
+	db      *relstore.Database
+	name    string
+	schema  relstore.Schema // data schema without rid
+	join    relstore.JoinMethod
+	dataTab string
+
+	// Partitioned state. When partitions is nil the model is unpartitioned
+	// and all records live in the single dataTab table. When non-nil,
+	// partition k's records live in table partTabName(k) and partitionOf
+	// maps each version to its partition.
+	partitions  []string // partition table names
+	partitionOf map[vgraph.VersionID]int
+}
+
+func newRlistModel(db *relstore.Database, name string, schema relstore.Schema) *rlistModel {
+	return &rlistModel{
+		db:      db,
+		name:    name,
+		schema:  schema.Clone(),
+		join:    relstore.HashJoin,
+		dataTab: name + "_data",
+	}
+}
+
+func (m *rlistModel) Kind() ModelKind { return SplitByRlist }
+
+// SetJoinMethod overrides the join strategy used during checkout; the
+// default is a hash join (Section 5.5.5).
+func (m *rlistModel) SetJoinMethod(j relstore.JoinMethod) { m.join = j }
+
+func (m *rlistModel) versioningTabName() string { return m.name + "_versions" }
+
+func (m *rlistModel) partTabName(k int) string { return fmt.Sprintf("%s_part%d", m.name, k) }
+
+func (m *rlistModel) Init(req CommitRequest) error {
+	data, err := m.db.CreateTable(m.dataTab, dataSchemaWithRID(m.schema))
+	if err != nil {
+		return err
+	}
+	vt, err := m.db.CreateTable(m.versioningTabName(), relstore.MustSchema([]relstore.Column{
+		{Name: vidColumn, Type: relstore.TypeInt},
+		{Name: rlistColumn, Type: relstore.TypeIntArray},
+	}, vidColumn))
+	if err != nil {
+		return err
+	}
+	_ = data
+	_ = vt
+	return m.AppendVersion(req)
+}
+
+func (m *rlistModel) AppendVersion(req CommitRequest) error {
+	data, ok := m.db.Table(m.dataTab)
+	if !ok {
+		return fmt.Errorf("cvd: %s: data table missing", m.name)
+	}
+	for _, rec := range req.NewRecords {
+		if err := data.Insert(rowWithRID(rec.RID, padRow(rec.Row.Clone(), len(m.schema.Columns)))); err != nil {
+			return err
+		}
+	}
+	vt := m.db.MustTable(m.versioningTabName())
+	rlist := make([]int64, len(req.RIDs))
+	for i, r := range req.RIDs {
+		rlist[i] = int64(r)
+	}
+	sort.Slice(rlist, func(i, j int) bool { return rlist[i] < rlist[j] })
+	if err := vt.Insert(relstore.Row{relstore.Int(int64(req.Version)), relstore.IntArray(rlist)}); err != nil {
+		return err
+	}
+	// Under partitioning, new versions are routed by online maintenance
+	// (OnlineAssign); until then they are placed with their first parent's
+	// partition, or partition 0 if there is none.
+	if m.partitions != nil {
+		k := 0
+		if len(req.Parents) > 0 {
+			if pk, ok := m.partitionOf[req.Parents[0]]; ok {
+				k = pk
+			}
+		}
+		if err := m.addVersionToPartition(req.Version, k, req.RIDs, req.NewRecords); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rlistOf returns the rid list of a version from the versioning table.
+func (m *rlistModel) rlistOf(v vgraph.VersionID) ([]int64, error) {
+	vt := m.db.MustTable(m.versioningTabName())
+	row, ok := vt.LookupIndex(relstore.Int(int64(v)))
+	if !ok {
+		return nil, fmt.Errorf("cvd: %s: version %d not found", m.name, v)
+	}
+	return row[1].A, nil
+}
+
+func (m *rlistModel) Checkout(v vgraph.VersionID, tableName string) (*relstore.Table, error) {
+	rlist, err := m.rlistOf(v)
+	if err != nil {
+		return nil, err
+	}
+	src := m.dataTab
+	if m.partitions != nil {
+		k, ok := m.partitionOf[v]
+		if !ok {
+			return nil, fmt.Errorf("cvd: %s: version %d has no partition assignment", m.name, v)
+		}
+		src = m.partitions[k]
+	}
+	data := m.db.MustTable(src)
+	rows, err := relstore.JoinOnRIDs(data, ridColumn, rlist, m.join)
+	if err != nil {
+		return nil, err
+	}
+	out := relstore.NewTable(tableName, data.Schema.Clone())
+	out.SetStats(data.Stats())
+	for _, r := range rows {
+		out.Rows = append(out.Rows, r.Clone())
+	}
+	_ = out.BuildIndexOn(ridColumn)
+	return out, nil
+}
+
+func (m *rlistModel) StorageBytes() int64 {
+	var n int64
+	if m.partitions == nil {
+		n += m.db.MustTable(m.dataTab).StorageBytes()
+	} else {
+		for _, p := range m.partitions {
+			n += m.db.MustTable(p).StorageBytes()
+		}
+	}
+	n += m.db.MustTable(m.versioningTabName()).StorageBytes()
+	return n
+}
+
+// DataStorageBytes returns only the data-table portion of the storage (the
+// quantity partitioning schemes trade off; the versioning table is constant
+// across schemes, Section 5.5.2).
+func (m *rlistModel) DataStorageBytes() int64 {
+	var n int64
+	if m.partitions == nil {
+		return m.db.MustTable(m.dataTab).StorageBytes()
+	}
+	for _, p := range m.partitions {
+		n += m.db.MustTable(p).StorageBytes()
+	}
+	return n
+}
+
+// DataRecordCount returns Σ_k |R_k| in records (the storage cost S of
+// Equation 5.1) under the current partitioning, or the data-table row count
+// when unpartitioned.
+func (m *rlistModel) DataRecordCount() int64 {
+	if m.partitions == nil {
+		return int64(m.db.MustTable(m.dataTab).Len())
+	}
+	var n int64
+	for _, p := range m.partitions {
+		n += int64(m.db.MustTable(p).Len())
+	}
+	return n
+}
+
+func (m *rlistModel) AlterSchema(newSchema relstore.Schema) error {
+	apply := func(t *relstore.Table) error {
+		for _, c := range newSchema.Columns {
+			if !t.Schema.HasColumn(c.Name) {
+				if err := t.AddColumn(c); err != nil {
+					return err
+				}
+				continue
+			}
+			idx := t.Schema.ColumnIndex(c.Name)
+			if t.Schema.Columns[idx].Type != c.Type {
+				if err := t.AlterColumnType(c.Name, c.Type); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := apply(m.db.MustTable(m.dataTab)); err != nil {
+		return err
+	}
+	for _, p := range m.partitions {
+		if err := apply(m.db.MustTable(p)); err != nil {
+			return err
+		}
+	}
+	m.schema = newSchema.Clone()
+	return nil
+}
+
+func (m *rlistModel) Drop() {
+	m.db.DropTable(m.dataTab)
+	m.db.DropTable(m.versioningTabName())
+	for _, p := range m.partitions {
+		m.db.DropTable(p)
+	}
+	m.partitions = nil
+	m.partitionOf = nil
+}
+
+// Partitioned reports whether partitioned storage is active.
+func (m *rlistModel) Partitioned() bool { return m.partitions != nil }
+
+// PartitionOf returns the partition index of a version (-1 when
+// unpartitioned or unknown).
+func (m *rlistModel) PartitionOf(v vgraph.VersionID) int {
+	if m.partitions == nil {
+		return -1
+	}
+	k, ok := m.partitionOf[v]
+	if !ok {
+		return -1
+	}
+	return k
+}
+
+// PartitionSizes returns the number of records in each partition table.
+func (m *rlistModel) PartitionSizes() []int64 {
+	out := make([]int64, len(m.partitions))
+	for i, p := range m.partitions {
+		out[i] = int64(m.db.MustTable(p).Len())
+	}
+	return out
+}
+
+// ApplyPartitioning reorganizes the data table into one partition table per
+// group of the supplied partitioning, rebuilding everything from scratch
+// (the "naive" migration path). Each partition table receives all records of
+// all versions assigned to it; records shared across partitions are
+// duplicated (Section 5.1).
+func (m *rlistModel) ApplyPartitioning(p vgraph.Partitioning) error {
+	// Drop any previous partitions.
+	for _, name := range m.partitions {
+		m.db.DropTable(name)
+	}
+	m.partitions = nil
+	m.partitionOf = make(map[vgraph.VersionID]int)
+
+	groups := p.Groups()
+	m.partitions = make([]string, len(groups))
+	for k, versions := range groups {
+		name := m.partTabName(k)
+		m.db.DropTable(name)
+		t, err := m.db.CreateTable(name, dataSchemaWithRID(m.schema))
+		if err != nil {
+			return err
+		}
+		if err := m.fillPartition(t, versions); err != nil {
+			return err
+		}
+		m.partitions[k] = name
+		for _, v := range versions {
+			m.partitionOf[v] = k
+		}
+	}
+	return nil
+}
+
+// fillPartition inserts into t all records belonging to any of versions,
+// fetched from the unpartitioned data table.
+func (m *rlistModel) fillPartition(t *relstore.Table, versions []vgraph.VersionID) error {
+	need := make(map[int64]struct{})
+	for _, v := range versions {
+		rlist, err := m.rlistOf(v)
+		if err != nil {
+			return err
+		}
+		for _, r := range rlist {
+			need[r] = struct{}{}
+		}
+	}
+	rids := make([]int64, 0, len(need))
+	for r := range need {
+		rids = append(rids, r)
+	}
+	sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+	data := m.db.MustTable(m.dataTab)
+	rows, err := relstore.JoinOnRIDs(data, ridColumn, rids, relstore.HashJoin)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := t.Insert(padRow(r.Clone(), len(t.Schema.Columns))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MigrationOp describes one partition's migration action when moving to a
+// new partitioning scheme (Section 5.4): either rebuild the partition from
+// scratch or transform an existing partition by deleting and inserting
+// records.
+type MigrationOp struct {
+	// NewPartition is the index of the partition in the new scheme.
+	NewPartition int
+	// FromPartition is the index of the old partition to transform, or -1 to
+	// build from scratch.
+	FromPartition int
+	// Versions are the versions assigned to the new partition.
+	Versions []vgraph.VersionID
+}
+
+// MigrationResult reports the work performed while migrating.
+type MigrationResult struct {
+	RecordsInserted int64
+	RecordsDeleted  int64
+	PartitionsBuilt int
+}
+
+// Migrate applies a new partitioning using an explicit per-partition plan
+// (typically produced by partition.PlanMigration). Partitions with
+// FromPartition >= 0 are transformed in place by deleting records no longer
+// needed and inserting missing ones; others are rebuilt from scratch.
+func (m *rlistModel) Migrate(p vgraph.Partitioning, plan []MigrationOp) (MigrationResult, error) {
+	var res MigrationResult
+	if m.partitions == nil {
+		// Nothing to reuse; fall back to a full rebuild.
+		if err := m.ApplyPartitioning(p); err != nil {
+			return res, err
+		}
+		res.PartitionsBuilt = p.NumPartitions
+		for _, n := range m.PartitionSizes() {
+			res.RecordsInserted += n
+		}
+		return res, nil
+	}
+	oldTables := make([]*relstore.Table, len(m.partitions))
+	for i, name := range m.partitions {
+		oldTables[i] = m.db.MustTable(name)
+	}
+	newNames := make([]string, p.NumPartitions)
+	newAssign := make(map[vgraph.VersionID]int)
+
+	for _, op := range plan {
+		need := make(map[int64]struct{})
+		for _, v := range op.Versions {
+			rlist, err := m.rlistOf(v)
+			if err != nil {
+				return res, err
+			}
+			for _, r := range rlist {
+				need[r] = struct{}{}
+			}
+			newAssign[v] = op.NewPartition
+		}
+		tmpName := fmt.Sprintf("%s_newpart%d", m.name, op.NewPartition)
+		m.db.DropTable(tmpName)
+		t, err := m.db.CreateTable(tmpName, dataSchemaWithRID(m.schema))
+		if err != nil {
+			return res, err
+		}
+		if op.FromPartition >= 0 && op.FromPartition < len(oldTables) {
+			// Transform: copy surviving records from the old partition, count
+			// the dropped ones as deletions, then insert the missing records.
+			old := oldTables[op.FromPartition]
+			ridIdx := old.Schema.ColumnIndex(ridColumn)
+			old.Scan(func(_ int, r relstore.Row) bool {
+				rid := r[ridIdx].AsInt()
+				if _, keep := need[rid]; keep {
+					_ = t.Insert(padRow(r.Clone(), len(t.Schema.Columns)))
+					delete(need, rid)
+				} else {
+					res.RecordsDeleted++
+				}
+				return true
+			})
+		} else {
+			res.PartitionsBuilt++
+		}
+		// Insert the records still missing, fetched from the master data table.
+		missing := make([]int64, 0, len(need))
+		for r := range need {
+			missing = append(missing, r)
+		}
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		data := m.db.MustTable(m.dataTab)
+		rows, err := relstore.JoinOnRIDs(data, ridColumn, missing, relstore.HashJoin)
+		if err != nil {
+			return res, err
+		}
+		for _, r := range rows {
+			if err := t.Insert(padRow(r.Clone(), len(t.Schema.Columns))); err != nil {
+				return res, err
+			}
+			res.RecordsInserted++
+		}
+		newNames[op.NewPartition] = tmpName
+	}
+	// Swap in the new partitions under canonical names.
+	for _, name := range m.partitions {
+		m.db.DropTable(name)
+	}
+	m.partitions = make([]string, p.NumPartitions)
+	for k, tmp := range newNames {
+		final := m.partTabName(k)
+		m.db.DropTable(final)
+		if tmp == "" {
+			// The plan omitted this partition (no versions assigned); create
+			// an empty table so indexes stay dense.
+			t, err := m.db.CreateTable(final, dataSchemaWithRID(m.schema))
+			if err != nil {
+				return res, err
+			}
+			_ = t
+			m.partitions[k] = final
+			continue
+		}
+		t := m.db.MustTable(tmp)
+		m.db.DropTable(tmp)
+		renamed := t.Clone(final)
+		m.db.AttachTable(renamed)
+		m.partitions[k] = final
+	}
+	m.partitionOf = newAssign
+	return res, nil
+}
+
+// OnlineAssign places a newly committed version into partition k and inserts
+// the version's new records into that partition (the online maintenance rule
+// of Section 5.4). If newPartition is true a fresh partition is created for
+// the version instead.
+func (m *rlistModel) OnlineAssign(v vgraph.VersionID, k int, newPartition bool, rids []vgraph.RecordID, newRecords []CommitRecord) (int, error) {
+	if m.partitions == nil {
+		return -1, fmt.Errorf("cvd: %s: OnlineAssign requires partitioned storage", m.name)
+	}
+	if newPartition {
+		k = len(m.partitions)
+		name := m.partTabName(k)
+		m.db.DropTable(name)
+		if _, err := m.db.CreateTable(name, dataSchemaWithRID(m.schema)); err != nil {
+			return -1, err
+		}
+		m.partitions = append(m.partitions, name)
+	}
+	if k < 0 || k >= len(m.partitions) {
+		return -1, fmt.Errorf("cvd: %s: partition %d out of range", m.name, k)
+	}
+	if err := m.addVersionToPartition(v, k, rids, newRecords); err != nil {
+		return -1, err
+	}
+	return k, nil
+}
+
+// addVersionToPartition ensures all records of the version exist in the
+// partition table and records the assignment.
+func (m *rlistModel) addVersionToPartition(v vgraph.VersionID, k int, rids []vgraph.RecordID, newRecords []CommitRecord) error {
+	t := m.db.MustTable(m.partitions[k])
+	ridIdx := t.Schema.ColumnIndex(ridColumn)
+	have := make(map[int64]struct{}, t.Len())
+	t.Scan(func(_ int, r relstore.Row) bool {
+		have[r[ridIdx].AsInt()] = struct{}{}
+		return true
+	})
+	newByRID := make(map[int64]CommitRecord, len(newRecords))
+	for _, rec := range newRecords {
+		newByRID[int64(rec.RID)] = rec
+	}
+	var missing []int64
+	for _, rid := range rids {
+		if _, ok := have[int64(rid)]; ok {
+			continue
+		}
+		if rec, ok := newByRID[int64(rid)]; ok {
+			if err := t.Insert(rowWithRID(rec.RID, padRow(rec.Row.Clone(), len(m.schema.Columns)))); err != nil {
+				return err
+			}
+			continue
+		}
+		missing = append(missing, int64(rid))
+	}
+	if len(missing) > 0 {
+		data := m.db.MustTable(m.dataTab)
+		rows, err := relstore.JoinOnRIDs(data, ridColumn, missing, relstore.HashJoin)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if err := t.Insert(padRow(r.Clone(), len(t.Schema.Columns))); err != nil {
+				return err
+			}
+		}
+	}
+	if m.partitionOf == nil {
+		m.partitionOf = make(map[vgraph.VersionID]int)
+	}
+	m.partitionOf[v] = k
+	return nil
+}

@@ -1,0 +1,242 @@
+package cvd
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// This file implements the versioned query shortcuts OrpheusDB exposes on
+// top of SQL (Section 3.3.2): querying records of specific versions with
+// predicates and limits, aggregation grouped by version, the version-graph
+// functional primitives ancestor/descendant/parent, and the v_diff /
+// v_intersect aggregation functions.
+
+// Predicate filters data rows; a nil predicate accepts every row.
+type Predicate func(relstore.Row) bool
+
+// NamedPredicate builds a predicate comparing a named column against a value
+// with the given comparison operator ("=", "!=", "<", "<=", ">", ">=").
+func (c *CVD) NamedPredicate(column, op string, value relstore.Value) (Predicate, error) {
+	idx := c.schema.ColumnIndex(column)
+	if idx < 0 {
+		return nil, fmt.Errorf("cvd: %s: unknown column %q", c.name, column)
+	}
+	return func(r relstore.Row) bool {
+		if idx >= len(r) {
+			return false
+		}
+		cmp := r[idx].Compare(value)
+		switch op {
+		case "=", "==":
+			return cmp == 0
+		case "!=", "<>":
+			return cmp != 0
+		case "<":
+			return cmp < 0
+		case "<=":
+			return cmp <= 0
+		case ">":
+			return cmp > 0
+		case ">=":
+			return cmp >= 0
+		default:
+			return false
+		}
+	}, nil
+}
+
+// VersionedRow pairs a record with the version it was selected from.
+type VersionedRow struct {
+	Version vgraph.VersionID
+	RID     vgraph.RecordID
+	Row     relstore.Row
+}
+
+// ScanVersions evaluates `SELECT * FROM VERSION v1, v2, ... OF CVD c WHERE
+// pred LIMIT limit`: it returns the (version, record) pairs of the listed
+// versions whose data satisfies pred. limit <= 0 means no limit.
+func (c *CVD) ScanVersions(versions []vgraph.VersionID, pred Predicate, limit int) ([]VersionedRow, error) {
+	var out []VersionedRow
+	for _, v := range versions {
+		if c.graph.Node(v) == nil {
+			return nil, fmt.Errorf("cvd: %s: unknown version %d", c.name, v)
+		}
+		for _, rid := range c.bip.Records(v) {
+			row, ok := c.RecordContent(rid)
+			if !ok {
+				continue
+			}
+			if pred != nil && !pred(row) {
+				continue
+			}
+			out = append(out, VersionedRow{Version: v, RID: rid, Row: row})
+			if limit > 0 && len(out) >= limit {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// Aggregator folds rows into a single value.
+type Aggregator func(rows []relstore.Row) relstore.Value
+
+// CountAgg counts rows.
+func CountAgg() Aggregator {
+	return func(rows []relstore.Row) relstore.Value { return relstore.Int(int64(len(rows))) }
+}
+
+// SumAgg sums a named column (resolved against the CVD schema at call time).
+func (c *CVD) SumAgg(column string) (Aggregator, error) {
+	idx := c.schema.ColumnIndex(column)
+	if idx < 0 {
+		return nil, fmt.Errorf("cvd: %s: unknown column %q", c.name, column)
+	}
+	return func(rows []relstore.Row) relstore.Value {
+		var sum float64
+		for _, r := range rows {
+			if idx < len(r) {
+				sum += r[idx].AsFloat()
+			}
+		}
+		return relstore.Float(sum)
+	}, nil
+}
+
+// AvgAgg averages a named column.
+func (c *CVD) AvgAgg(column string) (Aggregator, error) {
+	sum, err := c.SumAgg(column)
+	if err != nil {
+		return nil, err
+	}
+	return func(rows []relstore.Row) relstore.Value {
+		if len(rows) == 0 {
+			return relstore.Null()
+		}
+		return relstore.Float(sum(rows).AsFloat() / float64(len(rows)))
+	}, nil
+}
+
+// MaxAgg returns the maximum of a named column.
+func (c *CVD) MaxAgg(column string) (Aggregator, error) {
+	idx := c.schema.ColumnIndex(column)
+	if idx < 0 {
+		return nil, fmt.Errorf("cvd: %s: unknown column %q", c.name, column)
+	}
+	return func(rows []relstore.Row) relstore.Value {
+		best := relstore.Null()
+		for _, r := range rows {
+			if idx < len(r) && (best.IsNull() || r[idx].Compare(best) > 0) {
+				best = r[idx]
+			}
+		}
+		return best
+	}, nil
+}
+
+// AggregateByVersion evaluates `SELECT vid, agg(...) FROM CVD c [WHERE pred]
+// GROUP BY vid` over the given versions (all versions when versions is nil).
+func (c *CVD) AggregateByVersion(versions []vgraph.VersionID, pred Predicate, agg Aggregator) (map[vgraph.VersionID]relstore.Value, error) {
+	if agg == nil {
+		return nil, fmt.Errorf("cvd: %s: nil aggregator", c.name)
+	}
+	if versions == nil {
+		versions = c.Versions()
+	}
+	out := make(map[vgraph.VersionID]relstore.Value, len(versions))
+	for _, v := range versions {
+		if c.graph.Node(v) == nil {
+			return nil, fmt.Errorf("cvd: %s: unknown version %d", c.name, v)
+		}
+		var rows []relstore.Row
+		for _, rid := range c.bip.Records(v) {
+			row, ok := c.RecordContent(rid)
+			if !ok {
+				continue
+			}
+			if pred != nil && !pred(row) {
+				continue
+			}
+			rows = append(rows, row)
+		}
+		out[v] = agg(rows)
+	}
+	return out, nil
+}
+
+// VersionsWhere returns the versions whose per-version aggregate satisfies
+// test (e.g. "versions where count of tuples with protein1 = X exceeds 50").
+func (c *CVD) VersionsWhere(pred Predicate, agg Aggregator, test func(relstore.Value) bool) ([]vgraph.VersionID, error) {
+	byVersion, err := c.AggregateByVersion(nil, pred, agg)
+	if err != nil {
+		return nil, err
+	}
+	var out []vgraph.VersionID
+	for v, val := range byVersion {
+		if test(val) {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Ancestors returns all ancestors of v (the ancestor(vid) primitive).
+func (c *CVD) Ancestors(v vgraph.VersionID) []vgraph.VersionID { return c.graph.Ancestors(v, 0) }
+
+// Descendants returns all descendants of v (the descendant(vid) primitive).
+func (c *CVD) Descendants(v vgraph.VersionID) []vgraph.VersionID { return c.graph.Descendants(v, 0) }
+
+// Parents returns the direct parents of v (the parent(vid) primitive).
+func (c *CVD) Parents(v vgraph.VersionID) []vgraph.VersionID { return c.graph.Parents(v) }
+
+// VDiff implements v_diff(A, B): the record ids present in any version of A
+// but in no version of B.
+func (c *CVD) VDiff(a, b []vgraph.VersionID) []vgraph.RecordID {
+	inB := make(map[vgraph.RecordID]struct{})
+	for _, v := range b {
+		for _, r := range c.bip.Records(v) {
+			inB[r] = struct{}{}
+		}
+	}
+	seen := make(map[vgraph.RecordID]struct{})
+	var out []vgraph.RecordID
+	for _, v := range a {
+		for _, r := range c.bip.Records(v) {
+			if _, dup := seen[r]; dup {
+				continue
+			}
+			seen[r] = struct{}{}
+			if _, ok := inB[r]; !ok {
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VIntersect implements v_intersect(A): the record ids present in every
+// listed version.
+func (c *CVD) VIntersect(versions []vgraph.VersionID) []vgraph.RecordID {
+	if len(versions) == 0 {
+		return nil
+	}
+	counts := make(map[vgraph.RecordID]int)
+	for _, v := range versions {
+		for _, r := range c.bip.Records(v) {
+			counts[r]++
+		}
+	}
+	var out []vgraph.RecordID
+	for r, n := range counts {
+		if n == len(versions) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,257 @@
+package cvd
+
+import (
+	"testing"
+
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+func TestScanVersionsWithPredicateAndLimit(t *testing.T) {
+	_, c := buildProteinCVD(t, SplitByRlist)
+	// SELECT * FROM VERSION 1, 2 OF CVD interaction WHERE coexpression > 80 LIMIT 50
+	pred, err := c.NamedPredicate("coexpression", ">", relstore.Int(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.ScanVersions([]vgraph.VersionID{1, 2}, pred, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only r3 (coexpression 164) in v1 and v2, and r4 (975) in v2 qualify.
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	// LIMIT stops early.
+	limited, err := c.ScanVersions([]vgraph.VersionID{1, 2}, pred, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 2 {
+		t.Errorf("limit ignored: got %d rows", len(limited))
+	}
+	if _, err := c.ScanVersions([]vgraph.VersionID{99}, nil, 0); err == nil {
+		t.Error("scan of unknown version should fail")
+	}
+	if _, err := c.NamedPredicate("nope", "=", relstore.Int(1)); err == nil {
+		t.Error("predicate on unknown column should fail")
+	}
+}
+
+func TestPredicateOperators(t *testing.T) {
+	_, c := buildProteinCVD(t, SplitByRlist)
+	for _, op := range []string{"=", "!=", "<", "<=", ">", ">="} {
+		pred, err := c.NamedPredicate("cooccurrence", op, relstore.Int(53))
+		if err != nil {
+			t.Fatalf("op %s: %v", op, err)
+		}
+		if _, err := c.ScanVersions([]vgraph.VersionID{1}, pred, 0); err != nil {
+			t.Fatalf("op %s: %v", op, err)
+		}
+	}
+	pred, _ := c.NamedPredicate("cooccurrence", "bogus", relstore.Int(1))
+	rows, _ := c.ScanVersions([]vgraph.VersionID{1}, pred, 0)
+	if len(rows) != 0 {
+		t.Error("bogus operator should match nothing")
+	}
+}
+
+func TestAggregateByVersion(t *testing.T) {
+	_, c := buildProteinCVD(t, SplitByRlist)
+	// SELECT vid, count(*) FROM CVD interaction GROUP BY vid
+	counts, err := c.AggregateByVersion(nil, nil, CountAgg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[vgraph.VersionID]int64{1: 3, 2: 3, 3: 4, 4: 6}
+	for v, n := range want {
+		if counts[v].AsInt() != n {
+			t.Errorf("count(v%d) = %d, want %d", v, counts[v].AsInt(), n)
+		}
+	}
+	// Aggregate with a predicate: count of tuples with coexpression > 80.
+	pred, _ := c.NamedPredicate("coexpression", ">", relstore.Int(80))
+	filtered, err := c.AggregateByVersion([]vgraph.VersionID{3, 4}, pred, CountAgg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered[3].AsInt() != 3 {
+		t.Errorf("filtered count(v3) = %d, want 3 (r3, r5, r6)", filtered[3].AsInt())
+	}
+	if filtered[4].AsInt() != 4 {
+		t.Errorf("filtered count(v4) = %d, want 4 (r3, r4, r5, r6)", filtered[4].AsInt())
+	}
+	// Sum / Avg / Max aggregators.
+	sum, err := c.SumAgg("coexpression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, _ := c.AggregateByVersion([]vgraph.VersionID{1}, nil, sum)
+	if sums[1].AsFloat() != 164 {
+		t.Errorf("sum coexpression(v1) = %g, want 164", sums[1].AsFloat())
+	}
+	avg, _ := c.AvgAgg("coexpression")
+	avgs, _ := c.AggregateByVersion([]vgraph.VersionID{1}, nil, avg)
+	if got := avgs[1].AsFloat(); got < 54 || got > 55 {
+		t.Errorf("avg coexpression(v1) = %g, want ~54.7", got)
+	}
+	max, _ := c.MaxAgg("coexpression")
+	maxs, _ := c.AggregateByVersion([]vgraph.VersionID{2}, nil, max)
+	if maxs[2].AsInt() != 975 {
+		t.Errorf("max coexpression(v2) = %d, want 975", maxs[2].AsInt())
+	}
+	if _, err := c.SumAgg("missing"); err == nil {
+		t.Error("sum of missing column should fail")
+	}
+	if _, err := c.AggregateByVersion(nil, nil, nil); err == nil {
+		t.Error("nil aggregator should fail")
+	}
+	if _, err := c.AggregateByVersion([]vgraph.VersionID{99}, nil, CountAgg()); err == nil {
+		t.Error("unknown version should fail")
+	}
+}
+
+func TestVersionsWhere(t *testing.T) {
+	_, c := buildProteinCVD(t, SplitByRlist)
+	// Versions containing more than 3 records.
+	vs, err := c.VersionsWhere(nil, CountAgg(), func(v relstore.Value) bool { return v.AsInt() > 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 || vs[0] != 3 || vs[1] != 4 {
+		t.Errorf("VersionsWhere = %v, want [3 4]", vs)
+	}
+}
+
+func TestGraphPrimitives(t *testing.T) {
+	_, c := buildProteinCVD(t, SplitByRlist)
+	if got := c.Ancestors(4); len(got) != 3 {
+		t.Errorf("ancestors(4) = %v, want 3", got)
+	}
+	if got := c.Descendants(1); len(got) != 3 {
+		t.Errorf("descendants(1) = %v, want 3", got)
+	}
+	if got := c.Parents(2); len(got) != 1 || got[0] != 1 {
+		t.Errorf("parents(2) = %v, want [1]", got)
+	}
+}
+
+func TestVDiffAndVIntersect(t *testing.T) {
+	_, c := buildProteinCVD(t, SplitByRlist)
+	// v_diff(v3, v2): records in v3 but not v2 = {r5, r6, r7} -> 3 records.
+	d := c.VDiff([]vgraph.VersionID{3}, []vgraph.VersionID{2})
+	if len(d) != 3 {
+		t.Errorf("v_diff(3,2) = %v, want 3 records", d)
+	}
+	// v_diff of a version against itself is empty.
+	if got := c.VDiff([]vgraph.VersionID{2}, []vgraph.VersionID{2}); len(got) != 0 {
+		t.Errorf("v_diff(2,2) = %v, want empty", got)
+	}
+	// v_intersect(v1, v2, v3, v4) = {r3}.
+	in := c.VIntersect([]vgraph.VersionID{1, 2, 3, 4})
+	if len(in) != 1 {
+		t.Errorf("v_intersect(all) = %v, want exactly one shared record", in)
+	}
+	if got := c.VIntersect(nil); got != nil {
+		t.Errorf("v_intersect() = %v, want nil", got)
+	}
+}
+
+func TestSchemaEvolutionOnCommit(t *testing.T) {
+	// Section 4.3: committing a version with a new attribute and a
+	// generalized type evolves the single-pool schema.
+	db := relstore.NewDatabase("db")
+	schema := relstore.MustSchema([]relstore.Column{
+		{Name: "protein1", Type: relstore.TypeString},
+		{Name: "protein2", Type: relstore.TypeString},
+		{Name: "cooccurrence", Type: relstore.TypeInt},
+	}, "protein1", "protein2")
+	c, err := Init(db, "evolving", schema, []relstore.Row{
+		{relstore.Str("a"), relstore.Str("b"), relstore.Int(5)},
+	}, Options{Model: SplitByRlist, Clock: fixedClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v2 changes cooccurrence to decimal.
+	schema2 := relstore.MustSchema([]relstore.Column{
+		{Name: "protein1", Type: relstore.TypeString},
+		{Name: "protein2", Type: relstore.TypeString},
+		{Name: "cooccurrence", Type: relstore.TypeFloat},
+	}, "protein1", "protein2")
+	if _, err := c.Commit([]vgraph.VersionID{1}, []relstore.Row{
+		{relstore.Str("a"), relstore.Str("b"), relstore.Float(5.5)},
+	}, schema2, "decimalize", ""); err != nil {
+		t.Fatal(err)
+	}
+	// v3 adds a coexpression attribute.
+	schema3 := relstore.MustSchema([]relstore.Column{
+		{Name: "protein1", Type: relstore.TypeString},
+		{Name: "protein2", Type: relstore.TypeString},
+		{Name: "cooccurrence", Type: relstore.TypeFloat},
+		{Name: "coexpression", Type: relstore.TypeInt},
+	}, "protein1", "protein2")
+	if _, err := c.Commit([]vgraph.VersionID{2}, []relstore.Row{
+		{relstore.Str("a"), relstore.Str("b"), relstore.Float(5.5), relstore.Int(42)},
+	}, schema3, "add coexpression", ""); err != nil {
+		t.Fatal(err)
+	}
+	cur := c.Schema()
+	if !cur.HasColumn("coexpression") {
+		t.Error("schema evolution did not add coexpression")
+	}
+	if idx := cur.ColumnIndex("cooccurrence"); cur.Columns[idx].Type != relstore.TypeFloat {
+		t.Error("cooccurrence type not generalized to decimal")
+	}
+	// The attribute registry holds the old and the new cooccurrence entries
+	// plus the other attributes (Figure 4.3).
+	attrs := c.Attributes().All()
+	var coocCount int
+	for _, a := range attrs {
+		if a.Name == "cooccurrence" {
+			coocCount++
+		}
+	}
+	if coocCount != 2 {
+		t.Errorf("attribute table has %d cooccurrence entries, want 2 (integer and decimal)", coocCount)
+	}
+	// Old versions check out with NULL in the new column.
+	tab, err := c.Checkout([]vgraph.VersionID{1}, "old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coIdx := tab.Schema.ColumnIndex("coexpression")
+	if coIdx < 0 {
+		t.Fatal("checked-out table lacks evolved column")
+	}
+	if !tab.Rows[0][coIdx].IsNull() {
+		t.Errorf("old record should have NULL coexpression, got %v", tab.Rows[0][coIdx])
+	}
+	// Metadata records the attribute ids per version; v3 has more than v1.
+	m1, _ := c.Meta(1)
+	m3, _ := c.Meta(3)
+	if len(m3.Attributes) <= len(m1.Attributes) {
+		t.Errorf("v3 should record more attributes than v1: %d vs %d", len(m3.Attributes), len(m1.Attributes))
+	}
+}
+
+func TestAttributeRegistry(t *testing.T) {
+	r := NewAttributeRegistry()
+	a1 := r.Register("x", relstore.TypeInt)
+	a2 := r.Register("x", relstore.TypeInt)
+	if a1 != a2 {
+		t.Error("identical attribute should reuse its id")
+	}
+	a3 := r.Register("x", relstore.TypeFloat)
+	if a3 == a1 {
+		t.Error("type change should create a new attribute id")
+	}
+	if got, ok := r.Lookup(a3); !ok || got.Type != relstore.TypeFloat {
+		t.Errorf("Lookup(%d) = %+v, %v", a3, got, ok)
+	}
+	if _, ok := r.Lookup(999); ok {
+		t.Error("unknown attribute id should not resolve")
+	}
+	if len(r.All()) != 2 {
+		t.Errorf("All() = %v, want 2 attributes", r.All())
+	}
+}

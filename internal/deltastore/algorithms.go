@@ -1,0 +1,580 @@
+package deltastore
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// This file implements the storage-graph construction algorithms of
+// Chapter 7 (Table 7.1).
+
+// MinimumStorage solves Problem 7.1: minimize total storage with no
+// constraint on recreation cost. The optimal solution is a minimum spanning
+// arborescence rooted at the dummy root (Lemma 7.2); since every version has
+// a materialization edge from the root, the simple "best reachable parent"
+// Prim-style growth finds it for symmetric costs, and we run Edmonds'
+// algorithm for the general directed case.
+func MinimumStorage(g *Graph) (Solution, error) {
+	if err := g.Validate(); err != nil {
+		return Solution{}, err
+	}
+	return edmonds(g, func(e Edge) float64 { return e.Storage })
+}
+
+// MinimumRecreation solves Problem 7.2: minimize every version's recreation
+// cost with no constraint on storage. The optimal solution is the shortest
+// path tree from the dummy root under recreation costs (Lemma 7.3), computed
+// with Dijkstra's algorithm.
+func MinimumRecreation(g *Graph) (Solution, error) {
+	if err := g.Validate(); err != nil {
+		return Solution{}, err
+	}
+	return dijkstra(g)
+}
+
+// pqItem is a priority-queue entry for Dijkstra / Prim.
+type pqItem struct {
+	v    int
+	cost float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].cost < p[j].cost }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	item := old[n-1]
+	*p = old[:n-1]
+	return item
+}
+
+// dijkstra builds the shortest path tree from the dummy root on recreation
+// costs.
+func dijkstra(g *Graph) (Solution, error) {
+	n := g.NumVersions()
+	dist := make([]float64, n+1)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[Root] = 0
+	sol := NewSolution(n)
+	// adjacency: out-edges per node
+	out := make([][]Edge, n+1)
+	for _, e := range g.Edges() {
+		out[e.From] = append(out[e.From], e)
+	}
+	done := make([]bool, n+1)
+	h := &pq{{v: Root, cost: 0}}
+	for h.Len() > 0 {
+		item := heap.Pop(h).(pqItem)
+		if done[item.v] {
+			continue
+		}
+		done[item.v] = true
+		for _, e := range out[item.v] {
+			nd := dist[item.v] + e.Recreation
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				sol.Parent[e.To] = item.v
+				heap.Push(h, pqItem{v: e.To, cost: nd})
+			}
+		}
+	}
+	for v := 1; v <= n; v++ {
+		if sol.Parent[v] < 0 {
+			return Solution{}, fmt.Errorf("deltastore: version %d unreachable from the root", v)
+		}
+	}
+	return sol, nil
+}
+
+// wedge is a weighted directed edge used by Edmonds' algorithm.
+type wedge struct {
+	from, to int
+	w        float64
+}
+
+// edmonds computes a minimum spanning arborescence rooted at the dummy root
+// for the given edge weight (the Chu–Liu/Edmonds algorithm).
+func edmonds(g *Graph, weight func(Edge) float64) (Solution, error) {
+	n := g.NumVersions()
+	var edges []wedge
+	for _, e := range g.Edges() {
+		edges = append(edges, wedge{from: e.From, to: e.To, w: weight(e)})
+	}
+	// Nodes are 0..n with 0 the root.
+	parentChoice, err := edmondsRec(n+1, Root, edges)
+	if err != nil {
+		return Solution{}, err
+	}
+	sol := NewSolution(n)
+	for v := 1; v <= n; v++ {
+		sol.Parent[v] = parentChoice[v]
+	}
+	return sol, nil
+}
+
+// edmondsRec returns, for each node except the root, its chosen parent in a
+// minimum arborescence.
+func edmondsRec(numNodes, root int, edges []wedge) ([]int, error) {
+	const none = -1
+	// Select the minimum incoming edge for every node except the root.
+	minIn := make([]float64, numNodes)
+	minFrom := make([]int, numNodes)
+	minEdgeIdx := make([]int, numNodes)
+	for v := 0; v < numNodes; v++ {
+		minIn[v] = inf
+		minFrom[v] = none
+		minEdgeIdx[v] = none
+	}
+	for i, e := range edges {
+		if e.to == root || e.from == e.to {
+			continue
+		}
+		if e.w < minIn[e.to] {
+			minIn[e.to] = e.w
+			minFrom[e.to] = e.from
+			minEdgeIdx[e.to] = i
+		}
+	}
+	for v := 0; v < numNodes; v++ {
+		if v == root {
+			continue
+		}
+		if minFrom[v] == none {
+			return nil, fmt.Errorf("deltastore: node %d has no incoming edge", v)
+		}
+	}
+	// Detect cycles among the chosen edges.
+	cycleID := make([]int, numNodes)
+	visited := make([]int, numNodes)
+	for v := range cycleID {
+		cycleID[v] = none
+		visited[v] = none
+	}
+	numCycles := 0
+	for v := 0; v < numNodes; v++ {
+		if v == root {
+			continue
+		}
+		u := v
+		for u != root && visited[u] == none {
+			visited[u] = v
+			u = minFrom[u]
+		}
+		if u != root && visited[u] == v && cycleID[u] == none {
+			// Found a new cycle through u.
+			c := numCycles
+			numCycles++
+			w := u
+			for {
+				cycleID[w] = c
+				w = minFrom[w]
+				if w == u {
+					break
+				}
+			}
+		}
+	}
+	if numCycles == 0 {
+		out := make([]int, numNodes)
+		for v := 0; v < numNodes; v++ {
+			if v == root {
+				out[v] = root
+				continue
+			}
+			out[v] = minFrom[v]
+		}
+		return out, nil
+	}
+	// Contract cycles into super-nodes and recurse.
+	super := make([]int, numNodes)
+	next := numCycles
+	for v := 0; v < numNodes; v++ {
+		if cycleID[v] != none {
+			super[v] = cycleID[v]
+		} else {
+			super[v] = next
+			next++
+		}
+	}
+	var cEdges []wedge
+	var origOf []int
+	for i, e := range edges {
+		sf, st := super[e.from], super[e.to]
+		if sf == st {
+			continue
+		}
+		w := e.w
+		if cycleID[e.to] != none {
+			w -= minIn[e.to]
+		}
+		cEdges = append(cEdges, wedge{from: sf, to: st, w: w})
+		origOf = append(origOf, i)
+	}
+	subParents, err := edmondsRec(next, super[root], cEdges)
+	if err != nil {
+		return nil, err
+	}
+	// Figure out, for each contracted node, which original edge realizes the
+	// chosen incoming super-edge. Recompute by scanning contracted edges.
+	chosenOrig := make([]int, next)
+	for i := range chosenOrig {
+		chosenOrig[i] = none
+	}
+	bestW := make([]float64, next)
+	for i := range bestW {
+		bestW[i] = inf
+	}
+	for idx, ce := range cEdges {
+		if subParents[ce.to] == ce.from && ce.w < bestW[ce.to] {
+			bestW[ce.to] = ce.w
+			chosenOrig[ce.to] = origOf[idx]
+		}
+	}
+	out := make([]int, numNodes)
+	for v := range out {
+		out[v] = none
+	}
+	out[root] = root
+	// Nodes outside cycles take the chosen original edges; cycle nodes keep
+	// their cycle edges except the one broken by the entering edge.
+	for v := 0; v < numNodes; v++ {
+		if v == root {
+			continue
+		}
+		if cycleID[v] == none {
+			oi := chosenOrig[super[v]]
+			if oi == none {
+				out[v] = minFrom[v]
+			} else {
+				out[v] = edges[oi].from
+			}
+		} else {
+			out[v] = minFrom[v] // provisional: cycle edge
+		}
+	}
+	for c := 0; c < numCycles; c++ {
+		oi := chosenOrig[c]
+		if oi == none {
+			return nil, fmt.Errorf("deltastore: contracted cycle %d has no entering edge", c)
+		}
+		enter := edges[oi]
+		out[enter.to] = enter.from
+	}
+	return out, nil
+}
+
+// LMG implements the Local Move Greedy heuristic for Problems 7.3 and 7.5:
+// starting from the minimum-storage arborescence, it repeatedly applies the
+// parent swap with the best ratio of recreation-cost reduction to storage
+// increase, until the constraint is met or the budget exhausted.
+//
+// For Problem 7.3 (storage ≤ β, minimize Σ R_i) call LMG with
+// storageBudget = β and recreationTarget < 0.
+// For Problem 7.5 (Σ R_i ≤ θ, minimize storage) call with
+// recreationTarget = θ and storageBudget < 0.
+func LMG(g *Graph, storageBudget, recreationTarget float64) (Solution, error) {
+	if err := g.Validate(); err != nil {
+		return Solution{}, err
+	}
+	sol, err := MinimumStorage(g)
+	if err != nil {
+		return Solution{}, err
+	}
+	costs, err := g.Evaluate(sol)
+	if err != nil {
+		return Solution{}, err
+	}
+	if storageBudget >= 0 && costs.TotalStorage > storageBudget {
+		return Solution{}, fmt.Errorf("deltastore: storage budget %.0f below minimum possible storage %.0f", storageBudget, costs.TotalStorage)
+	}
+	for iter := 0; iter < 10000; iter++ {
+		if recreationTarget >= 0 && costs.SumRecreation <= recreationTarget {
+			break
+		}
+		move, ok := bestLMGMove(g, sol, costs, storageBudget)
+		if !ok {
+			break
+		}
+		sol.Parent[move.v] = move.newParent
+		costs, err = g.Evaluate(sol)
+		if err != nil {
+			return Solution{}, err
+		}
+	}
+	if recreationTarget >= 0 && costs.SumRecreation > recreationTarget {
+		return Solution{}, fmt.Errorf("deltastore: cannot reach total recreation target %.0f (best %.0f)", recreationTarget, costs.SumRecreation)
+	}
+	return sol, nil
+}
+
+type lmgMove struct {
+	v         int
+	newParent int
+	ratio     float64
+}
+
+// bestLMGMove finds the parent swap with the highest recreation-reduction
+// per unit of added storage that stays within the storage budget (if any).
+func bestLMGMove(g *Graph, sol Solution, costs Costs, storageBudget float64) (lmgMove, bool) {
+	n := g.NumVersions()
+	// Count descendants (including self) of every node in the current tree:
+	// changing v's parent shifts the recreation cost of v's whole subtree.
+	children := make([][]int, n+1)
+	for v := 1; v <= n; v++ {
+		p := sol.Parent[v]
+		if p >= 0 {
+			children[p] = append(children[p], v)
+		}
+	}
+	subtreeSize := make([]float64, n+1)
+	var count func(v int) float64
+	count = func(v int) float64 {
+		s := 1.0
+		for _, c := range children[v] {
+			s += count(c)
+		}
+		subtreeSize[v] = s
+		return s
+	}
+	for _, c := range children[Root] {
+		count(c)
+	}
+	inSubtree := func(root, x int) bool {
+		for cur := x; cur != Root; cur = sol.Parent[cur] {
+			if cur == root {
+				return true
+			}
+			if sol.Parent[cur] < 0 {
+				return false
+			}
+		}
+		return false
+	}
+
+	best := lmgMove{ratio: 0}
+	found := false
+	for v := 1; v <= n; v++ {
+		curEdge, _ := g.Delta(sol.Parent[v], v)
+		for _, e := range g.InEdges(v) {
+			if e.From == sol.Parent[v] {
+				continue
+			}
+			// The new parent must not be in v's subtree (would create a cycle).
+			if e.From != Root && inSubtree(v, e.From) {
+				continue
+			}
+			addedStorage := e.Storage - curEdge.Storage
+			newRecreation := costs.Recreation[e.From] + e.Recreation
+			deltaPerNode := costs.Recreation[v] - newRecreation
+			if deltaPerNode <= 0 {
+				continue
+			}
+			totalReduction := deltaPerNode * subtreeSize[v]
+			if storageBudget >= 0 && costs.TotalStorage+addedStorage > storageBudget {
+				continue
+			}
+			var ratio float64
+			if addedStorage <= 0 {
+				ratio = inf
+			} else {
+				ratio = totalReduction / addedStorage
+			}
+			if !found || ratio > best.ratio {
+				found = true
+				best = lmgMove{v: v, newParent: e.From, ratio: ratio}
+			}
+		}
+	}
+	return best, found
+}
+
+// MP implements the Modified Prim heuristic for Problems 7.4 and 7.6: grow
+// the storage graph from the dummy root, always adding the version reachable
+// with the smallest storage cost among those whose recreation cost would stay
+// within maxRecreation.
+func MP(g *Graph, maxRecreation float64) (Solution, error) {
+	if err := g.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := g.NumVersions()
+	sol := NewSolution(n)
+	recreation := make([]float64, n+1)
+	inTree := make([]bool, n+1)
+	inTree[Root] = true
+	out := make([][]Edge, n+1)
+	for _, e := range g.Edges() {
+		out[e.From] = append(out[e.From], e)
+	}
+	for added := 0; added < n; added++ {
+		bestStorage := inf
+		var bestEdge Edge
+		found := false
+		for from := 0; from <= n; from++ {
+			if !inTree[from] {
+				continue
+			}
+			for _, e := range out[from] {
+				if inTree[e.To] {
+					continue
+				}
+				if recreation[from]+e.Recreation > maxRecreation {
+					continue
+				}
+				if e.Storage < bestStorage {
+					bestStorage = e.Storage
+					bestEdge = e
+					found = true
+				}
+			}
+		}
+		if !found {
+			return Solution{}, fmt.Errorf("deltastore: max recreation %.0f infeasible: some version cannot even be materialized within it", maxRecreation)
+		}
+		sol.Parent[bestEdge.To] = bestEdge.From
+		recreation[bestEdge.To] = recreation[bestEdge.From] + bestEdge.Recreation
+		inTree[bestEdge.To] = true
+	}
+	return sol, nil
+}
+
+// LAST implements the balanced spanning-tree construction for the undirected,
+// proportional case (Problems 7.4/7.6 when Φ = ∆ and deltas are symmetric):
+// starting from the minimum spanning tree it traverses versions in DFS order
+// and re-roots any version whose recreation cost exceeds alpha times its
+// shortest-path cost, yielding recreation ≤ alpha·SP(v) for every v and total
+// storage ≤ (1 + 2/(alpha-1))·MST.
+func LAST(g *Graph, alpha float64) (Solution, error) {
+	if alpha <= 1 {
+		return Solution{}, fmt.Errorf("deltastore: LAST requires alpha > 1, got %g", alpha)
+	}
+	if err := g.Validate(); err != nil {
+		return Solution{}, err
+	}
+	mst, err := MinimumStorage(g)
+	if err != nil {
+		return Solution{}, err
+	}
+	spt, err := MinimumRecreation(g)
+	if err != nil {
+		return Solution{}, err
+	}
+	sptCosts, err := g.Evaluate(spt)
+	if err != nil {
+		return Solution{}, err
+	}
+	sol := mst.Clone()
+	n := g.NumVersions()
+	children := make([][]int, n+1)
+	for v := 1; v <= n; v++ {
+		children[mst.Parent[v]] = append(children[mst.Parent[v]], v)
+	}
+	for p := range children {
+		sort.Ints(children[p])
+	}
+	recreation := make([]float64, n+1)
+	// DFS over the MST from the root; fix up nodes whose accumulated
+	// recreation exceeds alpha times their shortest-path recreation.
+	var dfs func(v int)
+	dfs = func(v int) {
+		if v != Root {
+			e, _ := g.Delta(sol.Parent[v], v)
+			recreation[v] = recreation[sol.Parent[v]] + e.Recreation
+			if recreation[v] > alpha*sptCosts.Recreation[v] {
+				sol.Parent[v] = spt.Parent[v]
+				recreation[v] = sptCosts.Recreation[v]
+			}
+		}
+		for _, c := range children[v] {
+			dfs(c)
+		}
+	}
+	dfs(Root)
+	return sol, nil
+}
+
+// MinSumRecreationUnderStorage solves Problem 7.3 (minimize Σ R_i subject to
+// total storage ≤ beta) with LMG.
+func MinSumRecreationUnderStorage(g *Graph, beta float64) (Solution, error) {
+	return LMG(g, beta, -1)
+}
+
+// MinStorageUnderSumRecreation solves Problem 7.5 (minimize storage subject
+// to Σ R_i ≤ theta) with LMG.
+func MinStorageUnderSumRecreation(g *Graph, theta float64) (Solution, error) {
+	return LMG(g, -1, theta)
+}
+
+// MinMaxRecreationUnderStorage solves Problem 7.4 (minimize max R_i subject
+// to storage ≤ beta) by binary searching the max-recreation target over MP.
+func MinMaxRecreationUnderStorage(g *Graph, beta float64) (Solution, error) {
+	if err := g.Validate(); err != nil {
+		return Solution{}, err
+	}
+	spt, err := MinimumRecreation(g)
+	if err != nil {
+		return Solution{}, err
+	}
+	sptCosts, err := g.Evaluate(spt)
+	if err != nil {
+		return Solution{}, err
+	}
+	lo := sptCosts.MaxRecreation // cannot do better than the SPT bound
+	hi := lo
+	// Find a feasible upper bound by doubling.
+	var best Solution
+	feasible := false
+	for i := 0; i < 60; i++ {
+		sol, err := MP(g, hi)
+		if err == nil {
+			costs, evalErr := g.Evaluate(sol)
+			if evalErr == nil && costs.TotalStorage <= beta {
+				best = sol
+				feasible = true
+				break
+			}
+		}
+		hi *= 2
+	}
+	if !feasible {
+		return Solution{}, fmt.Errorf("deltastore: storage budget %.0f infeasible for Problem 7.4", beta)
+	}
+	// Binary search the smallest max-recreation bound still within budget.
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		sol, err := MP(g, mid)
+		if err == nil {
+			costs, evalErr := g.Evaluate(sol)
+			if evalErr == nil && costs.TotalStorage <= beta {
+				best = sol
+				hi = mid
+				continue
+			}
+		}
+		lo = mid
+	}
+	// The minimum-storage arborescence is itself feasible whenever
+	// beta ≥ its storage; keep whichever feasible solution has the lower max
+	// recreation so the heuristic never loses to that trivial baseline.
+	if mst, err := MinimumStorage(g); err == nil {
+		if mstCosts, err := g.Evaluate(mst); err == nil && mstCosts.TotalStorage <= beta {
+			bestCosts, err := g.Evaluate(best)
+			if err != nil || mstCosts.MaxRecreation < bestCosts.MaxRecreation {
+				best = mst
+			}
+		}
+	}
+	return best, nil
+}
+
+// MinStorageUnderMaxRecreation solves Problem 7.6 (minimize storage subject
+// to max R_i ≤ theta) with MP.
+func MinStorageUnderMaxRecreation(g *Graph, theta float64) (Solution, error) {
+	return MP(g, theta)
+}

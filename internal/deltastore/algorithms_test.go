@@ -1,0 +1,473 @@
+package deltastore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// figure71Graph builds the example of Figure 7.1/7.3: five versions with the
+// annotated storage and recreation costs.
+func figure71Graph(t testing.TB) *Graph {
+	t.Helper()
+	g := NewGraph(5)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.SetMaterialization(1, 10000, 10000))
+	must(g.SetMaterialization(2, 10100, 10100))
+	must(g.SetMaterialization(3, 9700, 9700))
+	must(g.SetMaterialization(4, 9800, 9800))
+	must(g.SetMaterialization(5, 10120, 10120))
+	must(g.SetDelta(1, 2, 200, 200))
+	must(g.SetDelta(1, 3, 1000, 3000))
+	must(g.SetDelta(2, 4, 50, 400))
+	must(g.SetDelta(3, 5, 800, 2500))
+	must(g.SetDelta(2, 5, 200, 550))
+	// Extra revealed entries from Figure 7.2.
+	must(g.SetDelta(2, 1, 500, 600))
+	must(g.SetDelta(3, 2, 1100, 3200))
+	must(g.SetDelta(5, 4, 800, 2300))
+	must(g.SetDelta(4, 5, 900, 2500))
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := figure71Graph(t)
+	if g.NumVersions() != 5 {
+		t.Fatalf("n = %d", g.NumVersions())
+	}
+	if e, ok := g.Delta(1, 3); !ok || e.Storage != 1000 || e.Recreation != 3000 {
+		t.Errorf("Delta(1,3) = %+v, %v", e, ok)
+	}
+	if len(g.InEdges(5)) != 4 {
+		t.Errorf("InEdges(5) = %v", g.InEdges(5))
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := g.SetDelta(1, 1, 5, 5); err == nil {
+		t.Error("self delta should fail")
+	}
+	if err := g.SetDelta(0, 99, 5, 5); err == nil {
+		t.Error("out-of-range delta should fail")
+	}
+	if err := g.SetDelta(1, 2, -5, 5); err == nil {
+		t.Error("negative cost should fail")
+	}
+	bad := NewGraph(2)
+	_ = bad.SetMaterialization(1, 10, 10)
+	if err := bad.Validate(); err == nil {
+		t.Error("missing materialization should fail validation")
+	}
+}
+
+func TestEvaluateSolution(t *testing.T) {
+	g := figure71Graph(t)
+	// Figure 7.1(iii): only v1 materialized.
+	sol := NewSolution(5)
+	sol.Parent[1] = Root
+	sol.Parent[2] = 1
+	sol.Parent[3] = 1
+	sol.Parent[4] = 2
+	sol.Parent[5] = 3
+	costs, err := g.Evaluate(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs.TotalStorage != 10000+200+1000+50+800 {
+		t.Errorf("storage = %g, want 12050", costs.TotalStorage)
+	}
+	if costs.Recreation[5] != 10000+3000+2500 {
+		t.Errorf("R(5) = %g, want 15500", costs.Recreation[5])
+	}
+	if costs.MaxRecreation != 15500 {
+		t.Errorf("max recreation = %g, want 15500", costs.MaxRecreation)
+	}
+	// Figure 7.1(ii): everything materialized.
+	all := NewSolution(5)
+	for v := 1; v <= 5; v++ {
+		all.Parent[v] = Root
+	}
+	costsAll, err := g.Evaluate(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costsAll.TotalStorage != 49720 {
+		t.Errorf("storage = %g, want 49720", costsAll.TotalStorage)
+	}
+	if costsAll.MaxRecreation != 10120 {
+		t.Errorf("max recreation = %g, want 10120", costsAll.MaxRecreation)
+	}
+}
+
+func TestEvaluateRejectsBadSolutions(t *testing.T) {
+	g := figure71Graph(t)
+	missing := NewSolution(5)
+	missing.Parent[1] = Root
+	if _, err := g.Evaluate(missing); err == nil {
+		t.Error("solution with unset parents should fail")
+	}
+	cycle := NewSolution(5)
+	cycle.Parent[1] = 2
+	cycle.Parent[2] = 1
+	cycle.Parent[3] = Root
+	cycle.Parent[4] = 3
+	cycle.Parent[5] = 3
+	if _, err := g.Evaluate(cycle); err == nil {
+		t.Error("cyclic solution should fail")
+	}
+	unknown := NewSolution(5)
+	for v := 1; v <= 5; v++ {
+		unknown.Parent[v] = Root
+	}
+	unknown.Parent[4] = 5 // (5,4) exists... use a truly unknown edge
+	unknown.Parent[3] = 4
+	if _, err := g.Evaluate(unknown); err == nil {
+		t.Error("solution using unknown edge should fail")
+	}
+	wrongSize := Solution{Parent: []int{0, 0}}
+	if _, err := g.Evaluate(wrongSize); err == nil {
+		t.Error("wrong-size solution should fail")
+	}
+}
+
+func TestMinimumStorage(t *testing.T) {
+	g := figure71Graph(t)
+	sol, err := MinimumStorage(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, err := g.Evaluate(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The minimum-storage solution materializes only v1 and chains the rest:
+	// 10000 + 200 (1→2) + 1000 (1→3) + 50 (2→4) + 200 (2→5) = 11450.
+	if costs.TotalStorage != 11450 {
+		t.Errorf("minimum storage = %g, want 11450", costs.TotalStorage)
+	}
+	if got := sol.Materialized(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("materialized = %v, want [1]", got)
+	}
+}
+
+func TestMinimumRecreation(t *testing.T) {
+	g := figure71Graph(t)
+	sol, err := MinimumRecreation(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, err := g.Evaluate(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shortest-path tree gives every version its cheapest recreation:
+	// R(2) = min(10100, 10000+200) = 10100? no: 10200 vs 10100 -> materialize.
+	if costs.Recreation[2] != 10100 {
+		t.Errorf("R(2) = %g, want 10100", costs.Recreation[2])
+	}
+	if costs.Recreation[4] != 9800 {
+		t.Errorf("R(4) = %g, want 9800 (materialized)", costs.Recreation[4])
+	}
+	// Every recreation cost is no worse than materializing that version.
+	for v := 1; v <= 5; v++ {
+		mat, _ := g.Delta(Root, v)
+		if costs.Recreation[v] > mat.Recreation {
+			t.Errorf("R(%d) = %g exceeds materialization cost %g", v, costs.Recreation[v], mat.Recreation)
+		}
+	}
+}
+
+func TestLMGStorageBudget(t *testing.T) {
+	g := figure71Graph(t)
+	minSol, _ := MinimumStorage(g)
+	minCosts, _ := g.Evaluate(minSol)
+	// Give 2× the minimum storage: LMG should spend it to cut recreation.
+	budget := 2 * minCosts.TotalStorage
+	sol, err := MinSumRecreationUnderStorage(g, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, err := g.Evaluate(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs.TotalStorage > budget {
+		t.Errorf("LMG storage %g exceeds budget %g", costs.TotalStorage, budget)
+	}
+	if costs.SumRecreation > minCosts.SumRecreation {
+		t.Errorf("LMG sum recreation %g worse than MST baseline %g", costs.SumRecreation, minCosts.SumRecreation)
+	}
+	// Budget below the minimum is infeasible.
+	if _, err := MinSumRecreationUnderStorage(g, minCosts.TotalStorage/2); err == nil {
+		t.Error("infeasible budget should fail")
+	}
+}
+
+func TestLMGRecreationTarget(t *testing.T) {
+	g := figure71Graph(t)
+	sptSol, _ := MinimumRecreation(g)
+	sptCosts, _ := g.Evaluate(sptSol)
+	mstSol, _ := MinimumStorage(g)
+	mstCosts, _ := g.Evaluate(mstSol)
+	// Target halfway between the two extremes.
+	theta := (sptCosts.SumRecreation + mstCosts.SumRecreation) / 2
+	sol, err := MinStorageUnderSumRecreation(g, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, _ := g.Evaluate(sol)
+	if costs.SumRecreation > theta {
+		t.Errorf("sum recreation %g exceeds target %g", costs.SumRecreation, theta)
+	}
+	if costs.TotalStorage > mstCosts.TotalStorage*3 {
+		t.Errorf("storage %g unreasonably high (MST is %g)", costs.TotalStorage, mstCosts.TotalStorage)
+	}
+	// Unreachable target fails.
+	if _, err := MinStorageUnderSumRecreation(g, sptCosts.SumRecreation/2); err == nil {
+		t.Error("unreachable recreation target should fail")
+	}
+}
+
+func TestMPMaxRecreation(t *testing.T) {
+	g := figure71Graph(t)
+	sptSol, _ := MinimumRecreation(g)
+	sptCosts, _ := g.Evaluate(sptSol)
+	theta := sptCosts.MaxRecreation * 1.3
+	sol, err := MinStorageUnderMaxRecreation(g, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, err := g.Evaluate(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs.MaxRecreation > theta {
+		t.Errorf("max recreation %g exceeds θ %g", costs.MaxRecreation, theta)
+	}
+	mstSol, _ := MinimumStorage(g)
+	mstCosts, _ := g.Evaluate(mstSol)
+	if costs.TotalStorage < mstCosts.TotalStorage {
+		t.Errorf("MP storage %g below the MST lower bound %g", costs.TotalStorage, mstCosts.TotalStorage)
+	}
+	// θ below the cheapest materialization is infeasible.
+	if _, err := MinStorageUnderMaxRecreation(g, 1); err == nil {
+		t.Error("tiny θ should be infeasible")
+	}
+}
+
+func TestMinMaxRecreationUnderStorage(t *testing.T) {
+	g := figure71Graph(t)
+	mstSol, _ := MinimumStorage(g)
+	mstCosts, _ := g.Evaluate(mstSol)
+	beta := mstCosts.TotalStorage * 2
+	sol, err := MinMaxRecreationUnderStorage(g, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, _ := g.Evaluate(sol)
+	if costs.TotalStorage > beta {
+		t.Errorf("storage %g exceeds β %g", costs.TotalStorage, beta)
+	}
+	if costs.MaxRecreation > mstCosts.MaxRecreation {
+		t.Errorf("max recreation %g should not exceed the MST's %g", costs.MaxRecreation, mstCosts.MaxRecreation)
+	}
+	if _, err := MinMaxRecreationUnderStorage(g, 1); err == nil {
+		t.Error("infeasible β should fail")
+	}
+}
+
+func TestLAST(t *testing.T) {
+	// Undirected, Φ = ∆ scenario: build a symmetric graph.
+	g := NewGraph(4)
+	sizes := []float64{0, 1000, 1010, 1020, 1030}
+	for v := 1; v <= 4; v++ {
+		if err := g.SetMaterialization(v, sizes[v], sizes[v]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sym := func(a, b int, w float64) {
+		if err := g.SetDelta(a, b, w, w); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.SetDelta(b, a, w, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sym(1, 2, 10)
+	sym(2, 3, 10)
+	sym(3, 4, 10)
+	sym(1, 4, 500)
+	alpha := 2.0
+	sol, err := LAST(g, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, err := g.Evaluate(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spt, _ := MinimumRecreation(g)
+	sptCosts, _ := g.Evaluate(spt)
+	mst, _ := MinimumStorage(g)
+	mstCosts, _ := g.Evaluate(mst)
+	for v := 1; v <= 4; v++ {
+		if costs.Recreation[v] > alpha*sptCosts.Recreation[v]+1e-9 {
+			t.Errorf("LAST R(%d) = %g exceeds α·SP = %g", v, costs.Recreation[v], alpha*sptCosts.Recreation[v])
+		}
+	}
+	bound := (1 + 2/(alpha-1)) * mstCosts.TotalStorage
+	if costs.TotalStorage > bound+1e-9 {
+		t.Errorf("LAST storage %g exceeds bound %g", costs.TotalStorage, bound)
+	}
+	if _, err := LAST(g, 1.0); err == nil {
+		t.Error("alpha <= 1 should fail")
+	}
+}
+
+func TestExactSolverAgreesOnSmallInstance(t *testing.T) {
+	g := figure71Graph(t)
+	theta := 16000.0
+	exact, err := ExactMinStorageUnderMaxRecreation(g, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactCosts, _ := g.Evaluate(exact)
+	heur, err := MinStorageUnderMaxRecreation(g, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heurCosts, _ := g.Evaluate(heur)
+	if exactCosts.MaxRecreation > theta || heurCosts.MaxRecreation > theta {
+		t.Fatal("both solutions must satisfy the constraint")
+	}
+	if heurCosts.TotalStorage < exactCosts.TotalStorage-1e-9 {
+		t.Errorf("heuristic %g beat the exact optimum %g: exact solver is broken", heurCosts.TotalStorage, exactCosts.TotalStorage)
+	}
+	// MP stays within 2x of optimal on this instance.
+	if heurCosts.TotalStorage > 2*exactCosts.TotalStorage {
+		t.Errorf("MP storage %g more than 2× the optimum %g", heurCosts.TotalStorage, exactCosts.TotalStorage)
+	}
+	if _, err := ExactMinStorageUnderMaxRecreation(g, 1); err == nil {
+		t.Error("infeasible θ should fail")
+	}
+	big := NewGraph(9)
+	for v := 1; v <= 9; v++ {
+		_ = big.SetMaterialization(v, 1, 1)
+	}
+	if _, err := ExactMinStorageUnderMaxRecreation(big, 10); err == nil {
+		t.Error("exact solver should refuse more than 8 versions")
+	}
+}
+
+func TestRecreationPath(t *testing.T) {
+	sol := NewSolution(3)
+	sol.Parent[1] = Root
+	sol.Parent[2] = 1
+	sol.Parent[3] = 2
+	path, err := sol.RecreationPath(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[0] != 1 || path[2] != 3 {
+		t.Errorf("path = %v, want [1 2 3]", path)
+	}
+	if _, err := sol.RecreationPath(99); err == nil {
+		t.Error("out-of-range version should fail")
+	}
+	orphan := NewSolution(2)
+	orphan.Parent[1] = Root
+	if _, err := orphan.RecreationPath(2); err == nil {
+		t.Error("orphan version should fail")
+	}
+}
+
+// Property: for random symmetric graphs, the storage-constrained LMG solution
+// respects its budget and MST ≤ LMG storage ≤ budget; the recreation of the
+// SPT lower-bounds everything.
+func TestAlgorithmBoundsProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := 5
+		g := NewGraph(n)
+		rnd := func(x uint8, i, j int) float64 {
+			return float64(50 + int(x)*(i*7+j*13)%950)
+		}
+		for v := 1; v <= n; v++ {
+			full := 1000 + rnd(seed, v, v)
+			if err := g.SetMaterialization(v, full, full); err != nil {
+				return false
+			}
+		}
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				if i == j {
+					continue
+				}
+				w := rnd(seed, i, j)
+				if err := g.SetDelta(i, j, w, w); err != nil {
+					return false
+				}
+			}
+		}
+		mst, err := MinimumStorage(g)
+		if err != nil {
+			return false
+		}
+		mstCosts, err := g.Evaluate(mst)
+		if err != nil {
+			return false
+		}
+		spt, err := MinimumRecreation(g)
+		if err != nil {
+			return false
+		}
+		sptCosts, err := g.Evaluate(spt)
+		if err != nil {
+			return false
+		}
+		if sptCosts.SumRecreation > mstCosts.SumRecreation+1e-6 {
+			return false // SPT must minimize recreation
+		}
+		if mstCosts.TotalStorage > sptCosts.TotalStorage+1e-6 {
+			return false // MST must minimize storage
+		}
+		budget := mstCosts.TotalStorage * 1.5
+		lmg, err := MinSumRecreationUnderStorage(g, budget)
+		if err != nil {
+			return false
+		}
+		lmgCosts, err := g.Evaluate(lmg)
+		if err != nil {
+			return false
+		}
+		if lmgCosts.TotalStorage > budget+1e-6 {
+			return false
+		}
+		return lmgCosts.SumRecreation <= mstCosts.SumRecreation+1e-6 &&
+			lmgCosts.SumRecreation >= sptCosts.SumRecreation-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaterializedAndClone(t *testing.T) {
+	sol := NewSolution(3)
+	sol.Parent[1] = Root
+	sol.Parent[2] = 1
+	sol.Parent[3] = Root
+	if got := sol.Materialized(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("Materialized = %v", got)
+	}
+	cl := sol.Clone()
+	cl.Parent[2] = Root
+	if sol.Parent[2] != 1 {
+		t.Error("Clone shares storage")
+	}
+	if math.IsInf(inf, -1) {
+		t.Error("inf sentinel must be +Inf")
+	}
+}

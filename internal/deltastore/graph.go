@@ -1,0 +1,238 @@
+// Package deltastore implements the compact storage engine for arbitrary
+// data versioning of Chapter 7: given a collection of versions (of any
+// format) and the storage / recreation costs of storing each version fully or
+// as a delta from another version, it chooses a storage graph — which
+// versions to materialize and which to store as deltas — trading off total
+// storage cost against version recreation cost.
+//
+// The package provides the six problem variants of Table 7.1 and the
+// algorithms the chapter proposes: minimum spanning tree / arborescence
+// (Problem 7.1), shortest path tree (Problem 7.2), the LMG local-move greedy
+// heuristic (Problems 7.3/7.5), the MP modified-Prim heuristic (Problems
+// 7.4/7.6), the LAST balanced-tree construction for the undirected
+// proportional case, and an exact solver for tiny instances used to validate
+// the heuristics.
+package deltastore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// VersionID identifies a version; the dummy root is version 0.
+const Root = 0
+
+// Edge describes one way to obtain version To: either materialized fully
+// (From == Root) or as a delta from version From. Storage is the bytes
+// needed to store the delta (or the full version), Recreation the time/cost
+// to recreate To given From is available.
+type Edge struct {
+	From, To   int
+	Storage    float64
+	Recreation float64
+}
+
+// Graph is the candidate storage graph: all known edges, including the
+// materialization edges from the dummy root. Version ids are 1..N.
+type Graph struct {
+	n     int
+	edges map[[2]int]Edge
+}
+
+// NewGraph creates a graph over n versions (ids 1..n).
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, edges: make(map[[2]int]Edge)}
+}
+
+// NumVersions returns the number of versions (excluding the dummy root).
+func (g *Graph) NumVersions() int { return g.n }
+
+// SetMaterialization records the cost of storing version v in full.
+func (g *Graph) SetMaterialization(v int, storage, recreation float64) error {
+	return g.SetDelta(Root, v, storage, recreation)
+}
+
+// SetDelta records the cost of storing version to as a delta from version
+// from. Costs must be non-negative.
+func (g *Graph) SetDelta(from, to int, storage, recreation float64) error {
+	if to < 1 || to > g.n || from < 0 || from > g.n {
+		return fmt.Errorf("deltastore: edge (%d,%d) out of range [0..%d]", from, to, g.n)
+	}
+	if from == to {
+		return fmt.Errorf("deltastore: self delta on version %d", to)
+	}
+	if storage < 0 || recreation < 0 {
+		return fmt.Errorf("deltastore: negative cost on edge (%d,%d)", from, to)
+	}
+	g.edges[[2]int{from, to}] = Edge{From: from, To: to, Storage: storage, Recreation: recreation}
+	return nil
+}
+
+// Delta returns the edge from→to if known.
+func (g *Graph) Delta(from, to int) (Edge, bool) {
+	e, ok := g.edges[[2]int{from, to}]
+	return e, ok
+}
+
+// Edges returns all edges sorted by (from, to).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// InEdges returns all edges into version v.
+func (g *Graph) InEdges(v int) []Edge {
+	var out []Edge
+	for _, e := range g.edges {
+		if e.To == v {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out
+}
+
+// Validate checks that every version has at least a materialization edge, so
+// a feasible solution always exists.
+func (g *Graph) Validate() error {
+	for v := 1; v <= g.n; v++ {
+		if _, ok := g.Delta(Root, v); !ok {
+			return fmt.Errorf("deltastore: version %d has no materialization cost", v)
+		}
+	}
+	return nil
+}
+
+// Solution is a storage graph: Parent[v] tells how version v is stored —
+// Root means materialized, any other value means stored as a delta from that
+// version. A valid solution is a spanning tree (arborescence) rooted at the
+// dummy root (Lemma 7.1).
+type Solution struct {
+	Parent []int // indexed 1..n; Parent[0] unused
+}
+
+// NewSolution allocates a solution for n versions with all parents unset (-1).
+func NewSolution(n int) Solution {
+	p := make([]int, n+1)
+	for i := range p {
+		p[i] = -1
+	}
+	p[0] = 0
+	return Solution{Parent: p}
+}
+
+// Costs summarizes a solution's objective values.
+type Costs struct {
+	// TotalStorage is C, the total storage cost.
+	TotalStorage float64
+	// Recreation[v] is R_v, the cost of recreating version v along its path
+	// from a materialized version.
+	Recreation []float64
+	// SumRecreation is Σ R_v.
+	SumRecreation float64
+	// MaxRecreation is max_v R_v.
+	MaxRecreation float64
+}
+
+// Evaluate computes the costs of a solution against the graph. It errors if
+// the solution is not a valid spanning tree or uses unknown edges.
+func (g *Graph) Evaluate(s Solution) (Costs, error) {
+	if len(s.Parent) != g.n+1 {
+		return Costs{}, fmt.Errorf("deltastore: solution covers %d versions, graph has %d", len(s.Parent)-1, g.n)
+	}
+	c := Costs{Recreation: make([]float64, g.n+1)}
+	// Verify tree structure and compute recreation by walking to the root
+	// with memoization.
+	state := make([]int, g.n+1) // 0 = unvisited, 1 = in progress, 2 = done
+	var visit func(v int) error
+	visit = func(v int) error {
+		if v == Root || state[v] == 2 {
+			return nil
+		}
+		if state[v] == 1 {
+			return fmt.Errorf("deltastore: cycle detected at version %d", v)
+		}
+		state[v] = 1
+		p := s.Parent[v]
+		if p < 0 {
+			return fmt.Errorf("deltastore: version %d has no parent", v)
+		}
+		e, ok := g.Delta(p, v)
+		if !ok {
+			return fmt.Errorf("deltastore: solution uses unknown edge (%d,%d)", p, v)
+		}
+		if err := visit(p); err != nil {
+			return err
+		}
+		c.Recreation[v] = c.Recreation[p] + e.Recreation
+		c.TotalStorage += e.Storage
+		state[v] = 2
+		return nil
+	}
+	for v := 1; v <= g.n; v++ {
+		if err := visit(v); err != nil {
+			return Costs{}, err
+		}
+	}
+	for v := 1; v <= g.n; v++ {
+		c.SumRecreation += c.Recreation[v]
+		if c.Recreation[v] > c.MaxRecreation {
+			c.MaxRecreation = c.Recreation[v]
+		}
+	}
+	return c, nil
+}
+
+// Materialized returns the versions stored in full, sorted.
+func (s Solution) Materialized() []int {
+	var out []int
+	for v := 1; v < len(s.Parent); v++ {
+		if s.Parent[v] == Root {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Clone returns a copy of the solution.
+func (s Solution) Clone() Solution {
+	p := make([]int, len(s.Parent))
+	copy(p, s.Parent)
+	return Solution{Parent: p}
+}
+
+// RecreationPath returns the chain of versions applied to recreate v,
+// starting from the materialized ancestor and ending at v.
+func (s Solution) RecreationPath(v int) ([]int, error) {
+	if v < 1 || v >= len(s.Parent) {
+		return nil, fmt.Errorf("deltastore: version %d out of range", v)
+	}
+	var rev []int
+	for cur := v; cur != Root; cur = s.Parent[cur] {
+		if s.Parent[cur] < 0 {
+			return nil, fmt.Errorf("deltastore: version %d is not connected to the root", cur)
+		}
+		rev = append(rev, cur)
+		if len(rev) > len(s.Parent) {
+			return nil, fmt.Errorf("deltastore: cycle while recreating version %d", v)
+		}
+	}
+	// reverse
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// inf is a large sentinel cost.
+var inf = math.Inf(1)

@@ -1,0 +1,261 @@
+package deltastore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Store ties the abstract storage-graph optimization to real version
+// contents: it holds the raw bytes of every version, builds the candidate
+// graph with a delta encoder (revealing matrix entries only for requested
+// pairs, Section 7.2.1), runs one of the algorithms, and can then physically
+// materialize the chosen storage graph and recreate any version from it.
+type Store struct {
+	encoder  Encoder
+	contents map[int][]byte
+	n        int
+	// RecreationPerByte scales a delta's byte size into its recreation cost
+	// (Scenario 7.1/7.2 uses 1.0; setting a different value models Φ ≠ ∆).
+	RecreationPerByte float64
+	// MaterializeRecreationPerByte scales a full version's size into its
+	// recreation cost.
+	MaterializeRecreationPerByte float64
+
+	graph *Graph
+
+	// Physical state after Build: stored blobs per version (either full
+	// content or a delta) and the chosen solution.
+	solution Solution
+	blobs    map[int][]byte
+	built    bool
+}
+
+// NewStore creates a store using the given encoder.
+func NewStore(encoder Encoder) *Store {
+	return &Store{
+		encoder:                      encoder,
+		contents:                     make(map[int][]byte),
+		RecreationPerByte:            1,
+		MaterializeRecreationPerByte: 1,
+		blobs:                        make(map[int][]byte),
+	}
+}
+
+// AddVersion registers a version's content and returns its id (1-based,
+// assigned sequentially).
+func (s *Store) AddVersion(content []byte) int {
+	s.n++
+	c := make([]byte, len(content))
+	copy(c, content)
+	s.contents[s.n] = c
+	s.built = false
+	return s.n
+}
+
+// NumVersions returns the number of registered versions.
+func (s *Store) NumVersions() int { return s.n }
+
+// Content returns the original content of a version.
+func (s *Store) Content(v int) ([]byte, bool) {
+	c, ok := s.contents[v]
+	return c, ok
+}
+
+// BuildGraph computes the candidate storage graph. pairs lists the (from,
+// to) version pairs whose deltas should be computed (typically the version
+// graph's derivation edges plus a few "nearby" pairs); when pairs is nil all
+// ordered pairs are computed, which is only feasible for small collections.
+// Materialization edges are always included.
+func (s *Store) BuildGraph(pairs [][2]int) (*Graph, error) {
+	if s.n == 0 {
+		return nil, fmt.Errorf("deltastore: no versions registered")
+	}
+	g := NewGraph(s.n)
+	for v := 1; v <= s.n; v++ {
+		size := float64(len(s.contents[v]))
+		if err := g.SetMaterialization(v, size, size*s.MaterializeRecreationPerByte); err != nil {
+			return nil, err
+		}
+	}
+	if pairs == nil {
+		for from := 1; from <= s.n; from++ {
+			for to := 1; to <= s.n; to++ {
+				if from != to {
+					pairs = append(pairs, [2]int{from, to})
+				}
+			}
+		}
+	}
+	for _, p := range pairs {
+		from, to := p[0], p[1]
+		if from < 1 || from > s.n || to < 1 || to > s.n || from == to {
+			return nil, fmt.Errorf("deltastore: invalid delta pair (%d,%d)", from, to)
+		}
+		delta := s.encoder.Diff(s.contents[from], s.contents[to])
+		size := float64(len(delta))
+		if err := g.SetDelta(from, to, size, size*s.RecreationPerByte); err != nil {
+			return nil, err
+		}
+	}
+	s.graph = g
+	return g, nil
+}
+
+// Graph returns the most recently built candidate graph.
+func (s *Store) Graph() *Graph { return s.graph }
+
+// Build materializes a solution physically: materialized versions are stored
+// in full and delta versions as encoded deltas from their parents.
+func (s *Store) Build(sol Solution) error {
+	if s.graph == nil {
+		return fmt.Errorf("deltastore: BuildGraph must be called before Build")
+	}
+	if _, err := s.graph.Evaluate(sol); err != nil {
+		return err
+	}
+	blobs := make(map[int][]byte, s.n)
+	for v := 1; v <= s.n; v++ {
+		p := sol.Parent[v]
+		if p == Root {
+			blob := make([]byte, len(s.contents[v]))
+			copy(blob, s.contents[v])
+			blobs[v] = blob
+			continue
+		}
+		blobs[v] = s.encoder.Diff(s.contents[p], s.contents[v])
+	}
+	s.solution = sol.Clone()
+	s.blobs = blobs
+	s.built = true
+	return nil
+}
+
+// StorageBytes returns the physical bytes consumed by the built store.
+func (s *Store) StorageBytes() (int64, error) {
+	if !s.built {
+		return 0, fmt.Errorf("deltastore: store not built")
+	}
+	var total int64
+	for _, b := range s.blobs {
+		total += int64(len(b))
+	}
+	return total, nil
+}
+
+// Recreate reconstructs a version from the physically built store by
+// applying the delta chain from its materialized ancestor. It also returns
+// the number of bytes read along the chain (the measured recreation cost).
+func (s *Store) Recreate(v int) ([]byte, int64, error) {
+	if !s.built {
+		return nil, 0, fmt.Errorf("deltastore: store not built")
+	}
+	path, err := s.solution.RecreationPath(v)
+	if err != nil {
+		return nil, 0, err
+	}
+	var current []byte
+	var bytesRead int64
+	for _, step := range path {
+		blob := s.blobs[step]
+		bytesRead += int64(len(blob))
+		if s.solution.Parent[step] == Root {
+			current = append([]byte(nil), blob...)
+			continue
+		}
+		next, err := s.encoder.Apply(current, blob)
+		if err != nil {
+			return nil, bytesRead, fmt.Errorf("deltastore: applying delta for version %d: %w", step, err)
+		}
+		current = next
+	}
+	return current, bytesRead, nil
+}
+
+// Verify recreates every version and checks it matches the original content
+// byte for byte (after newline normalization for line-oriented encoders).
+func (s *Store) Verify() error {
+	for v := 1; v <= s.n; v++ {
+		got, _, err := s.Recreate(v)
+		if err != nil {
+			return err
+		}
+		want := s.contents[v]
+		if !equalNormalized(got, want) {
+			return fmt.Errorf("deltastore: version %d does not recreate correctly (%d vs %d bytes)", v, len(got), len(want))
+		}
+	}
+	return nil
+}
+
+func equalNormalized(a, b []byte) bool {
+	na, nb := normalizeNewline(a), normalizeNewline(b)
+	if len(na) != len(nb) {
+		return false
+	}
+	for i := range na {
+		if na[i] != nb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func normalizeNewline(b []byte) []byte {
+	if len(b) == 0 || b[len(b)-1] == '\n' {
+		return b
+	}
+	out := make([]byte, len(b)+1)
+	copy(out, b)
+	out[len(b)] = '\n'
+	return out
+}
+
+// ExactMinStorageUnderMaxRecreation exhaustively enumerates all spanning
+// arborescences for tiny graphs (n ≤ 8) and returns the minimum-storage
+// solution whose max recreation cost is within theta. It plays the role of
+// the ILP in the paper's evaluation: a ground-truth oracle for validating the
+// heuristics on small instances.
+func ExactMinStorageUnderMaxRecreation(g *Graph, theta float64) (Solution, error) {
+	if err := g.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := g.NumVersions()
+	if n > 8 {
+		return Solution{}, fmt.Errorf("deltastore: exact solver limited to 8 versions, got %d", n)
+	}
+	// Candidate parents per version.
+	parents := make([][]int, n+1)
+	for v := 1; v <= n; v++ {
+		for _, e := range g.InEdges(v) {
+			parents[v] = append(parents[v], e.From)
+		}
+		sort.Ints(parents[v])
+	}
+	best := Solution{}
+	bestStorage := inf
+	cur := NewSolution(n)
+	var rec func(v int)
+	rec = func(v int) {
+		if v > n {
+			costs, err := g.Evaluate(cur)
+			if err != nil {
+				return
+			}
+			if costs.MaxRecreation <= theta && costs.TotalStorage < bestStorage {
+				bestStorage = costs.TotalStorage
+				best = cur.Clone()
+			}
+			return
+		}
+		for _, p := range parents[v] {
+			cur.Parent[v] = p
+			rec(v + 1)
+		}
+		cur.Parent[v] = -1
+	}
+	rec(1)
+	if bestStorage == inf {
+		return Solution{}, fmt.Errorf("deltastore: no feasible solution within max recreation %.0f", theta)
+	}
+	return best, nil
+}

@@ -1,0 +1,257 @@
+package deltastore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLineDiffRoundTrip(t *testing.T) {
+	enc := LineDiff{}
+	base := []byte("a,1\nb,2\nc,3\n")
+	target := []byte("a,1\nb,20\nc,3\nd,4\n")
+	delta := enc.Diff(base, target)
+	got, err := enc.Apply(base, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, target) {
+		t.Errorf("round trip: got %q, want %q", got, target)
+	}
+	// The delta for a small change is much smaller than the full target.
+	if len(delta) >= len(target) {
+		t.Errorf("delta (%d bytes) not smaller than target (%d bytes)", len(delta), len(target))
+	}
+	if enc.Name() == "" {
+		t.Error("encoder must have a name")
+	}
+}
+
+func TestLineDiffEdgeCases(t *testing.T) {
+	enc := LineDiff{}
+	cases := []struct{ base, target string }{
+		{"", "x\ny\n"},
+		{"x\ny\n", ""},
+		{"", ""},
+		{"same\n", "same\n"},
+		{"a\nb\nc\n", "c\nb\na\n"},
+		{"a\n\n\nb\n", "a\nb\n\n"},
+	}
+	for i, c := range cases {
+		delta := enc.Diff([]byte(c.base), []byte(c.target))
+		got, err := enc.Apply([]byte(c.base), delta)
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if !bytes.Equal(normalizeNewline(got), normalizeNewline([]byte(c.target))) && len(c.target) > 0 {
+			t.Errorf("case %d: got %q, want %q", i, got, c.target)
+		}
+	}
+	// Corrupt deltas are rejected, not mis-applied.
+	if _, err := enc.Apply([]byte("a\n"), []byte{0xff, 0xff, 0xff}); err == nil {
+		t.Error("corrupt delta should fail")
+	}
+}
+
+func TestXORDiffRoundTrip(t *testing.T) {
+	enc := XORDiff{}
+	base := []byte("hello world, this is version one")
+	target := []byte("hello world, this is version two!")
+	delta := enc.Diff(base, target)
+	got, err := enc.Apply(base, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, target) {
+		t.Errorf("round trip: got %q, want %q", got, target)
+	}
+	if enc.Name() != "xor" {
+		t.Error("wrong name")
+	}
+	// Symmetric: |Diff(a,b)| is close to |Diff(b,a)|.
+	d1, d2 := enc.Diff(base, target), enc.Diff(target, base)
+	diff := len(d1) - len(d2)
+	if diff < -4 || diff > 4 {
+		t.Errorf("xor deltas should be near-symmetric: %d vs %d", len(d1), len(d2))
+	}
+}
+
+// Property: line-diff and xor round-trip arbitrary line-structured content.
+func TestEncoderRoundTripProperty(t *testing.T) {
+	encs := []Encoder{LineDiff{}, XORDiff{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mkDoc := func() []byte {
+			var b bytes.Buffer
+			n := rng.Intn(30)
+			for i := 0; i < n; i++ {
+				fmt.Fprintf(&b, "row-%d,%d\n", rng.Intn(20), rng.Intn(1000))
+			}
+			return b.Bytes()
+		}
+		base, target := mkDoc(), mkDoc()
+		for _, enc := range encs {
+			delta := enc.Diff(base, target)
+			got, err := enc.Apply(base, delta)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(normalizeNewline(got), normalizeNewline(target)) && len(target) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildVersionedFiles produces a chain-with-branches collection of CSV-like
+// documents where each version modifies a few lines of its parent.
+func buildVersionedFiles(n int, seed int64) ([][]byte, [][2]int) {
+	rng := rand.New(rand.NewSource(seed))
+	var versions [][]byte
+	var pairs [][2]int
+	var mkBase bytes.Buffer
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&mkBase, "gene%04d,%d,%d\n", i, rng.Intn(100), rng.Intn(100))
+	}
+	versions = append(versions, mkBase.Bytes())
+	for v := 2; v <= n; v++ {
+		parent := rng.Intn(len(versions)) // branch from any earlier version
+		lines := bytes.Split(bytes.TrimSuffix(versions[parent], []byte("\n")), []byte("\n"))
+		out := make([][]byte, len(lines))
+		copy(out, lines)
+		for m := 0; m < 10; m++ {
+			idx := rng.Intn(len(out))
+			out[idx] = []byte(fmt.Sprintf("gene%04d,%d,%d", idx, rng.Intn(100), rng.Intn(100)))
+		}
+		out = append(out, []byte(fmt.Sprintf("gene%04d,%d,%d", 1000+v, rng.Intn(100), rng.Intn(100))))
+		doc := append(bytes.Join(out, []byte("\n")), '\n')
+		versions = append(versions, doc)
+		pairs = append(pairs, [2]int{parent + 1, v})
+		pairs = append(pairs, [2]int{v, parent + 1})
+	}
+	return versions, pairs
+}
+
+func TestStoreEndToEnd(t *testing.T) {
+	contents, pairs := buildVersionedFiles(12, 3)
+	s := NewStore(LineDiff{})
+	for _, c := range contents {
+		s.AddVersion(c)
+	}
+	if s.NumVersions() != 12 {
+		t.Fatalf("NumVersions = %d", s.NumVersions())
+	}
+	g, err := s.BuildGraph(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimum-storage plan: build and verify every version recreates.
+	mst, err := MinimumStorage(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(mst); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	mstBytes, err := s.StorageBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Materializing everything costs much more.
+	all := NewSolution(s.NumVersions())
+	for v := 1; v <= s.NumVersions(); v++ {
+		all.Parent[v] = Root
+	}
+	if err := s.Build(all); err != nil {
+		t.Fatal(err)
+	}
+	allBytes, _ := s.StorageBytes()
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if mstBytes >= allBytes {
+		t.Errorf("delta storage (%d bytes) should beat full materialization (%d bytes)", mstBytes, allBytes)
+	}
+	// Recreation under the MST plan reads more bytes for deep versions than
+	// materializing them would.
+	if err := s.Build(mst); err != nil {
+		t.Fatal(err)
+	}
+	_, bytesRead, err := s.Recreate(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytesRead <= 0 {
+		t.Error("recreation should read bytes")
+	}
+	// Content round trip through a balanced plan too.
+	sptTheta := 3.0 * float64(len(contents[0]))
+	mp, err := MinStorageUnderMaxRecreation(g, sptTheta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(mp); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	s := NewStore(LineDiff{})
+	if _, err := s.BuildGraph(nil); err == nil {
+		t.Error("BuildGraph on empty store should fail")
+	}
+	if err := s.Build(NewSolution(0)); err == nil {
+		t.Error("Build before BuildGraph should fail")
+	}
+	if _, err := s.StorageBytes(); err == nil {
+		t.Error("StorageBytes before Build should fail")
+	}
+	if _, _, err := s.Recreate(1); err == nil {
+		t.Error("Recreate before Build should fail")
+	}
+	s.AddVersion([]byte("a\n"))
+	s.AddVersion([]byte("b\n"))
+	if _, err := s.BuildGraph([][2]int{{1, 99}}); err == nil {
+		t.Error("invalid pair should fail")
+	}
+	if _, err := s.BuildGraph([][2]int{{1, 1}}); err == nil {
+		t.Error("self pair should fail")
+	}
+	if _, ok := s.Content(1); !ok {
+		t.Error("Content(1) missing")
+	}
+	if _, ok := s.Content(99); ok {
+		t.Error("Content(99) should not exist")
+	}
+}
+
+func TestStoreAllPairsGraph(t *testing.T) {
+	s := NewStore(LineDiff{})
+	s.AddVersion([]byte("a\nb\n"))
+	s.AddVersion([]byte("a\nb\nc\n"))
+	s.AddVersion([]byte("a\nx\nc\n"))
+	g, err := s.BuildGraph(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All ordered pairs plus materializations: 3*2 + 3 edges.
+	if len(g.Edges()) != 9 {
+		t.Errorf("edges = %d, want 9", len(g.Edges()))
+	}
+	if s.Graph() != g {
+		t.Error("Graph() should return the built graph")
+	}
+}

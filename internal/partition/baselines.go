@@ -1,0 +1,338 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/vgraph"
+)
+
+// This file implements the two baseline partitioners adapted from the NScale
+// graph-partitioning project (Section 5.5.1): an agglomerative
+// clustering-based algorithm (Agglo) and a k-means clustering-based algorithm
+// (Kmeans). Both operate on the version-record bipartite graph, which is why
+// they are orders of magnitude slower than LyreSplit on large workloads
+// (Figures 5.10 and 5.12).
+
+// AggloOptions configures the agglomerative baseline.
+type AggloOptions struct {
+	// Capacity is BC, the maximum number of records allowed per partition;
+	// 0 means unlimited.
+	Capacity int64
+	// Lookahead is l, how many following partitions (in shingle order) are
+	// considered as merge candidates for each partition. Defaults to 100.
+	Lookahead int
+	// Shingles is the number of min-hash shingles per partition signature.
+	// Defaults to 16.
+	Shingles int
+	// Threshold is τ, the minimum number of common shingles required to
+	// merge. Defaults to 1.
+	Threshold int
+}
+
+// Agglo partitions versions by iteratively merging partitions that share
+// many records, following the shingle-ordered agglomerative scheme of NScale
+// (Algorithm 4 in the NScale paper, adapted to version-record graphs).
+func Agglo(b *vgraph.Bipartite, opts AggloOptions) (vgraph.Partitioning, error) {
+	if b.NumVersions() == 0 {
+		return vgraph.Partitioning{}, fmt.Errorf("partition: empty bipartite graph")
+	}
+	if opts.Lookahead <= 0 {
+		opts.Lookahead = 100
+	}
+	if opts.Shingles <= 0 {
+		opts.Shingles = 16
+	}
+	if opts.Threshold <= 0 {
+		opts.Threshold = 1
+	}
+	type cluster struct {
+		versions []vgraph.VersionID
+		records  map[vgraph.RecordID]struct{}
+		sig      []uint64
+	}
+	hashRecord := func(seed uint64, r vgraph.RecordID) uint64 {
+		x := uint64(r)*2654435761 + seed*0x9e3779b97f4a7c15
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		return x
+	}
+	signature := func(records map[vgraph.RecordID]struct{}) []uint64 {
+		sig := make([]uint64, opts.Shingles)
+		for i := range sig {
+			min := uint64(1<<63 - 1)
+			for r := range records {
+				if h := hashRecord(uint64(i+1), r); h < min {
+					min = h
+				}
+			}
+			sig[i] = min
+		}
+		return sig
+	}
+	commonShingles := func(a, c []uint64) int {
+		n := 0
+		for i := range a {
+			if a[i] == c[i] {
+				n++
+			}
+		}
+		return n
+	}
+
+	clusters := make([]*cluster, 0, b.NumVersions())
+	for _, v := range b.Versions() {
+		recs := make(map[vgraph.RecordID]struct{})
+		for _, r := range b.Records(v) {
+			recs[r] = struct{}{}
+		}
+		c := &cluster{versions: []vgraph.VersionID{v}, records: recs}
+		c.sig = signature(recs)
+		clusters = append(clusters, c)
+	}
+
+	merged := true
+	for merged {
+		merged = false
+		// Order clusters by their signature (shingle ordering).
+		sort.Slice(clusters, func(i, j int) bool {
+			a, c := clusters[i].sig, clusters[j].sig
+			for k := range a {
+				if a[k] != c[k] {
+					return a[k] < c[k]
+				}
+			}
+			return clusters[i].versions[0] < clusters[j].versions[0]
+		})
+		used := make([]bool, len(clusters))
+		var next []*cluster
+		for i, c := range clusters {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			bestJ := -1
+			bestCommon := opts.Threshold - 1
+			limit := i + opts.Lookahead
+			if limit > len(clusters)-1 {
+				limit = len(clusters) - 1
+			}
+			for j := i + 1; j <= limit; j++ {
+				if used[j] {
+					continue
+				}
+				cand := clusters[j]
+				common := commonShingles(c.sig, cand.sig)
+				if common <= bestCommon {
+					continue
+				}
+				if opts.Capacity > 0 {
+					mergedSize := int64(len(c.records))
+					for r := range cand.records {
+						if _, ok := c.records[r]; !ok {
+							mergedSize++
+						}
+					}
+					if mergedSize > opts.Capacity {
+						continue
+					}
+				}
+				bestCommon = common
+				bestJ = j
+			}
+			if bestJ >= 0 {
+				cand := clusters[bestJ]
+				used[bestJ] = true
+				c.versions = append(c.versions, cand.versions...)
+				for r := range cand.records {
+					c.records[r] = struct{}{}
+				}
+				c.sig = signature(c.records)
+				merged = true
+			}
+			next = append(next, c)
+		}
+		clusters = next
+	}
+
+	assignment := make(map[vgraph.VersionID]int)
+	for k, c := range clusters {
+		for _, v := range c.versions {
+			assignment[v] = k
+		}
+	}
+	return vgraph.NewPartitioning(assignment), nil
+}
+
+// KmeansOptions configures the k-means baseline.
+type KmeansOptions struct {
+	// K is the number of partitions.
+	K int
+	// Capacity is BC, the per-partition record limit; 0 means unlimited.
+	Capacity int64
+	// Iterations is the number of refinement passes (default 10, matching
+	// the paper's setup).
+	Iterations int
+	// Seed makes the random initialization reproducible.
+	Seed int64
+}
+
+// Kmeans partitions versions by clustering them around K record-set
+// centroids (Algorithm 5 of NScale adapted to version-record graphs).
+func Kmeans(b *vgraph.Bipartite, opts KmeansOptions) (vgraph.Partitioning, error) {
+	n := b.NumVersions()
+	if n == 0 {
+		return vgraph.Partitioning{}, fmt.Errorf("partition: empty bipartite graph")
+	}
+	if opts.K <= 0 {
+		return vgraph.Partitioning{}, fmt.Errorf("partition: K must be positive, got %d", opts.K)
+	}
+	if opts.K > n {
+		opts.K = n
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 10
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	versions := b.Versions()
+
+	// Initialize centroids from K random versions.
+	perm := rng.Perm(n)
+	centroids := make([]map[vgraph.RecordID]struct{}, opts.K)
+	for k := 0; k < opts.K; k++ {
+		c := make(map[vgraph.RecordID]struct{})
+		for _, r := range b.Records(versions[perm[k]]) {
+			c[r] = struct{}{}
+		}
+		centroids[k] = c
+	}
+	assignment := make(map[vgraph.VersionID]int, n)
+
+	overlap := func(v vgraph.VersionID, centroid map[vgraph.RecordID]struct{}) int64 {
+		var c int64
+		for _, r := range b.Records(v) {
+			if _, ok := centroid[r]; ok {
+				c++
+			}
+		}
+		return c
+	}
+
+	for iter := 0; iter < opts.Iterations; iter++ {
+		sizes := make([]int64, opts.K)
+		members := make([][]vgraph.VersionID, opts.K)
+		for _, v := range versions {
+			// Assign to the centroid with the greatest record overlap that
+			// still has capacity; fall back to the emptiest partition.
+			bestK, bestOverlap := -1, int64(-1)
+			for k := 0; k < opts.K; k++ {
+				if opts.Capacity > 0 && sizes[k]+int64(len(b.Records(v))) > opts.Capacity {
+					continue
+				}
+				if o := overlap(v, centroids[k]); o > bestOverlap {
+					bestOverlap, bestK = o, k
+				}
+			}
+			if bestK < 0 {
+				bestK = 0
+				for k := 1; k < opts.K; k++ {
+					if sizes[k] < sizes[bestK] {
+						bestK = k
+					}
+				}
+			}
+			assignment[v] = bestK
+			members[bestK] = append(members[bestK], v)
+			sizes[bestK] += int64(len(b.Records(v)))
+		}
+		// Update centroids to the union of member records.
+		for k := 0; k < opts.K; k++ {
+			c := make(map[vgraph.RecordID]struct{})
+			for _, v := range members[k] {
+				for _, r := range b.Records(v) {
+					c[r] = struct{}{}
+				}
+			}
+			if len(c) > 0 {
+				centroids[k] = c
+			}
+		}
+	}
+	return vgraph.NewPartitioning(assignment), nil
+}
+
+// SolveStorageConstraintAgglo answers Problem 5.1 with the Agglo baseline by
+// binary searching the capacity BC for the largest checkout improvement whose
+// exact storage stays within gamma records.
+func SolveStorageConstraintAgglo(b *vgraph.Bipartite, gamma int64, opts AggloOptions) (vgraph.Partitioning, vgraph.PartitionCost, error) {
+	lo, hi := b.NumRecords(), b.NumEdges()
+	var best vgraph.Partitioning
+	var bestCost vgraph.PartitionCost
+	found := false
+	for iter := 0; iter < 20 && lo <= hi; iter++ {
+		mid := (lo + hi) / 2
+		opts.Capacity = mid
+		p, err := Agglo(b, opts)
+		if err != nil {
+			return vgraph.Partitioning{}, vgraph.PartitionCost{}, err
+		}
+		cost := b.EvaluatePartitioning(p)
+		if cost.Storage <= gamma {
+			if !found || cost.AvgCheckout < bestCost.AvgCheckout {
+				best, bestCost, found = p, cost, true
+			}
+			// Smaller capacities create more partitions: try allowing less per
+			// partition to reduce checkout cost further.
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if !found {
+		// Fall back to a single partition, which always satisfies S = |R| ≤ γ
+		// when γ ≥ |R|.
+		assignment := make(map[vgraph.VersionID]int)
+		for _, v := range b.Versions() {
+			assignment[v] = 0
+		}
+		best = vgraph.NewPartitioning(assignment)
+		bestCost = b.EvaluatePartitioning(best)
+		if bestCost.Storage > gamma {
+			return vgraph.Partitioning{}, vgraph.PartitionCost{}, fmt.Errorf("partition: no Agglo partitioning satisfies storage threshold %d", gamma)
+		}
+	}
+	return best, bestCost, nil
+}
+
+// SolveStorageConstraintKmeans answers Problem 5.1 with the Kmeans baseline
+// by binary searching K for the lowest checkout cost within the storage
+// threshold.
+func SolveStorageConstraintKmeans(b *vgraph.Bipartite, gamma int64, opts KmeansOptions) (vgraph.Partitioning, vgraph.PartitionCost, error) {
+	lo, hi := 1, b.NumVersions()
+	var best vgraph.Partitioning
+	var bestCost vgraph.PartitionCost
+	found := false
+	for iter := 0; iter < 20 && lo <= hi; iter++ {
+		mid := (lo + hi) / 2
+		opts.K = mid
+		p, err := Kmeans(b, opts)
+		if err != nil {
+			return vgraph.Partitioning{}, vgraph.PartitionCost{}, err
+		}
+		cost := b.EvaluatePartitioning(p)
+		if cost.Storage <= gamma {
+			if !found || cost.AvgCheckout < bestCost.AvgCheckout {
+				best, bestCost, found = p, cost, true
+			}
+			lo = mid + 1 // more partitions reduce checkout, cost storage
+		} else {
+			hi = mid - 1
+		}
+	}
+	if !found {
+		return vgraph.Partitioning{}, vgraph.PartitionCost{}, fmt.Errorf("partition: no Kmeans partitioning satisfies storage threshold %d", gamma)
+	}
+	return best, bestCost, nil
+}

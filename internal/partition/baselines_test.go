@@ -1,0 +1,146 @@
+package partition_test
+
+import (
+	"testing"
+
+	"repro/internal/benchmark"
+	"repro/internal/vgraph"
+
+	. "repro/internal/partition"
+)
+
+func smallBipartite(t testing.TB) *benchmark.Workload {
+	t.Helper()
+	cfg := benchmark.Config{
+		Kind: benchmark.SCI, Name: "small", Branches: 6, VersionsPerBranch: 5,
+		TargetRecords: 1500, InsertsPerVersion: 40, Attributes: 6,
+		UpdateFraction: 0.3, DeleteFraction: 0.02, Seed: 5,
+	}
+	w, err := benchmark.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestAggloProducesValidPartitioning(t *testing.T) {
+	w := smallBipartite(t)
+	p, err := Agglo(w.Bipartite, AggloOptions{Capacity: w.Bipartite.NumRecords() / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Assignment) != w.Bipartite.NumVersions() {
+		t.Fatalf("assignment covers %d versions, want %d", len(p.Assignment), w.Bipartite.NumVersions())
+	}
+	cost := w.Bipartite.EvaluatePartitioning(p)
+	if cost.Storage < w.Bipartite.NumRecords() || cost.Storage > w.Bipartite.NumEdges() {
+		t.Errorf("storage %d outside [|R|=%d, |E|=%d]", cost.Storage, w.Bipartite.NumRecords(), w.Bipartite.NumEdges())
+	}
+	if _, err := Agglo(vgraph.NewBipartite(), AggloOptions{}); err == nil {
+		t.Error("empty bipartite graph should fail")
+	}
+}
+
+func TestAggloCapacityLimitsPartitionSize(t *testing.T) {
+	w := smallBipartite(t)
+	cap := w.Bipartite.NumRecords() / 4
+	p, err := Agglo(w.Bipartite, AggloOptions{Capacity: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := w.Bipartite.EvaluatePartitioning(p)
+	for k, rk := range cost.PartitionRecords {
+		// A single version may exceed the cap on its own; merged partitions
+		// must not exceed it by much more than one version's worth.
+		if cost.PartitionVersions[k] > 1 && rk > cap*2 {
+			t.Errorf("partition %d has %d records, capacity %d", k, rk, cap)
+		}
+	}
+}
+
+func TestKmeansProducesValidPartitioning(t *testing.T) {
+	w := smallBipartite(t)
+	p, err := Kmeans(w.Bipartite, KmeansOptions{K: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Assignment) != w.Bipartite.NumVersions() {
+		t.Fatalf("assignment covers %d versions, want %d", len(p.Assignment), w.Bipartite.NumVersions())
+	}
+	if p.NumPartitions > 5 {
+		t.Errorf("Kmeans produced %d partitions with K=5", p.NumPartitions)
+	}
+	if _, err := Kmeans(w.Bipartite, KmeansOptions{K: 0}); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := Kmeans(vgraph.NewBipartite(), KmeansOptions{K: 2}); err == nil {
+		t.Error("empty bipartite graph should fail")
+	}
+	// K larger than |V| is clamped.
+	if p2, err := Kmeans(w.Bipartite, KmeansOptions{K: 10000, Seed: 3}); err != nil || p2.NumPartitions > w.Bipartite.NumVersions() {
+		t.Errorf("K clamp failed: %v, %d partitions", err, p2.NumPartitions)
+	}
+}
+
+func TestKmeansMorePartitionsReduceCheckout(t *testing.T) {
+	w := smallBipartite(t)
+	p1, err := Kmeans(w.Bipartite, KmeansOptions{K: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := Kmeans(w.Bipartite, KmeansOptions{K: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := w.Bipartite.EvaluatePartitioning(p1)
+	c8 := w.Bipartite.EvaluatePartitioning(p8)
+	if c8.AvgCheckout > c1.AvgCheckout {
+		t.Errorf("K=8 checkout %g should not exceed K=1 checkout %g", c8.AvgCheckout, c1.AvgCheckout)
+	}
+	if c8.Storage < c1.Storage {
+		t.Errorf("K=8 storage %d should not be below K=1 storage %d", c8.Storage, c1.Storage)
+	}
+}
+
+func TestSolveStorageConstraintBaselines(t *testing.T) {
+	w := smallBipartite(t)
+	gamma := 2 * w.Bipartite.NumRecords()
+	_, aggloCost, err := SolveStorageConstraintAgglo(w.Bipartite, gamma, AggloOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggloCost.Storage > gamma {
+		t.Errorf("Agglo storage %d exceeds γ %d", aggloCost.Storage, gamma)
+	}
+	_, kmeansCost, err := SolveStorageConstraintKmeans(w.Bipartite, gamma, KmeansOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kmeansCost.Storage > gamma {
+		t.Errorf("Kmeans storage %d exceeds γ %d", kmeansCost.Storage, gamma)
+	}
+}
+
+func TestLyreSplitDominatesBaselinesOnCheckout(t *testing.T) {
+	// The paper's effectiveness result (Figure 5.8): at equal storage budget,
+	// LyreSplit's checkout cost is at least as good as the baselines' (we
+	// allow a small tolerance since these are heuristics on a small sample).
+	w := smallBipartite(t)
+	tree, err := w.Tree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := 2 * w.Bipartite.NumRecords()
+	ls, err := SolveStorageConstraint(tree, gamma, LyreSplitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsCost := w.Bipartite.EvaluatePartitioning(ls.Partitioning)
+	_, aggloCost, err := SolveStorageConstraintAgglo(w.Bipartite, gamma, AggloOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsCost.AvgCheckout > aggloCost.AvgCheckout*1.25 {
+		t.Errorf("LyreSplit checkout %g much worse than Agglo %g at the same budget", lsCost.AvgCheckout, aggloCost.AvgCheckout)
+	}
+}

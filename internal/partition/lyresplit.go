@@ -1,0 +1,438 @@
+// Package partition implements the partition optimizer of Chapter 5: the
+// LyreSplit algorithm and its generalizations (DAGs, weighted checkout
+// frequencies, schema changes), the Agglo and Kmeans baselines adapted from
+// NScale, the online maintenance rule, and the migration planner.
+//
+// Partitioners take a version tree (or the version-record bipartite graph for
+// the baselines) and produce a vgraph.Partitioning assigning every version to
+// exactly one partition; records may be replicated across partitions. The
+// split-by-rlist data model (package cvd) knows how to physically apply a
+// partitioning.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/vgraph"
+)
+
+// LyreSplitResult reports the partitioning produced by LyreSplit together
+// with the tree-model cost estimates used during the search.
+type LyreSplitResult struct {
+	Partitioning vgraph.Partitioning
+	// Delta is the δ parameter the partitioning was produced with.
+	Delta float64
+	// EstimatedStorage is Σ_k |R_k| under the tree model (records).
+	EstimatedStorage int64
+	// EstimatedTotalCheckout is Σ_k |V_k|·|R_k| under the tree model.
+	EstimatedTotalCheckout int64
+	// EstimatedAvgCheckout is EstimatedTotalCheckout / |V|.
+	EstimatedAvgCheckout float64
+	// Levels is the recursion depth ℓ reached by the splitting.
+	Levels int
+}
+
+// LyreSplitOptions tunes the algorithm.
+type LyreSplitOptions struct {
+	// UseAttributes enables the schema-change-aware candidate rule of
+	// Section 5.3.3: an edge is splittable when a(vi,vj)·w(vi,vj) ≤ δ·|A||R|.
+	UseAttributes bool
+}
+
+// part is one connected piece of the version tree during recursion.
+type part struct {
+	root    vgraph.VersionID
+	members map[vgraph.VersionID]bool
+	nV      int
+	nR      int64 // tree-model distinct records
+	nE      int64 // bipartite edges Σ|R(v)| over members
+	level   int
+}
+
+// LyreSplit partitions the version tree with parameter δ (Algorithm 5.1).
+// It recursively splits any part whose tree-model checkout cost is at least
+// |E|/δ of its share, cutting an edge whose weight is at most δ·|R| and
+// preferring the cut that balances version counts (ties broken on records).
+func LyreSplit(t *vgraph.Tree, delta float64, opts LyreSplitOptions) (LyreSplitResult, error) {
+	if err := t.Validate(); err != nil {
+		return LyreSplitResult{}, err
+	}
+	if delta <= 0 || delta > 1 {
+		return LyreSplitResult{}, fmt.Errorf("partition: delta %g out of range (0, 1]", delta)
+	}
+	totalAttrs := maxAttrs(t)
+
+	root := &part{root: t.Root, members: make(map[vgraph.VersionID]bool, t.NumVersions())}
+	for _, v := range t.SubtreeVersions(t.Root) {
+		root.members[v] = true
+	}
+	fillStats(t, root)
+
+	assignment := make(map[vgraph.VersionID]int)
+	var finished []*part
+	maxLevel := 0
+	queue := []*part{root}
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if p.level > maxLevel {
+			maxLevel = p.level
+		}
+		if !needsSplit(p, delta) {
+			finished = append(finished, p)
+			continue
+		}
+		cutChild, ok := pickSplitEdge(t, p, delta, opts.UseAttributes, totalAttrs)
+		if !ok {
+			// No eligible edge (can happen for degenerate weights); keep as is.
+			finished = append(finished, p)
+			continue
+		}
+		left, right := splitPart(t, p, cutChild)
+		queue = append(queue, left, right)
+	}
+	res := LyreSplitResult{Delta: delta, Levels: maxLevel}
+	for i, p := range finished {
+		for v := range p.members {
+			assignment[v] = i
+		}
+		res.EstimatedStorage += p.nR
+		res.EstimatedTotalCheckout += p.nR * int64(p.nV)
+	}
+	res.Partitioning = vgraph.NewPartitioning(assignment)
+	if n := t.NumVersions(); n > 0 {
+		res.EstimatedAvgCheckout = float64(res.EstimatedTotalCheckout) / float64(n)
+	}
+	return res, nil
+}
+
+// needsSplit implements the termination test of Algorithm 5.1:
+// keep the part whole when |R|·|V| ≤ |E|/δ (so that at the minimum
+// meaningful δ = |E|/(|R||V|) the whole tree stays in one partition).
+func needsSplit(p *part, delta float64) bool {
+	if p.nV <= 1 {
+		return false
+	}
+	return float64(p.nR)*float64(p.nV) > float64(p.nE)/delta
+}
+
+// fillStats computes nV, nR, nE for a part.
+func fillStats(t *vgraph.Tree, p *part) {
+	p.nV = len(p.members)
+	p.nE = 0
+	p.nR = 0
+	for v := range p.members {
+		p.nE += t.Records[v]
+		if v == p.root {
+			p.nR += t.Records[v]
+		} else {
+			p.nR += t.Records[v] - t.Weight[v]
+		}
+	}
+}
+
+// subtreeStats holds per-node subtree aggregates within a part.
+type subtreeStats struct {
+	nV int
+	nR int64
+	nE int64
+}
+
+// computeSubtreeStats returns, for every member v of the part, the stats of
+// the subtree rooted at v restricted to the part (v contributing its full
+// |R(v)| as the subtree root).
+func computeSubtreeStats(t *vgraph.Tree, p *part) map[vgraph.VersionID]subtreeStats {
+	stats := make(map[vgraph.VersionID]subtreeStats, len(p.members))
+	// Post-order traversal from the part root.
+	type frame struct {
+		v       vgraph.VersionID
+		childIx int
+	}
+	children := func(v vgraph.VersionID) []vgraph.VersionID {
+		var out []vgraph.VersionID
+		for _, c := range t.Children[v] {
+			if p.members[c] {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	var stack []frame
+	stack = append(stack, frame{v: p.root})
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		kids := children(f.v)
+		if f.childIx < len(kids) {
+			next := kids[f.childIx]
+			f.childIx++
+			stack = append(stack, frame{v: next})
+			continue
+		}
+		// All children processed.
+		s := subtreeStats{nV: 1, nR: t.Records[f.v], nE: t.Records[f.v]}
+		for _, c := range kids {
+			cs := stats[c]
+			s.nV += cs.nV
+			s.nE += cs.nE
+			// The child subtree's records minus the overlap along the cut edge
+			// are new with respect to f.v's subtree when merged... within one
+			// partition the tree-model distinct count composes as
+			// R(parent-subtree) = R(parent) + Σ_c (R_subtree(c) - w(c)).
+			s.nR += cs.nR - t.Weight[c]
+		}
+		stats[f.v] = s
+		stack = stack[:len(stack)-1]
+	}
+	return stats
+}
+
+// pickSplitEdge chooses the edge to cut among those with weight ≤ δ|R|
+// (or a(e)·w(e) ≤ δ·|A||R| in attribute-aware mode). It prefers the edge
+// that best balances the number of versions between the two sides, breaking
+// ties by balancing records.
+func pickSplitEdge(t *vgraph.Tree, p *part, delta float64, useAttrs bool, totalAttrs int) (vgraph.VersionID, bool) {
+	stats := computeSubtreeStats(t, p)
+	threshold := delta * float64(p.nR)
+	var best vgraph.VersionID
+	bestVDiff := math.MaxFloat64
+	bestRDiff := math.MaxFloat64
+	found := false
+	// Deterministic iteration order.
+	candidates := make([]vgraph.VersionID, 0, len(p.members))
+	for v := range p.members {
+		if v == p.root {
+			continue
+		}
+		candidates = append(candidates, v)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	for _, v := range candidates {
+		w := float64(t.Weight[v])
+		if useAttrs {
+			a := t.CommonAttrs[v]
+			if a <= 0 {
+				a = totalAttrs
+			}
+			if float64(a)*w > delta*float64(totalAttrs)*float64(p.nR) {
+				continue
+			}
+		} else if w > threshold {
+			continue
+		}
+		sub := stats[v]
+		vDiff := math.Abs(float64(p.nV) - 2*float64(sub.nV))
+		r2 := sub.nR
+		r1 := p.nR - r2 + t.Weight[v]
+		rDiff := math.Abs(float64(r1) - float64(r2))
+		if !found || vDiff < bestVDiff || (vDiff == bestVDiff && rDiff < bestRDiff) {
+			found = true
+			best, bestVDiff, bestRDiff = v, vDiff, rDiff
+		}
+	}
+	return best, found
+}
+
+// splitPart cuts the edge (parent(cutChild), cutChild), producing the
+// remaining part (same root) and the subtree part rooted at cutChild.
+func splitPart(t *vgraph.Tree, p *part, cutChild vgraph.VersionID) (*part, *part) {
+	right := &part{root: cutChild, members: make(map[vgraph.VersionID]bool), level: p.level + 1}
+	for _, v := range t.SubtreeVersions(cutChild) {
+		if p.members[v] {
+			right.members[v] = true
+		}
+	}
+	left := &part{root: p.root, members: make(map[vgraph.VersionID]bool, len(p.members)-len(right.members)), level: p.level + 1}
+	for v := range p.members {
+		if !right.members[v] {
+			left.members[v] = true
+		}
+	}
+	fillStats(t, left)
+	fillStats(t, right)
+	return left, right
+}
+
+func maxAttrs(t *vgraph.Tree) int {
+	max := 1
+	for _, a := range t.Attrs {
+		if a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// MinDelta returns the smallest meaningful δ for a tree, |E| / (|R|·|V|):
+// below it a single partition already satisfies the termination test.
+func MinDelta(t *vgraph.Tree) float64 {
+	r := t.DistinctRecords()
+	v := int64(t.NumVersions())
+	e := t.TotalBipartiteEdges()
+	if r == 0 || v == 0 {
+		return 1
+	}
+	d := float64(e) / (float64(r) * float64(v))
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// SolveStorageConstraint answers Problem 5.1 with LyreSplit: it binary
+// searches δ in [|E|/(|R||V|), 1] for the largest value whose tree-model
+// storage estimate stays within the threshold gamma (in records), returning
+// that partitioning. The search stops when the estimate falls within
+// [0.99γ, γ] or after maxIter iterations (the last feasible partitioning is
+// returned).
+func SolveStorageConstraint(t *vgraph.Tree, gamma int64, opts LyreSplitOptions) (LyreSplitResult, error) {
+	if gamma < t.DistinctRecords() {
+		return LyreSplitResult{}, fmt.Errorf("partition: storage threshold %d below minimum possible storage %d", gamma, t.DistinctRecords())
+	}
+	lo := MinDelta(t)
+	hi := 1.0
+	const maxIter = 40
+	best, err := LyreSplit(t, lo, opts)
+	if err != nil {
+		return LyreSplitResult{}, err
+	}
+	for i := 0; i < maxIter; i++ {
+		mid := (lo + hi) / 2
+		res, err := LyreSplit(t, mid, opts)
+		if err != nil {
+			return LyreSplitResult{}, err
+		}
+		if res.EstimatedStorage <= gamma {
+			best = res
+			lo = mid
+			if float64(res.EstimatedStorage) >= 0.99*float64(gamma) {
+				break
+			}
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-9 {
+			break
+		}
+	}
+	return best, nil
+}
+
+// PartitionDAG runs LyreSplit on a version graph that may contain merges by
+// first converting it to a tree (Section 5.3.1).
+func PartitionDAG(g *vgraph.Graph, delta float64, opts LyreSplitOptions) (LyreSplitResult, error) {
+	t, err := vgraph.ToTree(g)
+	if err != nil {
+		return LyreSplitResult{}, err
+	}
+	return LyreSplit(t, delta, opts)
+}
+
+// SolveStorageConstraintDAG is SolveStorageConstraint for version graphs
+// with merges.
+func SolveStorageConstraintDAG(g *vgraph.Graph, gamma int64, opts LyreSplitOptions) (LyreSplitResult, error) {
+	t, err := vgraph.ToTree(g)
+	if err != nil {
+		return LyreSplitResult{}, err
+	}
+	return SolveStorageConstraint(t, gamma, opts)
+}
+
+// LyreSplitWeighted handles frequency-weighted checkout costs
+// (Section 5.3.2): the tree is expanded so each version appears f(v) times,
+// partitioned with LyreSplit, and replicas of the same version are then
+// coalesced into the replica partition with the fewest records.
+func LyreSplitWeighted(t *vgraph.Tree, freq map[vgraph.VersionID]int, delta float64, opts LyreSplitOptions) (LyreSplitResult, error) {
+	expanded, origOf := t.ExpandWeighted(freq)
+	res, err := LyreSplit(expanded, delta, opts)
+	if err != nil {
+		return LyreSplitResult{}, err
+	}
+	// Estimate per-partition record counts on the expanded tree, then move
+	// every original version into the smallest-record partition among those
+	// its replicas were assigned to.
+	partRecords := make(map[int]int64)
+	for replica, k := range res.Partitioning.Assignment {
+		_ = replica
+		partRecords[k] = 0
+	}
+	// Recompute per-partition tree-model storage by grouping members.
+	groups := res.Partitioning.Groups()
+	for k, vs := range groups {
+		memberSet := make(map[vgraph.VersionID]bool, len(vs))
+		for _, v := range vs {
+			memberSet[v] = true
+		}
+		var rec int64
+		for _, v := range vs {
+			p, hasParent := expanded.Parent[v]
+			if hasParent && memberSet[p] {
+				rec += expanded.Records[v] - expanded.Weight[v]
+			} else {
+				rec += expanded.Records[v]
+			}
+		}
+		partRecords[k] = rec
+	}
+	assignment := make(map[vgraph.VersionID]int)
+	for replica, k := range res.Partitioning.Assignment {
+		orig := origOf[replica]
+		cur, ok := assignment[orig]
+		if !ok || partRecords[k] < partRecords[cur] {
+			assignment[orig] = k
+		}
+	}
+	out := LyreSplitResult{
+		Partitioning: vgraph.NewPartitioning(assignment),
+		Delta:        delta,
+		Levels:       res.Levels,
+	}
+	// Recompute tree-model estimates on the original tree for the coalesced
+	// assignment.
+	est := EstimateTreeCost(t, out.Partitioning)
+	out.EstimatedStorage = est.Storage
+	out.EstimatedTotalCheckout = est.TotalCheckout
+	out.EstimatedAvgCheckout = est.AvgCheckout
+	return out, nil
+}
+
+// TreeCost is the tree-model estimate of a partitioning's cost.
+type TreeCost struct {
+	Storage       int64
+	TotalCheckout int64
+	AvgCheckout   float64
+	MaxCheckout   int64
+}
+
+// EstimateTreeCost evaluates a partitioning with the tree model: within a
+// partition, a version contributes |R(v)| - w(v) records if its tree parent
+// is in the same partition, and |R(v)| otherwise.
+func EstimateTreeCost(t *vgraph.Tree, p vgraph.Partitioning) TreeCost {
+	var cost TreeCost
+	groups := p.Groups()
+	for _, vs := range groups {
+		memberSet := make(map[vgraph.VersionID]bool, len(vs))
+		for _, v := range vs {
+			memberSet[v] = true
+		}
+		var rec int64
+		for _, v := range vs {
+			parent, hasParent := t.Parent[v]
+			if hasParent && memberSet[parent] {
+				rec += t.Records[v] - t.Weight[v]
+			} else {
+				rec += t.Records[v]
+			}
+		}
+		cost.Storage += rec
+		cost.TotalCheckout += rec * int64(len(vs))
+		if rec > cost.MaxCheckout {
+			cost.MaxCheckout = rec
+		}
+	}
+	if n := t.NumVersions(); n > 0 {
+		cost.AvgCheckout = float64(cost.TotalCheckout) / float64(n)
+	}
+	return cost
+}

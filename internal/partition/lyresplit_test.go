@@ -1,0 +1,297 @@
+package partition_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/benchmark"
+	"repro/internal/vgraph"
+
+	. "repro/internal/partition"
+)
+
+// figure54Tree builds the version tree of Figure 5.4: root v1 with children
+// v2, v3; v2 has children v4, v5; v3 has children v6, v7. Record counts and
+// edge weights follow the figure.
+func figure54Tree(t testing.TB) *vgraph.Tree {
+	t.Helper()
+	g := vgraph.New()
+	records := map[vgraph.VersionID]int64{1: 30, 2: 12, 3: 10, 4: 8, 5: 10, 6: 8, 7: 7}
+	for v := vgraph.VersionID(1); v <= 7; v++ {
+		g.MustAddVersion(v, records[v])
+	}
+	g.MustAddEdge(1, 2, 10)
+	g.MustAddEdge(1, 3, 7)
+	g.MustAddEdge(2, 4, 6)
+	g.MustAddEdge(2, 5, 8)
+	g.MustAddEdge(3, 6, 6)
+	g.MustAddEdge(3, 7, 4)
+	tree, err := vgraph.ToTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func sciTree(t testing.TB) (*benchmark.Workload, *vgraph.Tree) {
+	t.Helper()
+	cfg, err := benchmark.Preset("SCI_10K", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := benchmark.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := w.Tree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, tree
+}
+
+func TestLyreSplitSmallDelta(t *testing.T) {
+	tree := figure54Tree(t)
+	// δ at the minimum keeps everything in one partition.
+	res, err := LyreSplit(tree, MinDelta(tree), LyreSplitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitioning.NumPartitions != 1 {
+		t.Errorf("minimal delta should give one partition, got %d", res.Partitioning.NumPartitions)
+	}
+	if res.EstimatedStorage != tree.DistinctRecords() {
+		t.Errorf("single-partition storage = %d, want %d", res.EstimatedStorage, tree.DistinctRecords())
+	}
+}
+
+func TestLyreSplitLargeDeltaSplits(t *testing.T) {
+	tree := figure54Tree(t)
+	res, err := LyreSplit(tree, 0.5, LyreSplitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitioning.NumPartitions < 2 {
+		t.Fatalf("delta=0.5 should split the Figure 5.4 tree, got %d partitions", res.Partitioning.NumPartitions)
+	}
+	// The approximation guarantee of Theorem 5.2: Cavg < (1/δ)·|E|/|V| and
+	// S ≤ (1+δ)^ℓ · |R|.
+	e := float64(tree.TotalBipartiteEdges())
+	v := float64(tree.NumVersions())
+	if res.EstimatedAvgCheckout >= (1/0.5)*e/v {
+		t.Errorf("Cavg = %g violates the 1/δ·|E|/|V| = %g bound", res.EstimatedAvgCheckout, (1/0.5)*e/v)
+	}
+	bound := float64(tree.DistinctRecords())
+	for i := 0; i < res.Levels; i++ {
+		bound *= 1.5
+	}
+	if float64(res.EstimatedStorage) > bound {
+		t.Errorf("S = %d violates the (1+δ)^ℓ·|R| = %g bound", res.EstimatedStorage, bound)
+	}
+	if err := allVersionsAssigned(tree, res.Partitioning); err != nil {
+		t.Error(err)
+	}
+}
+
+func allVersionsAssigned(tree *vgraph.Tree, p vgraph.Partitioning) error {
+	for _, v := range tree.SubtreeVersions(tree.Root) {
+		if _, ok := p.Assignment[v]; !ok {
+			return &assignError{v}
+		}
+	}
+	return nil
+}
+
+type assignError struct{ v vgraph.VersionID }
+
+func (e *assignError) Error() string { return "version not assigned to any partition" }
+
+func TestLyreSplitInvalidInputs(t *testing.T) {
+	tree := figure54Tree(t)
+	if _, err := LyreSplit(tree, 0, LyreSplitOptions{}); err == nil {
+		t.Error("delta=0 should fail")
+	}
+	if _, err := LyreSplit(tree, 1.5, LyreSplitOptions{}); err == nil {
+		t.Error("delta>1 should fail")
+	}
+	bad := &vgraph.Tree{Root: 1, Records: map[vgraph.VersionID]int64{1: 5, 2: 5}, Parent: map[vgraph.VersionID]vgraph.VersionID{}, Children: map[vgraph.VersionID][]vgraph.VersionID{}, Weight: map[vgraph.VersionID]int64{}}
+	if _, err := LyreSplit(bad, 0.5, LyreSplitOptions{}); err == nil {
+		t.Error("disconnected tree should fail validation")
+	}
+}
+
+func TestLyreSplitMonotoneInDelta(t *testing.T) {
+	// Larger δ ⇒ more partitions ⇒ more storage, less checkout (Section 5.2).
+	_, tree := sciTree(t)
+	var prevStorage int64 = -1
+	var prevCheckout = 1e18
+	for _, delta := range []float64{0.02, 0.05, 0.1, 0.3, 0.8} {
+		res, err := LyreSplit(tree, delta, LyreSplitOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prevStorage >= 0 {
+			if res.EstimatedStorage < prevStorage {
+				t.Errorf("delta=%g: storage %d decreased from %d", delta, res.EstimatedStorage, prevStorage)
+			}
+			if res.EstimatedAvgCheckout > prevCheckout+1e-6 {
+				t.Errorf("delta=%g: checkout %g increased from %g", delta, res.EstimatedAvgCheckout, prevCheckout)
+			}
+		}
+		prevStorage = res.EstimatedStorage
+		prevCheckout = res.EstimatedAvgCheckout
+	}
+}
+
+func TestSolveStorageConstraint(t *testing.T) {
+	_, tree := sciTree(t)
+	baseR := tree.DistinctRecords()
+	for _, factor := range []float64{1.5, 2.0} {
+		gamma := int64(factor * float64(baseR))
+		res, err := SolveStorageConstraint(tree, gamma, LyreSplitOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.EstimatedStorage > gamma {
+			t.Errorf("γ=%.1f|R|: storage %d exceeds threshold %d", factor, res.EstimatedStorage, gamma)
+		}
+		// Partitioning should beat the single-partition checkout cost.
+		if res.Partitioning.NumPartitions > 1 && res.EstimatedAvgCheckout >= float64(baseR) {
+			t.Errorf("γ=%.1f|R|: checkout %g not better than unpartitioned %d", factor, res.EstimatedAvgCheckout, baseR)
+		}
+	}
+	if _, err := SolveStorageConstraint(tree, baseR/2, LyreSplitOptions{}); err == nil {
+		t.Error("threshold below |R| should be rejected")
+	}
+}
+
+func TestPartitionBenefit(t *testing.T) {
+	// The headline result of Section 5.5.3: with γ = 2|R| the checkout cost
+	// drops by a large factor compared to a single partition.
+	_, tree := sciTree(t)
+	baseCheckout := float64(tree.DistinctRecords())
+	res, err := SolveStorageConstraint(tree, 2*tree.DistinctRecords(), LyreSplitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EstimatedAvgCheckout >= baseCheckout/2 {
+		t.Errorf("partitioning should at least halve the checkout cost: %g vs %g", res.EstimatedAvgCheckout, baseCheckout)
+	}
+}
+
+func TestPartitionDAGAndExactCosts(t *testing.T) {
+	cfg, err := benchmark.Preset("CUR_10K", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.TargetRecords = 3000
+	cfg.InsertsPerVersion = 50
+	w, err := benchmark.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveStorageConstraintDAG(w.Graph, 2*w.Bipartite.NumRecords(), LyreSplitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact (bipartite) storage stays close to the estimate and within ~γ·(1+slack).
+	exact := w.Bipartite.EvaluatePartitioning(res.Partitioning)
+	if exact.Storage < w.Bipartite.NumRecords() {
+		t.Errorf("exact storage %d below |R| %d", exact.Storage, w.Bipartite.NumRecords())
+	}
+	if float64(exact.Storage) > 2.5*float64(w.Bipartite.NumRecords()) {
+		t.Errorf("exact storage %d too far above threshold %d", exact.Storage, 2*w.Bipartite.NumRecords())
+	}
+	// Partitioned checkout beats unpartitioned checkout.
+	if exact.AvgCheckout >= float64(w.Bipartite.NumRecords()) {
+		t.Errorf("partitioned checkout %g not better than unpartitioned %d", exact.AvgCheckout, w.Bipartite.NumRecords())
+	}
+	if _, err := PartitionDAG(w.Graph, 0.3, LyreSplitOptions{}); err != nil {
+		t.Errorf("PartitionDAG: %v", err)
+	}
+}
+
+func TestLyreSplitWeighted(t *testing.T) {
+	_, tree := sciTree(t)
+	// Weight the leaves (latest versions) heavily.
+	freq := map[vgraph.VersionID]int{}
+	for _, v := range tree.SubtreeVersions(tree.Root) {
+		if len(tree.Children[v]) == 0 {
+			freq[v] = 5
+		}
+	}
+	res, err := LyreSplitWeighted(tree, freq, 0.3, LyreSplitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := allVersionsAssigned(tree, res.Partitioning); err != nil {
+		t.Error(err)
+	}
+	if res.Partitioning.NumPartitions < 1 {
+		t.Error("weighted partitioning produced no partitions")
+	}
+	// Every version appears exactly once.
+	if len(res.Partitioning.Assignment) != tree.NumVersions() {
+		t.Errorf("assignment covers %d versions, want %d", len(res.Partitioning.Assignment), tree.NumVersions())
+	}
+}
+
+func TestLyreSplitSchemaAware(t *testing.T) {
+	tree := figure54Tree(t)
+	// Annotate attribute counts: v3 shares only 1 attribute with v1, making
+	// the (1,3) edge cheap to cut even though its record weight alone would
+	// not qualify under a small δ.
+	for v := range tree.Records {
+		tree.Attrs[v] = 5
+	}
+	for v := range tree.Parent {
+		tree.CommonAttrs[v] = 5
+	}
+	tree.CommonAttrs[3] = 1
+	plain, err := LyreSplit(tree, 0.25, LyreSplitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := LyreSplit(tree, 0.25, LyreSplitOptions{UseAttributes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.Partitioning.NumPartitions < plain.Partitioning.NumPartitions {
+		t.Errorf("attribute-aware splitting should find at least as many cuts: %d vs %d", aware.Partitioning.NumPartitions, plain.Partitioning.NumPartitions)
+	}
+}
+
+func TestEstimateTreeCostMatchesSinglePartition(t *testing.T) {
+	tree := figure54Tree(t)
+	assignment := map[vgraph.VersionID]int{}
+	for _, v := range tree.SubtreeVersions(tree.Root) {
+		assignment[v] = 0
+	}
+	cost := EstimateTreeCost(tree, vgraph.NewPartitioning(assignment))
+	if cost.Storage != tree.DistinctRecords() {
+		t.Errorf("storage = %d, want %d", cost.Storage, tree.DistinctRecords())
+	}
+	if cost.MaxCheckout != tree.DistinctRecords() {
+		t.Errorf("max checkout = %d, want %d", cost.MaxCheckout, tree.DistinctRecords())
+	}
+}
+
+// Property: for any δ in (0,1], every version is assigned exactly once and
+// the estimated storage is at least |R|.
+func TestLyreSplitAssignmentProperty(t *testing.T) {
+	tree := figure54Tree(t)
+	f := func(x uint8) bool {
+		delta := (float64(x%100) + 1) / 100
+		res, err := LyreSplit(tree, delta, LyreSplitOptions{})
+		if err != nil {
+			return false
+		}
+		if len(res.Partitioning.Assignment) != tree.NumVersions() {
+			return false
+		}
+		return res.EstimatedStorage >= tree.DistinctRecords()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,204 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cvd"
+	"repro/internal/vgraph"
+)
+
+// OnlineDecision is the outcome of the online-maintenance rule for a newly
+// committed version (Section 5.4).
+type OnlineDecision struct {
+	// NewPartition is true when the version should start its own partition.
+	NewPartition bool
+	// Partition is the existing partition to join when NewPartition is false.
+	Partition int
+	// TriggerMigration is true when the current checkout cost has drifted
+	// beyond the tolerance factor µ of the best achievable cost and the
+	// migration engine should be invoked.
+	TriggerMigration bool
+	// CurrentAvgCheckout and BestAvgCheckout report the costs used for the
+	// migration decision (tree-model estimates, in records).
+	CurrentAvgCheckout float64
+	BestAvgCheckout    float64
+}
+
+// OnlineMaintainer implements incremental partitioning: as versions are
+// committed it decides where each one goes, tracks the drift between the
+// current checkout cost and the cost LyreSplit could achieve, and signals
+// when migration should run.
+type OnlineMaintainer struct {
+	// DeltaStar is δ*, the splitting parameter used by the last LyreSplit
+	// invocation.
+	DeltaStar float64
+	// Gamma is the storage threshold in records.
+	Gamma int64
+	// Mu is the tolerance factor µ on checkout-cost drift (µ ≥ 1).
+	Mu float64
+
+	assignment map[vgraph.VersionID]int
+	numParts   int
+}
+
+// NewOnlineMaintainer starts online maintenance from an existing partitioning.
+func NewOnlineMaintainer(p vgraph.Partitioning, deltaStar float64, gamma int64, mu float64) *OnlineMaintainer {
+	assignment := make(map[vgraph.VersionID]int, len(p.Assignment))
+	for v, k := range p.Assignment {
+		assignment[v] = k
+	}
+	if mu < 1 {
+		mu = 1
+	}
+	return &OnlineMaintainer{
+		DeltaStar:  deltaStar,
+		Gamma:      gamma,
+		Mu:         mu,
+		assignment: assignment,
+		numParts:   p.NumPartitions,
+	}
+}
+
+// Partitioning returns the current assignment.
+func (o *OnlineMaintainer) Partitioning() vgraph.Partitioning {
+	return vgraph.NewPartitioning(o.assignment)
+}
+
+// OnCommit decides where a newly committed version goes. parent is the
+// parent sharing the most records with the version (ties broken arbitrarily),
+// shared is that shared record count, totalRecords is the current |R| of the
+// CVD, and currentStorage is the current Σ_k |R_k|.
+//
+// Rule (Section 5.4): if w(v, parent) ≤ δ*·|R| and S < γ, create a new
+// partition; otherwise the version joins its parent's partition.
+func (o *OnlineMaintainer) OnCommit(v vgraph.VersionID, parent vgraph.VersionID, shared, totalRecords, currentStorage int64) OnlineDecision {
+	parentPartition, hasParent := o.assignment[parent]
+	dec := OnlineDecision{Partition: parentPartition}
+	if !hasParent {
+		dec.NewPartition = true
+	} else if float64(shared) <= o.DeltaStar*float64(totalRecords) && currentStorage < o.Gamma {
+		dec.NewPartition = true
+	}
+	if dec.NewPartition {
+		dec.Partition = o.numParts
+		o.numParts++
+	}
+	o.assignment[v] = dec.Partition
+	return dec
+}
+
+// CheckDrift compares the current checkout cost against the best cost
+// LyreSplit can achieve on the full tree and reports whether migration
+// should be triggered (Cavg > µ·C*avg).
+func (o *OnlineMaintainer) CheckDrift(t *vgraph.Tree) (OnlineDecision, error) {
+	cur := EstimateTreeCost(t, o.Partitioning())
+	best, err := SolveStorageConstraint(t, o.Gamma, LyreSplitOptions{})
+	if err != nil {
+		return OnlineDecision{}, err
+	}
+	dec := OnlineDecision{
+		CurrentAvgCheckout: cur.AvgCheckout,
+		BestAvgCheckout:    best.EstimatedAvgCheckout,
+	}
+	if best.EstimatedAvgCheckout > 0 && cur.AvgCheckout > o.Mu*best.EstimatedAvgCheckout {
+		dec.TriggerMigration = true
+	}
+	return dec, nil
+}
+
+// AdoptPartitioning replaces the maintained assignment after a migration and
+// records the δ* it was produced with.
+func (o *OnlineMaintainer) AdoptPartitioning(p vgraph.Partitioning, deltaStar float64) {
+	o.assignment = make(map[vgraph.VersionID]int, len(p.Assignment))
+	for v, k := range p.Assignment {
+		o.assignment[v] = k
+	}
+	o.numParts = p.NumPartitions
+	o.DeltaStar = deltaStar
+}
+
+// MigrationPlan pairs the per-partition operations with the estimated number
+// of record modifications they require.
+type MigrationPlan struct {
+	Ops []cvd.MigrationOp
+	// EstimatedModifications is Σ over transformed partitions of
+	// |R'_i \ R_j| + |R_j \ R'_i| plus the size of partitions built from
+	// scratch.
+	EstimatedModifications int64
+}
+
+// PlanMigration matches each new partition with the closest existing
+// partition (smallest modification cost), greedily, using exact record sets
+// from the bipartite graph. A new partition whose modification cost exceeds
+// its own size is rebuilt from scratch instead (Section 5.4).
+func PlanMigration(b *vgraph.Bipartite, old, new vgraph.Partitioning) (MigrationPlan, error) {
+	if b == nil {
+		return MigrationPlan{}, fmt.Errorf("partition: nil bipartite graph")
+	}
+	oldGroups := old.Groups()
+	newGroups := new.Groups()
+	oldRecords := make([]map[vgraph.RecordID]struct{}, len(oldGroups))
+	for j, vs := range oldGroups {
+		set := make(map[vgraph.RecordID]struct{})
+		for _, r := range b.Union(vs) {
+			set[r] = struct{}{}
+		}
+		oldRecords[j] = set
+	}
+	type pair struct {
+		newIdx, oldIdx int
+		cost           int64
+	}
+	var pairs []pair
+	newRecords := make([][]vgraph.RecordID, len(newGroups))
+	for i, vs := range newGroups {
+		newRecords[i] = b.Union(vs)
+		for j := range oldGroups {
+			var missing, extra int64
+			for _, r := range newRecords[i] {
+				if _, ok := oldRecords[j][r]; !ok {
+					missing++
+				}
+			}
+			common := int64(len(newRecords[i])) - missing
+			extra = int64(len(oldRecords[j])) - common
+			pairs = append(pairs, pair{newIdx: i, oldIdx: j, cost: missing + extra})
+		}
+	}
+	sort.Slice(pairs, func(a, c int) bool {
+		if pairs[a].cost != pairs[c].cost {
+			return pairs[a].cost < pairs[c].cost
+		}
+		if pairs[a].newIdx != pairs[c].newIdx {
+			return pairs[a].newIdx < pairs[c].newIdx
+		}
+		return pairs[a].oldIdx < pairs[c].oldIdx
+	})
+	assignedNew := make(map[int]bool)
+	assignedOld := make(map[int]bool)
+	match := make(map[int]int) // new -> old
+	cost := make(map[int]int64)
+	for _, p := range pairs {
+		if assignedNew[p.newIdx] || assignedOld[p.oldIdx] {
+			continue
+		}
+		assignedNew[p.newIdx] = true
+		assignedOld[p.oldIdx] = true
+		match[p.newIdx] = p.oldIdx
+		cost[p.newIdx] = p.cost
+	}
+	plan := MigrationPlan{}
+	for i, vs := range newGroups {
+		op := cvd.MigrationOp{NewPartition: i, FromPartition: -1, Versions: vs}
+		size := int64(len(newRecords[i]))
+		if j, ok := match[i]; ok && cost[i] <= size {
+			op.FromPartition = j
+			plan.EstimatedModifications += cost[i]
+		} else {
+			plan.EstimatedModifications += size
+		}
+		plan.Ops = append(plan.Ops, op)
+	}
+	return plan, nil
+}

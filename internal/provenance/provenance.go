@@ -1,0 +1,439 @@
+// Package provenance implements the generalized provenance manager of
+// Chapter 8: it removes OrpheusDB's "from-scratch" assumption by inferring
+// derivation (lineage) relationships among dataset versions that already sit
+// in a shared repository without any registered metadata.
+//
+// Given a collection of artifacts (tables or CSV files with creation
+// timestamps), the manager:
+//
+//  1. generates candidate parent→child pairs, pruned by timestamps and,
+//     optionally, min-hash signatures (the workflow acceleration of §8.6);
+//  2. scores each candidate by record- and schema-level overlap, specialized
+//     for row-preserving operations (§8.4);
+//  3. picks the most likely parent(s) for every artifact, yielding an
+//     inferred version graph; and
+//  4. produces a structural explanation of each inferred edge — which
+//     operation (row insertion/deletion/update, column addition/removal,
+//     value transformation) most plausibly produced the child (§8.5).
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/relstore"
+)
+
+// Artifact is one unregistered dataset version found in a repository.
+type Artifact struct {
+	Name string
+	// ModTime orders artifacts; an artifact can only derive from strictly
+	// earlier artifacts.
+	ModTime time.Time
+	Table   *relstore.Table
+}
+
+// Operation classifies the dominant modification along an inferred edge.
+type Operation string
+
+// Operation kinds reported by structural explanations.
+const (
+	OpUnknown        Operation = "unknown"
+	OpIdentical      Operation = "identical-copy"
+	OpRowInsertion   Operation = "row-insertion"
+	OpRowDeletion    Operation = "row-deletion"
+	OpRowUpdate      Operation = "row-update"
+	OpColumnAddition Operation = "column-addition"
+	OpColumnRemoval  Operation = "column-removal"
+	OpTransformation Operation = "row-preserving-transformation"
+)
+
+// Explanation describes how a child most plausibly derives from a parent.
+type Explanation struct {
+	Operation      Operation
+	RowsShared     int
+	RowsInserted   int
+	RowsDeleted    int
+	RowsUpdated    int
+	ColumnsShared  int
+	ColumnsAdded   []string
+	ColumnsRemoved []string
+}
+
+// Edge is one inferred derivation relationship.
+type Edge struct {
+	Parent, Child string
+	// Score in [0,1]: how strongly the evidence supports the edge.
+	Score       float64
+	Explanation Explanation
+}
+
+// Options tunes lineage inference.
+type Options struct {
+	// MinScore is the threshold below which no parent is inferred for an
+	// artifact (it is treated as an independent root). Default 0.1.
+	MinScore float64
+	// MaxParents bounds how many parents may be inferred per artifact
+	// (merged artifacts have more than one). Default 1.
+	MaxParents int
+	// UseSignatures enables min-hash pruning of candidate pairs: only the
+	// CandidateLimit most signature-similar earlier artifacts are scored
+	// exactly. This is the workflow acceleration of §8.6.
+	UseSignatures bool
+	// CandidateLimit is the number of candidates retained per artifact when
+	// signatures are enabled. Default 5.
+	CandidateLimit int
+	// SignatureSize is the number of min-hash values per artifact signature.
+	// Default 32.
+	SignatureSize int
+}
+
+func (o *Options) defaults() {
+	if o.MinScore <= 0 {
+		o.MinScore = 0.1
+	}
+	if o.MaxParents <= 0 {
+		o.MaxParents = 1
+	}
+	if o.CandidateLimit <= 0 {
+		o.CandidateLimit = 5
+	}
+	if o.SignatureSize <= 0 {
+		o.SignatureSize = 32
+	}
+}
+
+// Result is the outcome of lineage inference: the inferred edges plus how
+// many exact pair comparisons were performed (the quantity signature pruning
+// reduces).
+type Result struct {
+	Edges            []Edge
+	PairsCompared    int
+	ArtifactsScanned int
+}
+
+// InferLineage infers derivation edges among the artifacts.
+func InferLineage(artifacts []Artifact, opts Options) (*Result, error) {
+	opts.defaults()
+	if len(artifacts) == 0 {
+		return nil, fmt.Errorf("provenance: no artifacts given")
+	}
+	for i, a := range artifacts {
+		if a.Table == nil {
+			return nil, fmt.Errorf("provenance: artifact %d (%s) has no table", i, a.Name)
+		}
+		if a.Name == "" {
+			return nil, fmt.Errorf("provenance: artifact %d has no name", i)
+		}
+	}
+	ordered := make([]Artifact, len(artifacts))
+	copy(ordered, artifacts)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ModTime.Before(ordered[j].ModTime) })
+
+	fps := make([]fingerprint, len(ordered))
+	for i, a := range ordered {
+		fps[i] = fingerprintOf(a.Table, opts.SignatureSize)
+	}
+
+	res := &Result{ArtifactsScanned: len(ordered)}
+	for i := 1; i < len(ordered); i++ {
+		child := ordered[i]
+		// Candidate earlier artifacts, optionally pruned by signature overlap.
+		candidates := make([]int, 0, i)
+		for j := 0; j < i; j++ {
+			candidates = append(candidates, j)
+		}
+		if opts.UseSignatures && len(candidates) > opts.CandidateLimit {
+			sort.SliceStable(candidates, func(a, b int) bool {
+				return fps[candidates[a]].similarity(fps[i]) > fps[candidates[b]].similarity(fps[i])
+			})
+			candidates = candidates[:opts.CandidateLimit]
+		}
+		type scored struct {
+			j     int
+			score float64
+			exp   Explanation
+		}
+		var best []scored
+		for _, j := range candidates {
+			res.PairsCompared++
+			score, exp := scorePair(ordered[j].Table, child.Table)
+			if score < opts.MinScore {
+				continue
+			}
+			best = append(best, scored{j: j, score: score, exp: exp})
+		}
+		sort.SliceStable(best, func(a, b int) bool { return best[a].score > best[b].score })
+		if len(best) > opts.MaxParents {
+			best = best[:opts.MaxParents]
+		}
+		for _, b := range best {
+			res.Edges = append(res.Edges, Edge{
+				Parent:      ordered[b.j].Name,
+				Child:       child.Name,
+				Score:       b.score,
+				Explanation: b.exp,
+			})
+		}
+	}
+	return res, nil
+}
+
+// fingerprint is a min-hash signature over a table's row contents.
+type fingerprint struct{ sig []uint64 }
+
+func fingerprintOf(t *relstore.Table, size int) fingerprint {
+	sig := make([]uint64, size)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for _, r := range t.Rows {
+		h := hashString(rowKey(r))
+		for i := range sig {
+			mixed := mix(h, uint64(i+1))
+			if mixed < sig[i] {
+				sig[i] = mixed
+			}
+		}
+	}
+	return fingerprint{sig: sig}
+}
+
+func (f fingerprint) similarity(o fingerprint) float64 {
+	if len(f.sig) == 0 || len(f.sig) != len(o.sig) {
+		return 0
+	}
+	same := 0
+	for i := range f.sig {
+		if f.sig[i] == o.sig[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(f.sig))
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func mix(h, seed uint64) uint64 {
+	x := h ^ (seed * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func rowKey(r relstore.Row) string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.AsString()
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// scorePair computes the likelihood that child derives from parent together
+// with a structural explanation. The score combines row containment (how
+// much of the smaller table is shared) and schema overlap, with a key-based
+// analysis to distinguish updates from insertions/deletions.
+func scorePair(parent, child *relstore.Table) (float64, Explanation) {
+	exp := Explanation{}
+	sharedCols, addedCols, removedCols := schemaDiff(parent.Schema, child.Schema)
+	exp.ColumnsShared = len(sharedCols)
+	exp.ColumnsAdded = addedCols
+	exp.ColumnsRemoved = removedCols
+	if len(sharedCols) == 0 {
+		return 0, exp
+	}
+	// Row-level overlap on the shared columns.
+	parentKeys := projectKeys(parent, sharedCols)
+	childKeys := projectKeys(child, sharedCols)
+	shared := 0
+	for k := range childKeys {
+		if _, ok := parentKeys[k]; ok {
+			shared++
+		}
+	}
+	exp.RowsShared = shared
+	exp.RowsInserted = len(childKeys) - shared
+	exp.RowsDeleted = len(parentKeys) - shared
+	// Updates: rows whose "key" (first shared column) matches but whose full
+	// shared projection differs.
+	keyCol := sharedCols[0]
+	parentByKey := projectColumn(parent, keyCol)
+	childByKey := projectColumn(child, keyCol)
+	updates := 0
+	for k := range childByKey {
+		if _, ok := parentByKey[k]; ok {
+			if _, full := parentKeys[childFullKey(child, childByKey[k], sharedCols)]; !full {
+				updates++
+			}
+		}
+	}
+	exp.RowsUpdated = updates
+
+	// Jaccard similarity over the shared-column projection, with half credit
+	// for updated rows (same key, changed values). Jaccard — rather than
+	// containment — makes the *closest* earlier version win, so chains of
+	// derivations are recovered edge by edge instead of collapsing onto the
+	// root version.
+	union := len(parentKeys) + len(childKeys) - shared
+	var rowScore float64
+	if union > 0 {
+		rowScore = (float64(shared) + 0.5*float64(updates)) / float64(union)
+		if rowScore > 1 {
+			rowScore = 1
+		}
+	}
+	colScore := float64(len(sharedCols)) / float64(len(sharedCols)+len(addedCols)+len(removedCols))
+	score := 0.7*rowScore + 0.3*colScore
+	exp.Operation = classify(exp, parent.Len(), child.Len())
+	return score, exp
+}
+
+func classify(exp Explanation, parentRows, childRows int) Operation {
+	switch {
+	case len(exp.ColumnsAdded) > 0 && len(exp.ColumnsRemoved) == 0 && exp.RowsShared > 0:
+		return OpColumnAddition
+	case len(exp.ColumnsRemoved) > 0 && len(exp.ColumnsAdded) == 0 && exp.RowsShared > 0:
+		return OpColumnRemoval
+	case exp.RowsShared == parentRows && exp.RowsShared == childRows && exp.RowsUpdated == 0:
+		return OpIdentical
+	case exp.RowsUpdated > 0 && exp.RowsInserted == exp.RowsUpdated && exp.RowsDeleted == exp.RowsUpdated:
+		return OpRowUpdate
+	case exp.RowsInserted > 0 && exp.RowsDeleted == 0:
+		return OpRowInsertion
+	case exp.RowsDeleted > 0 && exp.RowsInserted == 0:
+		return OpRowDeletion
+	case exp.RowsShared > 0 && parentRows == childRows:
+		return OpTransformation
+	case exp.RowsShared > 0:
+		return OpRowUpdate
+	default:
+		return OpUnknown
+	}
+}
+
+func schemaDiff(parent, child relstore.Schema) (shared, added, removed []string) {
+	pset := map[string]bool{}
+	for _, c := range parent.Columns {
+		pset[c.Name] = true
+	}
+	cset := map[string]bool{}
+	for _, c := range child.Columns {
+		cset[c.Name] = true
+		if pset[c.Name] {
+			shared = append(shared, c.Name)
+		} else {
+			added = append(added, c.Name)
+		}
+	}
+	for _, c := range parent.Columns {
+		if !cset[c.Name] {
+			removed = append(removed, c.Name)
+		}
+	}
+	return shared, added, removed
+}
+
+// projectKeys returns the set of rows projected onto the given columns.
+func projectKeys(t *relstore.Table, cols []string) map[string]struct{} {
+	idx := make([]int, 0, len(cols))
+	for _, c := range cols {
+		idx = append(idx, t.Schema.ColumnIndex(c))
+	}
+	out := make(map[string]struct{}, t.Len())
+	for _, r := range t.Rows {
+		parts := make([]string, len(idx))
+		for i, ci := range idx {
+			if ci >= 0 && ci < len(r) {
+				parts[i] = r[ci].AsString()
+			}
+		}
+		out[strings.Join(parts, "\x1f")] = struct{}{}
+	}
+	return out
+}
+
+// projectColumn maps the rendering of one column to a representative row.
+func projectColumn(t *relstore.Table, col string) map[string]relstore.Row {
+	ci := t.Schema.ColumnIndex(col)
+	out := make(map[string]relstore.Row, t.Len())
+	for _, r := range t.Rows {
+		if ci >= 0 && ci < len(r) {
+			out[r[ci].AsString()] = r
+		}
+	}
+	return out
+}
+
+func childFullKey(t *relstore.Table, r relstore.Row, cols []string) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		ci := t.Schema.ColumnIndex(c)
+		if ci >= 0 && ci < len(r) {
+			parts[i] = r[ci].AsString()
+		}
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// GroundTruth lists the true derivation edges of a repository, for
+// evaluating inference quality (§8.8).
+type GroundTruth struct {
+	Edges map[[2]string]bool
+}
+
+// NewGroundTruth builds a ground truth from (parent, child) name pairs.
+func NewGroundTruth(pairs [][2]string) GroundTruth {
+	gt := GroundTruth{Edges: make(map[[2]string]bool, len(pairs))}
+	for _, p := range pairs {
+		gt.Edges[p] = true
+	}
+	return gt
+}
+
+// Quality reports precision and recall of inferred edges against the truth.
+type Quality struct {
+	Precision float64
+	Recall    float64
+	TruePos   int
+	FalsePos  int
+	FalseNeg  int
+}
+
+// Evaluate compares inferred edges against the ground truth.
+func (gt GroundTruth) Evaluate(edges []Edge) Quality {
+	var q Quality
+	seen := map[[2]string]bool{}
+	for _, e := range edges {
+		key := [2]string{e.Parent, e.Child}
+		seen[key] = true
+		if gt.Edges[key] {
+			q.TruePos++
+		} else {
+			q.FalsePos++
+		}
+	}
+	for key := range gt.Edges {
+		if !seen[key] {
+			q.FalseNeg++
+		}
+	}
+	if q.TruePos+q.FalsePos > 0 {
+		q.Precision = float64(q.TruePos) / float64(q.TruePos+q.FalsePos)
+	}
+	if q.TruePos+q.FalseNeg > 0 {
+		q.Recall = float64(q.TruePos) / float64(q.TruePos+q.FalseNeg)
+	}
+	return q
+}

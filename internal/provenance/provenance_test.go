@@ -1,0 +1,234 @@
+package provenance
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/relstore"
+)
+
+func geneSchema(extra ...relstore.Column) relstore.Schema {
+	cols := []relstore.Column{
+		{Name: "gene", Type: relstore.TypeString},
+		{Name: "score", Type: relstore.TypeInt},
+	}
+	cols = append(cols, extra...)
+	return relstore.MustSchema(cols)
+}
+
+func mkTable(t testing.TB, schema relstore.Schema, rows ...relstore.Row) *relstore.Table {
+	t.Helper()
+	tab := relstore.NewTable("t", schema)
+	for _, r := range rows {
+		if err := tab.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func g(name string, score int64, extra ...relstore.Value) relstore.Row {
+	row := relstore.Row{relstore.Str(name), relstore.Int(score)}
+	return append(row, extra...)
+}
+
+// buildRepository builds a small repository with known lineage:
+// base -> insert -> update -> addcol, plus base -> delete (a branch) and an
+// unrelated artifact.
+func buildRepository(t testing.TB) ([]Artifact, GroundTruth) {
+	t.Helper()
+	ts := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	base := mkTable(t, geneSchema(), g("BRCA1", 10), g("TP53", 20), g("EGFR", 30), g("MYC", 40))
+	insert := mkTable(t, geneSchema(), g("BRCA1", 10), g("TP53", 20), g("EGFR", 30), g("MYC", 40), g("KRAS", 50))
+	update := mkTable(t, geneSchema(), g("BRCA1", 10), g("TP53", 99), g("EGFR", 30), g("MYC", 40), g("KRAS", 50))
+	addcol := mkTable(t, geneSchema(relstore.Column{Name: "pvalue", Type: relstore.TypeFloat}),
+		g("BRCA1", 10, relstore.Float(0.01)), g("TP53", 99, relstore.Float(0.2)), g("EGFR", 30, relstore.Float(0.05)),
+		g("MYC", 40, relstore.Float(0.3)), g("KRAS", 50, relstore.Float(0.07)))
+	del := mkTable(t, geneSchema(), g("BRCA1", 10), g("TP53", 20))
+	unrelatedSchema := relstore.MustSchema([]relstore.Column{{Name: "city", Type: relstore.TypeString}, {Name: "pop", Type: relstore.TypeInt}})
+	unrelated := mkTable(t, unrelatedSchema, relstore.Row{relstore.Str("Urbana"), relstore.Int(42000)})
+
+	artifacts := []Artifact{
+		{Name: "genes_v1.csv", ModTime: ts, Table: base},
+		{Name: "genes_v2.csv", ModTime: ts.Add(1 * time.Hour), Table: insert},
+		{Name: "genes_v3.csv", ModTime: ts.Add(2 * time.Hour), Table: update},
+		{Name: "genes_v4.csv", ModTime: ts.Add(3 * time.Hour), Table: addcol},
+		{Name: "genes_small.csv", ModTime: ts.Add(90 * time.Minute), Table: del},
+		{Name: "cities.csv", ModTime: ts.Add(4 * time.Hour), Table: unrelated},
+	}
+	gt := NewGroundTruth([][2]string{
+		{"genes_v1.csv", "genes_v2.csv"},
+		{"genes_v2.csv", "genes_v3.csv"},
+		{"genes_v3.csv", "genes_v4.csv"},
+		{"genes_v1.csv", "genes_small.csv"},
+	})
+	return artifacts, gt
+}
+
+func TestInferLineageRecoversTrueEdges(t *testing.T) {
+	artifacts, gt := buildRepository(t)
+	res, err := InferLineage(artifacts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := gt.Evaluate(res.Edges)
+	if q.Recall < 0.75 {
+		t.Errorf("recall = %.2f, want >= 0.75 (edges: %+v)", q.Recall, res.Edges)
+	}
+	if q.Precision < 0.75 {
+		t.Errorf("precision = %.2f, want >= 0.75 (edges: %+v)", q.Precision, res.Edges)
+	}
+	// The unrelated artifact gets no parent.
+	for _, e := range res.Edges {
+		if e.Child == "cities.csv" {
+			t.Errorf("unrelated artifact should have no inferred parent, got %+v", e)
+		}
+	}
+}
+
+func TestStructuralExplanations(t *testing.T) {
+	artifacts, _ := buildRepository(t)
+	res, err := InferLineage(artifacts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := map[string]Operation{}
+	for _, e := range res.Edges {
+		ops[e.Child] = e.Explanation.Operation
+	}
+	if op := ops["genes_v2.csv"]; op != OpRowInsertion {
+		t.Errorf("genes_v2 operation = %s, want row-insertion", op)
+	}
+	if op := ops["genes_v4.csv"]; op != OpColumnAddition {
+		t.Errorf("genes_v4 operation = %s, want column-addition", op)
+	}
+	if op := ops["genes_small.csv"]; op != OpRowDeletion {
+		t.Errorf("genes_small operation = %s, want row-deletion", op)
+	}
+	if op := ops["genes_v3.csv"]; op != OpRowUpdate && op != OpTransformation {
+		t.Errorf("genes_v3 operation = %s, want row-update or row-preserving-transformation", op)
+	}
+}
+
+func TestIdenticalCopyDetected(t *testing.T) {
+	ts := time.Now()
+	base := mkTable(t, geneSchema(), g("A", 1), g("B", 2))
+	copyTab := mkTable(t, geneSchema(), g("A", 1), g("B", 2))
+	res, err := InferLineage([]Artifact{
+		{Name: "orig", ModTime: ts, Table: base},
+		{Name: "copy", ModTime: ts.Add(time.Minute), Table: copyTab},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 1 {
+		t.Fatalf("edges = %+v, want 1", res.Edges)
+	}
+	if res.Edges[0].Explanation.Operation != OpIdentical {
+		t.Errorf("operation = %s, want identical-copy", res.Edges[0].Explanation.Operation)
+	}
+	if res.Edges[0].Score < 0.9 {
+		t.Errorf("score = %.2f, want near 1", res.Edges[0].Score)
+	}
+}
+
+func TestSignaturePruningReducesComparisons(t *testing.T) {
+	// Build a larger chain of versions plus noise tables.
+	rng := rand.New(rand.NewSource(9))
+	ts := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	var artifacts []Artifact
+	var truth [][2]string
+	prevRows := []relstore.Row{}
+	for i := 0; i < 30; i++ {
+		prevRows = append(prevRows, g(fmt.Sprintf("gene%03d", i), int64(rng.Intn(100))))
+	}
+	prevName := "chain_000"
+	artifacts = append(artifacts, Artifact{Name: prevName, ModTime: ts, Table: mkTable(t, geneSchema(), prevRows...)})
+	for v := 1; v < 20; v++ {
+		rows := make([]relstore.Row, len(prevRows))
+		copy(rows, prevRows)
+		rows = append(rows, g(fmt.Sprintf("new%03d", v), int64(rng.Intn(100))))
+		name := fmt.Sprintf("chain_%03d", v)
+		artifacts = append(artifacts, Artifact{Name: name, ModTime: ts.Add(time.Duration(v) * time.Hour), Table: mkTable(t, geneSchema(), rows...)})
+		truth = append(truth, [2]string{prevName, name})
+		prevRows = rows
+		prevName = name
+	}
+	gt := NewGroundTruth(truth)
+
+	exhaustive, err := InferLineage(artifacts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := InferLineage(artifacts, Options{UseSignatures: true, CandidateLimit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.PairsCompared >= exhaustive.PairsCompared {
+		t.Errorf("signature pruning should reduce comparisons: %d vs %d", pruned.PairsCompared, exhaustive.PairsCompared)
+	}
+	qe := gt.Evaluate(exhaustive.Edges)
+	qp := gt.Evaluate(pruned.Edges)
+	if qe.Recall < 0.9 {
+		t.Errorf("exhaustive recall = %.2f, want >= 0.9", qe.Recall)
+	}
+	if qp.Recall < 0.75 {
+		t.Errorf("pruned recall = %.2f, want >= 0.75", qp.Recall)
+	}
+}
+
+func TestMaxParentsAllowsMerges(t *testing.T) {
+	ts := time.Now()
+	a := mkTable(t, geneSchema(), g("A", 1), g("B", 2), g("C", 3))
+	b := mkTable(t, geneSchema(), g("D", 4), g("E", 5), g("F", 6))
+	merged := mkTable(t, geneSchema(), g("A", 1), g("B", 2), g("C", 3), g("D", 4), g("E", 5), g("F", 6))
+	arts := []Artifact{
+		{Name: "a", ModTime: ts, Table: a},
+		{Name: "b", ModTime: ts.Add(time.Minute), Table: b},
+		{Name: "merged", ModTime: ts.Add(2 * time.Minute), Table: merged},
+	}
+	res, err := InferLineage(arts, Options{MaxParents: 2, MinScore: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parents := map[string]bool{}
+	for _, e := range res.Edges {
+		if e.Child == "merged" {
+			parents[e.Parent] = true
+		}
+	}
+	if !parents["a"] || !parents["b"] {
+		t.Errorf("merged artifact should have both a and b as parents, got %+v", res.Edges)
+	}
+}
+
+func TestInferLineageErrors(t *testing.T) {
+	if _, err := InferLineage(nil, Options{}); err == nil {
+		t.Error("empty artifact list should fail")
+	}
+	if _, err := InferLineage([]Artifact{{Name: "x"}}, Options{}); err == nil {
+		t.Error("artifact without table should fail")
+	}
+	tab := mkTable(t, geneSchema(), g("A", 1))
+	if _, err := InferLineage([]Artifact{{Table: tab}}, Options{}); err == nil {
+		t.Error("artifact without name should fail")
+	}
+}
+
+func TestGroundTruthEvaluate(t *testing.T) {
+	gt := NewGroundTruth([][2]string{{"a", "b"}, {"b", "c"}})
+	q := gt.Evaluate([]Edge{{Parent: "a", Child: "b"}, {Parent: "a", Child: "c"}})
+	if q.TruePos != 1 || q.FalsePos != 1 || q.FalseNeg != 1 {
+		t.Errorf("quality = %+v", q)
+	}
+	if q.Precision != 0.5 || q.Recall != 0.5 {
+		t.Errorf("precision/recall = %g/%g, want 0.5/0.5", q.Precision, q.Recall)
+	}
+	empty := NewGroundTruth(nil)
+	q = empty.Evaluate(nil)
+	if q.Precision != 0 || q.Recall != 0 {
+		t.Errorf("empty evaluation should be zero: %+v", q)
+	}
+}

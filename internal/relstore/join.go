@@ -1,0 +1,180 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// JoinMethod selects the join strategy used to combine a data table with the
+// rid list of a version during checkout (Section 5.5.5 compares all three).
+type JoinMethod int
+
+const (
+	// HashJoin builds a hash table on the rid list and probes it while
+	// sequentially scanning the data table. This is the default strategy
+	// because its cost is linear in the partition size regardless of the
+	// physical layout.
+	HashJoin JoinMethod = iota
+	// MergeJoin sorts the rid list and merges it against a scan of the data
+	// table in rid order (an index scan when the table is clustered on rid).
+	MergeJoin
+	// IndexNestedLoopJoin performs one index lookup in the data table per rid
+	// in the list (random access per rid).
+	IndexNestedLoopJoin
+)
+
+// String names the join method.
+func (m JoinMethod) String() string {
+	switch m {
+	case HashJoin:
+		return "hash-join"
+	case MergeJoin:
+		return "merge-join"
+	case IndexNestedLoopJoin:
+		return "index-nested-loop-join"
+	default:
+		return fmt.Sprintf("join(%d)", int(m))
+	}
+}
+
+// JoinOnRIDs returns the rows of the data table whose value in ridColumn is
+// contained in rids, using the requested join method. The returned rows are
+// shared (not copied).
+//
+// This is the core of the checkout SQL translation for split-by-vlist and
+// split-by-rlist (Table 4.1): the rid list is obtained from the versioning
+// table and then joined with the data table.
+func JoinOnRIDs(data *Table, ridColumn string, rids []int64, method JoinMethod) ([]Row, error) {
+	ci := data.Schema.ColumnIndex(ridColumn)
+	if ci < 0 {
+		return nil, fmt.Errorf("relstore: table %s has no column %q", data.Name, ridColumn)
+	}
+	switch method {
+	case HashJoin:
+		return hashJoinRIDs(data, ci, rids), nil
+	case MergeJoin:
+		return mergeJoinRIDs(data, ci, rids), nil
+	case IndexNestedLoopJoin:
+		return indexNestedLoopRIDs(data, ci, rids)
+	default:
+		return nil, fmt.Errorf("relstore: unknown join method %d", int(method))
+	}
+}
+
+// hashJoinRIDs builds a hash set over rids, then sequentially scans the data
+// table probing each row. Cost: |rids| build + |data| probes.
+func hashJoinRIDs(data *Table, ridCol int, rids []int64) []Row {
+	set := make(map[int64]struct{}, len(rids))
+	for _, r := range rids {
+		set[r] = struct{}{}
+	}
+	out := make([]Row, 0, len(rids))
+	data.Scan(func(_ int, r Row) bool {
+		data.stats.HashProbes++
+		if _, ok := set[r[ridCol].AsInt()]; ok {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+// mergeJoinRIDs sorts the rid list and merges it against the data table.
+// When the table is clustered on rid this is a single sequential pass;
+// otherwise the data side must be sorted first (modelled as a full scan plus
+// the sort's sequential reads).
+func mergeJoinRIDs(data *Table, ridCol int, rids []int64) []Row {
+	sorted := make([]int64, len(rids))
+	copy(sorted, rids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	type ridRow struct {
+		rid int64
+		row Row
+	}
+	pairs := make([]ridRow, 0, len(data.Rows))
+	data.Scan(func(_ int, r Row) bool {
+		pairs = append(pairs, ridRow{rid: r[ridCol].AsInt(), row: r})
+		return true
+	})
+	if data.Cluster != ClusterOnRID {
+		// Sorting the data side costs another pass in the cost model.
+		data.stats.SeqReads += int64(len(pairs))
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].rid < pairs[j].rid })
+	}
+
+	out := make([]Row, 0, len(sorted))
+	i, j := 0, 0
+	for i < len(pairs) && j < len(sorted) {
+		switch {
+		case pairs[i].rid < sorted[j]:
+			i++
+		case pairs[i].rid > sorted[j]:
+			j++
+		default:
+			out = append(out, pairs[i].row)
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// indexNestedLoopRIDs performs one index lookup per rid. The data table must
+// have a unique index on the rid column.
+func indexNestedLoopRIDs(data *Table, ridCol int, rids []int64) ([]Row, error) {
+	cols := data.IndexColumns()
+	if len(cols) != 1 || data.Schema.ColumnIndex(cols[0]) != ridCol {
+		return nil, fmt.Errorf("relstore: index-nested-loop join requires a unique index on %q of table %s", data.Schema.Columns[ridCol].Name, data.Name)
+	}
+	out := make([]Row, 0, len(rids))
+	for _, rid := range rids {
+		if row, ok := data.LookupIndex(Int(rid)); ok {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// HashJoinTables performs a general equi-join of two tables on the named
+// columns, returning concatenated rows (left columns followed by right
+// columns). It is used by the versioned SQL shortcuts (joins across
+// versions) and by example applications.
+func HashJoinTables(left *Table, leftCol string, right *Table, rightCol string) ([]Row, Schema, error) {
+	li := left.Schema.ColumnIndex(leftCol)
+	ri := right.Schema.ColumnIndex(rightCol)
+	if li < 0 {
+		return nil, Schema{}, fmt.Errorf("relstore: table %s has no column %q", left.Name, leftCol)
+	}
+	if ri < 0 {
+		return nil, Schema{}, fmt.Errorf("relstore: table %s has no column %q", right.Name, rightCol)
+	}
+	build := make(map[string][]Row)
+	right.Scan(func(_ int, r Row) bool {
+		build[r[ri].AsString()] = append(build[r[ri].AsString()], r)
+		return true
+	})
+	var out []Row
+	left.Scan(func(_ int, l Row) bool {
+		left.stats.HashProbes++
+		for _, r := range build[l[li].AsString()] {
+			joined := make(Row, 0, len(l)+len(r))
+			joined = append(joined, l...)
+			joined = append(joined, r...)
+			out = append(out, joined)
+		}
+		return true
+	})
+	cols := make([]Column, 0, len(left.Schema.Columns)+len(right.Schema.Columns))
+	for _, c := range left.Schema.Columns {
+		cols = append(cols, Column{Name: left.Name + "." + c.Name, Type: c.Type})
+	}
+	for _, c := range right.Schema.Columns {
+		cols = append(cols, Column{Name: right.Name + "." + c.Name, Type: c.Type})
+	}
+	schema, err := NewSchema(cols)
+	if err != nil {
+		return nil, Schema{}, err
+	}
+	return out, schema, nil
+}

@@ -1,0 +1,45 @@
+package relstore
+
+import "fmt"
+
+// CostStats collects the abstract I/O counters used by the checkout cost
+// model of Chapter 5: sequential row reads, random (index) row reads, and
+// rows written. The partition optimizer reasons about these quantities; the
+// benchmark harness reports them next to wall-clock time so the Figure 5.7
+// cost-model validation can be reproduced without PostgreSQL.
+type CostStats struct {
+	SeqReads    int64 // rows touched by sequential scans
+	RandomReads int64 // rows touched through index lookups
+	RowsWritten int64 // rows inserted or updated
+	HashProbes  int64 // hash-table probes performed by hash joins
+}
+
+// Reset zeroes all counters.
+func (s *CostStats) Reset() { *s = CostStats{} }
+
+// Add accumulates another stats value into s.
+func (s *CostStats) Add(o CostStats) {
+	s.SeqReads += o.SeqReads
+	s.RandomReads += o.RandomReads
+	s.RowsWritten += o.RowsWritten
+	s.HashProbes += o.HashProbes
+}
+
+// Diff returns o - s component-wise; useful for measuring the cost of a
+// single operation by snapshotting before and after.
+func (s CostStats) Diff(o CostStats) CostStats {
+	return CostStats{
+		SeqReads:    o.SeqReads - s.SeqReads,
+		RandomReads: o.RandomReads - s.RandomReads,
+		RowsWritten: o.RowsWritten - s.RowsWritten,
+		HashProbes:  o.HashProbes - s.HashProbes,
+	}
+}
+
+// TotalReads returns sequential plus random reads.
+func (s CostStats) TotalReads() int64 { return s.SeqReads + s.RandomReads }
+
+// String renders the counters compactly.
+func (s CostStats) String() string {
+	return fmt.Sprintf("seq=%d rand=%d written=%d probes=%d", s.SeqReads, s.RandomReads, s.RowsWritten, s.HashProbes)
+}

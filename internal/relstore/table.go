@@ -1,0 +1,416 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Row is a single tuple; values are positionally aligned with the table's
+// schema.
+type Row []Value
+
+// Clone returns a deep copy of the row (array values are copied too).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	for i, v := range out {
+		if v.Type == TypeIntArray {
+			a := make([]int64, len(v.A))
+			copy(a, v.A)
+			out[i].A = a
+		}
+	}
+	return out
+}
+
+// StorageBytes returns the accounted storage footprint of the row.
+func (r Row) StorageBytes() int64 {
+	var n int64
+	for _, v := range r {
+		n += v.StorageBytes()
+	}
+	return n
+}
+
+// ClusterMode describes the physical ordering of a table, which influences
+// which join strategies degrade to random I/O (Section 5.5.5).
+type ClusterMode int
+
+const (
+	// ClusterNone means rows are kept in insertion order.
+	ClusterNone ClusterMode = iota
+	// ClusterOnRID means rows are kept ordered by the rid column.
+	ClusterOnRID
+	// ClusterOnPK means rows are kept ordered by the relation primary key.
+	ClusterOnPK
+)
+
+// Table is an in-memory relation with an optional unique index.
+type Table struct {
+	Name    string
+	Schema  Schema
+	Rows    []Row
+	Cluster ClusterMode
+
+	// uniqueIndex maps encoded index-key -> row position for the indexed
+	// columns (typically the primary key, or rid for data tables).
+	indexCols   []int
+	uniqueIndex map[string]int
+
+	stats *CostStats
+}
+
+// NewTable creates an empty table with the given schema. If the schema has a
+// primary key, a unique index is built on it.
+func NewTable(name string, schema Schema) *Table {
+	t := &Table{Name: name, Schema: schema, stats: &CostStats{}}
+	if pk := schema.PrimaryKeyIndexes(); len(pk) > 0 {
+		t.indexCols = pk
+		t.uniqueIndex = make(map[string]int)
+	}
+	return t
+}
+
+// SetStats attaches a shared cost-statistics collector (used by Database so
+// every table in the database reports into one place).
+func (t *Table) SetStats(s *CostStats) {
+	if s != nil {
+		t.stats = s
+	}
+}
+
+// Stats returns the cost statistics collector for this table.
+func (t *Table) Stats() *CostStats { return t.stats }
+
+// BuildIndexOn (re)builds the unique index on the named columns, replacing
+// any existing index. It returns an error on duplicate keys.
+func (t *Table) BuildIndexOn(cols ...string) error {
+	idx := make([]int, 0, len(cols))
+	for _, c := range cols {
+		i := t.Schema.ColumnIndex(c)
+		if i < 0 {
+			return fmt.Errorf("relstore: table %s: no column %q to index", t.Name, c)
+		}
+		idx = append(idx, i)
+	}
+	uniq := make(map[string]int, len(t.Rows))
+	for pos, r := range t.Rows {
+		k := encodeKey(r, idx)
+		if prev, dup := uniq[k]; dup {
+			return fmt.Errorf("relstore: table %s: duplicate index key %q at rows %d and %d", t.Name, k, prev, pos)
+		}
+		uniq[k] = pos
+	}
+	t.indexCols = idx
+	t.uniqueIndex = uniq
+	return nil
+}
+
+// HasIndex reports whether the table currently has a unique index.
+func (t *Table) HasIndex() bool { return t.uniqueIndex != nil }
+
+// IndexColumns returns the names of the indexed columns (nil if no index).
+func (t *Table) IndexColumns() []string {
+	if t.indexCols == nil {
+		return nil
+	}
+	names := make([]string, len(t.indexCols))
+	for i, c := range t.indexCols {
+		names[i] = t.Schema.Columns[c].Name
+	}
+	return names
+}
+
+func encodeKey(r Row, cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte('\x00')
+		}
+		if c < len(r) {
+			b.WriteString(r[c].AsString())
+		}
+	}
+	return b.String()
+}
+
+// KeyOf returns the encoded index key of a row for this table's index.
+func (t *Table) KeyOf(r Row) string { return encodeKey(r, t.indexCols) }
+
+// Insert appends a row, maintaining the unique index if present. The row
+// length must match the schema.
+func (t *Table) Insert(r Row) error {
+	if len(r) != len(t.Schema.Columns) {
+		return fmt.Errorf("relstore: table %s: row has %d values, schema has %d columns", t.Name, len(r), len(t.Schema.Columns))
+	}
+	if t.uniqueIndex != nil {
+		k := encodeKey(r, t.indexCols)
+		if _, dup := t.uniqueIndex[k]; dup {
+			return fmt.Errorf("relstore: table %s: duplicate key %q", t.Name, k)
+		}
+		t.uniqueIndex[k] = len(t.Rows)
+	}
+	t.Rows = append(t.Rows, r)
+	t.stats.RowsWritten++
+	return nil
+}
+
+// MustInsert inserts and panics on error; for tests and generators.
+func (t *Table) MustInsert(r Row) {
+	if err := t.Insert(r); err != nil {
+		panic(err)
+	}
+}
+
+// InsertBatch appends many rows, maintaining the index.
+func (t *Table) InsertBatch(rows []Row) error {
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// StorageBytes returns the accounted size of the table including its index
+// (8 bytes per indexed row, approximating a hash/btree entry).
+func (t *Table) StorageBytes() int64 {
+	var n int64
+	for _, r := range t.Rows {
+		n += r.StorageBytes()
+	}
+	if t.uniqueIndex != nil {
+		n += int64(len(t.uniqueIndex)) * 16
+	}
+	return n
+}
+
+// LookupIndex returns the row whose indexed columns equal key values, using
+// the unique index (a random access in the cost model).
+func (t *Table) LookupIndex(key ...Value) (Row, bool) {
+	if t.uniqueIndex == nil {
+		return nil, false
+	}
+	var b strings.Builder
+	for i, v := range key {
+		if i > 0 {
+			b.WriteByte('\x00')
+		}
+		b.WriteString(v.AsString())
+	}
+	pos, ok := t.uniqueIndex[b.String()]
+	if !ok {
+		return nil, false
+	}
+	t.stats.RandomReads++
+	return t.Rows[pos], true
+}
+
+// Scan iterates all rows (sequential reads in the cost model), invoking fn
+// for each; if fn returns false the scan stops early.
+func (t *Table) Scan(fn func(pos int, r Row) bool) {
+	for i, r := range t.Rows {
+		t.stats.SeqReads++
+		if !fn(i, r) {
+			return
+		}
+	}
+}
+
+// Filter returns all rows satisfying pred (a full sequential scan).
+func (t *Table) Filter(pred func(Row) bool) []Row {
+	var out []Row
+	t.Scan(func(_ int, r Row) bool {
+		if pred(r) {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+// UpdateWhere applies fn to every row satisfying pred, returning the number
+// of rows updated. The unique index is rebuilt if indexed columns changed.
+func (t *Table) UpdateWhere(pred func(Row) bool, fn func(Row) Row) (int, error) {
+	updated := 0
+	indexDirty := false
+	for i, r := range t.Rows {
+		t.stats.SeqReads++
+		if !pred(r) {
+			continue
+		}
+		nr := fn(r.Clone())
+		if len(nr) != len(t.Schema.Columns) {
+			return updated, fmt.Errorf("relstore: table %s: update produced %d values, schema has %d", t.Name, len(nr), len(t.Schema.Columns))
+		}
+		if t.uniqueIndex != nil && encodeKey(r, t.indexCols) != encodeKey(nr, t.indexCols) {
+			indexDirty = true
+		}
+		t.Rows[i] = nr
+		t.stats.RowsWritten++
+		updated++
+	}
+	if indexDirty {
+		names := t.IndexColumns()
+		if err := t.BuildIndexOn(names...); err != nil {
+			return updated, err
+		}
+	}
+	return updated, nil
+}
+
+// DeleteWhere removes all rows satisfying pred and returns how many were
+// removed. The unique index is rebuilt.
+func (t *Table) DeleteWhere(pred func(Row) bool) int {
+	kept := t.Rows[:0]
+	removed := 0
+	for _, r := range t.Rows {
+		t.stats.SeqReads++
+		if pred(r) {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.Rows = kept
+	if t.uniqueIndex != nil && removed > 0 {
+		names := t.IndexColumns()
+		_ = t.BuildIndexOn(names...)
+	}
+	return removed
+}
+
+// SortBy physically reorders the table by the named columns (ascending) and
+// records the requested clustering mode. The index is rebuilt.
+func (t *Table) SortBy(mode ClusterMode, cols ...string) error {
+	idx := make([]int, 0, len(cols))
+	for _, c := range cols {
+		i := t.Schema.ColumnIndex(c)
+		if i < 0 {
+			return fmt.Errorf("relstore: table %s: no column %q to sort by", t.Name, c)
+		}
+		idx = append(idx, i)
+	}
+	sort.SliceStable(t.Rows, func(a, b int) bool {
+		ra, rb := t.Rows[a], t.Rows[b]
+		for _, c := range idx {
+			if cmp := ra[c].Compare(rb[c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	t.Cluster = mode
+	if t.uniqueIndex != nil {
+		names := t.IndexColumns()
+		if err := t.BuildIndexOn(names...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Project returns a new in-memory table containing only the named columns.
+func (t *Table) Project(name string, cols ...string) (*Table, error) {
+	idx := make([]int, 0, len(cols))
+	outCols := make([]Column, 0, len(cols))
+	for _, c := range cols {
+		i := t.Schema.ColumnIndex(c)
+		if i < 0 {
+			return nil, fmt.Errorf("relstore: table %s: no column %q to project", t.Name, c)
+		}
+		idx = append(idx, i)
+		outCols = append(outCols, t.Schema.Columns[i])
+	}
+	schema, err := NewSchema(outCols)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(name, schema)
+	out.SetStats(t.stats)
+	for _, r := range t.Rows {
+		t.stats.SeqReads++
+		nr := make(Row, len(idx))
+		for j, c := range idx {
+			nr[j] = r[c]
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy of the table (rows and index) sharing the same
+// stats collector.
+func (t *Table) Clone(name string) *Table {
+	out := NewTable(name, t.Schema.Clone())
+	out.SetStats(t.stats)
+	out.Cluster = t.Cluster
+	out.Rows = make([]Row, len(t.Rows))
+	for i, r := range t.Rows {
+		out.Rows[i] = r.Clone()
+	}
+	if t.indexCols != nil {
+		names := t.IndexColumns()
+		_ = out.BuildIndexOn(names...)
+	}
+	return out
+}
+
+// AddColumn appends a column to the schema, filling existing rows with NULL
+// (the ALTER TABLE ... ADD COLUMN path used by schema evolution).
+func (t *Table) AddColumn(c Column) error {
+	newSchema, err := t.Schema.WithColumn(c)
+	if err != nil {
+		return err
+	}
+	t.Schema = newSchema
+	for i := range t.Rows {
+		t.Rows[i] = append(t.Rows[i], Null())
+		t.stats.RowsWritten++
+	}
+	return nil
+}
+
+// AlterColumnType changes a column's declared type and casts existing values
+// (integer→decimal etc.), mirroring the single-pool evolution of Section 4.3.
+func (t *Table) AlterColumnType(name string, typ ValueType) error {
+	ci := t.Schema.ColumnIndex(name)
+	if ci < 0 {
+		return fmt.Errorf("relstore: table %s: no column %q", t.Name, name)
+	}
+	newSchema, err := t.Schema.WithColumnType(name, typ)
+	if err != nil {
+		return err
+	}
+	t.Schema = newSchema
+	for i := range t.Rows {
+		v := t.Rows[i][ci]
+		if v.IsNull() {
+			continue
+		}
+		switch typ {
+		case TypeFloat:
+			t.Rows[i][ci] = Float(v.AsFloat())
+		case TypeInt:
+			t.Rows[i][ci] = Int(v.AsInt())
+		case TypeString:
+			t.Rows[i][ci] = Str(v.AsString())
+		case TypeBool:
+			t.Rows[i][ci] = Bool(v.AsBool())
+		}
+		t.stats.RowsWritten++
+	}
+	return nil
+}
+
+// Truncate removes all rows but keeps the schema and index definition.
+func (t *Table) Truncate() {
+	t.Rows = t.Rows[:0]
+	if t.uniqueIndex != nil {
+		t.uniqueIndex = make(map[string]int)
+	}
+}

@@ -1,0 +1,299 @@
+// Package relstore implements a small embedded relational storage engine.
+//
+// It is the substrate that the versioning layers (package cvd, partition) are
+// built on, playing the role PostgreSQL plays in the OrpheusDB paper: typed
+// tables, integer-array columns (used for vlist/rlist versioning attributes),
+// primary-key hash indexes, and three join strategies (hash join, merge join,
+// and index nested-loop join) whose relative costs drive the checkout cost
+// model of Chapter 5.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValueType enumerates the column types supported by the engine.
+type ValueType int
+
+// Supported column types.
+const (
+	TypeNull ValueType = iota
+	TypeInt
+	TypeFloat
+	TypeString
+	TypeBool
+	TypeIntArray
+)
+
+// String returns the SQL-ish name of the type.
+func (t ValueType) String() string {
+	switch t {
+	case TypeNull:
+		return "null"
+	case TypeInt:
+		return "integer"
+	case TypeFloat:
+		return "decimal"
+	case TypeString:
+		return "string"
+	case TypeBool:
+		return "boolean"
+	case TypeIntArray:
+		return "integer[]"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// ParseType parses a type name as used in schema files and the attribute
+// table of a CVD. It accepts the names produced by ValueType.String plus a
+// few common aliases.
+func ParseType(s string) (ValueType, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "int", "integer", "int64", "bigint":
+		return TypeInt, nil
+	case "float", "double", "decimal", "real", "float64":
+		return TypeFloat, nil
+	case "string", "text", "varchar":
+		return TypeString, nil
+	case "bool", "boolean":
+		return TypeBool, nil
+	case "integer[]", "int[]", "intarray":
+		return TypeIntArray, nil
+	case "null":
+		return TypeNull, nil
+	default:
+		return TypeNull, fmt.Errorf("relstore: unknown type %q", s)
+	}
+}
+
+// Value is a dynamically typed cell value. The zero value is SQL NULL.
+type Value struct {
+	Type ValueType
+	I    int64
+	F    float64
+	S    string
+	B    bool
+	A    []int64
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{Type: TypeNull} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{Type: TypeInt, I: v} }
+
+// Float returns a floating point value.
+func Float(v float64) Value { return Value{Type: TypeFloat, F: v} }
+
+// String returns a string value.
+func Str(v string) Value { return Value{Type: TypeString, S: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{Type: TypeBool, B: v} }
+
+// IntArray returns an integer-array value. The slice is used as-is (not
+// copied); callers that keep mutating the slice should copy it first.
+func IntArray(v []int64) Value { return Value{Type: TypeIntArray, A: v} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Type == TypeNull }
+
+// AsInt returns the value as an int64, converting floats and bools.
+func (v Value) AsInt() int64 {
+	switch v.Type {
+	case TypeInt:
+		return v.I
+	case TypeFloat:
+		return int64(v.F)
+	case TypeBool:
+		if v.B {
+			return 1
+		}
+		return 0
+	case TypeString:
+		n, _ := strconv.ParseInt(v.S, 10, 64)
+		return n
+	default:
+		return 0
+	}
+}
+
+// AsFloat returns the value as a float64.
+func (v Value) AsFloat() float64 {
+	switch v.Type {
+	case TypeInt:
+		return float64(v.I)
+	case TypeFloat:
+		return v.F
+	case TypeBool:
+		if v.B {
+			return 1
+		}
+		return 0
+	case TypeString:
+		f, _ := strconv.ParseFloat(v.S, 64)
+		return f
+	default:
+		return 0
+	}
+}
+
+// AsString renders the value as a string, mirroring a text cast.
+func (v Value) AsString() string {
+	switch v.Type {
+	case TypeNull:
+		return ""
+	case TypeInt:
+		return strconv.FormatInt(v.I, 10)
+	case TypeFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TypeString:
+		return v.S
+	case TypeBool:
+		return strconv.FormatBool(v.B)
+	case TypeIntArray:
+		parts := make([]string, len(v.A))
+		for i, x := range v.A {
+			parts[i] = strconv.FormatInt(x, 10)
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	default:
+		return ""
+	}
+}
+
+// AsBool returns the value as a boolean.
+func (v Value) AsBool() bool {
+	switch v.Type {
+	case TypeBool:
+		return v.B
+	case TypeInt:
+		return v.I != 0
+	case TypeFloat:
+		return v.F != 0
+	case TypeString:
+		return v.S != ""
+	default:
+		return false
+	}
+}
+
+// StorageBytes returns the number of bytes the value occupies in the storage
+// accounting model (used for Figure 4.1(a) and the Chapter 7 storage costs).
+func (v Value) StorageBytes() int64 {
+	switch v.Type {
+	case TypeNull:
+		return 1
+	case TypeInt:
+		return 8
+	case TypeFloat:
+		return 8
+	case TypeBool:
+		return 1
+	case TypeString:
+		return int64(len(v.S)) + 4
+	case TypeIntArray:
+		return int64(len(v.A))*8 + 8
+	default:
+		return 0
+	}
+}
+
+// Compare orders two values. NULL sorts before everything; values of
+// different numeric types compare numerically; otherwise comparison is on
+// the string rendering. The result is -1, 0 or 1.
+func (v Value) Compare(o Value) int {
+	if v.Type == TypeNull || o.Type == TypeNull {
+		switch {
+		case v.Type == TypeNull && o.Type == TypeNull:
+			return 0
+		case v.Type == TypeNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if isNumeric(v.Type) && isNumeric(o.Type) {
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.Type == TypeIntArray && o.Type == TypeIntArray {
+		return compareIntSlices(v.A, o.A)
+	}
+	return strings.Compare(v.AsString(), o.AsString())
+}
+
+// Equal reports whether two values compare equal.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+func isNumeric(t ValueType) bool {
+	return t == TypeInt || t == TypeFloat || t == TypeBool
+}
+
+func compareIntSlices(a, b []int64) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ArrayContains reports whether every element of sub is contained in arr,
+// mirroring PostgreSQL's `sub <@ arr` containment operator used by the
+// combined-table and split-by-vlist checkout translations (Table 4.1).
+func ArrayContains(arr, sub []int64) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	set := make(map[int64]struct{}, len(arr))
+	for _, x := range arr {
+		set[x] = struct{}{}
+	}
+	for _, x := range sub {
+		if _, ok := set[x]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ArrayAppend appends x to arr if not already present, keeping the array
+// sorted. It mirrors the `vlist = vlist + vj` commit translation.
+func ArrayAppend(arr []int64, x int64) []int64 {
+	i := sort.Search(len(arr), func(i int) bool { return arr[i] >= x })
+	if i < len(arr) && arr[i] == x {
+		return arr
+	}
+	arr = append(arr, 0)
+	copy(arr[i+1:], arr[i:])
+	arr[i] = x
+	return arr
+}
+
+// ArrayHas reports whether x is present in the sorted array arr.
+func ArrayHas(arr []int64, x int64) bool {
+	i := sort.Search(len(arr), func(i int) bool { return arr[i] >= x })
+	return i < len(arr) && arr[i] == x
+}

@@ -1,0 +1,283 @@
+package vgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RecordID identifies an immutable record within a CVD.
+type RecordID int64
+
+// Bipartite is the version-record bipartite graph G = (V, R, E) of Chapter 5:
+// for every version it stores the (sorted) set of record ids the version
+// contains. The baseline partitioners (Agglo, Kmeans) operate on this graph,
+// and it is also used to compute exact storage / checkout costs of a
+// partitioning scheme.
+type Bipartite struct {
+	versions map[VersionID][]RecordID
+	order    []VersionID
+}
+
+// NewBipartite creates an empty bipartite graph.
+func NewBipartite() *Bipartite {
+	return &Bipartite{versions: make(map[VersionID][]RecordID)}
+}
+
+// SetVersion records the record set of a version, replacing any previous
+// value. The record list is copied and sorted.
+func (b *Bipartite) SetVersion(v VersionID, records []RecordID) {
+	rs := make([]RecordID, len(records))
+	copy(rs, records)
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	// Deduplicate.
+	rs = dedupRecords(rs)
+	if _, exists := b.versions[v]; !exists {
+		b.order = append(b.order, v)
+	}
+	b.versions[v] = rs
+}
+
+func dedupRecords(rs []RecordID) []RecordID {
+	if len(rs) < 2 {
+		return rs
+	}
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		if r != out[len(out)-1] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Records returns the sorted record ids of a version (shared slice; callers
+// must not mutate it).
+func (b *Bipartite) Records(v VersionID) []RecordID { return b.versions[v] }
+
+// HasVersion reports whether the version is present.
+func (b *Bipartite) HasVersion(v VersionID) bool {
+	_, ok := b.versions[v]
+	return ok
+}
+
+// Versions returns all version ids in insertion order.
+func (b *Bipartite) Versions() []VersionID {
+	out := make([]VersionID, len(b.order))
+	copy(out, b.order)
+	return out
+}
+
+// NumVersions returns |V|.
+func (b *Bipartite) NumVersions() int { return len(b.versions) }
+
+// NumRecords returns |R|, the number of distinct records across versions.
+func (b *Bipartite) NumRecords() int64 {
+	seen := make(map[RecordID]struct{})
+	for _, rs := range b.versions {
+		for _, r := range rs {
+			seen[r] = struct{}{}
+		}
+	}
+	return int64(len(seen))
+}
+
+// NumEdges returns |E| = Σ_v |R(v)|.
+func (b *Bipartite) NumEdges() int64 {
+	var total int64
+	for _, rs := range b.versions {
+		total += int64(len(rs))
+	}
+	return total
+}
+
+// CommonRecords returns |R(a) ∩ R(b)| computed by merging the two sorted
+// record lists.
+func (b *Bipartite) CommonRecords(x, y VersionID) int64 {
+	a, bb := b.versions[x], b.versions[y]
+	var n int64
+	i, j := 0, 0
+	for i < len(a) && j < len(bb) {
+		switch {
+		case a[i] < bb[j]:
+			i++
+		case a[i] > bb[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// UnionSize returns |∪ R(v)| over the given versions.
+func (b *Bipartite) UnionSize(vs []VersionID) int64 {
+	seen := make(map[RecordID]struct{})
+	for _, v := range vs {
+		for _, r := range b.versions[v] {
+			seen[r] = struct{}{}
+		}
+	}
+	return int64(len(seen))
+}
+
+// Union returns the sorted union of record ids over the given versions.
+func (b *Bipartite) Union(vs []VersionID) []RecordID {
+	seen := make(map[RecordID]struct{})
+	for _, v := range vs {
+		for _, r := range b.versions[v] {
+			seen[r] = struct{}{}
+		}
+	}
+	out := make([]RecordID, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BuildGraph derives a version Graph from the bipartite graph and an
+// explicit set of derivation edges (parent, child): node sizes are |R(v)|
+// and edge weights are the exact common-record counts. It is the bridge the
+// benchmark generators use to hand workloads to the partitioners.
+func (b *Bipartite) BuildGraph(derivations [][2]VersionID) (*Graph, error) {
+	g := New()
+	for _, v := range b.order {
+		if _, err := g.AddVersion(v, int64(len(b.versions[v]))); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range derivations {
+		parent, child := d[0], d[1]
+		if !b.HasVersion(parent) || !b.HasVersion(child) {
+			return nil, fmt.Errorf("vgraph: derivation %d->%d references unknown version", parent, child)
+		}
+		if err := g.AddEdge(parent, child, b.CommonRecords(parent, child)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Partitioning assigns every version to exactly one partition; records may
+// be replicated across partitions (Section 5.1). Partition indexes are
+// 0-based and dense.
+type Partitioning struct {
+	// Assignment maps version id -> partition index.
+	Assignment map[VersionID]int
+	// NumPartitions is the number of partitions.
+	NumPartitions int
+}
+
+// NewPartitioning creates a partitioning from an assignment map, compacting
+// partition indexes to be dense.
+func NewPartitioning(assignment map[VersionID]int) Partitioning {
+	remap := make(map[int]int)
+	out := make(map[VersionID]int, len(assignment))
+	// Deterministic remapping: iterate versions in sorted order.
+	vs := make([]VersionID, 0, len(assignment))
+	for v := range assignment {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	for _, v := range vs {
+		p := assignment[v]
+		np, ok := remap[p]
+		if !ok {
+			np = len(remap)
+			remap[p] = np
+		}
+		out[v] = np
+	}
+	return Partitioning{Assignment: out, NumPartitions: len(remap)}
+}
+
+// VersionsOf returns the versions assigned to partition k, sorted by id.
+func (p Partitioning) VersionsOf(k int) []VersionID {
+	var out []VersionID
+	for v, pk := range p.Assignment {
+		if pk == k {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Groups returns, for each partition, its versions.
+func (p Partitioning) Groups() [][]VersionID {
+	out := make([][]VersionID, p.NumPartitions)
+	for v, k := range p.Assignment {
+		out[k] = append(out[k], v)
+	}
+	for k := range out {
+		sort.Slice(out[k], func(i, j int) bool { return out[k][i] < out[k][j] })
+	}
+	return out
+}
+
+// PartitionCost holds the exact storage and checkout cost of a partitioning
+// evaluated against a bipartite graph (Equations 5.1 and 5.2).
+type PartitionCost struct {
+	// Storage is S = Σ_k |R_k| in records.
+	Storage int64
+	// TotalCheckout is Σ_i C_i = Σ_k |V_k|·|R_k| in records.
+	TotalCheckout int64
+	// AvgCheckout is TotalCheckout / |V|.
+	AvgCheckout float64
+	// MaxCheckout is max_k |R_k|.
+	MaxCheckout int64
+	// PartitionRecords lists |R_k| per partition.
+	PartitionRecords []int64
+	// PartitionVersions lists |V_k| per partition.
+	PartitionVersions []int
+}
+
+// EvaluatePartitioning computes the exact cost metrics of a partitioning over
+// this bipartite graph.
+func (b *Bipartite) EvaluatePartitioning(p Partitioning) PartitionCost {
+	groups := p.Groups()
+	cost := PartitionCost{
+		PartitionRecords:  make([]int64, len(groups)),
+		PartitionVersions: make([]int, len(groups)),
+	}
+	for k, vs := range groups {
+		rk := b.UnionSize(vs)
+		cost.PartitionRecords[k] = rk
+		cost.PartitionVersions[k] = len(vs)
+		cost.Storage += rk
+		cost.TotalCheckout += rk * int64(len(vs))
+		if rk > cost.MaxCheckout {
+			cost.MaxCheckout = rk
+		}
+	}
+	if n := b.NumVersions(); n > 0 {
+		cost.AvgCheckout = float64(cost.TotalCheckout) / float64(n)
+	}
+	return cost
+}
+
+// WeightedCheckoutCost computes the frequency-weighted checkout cost
+// Σ f_i·C_i / Σ f_i of a partitioning (Section 5.3.2). Versions missing from
+// freq have frequency 1.
+func (b *Bipartite) WeightedCheckoutCost(p Partitioning, freq map[VersionID]int) float64 {
+	groups := p.Groups()
+	var num, den float64
+	for _, vs := range groups {
+		rk := float64(b.UnionSize(vs))
+		for _, v := range vs {
+			f := freq[v]
+			if f < 1 {
+				f = 1
+			}
+			num += float64(f) * rk
+			den += float64(f)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

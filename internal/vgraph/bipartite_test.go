@@ -1,0 +1,219 @@
+package vgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// figure51 builds the bipartite graph of Figure 5.1: versions v1..v4 over
+// records r1..r7.
+func figure51() *Bipartite {
+	b := NewBipartite()
+	b.SetVersion(1, []RecordID{1, 2, 3})
+	b.SetVersion(2, []RecordID{2, 3, 4})
+	b.SetVersion(3, []RecordID{3, 5, 6, 7})
+	b.SetVersion(4, []RecordID{2, 3, 4, 5, 6, 7})
+	return b
+}
+
+func TestBipartiteBasics(t *testing.T) {
+	b := figure51()
+	if b.NumVersions() != 4 {
+		t.Errorf("|V| = %d, want 4", b.NumVersions())
+	}
+	if b.NumRecords() != 7 {
+		t.Errorf("|R| = %d, want 7", b.NumRecords())
+	}
+	if b.NumEdges() != 16 {
+		t.Errorf("|E| = %d, want 16", b.NumEdges())
+	}
+	if !b.HasVersion(3) || b.HasVersion(9) {
+		t.Error("HasVersion wrong")
+	}
+	if got := b.CommonRecords(1, 2); got != 2 {
+		t.Errorf("CommonRecords(1,2) = %d, want 2", got)
+	}
+	if got := b.CommonRecords(1, 4); got != 2 {
+		t.Errorf("CommonRecords(1,4) = %d, want 2", got)
+	}
+	if got := b.UnionSize([]VersionID{1, 2}); got != 4 {
+		t.Errorf("UnionSize(1,2) = %d, want 4", got)
+	}
+	if got := b.Union([]VersionID{3, 4}); len(got) != 6 {
+		t.Errorf("Union(3,4) = %v, want 6 records", got)
+	}
+}
+
+func TestBipartiteSetVersionDedupAndSort(t *testing.T) {
+	b := NewBipartite()
+	b.SetVersion(1, []RecordID{5, 1, 3, 5, 1})
+	rs := b.Records(1)
+	want := []RecordID{1, 3, 5}
+	if len(rs) != len(want) {
+		t.Fatalf("Records = %v, want %v", rs, want)
+	}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Fatalf("Records = %v, want %v", rs, want)
+		}
+	}
+	// Replacing is allowed and keeps |V| constant.
+	b.SetVersion(1, []RecordID{7})
+	if b.NumVersions() != 1 || b.Records(1)[0] != 7 {
+		t.Error("SetVersion replacement failed")
+	}
+}
+
+func TestBuildGraph(t *testing.T) {
+	b := figure51()
+	g, err := b.BuildGraph([][2]VersionID{{1, 2}, {1, 3}, {2, 4}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVersions() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("|V|=%d |E|=%d", g.NumVersions(), g.NumEdges())
+	}
+	if g.Edge(3, 4).Weight != 4 {
+		t.Errorf("edge (3,4) weight = %d, want 4", g.Edge(3, 4).Weight)
+	}
+	if g.Node(4).NumRecords != 6 {
+		t.Errorf("|R(4)| = %d, want 6", g.Node(4).NumRecords)
+	}
+	if _, err := b.BuildGraph([][2]VersionID{{1, 99}}); err == nil {
+		t.Error("derivation referencing unknown version should fail")
+	}
+}
+
+func TestEvaluatePartitioning(t *testing.T) {
+	b := figure51()
+	// Figure 5.1(b): P1 = {v1, v2}, P2 = {v3, v4}.
+	p := NewPartitioning(map[VersionID]int{1: 0, 2: 0, 3: 1, 4: 1})
+	cost := b.EvaluatePartitioning(p)
+	// R1 = {1,2,3,4} (4 records), R2 = {2,3,4,5,6,7} (6 records).
+	if cost.Storage != 10 {
+		t.Errorf("Storage = %d, want 10", cost.Storage)
+	}
+	if cost.TotalCheckout != 2*4+2*6 {
+		t.Errorf("TotalCheckout = %d, want 20", cost.TotalCheckout)
+	}
+	if cost.AvgCheckout != 5 {
+		t.Errorf("AvgCheckout = %g, want 5", cost.AvgCheckout)
+	}
+	if cost.MaxCheckout != 6 {
+		t.Errorf("MaxCheckout = %d, want 6", cost.MaxCheckout)
+	}
+}
+
+func TestPartitioningExtremes(t *testing.T) {
+	b := figure51()
+	// All in one partition: S = |R| = 7, Cavg = |R| = 7 (Observation 5.2).
+	single := NewPartitioning(map[VersionID]int{1: 0, 2: 0, 3: 0, 4: 0})
+	c1 := b.EvaluatePartitioning(single)
+	if c1.Storage != 7 || c1.AvgCheckout != 7 {
+		t.Errorf("single partition: S=%d Cavg=%g, want 7, 7", c1.Storage, c1.AvgCheckout)
+	}
+	// Each version its own partition: S = |E| = 16, Cavg = |E|/|V| = 4
+	// (Observation 5.1).
+	each := NewPartitioning(map[VersionID]int{1: 0, 2: 1, 3: 2, 4: 3})
+	c2 := b.EvaluatePartitioning(each)
+	if c2.Storage != 16 || c2.AvgCheckout != 4 {
+		t.Errorf("per-version partitions: S=%d Cavg=%g, want 16, 4", c2.Storage, c2.AvgCheckout)
+	}
+	if c1.Storage > c2.Storage {
+		t.Error("single partition must minimize storage")
+	}
+	if c2.AvgCheckout > c1.AvgCheckout {
+		t.Error("per-version partitions must minimize checkout")
+	}
+}
+
+func TestNewPartitioningCompactsIndexes(t *testing.T) {
+	p := NewPartitioning(map[VersionID]int{1: 5, 2: 9, 3: 5})
+	if p.NumPartitions != 2 {
+		t.Fatalf("NumPartitions = %d, want 2", p.NumPartitions)
+	}
+	if p.Assignment[1] != p.Assignment[3] {
+		t.Error("versions 1 and 3 should share a partition")
+	}
+	if p.Assignment[1] == p.Assignment[2] {
+		t.Error("versions 1 and 2 should be in different partitions")
+	}
+	got := p.VersionsOf(p.Assignment[1])
+	if len(got) != 2 {
+		t.Errorf("VersionsOf = %v, want two versions", got)
+	}
+	if groups := p.Groups(); len(groups) != 2 {
+		t.Errorf("Groups = %v, want 2 groups", groups)
+	}
+}
+
+func TestWeightedCheckoutCost(t *testing.T) {
+	b := figure51()
+	p := NewPartitioning(map[VersionID]int{1: 0, 2: 0, 3: 1, 4: 1})
+	// Unweighted equals AvgCheckout.
+	unweighted := b.WeightedCheckoutCost(p, nil)
+	if unweighted != 5 {
+		t.Errorf("unweighted cost = %g, want 5", unweighted)
+	}
+	// Heavily weight v4 (in the 6-record partition): cost should rise.
+	weighted := b.WeightedCheckoutCost(p, map[VersionID]int{4: 10})
+	if weighted <= unweighted {
+		t.Errorf("weighting an expensive version should raise the cost: %g <= %g", weighted, unweighted)
+	}
+}
+
+// Property: for any random partitioning, the storage cost is between |R| and
+// |E|, and the average checkout cost is between |E|/|V| and |R|... the upper
+// storage bound |E| holds because each version's records are counted at most
+// once per partition containing that version.
+func TestPartitionCostBoundsProperty(t *testing.T) {
+	b := figure51()
+	nR := b.NumRecords()
+	nE := b.NumEdges()
+	nV := int64(b.NumVersions())
+	f := func(a, c, d, e uint8) bool {
+		p := NewPartitioning(map[VersionID]int{
+			1: int(a % 4), 2: int(c % 4), 3: int(d % 4), 4: int(e % 4),
+		})
+		cost := b.EvaluatePartitioning(p)
+		if cost.Storage < nR || cost.Storage > nE {
+			return false
+		}
+		minAvg := float64(nE) / float64(nV)
+		return cost.AvgCheckout >= minAvg-1e-9 && cost.AvgCheckout <= float64(nR)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CommonRecords is symmetric and bounded by min(|R(a)|, |R(b)|).
+func TestCommonRecordsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := NewBipartite()
+	for v := VersionID(1); v <= 20; v++ {
+		n := rng.Intn(50)
+		rs := make([]RecordID, n)
+		for i := range rs {
+			rs[i] = RecordID(rng.Intn(100))
+		}
+		b.SetVersion(v, rs)
+	}
+	for x := VersionID(1); x <= 20; x++ {
+		for y := VersionID(1); y <= 20; y++ {
+			c1, c2 := b.CommonRecords(x, y), b.CommonRecords(y, x)
+			if c1 != c2 {
+				t.Fatalf("CommonRecords not symmetric for (%d,%d): %d vs %d", x, y, c1, c2)
+			}
+			lx, ly := int64(len(b.Records(x))), int64(len(b.Records(y)))
+			limit := lx
+			if ly < lx {
+				limit = ly
+			}
+			if c1 > limit {
+				t.Fatalf("CommonRecords(%d,%d) = %d exceeds min size %d", x, y, c1, limit)
+			}
+		}
+	}
+}

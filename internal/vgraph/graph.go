@@ -1,0 +1,389 @@
+// Package vgraph models the version graph of a collaborative versioned
+// dataset (CVD): a DAG whose nodes are versions and whose edges are
+// derivation relationships, annotated with the number of records (and,
+// optionally, attributes) shared between parent and child (Chapters 4–5).
+//
+// The partition optimizer (package partition) operates on this graph; the
+// versioning layer (package cvd) keeps it up to date as versions are
+// committed.
+package vgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VersionID identifies a version within a CVD. IDs are assigned by the
+// version manager in commit order starting at 1.
+type VersionID int64
+
+// Edge is a derivation edge from Parent to Child. Weight is the number of
+// records the two versions have in common, w(vi, vj) in the paper.
+// CommonAttrs is the number of attributes in common (used by the
+// schema-change-aware partitioning of Section 5.3.3); zero means "unknown /
+// fixed schema".
+type Edge struct {
+	Parent      VersionID
+	Child       VersionID
+	Weight      int64
+	CommonAttrs int
+}
+
+// Node is a single version in the graph.
+type Node struct {
+	ID VersionID
+	// NumRecords is |R(v)|, the number of records in the version.
+	NumRecords int64
+	// NumAttrs is the number of attributes in the version's schema.
+	NumAttrs int
+	// Parents and Children hold adjacent version ids in insertion order.
+	Parents  []VersionID
+	Children []VersionID
+}
+
+// Graph is a version graph (a DAG). The zero value is not usable; call New.
+type Graph struct {
+	nodes map[VersionID]*Node
+	edges map[[2]VersionID]*Edge
+	order []VersionID // insertion (commit) order
+}
+
+// New creates an empty version graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[VersionID]*Node),
+		edges: make(map[[2]VersionID]*Edge),
+	}
+}
+
+// AddVersion inserts a version node. Adding an existing id is an error.
+func (g *Graph) AddVersion(id VersionID, numRecords int64) (*Node, error) {
+	if _, exists := g.nodes[id]; exists {
+		return nil, fmt.Errorf("vgraph: version %d already exists", id)
+	}
+	n := &Node{ID: id, NumRecords: numRecords}
+	g.nodes[id] = n
+	g.order = append(g.order, id)
+	return n, nil
+}
+
+// MustAddVersion is AddVersion that panics on error (for tests/generators).
+func (g *Graph) MustAddVersion(id VersionID, numRecords int64) *Node {
+	n, err := g.AddVersion(id, numRecords)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// AddEdge inserts a derivation edge parent→child with the given common
+// record count. Both endpoints must exist and the edge must not create a
+// cycle (children always have larger commit ids in practice; we validate
+// explicitly to be safe).
+func (g *Graph) AddEdge(parent, child VersionID, weight int64) error {
+	return g.AddEdgeAttrs(parent, child, weight, 0)
+}
+
+// AddEdgeAttrs is AddEdge with an explicit common-attribute count.
+func (g *Graph) AddEdgeAttrs(parent, child VersionID, weight int64, commonAttrs int) error {
+	p, ok := g.nodes[parent]
+	if !ok {
+		return fmt.Errorf("vgraph: parent version %d does not exist", parent)
+	}
+	c, ok := g.nodes[child]
+	if !ok {
+		return fmt.Errorf("vgraph: child version %d does not exist", child)
+	}
+	if parent == child {
+		return fmt.Errorf("vgraph: self edge on version %d", parent)
+	}
+	key := [2]VersionID{parent, child}
+	if _, dup := g.edges[key]; dup {
+		return fmt.Errorf("vgraph: edge %d->%d already exists", parent, child)
+	}
+	if g.reachable(child, parent) {
+		return fmt.Errorf("vgraph: edge %d->%d would create a cycle", parent, child)
+	}
+	g.edges[key] = &Edge{Parent: parent, Child: child, Weight: weight, CommonAttrs: commonAttrs}
+	p.Children = append(p.Children, child)
+	c.Parents = append(c.Parents, parent)
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error.
+func (g *Graph) MustAddEdge(parent, child VersionID, weight int64) {
+	if err := g.AddEdge(parent, child, weight); err != nil {
+		panic(err)
+	}
+}
+
+// reachable reports whether dst is reachable from src following child edges.
+func (g *Graph) reachable(src, dst VersionID) bool {
+	if src == dst {
+		return true
+	}
+	seen := map[VersionID]bool{src: true}
+	stack := []VersionID{src}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range g.nodes[v].Children {
+			if c == dst {
+				return true
+			}
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return false
+}
+
+// Node returns the node for id, or nil.
+func (g *Graph) Node(id VersionID) *Node { return g.nodes[id] }
+
+// Edge returns the edge parent→child, or nil.
+func (g *Graph) Edge(parent, child VersionID) *Edge {
+	return g.edges[[2]VersionID{parent, child}]
+}
+
+// SetEdgeWeight updates the weight of an existing edge.
+func (g *Graph) SetEdgeWeight(parent, child VersionID, weight int64) error {
+	e := g.Edge(parent, child)
+	if e == nil {
+		return fmt.Errorf("vgraph: edge %d->%d does not exist", parent, child)
+	}
+	e.Weight = weight
+	return nil
+}
+
+// NumVersions returns |V|.
+func (g *Graph) NumVersions() int { return len(g.nodes) }
+
+// NumEdges returns the number of derivation edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Versions returns all version ids in commit (insertion) order.
+func (g *Graph) Versions() []VersionID {
+	out := make([]VersionID, len(g.order))
+	copy(out, g.order)
+	return out
+}
+
+// Edges returns all edges sorted by (parent, child).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Parent != out[j].Parent {
+			return out[i].Parent < out[j].Parent
+		}
+		return out[i].Child < out[j].Child
+	})
+	return out
+}
+
+// Roots returns versions with no parents, in commit order.
+func (g *Graph) Roots() []VersionID {
+	var out []VersionID
+	for _, id := range g.order {
+		if len(g.nodes[id].Parents) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Leaves returns versions with no children, in commit order.
+func (g *Graph) Leaves() []VersionID {
+	var out []VersionID
+	for _, id := range g.order {
+		if len(g.nodes[id].Children) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Parents returns the parents of a version (nil if unknown version).
+func (g *Graph) Parents(id VersionID) []VersionID {
+	n := g.nodes[id]
+	if n == nil {
+		return nil
+	}
+	out := make([]VersionID, len(n.Parents))
+	copy(out, n.Parents)
+	return out
+}
+
+// Children returns the children of a version.
+func (g *Graph) Children(id VersionID) []VersionID {
+	n := g.nodes[id]
+	if n == nil {
+		return nil
+	}
+	out := make([]VersionID, len(n.Children))
+	copy(out, n.Children)
+	return out
+}
+
+// Ancestors returns all ancestors of id (excluding id itself), optionally
+// limited to maxHops hops (maxHops <= 0 means unlimited). This backs the
+// ancestor() query primitive and VQuel's P(k) traversal.
+func (g *Graph) Ancestors(id VersionID, maxHops int) []VersionID {
+	return g.traverse(id, maxHops, func(n *Node) []VersionID { return n.Parents })
+}
+
+// Descendants returns all descendants of id (excluding id itself),
+// optionally limited to maxHops hops. Backs descendant() and VQuel's D(k).
+func (g *Graph) Descendants(id VersionID, maxHops int) []VersionID {
+	return g.traverse(id, maxHops, func(n *Node) []VersionID { return n.Children })
+}
+
+// Neighborhood returns all versions within maxHops hops of id in either
+// direction (excluding id). Backs VQuel's N(k).
+func (g *Graph) Neighborhood(id VersionID, maxHops int) []VersionID {
+	return g.traverse(id, maxHops, func(n *Node) []VersionID {
+		out := make([]VersionID, 0, len(n.Parents)+len(n.Children))
+		out = append(out, n.Parents...)
+		out = append(out, n.Children...)
+		return out
+	})
+}
+
+func (g *Graph) traverse(id VersionID, maxHops int, next func(*Node) []VersionID) []VersionID {
+	if g.nodes[id] == nil {
+		return nil
+	}
+	type qe struct {
+		id   VersionID
+		hops int
+	}
+	seen := map[VersionID]bool{id: true}
+	var out []VersionID
+	queue := []qe{{id, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if maxHops > 0 && cur.hops >= maxHops {
+			continue
+		}
+		for _, nb := range next(g.nodes[cur.id]) {
+			if seen[nb] {
+				continue
+			}
+			seen[nb] = true
+			out = append(out, nb)
+			queue = append(queue, qe{nb, cur.hops + 1})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Levels returns the topological level l(v) of every version: roots are at
+// level 1, and a version's level is one more than the maximum level of its
+// parents (the topological-sort definition of Section 5.2).
+func (g *Graph) Levels() map[VersionID]int {
+	levels := make(map[VersionID]int, len(g.nodes))
+	indeg := make(map[VersionID]int, len(g.nodes))
+	for id, n := range g.nodes {
+		indeg[id] = len(n.Parents)
+	}
+	var frontier []VersionID
+	for id, d := range indeg {
+		if d == 0 {
+			frontier = append(frontier, id)
+			levels[id] = 1
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	for len(frontier) > 0 {
+		var next []VersionID
+		for _, id := range frontier {
+			for _, c := range g.nodes[id].Children {
+				if levels[c] < levels[id]+1 {
+					levels[c] = levels[id] + 1
+				}
+				indeg[c]--
+				if indeg[c] == 0 {
+					next = append(next, c)
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		frontier = next
+	}
+	return levels
+}
+
+// TopoOrder returns the version ids in a topological order (parents before
+// children); ties are broken by id.
+func (g *Graph) TopoOrder() []VersionID {
+	indeg := make(map[VersionID]int, len(g.nodes))
+	for id, n := range g.nodes {
+		indeg[id] = len(n.Parents)
+	}
+	var frontier []VersionID
+	for id, d := range indeg {
+		if d == 0 {
+			frontier = append(frontier, id)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	out := make([]VersionID, 0, len(g.nodes))
+	for len(frontier) > 0 {
+		id := frontier[0]
+		frontier = frontier[1:]
+		out = append(out, id)
+		for _, c := range g.nodes[id].Children {
+			indeg[c]--
+			if indeg[c] == 0 {
+				frontier = append(frontier, c)
+				sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+			}
+		}
+	}
+	return out
+}
+
+// IsTree reports whether every version has at most one parent (no merges).
+func (g *Graph) IsTree() bool {
+	for _, n := range g.nodes {
+		if len(n.Parents) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalBipartiteEdges returns |E| of the version-record bipartite graph,
+// i.e. the sum of |R(v)| over all versions.
+func (g *Graph) TotalBipartiteEdges() int64 {
+	var total int64
+	for _, n := range g.nodes {
+		total += n.NumRecords
+	}
+	return total
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := New()
+	for _, id := range g.order {
+		n := g.nodes[id]
+		nn := &Node{ID: n.ID, NumRecords: n.NumRecords, NumAttrs: n.NumAttrs}
+		nn.Parents = append(nn.Parents, n.Parents...)
+		nn.Children = append(nn.Children, n.Children...)
+		out.nodes[id] = nn
+		out.order = append(out.order, id)
+	}
+	for k, e := range g.edges {
+		ec := *e
+		out.edges[k] = &ec
+	}
+	return out
+}

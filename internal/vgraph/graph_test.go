@@ -1,0 +1,268 @@
+package vgraph
+
+import (
+	"testing"
+)
+
+// paperGraph builds the version graph of Figure 4.2 / 5.5: v1 -> {v2, v3},
+// {v2, v3} -> v4, with record counts 3,3,4,6 and edge weights
+// (v1,v2)=2, (v1,v3)=3, (v2,v4)=3, (v3,v4)=4.
+func paperGraph(t testing.TB) *Graph {
+	t.Helper()
+	g := New()
+	g.MustAddVersion(1, 3)
+	g.MustAddVersion(2, 3)
+	g.MustAddVersion(3, 4)
+	g.MustAddVersion(4, 6)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(1, 3, 3)
+	g.MustAddEdge(2, 4, 3)
+	g.MustAddEdge(3, 4, 4)
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := paperGraph(t)
+	if g.NumVersions() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("|V|=%d |E|=%d, want 4, 4", g.NumVersions(), g.NumEdges())
+	}
+	if got := g.Roots(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Roots = %v, want [1]", got)
+	}
+	if got := g.Leaves(); len(got) != 1 || got[0] != 4 {
+		t.Errorf("Leaves = %v, want [4]", got)
+	}
+	if got := g.Parents(4); len(got) != 2 {
+		t.Errorf("Parents(4) = %v, want two parents", got)
+	}
+	if got := g.Children(1); len(got) != 2 {
+		t.Errorf("Children(1) = %v, want two children", got)
+	}
+	if e := g.Edge(3, 4); e == nil || e.Weight != 4 {
+		t.Errorf("Edge(3,4) = %+v, want weight 4", e)
+	}
+	if g.TotalBipartiteEdges() != 16 {
+		t.Errorf("TotalBipartiteEdges = %d, want 16", g.TotalBipartiteEdges())
+	}
+	if g.IsTree() {
+		t.Error("graph with a merge should not be a tree")
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	g := paperGraph(t)
+	if _, err := g.AddVersion(1, 10); err == nil {
+		t.Error("duplicate AddVersion should fail")
+	}
+	if err := g.AddEdge(1, 99, 1); err == nil {
+		t.Error("edge to unknown version should fail")
+	}
+	if err := g.AddEdge(99, 1, 1); err == nil {
+		t.Error("edge from unknown version should fail")
+	}
+	if err := g.AddEdge(1, 2, 1); err == nil {
+		t.Error("duplicate edge should fail")
+	}
+	if err := g.AddEdge(2, 2, 1); err == nil {
+		t.Error("self edge should fail")
+	}
+	if err := g.AddEdge(4, 1, 1); err == nil {
+		t.Error("cycle-creating edge should fail")
+	}
+	if err := g.SetEdgeWeight(1, 4, 7); err == nil {
+		t.Error("SetEdgeWeight on missing edge should fail")
+	}
+	if err := g.SetEdgeWeight(1, 2, 7); err != nil {
+		t.Errorf("SetEdgeWeight: %v", err)
+	}
+	if g.Edge(1, 2).Weight != 7 {
+		t.Error("SetEdgeWeight did not take effect")
+	}
+}
+
+func TestAncestorsDescendantsNeighborhood(t *testing.T) {
+	g := paperGraph(t)
+	if got := g.Ancestors(4, 0); len(got) != 3 {
+		t.Errorf("Ancestors(4) = %v, want 3 versions", got)
+	}
+	if got := g.Ancestors(4, 1); len(got) != 2 {
+		t.Errorf("Ancestors(4, 1 hop) = %v, want the two parents", got)
+	}
+	if got := g.Descendants(1, 0); len(got) != 3 {
+		t.Errorf("Descendants(1) = %v, want 3 versions", got)
+	}
+	if got := g.Descendants(2, 0); len(got) != 1 || got[0] != 4 {
+		t.Errorf("Descendants(2) = %v, want [4]", got)
+	}
+	if got := g.Neighborhood(2, 1); len(got) != 2 {
+		t.Errorf("Neighborhood(2,1) = %v, want [1 4]", got)
+	}
+	if got := g.Neighborhood(1, 2); len(got) != 3 {
+		t.Errorf("Neighborhood(1,2) = %v, want 3 versions", got)
+	}
+	if got := g.Ancestors(99, 0); got != nil {
+		t.Errorf("Ancestors of unknown version = %v, want nil", got)
+	}
+}
+
+func TestLevelsAndTopoOrder(t *testing.T) {
+	g := paperGraph(t)
+	levels := g.Levels()
+	want := map[VersionID]int{1: 1, 2: 2, 3: 2, 4: 3}
+	for v, l := range want {
+		if levels[v] != l {
+			t.Errorf("level(%d) = %d, want %d", v, levels[v], l)
+		}
+	}
+	order := g.TopoOrder()
+	pos := make(map[VersionID]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.Parent] >= pos[e.Child] {
+			t.Errorf("topo order violates edge %d->%d", e.Parent, e.Child)
+		}
+	}
+}
+
+func TestGraphClone(t *testing.T) {
+	g := paperGraph(t)
+	c := g.Clone()
+	c.MustAddVersion(5, 10)
+	c.MustAddEdge(4, 5, 6)
+	if g.NumVersions() != 4 {
+		t.Error("Clone shares node storage with original")
+	}
+	if g.Edge(4, 5) != nil {
+		t.Error("Clone shares edge storage")
+	}
+	if c.NumVersions() != 5 || c.Edge(4, 5) == nil {
+		t.Error("clone missing additions")
+	}
+}
+
+func TestToTreePicksHeaviestParent(t *testing.T) {
+	g := paperGraph(t)
+	tree, err := ToTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root != 1 {
+		t.Errorf("Root = %d, want 1", tree.Root)
+	}
+	// v4 has parents v2 (w=3) and v3 (w=4): keep v3.
+	if tree.Parent[4] != 3 {
+		t.Errorf("Parent(4) = %d, want 3", tree.Parent[4])
+	}
+	if tree.Weight[4] != 4 {
+		t.Errorf("Weight(4) = %d, want 4", tree.Weight[4])
+	}
+	if err := tree.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// The paper's example: v4 keeps 4 records from v3 and duplicates 2
+	// records shared only with v2... our conservative formula counts
+	// max(dropped) - kept clipped at 0, so duplicates here are 0; distinct
+	// records = 3 + (3-2) + (4-3) + (6-4) = 7.
+	if got := tree.DistinctRecords(); got != 7 {
+		t.Errorf("DistinctRecords = %d, want 7", got)
+	}
+}
+
+func TestToTreeErrors(t *testing.T) {
+	g := New()
+	if _, err := ToTree(g); err == nil {
+		t.Error("empty graph should fail ToTree")
+	}
+	g.MustAddVersion(1, 5)
+	g.MustAddVersion(2, 5)
+	// two roots
+	if _, err := ToTree(g); err == nil {
+		t.Error("graph with two roots should fail ToTree")
+	}
+}
+
+func TestTreeSubtreeAndDepth(t *testing.T) {
+	g := New()
+	// chain 1 -> 2 -> 3 with a branch 2 -> 4
+	g.MustAddVersion(1, 10)
+	g.MustAddVersion(2, 12)
+	g.MustAddVersion(3, 14)
+	g.MustAddVersion(4, 11)
+	g.MustAddEdge(1, 2, 9)
+	g.MustAddEdge(2, 3, 11)
+	g.MustAddEdge(2, 4, 10)
+	tree, err := ToTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := tree.SubtreeVersions(2)
+	if len(sub) != 3 {
+		t.Errorf("SubtreeVersions(2) = %v, want 3 versions", sub)
+	}
+	if d := tree.Depth(3); d != 2 {
+		t.Errorf("Depth(3) = %d, want 2", d)
+	}
+	if d := tree.Depth(1); d != 0 {
+		t.Errorf("Depth(1) = %d, want 0", d)
+	}
+	if d := tree.Depth(99); d != -1 {
+		t.Errorf("Depth(99) = %d, want -1", d)
+	}
+	if tree.TotalBipartiteEdges() != 47 {
+		t.Errorf("TotalBipartiteEdges = %d, want 47", tree.TotalBipartiteEdges())
+	}
+	// DistinctRecords = 10 + (12-9) + (14-11) + (11-10) = 17
+	if got := tree.DistinctRecords(); got != 17 {
+		t.Errorf("DistinctRecords = %d, want 17", got)
+	}
+}
+
+func TestExpandWeighted(t *testing.T) {
+	g := New()
+	g.MustAddVersion(1, 10)
+	g.MustAddVersion(2, 12)
+	g.MustAddEdge(1, 2, 8)
+	tree, err := ToTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded, origOf := tree.ExpandWeighted(map[VersionID]int{1: 2, 2: 3})
+	if expanded.NumVersions() != 5 {
+		t.Fatalf("expanded |V| = %d, want 5", expanded.NumVersions())
+	}
+	if err := expanded.Validate(); err != nil {
+		t.Fatalf("expanded tree invalid: %v", err)
+	}
+	// Count replicas per original.
+	counts := map[VersionID]int{}
+	for _, orig := range origOf {
+		counts[orig]++
+	}
+	if counts[1] != 2 || counts[2] != 3 {
+		t.Errorf("replica counts = %v, want {1:2, 2:3}", counts)
+	}
+	// Total bipartite edges = f1*|R(1)| + f2*|R(2)| = 2*10 + 3*12 = 56.
+	if got := expanded.TotalBipartiteEdges(); got != 56 {
+		t.Errorf("expanded |E| = %d, want 56", got)
+	}
+	// Frequencies default to 1 when missing.
+	expanded2, _ := tree.ExpandWeighted(nil)
+	if expanded2.NumVersions() != 2 {
+		t.Errorf("default expansion |V| = %d, want 2", expanded2.NumVersions())
+	}
+}
+
+func TestTreeValidateCatchesBadWeight(t *testing.T) {
+	tree := &Tree{
+		Root:     1,
+		Parent:   map[VersionID]VersionID{2: 1},
+		Children: map[VersionID][]VersionID{1: {2}},
+		Weight:   map[VersionID]int64{2: 50},
+		Records:  map[VersionID]int64{1: 10, 2: 12},
+	}
+	if err := tree.Validate(); err == nil {
+		t.Error("weight exceeding record counts should fail validation")
+	}
+}

@@ -1,0 +1,536 @@
+package vquel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ---- Lexer -----------------------------------------------------------------
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokDot
+	tokComma
+	tokLParen
+	tokRParen
+	tokOp // = != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	input string
+	pos   int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	ch := l.input[l.pos]
+	switch {
+	case ch == '.':
+		l.pos++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case ch == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case ch == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case ch == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case ch == '=', ch == '<', ch == '>', ch == '!':
+		l.pos++
+		if l.pos < len(l.input) && l.input[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokOp, text: l.input[start:l.pos], pos: start}, nil
+	case ch == '"' || ch == '\'':
+		quote := ch
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.input) && l.input[l.pos] != quote {
+			sb.WriteByte(l.input[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.input) {
+			return token{}, fmt.Errorf("vquel: unterminated string literal at %d", start)
+		}
+		l.pos++
+		return token{kind: tokString, text: sb.String(), pos: start}, nil
+	case unicode.IsDigit(rune(ch)) || (ch == '-' && l.pos+1 < len(l.input) && unicode.IsDigit(rune(l.input[l.pos+1]))):
+		l.pos++
+		for l.pos < len(l.input) && (unicode.IsDigit(rune(l.input[l.pos])) || l.input[l.pos] == '.' || l.input[l.pos] == '/') {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.input[start:l.pos], pos: start}, nil
+	case unicode.IsLetter(rune(ch)) || ch == '_':
+		l.pos++
+		for l.pos < len(l.input) && (unicode.IsLetter(rune(l.input[l.pos])) || unicode.IsDigit(rune(l.input[l.pos])) || l.input[l.pos] == '_') {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.input[start:l.pos], pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("vquel: unexpected character %q at %d", ch, start)
+	}
+}
+
+func tokenize(input string) ([]token, error) {
+	l := &lexer{input: input}
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+// ---- AST -------------------------------------------------------------------
+
+// Query is a parsed VQuel query: range declarations followed by a retrieve.
+type Query struct {
+	Ranges   []RangeDecl
+	Retrieve RetrieveStmt
+}
+
+// RangeDecl declares an iterator over a set expression.
+type RangeDecl struct {
+	Iterator string
+	Set      PathExpr
+}
+
+// PathExpr is a navigation path: a base (the Version set or a previously
+// declared iterator) followed by segments like Relations(name = "Employee"),
+// Tuples, parents, P(2), D(), N(1), or attribute names.
+type PathExpr struct {
+	Base     string
+	Segments []PathSegment
+}
+
+// PathSegment is one step of a path, optionally with an inline filter or a
+// numeric argument (for P/D/N).
+type PathSegment struct {
+	Name   string
+	Filter *Comparison // inline filter such as (name = "Employee")
+	Arg    *int        // numeric argument for P/D/N
+	HasArg bool
+}
+
+// RetrieveStmt is the projection with optional predicate and ordering.
+type RetrieveStmt struct {
+	Unique  bool
+	Targets []Target
+	Where   *BoolExpr
+	SortBy  *PathExpr
+	SortDsc bool
+}
+
+// Target is one output column: either a path or an aggregate.
+type Target struct {
+	Path *PathExpr
+	Agg  *Aggregate
+	As   string
+}
+
+// Aggregate is count/sum/avg/min/max over a path, with an optional inner
+// where predicate. count_all is treated as count (the evaluator groups by
+// all non-aggregated iterators, which covers the chapter's examples).
+type Aggregate struct {
+	Func  string
+	Path  PathExpr
+	Where *BoolExpr
+}
+
+// BoolExpr is a conjunction/disjunction tree of comparisons.
+type BoolExpr struct {
+	Op    string // "and", "or", "not", or "" for a leaf
+	Left  *BoolExpr
+	Right *BoolExpr
+	Leaf  *Comparison
+}
+
+// Comparison compares two operands.
+type Comparison struct {
+	Left  Operand
+	Op    string
+	Right Operand
+}
+
+// Operand is a path, a literal, or an aggregate.
+type Operand struct {
+	Path    *PathExpr
+	Agg     *Aggregate
+	Literal *Literal
+}
+
+// Literal is a string or numeric constant.
+type Literal struct {
+	IsString bool
+	S        string
+	N        float64
+}
+
+// ---- Parser ----------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.toks[p.pos].kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectIdent(word string) error {
+	t := p.advance()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, word) {
+		return fmt.Errorf("vquel: expected %q at position %d, got %q", word, t.pos, t.text)
+	}
+	return nil
+}
+
+// Parse parses a VQuel query.
+func Parse(input string) (*Query, error) {
+	toks, err := tokenize(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q := &Query{}
+	for p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "range") {
+		decl, err := p.parseRange()
+		if err != nil {
+			return nil, err
+		}
+		q.Ranges = append(q.Ranges, decl)
+	}
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "retrieve") {
+		r, err := p.parseRetrieve()
+		if err != nil {
+			return nil, err
+		}
+		q.Retrieve = r
+	} else {
+		return nil, fmt.Errorf("vquel: expected retrieve statement, got %q", p.peek().text)
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("vquel: unexpected trailing input %q", p.peek().text)
+	}
+	if len(q.Ranges) == 0 {
+		return nil, fmt.Errorf("vquel: query must declare at least one iterator")
+	}
+	return q, nil
+}
+
+func (p *parser) parseRange() (RangeDecl, error) {
+	if err := p.expectIdent("range"); err != nil {
+		return RangeDecl{}, err
+	}
+	if err := p.expectIdent("of"); err != nil {
+		return RangeDecl{}, err
+	}
+	name := p.advance()
+	if name.kind != tokIdent {
+		return RangeDecl{}, fmt.Errorf("vquel: expected iterator name, got %q", name.text)
+	}
+	if err := p.expectIdent("is"); err != nil {
+		return RangeDecl{}, err
+	}
+	path, err := p.parsePath()
+	if err != nil {
+		return RangeDecl{}, err
+	}
+	return RangeDecl{Iterator: name.text, Set: path}, nil
+}
+
+func (p *parser) parsePath() (PathExpr, error) {
+	base := p.advance()
+	if base.kind != tokIdent {
+		return PathExpr{}, fmt.Errorf("vquel: expected path base, got %q", base.text)
+	}
+	path := PathExpr{Base: base.text}
+	// Optional filter directly on the base, e.g. Version(id = "v01").
+	if p.peek().kind == tokLParen {
+		seg := PathSegment{Name: ""}
+		if err := p.parseSegmentArgs(&seg); err != nil {
+			return PathExpr{}, err
+		}
+		path.Segments = append(path.Segments, seg)
+	}
+	for p.peek().kind == tokDot {
+		p.advance()
+		name := p.advance()
+		if name.kind != tokIdent {
+			return PathExpr{}, fmt.Errorf("vquel: expected path segment, got %q", name.text)
+		}
+		seg := PathSegment{Name: name.text}
+		if p.peek().kind == tokLParen {
+			if err := p.parseSegmentArgs(&seg); err != nil {
+				return PathExpr{}, err
+			}
+		}
+		path.Segments = append(path.Segments, seg)
+	}
+	return path, nil
+}
+
+// parseSegmentArgs parses "( ... )" after a segment: either empty, a numeric
+// argument, or an inline comparison filter.
+func (p *parser) parseSegmentArgs(seg *PathSegment) error {
+	p.advance() // consume (
+	if p.peek().kind == tokRParen {
+		p.advance()
+		seg.HasArg = true
+		return nil
+	}
+	if p.peek().kind == tokNumber {
+		n, err := strconv.Atoi(p.advance().text)
+		if err != nil {
+			return fmt.Errorf("vquel: bad numeric argument: %w", err)
+		}
+		seg.Arg = &n
+		seg.HasArg = true
+		if p.peek().kind != tokRParen {
+			return fmt.Errorf("vquel: expected ) after numeric argument, got %q", p.peek().text)
+		}
+		p.advance()
+		return nil
+	}
+	cmp, err := p.parseComparison()
+	if err != nil {
+		return err
+	}
+	seg.Filter = &cmp
+	if p.peek().kind != tokRParen {
+		return fmt.Errorf("vquel: expected ) after filter, got %q", p.peek().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) parseRetrieve() (RetrieveStmt, error) {
+	if err := p.expectIdent("retrieve"); err != nil {
+		return RetrieveStmt{}, err
+	}
+	stmt := RetrieveStmt{}
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "unique") {
+		p.advance()
+		stmt.Unique = true
+	}
+	for {
+		tgt, err := p.parseTarget()
+		if err != nil {
+			return RetrieveStmt{}, err
+		}
+		stmt.Targets = append(stmt.Targets, tgt)
+		if p.peek().kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "where") {
+		p.advance()
+		cond, err := p.parseBoolExpr()
+		if err != nil {
+			return RetrieveStmt{}, err
+		}
+		stmt.Where = cond
+	}
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "sort") {
+		p.advance()
+		if err := p.expectIdent("by"); err != nil {
+			return RetrieveStmt{}, err
+		}
+		path, err := p.parsePath()
+		if err != nil {
+			return RetrieveStmt{}, err
+		}
+		stmt.SortBy = &path
+		if p.peek().kind == tokIdent && (strings.EqualFold(p.peek().text, "desc") || strings.EqualFold(p.peek().text, "asc")) {
+			stmt.SortDsc = strings.EqualFold(p.advance().text, "desc")
+		}
+	}
+	return stmt, nil
+}
+
+var aggFuncs = map[string]bool{"count": true, "count_all": true, "sum": true, "sum_all": true, "avg": true, "min": true, "max": true}
+
+func (p *parser) parseTarget() (Target, error) {
+	if p.peek().kind == tokIdent && aggFuncs[strings.ToLower(p.peek().text)] && p.toks[p.pos+1].kind == tokLParen {
+		agg, err := p.parseAggregate()
+		if err != nil {
+			return Target{}, err
+		}
+		return Target{Agg: agg, As: agg.Func}, nil
+	}
+	path, err := p.parsePath()
+	if err != nil {
+		return Target{}, err
+	}
+	name := path.Base
+	if len(path.Segments) > 0 {
+		name = path.Segments[len(path.Segments)-1].Name
+	}
+	tgt := Target{Path: &path, As: name}
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "as") {
+		p.advance()
+		alias := p.advance()
+		if alias.kind != tokIdent {
+			return Target{}, fmt.Errorf("vquel: expected alias after 'as', got %q", alias.text)
+		}
+		tgt.As = alias.text
+	}
+	return tgt, nil
+}
+
+func (p *parser) parseAggregate() (*Aggregate, error) {
+	fn := strings.ToLower(p.advance().text)
+	fn = strings.TrimSuffix(fn, "_all")
+	p.advance() // (
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	agg := &Aggregate{Func: fn, Path: path}
+	// Optional "group by ..." is accepted and ignored (grouping is implicit
+	// over the non-aggregated iterators), followed by an optional "where".
+	for p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "group") {
+		p.advance()
+		if err := p.expectIdent("by"); err != nil {
+			return nil, err
+		}
+		for {
+			if _, err := p.parsePath(); err != nil {
+				return nil, err
+			}
+			if p.peek().kind == tokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "where") {
+		p.advance()
+		cond, err := p.parseBoolExpr()
+		if err != nil {
+			return nil, err
+		}
+		agg.Where = cond
+	}
+	if p.peek().kind != tokRParen {
+		return nil, fmt.Errorf("vquel: expected ) to close aggregate, got %q", p.peek().text)
+	}
+	p.advance()
+	return agg, nil
+}
+
+func (p *parser) parseBoolExpr() (*BoolExpr, error) {
+	left, err := p.parseBoolTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokIdent && (strings.EqualFold(p.peek().text, "and") || strings.EqualFold(p.peek().text, "or")) {
+		op := strings.ToLower(p.advance().text)
+		right, err := p.parseBoolTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &BoolExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseBoolTerm() (*BoolExpr, error) {
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "not") {
+		p.advance()
+		inner, err := p.parseBoolTerm()
+		if err != nil {
+			return nil, err
+		}
+		return &BoolExpr{Op: "not", Left: inner}, nil
+	}
+	cmp, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	return &BoolExpr{Leaf: &cmp}, nil
+}
+
+func (p *parser) parseComparison() (Comparison, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return Comparison{}, err
+	}
+	opTok := p.advance()
+	if opTok.kind != tokOp {
+		return Comparison{}, fmt.Errorf("vquel: expected comparison operator, got %q", opTok.text)
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{Left: left, Op: opTok.text, Right: right}, nil
+}
+
+func (p *parser) parseOperand() (Operand, error) {
+	switch t := p.peek(); t.kind {
+	case tokString:
+		p.advance()
+		return Operand{Literal: &Literal{IsString: true, S: t.text}}, nil
+	case tokNumber:
+		p.advance()
+		if strings.Contains(t.text, "/") {
+			// Date-like literal such as 01/01/2015: keep as a string.
+			return Operand{Literal: &Literal{IsString: true, S: t.text}}, nil
+		}
+		n, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Operand{}, fmt.Errorf("vquel: bad number %q: %w", t.text, err)
+		}
+		return Operand{Literal: &Literal{N: n}}, nil
+	case tokIdent:
+		if aggFuncs[strings.ToLower(t.text)] && p.toks[p.pos+1].kind == tokLParen {
+			agg, err := p.parseAggregate()
+			if err != nil {
+				return Operand{}, err
+			}
+			return Operand{Agg: agg}, nil
+		}
+		path, err := p.parsePath()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Path: &path}, nil
+	default:
+		return Operand{}, fmt.Errorf("vquel: unexpected operand %q", t.text)
+	}
+}
