@@ -75,6 +75,19 @@ func BenchmarkFig5_14_PartitionBenefit(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentCheckoutScaling times the concurrent checkout scaling
+// experiment: N clients (1/2/4/8) concurrently checking out versions of a
+// partitioned Fig-5.14-style CVD through one shared engine. The rendered
+// table (cmd/benchrunner -experiment concurrent) reports throughput and the
+// speedup over a single client.
+func BenchmarkConcurrentCheckoutScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := benchmark.RunConcurrent(benchmark.ConcurrentConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig5_17_OnlineMaintenance times the streaming online-maintenance
 // and migration simulation (Figures 5.17 and 5.19).
 func BenchmarkFig5_17_OnlineMaintenance(b *testing.B) {

@@ -1,12 +1,14 @@
 // Command benchrunner regenerates every table and figure of the paper's
-// evaluation at laptop scale. Each experiment id corresponds to a table or
-// figure; see DESIGN.md for the per-experiment index and EXPERIMENTS.md for
-// recorded results.
+// evaluation at laptop scale, plus the concurrent checkout scaling
+// experiment. Each experiment id corresponds to a table or figure; see
+// BENCH.md at the repository root for the per-experiment index and how to
+// read the rendered tables.
 //
 // Usage:
 //
 //	go run ./cmd/benchrunner -experiment all
 //	go run ./cmd/benchrunner -experiment fig5.8 -dataset SCI_10K -scale 1
+//	go run ./cmd/benchrunner -experiment concurrent -workers 4
 package main
 
 import (
@@ -14,23 +16,26 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/benchmark"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment id: fig4.1, tab5.2, fig5.7, fig5.8, fig5.10, fig5.14, fig5.17, ch7, ch8, all")
+	experiment := flag.String("experiment", "all", "experiment id: fig4.1, tab5.2, fig5.7, fig5.8, fig5.10, fig5.14, fig5.17, concurrent, ch7, ch8, all")
 	dataset := flag.String("dataset", "SCI_10K", "dataset preset for single-dataset experiments")
 	scale := flag.Int("scale", 1, "scale multiplier applied to dataset presets")
+	workers := flag.Int("workers", 0, "engine worker-pool size for parallel operations (0 = single-threaded operations)")
+	latency := flag.Duration("latency", 0, "simulated client-server round trip for the concurrent experiment (0 = default 5ms, negative = none)")
 	flag.Parse()
 
-	if err := run(*experiment, *dataset, *scale); err != nil {
+	if err := run(*experiment, *dataset, *scale, *workers, *latency); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, dataset string, scale int) error {
+func run(experiment, dataset string, scale, workers int, latency time.Duration) error {
 	want := func(id string) bool {
 		return experiment == "all" || strings.EqualFold(experiment, id)
 	}
@@ -86,6 +91,19 @@ func run(experiment, dataset string, scale int) error {
 	if want("fig5.17") || want("fig5.19") {
 		ran = true
 		table, err := benchmark.RunFig517(dataset, scale, 1.5, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table)
+	}
+	if want("concurrent") {
+		ran = true
+		_, table, err := benchmark.RunConcurrent(benchmark.ConcurrentConfig{
+			Dataset:    dataset,
+			Scale:      scale,
+			SimLatency: latency,
+			Workers:    workers,
+		})
 		if err != nil {
 			return err
 		}

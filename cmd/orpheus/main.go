@@ -33,6 +33,7 @@ import (
 
 func main() {
 	script := flag.String("script", "", "file with one command per line (default: stdin)")
+	workers := flag.Int("workers", 0, "worker-pool size for parallel engine operations (0 = single-threaded)")
 	flag.Parse()
 
 	in := os.Stdin
@@ -45,7 +46,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	engine := core.Open("orpheus")
+	engine := core.Open("orpheus", core.WithWorkers(*workers))
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for scanner.Scan() {

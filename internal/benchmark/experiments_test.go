@@ -3,6 +3,7 @@ package benchmark
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cvd"
 )
@@ -109,6 +110,40 @@ func TestRunFig517(t *testing.T) {
 	}
 	if len(table.Rows) == 0 {
 		t.Fatal("no drift rows produced")
+	}
+}
+
+func TestRunConcurrent(t *testing.T) {
+	// Small dataset so per-checkout compute stays far below the simulated
+	// round trip: the speedup then reflects request overlap, which must hold
+	// on any machine (including single-CPU CI runners).
+	results, table, err := RunConcurrent(ConcurrentConfig{
+		Dataset:            "SCI_1K",
+		Clients:            []int{1, 8},
+		CheckoutsPerClient: 6,
+		SimLatency:         5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	if results[0].Clients != 1 || results[1].Clients != 8 {
+		t.Fatalf("client counts = %d, %d", results[0].Clients, results[1].Clients)
+	}
+	for _, r := range results {
+		if r.Checkouts != r.Clients*6 {
+			t.Errorf("%d clients: %d checkouts, want %d", r.Clients, r.Checkouts, r.Clients*6)
+		}
+		if r.Throughput <= 0 {
+			t.Errorf("%d clients: non-positive throughput %f", r.Clients, r.Throughput)
+		}
+	}
+	// The acceptance bar of the concurrent execution layer: 8 concurrent
+	// clients must clear at least 1.5x the single-client throughput.
+	if results[1].Speedup < 1.5 {
+		t.Errorf("8-client speedup = %.2f, want >= 1.5\n%s", results[1].Speedup, table)
 	}
 }
 

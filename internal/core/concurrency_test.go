@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cvd"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// The stress tests in this file lock in the concurrent execution layer: many
+// goroutines hammering one engine with a mix of commits, checkouts, diffs,
+// and VQuel queries. They are written to run under `go test -race`, where
+// any unsynchronized access to shared engine state fails the build.
+
+func stressSchema() relstore.Schema {
+	return relstore.MustSchema([]relstore.Column{
+		{Name: "k", Type: relstore.TypeInt},
+		{Name: "v", Type: relstore.TypeInt},
+	}, "k")
+}
+
+func stressRows(n, salt int) []relstore.Row {
+	rows := make([]relstore.Row, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, relstore.Row{relstore.Int(int64(i)), relstore.Int(int64(salt*1000 + i))})
+	}
+	return rows
+}
+
+// TestConcurrentMixedWorkload runs committers, checkout clients, and query
+// clients against a single CVD at the same time.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	engine := Open("stress", WithWorkers(4))
+	c, err := engine.Init("data", stressSchema(), stressRows(60, 0), cvd.Options{Author: "seed", Message: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		committers = 3
+		readers    = 4
+		queriers   = 2
+		iters      = 8
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, committers+readers+queriers)
+
+	// Committers: each derives fresh versions from version 1 repeatedly.
+	for g := 0; g < committers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rows := stressRows(60, g*iters+i+1)
+				if _, err := c.Commit([]vgraph.VersionID{1}, rows, stressSchema(), fmt.Sprintf("c%d-%d", g, i), "committer"); err != nil {
+					errCh <- fmt.Errorf("committer %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Checkout clients: check out whatever versions currently exist (single
+	// and merged multi-version checkouts), then discard the staging tables.
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				vs := c.Versions()
+				if len(vs) == 0 {
+					continue
+				}
+				pick := []vgraph.VersionID{vs[i%len(vs)]}
+				if len(vs) > 1 && i%2 == 0 {
+					pick = append(pick, vs[(i+1)%len(vs)])
+				}
+				tab := fmt.Sprintf("r%d_%d", g, i)
+				if _, err := engine.Checkout("data", pick, tab); err != nil {
+					errCh <- fmt.Errorf("reader %d: %w", g, err)
+					return
+				}
+				c.DiscardCheckout(tab)
+			}
+		}(g)
+	}
+
+	// Query clients: diffs, VQuel, and versioned aggregates.
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				vs := c.Versions()
+				if len(vs) >= 2 {
+					if _, err := engine.Diff("data", vs[0], vs[len(vs)-1]); err != nil {
+						errCh <- fmt.Errorf("querier %d diff: %w", g, err)
+						return
+					}
+				}
+				if _, err := engine.Query("data", `range of V is Version
+					retrieve V.id`); err != nil {
+					errCh <- fmt.Errorf("querier %d vquel: %w", g, err)
+					return
+				}
+				agg, err := c.SumAgg("v")
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := c.AggregateByVersion(nil, nil, agg); err != nil {
+					errCh <- fmt.Errorf("querier %d agg: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Every committer iteration must have produced a version: 1 initial +
+	// committers*iters commits.
+	if got, want := c.NumVersions(), 1+committers*iters; got != want {
+		t.Errorf("NumVersions = %d, want %d", got, want)
+	}
+}
+
+// TestConcurrentCheckoutSameName verifies that two checkouts racing for one
+// staging-table name resolve cleanly: exactly one wins, the other errors.
+func TestConcurrentCheckoutSameName(t *testing.T) {
+	engine := Open("stress2")
+	c, err := engine.Init("data", stressSchema(), stressRows(20, 0), cvd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const attempts = 20
+	for i := 0; i < attempts; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				_, errs[g] = engine.Checkout("data", []vgraph.VersionID{1}, "contested")
+			}(g)
+		}
+		wg.Wait()
+		won := 0
+		for _, err := range errs {
+			if err == nil {
+				won++
+			}
+		}
+		if won != 1 {
+			t.Fatalf("attempt %d: %d checkouts claimed table %q, want exactly 1 (errs: %v)", i, won, "contested", errs)
+		}
+		c.DiscardCheckout("contested")
+	}
+}
+
+// TestConcurrentEngineRegistry exercises the engine-level registry lock:
+// goroutines creating, listing, and dropping distinct CVDs.
+func TestConcurrentEngineRegistry(t *testing.T) {
+	engine := Open("registry")
+	const n = 8
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("cvd%d", g)
+			if _, err := engine.Init(name, stressSchema(), stressRows(10, g), cvd.Options{}); err != nil {
+				t.Error(err)
+				return
+			}
+			engine.List()
+			if _, err := engine.Checkout(name, []vgraph.VersionID{1}, name+"_w"); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := engine.Commit(name, name+"_w", "bump", "g"); err != nil {
+				t.Error(err)
+				return
+			}
+			if g%2 == 0 {
+				if err := engine.Drop(name); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(engine.List()); got != n/2 {
+		t.Errorf("List() = %d CVDs, want %d", got, n/2)
+	}
+}
+
+// TestOptimizeDuringCheckouts runs the partition optimizer while checkout
+// clients are live; WithExclusive must fence them off.
+func TestOptimizeDuringCheckouts(t *testing.T) {
+	engine := Open("stress3", WithWorkers(2))
+	c, err := engine.Init("data", stressSchema(), stressRows(80, 0), cvd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build some history so there is something to partition.
+	for i := 0; i < 6; i++ {
+		if _, err := c.Commit([]vgraph.VersionID{vgraph.VersionID(i + 1)}, stressRows(80, i+1), stressSchema(), "m", "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tab := fmt.Sprintf("opt_r%d_%d", g, i)
+				if _, err := engine.Checkout("data", []vgraph.VersionID{vgraph.VersionID(i%7 + 1)}, tab); err != nil {
+					t.Error(err)
+					return
+				}
+				c.DiscardCheckout(tab)
+			}
+		}(g)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := engine.Optimize("data", 2.0); err != nil {
+			t.Error(err)
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/cvd"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// ExampleEngine_Checkout shows the minimal checkout/commit round trip: init a
+// CVD, check out version 1 into a staging table, modify it, and commit it
+// back as version 2.
+func ExampleEngine_Checkout() {
+	engine := core.Open("example")
+	schema := relstore.MustSchema([]relstore.Column{
+		{Name: "gene", Type: relstore.TypeString},
+		{Name: "score", Type: relstore.TypeInt},
+	}, "gene")
+	_, err := engine.Init("genes", schema, []relstore.Row{
+		{relstore.Str("BRCA1"), relstore.Int(12)},
+		{relstore.Str("TP53"), relstore.Int(48)},
+	}, cvd.Options{Author: "alice", Message: "initial import"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	work, err := engine.Checkout("genes", []vgraph.VersionID{1}, "alice_work")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Staging rows carry the rid column first, then the data attributes.
+	work.MustInsert(relstore.Row{relstore.Int(0), relstore.Str("MYC"), relstore.Int(77)})
+
+	v2, err := engine.Commit("genes", "alice_work", "added MYC", "alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := engine.CVD("genes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed version %d with %d records\n", v2, len(c.RecordsOf(v2)))
+	// Output:
+	// committed version 2 with 3 records
+}
+
+// ExampleEngine_Query runs a VQuel query over the version history: one row
+// per version with an aggregate over that version's records.
+func ExampleEngine_Query() {
+	engine := core.Open("example")
+	schema := relstore.MustSchema([]relstore.Column{
+		{Name: "gene", Type: relstore.TypeString},
+		{Name: "score", Type: relstore.TypeInt},
+	}, "gene")
+	_, err := engine.Init("genes", schema, []relstore.Row{
+		{relstore.Str("BRCA1"), relstore.Int(12)},
+		{relstore.Str("TP53"), relstore.Int(48)},
+		{relstore.Str("EGFR"), relstore.Int(31)},
+	}, cvd.Options{Author: "alice", Message: "initial import"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := engine.Query("genes", `
+		range of V is Version
+		range of E is V.Relations(name = "genes").Tuples
+		retrieve V.id, count(E.gene where E.score > 40)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("%s: %s high-scoring\n", row[0].AsString(), row[1].AsString())
+	}
+	// Output:
+	// v1: 1 high-scoring
+}

@@ -2,12 +2,21 @@
 // together the relational substrate (relstore), collaborative versioned
 // datasets (cvd), the partition optimizer (partition), and the VQuel query
 // language (vquel). Examples and the command-line tools use this package.
+//
+// An Engine is safe for concurrent use by many clients: the CVD registry is
+// guarded by a read-write mutex, and each CVD carries its own read-write
+// lock so checkouts, diffs, and queries of one dataset proceed in parallel
+// while commits and the partition optimizer get exclusive access. The
+// WithWorkers option additionally bounds the intra-operation parallelism of
+// the hot paths (multi-version checkout, partitioned scans, partition
+// builds, and LyreSplit candidate evaluation).
 package core
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/cvd"
 	"repro/internal/partition"
@@ -17,22 +26,49 @@ import (
 )
 
 // Engine is an OrpheusDB instance: a backing database plus the CVDs it
-// manages.
+// manages. All methods are safe for concurrent use.
 type Engine struct {
-	db   *relstore.Database
-	cvds map[string]*cvd.CVD
+	mu      sync.RWMutex // guards the CVD registry
+	db      *relstore.Database
+	cvds    map[string]*cvd.CVD
+	workers int
+}
+
+// Option configures an Engine at Open time.
+type Option func(*Engine)
+
+// WithWorkers sets the worker-pool size used by the engine's parallel code
+// paths. n <= 1 keeps every operation single-threaded on its calling
+// goroutine (concurrent clients still run in parallel — this knob only
+// bounds intra-operation fan-out).
+func WithWorkers(n int) Option {
+	return func(e *Engine) { e.workers = n }
 }
 
 // Open creates an engine over a fresh in-memory database.
-func Open(name string) *Engine {
-	return &Engine{db: relstore.NewDatabase(name), cvds: make(map[string]*cvd.CVD)}
+func Open(name string, opts ...Option) *Engine {
+	e := &Engine{db: relstore.NewDatabase(name), cvds: make(map[string]*cvd.CVD)}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
 
 // Database exposes the backing database (staging tables live there).
 func (e *Engine) Database() *relstore.Database { return e.db }
 
-// Init creates a new CVD from initial rows (the `init` command).
+// Workers returns the configured intra-operation worker count (0 means
+// single-threaded operations).
+func (e *Engine) Workers() int { return e.workers }
+
+// Init creates a new CVD from initial rows (the `init` command). Unless the
+// options say otherwise, the CVD inherits the engine's worker count.
 func (e *Engine) Init(name string, schema relstore.Schema, rows []relstore.Row, opts cvd.Options) (*cvd.CVD, error) {
+	if opts.Workers == 0 {
+		opts.Workers = e.workers
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if _, dup := e.cvds[name]; dup {
 		return nil, fmt.Errorf("core: CVD %q already exists", name)
 	}
@@ -42,6 +78,21 @@ func (e *Engine) Init(name string, schema relstore.Schema, rows []relstore.Row, 
 	}
 	e.cvds[name] = c
 	return c, nil
+}
+
+// Adopt registers an externally constructed CVD (for example one loaded by
+// the benchmark harness directly against the engine's database) so that it
+// is reachable through the engine façade. Like Init, the adopted CVD
+// inherits the engine's worker count unless its own was set explicitly.
+func (e *Engine) Adopt(c *cvd.CVD) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.cvds[c.Name()]; dup {
+		return fmt.Errorf("core: CVD %q already exists", c.Name())
+	}
+	c.InheritWorkers(e.workers)
+	e.cvds[c.Name()] = c
+	return nil
 }
 
 // InitFromCSV creates a new CVD from a CSV stream (the `init -f` path).
@@ -55,6 +106,8 @@ func (e *Engine) InitFromCSV(name string, r io.Reader, schema relstore.Schema, o
 
 // CVD returns a managed CVD by name.
 func (e *Engine) CVD(name string) (*cvd.CVD, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	c, ok := e.cvds[name]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown CVD %q", name)
@@ -64,6 +117,8 @@ func (e *Engine) CVD(name string) (*cvd.CVD, error) {
 
 // List returns the names of all managed CVDs (the `ls` command).
 func (e *Engine) List() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	names := make([]string, 0, len(e.cvds))
 	for n := range e.cvds {
 		names = append(names, n)
@@ -74,6 +129,8 @@ func (e *Engine) List() []string {
 
 // Drop removes a CVD and its backing tables (the `drop` command).
 func (e *Engine) Drop(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	c, ok := e.cvds[name]
 	if !ok {
 		return fmt.Errorf("core: unknown CVD %q", name)
@@ -122,37 +179,47 @@ type OptimizeReport struct {
 
 // Optimize runs the partition optimizer on a split-by-rlist CVD with the
 // given storage threshold factor (γ = factor·|R|) and applies the resulting
-// partitioning (the `optimize` command).
+// partitioning (the `optimize` command). The whole optimize-and-apply runs
+// under the CVD's exclusive lock, so concurrent checkouts never observe a
+// half-built partitioning.
 func (e *Engine) Optimize(cvdName string, storageFactor float64) (OptimizeReport, error) {
 	c, err := e.CVD(cvdName)
 	if err != nil {
 		return OptimizeReport{}, err
 	}
-	m, err := c.Rlist()
+	var rep OptimizeReport
+	err = c.WithExclusive(func() error {
+		m, err := c.Rlist()
+		if err != nil {
+			return err
+		}
+		tree, err := vgraph.ToTree(c.Graph())
+		if err != nil {
+			return err
+		}
+		if storageFactor < 1 {
+			storageFactor = 2
+		}
+		gamma := int64(storageFactor * float64(tree.DistinctRecords()))
+		res, err := partition.SolveStorageConstraint(tree, gamma, partition.LyreSplitOptions{Workers: e.workers})
+		if err != nil {
+			return err
+		}
+		if err := m.ApplyPartitioning(res.Partitioning); err != nil {
+			return err
+		}
+		rep = OptimizeReport{
+			Partitions:       res.Partitioning.NumPartitions,
+			Delta:            res.Delta,
+			EstimatedStorage: res.EstimatedStorage,
+			EstimatedAvgCost: res.EstimatedAvgCheckout,
+		}
+		return nil
+	})
 	if err != nil {
 		return OptimizeReport{}, err
 	}
-	tree, err := vgraph.ToTree(c.Graph())
-	if err != nil {
-		return OptimizeReport{}, err
-	}
-	if storageFactor < 1 {
-		storageFactor = 2
-	}
-	gamma := int64(storageFactor * float64(tree.DistinctRecords()))
-	res, err := partition.SolveStorageConstraint(tree, gamma, partition.LyreSplitOptions{})
-	if err != nil {
-		return OptimizeReport{}, err
-	}
-	if err := m.ApplyPartitioning(res.Partitioning); err != nil {
-		return OptimizeReport{}, err
-	}
-	return OptimizeReport{
-		Partitions:       res.Partitioning.NumPartitions,
-		Delta:            res.Delta,
-		EstimatedStorage: res.EstimatedStorage,
-		EstimatedAvgCost: res.EstimatedAvgCheckout,
-	}, nil
+	return rep, nil
 }
 
 // Query runs a VQuel query against a CVD's version history (the `run`

@@ -5,8 +5,11 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/relstore"
 	"repro/internal/vgraph"
 )
@@ -15,6 +18,14 @@ import (
 // tracked by OrpheusDB. It owns the version graph, the version-record
 // bipartite graph, version metadata, the attribute registry, and a physical
 // data model inside a relstore database.
+//
+// A CVD is safe for concurrent use: commits take an exclusive lock while
+// checkouts, diffs and versioned queries share a read lock, so any number of
+// readers proceed in parallel. The raw-structure accessors (Graph, Bipartite,
+// DataModel, Rlist, Attributes) return live internal pointers and are NOT
+// synchronized; callers that traverse or mutate them concurrently with other
+// operations must wrap the access in WithExclusive (or WithShared for pure
+// reads).
 type CVD struct {
 	name   string
 	db     *relstore.Database
@@ -31,8 +42,22 @@ type CVD struct {
 	nextVID vgraph.VersionID
 	nextRID vgraph.RecordID
 
+	// mu guards all version state above plus the physical model: commits and
+	// schema evolution take it exclusively, checkouts and queries share it.
+	mu sync.RWMutex
+
+	// ckMu guards the staging-table registry (checkouts, reserved) so
+	// concurrent checkouts can register staging tables without serializing
+	// their materialization work behind an exclusive lock.
+	ckMu      sync.Mutex
 	checkouts map[string]checkoutInfo
-	clock     func() time.Time
+	reserved  map[string]struct{} // staging names claimed by in-flight checkouts
+	dropped   bool                // set by Drop; refuses new/in-flight checkouts
+
+	workers    int  // intra-operation parallelism (see Options.Workers)
+	workersSet bool // workers was configured explicitly (Options or SetWorkers)
+	csvSeq     atomic.Int64
+	clock      func() time.Time
 }
 
 type checkoutInfo struct {
@@ -52,6 +77,11 @@ type Options struct {
 	// Clock overrides the time source (used by tests and the benchmark
 	// harness for reproducibility).
 	Clock func() time.Time
+	// Workers bounds the intra-operation parallelism of the hot paths
+	// (multi-version checkout, partitioned scans, partition builds). 0 or 1
+	// keeps every operation single-threaded on the calling goroutine; n > 1
+	// fans work out over the shared worker-pool utility (package parallel).
+	Workers int
 }
 
 // Init creates a new CVD named name inside db with the given data schema and
@@ -81,8 +111,16 @@ func Init(db *relstore.Database, name string, schema relstore.Schema, rows []rel
 		attrs:     NewAttributeRegistry(),
 		nextVID:   1,
 		nextRID:   1,
-		checkouts: make(map[string]checkoutInfo),
-		clock:     clock,
+		checkouts:  make(map[string]checkoutInfo),
+		reserved:   make(map[string]struct{}),
+		workers:    opts.Workers,
+		workersSet: opts.Workers != 0,
+		clock:      clock,
+	}
+	if c.workers <= 0 {
+		// Parallelism is strictly opt-in: an unset knob means single-threaded
+		// operations, not "use every CPU".
+		c.workers = 1
 	}
 	meta, err := newMetadataStore(db, name)
 	if err != nil {
@@ -93,6 +131,9 @@ func Init(db *relstore.Database, name string, schema relstore.Schema, rows []rel
 	if err != nil {
 		meta.drop()
 		return nil, err
+	}
+	if rm, ok := model.(*rlistModel); ok {
+		rm.SetWorkers(opts.Workers)
 	}
 	c.model = model
 
@@ -118,15 +159,56 @@ func Init(db *relstore.Database, name string, schema relstore.Schema, rows []rel
 // Name returns the CVD name.
 func (c *CVD) Name() string { return c.name }
 
+// SetWorkers sets the intra-operation parallelism of the hot paths (see
+// Options.Workers) after construction. n <= 0 means single-threaded.
+func (c *CVD) SetWorkers(n int) {
+	if n <= 0 {
+		n = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workersSet = true
+	c.setWorkersLocked(n)
+}
+
+// InheritWorkers sets the worker count like SetWorkers, but only when it was
+// never configured explicitly (via Options.Workers or SetWorkers) — the same
+// inheritance semantics core.Engine.Init applies to its Options. Used by
+// core.Engine.Adopt so externally loaded CVDs pick up the engine's knob
+// without clobbering a deliberate per-CVD choice.
+func (c *CVD) InheritWorkers(n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.workersSet {
+		return
+	}
+	c.setWorkersLocked(n)
+}
+
+// setWorkersLocked propagates a validated worker count to the CVD and its
+// physical model; callers hold c.mu.
+func (c *CVD) setWorkersLocked(n int) {
+	c.workers = n
+	if rm, ok := c.model.(*rlistModel); ok {
+		rm.SetWorkers(n)
+	}
+}
+
 // Model returns the physical data model kind in use.
 func (c *CVD) Model() ModelKind { return c.kind }
 
 // DataModel returns the underlying data model (for advanced operations such
-// as partitioning of the split-by-rlist model).
+// as partitioning of the split-by-rlist model). The returned pointer is live:
+// synchronize mutations through WithExclusive when the CVD is shared.
 func (c *CVD) DataModel() DataModel { return c.model }
 
 // Rlist returns the split-by-rlist model when that model is in use, for
-// partitioning operations; it returns an error otherwise.
+// partitioning operations; it returns an error otherwise. The returned
+// pointer is live: synchronize mutations through WithExclusive when the CVD
+// is shared.
 func (c *CVD) Rlist() (*rlistModel, error) {
 	m, ok := c.model.(*rlistModel)
 	if !ok {
@@ -135,38 +217,93 @@ func (c *CVD) Rlist() (*rlistModel, error) {
 	return m, nil
 }
 
-// Schema returns the current (single-pool) data schema.
-func (c *CVD) Schema() relstore.Schema { return c.schema.Clone() }
+// WithExclusive runs fn while holding the CVD's exclusive lock, excluding all
+// concurrent commits, checkouts, and queries. It is how callers that reach
+// into the live internals (Graph, Rlist, DataModel) — e.g. the partition
+// optimizer applying a new partitioning — make those multi-step operations
+// atomic. fn must not call the CVD's own locking methods (Checkout, Commit,
+// Versions, ...); use the raw accessors inside.
+func (c *CVD) WithExclusive(fn func() error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fn()
+}
 
-// Graph returns the version graph.
+// WithShared runs fn while holding the CVD's shared (read) lock. It gives a
+// consistent multi-step view over the live internals while commits are
+// excluded; other readers proceed concurrently. The same re-entrancy rule as
+// WithExclusive applies: fn must not call the CVD's own locking methods.
+func (c *CVD) WithShared(fn func() error) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return fn()
+}
+
+// Schema returns the current (single-pool) data schema.
+func (c *CVD) Schema() relstore.Schema {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.schema.Clone()
+}
+
+// Graph returns the version graph. The returned pointer is live: traversals
+// concurrent with commits must be wrapped in WithShared/WithExclusive.
 func (c *CVD) Graph() *vgraph.Graph { return c.graph }
 
-// Bipartite returns the version-record bipartite graph.
+// Bipartite returns the version-record bipartite graph. The returned pointer
+// is live: see Graph.
 func (c *CVD) Bipartite() *vgraph.Bipartite { return c.bip }
 
-// Attributes returns the attribute registry (the attribute table of Section 4.3).
+// Attributes returns the attribute registry (the attribute table of Section
+// 4.3). The returned pointer is live: see Graph.
 func (c *CVD) Attributes() *AttributeRegistry { return c.attrs }
 
 // Versions returns all version ids in commit order.
-func (c *CVD) Versions() []vgraph.VersionID { return c.graph.Versions() }
+func (c *CVD) Versions() []vgraph.VersionID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.graph.Versions()
+}
 
 // NumVersions returns the number of versions.
-func (c *CVD) NumVersions() int { return c.graph.NumVersions() }
+func (c *CVD) NumVersions() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.graph.NumVersions()
+}
 
 // NumRecords returns the number of distinct records across all versions.
-func (c *CVD) NumRecords() int64 { return int64(len(c.records)) }
+func (c *CVD) NumRecords() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return int64(len(c.records))
+}
 
 // StorageBytes returns the accounted storage of the physical data model.
-func (c *CVD) StorageBytes() int64 { return c.model.StorageBytes() }
+func (c *CVD) StorageBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.model.StorageBytes()
+}
 
 // Meta returns the metadata of a version.
-func (c *CVD) Meta(v vgraph.VersionID) (*VersionMeta, bool) { return c.meta.get(v) }
+func (c *CVD) Meta(v vgraph.VersionID) (*VersionMeta, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.meta.get(v)
+}
 
 // AllMeta returns metadata for every version ordered by id.
-func (c *CVD) AllMeta() []*VersionMeta { return c.meta.all() }
+func (c *CVD) AllMeta() []*VersionMeta {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.meta.all()
+}
 
 // LatestVersion returns the version with the most recent commit time.
 func (c *CVD) LatestVersion() (vgraph.VersionID, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	m, ok := c.meta.latest()
 	if !ok {
 		return 0, false
@@ -176,6 +313,13 @@ func (c *CVD) LatestVersion() (vgraph.VersionID, bool) {
 
 // RecordContent returns the data values of a record by id.
 func (c *CVD) RecordContent(r vgraph.RecordID) (relstore.Row, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.recordContentLocked(r)
+}
+
+// recordContentLocked is RecordContent for callers already holding c.mu.
+func (c *CVD) recordContentLocked(r vgraph.RecordID) (relstore.Row, bool) {
 	row, ok := c.records[r]
 	if !ok {
 		return nil, false
@@ -183,21 +327,73 @@ func (c *CVD) RecordContent(r vgraph.RecordID) (relstore.Row, bool) {
 	return padRow(row.Clone(), len(c.schema.Columns)), true
 }
 
+// VersionSnapshot is one version's metadata plus its materialized rows, as
+// returned by Snapshot.
+type VersionSnapshot struct {
+	Meta *VersionMeta
+	Rows []relstore.Row
+}
+
+// Snapshot returns, under a single shared lock, the current schema together
+// with every version's metadata and materialized rows in commit order. It is
+// the consistent read path for whole-history consumers (vquel.FromCVD):
+// piecing the same view together from separate Schema/Versions/Meta/
+// RecordContent calls can interleave with a schema-widening commit and
+// observe rows wider than the schema they were paired with.
+func (c *CVD) Snapshot() (relstore.Schema, []VersionSnapshot, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	schema := c.schema.Clone()
+	versions := c.graph.Versions()
+	out := make([]VersionSnapshot, 0, len(versions))
+	for _, vid := range versions {
+		m, ok := c.meta.get(vid)
+		if !ok {
+			return relstore.Schema{}, nil, fmt.Errorf("cvd: %s: missing metadata for version %d", c.name, vid)
+		}
+		rids := c.bip.Records(vid)
+		rows := make([]relstore.Row, 0, len(rids))
+		for _, rid := range rids {
+			if row, ok := c.recordContentLocked(rid); ok {
+				rows = append(rows, row)
+			}
+		}
+		out = append(out, VersionSnapshot{Meta: m, Rows: rows})
+	}
+	return schema, out, nil
+}
+
 // RecordsOf returns the record ids of a version.
 func (c *CVD) RecordsOf(v vgraph.VersionID) []vgraph.RecordID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.recordsOfLocked(v)
+}
+
+// recordsOfLocked is RecordsOf for callers already holding c.mu.
+func (c *CVD) recordsOfLocked(v vgraph.VersionID) []vgraph.RecordID {
 	rs := c.bip.Records(v)
 	out := make([]vgraph.RecordID, len(rs))
 	copy(out, rs)
 	return out
 }
 
-// Drop removes all backing tables of the CVD from the database.
+// Drop removes all backing tables of the CVD from the database. Checkouts
+// still in flight when Drop runs fail instead of re-attaching their staging
+// table to the database after the teardown.
 func (c *CVD) Drop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.model.Drop()
 	c.meta.drop()
+	c.ckMu.Lock()
+	defer c.ckMu.Unlock()
+	c.dropped = true
 	for tab := range c.checkouts {
 		c.db.DropTable(tab)
 	}
+	c.checkouts = make(map[string]checkoutInfo)
+	c.reserved = make(map[string]struct{})
 }
 
 // contentKey encodes a data row (padded to the current schema width) for
@@ -255,7 +451,7 @@ func (c *CVD) buildCommit(parents []vgraph.VersionID, rows []relstore.Row, schem
 	}
 	parentByKey := make(map[string]vgraph.RecordID)
 	for _, p := range parents {
-		rids := c.RecordsOf(p)
+		rids := c.recordsOfLocked(p)
 		req.ParentRIDs[p] = rids
 		for _, rid := range rids {
 			key := c.contentKey(c.records[rid])
@@ -395,11 +591,15 @@ func (c *CVD) recordVersion(req CommitRequest, msg, author string, at time.Time)
 // Commit adds a new version derived from parents with the given rows (data
 // attributes in rowSchema order). It returns the new version id. This is the
 // programmatic path; CommitTable commits a previously checked-out staging
-// table.
+// table. Commit holds the CVD's exclusive lock for its duration: concurrent
+// commits serialize, and checkouts/queries wait rather than observing a
+// half-applied version.
 func (c *CVD) Commit(parents []vgraph.VersionID, rows []relstore.Row, rowSchema relstore.Schema, msg, author string) (vgraph.VersionID, error) {
 	if len(parents) == 0 {
 		return 0, fmt.Errorf("cvd: %s: commit requires at least one parent version", c.name)
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, p := range parents {
 		if c.graph.Node(p) == nil {
 			return 0, fmt.Errorf("cvd: %s: unknown parent version %d", c.name, p)
@@ -426,6 +626,10 @@ func (c *CVD) Commit(parents []vgraph.VersionID, rows []relstore.Row, rowSchema 
 // records are merged in precedence order: a record whose primary key was
 // already added by an earlier version is omitted (Section 3.3.1). The
 // staging table contains the rid column followed by the data attributes.
+//
+// Checkout holds only the shared lock while materializing, so any number of
+// checkouts (and queries) run concurrently; the staging name is reserved
+// up front so two concurrent checkouts cannot claim the same table.
 func (c *CVD) Checkout(versions []vgraph.VersionID, tableName string) (*relstore.Table, error) {
 	if len(versions) == 0 {
 		return nil, fmt.Errorf("cvd: %s: checkout requires at least one version", c.name)
@@ -433,44 +637,71 @@ func (c *CVD) Checkout(versions []vgraph.VersionID, tableName string) (*relstore
 	if tableName == "" {
 		return nil, fmt.Errorf("cvd: %s: checkout requires a table name", c.name)
 	}
-	if c.db.HasTable(tableName) {
+	c.ckMu.Lock()
+	if c.dropped {
+		c.ckMu.Unlock()
+		return nil, fmt.Errorf("cvd: %s: CVD has been dropped", c.name)
+	}
+	_, inFlight := c.reserved[tableName]
+	if inFlight || c.db.HasTable(tableName) {
+		c.ckMu.Unlock()
 		return nil, fmt.Errorf("cvd: %s: table %q already exists", c.name, tableName)
 	}
+	c.reserved[tableName] = struct{}{}
+	c.ckMu.Unlock()
+
+	out, err := c.materialize(versions, tableName)
+
+	c.ckMu.Lock()
+	delete(c.reserved, tableName)
+	if err == nil && c.dropped {
+		// Drop ran between materialize releasing the shared lock and here:
+		// registering the staging table now would leak it past the teardown.
+		err = fmt.Errorf("cvd: %s: CVD has been dropped", c.name)
+	}
+	if err == nil {
+		c.db.AttachTable(out)
+		c.checkouts[tableName] = checkoutInfo{parents: append([]vgraph.VersionID(nil), versions...), at: c.clock()}
+	}
+	c.ckMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// materialize produces the checkout table under the shared lock.
+func (c *CVD) materialize(versions []vgraph.VersionID, tableName string) (*relstore.Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	for _, v := range versions {
 		if c.graph.Node(v) == nil {
 			return nil, fmt.Errorf("cvd: %s: unknown version %d", c.name, v)
 		}
 	}
-	var out *relstore.Table
 	if len(versions) == 1 {
-		t, err := c.model.Checkout(versions[0], tableName)
-		if err != nil {
-			return nil, err
-		}
-		out = t
-	} else {
-		merged, err := c.checkoutMerged(versions, tableName)
-		if err != nil {
-			return nil, err
-		}
-		out = merged
+		return c.model.Checkout(versions[0], tableName)
 	}
-	c.db.AttachTable(out)
-	c.checkouts[tableName] = checkoutInfo{parents: append([]vgraph.VersionID(nil), versions...), at: c.clock()}
-	return out, nil
+	return c.checkoutMerged(versions, tableName)
 }
 
 // checkoutMerged materializes multiple versions with primary-key precedence.
+// The per-version materializations — each touching exactly one partition
+// under partitioned storage — run in parallel on the CVD's worker pool; the
+// precedence merge itself stays sequential in version order so the result is
+// identical to the single-threaded path.
 func (c *CVD) checkoutMerged(versions []vgraph.VersionID, tableName string) (*relstore.Table, error) {
+	tmps, err := parallel.MapErr(c.workers, len(versions), func(i int) (*relstore.Table, error) {
+		return c.model.Checkout(versions[i], fmt.Sprintf("%s_tmp%d", tableName, i))
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := relstore.NewTable(tableName, dataSchemaWithRID(c.schema))
 	pk := c.schema.PrimaryKeyIndexes()
 	seenPK := make(map[string]struct{})
 	seenRID := make(map[int64]struct{})
-	for _, v := range versions {
-		t, err := c.model.Checkout(v, tableName+"_tmp")
-		if err != nil {
-			return nil, err
-		}
+	for _, t := range tmps {
 		for _, r := range t.Rows {
 			rid := r[0].AsInt()
 			if _, dup := seenRID[rid]; dup {
@@ -501,13 +732,24 @@ func (c *CVD) checkoutMerged(versions []vgraph.VersionID, tableName string) (*re
 // CheckoutToCSV materializes versions and writes them to w as CSV (the
 // `checkout -f` path for data-science workflows). The rid column is omitted.
 func (c *CVD) CheckoutToCSV(versions []vgraph.VersionID, w io.Writer) error {
-	tmp := fmt.Sprintf("%s_csv_checkout_%d", c.name, c.clock().UnixNano())
+	// The sequence number keeps concurrent exports (or deterministic test
+	// clocks) from colliding on the temporary staging name.
+	tmp := fmt.Sprintf("%s_csv_checkout_%d_%d", c.name, c.clock().UnixNano(), c.csvSeq.Add(1))
 	t, err := c.Checkout(versions, tmp)
 	if err != nil {
 		return err
 	}
 	defer c.DiscardCheckout(tmp)
-	proj, err := t.Project(tmp+"_proj", c.schema.ColumnNames()...)
+	// Project away the rid column using the staging table's own schema: the
+	// CVD's current schema may already be wider if a commit evolved it after
+	// the checkout materialized.
+	cols := make([]string, 0, len(t.Schema.Columns))
+	for _, col := range t.Schema.Columns {
+		if col.Name != ridColumn {
+			cols = append(cols, col.Name)
+		}
+	}
+	proj, err := t.Project(tmp+"_proj", cols...)
 	if err != nil {
 		return err
 	}
@@ -518,12 +760,27 @@ func (c *CVD) CheckoutToCSV(versions []vgraph.VersionID, w io.Writer) error {
 // version; the version's parents are the versions the table was checked out
 // from. The staging table is dropped afterwards.
 func (c *CVD) CommitTable(tableName, msg, author string) (vgraph.VersionID, error) {
+	// Claim the checkout entry atomically: of two concurrent CommitTable
+	// calls for the same staging table, exactly one proceeds (the loser sees
+	// the entry gone). On failure the claim is restored so the caller can
+	// retry or discard.
+	c.ckMu.Lock()
 	info, ok := c.checkouts[tableName]
+	if ok {
+		delete(c.checkouts, tableName)
+	}
+	c.ckMu.Unlock()
 	if !ok {
 		return 0, fmt.Errorf("cvd: %s: table %q was not produced by checkout", c.name, tableName)
 	}
+	restore := func() {
+		c.ckMu.Lock()
+		c.checkouts[tableName] = info
+		c.ckMu.Unlock()
+	}
 	t, ok := c.db.Table(tableName)
 	if !ok {
+		restore()
 		return 0, fmt.Errorf("cvd: %s: staging table %q has been dropped", c.name, tableName)
 	}
 	// Strip the rid column (users may have added rows without rids).
@@ -535,13 +792,15 @@ func (c *CVD) CommitTable(tableName, msg, author string) (vgraph.VersionID, erro
 	}
 	proj, err := t.Project(tableName+"_commitproj", dataCols...)
 	if err != nil {
+		restore()
 		return 0, err
 	}
 	v, err := c.Commit(info.parents, proj.Rows, proj.Schema, msg, author)
 	if err != nil {
+		restore()
 		return 0, err
 	}
-	c.DiscardCheckout(tableName)
+	c.db.DropTable(tableName)
 	return v, nil
 }
 
@@ -557,12 +816,16 @@ func (c *CVD) CommitCSV(parents []vgraph.VersionID, r io.Reader, schema relstore
 
 // DiscardCheckout drops a staging table without committing it.
 func (c *CVD) DiscardCheckout(tableName string) {
+	c.ckMu.Lock()
 	delete(c.checkouts, tableName)
+	c.ckMu.Unlock()
 	c.db.DropTable(tableName)
 }
 
 // CheckoutParents returns the versions a staging table was checked out from.
 func (c *CVD) CheckoutParents(tableName string) ([]vgraph.VersionID, bool) {
+	c.ckMu.Lock()
+	defer c.ckMu.Unlock()
 	info, ok := c.checkouts[tableName]
 	if !ok {
 		return nil, false
@@ -578,6 +841,8 @@ type DiffResult struct {
 
 // Diff compares two versions and returns the record ids on each side only.
 func (c *CVD) Diff(a, b vgraph.VersionID) (DiffResult, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if c.graph.Node(a) == nil || c.graph.Node(b) == nil {
 		return DiffResult{}, fmt.Errorf("cvd: %s: unknown version in diff(%d, %d)", c.name, a, b)
 	}

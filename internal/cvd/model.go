@@ -5,6 +5,15 @@
 // delta-based). It provides the git-style checkout / commit / diff workflow
 // of Chapter 3, version metadata and schema evolution of Section 4.3, and
 // the versioned query shortcuts used by the OrpheusDB query language.
+//
+// CVDs are safe for concurrent use: commits serialize behind an exclusive
+// lock while checkouts, diffs, and versioned queries share a read lock and
+// proceed in parallel. Operations additionally parallelize internally
+// (multi-version checkout, partitioned scans, partition builds) when the
+// CVD is created with Options.Workers > 1. The only unsynchronized surface
+// is the raw-structure accessors (Graph, Bipartite, DataModel, Rlist,
+// Attributes), which return live internal pointers; guard multi-step access
+// to those with WithShared / WithExclusive.
 package cvd
 
 import (

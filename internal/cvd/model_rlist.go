@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/relstore"
 	"repro/internal/vgraph"
 )
@@ -28,6 +29,10 @@ type rlistModel struct {
 	// maps each version to its partition.
 	partitions  []string // partition table names
 	partitionOf map[vgraph.VersionID]int
+
+	// workers bounds intra-operation parallelism: checkout scans are chunked
+	// and partition builds fan out across this many goroutines when > 1.
+	workers int
 }
 
 func newRlistModel(db *relstore.Database, name string, schema relstore.Schema) *rlistModel {
@@ -45,6 +50,15 @@ func (m *rlistModel) Kind() ModelKind { return SplitByRlist }
 // SetJoinMethod overrides the join strategy used during checkout; the
 // default is a hash join (Section 5.5.5).
 func (m *rlistModel) SetJoinMethod(j relstore.JoinMethod) { m.join = j }
+
+// SetWorkers bounds the intra-operation parallelism of checkout scans and
+// partition builds; 0 or 1 keeps them single-threaded.
+func (m *rlistModel) SetWorkers(n int) {
+	if n <= 0 {
+		n = 1
+	}
+	m.workers = n
+}
 
 func (m *rlistModel) versioningTabName() string { return m.name + "_versions" }
 
@@ -127,7 +141,7 @@ func (m *rlistModel) Checkout(v vgraph.VersionID, tableName string) (*relstore.T
 		src = m.partitions[k]
 	}
 	data := m.db.MustTable(src)
-	rows, err := relstore.JoinOnRIDs(data, ridColumn, rlist, m.join)
+	rows, err := relstore.JoinOnRIDsParallel(data, ridColumn, rlist, m.join, m.workers)
 	if err != nil {
 		return nil, err
 	}
@@ -259,8 +273,12 @@ func (m *rlistModel) ApplyPartitioning(p vgraph.Partitioning) error {
 	m.partitions = nil
 	m.partitionOf = make(map[vgraph.VersionID]int)
 
+	// Create the (empty) partition tables sequentially, then fill them in
+	// parallel: each fill reads the shared data table and writes only its own
+	// partition table, so the builds are independent.
 	groups := p.Groups()
 	m.partitions = make([]string, len(groups))
+	tables := make([]*relstore.Table, len(groups))
 	for k, versions := range groups {
 		name := m.partTabName(k)
 		m.db.DropTable(name)
@@ -268,15 +286,15 @@ func (m *rlistModel) ApplyPartitioning(p vgraph.Partitioning) error {
 		if err != nil {
 			return err
 		}
-		if err := m.fillPartition(t, versions); err != nil {
-			return err
-		}
+		tables[k] = t
 		m.partitions[k] = name
 		for _, v := range versions {
 			m.partitionOf[v] = k
 		}
 	}
-	return nil
+	return parallel.ForEachErr(m.workers, len(groups), func(k int) error {
+		return m.fillPartition(tables[k], groups[k])
+	})
 }
 
 // fillPartition inserts into t all records belonging to any of versions,

@@ -20,7 +20,9 @@ type Predicate func(relstore.Row) bool
 // NamedPredicate builds a predicate comparing a named column against a value
 // with the given comparison operator ("=", "!=", "<", "<=", ">", ">=").
 func (c *CVD) NamedPredicate(column, op string, value relstore.Value) (Predicate, error) {
+	c.mu.RLock()
 	idx := c.schema.ColumnIndex(column)
+	c.mu.RUnlock()
 	if idx < 0 {
 		return nil, fmt.Errorf("cvd: %s: unknown column %q", c.name, column)
 	}
@@ -59,13 +61,15 @@ type VersionedRow struct {
 // pred LIMIT limit`: it returns the (version, record) pairs of the listed
 // versions whose data satisfies pred. limit <= 0 means no limit.
 func (c *CVD) ScanVersions(versions []vgraph.VersionID, pred Predicate, limit int) ([]VersionedRow, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []VersionedRow
 	for _, v := range versions {
 		if c.graph.Node(v) == nil {
 			return nil, fmt.Errorf("cvd: %s: unknown version %d", c.name, v)
 		}
 		for _, rid := range c.bip.Records(v) {
-			row, ok := c.RecordContent(rid)
+			row, ok := c.recordContentLocked(rid)
 			if !ok {
 				continue
 			}
@@ -91,7 +95,9 @@ func CountAgg() Aggregator {
 
 // SumAgg sums a named column (resolved against the CVD schema at call time).
 func (c *CVD) SumAgg(column string) (Aggregator, error) {
+	c.mu.RLock()
 	idx := c.schema.ColumnIndex(column)
+	c.mu.RUnlock()
 	if idx < 0 {
 		return nil, fmt.Errorf("cvd: %s: unknown column %q", c.name, column)
 	}
@@ -122,7 +128,9 @@ func (c *CVD) AvgAgg(column string) (Aggregator, error) {
 
 // MaxAgg returns the maximum of a named column.
 func (c *CVD) MaxAgg(column string) (Aggregator, error) {
+	c.mu.RLock()
 	idx := c.schema.ColumnIndex(column)
+	c.mu.RUnlock()
 	if idx < 0 {
 		return nil, fmt.Errorf("cvd: %s: unknown column %q", c.name, column)
 	}
@@ -143,8 +151,10 @@ func (c *CVD) AggregateByVersion(versions []vgraph.VersionID, pred Predicate, ag
 	if agg == nil {
 		return nil, fmt.Errorf("cvd: %s: nil aggregator", c.name)
 	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if versions == nil {
-		versions = c.Versions()
+		versions = c.graph.Versions()
 	}
 	out := make(map[vgraph.VersionID]relstore.Value, len(versions))
 	for _, v := range versions {
@@ -153,7 +163,7 @@ func (c *CVD) AggregateByVersion(versions []vgraph.VersionID, pred Predicate, ag
 		}
 		var rows []relstore.Row
 		for _, rid := range c.bip.Records(v) {
-			row, ok := c.RecordContent(rid)
+			row, ok := c.recordContentLocked(rid)
 			if !ok {
 				continue
 			}
@@ -185,17 +195,31 @@ func (c *CVD) VersionsWhere(pred Predicate, agg Aggregator, test func(relstore.V
 }
 
 // Ancestors returns all ancestors of v (the ancestor(vid) primitive).
-func (c *CVD) Ancestors(v vgraph.VersionID) []vgraph.VersionID { return c.graph.Ancestors(v, 0) }
+func (c *CVD) Ancestors(v vgraph.VersionID) []vgraph.VersionID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.graph.Ancestors(v, 0)
+}
 
 // Descendants returns all descendants of v (the descendant(vid) primitive).
-func (c *CVD) Descendants(v vgraph.VersionID) []vgraph.VersionID { return c.graph.Descendants(v, 0) }
+func (c *CVD) Descendants(v vgraph.VersionID) []vgraph.VersionID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.graph.Descendants(v, 0)
+}
 
 // Parents returns the direct parents of v (the parent(vid) primitive).
-func (c *CVD) Parents(v vgraph.VersionID) []vgraph.VersionID { return c.graph.Parents(v) }
+func (c *CVD) Parents(v vgraph.VersionID) []vgraph.VersionID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.graph.Parents(v)
+}
 
 // VDiff implements v_diff(A, B): the record ids present in any version of A
 // but in no version of B.
 func (c *CVD) VDiff(a, b []vgraph.VersionID) []vgraph.RecordID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	inB := make(map[vgraph.RecordID]struct{})
 	for _, v := range b {
 		for _, r := range c.bip.Records(v) {
@@ -225,6 +249,8 @@ func (c *CVD) VIntersect(versions []vgraph.VersionID) []vgraph.RecordID {
 	if len(versions) == 0 {
 		return nil
 	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	counts := make(map[vgraph.RecordID]int)
 	for _, v := range versions {
 		for _, r := range c.bip.Records(v) {

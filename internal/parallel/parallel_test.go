@@ -1,0 +1,108 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllItems(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		const n = 1000
+		var hits [n]int32
+		ForEach(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: item %d executed %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ForEach(4, 0, func(int) { t.Fatal("fn called for n=0") })
+	ForEach(4, -3, func(int) { t.Fatal("fn called for n<0") })
+}
+
+func TestForEachErrReturnsLowestIndexedError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 4} {
+		err := ForEachErr(workers, 100, func(i int) error {
+			switch i {
+			case 17:
+				return errA
+			case 80:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("workers=%d: got %v, want error from item 17", workers, err)
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	got := Map(4, 50, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d: got %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapErr(t *testing.T) {
+	got, err := MapErr(3, 10, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[9] != 10 {
+		t.Fatalf("unexpected result %v", got)
+	}
+	boom := errors.New("boom")
+	if _, err := MapErr(3, 10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	}); err != boom {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize(8, 3); got != 3 {
+		t.Fatalf("Normalize(8,3) = %d, want 3", got)
+	}
+	if got := Normalize(0, 100); got < 1 {
+		t.Fatalf("Normalize(0,100) = %d, want >= 1", got)
+	}
+	if got := Normalize(2, 100); got != 2 {
+		t.Fatalf("Normalize(2,100) = %d, want 2", got)
+	}
+}
+
+func TestChunksPartition(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{{1, 10}, {3, 10}, {4, 4}, {8, 3}, {2, 1}} {
+		chunks := Chunks(tc.workers, tc.n)
+		covered := 0
+		prev := 0
+		for _, c := range chunks {
+			if c[0] != prev {
+				t.Fatalf("workers=%d n=%d: chunk starts at %d, want %d", tc.workers, tc.n, c[0], prev)
+			}
+			if c[1] <= c[0] {
+				t.Fatalf("workers=%d n=%d: empty chunk %v", tc.workers, tc.n, c)
+			}
+			covered += c[1] - c[0]
+			prev = c[1]
+		}
+		if covered != tc.n {
+			t.Fatalf("workers=%d n=%d: chunks cover %d items", tc.workers, tc.n, covered)
+		}
+	}
+	if Chunks(4, 0) != nil {
+		t.Fatal("Chunks(4,0) should be nil")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/vgraph"
 )
 
@@ -39,6 +40,11 @@ type LyreSplitOptions struct {
 	// UseAttributes enables the schema-change-aware candidate rule of
 	// Section 5.3.3: an edge is splittable when a(vi,vj)·w(vi,vj) ≤ δ·|A||R|.
 	UseAttributes bool
+	// Workers bounds the parallelism of the candidate-evaluation loop when a
+	// part has many splittable edges; 0 or 1 evaluates candidates inline. The
+	// chosen cut is identical regardless of the worker count: candidates are
+	// scored in parallel but reduced sequentially in version-id order.
+	Workers int
 }
 
 // part is one connected piece of the version tree during recursion.
@@ -62,6 +68,10 @@ func LyreSplit(t *vgraph.Tree, delta float64, opts LyreSplitOptions) (LyreSplitR
 	if delta <= 0 || delta > 1 {
 		return LyreSplitResult{}, fmt.Errorf("partition: delta %g out of range (0, 1]", delta)
 	}
+	if opts.Workers <= 0 {
+		// Parallel candidate evaluation is strictly opt-in.
+		opts.Workers = 1
+	}
 	totalAttrs := maxAttrs(t)
 
 	root := &part{root: t.Root, members: make(map[vgraph.VersionID]bool, t.NumVersions())}
@@ -84,7 +94,7 @@ func LyreSplit(t *vgraph.Tree, delta float64, opts LyreSplitOptions) (LyreSplitR
 			finished = append(finished, p)
 			continue
 		}
-		cutChild, ok := pickSplitEdge(t, p, delta, opts.UseAttributes, totalAttrs)
+		cutChild, ok := pickSplitEdge(t, p, delta, opts.UseAttributes, totalAttrs, opts.Workers)
 		if !ok {
 			// No eligible edge (can happen for degenerate weights); keep as is.
 			finished = append(finished, p)
@@ -188,17 +198,27 @@ func computeSubtreeStats(t *vgraph.Tree, p *part) map[vgraph.VersionID]subtreeSt
 	return stats
 }
 
+// parallelCandidateMin is the candidate count below which pickSplitEdge
+// always scores sequentially; smaller parts don't amortize the fan-out.
+const parallelCandidateMin = 512
+
+// edgeScore is one candidate edge's evaluation under the balancing rule.
+type edgeScore struct {
+	eligible bool
+	vDiff    float64
+	rDiff    float64
+}
+
 // pickSplitEdge chooses the edge to cut among those with weight ≤ δ|R|
 // (or a(e)·w(e) ≤ δ·|A||R| in attribute-aware mode). It prefers the edge
 // that best balances the number of versions between the two sides, breaking
-// ties by balancing records.
-func pickSplitEdge(t *vgraph.Tree, p *part, delta float64, useAttrs bool, totalAttrs int) (vgraph.VersionID, bool) {
+// ties by balancing records. With workers > 1 and enough candidates the
+// per-candidate evaluation fans out over the worker pool; the reduction
+// stays sequential in version-id order so the chosen cut is identical to the
+// single-threaded loop.
+func pickSplitEdge(t *vgraph.Tree, p *part, delta float64, useAttrs bool, totalAttrs, workers int) (vgraph.VersionID, bool) {
 	stats := computeSubtreeStats(t, p)
 	threshold := delta * float64(p.nR)
-	var best vgraph.VersionID
-	bestVDiff := math.MaxFloat64
-	bestRDiff := math.MaxFloat64
-	found := false
 	// Deterministic iteration order.
 	candidates := make([]vgraph.VersionID, 0, len(p.members))
 	for v := range p.members {
@@ -208,7 +228,9 @@ func pickSplitEdge(t *vgraph.Tree, p *part, delta float64, useAttrs bool, totalA
 		candidates = append(candidates, v)
 	}
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
-	for _, v := range candidates {
+
+	score := func(i int) edgeScore {
+		v := candidates[i]
 		w := float64(t.Weight[v])
 		if useAttrs {
 			a := t.CommonAttrs[v]
@@ -216,19 +238,36 @@ func pickSplitEdge(t *vgraph.Tree, p *part, delta float64, useAttrs bool, totalA
 				a = totalAttrs
 			}
 			if float64(a)*w > delta*float64(totalAttrs)*float64(p.nR) {
-				continue
+				return edgeScore{}
 			}
 		} else if w > threshold {
-			continue
+			return edgeScore{}
 		}
 		sub := stats[v]
-		vDiff := math.Abs(float64(p.nV) - 2*float64(sub.nV))
 		r2 := sub.nR
 		r1 := p.nR - r2 + t.Weight[v]
-		rDiff := math.Abs(float64(r1) - float64(r2))
-		if !found || vDiff < bestVDiff || (vDiff == bestVDiff && rDiff < bestRDiff) {
+		return edgeScore{
+			eligible: true,
+			vDiff:    math.Abs(float64(p.nV) - 2*float64(sub.nV)),
+			rDiff:    math.Abs(float64(r1) - float64(r2)),
+		}
+	}
+	if len(candidates) < parallelCandidateMin {
+		workers = 1
+	}
+	scores := parallel.Map(workers, len(candidates), score)
+
+	var best vgraph.VersionID
+	bestVDiff := math.MaxFloat64
+	bestRDiff := math.MaxFloat64
+	found := false
+	for i, s := range scores {
+		if !s.eligible {
+			continue
+		}
+		if !found || s.vDiff < bestVDiff || (s.vDiff == bestVDiff && s.rDiff < bestRDiff) {
 			found = true
-			best, bestVDiff, bestRDiff = v, vDiff, rDiff
+			best, bestVDiff, bestRDiff = candidates[i], s.vDiff, s.rDiff
 		}
 	}
 	return best, found

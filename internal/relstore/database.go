@@ -108,11 +108,12 @@ func (d *Database) StorageBytes() int64 {
 	return n
 }
 
-// Stats returns a snapshot of the accumulated cost counters.
+// Stats returns a snapshot of the accumulated cost counters, safe to take
+// while concurrent operations are still accumulating into them.
 func (d *Database) Stats() CostStats {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.stats
+	return d.stats.Snapshot()
 }
 
 // ResetStats zeroes the cost counters.

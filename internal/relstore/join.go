@@ -3,6 +3,8 @@ package relstore
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // JoinMethod selects the join strategy used to combine a data table with the
@@ -61,6 +63,50 @@ func JoinOnRIDs(data *Table, ridColumn string, rids []int64, method JoinMethod) 
 	}
 }
 
+// parallelJoinMinRows is the data-table size below which JoinOnRIDsParallel
+// always runs sequentially: splitting a scan this small across goroutines
+// costs more than the scan itself.
+const parallelJoinMinRows = 2048
+
+// JoinOnRIDsParallel is JoinOnRIDs with intra-operation parallelism: for the
+// hash join, the sequential scan of the data table is split into contiguous
+// row chunks probed concurrently by up to workers goroutines, and the chunk
+// outputs are concatenated in chunk order so the result row order (and the
+// accounted cost) is identical to the sequential join. Merge and
+// index-nested-loop joins, small tables, and workers <= 1 all fall back to
+// the sequential path.
+func JoinOnRIDsParallel(data *Table, ridColumn string, rids []int64, method JoinMethod, workers int) ([]Row, error) {
+	if method != HashJoin || workers <= 1 || len(data.Rows) < parallelJoinMinRows {
+		return JoinOnRIDs(data, ridColumn, rids, method)
+	}
+	ci := data.Schema.ColumnIndex(ridColumn)
+	if ci < 0 {
+		return nil, fmt.Errorf("relstore: table %s has no column %q", data.Name, ridColumn)
+	}
+	set := make(map[int64]struct{}, len(rids))
+	for _, r := range rids {
+		set[r] = struct{}{}
+	}
+	chunks := parallel.Chunks(workers, len(data.Rows))
+	parts := parallel.Map(workers, len(chunks), func(k int) []Row {
+		lo, hi := chunks[k][0], chunks[k][1]
+		var out []Row
+		for _, r := range data.Rows[lo:hi] {
+			if _, ok := set[r[ci].AsInt()]; ok {
+				out = append(out, r)
+			}
+		}
+		data.stats.AddSeqReads(int64(hi - lo))
+		data.stats.AddHashProbes(int64(hi - lo))
+		return out
+	})
+	out := make([]Row, 0, len(rids))
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
 // hashJoinRIDs builds a hash set over rids, then sequentially scans the data
 // table probing each row. Cost: |rids| build + |data| probes.
 func hashJoinRIDs(data *Table, ridCol int, rids []int64) []Row {
@@ -69,13 +115,15 @@ func hashJoinRIDs(data *Table, ridCol int, rids []int64) []Row {
 		set[r] = struct{}{}
 	}
 	out := make([]Row, 0, len(rids))
+	probes := int64(0)
 	data.Scan(func(_ int, r Row) bool {
-		data.stats.HashProbes++
+		probes++
 		if _, ok := set[r[ridCol].AsInt()]; ok {
 			out = append(out, r)
 		}
 		return true
 	})
+	data.stats.AddHashProbes(probes)
 	return out
 }
 
@@ -99,7 +147,7 @@ func mergeJoinRIDs(data *Table, ridCol int, rids []int64) []Row {
 	})
 	if data.Cluster != ClusterOnRID {
 		// Sorting the data side costs another pass in the cost model.
-		data.stats.SeqReads += int64(len(pairs))
+		data.stats.AddSeqReads(int64(len(pairs)))
 		sort.Slice(pairs, func(i, j int) bool { return pairs[i].rid < pairs[j].rid })
 	}
 
@@ -156,7 +204,7 @@ func HashJoinTables(left *Table, leftCol string, right *Table, rightCol string) 
 	})
 	var out []Row
 	left.Scan(func(_ int, l Row) bool {
-		left.stats.HashProbes++
+		left.stats.AddHashProbes(1)
 		for _, r := range build[l[li].AsString()] {
 			joined := make(Row, 0, len(l)+len(r))
 			joined = append(joined, l...)

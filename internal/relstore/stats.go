@@ -1,12 +1,21 @@
 package relstore
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // CostStats collects the abstract I/O counters used by the checkout cost
 // model of Chapter 5: sequential row reads, random (index) row reads, and
 // rows written. The partition optimizer reasons about these quantities; the
 // benchmark harness reports them next to wall-clock time so the Figure 5.7
 // cost-model validation can be reproduced without PostgreSQL.
+//
+// A collector is typically shared by every table of a Database and updated
+// from concurrent checkouts, so all internal updates go through the atomic
+// AddSeqReads/AddRandomReads/AddRowsWritten/AddHashProbes methods. Read the
+// counters with Snapshot while other goroutines may be updating them; plain
+// field access is fine once the operations being measured have completed.
 type CostStats struct {
 	SeqReads    int64 // rows touched by sequential scans
 	RandomReads int64 // rows touched through index lookups
@@ -14,8 +23,38 @@ type CostStats struct {
 	HashProbes  int64 // hash-table probes performed by hash joins
 }
 
-// Reset zeroes all counters.
-func (s *CostStats) Reset() { *s = CostStats{} }
+// AddSeqReads atomically adds n sequential row reads.
+func (s *CostStats) AddSeqReads(n int64) { atomic.AddInt64(&s.SeqReads, n) }
+
+// AddRandomReads atomically adds n random (index) row reads.
+func (s *CostStats) AddRandomReads(n int64) { atomic.AddInt64(&s.RandomReads, n) }
+
+// AddRowsWritten atomically adds n written rows.
+func (s *CostStats) AddRowsWritten(n int64) { atomic.AddInt64(&s.RowsWritten, n) }
+
+// AddHashProbes atomically adds n hash-table probes.
+func (s *CostStats) AddHashProbes(n int64) { atomic.AddInt64(&s.HashProbes, n) }
+
+// Snapshot returns an atomically-read copy of the counters, safe to take
+// while concurrent operations are still accumulating into them.
+func (s *CostStats) Snapshot() CostStats {
+	return CostStats{
+		SeqReads:    atomic.LoadInt64(&s.SeqReads),
+		RandomReads: atomic.LoadInt64(&s.RandomReads),
+		RowsWritten: atomic.LoadInt64(&s.RowsWritten),
+		HashProbes:  atomic.LoadInt64(&s.HashProbes),
+	}
+}
+
+// Reset zeroes all counters. Like Snapshot it is safe against concurrent
+// atomic updates, though the caller decides whether a concurrent reset makes
+// sense for its measurement.
+func (s *CostStats) Reset() {
+	atomic.StoreInt64(&s.SeqReads, 0)
+	atomic.StoreInt64(&s.RandomReads, 0)
+	atomic.StoreInt64(&s.RowsWritten, 0)
+	atomic.StoreInt64(&s.HashProbes, 0)
+}
 
 // Add accumulates another stats value into s.
 func (s *CostStats) Add(o CostStats) {

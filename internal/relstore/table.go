@@ -152,7 +152,7 @@ func (t *Table) Insert(r Row) error {
 		t.uniqueIndex[k] = len(t.Rows)
 	}
 	t.Rows = append(t.Rows, r)
-	t.stats.RowsWritten++
+	t.stats.AddRowsWritten(1)
 	return nil
 }
 
@@ -206,19 +206,23 @@ func (t *Table) LookupIndex(key ...Value) (Row, bool) {
 	if !ok {
 		return nil, false
 	}
-	t.stats.RandomReads++
+	t.stats.AddRandomReads(1)
 	return t.Rows[pos], true
 }
 
 // Scan iterates all rows (sequential reads in the cost model), invoking fn
-// for each; if fn returns false the scan stops early.
+// for each; if fn returns false the scan stops early. The read counter is
+// accumulated locally and added once, so concurrent scans of shared tables
+// do not contend on the shared statistics collector.
 func (t *Table) Scan(fn func(pos int, r Row) bool) {
+	read := int64(0)
 	for i, r := range t.Rows {
-		t.stats.SeqReads++
+		read++
 		if !fn(i, r) {
-			return
+			break
 		}
 	}
+	t.stats.AddSeqReads(read)
 }
 
 // Filter returns all rows satisfying pred (a full sequential scan).
@@ -239,7 +243,7 @@ func (t *Table) UpdateWhere(pred func(Row) bool, fn func(Row) Row) (int, error) 
 	updated := 0
 	indexDirty := false
 	for i, r := range t.Rows {
-		t.stats.SeqReads++
+		t.stats.AddSeqReads(1)
 		if !pred(r) {
 			continue
 		}
@@ -251,7 +255,7 @@ func (t *Table) UpdateWhere(pred func(Row) bool, fn func(Row) Row) (int, error) 
 			indexDirty = true
 		}
 		t.Rows[i] = nr
-		t.stats.RowsWritten++
+		t.stats.AddRowsWritten(1)
 		updated++
 	}
 	if indexDirty {
@@ -269,7 +273,7 @@ func (t *Table) DeleteWhere(pred func(Row) bool) int {
 	kept := t.Rows[:0]
 	removed := 0
 	for _, r := range t.Rows {
-		t.stats.SeqReads++
+		t.stats.AddSeqReads(1)
 		if pred(r) {
 			removed++
 			continue
@@ -333,13 +337,13 @@ func (t *Table) Project(name string, cols ...string) (*Table, error) {
 	out := NewTable(name, schema)
 	out.SetStats(t.stats)
 	for _, r := range t.Rows {
-		t.stats.SeqReads++
 		nr := make(Row, len(idx))
 		for j, c := range idx {
 			nr[j] = r[c]
 		}
 		out.Rows = append(out.Rows, nr)
 	}
+	t.stats.AddSeqReads(int64(len(t.Rows)))
 	return out, nil
 }
 
@@ -370,8 +374,8 @@ func (t *Table) AddColumn(c Column) error {
 	t.Schema = newSchema
 	for i := range t.Rows {
 		t.Rows[i] = append(t.Rows[i], Null())
-		t.stats.RowsWritten++
 	}
+	t.stats.AddRowsWritten(int64(len(t.Rows)))
 	return nil
 }
 
@@ -402,7 +406,7 @@ func (t *Table) AlterColumnType(name string, typ ValueType) error {
 		case TypeBool:
 			t.Rows[i][ci] = Bool(v.AsBool())
 		}
-		t.stats.RowsWritten++
+		t.stats.AddRowsWritten(1)
 	}
 	return nil
 }

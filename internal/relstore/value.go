@@ -6,6 +6,14 @@
 // primary-key hash indexes, and three join strategies (hash join, merge join,
 // and index nested-loop join) whose relative costs drive the checkout cost
 // model of Chapter 5.
+//
+// Concurrency: a Database's table registry is guarded by its own mutex, and
+// the CostStats I/O counters are updated atomically, so any number of
+// goroutines may read (scan, join, look up) the same tables concurrently.
+// Table mutation (inserts, schema changes, sorts) is not internally
+// synchronized — the versioning layer above serializes writers per CVD. The
+// hash join additionally offers a chunked data-parallel variant
+// (JoinOnRIDsParallel) used by partitioned checkout scans.
 package relstore
 
 import (

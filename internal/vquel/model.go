@@ -17,7 +17,6 @@ import (
 
 	"repro/internal/cvd"
 	"repro/internal/relstore"
-	"repro/internal/vgraph"
 )
 
 // Version is a node of the conceptual data model: a commit with metadata and
@@ -148,27 +147,26 @@ func (v *Version) walk(maxHops int, next func(*Version) []*Version) []*Version {
 // OrpheusDB-managed data.
 func FromCVD(c *cvd.CVD) (*Repository, error) {
 	repo := NewRepository()
+	// Snapshot takes the schema, metadata, and rows under one shared lock, so
+	// a concurrent schema-widening commit cannot hand us rows wider than the
+	// schema we pair them with.
+	schema, versions, err := c.Snapshot()
+	if err != nil {
+		return nil, err
+	}
 	// Repository relations are read-only snapshots; drop the primary key so
 	// records that collide across merged versions do not trip the index.
-	schema := c.Schema()
 	schema.PrimaryKey = nil
-	for _, vid := range c.Versions() {
-		meta, ok := c.Meta(vid)
-		if !ok {
-			return nil, fmt.Errorf("vquel: missing metadata for version %d", vid)
-		}
+	for _, vs := range versions {
+		meta := vs.Meta
 		tab := relstore.NewTable(c.Name(), schema)
-		for _, rid := range c.RecordsOf(vid) {
-			row, ok := c.RecordContent(rid)
-			if !ok {
-				continue
-			}
+		for _, row := range vs.Rows {
 			if err := tab.Insert(row); err != nil {
 				return nil, err
 			}
 		}
 		v := &Version{
-			ID:        fmt.Sprintf("v%d", vid),
+			ID:        fmt.Sprintf("v%d", meta.ID),
 			Author:    meta.Author,
 			Message:   meta.Message,
 			CommitTS:  meta.CommitAt,
@@ -182,6 +180,5 @@ func FromCVD(c *cvd.CVD) (*Repository, error) {
 			return nil, err
 		}
 	}
-	_ = vgraph.VersionID(0)
 	return repo, nil
 }
