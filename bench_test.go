@@ -117,3 +117,16 @@ func BenchmarkCh8_Lineage(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRecsetSubsystem times the full before/after suite of the
+// compressed record-set subsystem (RunRecset): map-based vs recset LyreSplit
+// on a 1k-version tree, clone-per-row vs zero-copy partitioned checkout, and
+// the set-algebra microworkloads. cmd/benchrunner -experiment recset prints
+// the table and writes BENCH_recset.json.
+func BenchmarkRecsetSubsystem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := benchmark.RunRecset("SCI_10K", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

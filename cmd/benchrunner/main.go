@@ -9,6 +9,7 @@
 //	go run ./cmd/benchrunner -experiment all
 //	go run ./cmd/benchrunner -experiment fig5.8 -dataset SCI_10K -scale 1
 //	go run ./cmd/benchrunner -experiment concurrent -workers 4
+//	go run ./cmd/benchrunner -experiment recset -out BENCH_recset.json
 package main
 
 import (
@@ -22,20 +23,21 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment id: fig4.1, tab5.2, fig5.7, fig5.8, fig5.10, fig5.14, fig5.17, concurrent, ch7, ch8, all")
+	experiment := flag.String("experiment", "all", "experiment id: fig4.1, tab5.2, fig5.7, fig5.8, fig5.10, fig5.14, fig5.17, concurrent, recset, ch7, ch8, all")
 	dataset := flag.String("dataset", "SCI_10K", "dataset preset for single-dataset experiments")
 	scale := flag.Int("scale", 1, "scale multiplier applied to dataset presets")
 	workers := flag.Int("workers", 0, "engine worker-pool size for parallel operations (0 = single-threaded operations)")
 	latency := flag.Duration("latency", 0, "simulated client-server round trip for the concurrent experiment (0 = default 5ms, negative = none)")
+	out := flag.String("out", "", "output path for the recset experiment's JSON report (empty = print only, so a bare `-experiment all` never overwrites a committed BENCH_recset.json)")
 	flag.Parse()
 
-	if err := run(*experiment, *dataset, *scale, *workers, *latency); err != nil {
+	if err := run(*experiment, *dataset, *scale, *workers, *latency, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, dataset string, scale, workers int, latency time.Duration) error {
+func run(experiment, dataset string, scale, workers int, latency time.Duration, out string) error {
 	want := func(id string) bool {
 		return experiment == "all" || strings.EqualFold(experiment, id)
 	}
@@ -108,6 +110,24 @@ func run(experiment, dataset string, scale, workers int, latency time.Duration) 
 			return err
 		}
 		fmt.Println(table)
+	}
+	if want("recset") {
+		ran = true
+		report, table, err := benchmark.RunRecset(dataset, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table)
+		if out != "" {
+			doc, err := report.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
 	}
 	if want("ch7") {
 		ran = true

@@ -1,0 +1,256 @@
+package benchmark
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// This file freezes the pre-recset implementations of the two hot paths the
+// compressed record-set subsystem replaced — map-based LyreSplit and
+// clone-per-row checkout materialization — so RunRecset can report honest
+// before/after numbers against the same inputs. Nothing outside the
+// benchmark harness calls these.
+
+// legacyLyreSplitResult mirrors partition.LyreSplitResult's estimates so the
+// harness can cross-check that old and new implementations agree.
+type legacyLyreSplitResult struct {
+	Assignment             map[vgraph.VersionID]int
+	EstimatedStorage       int64
+	EstimatedTotalCheckout int64
+}
+
+type legacyPart struct {
+	root    vgraph.VersionID
+	members map[vgraph.VersionID]bool
+	nV      int
+	nR      int64
+	nE      int64
+}
+
+// legacyLyreSplit is the pre-recset LyreSplit: parts hold their members in
+// map[VersionID]bool, splitting copies maps, and candidate evaluation sorts
+// the member set on every split to restore a deterministic order.
+func legacyLyreSplit(t *vgraph.Tree, delta float64) (legacyLyreSplitResult, error) {
+	if err := t.Validate(); err != nil {
+		return legacyLyreSplitResult{}, err
+	}
+	if delta <= 0 || delta > 1 {
+		return legacyLyreSplitResult{}, fmt.Errorf("benchmark: delta %g out of range (0, 1]", delta)
+	}
+	fill := func(p *legacyPart) {
+		p.nV = len(p.members)
+		p.nE, p.nR = 0, 0
+		for v := range p.members {
+			p.nE += t.Records[v]
+			if v == p.root {
+				p.nR += t.Records[v]
+			} else {
+				p.nR += t.Records[v] - t.Weight[v]
+			}
+		}
+	}
+	root := &legacyPart{root: t.Root, members: make(map[vgraph.VersionID]bool, t.NumVersions())}
+	for _, v := range t.SubtreeVersions(t.Root) {
+		root.members[v] = true
+	}
+	fill(root)
+
+	res := legacyLyreSplitResult{Assignment: make(map[vgraph.VersionID]int)}
+	var finished []*legacyPart
+	queue := []*legacyPart{root}
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if p.nV <= 1 || float64(p.nR)*float64(p.nV) <= float64(p.nE)/delta {
+			finished = append(finished, p)
+			continue
+		}
+		cutChild, ok := legacyPickSplitEdge(t, p, delta)
+		if !ok {
+			finished = append(finished, p)
+			continue
+		}
+		right := &legacyPart{root: cutChild, members: make(map[vgraph.VersionID]bool)}
+		for _, v := range t.SubtreeVersions(cutChild) {
+			if p.members[v] {
+				right.members[v] = true
+			}
+		}
+		left := &legacyPart{root: p.root, members: make(map[vgraph.VersionID]bool, len(p.members)-len(right.members))}
+		for v := range p.members {
+			if !right.members[v] {
+				left.members[v] = true
+			}
+		}
+		fill(left)
+		fill(right)
+		queue = append(queue, left, right)
+	}
+	for i, p := range finished {
+		for v := range p.members {
+			res.Assignment[v] = i
+		}
+		res.EstimatedStorage += p.nR
+		res.EstimatedTotalCheckout += p.nR * int64(p.nV)
+	}
+	return res, nil
+}
+
+type legacySubtreeStats struct {
+	nV int
+	nR int64
+}
+
+func legacyPickSplitEdge(t *vgraph.Tree, p *legacyPart, delta float64) (vgraph.VersionID, bool) {
+	stats := legacyComputeSubtreeStats(t, p)
+	threshold := delta * float64(p.nR)
+	candidates := make([]vgraph.VersionID, 0, len(p.members))
+	for v := range p.members {
+		if v == p.root {
+			continue
+		}
+		candidates = append(candidates, v)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+
+	var best vgraph.VersionID
+	bestVDiff := math.MaxFloat64
+	bestRDiff := math.MaxFloat64
+	found := false
+	for _, v := range candidates {
+		if float64(t.Weight[v]) > threshold {
+			continue
+		}
+		sub := stats[v]
+		r2 := sub.nR
+		r1 := p.nR - r2 + t.Weight[v]
+		vDiff := math.Abs(float64(p.nV) - 2*float64(sub.nV))
+		rDiff := math.Abs(float64(r1) - float64(r2))
+		if !found || vDiff < bestVDiff || (vDiff == bestVDiff && rDiff < bestRDiff) {
+			found = true
+			best, bestVDiff, bestRDiff = v, vDiff, rDiff
+		}
+	}
+	return best, found
+}
+
+func legacyComputeSubtreeStats(t *vgraph.Tree, p *legacyPart) map[vgraph.VersionID]legacySubtreeStats {
+	stats := make(map[vgraph.VersionID]legacySubtreeStats, len(p.members))
+	type frame struct {
+		v       vgraph.VersionID
+		childIx int
+	}
+	children := func(v vgraph.VersionID) []vgraph.VersionID {
+		var out []vgraph.VersionID
+		for _, c := range t.Children[v] {
+			if p.members[c] {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	var stack []frame
+	stack = append(stack, frame{v: p.root})
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		kids := children(f.v)
+		if f.childIx < len(kids) {
+			next := kids[f.childIx]
+			f.childIx++
+			stack = append(stack, frame{v: next})
+			continue
+		}
+		s := legacySubtreeStats{nV: 1, nR: t.Records[f.v]}
+		for _, c := range kids {
+			cs := stats[c]
+			s.nV += cs.nV
+			s.nR += cs.nR - t.Weight[c]
+		}
+		stats[f.v] = s
+		stack = stack[:len(stack)-1]
+	}
+	return stats
+}
+
+// legacySolveStorageConstraint mirrors partition.SolveStorageConstraint's
+// binary search over δ, driving the frozen map-based LyreSplit: the
+// production shape of a partitioning run (Problem 5.1, γ in records).
+func legacySolveStorageConstraint(t *vgraph.Tree, gamma int64) (legacyLyreSplitResult, error) {
+	lo := legacyMinDelta(t)
+	hi := 1.0
+	const maxIter = 40
+	best, err := legacyLyreSplit(t, lo)
+	if err != nil {
+		return legacyLyreSplitResult{}, err
+	}
+	for i := 0; i < maxIter; i++ {
+		mid := (lo + hi) / 2
+		res, err := legacyLyreSplit(t, mid)
+		if err != nil {
+			return legacyLyreSplitResult{}, err
+		}
+		if res.EstimatedStorage <= gamma {
+			best = res
+			lo = mid
+			if float64(res.EstimatedStorage) >= 0.99*float64(gamma) {
+				break
+			}
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-9 {
+			break
+		}
+	}
+	return best, nil
+}
+
+func legacyMinDelta(t *vgraph.Tree) float64 {
+	r := t.DistinctRecords()
+	v := int64(t.NumVersions())
+	e := t.TotalBipartiteEdges()
+	if r == 0 || v == 0 {
+		return 1
+	}
+	d := float64(e) / (float64(r) * float64(v))
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// legacyCheckout replays the pre-recset checkout materialization against the
+// version's backing table: build a map[int64]struct{} from the rid list,
+// scan the table probing it, deep-Clone every matching row, and build a
+// string-keyed staging index — the exact per-row work Checkout used to do.
+// The resulting table is returned without being attached to the database.
+func legacyCheckout(data *relstore.Table, rids []vgraph.RecordID, tableName string) (*relstore.Table, error) {
+	ridIdx := data.Schema.ColumnIndex("rid")
+	if ridIdx < 0 {
+		return nil, fmt.Errorf("benchmark: table %s has no rid column", data.Name)
+	}
+	set := make(map[int64]struct{}, len(rids))
+	for _, r := range rids {
+		set[int64(r)] = struct{}{}
+	}
+	out := relstore.NewTable(tableName, data.Schema.Clone())
+	out.SetStats(data.Stats())
+	index := make(map[string]int, len(rids))
+	data.Scan(func(_ int, r relstore.Row) bool {
+		if _, ok := set[r[ridIdx].AsInt()]; ok {
+			nr := r.Clone()
+			index[strconv.FormatInt(nr[ridIdx].AsInt(), 10)] = len(out.Rows)
+			out.Rows = append(out.Rows, nr)
+		}
+		return true
+	})
+	if len(index) == 0 && len(rids) > 0 {
+		return nil, fmt.Errorf("benchmark: legacy checkout matched no rows")
+	}
+	return out, nil
+}

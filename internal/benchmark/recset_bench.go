@@ -1,0 +1,308 @@
+package benchmark
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/cvd"
+	"repro/internal/partition"
+	"repro/internal/recset"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// RecsetResult is one before/after measurement of the compressed record-set
+// subsystem: Before replays the frozen pre-recset implementation (legacy.go),
+// After runs the current code on the same input.
+type RecsetResult struct {
+	Name     string  `json:"name"`
+	Detail   string  `json:"detail"`
+	Reps     int     `json:"reps"`
+	BeforeNs int64   `json:"before_ns"`
+	AfterNs  int64   `json:"after_ns"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// RecsetReport is the BENCH_recset.json document.
+type RecsetReport struct {
+	Dataset string         `json:"dataset"`
+	Scale   int            `json:"scale"`
+	Results []RecsetResult `json:"results"`
+}
+
+// JSON renders the report.
+func (r RecsetReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+func timeReps(reps int, f func() error) (time.Duration, error) {
+	// One warm-up rep keeps lazily-populated state (caches, allocator) out of
+	// the measured window on both sides equally.
+	if err := f(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := f(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// RunRecset measures the record-set subsystem before/after pairs on the
+// benchrunner workloads and renders them as a table plus a RecsetReport
+// (written to BENCH_recset.json by cmd/benchrunner):
+//
+//   - lyresplit-1k: LyreSplit over a ≥1000-version SCI tree, current recset
+//     parts vs the frozen map-based implementation.
+//   - checkout-partitioned: partitioned single-version checkout, zero-copy
+//     recset-probe materialization vs the frozen map-probe + clone-per-row +
+//     string-index path, on the Fig. 5.14-style workload.
+//   - setops-intersect / setops-union: the record-set algebra underneath the
+//     baselines and the migration planner, recset vs map.
+func RunRecset(dataset string, scale int) (RecsetReport, Table, error) {
+	report := RecsetReport{Dataset: dataset, Scale: scale}
+
+	// ---- LyreSplit on a >= 1k-version tree --------------------------------
+	cfg := Config{
+		Name: "SCI_1KV", Kind: SCI,
+		Branches: 100, VersionsPerBranch: 10,
+		TargetRecords: 20_000, InsertsPerVersion: 20,
+		UpdateFraction: 0.3, DeleteFraction: 0.02, Seed: 42,
+	}
+	wBig, err := Generate(cfg)
+	if err != nil {
+		return report, Table{}, err
+	}
+	tree, err := wBig.Tree()
+	if err != nil {
+		return report, Table{}, err
+	}
+	if tree.NumVersions() < 1000 {
+		return report, Table{}, fmt.Errorf("benchmark: lyresplit workload has %d versions, want >= 1000", tree.NumVersions())
+	}
+	// The production shape of a partitioning run: Problem 5.1 at γ = 2|R|,
+	// the binary search over δ of the Fig. 5.10/5.14 workloads.
+	gamma := 2 * tree.DistinctRecords()
+	// Sanity: both implementations must agree before timing means anything.
+	newRes, err := partition.SolveStorageConstraint(tree, gamma, partition.LyreSplitOptions{})
+	if err != nil {
+		return report, Table{}, err
+	}
+	oldRes, err := legacySolveStorageConstraint(tree, gamma)
+	if err != nil {
+		return report, Table{}, err
+	}
+	if newRes.EstimatedStorage != oldRes.EstimatedStorage || newRes.EstimatedTotalCheckout != oldRes.EstimatedTotalCheckout {
+		return report, Table{}, fmt.Errorf("benchmark: legacy and recset LyreSplit disagree: storage %d vs %d, checkout %d vs %d",
+			oldRes.EstimatedStorage, newRes.EstimatedStorage, oldRes.EstimatedTotalCheckout, newRes.EstimatedTotalCheckout)
+	}
+	lsReps := 5
+	before, err := timeReps(lsReps, func() error {
+		_, err := legacySolveStorageConstraint(tree, gamma)
+		return err
+	})
+	if err != nil {
+		return report, Table{}, err
+	}
+	after, err := timeReps(lsReps, func() error {
+		_, err := partition.SolveStorageConstraint(tree, gamma, partition.LyreSplitOptions{})
+		return err
+	})
+	if err != nil {
+		return report, Table{}, err
+	}
+	report.Results = append(report.Results, recsetResult("lyresplit-1k",
+		fmt.Sprintf("SolveStorageConstraint gamma=2|R|: |V|=%d |R|=%d, %d partitions", tree.NumVersions(), tree.DistinctRecords(), newRes.Partitioning.NumPartitions),
+		lsReps, before, after))
+
+	// ---- Partitioned checkout --------------------------------------------
+	preset, err := Preset(dataset, scale)
+	if err != nil {
+		return report, Table{}, err
+	}
+	preset.Attributes = 10
+	w, err := Generate(preset)
+	if err != nil {
+		return report, Table{}, err
+	}
+	db := relstore.NewDatabase("recset")
+	c, err := LoadCVD(db, "cvd", w, cvd.SplitByRlist)
+	if err != nil {
+		return report, Table{}, err
+	}
+	defer c.Drop()
+	m, err := c.Rlist()
+	if err != nil {
+		return report, Table{}, err
+	}
+	cvdTree, err := vgraph.ToTree(c.Graph())
+	if err != nil {
+		return report, Table{}, err
+	}
+	sol, err := partition.SolveStorageConstraint(cvdTree, 2*cvdTree.DistinctRecords(), partition.LyreSplitOptions{})
+	if err != nil {
+		return report, Table{}, err
+	}
+	if err := m.ApplyPartitioning(sol.Partitioning); err != nil {
+		return report, Table{}, err
+	}
+	sample := sampleVersionIDs(c.Versions(), 20)
+	ckReps := 10
+	seq := 0
+	before, err = timeReps(ckReps, func() error {
+		for _, v := range sample {
+			data, ok := db.Table(m.PartitionTableName(v))
+			if !ok {
+				return fmt.Errorf("benchmark: missing partition table for version %d", v)
+			}
+			if _, err := legacyCheckout(data, c.RecordsOf(v), "legacy_co"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return report, Table{}, err
+	}
+	after, err = timeReps(ckReps, func() error {
+		for _, v := range sample {
+			seq++
+			tab := fmt.Sprintf("co_%d", seq)
+			if _, err := c.Checkout([]vgraph.VersionID{v}, tab); err != nil {
+				return err
+			}
+			c.DiscardCheckout(tab)
+		}
+		return nil
+	})
+	if err != nil {
+		return report, Table{}, err
+	}
+	report.Results = append(report.Results, recsetResult("checkout-partitioned",
+		fmt.Sprintf("%s, %d partitions, %d sampled versions per rep", dataset, sol.Partitioning.NumPartitions, len(sample)),
+		ckReps, before, after))
+
+	// ---- Set algebra: intersect over derivation edges ---------------------
+	edges := w.Derivations
+	recSlices := make(map[vgraph.VersionID][]vgraph.RecordID)
+	for _, e := range edges {
+		for _, v := range []vgraph.VersionID{e[0], e[1]} {
+			if _, ok := recSlices[v]; !ok {
+				recSlices[v] = w.Bipartite.Records(v)
+			}
+		}
+	}
+	opReps := 20
+	before, err = timeReps(opReps, func() error {
+		total := int64(0)
+		for _, e := range edges {
+			set := make(map[vgraph.RecordID]struct{}, len(recSlices[e[0]]))
+			for _, r := range recSlices[e[0]] {
+				set[r] = struct{}{}
+			}
+			for _, r := range recSlices[e[1]] {
+				if _, ok := set[r]; ok {
+					total++
+				}
+			}
+		}
+		if total == 0 {
+			return fmt.Errorf("benchmark: empty intersections")
+		}
+		return nil
+	})
+	if err != nil {
+		return report, Table{}, err
+	}
+	after, err = timeReps(opReps, func() error {
+		total := int64(0)
+		for _, e := range edges {
+			total += w.Bipartite.CommonRecords(e[0], e[1])
+		}
+		if total == 0 {
+			return fmt.Errorf("benchmark: empty intersections")
+		}
+		return nil
+	})
+	if err != nil {
+		return report, Table{}, err
+	}
+	report.Results = append(report.Results, recsetResult("setops-intersect",
+		fmt.Sprintf("%d derivation-edge intersections per rep (%s)", len(edges), dataset),
+		opReps, before, after))
+
+	// ---- Set algebra: union over partition groups -------------------------
+	groups := sol.Partitioning.Groups()
+	for _, vs := range groups {
+		for _, v := range vs {
+			if _, ok := recSlices[v]; !ok {
+				recSlices[v] = w.Bipartite.Records(v)
+			}
+		}
+	}
+	before, err = timeReps(opReps, func() error {
+		total := int64(0)
+		for _, vs := range groups {
+			seen := make(map[vgraph.RecordID]struct{})
+			for _, v := range vs {
+				for _, r := range recSlices[v] {
+					seen[r] = struct{}{}
+				}
+			}
+			total += int64(len(seen))
+		}
+		if total == 0 {
+			return fmt.Errorf("benchmark: empty unions")
+		}
+		return nil
+	})
+	if err != nil {
+		return report, Table{}, err
+	}
+	after, err = timeReps(opReps, func() error {
+		total := int64(0)
+		for _, vs := range groups {
+			u := recset.New()
+			for _, v := range vs {
+				u.UnionWith(w.Bipartite.RecordSet(v))
+			}
+			total += u.Len()
+		}
+		if total == 0 {
+			return fmt.Errorf("benchmark: empty unions")
+		}
+		return nil
+	})
+	if err != nil {
+		return report, Table{}, err
+	}
+	report.Results = append(report.Results, recsetResult("setops-union",
+		fmt.Sprintf("%d partition-group unions per rep (%s)", len(groups), dataset),
+		opReps, before, after))
+
+	table := Table{
+		Title:   fmt.Sprintf("Record-set subsystem: before/after (%s, scale %d)", dataset, scale),
+		Columns: []string{"measurement", "reps", "before", "after", "speedup", "detail"},
+	}
+	for _, r := range report.Results {
+		table.Rows = append(table.Rows, []string{
+			r.Name, fmt.Sprintf("%d", r.Reps),
+			ms(time.Duration(r.BeforeNs)), ms(time.Duration(r.AfterNs)),
+			fmt.Sprintf("%.2fx", r.Speedup), r.Detail,
+		})
+	}
+	return report, table, nil
+}
+
+func recsetResult(name, detail string, reps int, before, after time.Duration) RecsetResult {
+	speedup := 0.0
+	if after > 0 {
+		speedup = float64(before) / float64(after)
+	}
+	return RecsetResult{
+		Name: name, Detail: detail, Reps: reps,
+		BeforeNs: before.Nanoseconds(), AfterNs: after.Nanoseconds(),
+		Speedup: speedup,
+	}
+}

@@ -1,0 +1,126 @@
+package benchmark
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cvd"
+	"repro/internal/partition"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// Focused microbenchmarks for the recset subsystem's two headline paths:
+// partitioned checkout with and without the zero-copy fast path, and
+// LyreSplit's γ-constrained solve on a ≥1k-version tree. The recset-vs-map
+// set-operation benchmarks live next to the data structure in
+// internal/recset; the full before/after suite (against the frozen legacy
+// implementations) is RunRecset / BenchmarkRecsetSubsystem.
+
+var checkoutBench struct {
+	once   sync.Once
+	c      *cvd.CVD
+	sample []vgraph.VersionID
+	err    error
+}
+
+func checkoutBenchSetup() (*cvd.CVD, []vgraph.VersionID, error) {
+	checkoutBench.once.Do(func() {
+		preset, err := Preset("SCI_10K", 1)
+		if err != nil {
+			checkoutBench.err = err
+			return
+		}
+		preset.Attributes = 10
+		w, err := Generate(preset)
+		if err != nil {
+			checkoutBench.err = err
+			return
+		}
+		db := relstore.NewDatabase("cobench")
+		c, err := LoadCVD(db, "cvd", w, cvd.SplitByRlist)
+		if err != nil {
+			checkoutBench.err = err
+			return
+		}
+		m, err := c.Rlist()
+		if err != nil {
+			checkoutBench.err = err
+			return
+		}
+		tree, err := vgraph.ToTree(c.Graph())
+		if err != nil {
+			checkoutBench.err = err
+			return
+		}
+		sol, err := partition.SolveStorageConstraint(tree, 2*tree.DistinctRecords(), partition.LyreSplitOptions{})
+		if err != nil {
+			checkoutBench.err = err
+			return
+		}
+		if err := m.ApplyPartitioning(sol.Partitioning); err != nil {
+			checkoutBench.err = err
+			return
+		}
+		checkoutBench.c = c
+		checkoutBench.sample = sampleVersionIDs(c.Versions(), 20)
+	})
+	return checkoutBench.c, checkoutBench.sample, checkoutBench.err
+}
+
+func benchCheckout(b *testing.B, clone bool) {
+	c, sample, err := checkoutBenchSetup()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := c.Rlist()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.SetCloneOnCheckout(clone)
+	defer m.SetCloneOnCheckout(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := sample[i%len(sample)]
+		tab := fmt.Sprintf("bench_co_%v_%d", clone, i)
+		if _, err := c.Checkout([]vgraph.VersionID{v}, tab); err != nil {
+			b.Fatal(err)
+		}
+		c.DiscardCheckout(tab)
+	}
+}
+
+// BenchmarkCheckoutZeroCopy times partitioned single-version checkout with
+// the zero-copy fast path (rows share the partition table's backing).
+func BenchmarkCheckoutZeroCopy(b *testing.B) { benchCheckout(b, false) }
+
+// BenchmarkCheckoutClone times the same checkout with the pre-zero-copy
+// deep-clone behavior restored, for direct comparison.
+func BenchmarkCheckoutClone(b *testing.B) { benchCheckout(b, true) }
+
+// BenchmarkLyreSplit1KTree times the γ = 2|R| storage-constrained solve on a
+// 1000-version SCI tree with the current recset-based implementation.
+func BenchmarkLyreSplit1KTree(b *testing.B) {
+	cfg := Config{
+		Name: "SCI_1KV", Kind: SCI,
+		Branches: 100, VersionsPerBranch: 10,
+		TargetRecords: 20_000, InsertsPerVersion: 20,
+		UpdateFraction: 0.3, DeleteFraction: 0.02, Seed: 42,
+	}
+	w, err := Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := w.Tree()
+	if err != nil {
+		b.Fatal(err)
+	}
+	gamma := 2 * tree.DistinctRecords()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.SolveStorageConstraint(tree, gamma, partition.LyreSplitOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,13 +3,13 @@ package cvd
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/parallel"
+	"repro/internal/recset"
 	"repro/internal/relstore"
 	"repro/internal/vgraph"
 )
@@ -101,16 +101,16 @@ func Init(db *relstore.Database, name string, schema relstore.Schema, rows []rel
 		clock = time.Now
 	}
 	c := &CVD{
-		name:      name,
-		db:        db,
-		kind:      opts.Model,
-		schema:    schema.Clone(),
-		graph:     vgraph.New(),
-		bip:       vgraph.NewBipartite(),
-		records:   make(map[vgraph.RecordID]relstore.Row),
-		attrs:     NewAttributeRegistry(),
-		nextVID:   1,
-		nextRID:   1,
+		name:       name,
+		db:         db,
+		kind:       opts.Model,
+		schema:     schema.Clone(),
+		graph:      vgraph.New(),
+		bip:        vgraph.NewBipartite(),
+		records:    make(map[vgraph.RecordID]relstore.Row),
+		attrs:      NewAttributeRegistry(),
+		nextVID:    1,
+		nextRID:    1,
 		checkouts:  make(map[string]checkoutInfo),
 		reserved:   make(map[string]struct{}),
 		workers:    opts.Workers,
@@ -351,13 +351,14 @@ func (c *CVD) Snapshot() (relstore.Schema, []VersionSnapshot, error) {
 		if !ok {
 			return relstore.Schema{}, nil, fmt.Errorf("cvd: %s: missing metadata for version %d", c.name, vid)
 		}
-		rids := c.bip.Records(vid)
-		rows := make([]relstore.Row, 0, len(rids))
-		for _, rid := range rids {
-			if row, ok := c.recordContentLocked(rid); ok {
+		rids := c.bip.RecordSet(vid)
+		rows := make([]relstore.Row, 0, rids.Len())
+		rids.ForEach(func(rid int64) bool {
+			if row, ok := c.recordContentLocked(vgraph.RecordID(rid)); ok {
 				rows = append(rows, row)
 			}
-		}
+			return true
+		})
 		out = append(out, VersionSnapshot{Meta: m, Rows: rows})
 	}
 	return schema, out, nil
@@ -372,10 +373,8 @@ func (c *CVD) RecordsOf(v vgraph.VersionID) []vgraph.RecordID {
 
 // recordsOfLocked is RecordsOf for callers already holding c.mu.
 func (c *CVD) recordsOfLocked(v vgraph.VersionID) []vgraph.RecordID {
-	rs := c.bip.Records(v)
-	out := make([]vgraph.RecordID, len(rs))
-	copy(out, rs)
-	return out
+	// Bipartite.Records materializes a fresh slice the caller owns.
+	return c.bip.Records(v)
 }
 
 // Drop removes all backing tables of the CVD from the database. Checkouts
@@ -555,23 +554,22 @@ func (c *CVD) recordVersion(req CommitRequest, msg, author string, at time.Time)
 	if _, err := c.graph.AddVersion(req.Version, int64(len(req.RIDs))); err != nil {
 		return err
 	}
-	vset := make(map[vgraph.RecordID]struct{}, len(req.RIDs))
-	for _, r := range req.RIDs {
-		vset[r] = struct{}{}
+	// Build the new version's record set once: the parent edge weights are
+	// intersection cardinalities against sets the bipartite graph already
+	// holds, and the set itself is then handed to the graph.
+	vals := make([]int64, len(req.RIDs))
+	for i, r := range req.RIDs {
+		vals[i] = int64(r)
 	}
+	vset := recset.FromSlice(vals)
 	attrIDs := c.attrs.RegisterSchema(c.schema)
 	for _, p := range req.Parents {
-		var common int64
-		for _, r := range req.ParentRIDs[p] {
-			if _, ok := vset[r]; ok {
-				common++
-			}
-		}
+		common := recset.AndLen(c.bip.RecordSet(p), vset)
 		if err := c.graph.AddEdgeAttrs(p, req.Version, common, len(c.schema.Columns)); err != nil {
 			return err
 		}
 	}
-	c.bip.SetVersion(req.Version, req.RIDs)
+	c.bip.SetVersionSet(req.Version, vset)
 	m := &VersionMeta{
 		ID:         req.Version,
 		Parents:    append([]vgraph.VersionID(nil), req.Parents...),
@@ -721,7 +719,9 @@ func (c *CVD) checkoutMerged(versions []vgraph.VersionID, tableName string) (*re
 				seenPK[k] = struct{}{}
 			}
 			seenRID[rid] = struct{}{}
-			if err := out.Insert(padRow(r.Clone(), len(out.Schema.Columns))); err != nil {
+			// The per-version staging rows already share the data-table
+			// backing; pass them through without another copy.
+			if err := out.Insert(shareRow(r, len(out.Schema.Columns))); err != nil {
 				return nil, err
 			}
 		}
@@ -839,31 +839,18 @@ type DiffResult struct {
 	OnlyInB []vgraph.RecordID
 }
 
-// Diff compares two versions and returns the record ids on each side only.
+// Diff compares two versions and returns the record ids on each side only,
+// computed as two compressed-set differences (already sorted by
+// construction).
 func (c *CVD) Diff(a, b vgraph.VersionID) (DiffResult, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if c.graph.Node(a) == nil || c.graph.Node(b) == nil {
 		return DiffResult{}, fmt.Errorf("cvd: %s: unknown version in diff(%d, %d)", c.name, a, b)
 	}
-	inB := make(map[vgraph.RecordID]struct{})
-	for _, r := range c.bip.Records(b) {
-		inB[r] = struct{}{}
-	}
-	inA := make(map[vgraph.RecordID]struct{})
-	var res DiffResult
-	for _, r := range c.bip.Records(a) {
-		inA[r] = struct{}{}
-		if _, ok := inB[r]; !ok {
-			res.OnlyInA = append(res.OnlyInA, r)
-		}
-	}
-	for _, r := range c.bip.Records(b) {
-		if _, ok := inA[r]; !ok {
-			res.OnlyInB = append(res.OnlyInB, r)
-		}
-	}
-	sort.Slice(res.OnlyInA, func(i, j int) bool { return res.OnlyInA[i] < res.OnlyInA[j] })
-	sort.Slice(res.OnlyInB, func(i, j int) bool { return res.OnlyInB[i] < res.OnlyInB[j] })
-	return res, nil
+	sa, sb := c.bip.RecordSet(a), c.bip.RecordSet(b)
+	return DiffResult{
+		OnlyInA: vgraph.RecordIDs(recset.AndNot(sa, sb)),
+		OnlyInB: vgraph.RecordIDs(recset.AndNot(sb, sa)),
+	}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/parallel"
+	"repro/internal/recset"
 	"repro/internal/relstore"
 	"repro/internal/vgraph"
 )
@@ -30,9 +31,24 @@ type rlistModel struct {
 	partitions  []string // partition table names
 	partitionOf map[vgraph.VersionID]int
 
+	// resident caches, per partition, the compressed set of rids physically
+	// present in the partition table. Commits and migrations consult it
+	// instead of re-scanning the partition table to learn what is already
+	// there (the pre-recset addVersionToPartition scanned the whole table on
+	// every commit). Invariant: resident[k] holds exactly the rids of
+	// partitions[k]'s rows.
+	resident []*recset.Set
+
 	// workers bounds intra-operation parallelism: checkout scans are chunked
 	// and partition builds fan out across this many goroutines when > 1.
 	workers int
+
+	// cloneOnCheckout restores the pre-zero-copy behavior of deep-cloning
+	// every emitted row. Checkout shares row backing by default (rows are
+	// immutable once inserted; staging-table mutation is copy-on-write at
+	// the relstore layer); the clone path is kept only so the benchmark
+	// harness can measure the before/after difference.
+	cloneOnCheckout bool
 }
 
 func newRlistModel(db *relstore.Database, name string, schema relstore.Schema) *rlistModel {
@@ -117,7 +133,12 @@ func (m *rlistModel) AppendVersion(req CommitRequest) error {
 	return nil
 }
 
-// rlistOf returns the rid list of a version from the versioning table.
+// SetCloneOnCheckout restores the pre-zero-copy deep-clone checkout path;
+// benchmark-only (see the cloneOnCheckout field).
+func (m *rlistModel) SetCloneOnCheckout(clone bool) { m.cloneOnCheckout = clone }
+
+// rlistOf returns the rid list of a version from the versioning table (kept
+// sorted by AppendVersion).
 func (m *rlistModel) rlistOf(v vgraph.VersionID) ([]int64, error) {
 	vt := m.db.MustTable(m.versioningTabName())
 	row, ok := vt.LookupIndex(relstore.Int(int64(v)))
@@ -127,8 +148,29 @@ func (m *rlistModel) rlistOf(v vgraph.VersionID) ([]int64, error) {
 	return row[1].A, nil
 }
 
-func (m *rlistModel) Checkout(v vgraph.VersionID, tableName string) (*relstore.Table, error) {
+// rsetOf returns the rid list of a version as a compressed set.
+func (m *rlistModel) rsetOf(v vgraph.VersionID) (*recset.Set, error) {
 	rlist, err := m.rlistOf(v)
+	if err != nil {
+		return nil, err
+	}
+	return recset.FromSorted(rlist), nil
+}
+
+// shareRow passes a physical row through to a checkout or partition table
+// without copying when the width matches (the common case: rows are
+// immutable once inserted, so sharing the backing is safe under the
+// copy-on-write discipline of relstore.Table). A width mismatch — possible
+// only transiently around schema evolution — falls back to clone-and-pad.
+func shareRow(r relstore.Row, want int) relstore.Row {
+	if len(r) == want {
+		return r
+	}
+	return padRow(r.Clone(), want)
+}
+
+func (m *rlistModel) Checkout(v vgraph.VersionID, tableName string) (*relstore.Table, error) {
+	set, err := m.rsetOf(v)
 	if err != nil {
 		return nil, err
 	}
@@ -141,14 +183,19 @@ func (m *rlistModel) Checkout(v vgraph.VersionID, tableName string) (*relstore.T
 		src = m.partitions[k]
 	}
 	data := m.db.MustTable(src)
-	rows, err := relstore.JoinOnRIDsParallel(data, ridColumn, rlist, m.join, m.workers)
+	rows, err := relstore.JoinOnRIDSetParallel(data, ridColumn, set, m.join, m.workers)
 	if err != nil {
 		return nil, err
 	}
 	out := relstore.NewTable(tableName, data.Schema.Clone())
 	out.SetStats(data.Stats())
+	width := len(out.Schema.Columns)
 	for _, r := range rows {
-		out.Rows = append(out.Rows, r.Clone())
+		if m.cloneOnCheckout {
+			out.Rows = append(out.Rows, padRow(r.Clone(), width))
+		} else {
+			out.Rows = append(out.Rows, shareRow(r, width))
+		}
 	}
 	_ = out.BuildIndexOn(ridColumn)
 	return out, nil
@@ -233,6 +280,7 @@ func (m *rlistModel) Drop() {
 	}
 	m.partitions = nil
 	m.partitionOf = nil
+	m.resident = nil
 }
 
 // Partitioned reports whether partitioned storage is active.
@@ -249,6 +297,22 @@ func (m *rlistModel) PartitionOf(v vgraph.VersionID) int {
 		return -1
 	}
 	return k
+}
+
+// PartitionTableName returns the name of the backing table a version's
+// checkout reads: its partition table under partitioned storage, the shared
+// data table otherwise ("" when the version has no assignment). The
+// benchmark harness uses it to replay the pre-recset checkout path against
+// the same physical table.
+func (m *rlistModel) PartitionTableName(v vgraph.VersionID) string {
+	if m.partitions == nil {
+		return m.dataTab
+	}
+	k, ok := m.partitionOf[v]
+	if !ok {
+		return ""
+	}
+	return m.partitions[k]
 }
 
 // PartitionSizes returns the number of records in each partition table.
@@ -275,9 +339,10 @@ func (m *rlistModel) ApplyPartitioning(p vgraph.Partitioning) error {
 
 	// Create the (empty) partition tables sequentially, then fill them in
 	// parallel: each fill reads the shared data table and writes only its own
-	// partition table, so the builds are independent.
+	// partition table (and resident-set slot), so the builds are independent.
 	groups := p.Groups()
 	m.partitions = make([]string, len(groups))
+	m.resident = make([]*recset.Set, len(groups))
 	tables := make([]*relstore.Table, len(groups))
 	for k, versions := range groups {
 		name := m.partTabName(k)
@@ -293,38 +358,35 @@ func (m *rlistModel) ApplyPartitioning(p vgraph.Partitioning) error {
 		}
 	}
 	return parallel.ForEachErr(m.workers, len(groups), func(k int) error {
-		return m.fillPartition(tables[k], groups[k])
+		return m.fillPartition(tables[k], k, groups[k])
 	})
 }
 
-// fillPartition inserts into t all records belonging to any of versions,
-// fetched from the unpartitioned data table.
-func (m *rlistModel) fillPartition(t *relstore.Table, versions []vgraph.VersionID) error {
-	need := make(map[int64]struct{})
+// fillPartition inserts into t (partition k) all records belonging to any of
+// versions, fetched from the unpartitioned data table with a compressed-set
+// probe, sharing row backing with the data table. The union set becomes the
+// partition's resident-rid cache.
+func (m *rlistModel) fillPartition(t *relstore.Table, k int, versions []vgraph.VersionID) error {
+	need := recset.New()
 	for _, v := range versions {
-		rlist, err := m.rlistOf(v)
+		rs, err := m.rsetOf(v)
 		if err != nil {
 			return err
 		}
-		for _, r := range rlist {
-			need[r] = struct{}{}
-		}
+		need.UnionWith(rs)
 	}
-	rids := make([]int64, 0, len(need))
-	for r := range need {
-		rids = append(rids, r)
-	}
-	sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
 	data := m.db.MustTable(m.dataTab)
-	rows, err := relstore.JoinOnRIDs(data, ridColumn, rids, relstore.HashJoin)
+	rows, err := relstore.JoinOnRIDSet(data, ridColumn, need, relstore.HashJoin)
 	if err != nil {
 		return err
 	}
+	width := len(t.Schema.Columns)
 	for _, r := range rows {
-		if err := t.Insert(padRow(r.Clone(), len(t.Schema.Columns))); err != nil {
+		if err := t.Insert(shareRow(r, width)); err != nil {
 			return err
 		}
 	}
+	m.resident[k] = need
 	return nil
 }
 
@@ -371,18 +433,17 @@ func (m *rlistModel) Migrate(p vgraph.Partitioning, plan []MigrationOp) (Migrati
 		oldTables[i] = m.db.MustTable(name)
 	}
 	newNames := make([]string, p.NumPartitions)
+	newResident := make([]*recset.Set, p.NumPartitions)
 	newAssign := make(map[vgraph.VersionID]int)
 
 	for _, op := range plan {
-		need := make(map[int64]struct{})
+		need := recset.New()
 		for _, v := range op.Versions {
-			rlist, err := m.rlistOf(v)
+			rs, err := m.rsetOf(v)
 			if err != nil {
 				return res, err
 			}
-			for _, r := range rlist {
-				need[r] = struct{}{}
-			}
+			need.UnionWith(rs)
 			newAssign[v] = op.NewPartition
 		}
 		tmpName := fmt.Sprintf("%s_newpart%d", m.name, op.NewPartition)
@@ -391,42 +452,44 @@ func (m *rlistModel) Migrate(p vgraph.Partitioning, plan []MigrationOp) (Migrati
 		if err != nil {
 			return res, err
 		}
+		width := len(t.Schema.Columns)
+		// missing starts as everything the new partition needs; records copied
+		// over from the transformed old partition are subtracted below.
+		missing := need
 		if op.FromPartition >= 0 && op.FromPartition < len(oldTables) {
 			// Transform: copy surviving records from the old partition, count
 			// the dropped ones as deletions, then insert the missing records.
+			// The old partition's resident set tells us what it holds without
+			// re-deriving it from the scan.
 			old := oldTables[op.FromPartition]
+			oldResident := m.residentOf(op.FromPartition)
 			ridIdx := old.Schema.ColumnIndex(ridColumn)
 			old.Scan(func(_ int, r relstore.Row) bool {
-				rid := r[ridIdx].AsInt()
-				if _, keep := need[rid]; keep {
-					_ = t.Insert(padRow(r.Clone(), len(t.Schema.Columns)))
-					delete(need, rid)
+				if need.Contains(r[ridIdx].AsInt()) {
+					_ = t.Insert(shareRow(r, width))
 				} else {
 					res.RecordsDeleted++
 				}
 				return true
 			})
+			missing = recset.AndNot(need, oldResident)
 		} else {
 			res.PartitionsBuilt++
 		}
 		// Insert the records still missing, fetched from the master data table.
-		missing := make([]int64, 0, len(need))
-		for r := range need {
-			missing = append(missing, r)
-		}
-		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
 		data := m.db.MustTable(m.dataTab)
-		rows, err := relstore.JoinOnRIDs(data, ridColumn, missing, relstore.HashJoin)
+		rows, err := relstore.JoinOnRIDSet(data, ridColumn, missing, relstore.HashJoin)
 		if err != nil {
 			return res, err
 		}
 		for _, r := range rows {
-			if err := t.Insert(padRow(r.Clone(), len(t.Schema.Columns))); err != nil {
+			if err := t.Insert(shareRow(r, width)); err != nil {
 				return res, err
 			}
 			res.RecordsInserted++
 		}
 		newNames[op.NewPartition] = tmpName
+		newResident[op.NewPartition] = need
 	}
 	// Swap in the new partitions under canonical names.
 	for _, name := range m.partitions {
@@ -445,16 +508,40 @@ func (m *rlistModel) Migrate(p vgraph.Partitioning, plan []MigrationOp) (Migrati
 			}
 			_ = t
 			m.partitions[k] = final
+			newResident[k] = recset.New()
 			continue
 		}
+		// Rename in place: re-registering the same table under its final name
+		// avoids deep-cloning every row just to change the name.
 		t := m.db.MustTable(tmp)
 		m.db.DropTable(tmp)
-		renamed := t.Clone(final)
-		m.db.AttachTable(renamed)
+		t.Name = final
+		m.db.AttachTable(t)
 		m.partitions[k] = final
 	}
 	m.partitionOf = newAssign
+	m.resident = newResident
 	return res, nil
+}
+
+// residentOf returns partition k's resident-rid set, rebuilding it from a
+// table scan if the cache is missing (defensive; the cache is maintained on
+// every fill, migrate, and per-commit insert).
+func (m *rlistModel) residentOf(k int) *recset.Set {
+	if k < len(m.resident) && m.resident[k] != nil {
+		return m.resident[k]
+	}
+	t := m.db.MustTable(m.partitions[k])
+	ridIdx := t.Schema.ColumnIndex(ridColumn)
+	rs := recset.New()
+	t.Scan(func(_ int, r relstore.Row) bool {
+		rs.Add(r[ridIdx].AsInt())
+		return true
+	})
+	if k < len(m.resident) {
+		m.resident[k] = rs
+	}
+	return rs
 }
 
 // OnlineAssign places a newly committed version into partition k and inserts
@@ -473,6 +560,7 @@ func (m *rlistModel) OnlineAssign(v vgraph.VersionID, k int, newPartition bool, 
 			return -1, err
 		}
 		m.partitions = append(m.partitions, name)
+		m.resident = append(m.resident, recset.New())
 	}
 	if k < 0 || k >= len(m.partitions) {
 		return -1, fmt.Errorf("cvd: %s: partition %d out of range", m.name, k)
@@ -484,42 +572,45 @@ func (m *rlistModel) OnlineAssign(v vgraph.VersionID, k int, newPartition bool, 
 }
 
 // addVersionToPartition ensures all records of the version exist in the
-// partition table and records the assignment.
+// partition table and records the assignment. Membership of already-present
+// records comes from the partition's resident-rid recset — O(|rlist|) bit
+// probes per commit instead of the pre-recset full partition-table scan —
+// and the cache is updated as rows are inserted.
 func (m *rlistModel) addVersionToPartition(v vgraph.VersionID, k int, rids []vgraph.RecordID, newRecords []CommitRecord) error {
 	t := m.db.MustTable(m.partitions[k])
-	ridIdx := t.Schema.ColumnIndex(ridColumn)
-	have := make(map[int64]struct{}, t.Len())
-	t.Scan(func(_ int, r relstore.Row) bool {
-		have[r[ridIdx].AsInt()] = struct{}{}
-		return true
-	})
+	have := m.residentOf(k)
 	newByRID := make(map[int64]CommitRecord, len(newRecords))
 	for _, rec := range newRecords {
 		newByRID[int64(rec.RID)] = rec
 	}
 	var missing []int64
 	for _, rid := range rids {
-		if _, ok := have[int64(rid)]; ok {
+		if have.Contains(int64(rid)) {
 			continue
 		}
 		if rec, ok := newByRID[int64(rid)]; ok {
 			if err := t.Insert(rowWithRID(rec.RID, padRow(rec.Row.Clone(), len(m.schema.Columns)))); err != nil {
 				return err
 			}
+			have.Add(int64(rid))
 			continue
 		}
 		missing = append(missing, int64(rid))
 	}
 	if len(missing) > 0 {
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		width := len(t.Schema.Columns)
 		data := m.db.MustTable(m.dataTab)
-		rows, err := relstore.JoinOnRIDs(data, ridColumn, missing, relstore.HashJoin)
+		rows, err := relstore.JoinOnRIDSet(data, ridColumn, recset.FromSorted(missing), relstore.HashJoin)
 		if err != nil {
 			return err
 		}
+		ridIdx := t.Schema.ColumnIndex(ridColumn)
 		for _, r := range rows {
-			if err := t.Insert(padRow(r.Clone(), len(t.Schema.Columns))); err != nil {
+			if err := t.Insert(shareRow(r, width)); err != nil {
 				return err
 			}
+			have.Add(r[ridIdx].AsInt())
 		}
 	}
 	if m.partitionOf == nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/recset"
 	"repro/internal/relstore"
 	"repro/internal/vgraph"
 )
@@ -68,18 +69,25 @@ func (c *CVD) ScanVersions(versions []vgraph.VersionID, pred Predicate, limit in
 		if c.graph.Node(v) == nil {
 			return nil, fmt.Errorf("cvd: %s: unknown version %d", c.name, v)
 		}
-		for _, rid := range c.bip.Records(v) {
+		done := false
+		c.bip.RecordSet(v).ForEach(func(x int64) bool {
+			rid := vgraph.RecordID(x)
 			row, ok := c.recordContentLocked(rid)
 			if !ok {
-				continue
+				return true
 			}
 			if pred != nil && !pred(row) {
-				continue
+				return true
 			}
 			out = append(out, VersionedRow{Version: v, RID: rid, Row: row})
 			if limit > 0 && len(out) >= limit {
-				return out, nil
+				done = true
+				return false
 			}
+			return true
+		})
+		if done {
+			return out, nil
 		}
 	}
 	return out, nil
@@ -162,16 +170,13 @@ func (c *CVD) AggregateByVersion(versions []vgraph.VersionID, pred Predicate, ag
 			return nil, fmt.Errorf("cvd: %s: unknown version %d", c.name, v)
 		}
 		var rows []relstore.Row
-		for _, rid := range c.bip.Records(v) {
-			row, ok := c.recordContentLocked(rid)
-			if !ok {
-				continue
+		c.bip.RecordSet(v).ForEach(func(x int64) bool {
+			row, ok := c.recordContentLocked(vgraph.RecordID(x))
+			if ok && (pred == nil || pred(row)) {
+				rows = append(rows, row)
 			}
-			if pred != nil && !pred(row) {
-				continue
-			}
-			rows = append(rows, row)
-		}
+			return true
+		})
 		out[v] = agg(rows)
 	}
 	return out, nil
@@ -216,53 +221,27 @@ func (c *CVD) Parents(v vgraph.VersionID) []vgraph.VersionID {
 }
 
 // VDiff implements v_diff(A, B): the record ids present in any version of A
-// but in no version of B.
+// but in no version of B, as a compressed-set difference of the two unions.
 func (c *CVD) VDiff(a, b []vgraph.VersionID) []vgraph.RecordID {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	inB := make(map[vgraph.RecordID]struct{})
-	for _, v := range b {
-		for _, r := range c.bip.Records(v) {
-			inB[r] = struct{}{}
-		}
-	}
-	seen := make(map[vgraph.RecordID]struct{})
-	var out []vgraph.RecordID
-	for _, v := range a {
-		for _, r := range c.bip.Records(v) {
-			if _, dup := seen[r]; dup {
-				continue
-			}
-			seen[r] = struct{}{}
-			if _, ok := inB[r]; !ok {
-				out = append(out, r)
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return vgraph.RecordIDs(recset.AndNot(c.bip.UnionSet(a), c.bip.UnionSet(b)))
 }
 
 // VIntersect implements v_intersect(A): the record ids present in every
-// listed version.
+// listed version, as a running compressed-set intersection.
 func (c *CVD) VIntersect(versions []vgraph.VersionID) []vgraph.RecordID {
 	if len(versions) == 0 {
 		return nil
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	counts := make(map[vgraph.RecordID]int)
-	for _, v := range versions {
-		for _, r := range c.bip.Records(v) {
-			counts[r]++
+	inter := c.bip.RecordSet(versions[0])
+	for _, v := range versions[1:] {
+		if inter.IsEmpty() {
+			break
 		}
+		inter = recset.And(inter, c.bip.RecordSet(v))
 	}
-	var out []vgraph.RecordID
-	for r, n := range counts {
-		if n == len(versions) {
-			out = append(out, r)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return vgraph.RecordIDs(inter)
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/recset"
 	"repro/internal/vgraph"
 )
 
@@ -49,7 +50,7 @@ func Agglo(b *vgraph.Bipartite, opts AggloOptions) (vgraph.Partitioning, error) 
 	}
 	type cluster struct {
 		versions []vgraph.VersionID
-		records  map[vgraph.RecordID]struct{}
+		records  *recset.Set
 		sig      []uint64
 	}
 	hashRecord := func(seed uint64, r vgraph.RecordID) uint64 {
@@ -59,15 +60,16 @@ func Agglo(b *vgraph.Bipartite, opts AggloOptions) (vgraph.Partitioning, error) 
 		x ^= x >> 33
 		return x
 	}
-	signature := func(records map[vgraph.RecordID]struct{}) []uint64 {
+	signature := func(records *recset.Set) []uint64 {
 		sig := make([]uint64, opts.Shingles)
 		for i := range sig {
 			min := uint64(1<<63 - 1)
-			for r := range records {
-				if h := hashRecord(uint64(i+1), r); h < min {
+			records.ForEach(func(r int64) bool {
+				if h := hashRecord(uint64(i+1), vgraph.RecordID(r)); h < min {
 					min = h
 				}
-			}
+				return true
+			})
 			sig[i] = min
 		}
 		return sig
@@ -84,12 +86,10 @@ func Agglo(b *vgraph.Bipartite, opts AggloOptions) (vgraph.Partitioning, error) 
 
 	clusters := make([]*cluster, 0, b.NumVersions())
 	for _, v := range b.Versions() {
-		recs := make(map[vgraph.RecordID]struct{})
-		for _, r := range b.Records(v) {
-			recs[r] = struct{}{}
-		}
-		c := &cluster{versions: []vgraph.VersionID{v}, records: recs}
-		c.sig = signature(recs)
+		// Clone: clusters union records in place as they merge, and the
+		// bipartite graph's sets are shared read-only.
+		c := &cluster{versions: []vgraph.VersionID{v}, records: b.RecordSet(v).Clone()}
+		c.sig = signature(c.records)
 		clusters = append(clusters, c)
 	}
 
@@ -128,16 +128,8 @@ func Agglo(b *vgraph.Bipartite, opts AggloOptions) (vgraph.Partitioning, error) 
 				if common <= bestCommon {
 					continue
 				}
-				if opts.Capacity > 0 {
-					mergedSize := int64(len(c.records))
-					for r := range cand.records {
-						if _, ok := c.records[r]; !ok {
-							mergedSize++
-						}
-					}
-					if mergedSize > opts.Capacity {
-						continue
-					}
+				if opts.Capacity > 0 && recset.OrLen(c.records, cand.records) > opts.Capacity {
+					continue
 				}
 				bestCommon = common
 				bestJ = j
@@ -146,9 +138,7 @@ func Agglo(b *vgraph.Bipartite, opts AggloOptions) (vgraph.Partitioning, error) 
 				cand := clusters[bestJ]
 				used[bestJ] = true
 				c.versions = append(c.versions, cand.versions...)
-				for r := range cand.records {
-					c.records[r] = struct{}{}
-				}
+				c.records.UnionWith(cand.records)
 				c.sig = signature(c.records)
 				merged = true
 			}
@@ -198,27 +188,14 @@ func Kmeans(b *vgraph.Bipartite, opts KmeansOptions) (vgraph.Partitioning, error
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
 	versions := b.Versions()
 
-	// Initialize centroids from K random versions.
+	// Initialize centroids from K random versions; centroids are replaced
+	// wholesale each iteration, so sharing the bipartite graph's sets is safe.
 	perm := rng.Perm(n)
-	centroids := make([]map[vgraph.RecordID]struct{}, opts.K)
+	centroids := make([]*recset.Set, opts.K)
 	for k := 0; k < opts.K; k++ {
-		c := make(map[vgraph.RecordID]struct{})
-		for _, r := range b.Records(versions[perm[k]]) {
-			c[r] = struct{}{}
-		}
-		centroids[k] = c
+		centroids[k] = b.RecordSet(versions[perm[k]])
 	}
 	assignment := make(map[vgraph.VersionID]int, n)
-
-	overlap := func(v vgraph.VersionID, centroid map[vgraph.RecordID]struct{}) int64 {
-		var c int64
-		for _, r := range b.Records(v) {
-			if _, ok := centroid[r]; ok {
-				c++
-			}
-		}
-		return c
-	}
 
 	for iter := 0; iter < opts.Iterations; iter++ {
 		sizes := make([]int64, opts.K)
@@ -226,12 +203,13 @@ func Kmeans(b *vgraph.Bipartite, opts KmeansOptions) (vgraph.Partitioning, error
 		for _, v := range versions {
 			// Assign to the centroid with the greatest record overlap that
 			// still has capacity; fall back to the emptiest partition.
+			vs := b.RecordSet(v)
 			bestK, bestOverlap := -1, int64(-1)
 			for k := 0; k < opts.K; k++ {
-				if opts.Capacity > 0 && sizes[k]+int64(len(b.Records(v))) > opts.Capacity {
+				if opts.Capacity > 0 && sizes[k]+vs.Len() > opts.Capacity {
 					continue
 				}
-				if o := overlap(v, centroids[k]); o > bestOverlap {
+				if o := recset.AndLen(vs, centroids[k]); o > bestOverlap {
 					bestOverlap, bestK = o, k
 				}
 			}
@@ -245,17 +223,12 @@ func Kmeans(b *vgraph.Bipartite, opts KmeansOptions) (vgraph.Partitioning, error
 			}
 			assignment[v] = bestK
 			members[bestK] = append(members[bestK], v)
-			sizes[bestK] += int64(len(b.Records(v)))
+			sizes[bestK] += vs.Len()
 		}
 		// Update centroids to the union of member records.
 		for k := 0; k < opts.K; k++ {
-			c := make(map[vgraph.RecordID]struct{})
-			for _, v := range members[k] {
-				for _, r := range b.Records(v) {
-					c[r] = struct{}{}
-				}
-			}
-			if len(c) > 0 {
+			c := b.UnionSet(members[k])
+			if !c.IsEmpty() {
 				centroids[k] = c
 			}
 		}

@@ -13,9 +13,10 @@ package partition
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/parallel"
+	"repro/internal/recset"
 	"repro/internal/vgraph"
 )
 
@@ -47,14 +48,96 @@ type LyreSplitOptions struct {
 	Workers int
 }
 
-// part is one connected piece of the version tree during recursion.
+// lyreCtx is the dense working form of the version tree, built once per
+// LyreSplit invocation: version ids map to dense indexes (ascending by id,
+// so iterating a members recset over dense indexes visits versions in id
+// order) and the per-version maps of vgraph.Tree are flattened into arrays.
+// The recursion — stats, candidate scoring, splitting — then runs entirely
+// on array indexing and compressed-set operations, with no map lookups on
+// the hot path.
+type lyreCtx struct {
+	ids        []vgraph.VersionID // dense index -> version id, ascending
+	records    []int64            // |R(v)|
+	weight     []int64            // w(parent(v), v); 0 for the root
+	attrs      []float64          // a(parent(v), v) with the missing-data default applied
+	children   [][]int32          // dense child indexes, ascending
+	root       int32
+	totalAttrs int
+
+	// Per-run scratch, reused across splits so the recursion allocates
+	// nothing proportional to n per split. The split loop is sequential, so
+	// sharing is safe; parallel candidate scoring only reads stats.
+	inPart  []bool         // dense membership of the part being processed
+	inSub   []bool         // dense membership of the subtree being cut
+	stats   []subtreeStats // per-node subtree aggregates (see computeSubtreeStats)
+	candBuf []int32
+	subBuf  []int64
+}
+
+func newLyreCtx(t *vgraph.Tree, totalAttrs int) *lyreCtx {
+	n := t.NumVersions()
+	ids := make([]vgraph.VersionID, 0, n)
+	for v := range t.Records {
+		ids = append(ids, v)
+	}
+	slices.Sort(ids)
+	idx := make(map[vgraph.VersionID]int32, n)
+	for i, v := range ids {
+		idx[v] = int32(i)
+	}
+	ctx := &lyreCtx{
+		ids:        ids,
+		records:    make([]int64, n),
+		weight:     make([]int64, n),
+		attrs:      make([]float64, n),
+		children:   make([][]int32, n),
+		root:       idx[t.Root],
+		totalAttrs: totalAttrs,
+		inPart:     make([]bool, n),
+		inSub:      make([]bool, n),
+		stats:      make([]subtreeStats, n),
+	}
+	for i, v := range ids {
+		ctx.records[i] = t.Records[v]
+		ctx.weight[i] = t.Weight[v]
+		a := t.CommonAttrs[v]
+		if a <= 0 {
+			a = totalAttrs
+		}
+		ctx.attrs[i] = float64(a)
+		if kids := t.Children[v]; len(kids) > 0 {
+			ci := make([]int32, len(kids))
+			for j, c := range kids {
+				ci[j] = idx[c]
+			}
+			slices.Sort(ci)
+			ctx.children[i] = ci
+		}
+	}
+	return ctx
+}
+
+// part is one connected piece of the version tree during recursion. Members
+// are kept as a compressed set of dense version indexes (package recset):
+// membership tests are bit probes, splitting is two set operations, and
+// iteration comes out in ascending version-id order for free — the property
+// the deterministic candidate reduction needs, without re-sorting per split.
 type part struct {
-	root    vgraph.VersionID
-	members map[vgraph.VersionID]bool
+	root    int32
+	members *recset.Set
 	nV      int
 	nR      int64 // tree-model distinct records
 	nE      int64 // bipartite edges Σ|R(v)| over members
 	level   int
+}
+
+// versionSet builds a recset from a version-id slice.
+func versionSet(vs []vgraph.VersionID) *recset.Set {
+	vals := make([]int64, len(vs))
+	for i, v := range vs {
+		vals[i] = int64(v)
+	}
+	return recset.FromSlice(vals)
 }
 
 // LyreSplit partitions the version tree with parameter δ (Algorithm 5.1).
@@ -68,19 +151,37 @@ func LyreSplit(t *vgraph.Tree, delta float64, opts LyreSplitOptions) (LyreSplitR
 	if delta <= 0 || delta > 1 {
 		return LyreSplitResult{}, fmt.Errorf("partition: delta %g out of range (0, 1]", delta)
 	}
-	if opts.Workers <= 0 {
+	ctx := newLyreCtx(t, maxAttrs(t))
+	return materializeResult(ctx, lyreSplitDense(ctx, delta, opts), delta, t.NumVersions()), nil
+}
+
+// denseResult is one LyreSplit run's outcome in dense form: the per-version
+// part ordinal plus the tree-model estimates. The δ search keeps these and
+// materializes a Partitioning (map form) only for the winner.
+type denseResult struct {
+	partOf        []int32 // dense version index -> finished-part ordinal (uncompacted)
+	numParts      int
+	storage       int64
+	totalCheckout int64
+	levels        int
+}
+
+// lyreSplitDense is the Algorithm 5.1 recursion over a prepared context.
+func lyreSplitDense(ctx *lyreCtx, delta float64, opts LyreSplitOptions) denseResult {
+	workers := opts.Workers
+	if workers <= 0 {
 		// Parallel candidate evaluation is strictly opt-in.
-		opts.Workers = 1
+		workers = 1
 	}
-	totalAttrs := maxAttrs(t)
+	totalAttrs := ctx.totalAttrs
 
-	root := &part{root: t.Root, members: make(map[vgraph.VersionID]bool, t.NumVersions())}
-	for _, v := range t.SubtreeVersions(t.Root) {
-		root.members[v] = true
+	all := make([]int64, len(ctx.ids))
+	for i := range all {
+		all[i] = int64(i)
 	}
-	fillStats(t, root)
+	root := &part{root: ctx.root, members: recset.FromSorted(all)}
+	fillStats(ctx, root)
 
-	assignment := make(map[vgraph.VersionID]int)
 	var finished []*part
 	maxLevel := 0
 	queue := []*part{root}
@@ -94,28 +195,58 @@ func LyreSplit(t *vgraph.Tree, delta float64, opts LyreSplitOptions) (LyreSplitR
 			finished = append(finished, p)
 			continue
 		}
-		cutChild, ok := pickSplitEdge(t, p, delta, opts.UseAttributes, totalAttrs, opts.Workers)
+		cutChild, ok := pickSplitEdge(ctx, p, delta, opts.UseAttributes, totalAttrs, workers)
 		if !ok {
 			// No eligible edge (can happen for degenerate weights); keep as is.
 			finished = append(finished, p)
 			continue
 		}
-		left, right := splitPart(t, p, cutChild)
+		left, right := splitPart(ctx, p, cutChild)
 		queue = append(queue, left, right)
 	}
-	res := LyreSplitResult{Delta: delta, Levels: maxLevel}
+	dr := denseResult{partOf: make([]int32, len(ctx.ids)), numParts: len(finished), levels: maxLevel}
 	for i, p := range finished {
-		for v := range p.members {
-			assignment[v] = i
+		i32 := int32(i)
+		p.members.ForEach(func(x int64) bool {
+			dr.partOf[x] = i32
+			return true
+		})
+		dr.storage += p.nR
+		dr.totalCheckout += p.nR * int64(p.nV)
+	}
+	return dr
+}
+
+// materializeResult converts a dense result into the public LyreSplitResult.
+// The compaction is equivalent to vgraph.NewPartitioning — partition indexes
+// dense in ascending version-id order — but computed from the dense arrays,
+// skipping its sort and second map pass.
+func materializeResult(ctx *lyreCtx, dr denseResult, delta float64, nVersions int) LyreSplitResult {
+	res := LyreSplitResult{
+		Delta:                  delta,
+		Levels:                 dr.levels,
+		EstimatedStorage:       dr.storage,
+		EstimatedTotalCheckout: dr.totalCheckout,
+	}
+	assignment := make(map[vgraph.VersionID]int, len(ctx.ids))
+	remap := make([]int32, dr.numParts)
+	for i := range remap {
+		remap[i] = -1
+	}
+	next := 0
+	for i := range dr.partOf {
+		k := dr.partOf[i]
+		if remap[k] < 0 {
+			remap[k] = int32(next)
+			next++
 		}
-		res.EstimatedStorage += p.nR
-		res.EstimatedTotalCheckout += p.nR * int64(p.nV)
+		assignment[ctx.ids[i]] = int(remap[k])
 	}
-	res.Partitioning = vgraph.NewPartitioning(assignment)
-	if n := t.NumVersions(); n > 0 {
-		res.EstimatedAvgCheckout = float64(res.EstimatedTotalCheckout) / float64(n)
+	res.Partitioning = vgraph.Partitioning{Assignment: assignment, NumPartitions: next}
+	if nVersions > 0 {
+		res.EstimatedAvgCheckout = float64(res.EstimatedTotalCheckout) / float64(nVersions)
 	}
-	return res, nil
+	return res
 }
 
 // needsSplit implements the termination test of Algorithm 5.1:
@@ -129,18 +260,19 @@ func needsSplit(p *part, delta float64) bool {
 }
 
 // fillStats computes nV, nR, nE for a part.
-func fillStats(t *vgraph.Tree, p *part) {
-	p.nV = len(p.members)
+func fillStats(ctx *lyreCtx, p *part) {
+	p.nV = int(p.members.Len())
 	p.nE = 0
 	p.nR = 0
-	for v := range p.members {
-		p.nE += t.Records[v]
-		if v == p.root {
-			p.nR += t.Records[v]
+	p.members.ForEach(func(x int64) bool {
+		p.nE += ctx.records[x]
+		if int32(x) == p.root {
+			p.nR += ctx.records[x]
 		} else {
-			p.nR += t.Records[v] - t.Weight[v]
+			p.nR += ctx.records[x] - ctx.weight[x]
 		}
-	}
+		return true
+	})
 }
 
 // subtreeStats holds per-node subtree aggregates within a part.
@@ -150,39 +282,55 @@ type subtreeStats struct {
 	nE int64
 }
 
-// computeSubtreeStats returns, for every member v of the part, the stats of
-// the subtree rooted at v restricted to the part (v contributing its full
-// |R(v)| as the subtree root).
-func computeSubtreeStats(t *vgraph.Tree, p *part) map[vgraph.VersionID]subtreeStats {
-	stats := make(map[vgraph.VersionID]subtreeStats, len(p.members))
-	// Post-order traversal from the part root.
+// markMembers flips the part's members on (or off) in a dense scratch
+// membership array, turning per-node set probes into O(1) array reads.
+func markMembers(scratch []bool, members *recset.Set, on bool) {
+	members.ForEach(func(x int64) bool {
+		scratch[x] = on
+		return true
+	})
+}
+
+// computeSubtreeStats fills ctx.stats with, for every member v of the part,
+// the stats of the subtree rooted at v restricted to the part (v contributing
+// its full |R(v)| as the subtree root). The slice is reused across splits
+// without clearing: post-order guarantees every entry read was written during
+// the current traversal. Callers must treat entries for non-members as
+// garbage.
+func computeSubtreeStats(ctx *lyreCtx, p *part) []subtreeStats {
+	stats := ctx.stats
+	markMembers(ctx.inPart, p.members, true)
+	defer markMembers(ctx.inPart, p.members, false)
+	// Post-order traversal from the part root; children outside the part are
+	// skipped on the fly.
 	type frame struct {
-		v       vgraph.VersionID
+		v       int32
 		childIx int
-	}
-	children := func(v vgraph.VersionID) []vgraph.VersionID {
-		var out []vgraph.VersionID
-		for _, c := range t.Children[v] {
-			if p.members[c] {
-				out = append(out, c)
-			}
-		}
-		return out
 	}
 	var stack []frame
 	stack = append(stack, frame{v: p.root})
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
-		kids := children(f.v)
-		if f.childIx < len(kids) {
-			next := kids[f.childIx]
+		kids := ctx.children[f.v]
+		descended := false
+		for f.childIx < len(kids) {
+			c := kids[f.childIx]
 			f.childIx++
-			stack = append(stack, frame{v: next})
+			if ctx.inPart[c] {
+				stack = append(stack, frame{v: c})
+				descended = true
+				break
+			}
+		}
+		if descended {
 			continue
 		}
 		// All children processed.
-		s := subtreeStats{nV: 1, nR: t.Records[f.v], nE: t.Records[f.v]}
+		s := subtreeStats{nV: 1, nR: ctx.records[f.v], nE: ctx.records[f.v]}
 		for _, c := range kids {
+			if !ctx.inPart[c] {
+				continue
+			}
 			cs := stats[c]
 			s.nV += cs.nV
 			s.nE += cs.nE
@@ -190,7 +338,7 @@ func computeSubtreeStats(t *vgraph.Tree, p *part) map[vgraph.VersionID]subtreeSt
 			// are new with respect to f.v's subtree when merged... within one
 			// partition the tree-model distinct count composes as
 			// R(parent-subtree) = R(parent) + Σ_c (R_subtree(c) - w(c)).
-			s.nR += cs.nR - t.Weight[c]
+			s.nR += cs.nR - ctx.weight[c]
 		}
 		stats[f.v] = s
 		stack = stack[:len(stack)-1]
@@ -216,28 +364,26 @@ type edgeScore struct {
 // per-candidate evaluation fans out over the worker pool; the reduction
 // stays sequential in version-id order so the chosen cut is identical to the
 // single-threaded loop.
-func pickSplitEdge(t *vgraph.Tree, p *part, delta float64, useAttrs bool, totalAttrs, workers int) (vgraph.VersionID, bool) {
-	stats := computeSubtreeStats(t, p)
+func pickSplitEdge(ctx *lyreCtx, p *part, delta float64, useAttrs bool, totalAttrs, workers int) (int32, bool) {
+	stats := computeSubtreeStats(ctx, p)
 	threshold := delta * float64(p.nR)
-	// Deterministic iteration order.
-	candidates := make([]vgraph.VersionID, 0, len(p.members))
-	for v := range p.members {
-		if v == p.root {
-			continue
+	// Recset iteration is ascending by construction, so the candidate order
+	// (and with it the deterministic reduction) needs no per-split sort. The
+	// candidate buffer is per-run scratch.
+	candidates := ctx.candBuf[:0]
+	p.members.ForEach(func(x int64) bool {
+		if v := int32(x); v != p.root {
+			candidates = append(candidates, v)
 		}
-		candidates = append(candidates, v)
-	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+		return true
+	})
+	ctx.candBuf = candidates[:0]
 
 	score := func(i int) edgeScore {
 		v := candidates[i]
-		w := float64(t.Weight[v])
+		w := float64(ctx.weight[v])
 		if useAttrs {
-			a := t.CommonAttrs[v]
-			if a <= 0 {
-				a = totalAttrs
-			}
-			if float64(a)*w > delta*float64(totalAttrs)*float64(p.nR) {
+			if ctx.attrs[v]*w > delta*float64(totalAttrs)*float64(p.nR) {
 				return edgeScore{}
 			}
 		} else if w > threshold {
@@ -245,51 +391,75 @@ func pickSplitEdge(t *vgraph.Tree, p *part, delta float64, useAttrs bool, totalA
 		}
 		sub := stats[v]
 		r2 := sub.nR
-		r1 := p.nR - r2 + t.Weight[v]
+		r1 := p.nR - r2 + ctx.weight[v]
 		return edgeScore{
 			eligible: true,
 			vDiff:    math.Abs(float64(p.nV) - 2*float64(sub.nV)),
 			rDiff:    math.Abs(float64(r1) - float64(r2)),
 		}
 	}
-	if len(candidates) < parallelCandidateMin {
-		workers = 1
-	}
-	scores := parallel.Map(workers, len(candidates), score)
-
-	var best vgraph.VersionID
+	var best int32
 	bestVDiff := math.MaxFloat64
 	bestRDiff := math.MaxFloat64
 	found := false
-	for i, s := range scores {
+	take := func(i int, s edgeScore) {
 		if !s.eligible {
-			continue
+			return
 		}
 		if !found || s.vDiff < bestVDiff || (s.vDiff == bestVDiff && s.rDiff < bestRDiff) {
 			found = true
 			best, bestVDiff, bestRDiff = candidates[i], s.vDiff, s.rDiff
 		}
 	}
+	if workers <= 1 || len(candidates) < parallelCandidateMin {
+		// Sequential path: score and reduce in one pass, no score slice.
+		for i := range candidates {
+			take(i, score(i))
+		}
+		return best, found
+	}
+	scores := parallel.Map(workers, len(candidates), score)
+	for i, s := range scores {
+		take(i, s)
+	}
 	return best, found
 }
 
 // splitPart cuts the edge (parent(cutChild), cutChild), producing the
-// remaining part (same root) and the subtree part rooted at cutChild.
-func splitPart(t *vgraph.Tree, p *part, cutChild vgraph.VersionID) (*part, *part) {
-	right := &part{root: cutChild, members: make(map[vgraph.VersionID]bool), level: p.level + 1}
-	for _, v := range t.SubtreeVersions(cutChild) {
-		if p.members[v] {
-			right.members[v] = true
+// remaining part (same root) and the subtree part rooted at cutChild. The
+// subtree is gathered by DFS over member children only — parts are connected
+// in the tree, so that equals the full subtree intersected with the part.
+func splitPart(ctx *lyreCtx, p *part, cutChild int32) (*part, *part) {
+	markMembers(ctx.inPart, p.members, true)
+	// DFS-mark the subtree, then collect it by filtering the (ordered)
+	// member iteration — ordered output without a sort.
+	stack := []int32{cutChild}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ctx.inSub[v] = true
+		for _, c := range ctx.children[v] {
+			if ctx.inPart[c] {
+				stack = append(stack, c)
+			}
 		}
 	}
-	left := &part{root: p.root, members: make(map[vgraph.VersionID]bool, len(p.members)-len(right.members)), level: p.level + 1}
-	for v := range p.members {
-		if !right.members[v] {
-			left.members[v] = true
+	sub := ctx.subBuf[:0]
+	p.members.ForEach(func(x int64) bool {
+		if ctx.inSub[x] {
+			sub = append(sub, x)
 		}
+		return true
+	})
+	right := &part{root: cutChild, members: recset.FromSorted(sub), level: p.level + 1}
+	left := &part{root: p.root, members: recset.AndNot(p.members, right.members), level: p.level + 1}
+	for _, v := range sub {
+		ctx.inSub[v] = false
 	}
-	fillStats(t, left)
-	fillStats(t, right)
+	ctx.subBuf = sub[:0]
+	markMembers(ctx.inPart, p.members, false)
+	fillStats(ctx, left)
+	fillStats(ctx, right)
 	return left, right
 }
 
@@ -329,23 +499,26 @@ func SolveStorageConstraint(t *vgraph.Tree, gamma int64, opts LyreSplitOptions) 
 	if gamma < t.DistinctRecords() {
 		return LyreSplitResult{}, fmt.Errorf("partition: storage threshold %d below minimum possible storage %d", gamma, t.DistinctRecords())
 	}
+	if err := t.Validate(); err != nil {
+		return LyreSplitResult{}, err
+	}
+	// One dense context serves the whole δ search: only the recursion reruns
+	// per iteration, and only the winning δ's partitioning is materialized
+	// back into map form.
+	ctx := newLyreCtx(t, maxAttrs(t))
 	lo := MinDelta(t)
 	hi := 1.0
 	const maxIter = 40
-	best, err := LyreSplit(t, lo, opts)
-	if err != nil {
-		return LyreSplitResult{}, err
-	}
+	best := lyreSplitDense(ctx, lo, opts)
+	bestDelta := lo
 	for i := 0; i < maxIter; i++ {
 		mid := (lo + hi) / 2
-		res, err := LyreSplit(t, mid, opts)
-		if err != nil {
-			return LyreSplitResult{}, err
-		}
-		if res.EstimatedStorage <= gamma {
+		res := lyreSplitDense(ctx, mid, opts)
+		if res.storage <= gamma {
 			best = res
+			bestDelta = mid
 			lo = mid
-			if float64(res.EstimatedStorage) >= 0.99*float64(gamma) {
+			if float64(res.storage) >= 0.99*float64(gamma) {
 				break
 			}
 		} else {
@@ -355,7 +528,7 @@ func SolveStorageConstraint(t *vgraph.Tree, gamma int64, opts LyreSplitOptions) 
 			break
 		}
 	}
-	return best, nil
+	return materializeResult(ctx, best, bestDelta, t.NumVersions()), nil
 }
 
 // PartitionDAG runs LyreSplit on a version graph that may contain merges by
@@ -399,14 +572,11 @@ func LyreSplitWeighted(t *vgraph.Tree, freq map[vgraph.VersionID]int, delta floa
 	// Recompute per-partition tree-model storage by grouping members.
 	groups := res.Partitioning.Groups()
 	for k, vs := range groups {
-		memberSet := make(map[vgraph.VersionID]bool, len(vs))
-		for _, v := range vs {
-			memberSet[v] = true
-		}
+		memberSet := versionSet(vs)
 		var rec int64
 		for _, v := range vs {
 			p, hasParent := expanded.Parent[v]
-			if hasParent && memberSet[p] {
+			if hasParent && memberSet.Contains(int64(p)) {
 				rec += expanded.Records[v] - expanded.Weight[v]
 			} else {
 				rec += expanded.Records[v]
@@ -451,14 +621,11 @@ func EstimateTreeCost(t *vgraph.Tree, p vgraph.Partitioning) TreeCost {
 	var cost TreeCost
 	groups := p.Groups()
 	for _, vs := range groups {
-		memberSet := make(map[vgraph.VersionID]bool, len(vs))
-		for _, v := range vs {
-			memberSet[v] = true
-		}
+		memberSet := versionSet(vs)
 		var rec int64
 		for _, v := range vs {
 			parent, hasParent := t.Parent[v]
-			if hasParent && memberSet[parent] {
+			if hasParent && memberSet.Contains(int64(parent)) {
 				rec += t.Records[v] - t.Weight[v]
 			} else {
 				rec += t.Records[v]

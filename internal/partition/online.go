@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/cvd"
+	"repro/internal/recset"
 	"repro/internal/vgraph"
 )
 
@@ -138,31 +139,24 @@ func PlanMigration(b *vgraph.Bipartite, old, new vgraph.Partitioning) (Migration
 	}
 	oldGroups := old.Groups()
 	newGroups := new.Groups()
-	oldRecords := make([]map[vgraph.RecordID]struct{}, len(oldGroups))
+	oldRecords := make([]*recset.Set, len(oldGroups))
 	for j, vs := range oldGroups {
-		set := make(map[vgraph.RecordID]struct{})
-		for _, r := range b.Union(vs) {
-			set[r] = struct{}{}
-		}
-		oldRecords[j] = set
+		oldRecords[j] = b.UnionSet(vs)
 	}
 	type pair struct {
 		newIdx, oldIdx int
 		cost           int64
 	}
 	var pairs []pair
-	newRecords := make([][]vgraph.RecordID, len(newGroups))
+	newRecords := make([]*recset.Set, len(newGroups))
 	for i, vs := range newGroups {
-		newRecords[i] = b.Union(vs)
+		newRecords[i] = b.UnionSet(vs)
 		for j := range oldGroups {
-			var missing, extra int64
-			for _, r := range newRecords[i] {
-				if _, ok := oldRecords[j][r]; !ok {
-					missing++
-				}
-			}
-			common := int64(len(newRecords[i])) - missing
-			extra = int64(len(oldRecords[j])) - common
+			// |R'_i \ R_j| + |R_j \ R'_i| from cardinalities alone: the
+			// symmetric difference needs only one intersection count.
+			common := recset.AndLen(newRecords[i], oldRecords[j])
+			missing := newRecords[i].Len() - common
+			extra := oldRecords[j].Len() - common
 			pairs = append(pairs, pair{newIdx: i, oldIdx: j, cost: missing + extra})
 		}
 	}
@@ -191,7 +185,7 @@ func PlanMigration(b *vgraph.Bipartite, old, new vgraph.Partitioning) (Migration
 	plan := MigrationPlan{}
 	for i, vs := range newGroups {
 		op := cvd.MigrationOp{NewPartition: i, FromPartition: -1, Versions: vs}
-		size := int64(len(newRecords[i]))
+		size := newRecords[i].Len()
 		if j, ok := match[i]; ok && cost[i] <= size {
 			op.FromPartition = j
 			plan.EstimatedModifications += cost[i]

@@ -1,0 +1,110 @@
+package recset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The benchmarks here pit the compressed set against the map-based pattern it
+// replaced (build a map[int64]struct{} from one side, probe the other, or
+// union into a map) on a dense workload shaped like the version record sets
+// of the Huang20 benchmark: ~10k record ids with heavy overlap between
+// versions. See BENCH.md ("Record-set subsystem") for how to read the
+// results.
+
+func benchSets(n int, overlap float64) (a, b []int64) {
+	rng := rand.New(rand.NewSource(13))
+	a = make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		a = append(a, rng.Int63n(int64(n)*4))
+	}
+	b = make([]int64, 0, n)
+	shared := int(float64(n) * overlap)
+	b = append(b, a[:shared]...)
+	for i := shared; i < n; i++ {
+		b = append(b, rng.Int63n(int64(n)*4))
+	}
+	return a, b
+}
+
+func BenchmarkIntersectRecset(bm *testing.B) {
+	av, bv := benchSets(10_000, 0.8)
+	a, b := FromSlice(av), FromSlice(bv)
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		if AndLen(a, b) == 0 {
+			bm.Fatal("empty intersection")
+		}
+	}
+}
+
+func BenchmarkIntersectMap(bm *testing.B) {
+	av, bv := benchSets(10_000, 0.8)
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		set := make(map[int64]struct{}, len(av))
+		for _, v := range av {
+			set[v] = struct{}{}
+		}
+		n := 0
+		for _, v := range bv {
+			if _, ok := set[v]; ok {
+				n++
+			}
+		}
+		if n == 0 {
+			bm.Fatal("empty intersection")
+		}
+	}
+}
+
+func BenchmarkUnionRecset(bm *testing.B) {
+	av, bv := benchSets(10_000, 0.5)
+	a, b := FromSlice(av), FromSlice(bv)
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		u := a.Clone()
+		u.UnionWith(b)
+		if u.Len() == 0 {
+			bm.Fatal("empty union")
+		}
+	}
+}
+
+func BenchmarkUnionMap(bm *testing.B) {
+	av, bv := benchSets(10_000, 0.5)
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		set := make(map[int64]struct{}, len(av))
+		for _, v := range av {
+			set[v] = struct{}{}
+		}
+		for _, v := range bv {
+			set[v] = struct{}{}
+		}
+		if len(set) == 0 {
+			bm.Fatal("empty union")
+		}
+	}
+}
+
+func BenchmarkContainsRecset(bm *testing.B) {
+	av, _ := benchSets(10_000, 0)
+	a := FromSlice(av)
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		a.Contains(av[i%len(av)])
+	}
+}
+
+func BenchmarkContainsMap(bm *testing.B) {
+	av, _ := benchSets(10_000, 0)
+	set := make(map[int64]struct{}, len(av))
+	for _, v := range av {
+		set[v] = struct{}{}
+	}
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		_, _ = set[av[i%len(av)]]
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/parallel"
+	"repro/internal/recset"
 )
 
 // JoinMethod selects the join strategy used to combine a data table with the
@@ -61,6 +62,81 @@ func JoinOnRIDs(data *Table, ridColumn string, rids []int64, method JoinMethod) 
 	default:
 		return nil, fmt.Errorf("relstore: unknown join method %d", int(method))
 	}
+}
+
+// JoinOnRIDSet is JoinOnRIDs with a compressed record set as the probe side:
+// the rid list arrives as a recset.Set (as produced by the versioning layer),
+// so the hash join probes the compressed set directly instead of first
+// building a map[int64]struct{}, the merge join skips re-sorting (recsets
+// iterate in ascending order by construction), and cardinalities size the
+// output exactly. The returned rows are shared (not copied).
+func JoinOnRIDSet(data *Table, ridColumn string, set *recset.Set, method JoinMethod) ([]Row, error) {
+	ci := data.Schema.ColumnIndex(ridColumn)
+	if ci < 0 {
+		return nil, fmt.Errorf("relstore: table %s has no column %q", data.Name, ridColumn)
+	}
+	switch method {
+	case HashJoin:
+		out := make([]Row, 0, set.Len())
+		probes := int64(0)
+		data.Scan(func(_ int, r Row) bool {
+			probes++
+			if set.Contains(r[ci].AsInt()) {
+				out = append(out, r)
+			}
+			return true
+		})
+		data.stats.AddHashProbes(probes)
+		return out, nil
+	case MergeJoin:
+		return mergeJoinSorted(data, ci, set.Slice()), nil
+	case IndexNestedLoopJoin:
+		cols := data.IndexColumns()
+		if len(cols) != 1 || data.Schema.ColumnIndex(cols[0]) != ci {
+			return nil, fmt.Errorf("relstore: index-nested-loop join requires a unique index on %q of table %s", data.Schema.Columns[ci].Name, data.Name)
+		}
+		out := make([]Row, 0, set.Len())
+		set.ForEach(func(rid int64) bool {
+			if row, ok := data.LookupIndex(Int(rid)); ok {
+				out = append(out, row)
+			}
+			return true
+		})
+		return out, nil
+	default:
+		return nil, fmt.Errorf("relstore: unknown join method %d", int(method))
+	}
+}
+
+// JoinOnRIDSetParallel is JoinOnRIDSet with the same chunked-scan
+// parallelism as JoinOnRIDsParallel; the compressed set is shared read-only
+// across the probing goroutines.
+func JoinOnRIDSetParallel(data *Table, ridColumn string, set *recset.Set, method JoinMethod, workers int) ([]Row, error) {
+	if method != HashJoin || workers <= 1 || len(data.Rows) < parallelJoinMinRows {
+		return JoinOnRIDSet(data, ridColumn, set, method)
+	}
+	ci := data.Schema.ColumnIndex(ridColumn)
+	if ci < 0 {
+		return nil, fmt.Errorf("relstore: table %s has no column %q", data.Name, ridColumn)
+	}
+	chunks := parallel.Chunks(workers, len(data.Rows))
+	parts := parallel.Map(workers, len(chunks), func(k int) []Row {
+		lo, hi := chunks[k][0], chunks[k][1]
+		var out []Row
+		for _, r := range data.Rows[lo:hi] {
+			if set.Contains(r[ci].AsInt()) {
+				out = append(out, r)
+			}
+		}
+		data.stats.AddSeqReads(int64(hi - lo))
+		data.stats.AddHashProbes(int64(hi - lo))
+		return out
+	})
+	out := make([]Row, 0, set.Len())
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
 }
 
 // parallelJoinMinRows is the data-table size below which JoinOnRIDsParallel
@@ -128,14 +204,18 @@ func hashJoinRIDs(data *Table, ridCol int, rids []int64) []Row {
 }
 
 // mergeJoinRIDs sorts the rid list and merges it against the data table.
-// When the table is clustered on rid this is a single sequential pass;
-// otherwise the data side must be sorted first (modelled as a full scan plus
-// the sort's sequential reads).
 func mergeJoinRIDs(data *Table, ridCol int, rids []int64) []Row {
 	sorted := make([]int64, len(rids))
 	copy(sorted, rids)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return mergeJoinSorted(data, ridCol, sorted)
+}
 
+// mergeJoinSorted merges an already-sorted rid list against the data table.
+// When the table is clustered on rid this is a single sequential pass;
+// otherwise the data side must be sorted first (modelled as a full scan plus
+// the sort's sequential reads).
+func mergeJoinSorted(data *Table, ridCol int, sorted []int64) []Row {
 	type ridRow struct {
 		rid int64
 		row Row

@@ -47,16 +47,27 @@ const (
 )
 
 // Table is an in-memory relation with an optional unique index.
+//
+// Rows may share their backing with other tables: checkout staging tables
+// reference the data-table rows directly instead of deep-copying them
+// (zero-copy checkout), relying on rows being immutable once inserted. Every
+// mutating path therefore replaces rows (copy-on-write) rather than writing
+// into them — see UpdateWhere, AddColumn and AlterColumnType. Code outside
+// this package must follow the same rule: never write through a Row obtained
+// from a table; replace the slot with a fresh row instead.
 type Table struct {
 	Name    string
 	Schema  Schema
 	Rows    []Row
 	Cluster ClusterMode
 
-	// uniqueIndex maps encoded index-key -> row position for the indexed
-	// columns (typically the primary key, or rid for data tables).
+	// The unique index over indexCols (typically the primary key, or rid for
+	// data tables) lives in exactly one of two stores: intIndex when the
+	// index is a single integer column (the rid hot path — no string
+	// encoding per probe), uniqueIndex (encoded string keys) otherwise.
 	indexCols   []int
 	uniqueIndex map[string]int
+	intIndex    map[int64]int
 
 	stats *CostStats
 }
@@ -66,10 +77,23 @@ type Table struct {
 func NewTable(name string, schema Schema) *Table {
 	t := &Table{Name: name, Schema: schema, stats: &CostStats{}}
 	if pk := schema.PrimaryKeyIndexes(); len(pk) > 0 {
-		t.indexCols = pk
-		t.uniqueIndex = make(map[string]int)
+		t.resetIndexStores(pk)
 	}
 	return t
+}
+
+// resetIndexStores points the index at the given columns and selects the
+// store: an int64-keyed map for a single integer column, string keys
+// otherwise.
+func (t *Table) resetIndexStores(idx []int) {
+	t.indexCols = idx
+	t.uniqueIndex = nil
+	t.intIndex = nil
+	if len(idx) == 1 && t.Schema.Columns[idx[0]].Type == TypeInt {
+		t.intIndex = make(map[int64]int)
+	} else {
+		t.uniqueIndex = make(map[string]int)
+	}
 }
 
 // SetStats attaches a shared cost-statistics collector (used by Database so
@@ -94,6 +118,21 @@ func (t *Table) BuildIndexOn(cols ...string) error {
 		}
 		idx = append(idx, i)
 	}
+	if len(idx) == 1 && t.Schema.Columns[idx[0]].Type == TypeInt {
+		ci := idx[0]
+		uniq := make(map[int64]int, len(t.Rows))
+		for pos, r := range t.Rows {
+			k := r[ci].AsInt()
+			if prev, dup := uniq[k]; dup {
+				return fmt.Errorf("relstore: table %s: duplicate index key %d at rows %d and %d", t.Name, k, prev, pos)
+			}
+			uniq[k] = pos
+		}
+		t.indexCols = idx
+		t.intIndex = uniq
+		t.uniqueIndex = nil
+		return nil
+	}
 	uniq := make(map[string]int, len(t.Rows))
 	for pos, r := range t.Rows {
 		k := encodeKey(r, idx)
@@ -104,11 +143,12 @@ func (t *Table) BuildIndexOn(cols ...string) error {
 	}
 	t.indexCols = idx
 	t.uniqueIndex = uniq
+	t.intIndex = nil
 	return nil
 }
 
 // HasIndex reports whether the table currently has a unique index.
-func (t *Table) HasIndex() bool { return t.uniqueIndex != nil }
+func (t *Table) HasIndex() bool { return t.uniqueIndex != nil || t.intIndex != nil }
 
 // IndexColumns returns the names of the indexed columns (nil if no index).
 func (t *Table) IndexColumns() []string {
@@ -144,7 +184,13 @@ func (t *Table) Insert(r Row) error {
 	if len(r) != len(t.Schema.Columns) {
 		return fmt.Errorf("relstore: table %s: row has %d values, schema has %d columns", t.Name, len(r), len(t.Schema.Columns))
 	}
-	if t.uniqueIndex != nil {
+	if t.intIndex != nil {
+		k := r[t.indexCols[0]].AsInt()
+		if _, dup := t.intIndex[k]; dup {
+			return fmt.Errorf("relstore: table %s: duplicate key %d", t.Name, k)
+		}
+		t.intIndex[k] = len(t.Rows)
+	} else if t.uniqueIndex != nil {
 		k := encodeKey(r, t.indexCols)
 		if _, dup := t.uniqueIndex[k]; dup {
 			return fmt.Errorf("relstore: table %s: duplicate key %q", t.Name, k)
@@ -186,12 +232,26 @@ func (t *Table) StorageBytes() int64 {
 	if t.uniqueIndex != nil {
 		n += int64(len(t.uniqueIndex)) * 16
 	}
+	if t.intIndex != nil {
+		n += int64(len(t.intIndex)) * 16
+	}
 	return n
 }
 
 // LookupIndex returns the row whose indexed columns equal key values, using
 // the unique index (a random access in the cost model).
 func (t *Table) LookupIndex(key ...Value) (Row, bool) {
+	if t.intIndex != nil {
+		if len(key) != 1 {
+			return nil, false
+		}
+		pos, ok := t.intIndex[key[0].AsInt()]
+		if !ok {
+			return nil, false
+		}
+		t.stats.AddRandomReads(1)
+		return t.Rows[pos], true
+	}
 	if t.uniqueIndex == nil {
 		return nil, false
 	}
@@ -251,7 +311,7 @@ func (t *Table) UpdateWhere(pred func(Row) bool, fn func(Row) Row) (int, error) 
 		if len(nr) != len(t.Schema.Columns) {
 			return updated, fmt.Errorf("relstore: table %s: update produced %d values, schema has %d", t.Name, len(nr), len(t.Schema.Columns))
 		}
-		if t.uniqueIndex != nil && encodeKey(r, t.indexCols) != encodeKey(nr, t.indexCols) {
+		if t.HasIndex() && encodeKey(r, t.indexCols) != encodeKey(nr, t.indexCols) {
 			indexDirty = true
 		}
 		t.Rows[i] = nr
@@ -281,7 +341,7 @@ func (t *Table) DeleteWhere(pred func(Row) bool) int {
 		kept = append(kept, r)
 	}
 	t.Rows = kept
-	if t.uniqueIndex != nil && removed > 0 {
+	if t.HasIndex() && removed > 0 {
 		names := t.IndexColumns()
 		_ = t.BuildIndexOn(names...)
 	}
@@ -309,7 +369,7 @@ func (t *Table) SortBy(mode ClusterMode, cols ...string) error {
 		return false
 	})
 	t.Cluster = mode
-	if t.uniqueIndex != nil {
+	if t.HasIndex() {
 		names := t.IndexColumns()
 		if err := t.BuildIndexOn(names...); err != nil {
 			return err
@@ -365,15 +425,21 @@ func (t *Table) Clone(name string) *Table {
 }
 
 // AddColumn appends a column to the schema, filling existing rows with NULL
-// (the ALTER TABLE ... ADD COLUMN path used by schema evolution).
+// (the ALTER TABLE ... ADD COLUMN path used by schema evolution). Rows are
+// replaced rather than appended to in place: a row's backing may be shared
+// with another table (zero-copy checkout), and an append into shared spare
+// capacity would write outside this table.
 func (t *Table) AddColumn(c Column) error {
 	newSchema, err := t.Schema.WithColumn(c)
 	if err != nil {
 		return err
 	}
 	t.Schema = newSchema
-	for i := range t.Rows {
-		t.Rows[i] = append(t.Rows[i], Null())
+	for i, r := range t.Rows {
+		nr := make(Row, len(r)+1)
+		copy(nr, r)
+		nr[len(r)] = Null()
+		t.Rows[i] = nr
 	}
 	t.stats.AddRowsWritten(int64(len(t.Rows)))
 	return nil
@@ -381,6 +447,9 @@ func (t *Table) AddColumn(c Column) error {
 
 // AlterColumnType changes a column's declared type and casts existing values
 // (integer→decimal etc.), mirroring the single-pool evolution of Section 4.3.
+// Modified rows are replaced copy-on-write (their backing may be shared with
+// another table), and the unique index is rebuilt when it covers the altered
+// column.
 func (t *Table) AlterColumnType(name string, typ ValueType) error {
 	ci := t.Schema.ColumnIndex(name)
 	if ci < 0 {
@@ -391,22 +460,43 @@ func (t *Table) AlterColumnType(name string, typ ValueType) error {
 		return err
 	}
 	t.Schema = newSchema
-	for i := range t.Rows {
-		v := t.Rows[i][ci]
+	for i, r := range t.Rows {
+		v := r[ci]
 		if v.IsNull() {
 			continue
 		}
+		var cast Value
 		switch typ {
 		case TypeFloat:
-			t.Rows[i][ci] = Float(v.AsFloat())
+			cast = Float(v.AsFloat())
 		case TypeInt:
-			t.Rows[i][ci] = Int(v.AsInt())
+			cast = Int(v.AsInt())
 		case TypeString:
-			t.Rows[i][ci] = Str(v.AsString())
+			cast = Str(v.AsString())
 		case TypeBool:
-			t.Rows[i][ci] = Bool(v.AsBool())
+			cast = Bool(v.AsBool())
+		default:
+			continue
 		}
+		nr := make(Row, len(r))
+		copy(nr, r)
+		nr[ci] = cast
+		t.Rows[i] = nr
 		t.stats.AddRowsWritten(1)
+	}
+	if t.HasIndex() {
+		indexed := false
+		for _, c := range t.indexCols {
+			if c == ci {
+				indexed = true
+			}
+		}
+		if indexed {
+			names := t.IndexColumns()
+			if err := t.BuildIndexOn(names...); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -416,5 +506,8 @@ func (t *Table) Truncate() {
 	t.Rows = t.Rows[:0]
 	if t.uniqueIndex != nil {
 		t.uniqueIndex = make(map[string]int)
+	}
+	if t.intIndex != nil {
+		t.intIndex = make(map[int64]int)
 	}
 }

@@ -3,56 +3,92 @@ package vgraph
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/recset"
 )
 
 // RecordID identifies an immutable record within a CVD.
 type RecordID int64
 
 // Bipartite is the version-record bipartite graph G = (V, R, E) of Chapter 5:
-// for every version it stores the (sorted) set of record ids the version
-// contains. The baseline partitioners (Agglo, Kmeans) operate on this graph,
-// and it is also used to compute exact storage / checkout costs of a
-// partitioning scheme.
+// for every version it stores the compressed record set (package recset) the
+// version contains. The baseline partitioners (Agglo, Kmeans) operate on this
+// graph, and it is also used to compute exact storage / checkout costs of a
+// partitioning scheme. The distinct-record union across versions is
+// maintained incrementally, so NumRecords is O(1) instead of a full rebuild.
 type Bipartite struct {
-	versions map[VersionID][]RecordID
+	versions map[VersionID]*recset.Set
 	order    []VersionID
+
+	// all is the running union of every version's records, maintained on the
+	// write path (SetVersion) so every read — NumRecords in particular —
+	// stays pure and safe for concurrent readers of a live graph.
+	all *recset.Set
 }
 
 // NewBipartite creates an empty bipartite graph.
 func NewBipartite() *Bipartite {
-	return &Bipartite{versions: make(map[VersionID][]RecordID)}
+	return &Bipartite{versions: make(map[VersionID]*recset.Set), all: recset.New()}
 }
 
 // SetVersion records the record set of a version, replacing any previous
-// value. The record list is copied and sorted.
+// value. The record list may be unsorted and contain duplicates.
 func (b *Bipartite) SetVersion(v VersionID, records []RecordID) {
-	rs := make([]RecordID, len(records))
-	copy(rs, records)
-	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
-	// Deduplicate.
-	rs = dedupRecords(rs)
-	if _, exists := b.versions[v]; !exists {
-		b.order = append(b.order, v)
+	vals := make([]int64, len(records))
+	for i, r := range records {
+		vals[i] = int64(r)
 	}
+	b.SetVersionSet(v, recset.FromSlice(vals))
+}
+
+// SetVersionSet is SetVersion taking an already-built record set. The set is
+// owned by the graph afterwards: the caller must not mutate it (sharing it
+// for reads is fine).
+func (b *Bipartite) SetVersionSet(v VersionID, rs *recset.Set) {
+	if rs == nil {
+		rs = recset.New()
+	}
+	if _, exists := b.versions[v]; exists {
+		// Replacement may remove records from the distinct union; rebuild it
+		// here, on the (serialized) write path, so reads stay pure.
+		b.versions[v] = rs
+		b.all = recset.New()
+		for _, other := range b.versions {
+			b.all.UnionWith(other)
+		}
+		return
+	}
+	b.order = append(b.order, v)
+	b.all.UnionWith(rs)
 	b.versions[v] = rs
 }
 
-func dedupRecords(rs []RecordID) []RecordID {
-	if len(rs) < 2 {
-		return rs
+// RecordSet returns the compressed record set of a version (nil when the
+// version is unknown). The set is shared and must be treated as read-only.
+func (b *Bipartite) RecordSet(v VersionID) *recset.Set { return b.versions[v] }
+
+// RecordIDs materializes a compressed record set as a fresh sorted RecordID
+// slice (nil for a nil or empty set).
+func RecordIDs(s *recset.Set) []RecordID {
+	if s.IsEmpty() {
+		return nil
 	}
-	out := rs[:1]
-	for _, r := range rs[1:] {
-		if r != out[len(out)-1] {
-			out = append(out, r)
-		}
-	}
+	out := make([]RecordID, 0, s.Len())
+	s.ForEach(func(x int64) bool {
+		out = append(out, RecordID(x))
+		return true
+	})
 	return out
 }
 
-// Records returns the sorted record ids of a version (shared slice; callers
-// must not mutate it).
-func (b *Bipartite) Records(v VersionID) []RecordID { return b.versions[v] }
+// Records returns the sorted record ids of a version as a fresh slice the
+// caller owns.
+func (b *Bipartite) Records(v VersionID) []RecordID {
+	return RecordIDs(b.versions[v])
+}
+
+// NumRecordsOf returns |R(v)| for one version (0 when unknown).
+func (b *Bipartite) NumRecordsOf(v VersionID) int64 { return b.versions[v].Len() }
 
 // HasVersion reports whether the version is present.
 func (b *Bipartite) HasVersion(v VersionID) bool {
@@ -70,72 +106,51 @@ func (b *Bipartite) Versions() []VersionID {
 // NumVersions returns |V|.
 func (b *Bipartite) NumVersions() int { return len(b.versions) }
 
-// NumRecords returns |R|, the number of distinct records across versions.
-func (b *Bipartite) NumRecords() int64 {
-	seen := make(map[RecordID]struct{})
-	for _, rs := range b.versions {
-		for _, r := range rs {
-			seen[r] = struct{}{}
-		}
-	}
-	return int64(len(seen))
-}
+// NumRecords returns |R|, the number of distinct records across versions,
+// from the union maintained incrementally by SetVersion. Pure read: safe to
+// call from any number of goroutines sharing a live graph.
+func (b *Bipartite) NumRecords() int64 { return b.all.Len() }
+
+// AllRecords returns the distinct-record union across all versions as a
+// shared, read-only set.
+func (b *Bipartite) AllRecords() *recset.Set { return b.all }
 
 // NumEdges returns |E| = Σ_v |R(v)|.
 func (b *Bipartite) NumEdges() int64 {
 	var total int64
 	for _, rs := range b.versions {
-		total += int64(len(rs))
+		total += rs.Len()
 	}
 	return total
 }
 
-// CommonRecords returns |R(a) ∩ R(b)| computed by merging the two sorted
-// record lists.
+// CommonRecords returns |R(a) ∩ R(b)| without materializing the
+// intersection.
 func (b *Bipartite) CommonRecords(x, y VersionID) int64 {
-	a, bb := b.versions[x], b.versions[y]
-	var n int64
-	i, j := 0, 0
-	for i < len(a) && j < len(bb) {
-		switch {
-		case a[i] < bb[j]:
-			i++
-		case a[i] > bb[j]:
-			j++
-		default:
-			n++
-			i++
-			j++
-		}
+	return recset.AndLen(b.versions[x], b.versions[y])
+}
+
+// UnionSet returns ∪ R(v) over the given versions as a fresh set the caller
+// owns.
+func (b *Bipartite) UnionSet(vs []VersionID) *recset.Set {
+	out := recset.New()
+	for _, v := range vs {
+		out.UnionWith(b.versions[v])
 	}
-	return n
+	return out
 }
 
 // UnionSize returns |∪ R(v)| over the given versions.
 func (b *Bipartite) UnionSize(vs []VersionID) int64 {
-	seen := make(map[RecordID]struct{})
-	for _, v := range vs {
-		for _, r := range b.versions[v] {
-			seen[r] = struct{}{}
-		}
+	if len(vs) == 1 {
+		return b.versions[vs[0]].Len()
 	}
-	return int64(len(seen))
+	return b.UnionSet(vs).Len()
 }
 
 // Union returns the sorted union of record ids over the given versions.
 func (b *Bipartite) Union(vs []VersionID) []RecordID {
-	seen := make(map[RecordID]struct{})
-	for _, v := range vs {
-		for _, r := range b.versions[v] {
-			seen[r] = struct{}{}
-		}
-	}
-	out := make([]RecordID, 0, len(seen))
-	for r := range seen {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return RecordIDs(b.UnionSet(vs))
 }
 
 // BuildGraph derives a version Graph from the bipartite graph and an
@@ -145,7 +160,7 @@ func (b *Bipartite) Union(vs []VersionID) []RecordID {
 func (b *Bipartite) BuildGraph(derivations [][2]VersionID) (*Graph, error) {
 	g := New()
 	for _, v := range b.order {
-		if _, err := g.AddVersion(v, int64(len(b.versions[v]))); err != nil {
+		if _, err := g.AddVersion(v, b.versions[v].Len()); err != nil {
 			return nil, err
 		}
 	}

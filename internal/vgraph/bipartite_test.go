@@ -217,3 +217,59 @@ func TestCommonRecordsProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestNumRecordsIncremental verifies the incrementally maintained
+// distinct-record union: adds keep it in sync without rebuilds, and a
+// version replacement (which can shrink the union) triggers the lazy
+// rebuild path.
+func TestNumRecordsIncremental(t *testing.T) {
+	b := NewBipartite()
+	b.SetVersion(1, []RecordID{1, 2, 3})
+	if got := b.NumRecords(); got != 3 {
+		t.Fatalf("NumRecords = %d, want 3", got)
+	}
+	b.SetVersion(2, []RecordID{3, 4, 5})
+	if got := b.NumRecords(); got != 5 {
+		t.Fatalf("NumRecords = %d, want 5", got)
+	}
+	// Replacement removes records 1 and 2 from the union entirely.
+	b.SetVersion(1, []RecordID{3})
+	if got := b.NumRecords(); got != 3 {
+		t.Fatalf("NumRecords after replacement = %d, want 3", got)
+	}
+	// Adds after a rebuild keep maintaining the union incrementally.
+	b.SetVersion(3, []RecordID{10})
+	if got := b.NumRecords(); got != 4 {
+		t.Fatalf("NumRecords after post-rebuild add = %d, want 4", got)
+	}
+	if got := b.AllRecords().Len(); got != 4 {
+		t.Fatalf("AllRecords().Len() = %d, want 4", got)
+	}
+}
+
+// TestRecordSetSharedAndRecordsFresh pins the ownership contract: RecordSet
+// returns the shared set, Records returns a fresh slice the caller owns.
+func TestRecordSetSharedAndRecordsFresh(t *testing.T) {
+	b := NewBipartite()
+	b.SetVersion(1, []RecordID{5, 1, 5, 9})
+	rs := b.Records(1)
+	want := []RecordID{1, 5, 9}
+	if len(rs) != len(want) {
+		t.Fatalf("Records = %v, want %v", rs, want)
+	}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Fatalf("Records = %v, want %v", rs, want)
+		}
+	}
+	rs[0] = 999 // mutating the returned slice must not affect the graph
+	if got := b.Records(1)[0]; got != 1 {
+		t.Fatalf("Records slice is not fresh: got %d after caller mutation", got)
+	}
+	if b.RecordSet(1).Len() != 3 || !b.RecordSet(1).Contains(5) {
+		t.Fatal("RecordSet does not reflect the stored set")
+	}
+	if b.NumRecordsOf(1) != 3 {
+		t.Fatalf("NumRecordsOf = %d, want 3", b.NumRecordsOf(1))
+	}
+}

@@ -184,7 +184,11 @@ func (t *Tree) Depth(v VersionID) int {
 }
 
 // Validate checks structural invariants: single root, acyclic parent chain,
-// weights not exceeding either endpoint's record count.
+// weights not exceeding either endpoint's record count. Connectivity is
+// checked with a memoized walk — each version's parent chain is followed
+// only until it reaches a node already known connected — so validation is
+// amortized O(n) even on chain-shaped histories (it is called on every
+// LyreSplit entry point) and terminates with an error on parent cycles.
 func (t *Tree) Validate() error {
 	for v := range t.Records {
 		if v == t.Root {
@@ -194,9 +198,28 @@ func (t *Tree) Validate() error {
 			return fmt.Errorf("vgraph: version %d has no parent and is not the root", v)
 		}
 	}
+	connected := make(map[VersionID]bool, len(t.Records))
+	connected[t.Root] = true
+	var path []VersionID
 	for v, p := range t.Parent {
-		if t.Depth(v) < 0 {
+		if _, ok := t.Records[v]; !ok {
 			return fmt.Errorf("vgraph: version %d is not connected to the root", v)
+		}
+		path = path[:0]
+		cur := v
+		for !connected[cur] {
+			next, ok := t.Parent[cur]
+			if !ok {
+				return fmt.Errorf("vgraph: version %d is not connected to the root", v)
+			}
+			path = append(path, cur)
+			if len(path) > len(t.Records) {
+				return fmt.Errorf("vgraph: version %d's parent chain contains a cycle", v)
+			}
+			cur = next
+		}
+		for _, u := range path {
+			connected[u] = true
 		}
 		w := t.Weight[v]
 		if w > t.Records[v] || w > t.Records[p] {
