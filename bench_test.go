@@ -130,3 +130,17 @@ func BenchmarkRecsetSubsystem(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkColumnarSubsystem times the full before/after suite of the
+// columnar storage subsystem (RunColumnar): frozen row-backed tables with
+// closure predicates vs typed column vectors with vectorized predicate
+// evaluation, plus the checkout and LyreSplit regression guards.
+// cmd/benchrunner -experiment columnar prints the table and writes
+// BENCH_columnar.json.
+func BenchmarkColumnarSubsystem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := benchmark.RunColumnar("SCI_10K", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

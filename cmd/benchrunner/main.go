@@ -10,6 +10,7 @@
 //	go run ./cmd/benchrunner -experiment fig5.8 -dataset SCI_10K -scale 1
 //	go run ./cmd/benchrunner -experiment concurrent -workers 4
 //	go run ./cmd/benchrunner -experiment recset -out BENCH_recset.json
+//	go run ./cmd/benchrunner -experiment columnar -out BENCH_columnar.json
 package main
 
 import (
@@ -23,12 +24,12 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment id: fig4.1, tab5.2, fig5.7, fig5.8, fig5.10, fig5.14, fig5.17, concurrent, recset, ch7, ch8, all")
+	experiment := flag.String("experiment", "all", "experiment id: fig4.1, tab5.2, fig5.7, fig5.8, fig5.10, fig5.14, fig5.17, concurrent, recset, columnar, ch7, ch8, all")
 	dataset := flag.String("dataset", "SCI_10K", "dataset preset for single-dataset experiments")
 	scale := flag.Int("scale", 1, "scale multiplier applied to dataset presets")
 	workers := flag.Int("workers", 0, "engine worker-pool size for parallel operations (0 = single-threaded operations)")
 	latency := flag.Duration("latency", 0, "simulated client-server round trip for the concurrent experiment (0 = default 5ms, negative = none)")
-	out := flag.String("out", "", "output path for the recset experiment's JSON report (empty = print only, so a bare `-experiment all` never overwrites a committed BENCH_recset.json)")
+	out := flag.String("out", "", "output path for the recset/columnar experiment's JSON report; honored only when that experiment is selected explicitly (never under -experiment all, where two reports would overwrite each other)")
 	flag.Parse()
 
 	if err := run(*experiment, *dataset, *scale, *workers, *latency, *out); err != nil {
@@ -111,6 +112,23 @@ func run(experiment, dataset string, scale, workers int, latency time.Duration, 
 		}
 		fmt.Println(table)
 	}
+	// -out is honored only for an explicitly selected experiment: under
+	// -experiment all, recset and columnar would otherwise write the same
+	// file one after the other, silently destroying the first report.
+	writeReport := func(id string, doc []byte) error {
+		if out == "" {
+			return nil
+		}
+		if !strings.EqualFold(experiment, id) {
+			fmt.Printf("skipping -out for %s (only written with -experiment %s)\n", id, id)
+			return nil
+		}
+		if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+		return nil
+	}
 	if want("recset") {
 		ran = true
 		report, table, err := benchmark.RunRecset(dataset, scale)
@@ -118,15 +136,27 @@ func run(experiment, dataset string, scale, workers int, latency time.Duration, 
 			return err
 		}
 		fmt.Println(table)
-		if out != "" {
-			doc, err := report.JSON()
-			if err != nil {
-				return err
-			}
-			if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s\n", out)
+		doc, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		if err := writeReport("recset", doc); err != nil {
+			return err
+		}
+	}
+	if want("columnar") {
+		ran = true
+		report, table, err := benchmark.RunColumnar(dataset, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table)
+		doc, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		if err := writeReport("columnar", doc); err != nil {
+			return err
 		}
 	}
 	if want("ch7") {

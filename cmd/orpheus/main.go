@@ -10,6 +10,10 @@
 //	checkout <cvd> -v <v1[,v2,...]> -t <tab>  materialize versions into a table
 //	commit <cvd> -t <tab> -m <message>        commit a staging table
 //	diff <cvd> <v1> <v2>                      records in one version but not the other
+//	select <cvd> -v <v1[,v2,...]> [-w <col><op><value>]... [-limit n]
+//	                                          versioned SELECT with predicates (repeat -w to
+//	                                          AND them), evaluated vectorized over the
+//	                                          columnar data table
 //	ls                                        list CVDs
 //	versions <cvd>                            list versions with metadata
 //	optimize <cvd> [factor]                   run the partition optimizer (γ = factor·|R|)
@@ -73,6 +77,8 @@ func execute(engine *core.Engine, line string) error {
 		return cmdCommit(engine, args)
 	case "diff":
 		return cmdDiff(engine, args)
+	case "select":
+		return cmdSelect(engine, args)
 	case "ls":
 		for _, name := range engine.List() {
 			fmt.Println(name)
@@ -154,6 +160,17 @@ func flagValue(args []string, flagName string) string {
 	return ""
 }
 
+// flagValues collects every occurrence of a repeatable flag.
+func flagValues(args []string, flagName string) []string {
+	var out []string
+	for i, a := range args {
+		if a == flagName && i+1 < len(args) {
+			out = append(out, args[i+1])
+		}
+	}
+	return out
+}
+
 func cmdCheckout(engine *core.Engine, args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: checkout <cvd> -v <versions> -t <table>")
@@ -200,6 +217,88 @@ func cmdDiff(engine *core.Engine, args []string) error {
 		return err
 	}
 	fmt.Printf("only in v%d: %d records; only in v%d: %d records\n", a, len(d.OnlyInA), b, len(d.OnlyInB))
+	return nil
+}
+
+// parsePredicate splits "<col><op><value>" (e.g. "coexpression>80") on the
+// first comparison operator, preferring the two-character spellings.
+func parsePredicate(s string) (col, op string, val relstore.Value, err error) {
+	for _, cand := range []string{"<=", ">=", "!=", "<>", "==", "=", "<", ">"} {
+		if i := strings.Index(s, cand); i > 0 {
+			col = strings.TrimSpace(s[:i])
+			op = cand
+			raw := strings.TrimSpace(s[i+len(cand):])
+			switch {
+			case raw == "":
+				return "", "", relstore.Value{}, fmt.Errorf("predicate %q has no value", s)
+			default:
+				if n, err := strconv.ParseInt(raw, 10, 64); err == nil {
+					return col, op, relstore.Int(n), nil
+				}
+				if f, err := strconv.ParseFloat(raw, 64); err == nil {
+					return col, op, relstore.Float(f), nil
+				}
+				return col, op, relstore.Str(strings.Trim(raw, `"'`)), nil
+			}
+		}
+	}
+	return "", "", relstore.Value{}, fmt.Errorf("predicate %q has no comparison operator", s)
+}
+
+// cmdSelect runs the versioned SELECT shortcut: predicates are compiled
+// once (cvd.NamedPredicate / NamedPredicateAll for repeated -w flags) and
+// pushed down to the vectorized column scan of the data table, with the
+// multi-predicate form chaining selection refinements.
+func cmdSelect(engine *core.Engine, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: select <cvd> -v <versions> [-w <col><op><value>]... [-limit n]")
+	}
+	c, err := engine.CVD(args[0])
+	if err != nil {
+		return err
+	}
+	versions, err := parseVersions(flagValue(args, "-v"))
+	if err != nil {
+		return err
+	}
+	limit := 0
+	if ls := flagValue(args, "-limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil {
+			return fmt.Errorf("bad limit %q", ls)
+		}
+		limit = n
+	}
+	var pred cvd.Predicate
+	if ws := flagValues(args, "-w"); len(ws) > 0 {
+		comparisons := make([]cvd.ColumnComparison, 0, len(ws))
+		for _, w := range ws {
+			col, op, val, err := parsePredicate(w)
+			if err != nil {
+				return err
+			}
+			comparisons = append(comparisons, cvd.ColumnComparison{Column: col, Op: op, Value: val})
+		}
+		var err error
+		pred, err = c.NamedPredicateAll(comparisons)
+		if err != nil {
+			return err
+		}
+	}
+	rows, err := c.ScanVersions(versions, pred, limit)
+	if err != nil {
+		return err
+	}
+	cols := c.Schema().ColumnNames()
+	fmt.Println("version\trid\t" + strings.Join(cols, "\t"))
+	for _, vr := range rows {
+		cells := make([]string, len(vr.Row))
+		for i, v := range vr.Row {
+			cells[i] = v.AsString()
+		}
+		fmt.Printf("v%d\t%d\t%s\n", vr.Version, vr.RID, strings.Join(cells, "\t"))
+	}
+	fmt.Printf("(%d rows)\n", len(rows))
 	return nil
 }
 

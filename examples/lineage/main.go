@@ -40,15 +40,15 @@ func main() {
 		switch rng.Intn(3) {
 		case 0: // correct some levels
 			for m := 0; m < 15; m++ {
-				child.Rows[rng.Intn(child.Len())][2] = relstore.Int(int64(rng.Intn(500)))
+				child.Set(rng.Intn(child.Len()), 2, relstore.Int(int64(rng.Intn(500))))
 			}
 		case 1: // append new patients
 			for m := 0; m < 12; m++ {
-				child.Rows = append(child.Rows, relstore.Row{
+				child.AppendRow(relstore.Row{
 					relstore.Str(fmt.Sprintf("p9%03d", v*10+m)), relstore.Str("m00"), relstore.Int(int64(rng.Intn(500)))})
 			}
 		default: // filter out a cohort
-			child.Rows = child.Rows[:child.Len()-20]
+			child.Shrink(child.Len() - 20)
 		}
 		name := fmt.Sprintf("export_2026-01-%02d.csv", 5+v)
 		artifacts = append(artifacts, provenance.Artifact{Name: name, ModTime: ts.Add(time.Duration(v) * 24 * time.Hour), Table: child})

@@ -1,0 +1,253 @@
+package benchmark
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/cvd"
+	"repro/internal/partition"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// ColumnarReport is the BENCH_columnar.json document: before/after
+// measurements of the columnar table layout and vectorized predicate
+// evaluation against the frozen row-backed implementation (legacy.go).
+type ColumnarReport struct {
+	Dataset string         `json:"dataset"`
+	Scale   int            `json:"scale"`
+	Results []RecsetResult `json:"results"`
+}
+
+// JSON renders the report.
+func (r ColumnarReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// RunColumnar measures the columnar storage subsystem before/after pairs on
+// the benchrunner workloads and renders them as a table plus a
+// ColumnarReport (written to BENCH_columnar.json by cmd/benchrunner):
+//
+//   - checkout-query-scan: versioned SELECT with a predicate over sampled
+//     versions — the frozen path clones every record of every version and
+//     tests it with the op-string-dispatching closure predicate; the current
+//     path compiles the predicate once and evaluates it vectorized over the
+//     data table's column vectors, reducing each version to a compressed-set
+//     intersection.
+//   - filter-scan: a bare predicate scan of the master data table — frozen
+//     row-at-a-time Filter vs the vectorized FilterVec.
+//   - checkout-partitioned: partitioned single-version checkout, columnar
+//     gather (column sharing when the version covers its backing table) vs
+//     the frozen row-clone materialization — the no-regression guard.
+//   - lyresplit-solve: the partitioner's δ binary search, unchanged by this
+//     subsystem — the second no-regression guard.
+func RunColumnar(dataset string, scale int) (ColumnarReport, Table, error) {
+	report := ColumnarReport{Dataset: dataset, Scale: scale}
+
+	preset, err := Preset(dataset, scale)
+	if err != nil {
+		return report, Table{}, err
+	}
+	preset.Attributes = 10
+	w, err := Generate(preset)
+	if err != nil {
+		return report, Table{}, err
+	}
+	db := relstore.NewDatabase("columnar")
+	c, err := LoadCVD(db, "cvd", w, cvd.SplitByRlist)
+	if err != nil {
+		return report, Table{}, err
+	}
+	defer c.Drop()
+	m, err := c.Rlist()
+	if err != nil {
+		return report, Table{}, err
+	}
+	cvdTree, err := vgraph.ToTree(c.Graph())
+	if err != nil {
+		return report, Table{}, err
+	}
+	sol, err := partition.SolveStorageConstraint(cvdTree, 2*cvdTree.DistinctRecords(), partition.LyreSplitOptions{})
+	if err != nil {
+		return report, Table{}, err
+	}
+	if err := m.ApplyPartitioning(sol.Partitioning); err != nil {
+		return report, Table{}, err
+	}
+
+	// ---- Versioned SELECT with predicate (the headline) -------------------
+	// Frozen side: the pre-columnar ScanVersions — per (version, record),
+	// look the row up in the record catalog, deep-clone it, and test it with
+	// the closure predicate that re-dispatches on the operator string.
+	data := db.MustTable("cvd_data")
+	catalog := make(map[int64]relstore.Row, data.Len())
+	ridIdx := data.Schema.ColumnIndex("rid")
+	for i := 0; i < data.Len(); i++ {
+		r := data.RowAt(i)
+		catalog[r[ridIdx].AsInt()] = r[1:] // data attributes only, like the record catalog
+	}
+	dataSchema := c.Schema()
+	legacyPred, err := legacyNamedPredicate(dataSchema, "a01", ">", relstore.Int(900_000))
+	if err != nil {
+		return report, Table{}, err
+	}
+	pred, err := c.NamedPredicate("a01", ">", relstore.Int(900_000))
+	if err != nil {
+		return report, Table{}, err
+	}
+	sample := sampleVersionIDs(c.Versions(), 20)
+	perVersion := make(map[vgraph.VersionID][]vgraph.RecordID, len(sample))
+	for _, v := range sample {
+		perVersion[v] = c.RecordsOf(v)
+	}
+	legacyScan := func() (int, error) {
+		matched := 0
+		for _, v := range sample {
+			for _, rid := range perVersion[v] {
+				row, ok := catalog[int64(rid)]
+				if !ok {
+					return 0, fmt.Errorf("benchmark: record %d missing from catalog", rid)
+				}
+				if legacyPred(row.Clone()) {
+					matched++
+				}
+			}
+		}
+		return matched, nil
+	}
+	// Sanity: both plans must agree before timing means anything.
+	wantMatched, err := legacyScan()
+	if err != nil {
+		return report, Table{}, err
+	}
+	got, err := c.ScanVersions(sample, pred, 0)
+	if err != nil {
+		return report, Table{}, err
+	}
+	if len(got) != wantMatched {
+		return report, Table{}, fmt.Errorf("benchmark: legacy and vectorized SELECT disagree: %d vs %d rows", wantMatched, len(got))
+	}
+	qReps := 10
+	before, err := timeReps(qReps, func() error {
+		_, err := legacyScan()
+		return err
+	})
+	if err != nil {
+		return report, Table{}, err
+	}
+	after, err := timeReps(qReps, func() error {
+		_, err := c.ScanVersions(sample, pred, 0)
+		return err
+	})
+	if err != nil {
+		return report, Table{}, err
+	}
+	report.Results = append(report.Results, recsetResult("checkout-query-scan",
+		fmt.Sprintf("SELECT WHERE a01 > 900000 over %d versions (%d matches; clone+closure vs vectorized pushdown)", len(sample), wantMatched),
+		qReps, before, after))
+
+	// ---- Bare predicate scan of the data table ----------------------------
+	legacyData := newLegacyRowTable(data)
+	a01 := data.Schema.ColumnIndex("a01")
+	legacyFilter := func() (int, error) {
+		rows := legacyData.filter(func(r relstore.Row) bool {
+			return a01 < len(r) && r[a01].Compare(relstore.Int(500_000)) > 0
+		})
+		return len(rows), nil
+	}
+	wantRows, _ := legacyFilter()
+	sel, err := data.FilterVec("a01", relstore.CmpGT, relstore.Int(500_000))
+	if err != nil {
+		return report, Table{}, err
+	}
+	if len(sel) != wantRows {
+		return report, Table{}, fmt.Errorf("benchmark: legacy filter and FilterVec disagree: %d vs %d rows", wantRows, len(sel))
+	}
+	fReps := 20
+	before, err = timeReps(fReps, func() error {
+		_, err := legacyFilter()
+		return err
+	})
+	if err != nil {
+		return report, Table{}, err
+	}
+	after, err = timeReps(fReps, func() error {
+		_, err := data.FilterVec("a01", relstore.CmpGT, relstore.Int(500_000))
+		return err
+	})
+	if err != nil {
+		return report, Table{}, err
+	}
+	report.Results = append(report.Results, recsetResult("filter-scan",
+		fmt.Sprintf("a01 > 500000 over the %d-row master data table (%d matches)", data.Len(), wantRows),
+		fReps, before, after))
+
+	// ---- Partitioned checkout (no-regression guard) -----------------------
+	legacyParts, err := legacyPartitionCopies(db, m, sample)
+	if err != nil {
+		return report, Table{}, err
+	}
+	ckReps := 10
+	seq := 0
+	before, err = timeReps(ckReps, func() error {
+		for _, v := range sample {
+			if _, err := legacyCheckout(legacyParts[m.PartitionTableName(v)], perVersion[v]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return report, Table{}, err
+	}
+	after, err = timeReps(ckReps, func() error {
+		for _, v := range sample {
+			seq++
+			tab := fmt.Sprintf("colco_%d", seq)
+			if _, err := c.Checkout([]vgraph.VersionID{v}, tab); err != nil {
+				return err
+			}
+			c.DiscardCheckout(tab)
+		}
+		return nil
+	})
+	if err != nil {
+		return report, Table{}, err
+	}
+	report.Results = append(report.Results, recsetResult("checkout-partitioned",
+		fmt.Sprintf("%s, %d partitions, %d sampled versions per rep (row-clone vs columnar gather)", dataset, sol.Partitioning.NumPartitions, len(sample)),
+		ckReps, before, after))
+
+	// ---- LyreSplit solve (no-regression guard) ----------------------------
+	gamma := 2 * cvdTree.DistinctRecords()
+	lsReps := 3
+	before, err = timeReps(lsReps, func() error {
+		_, err := legacySolveStorageConstraint(cvdTree, gamma)
+		return err
+	})
+	if err != nil {
+		return report, Table{}, err
+	}
+	after, err = timeReps(lsReps, func() error {
+		_, err := partition.SolveStorageConstraint(cvdTree, gamma, partition.LyreSplitOptions{})
+		return err
+	})
+	if err != nil {
+		return report, Table{}, err
+	}
+	report.Results = append(report.Results, recsetResult("lyresplit-solve",
+		fmt.Sprintf("SolveStorageConstraint gamma=2|R|: |V|=%d |R|=%d", cvdTree.NumVersions(), cvdTree.DistinctRecords()),
+		lsReps, before, after))
+
+	table := Table{
+		Title:   fmt.Sprintf("Columnar storage subsystem: before/after (%s, scale %d)", dataset, scale),
+		Columns: []string{"measurement", "reps", "before", "after", "speedup", "detail"},
+	}
+	for _, r := range report.Results {
+		table.Rows = append(table.Rows, []string{
+			r.Name, fmt.Sprintf("%d", r.Reps),
+			ms(time.Duration(r.BeforeNs)), ms(time.Duration(r.AfterNs)),
+			fmt.Sprintf("%.2fx", r.Speedup), r.Detail,
+		})
+	}
+	return report, table, nil
+}

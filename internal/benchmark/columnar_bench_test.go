@@ -1,0 +1,91 @@
+package benchmark
+
+import (
+	"testing"
+
+	"repro/internal/cvd"
+	"repro/internal/relstore"
+)
+
+// TestRunColumnar checks the shape and the acceptance bars of the columnar
+// before/after experiment: the vectorized predicate-scan checkout-query must
+// clear 2x over the frozen row path, and the partitioned checkout and
+// LyreSplit solve must not regress by more than 10%.
+func TestRunColumnar(t *testing.T) {
+	report, table, err := RunColumnar("SCI_1K", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]RecsetResult{}
+	for _, r := range report.Results {
+		byName[r.Name] = r
+	}
+	for _, name := range []string{"checkout-query-scan", "filter-scan", "checkout-partitioned", "lyresplit-solve"} {
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing measurement %q\n%s", name, table)
+		}
+		if r.BeforeNs <= 0 || r.AfterNs <= 0 {
+			t.Errorf("%s: non-positive timings %+v", name, r)
+		}
+	}
+	// The acceptance bar of the columnar subsystem: >= 2x on the
+	// predicate-scan checkout query vs the frozen clone+closure path.
+	if s := byName["checkout-query-scan"].Speedup; s < 2 {
+		t.Errorf("checkout-query-scan speedup = %.2fx, want >= 2x\n%s", s, table)
+	}
+	// No regression (>10%) on the guard measurements.
+	for _, name := range []string{"checkout-partitioned", "lyresplit-solve"} {
+		if s := byName[name].Speedup; s < 0.9 {
+			t.Errorf("%s speedup = %.2fx, want >= 0.9x (no regression)\n%s", name, s, table)
+		}
+	}
+}
+
+// filterBenchTable builds a 100k-row integer table shaped like the
+// benchmark data tables (rid + integer attributes).
+func filterBenchTable(b *testing.B) *relstore.Table {
+	b.Helper()
+	preset, err := Preset("SCI_10K", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	preset.Attributes = 10
+	w, err := Generate(preset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := relstore.NewDatabase("filterbench")
+	c, err := LoadCVD(db, "cvd", w, cvd.SplitByRlist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Drop)
+	return db.MustTable("cvd_data")
+}
+
+// BenchmarkFilterVec times the vectorized predicate scan over a benchmark
+// data table.
+func BenchmarkFilterVec(b *testing.B) {
+	tab := filterBenchTable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.FilterVec("a01", relstore.CmpGT, relstore.Int(500_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFilterRowAtATime times the equivalent row-at-a-time Filter for
+// direct comparison with BenchmarkFilterVec.
+func BenchmarkFilterRowAtATime(b *testing.B) {
+	tab := filterBenchTable(b)
+	a01 := tab.Schema.ColumnIndex("a01")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := tab.Filter(func(r relstore.Row) bool {
+			return r[a01].Compare(relstore.Int(500_000)) > 0
+		})
+		_ = rows
+	}
+}

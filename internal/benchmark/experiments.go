@@ -902,15 +902,14 @@ func syntheticArtifacts(n int, seed int64) ([]provenance.Artifact, provenance.Gr
 		switch rng.Intn(3) {
 		case 0:
 			for m := 0; m < 10; m++ {
-				idx := rng.Intn(child.Len())
-				child.Rows[idx][1] = relstore.Int(int64(rng.Intn(100)))
+				child.Set(rng.Intn(child.Len()), 1, relstore.Int(int64(rng.Intn(100))))
 			}
 		case 1:
 			for m := 0; m < 8; m++ {
-				child.Rows = append(child.Rows, relstore.Row{relstore.Str(fmt.Sprintf("new%04d_%d", v, m)), relstore.Int(int64(rng.Intn(100))), relstore.Float(rng.Float64())})
+				child.AppendRow(relstore.Row{relstore.Str(fmt.Sprintf("new%04d_%d", v, m)), relstore.Int(int64(rng.Intn(100))), relstore.Float(rng.Float64())})
 			}
 		default:
-			child.Rows = child.Rows[:child.Len()-8]
+			child.Shrink(child.Len() - 8)
 		}
 		name := fmt.Sprintf("dataset_v%d.csv", v)
 		artifacts = append(artifacts, provenance.Artifact{Name: name, ModTime: ts.Add(time.Duration(v) * time.Hour), Table: child})

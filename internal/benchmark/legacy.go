@@ -10,11 +10,70 @@ import (
 	"repro/internal/vgraph"
 )
 
-// This file freezes the pre-recset implementations of the two hot paths the
-// compressed record-set subsystem replaced — map-based LyreSplit and
-// clone-per-row checkout materialization — so RunRecset can report honest
-// before/after numbers against the same inputs. Nothing outside the
-// benchmark harness calls these.
+// This file freezes the superseded implementations of the hot paths so the
+// before/after experiments can report honest numbers against the same
+// inputs: the pre-recset map-based LyreSplit and clone-per-row checkout
+// (RunRecset), and the pre-columnar row-backed physical table layout with
+// its closure-per-row predicate evaluation (RunColumnar). Nothing outside
+// the benchmark harness calls these.
+
+// legacyRowTable freezes the pre-columnar physical layout of
+// relstore.Table: boxed Row tuples in a []Row slice, scanned row at a time,
+// with a string-keyed staging index. Every scanned cell pays the Value
+// struct copy and type-tag branch the columnar vectors eliminated.
+type legacyRowTable struct {
+	schema relstore.Schema
+	rows   []relstore.Row
+}
+
+// newLegacyRowTable materializes a frozen row-backed copy of a table (done
+// once outside any timed region).
+func newLegacyRowTable(t *relstore.Table) *legacyRowTable {
+	return &legacyRowTable{schema: t.Schema.Clone(), rows: t.Rows()}
+}
+
+// filter is the frozen row-at-a-time predicate scan (relstore.Table.Filter
+// before the columnar rewrite).
+func (t *legacyRowTable) filter(pred func(relstore.Row) bool) []relstore.Row {
+	var out []relstore.Row
+	for _, r := range t.rows {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// legacyNamedPredicate is the frozen cvd.NamedPredicate: a closure that
+// re-dispatches on the operator string for every row it tests.
+func legacyNamedPredicate(schema relstore.Schema, column, op string, value relstore.Value) (func(relstore.Row) bool, error) {
+	idx := schema.ColumnIndex(column)
+	if idx < 0 {
+		return nil, fmt.Errorf("benchmark: unknown column %q", column)
+	}
+	return func(r relstore.Row) bool {
+		if idx >= len(r) {
+			return false
+		}
+		cmp := r[idx].Compare(value)
+		switch op {
+		case "=", "==":
+			return cmp == 0
+		case "!=", "<>":
+			return cmp != 0
+		case "<":
+			return cmp < 0
+		case "<=":
+			return cmp <= 0
+		case ">":
+			return cmp > 0
+		case ">=":
+			return cmp >= 0
+		default:
+			return false
+		}
+	}, nil
+}
 
 // legacyLyreSplitResult mirrors partition.LyreSplitResult's estimates so the
 // harness can cross-check that old and new implementations agree.
@@ -224,31 +283,50 @@ func legacyMinDelta(t *vgraph.Tree) float64 {
 	return d
 }
 
-// legacyCheckout replays the pre-recset checkout materialization against the
-// version's backing table: build a map[int64]struct{} from the rid list,
-// scan the table probing it, deep-Clone every matching row, and build a
-// string-keyed staging index — the exact per-row work Checkout used to do.
-// The resulting table is returned without being attached to the database.
-func legacyCheckout(data *relstore.Table, rids []vgraph.RecordID, tableName string) (*relstore.Table, error) {
-	ridIdx := data.Schema.ColumnIndex("rid")
+// legacyPartitionCopies materializes frozen row-backed copies of the tables
+// backing the sampled versions' checkouts (done once, outside any timed
+// region, so before-side measurements pay the legacy per-row work only).
+func legacyPartitionCopies(db *relstore.Database, m interface {
+	PartitionTableName(vgraph.VersionID) string
+}, sample []vgraph.VersionID) (map[string]*legacyRowTable, error) {
+	out := make(map[string]*legacyRowTable)
+	for _, v := range sample {
+		name := m.PartitionTableName(v)
+		if _, ok := out[name]; ok {
+			continue
+		}
+		data, ok := db.Table(name)
+		if !ok {
+			return nil, fmt.Errorf("benchmark: missing partition table for version %d", v)
+		}
+		out[name] = newLegacyRowTable(data)
+	}
+	return out, nil
+}
+
+// legacyCheckout replays the pre-recset, pre-columnar checkout
+// materialization against a frozen row-backed copy of the version's backing
+// table: build a map[int64]struct{} from the rid list, scan the rows probing
+// it, deep-Clone every matching row, and build a string-keyed staging index
+// — the exact per-row work Checkout used to do.
+func legacyCheckout(data *legacyRowTable, rids []vgraph.RecordID) (*legacyRowTable, error) {
+	ridIdx := data.schema.ColumnIndex("rid")
 	if ridIdx < 0 {
-		return nil, fmt.Errorf("benchmark: table %s has no rid column", data.Name)
+		return nil, fmt.Errorf("benchmark: legacy table has no rid column")
 	}
 	set := make(map[int64]struct{}, len(rids))
 	for _, r := range rids {
 		set[int64(r)] = struct{}{}
 	}
-	out := relstore.NewTable(tableName, data.Schema.Clone())
-	out.SetStats(data.Stats())
+	out := &legacyRowTable{schema: data.schema}
 	index := make(map[string]int, len(rids))
-	data.Scan(func(_ int, r relstore.Row) bool {
+	for _, r := range data.rows {
 		if _, ok := set[r[ridIdx].AsInt()]; ok {
 			nr := r.Clone()
-			index[strconv.FormatInt(nr[ridIdx].AsInt(), 10)] = len(out.Rows)
-			out.Rows = append(out.Rows, nr)
+			index[strconv.FormatInt(nr[ridIdx].AsInt(), 10)] = len(out.rows)
+			out.rows = append(out.rows, nr)
 		}
-		return true
-	})
+	}
 	if len(index) == 0 && len(rids) > 0 {
 		return nil, fmt.Errorf("benchmark: legacy checkout matched no rows")
 	}

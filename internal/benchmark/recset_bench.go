@@ -150,13 +150,13 @@ func RunRecset(dataset string, scale int) (RecsetReport, Table, error) {
 	sample := sampleVersionIDs(c.Versions(), 20)
 	ckReps := 10
 	seq := 0
+	legacyParts, err := legacyPartitionCopies(db, m, sample)
+	if err != nil {
+		return report, Table{}, err
+	}
 	before, err = timeReps(ckReps, func() error {
 		for _, v := range sample {
-			data, ok := db.Table(m.PartitionTableName(v))
-			if !ok {
-				return fmt.Errorf("benchmark: missing partition table for version %d", v)
-			}
-			if _, err := legacyCheckout(data, c.RecordsOf(v), "legacy_co"); err != nil {
+			if _, err := legacyCheckout(legacyParts[m.PartitionTableName(v)], c.RecordsOf(v)); err != nil {
 				return err
 			}
 		}

@@ -101,7 +101,7 @@ func (e *Engine) InitFromCSV(name string, r io.Reader, schema relstore.Schema, o
 	if err != nil {
 		return nil, err
 	}
-	return e.Init(name, schema, tab.Rows, opts)
+	return e.Init(name, schema, tab.Rows(), opts)
 }
 
 // CVD returns a managed CVD by name.

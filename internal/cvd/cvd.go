@@ -700,16 +700,19 @@ func (c *CVD) checkoutMerged(versions []vgraph.VersionID, tableName string) (*re
 	seenPK := make(map[string]struct{})
 	seenRID := make(map[int64]struct{})
 	for _, t := range tmps {
-		for _, r := range t.Rows {
-			rid := r[0].AsInt()
+		// Select the surviving positions of this version's staging table with
+		// cell reads only, then append them column-wise in one batch.
+		keep := make(relstore.Selection, 0, t.Len())
+		for i := 0; i < t.Len(); i++ {
+			rid := t.IntAt(i, 0) // checkout tables carry rid first
 			if _, dup := seenRID[rid]; dup {
 				continue
 			}
 			if len(pk) > 0 {
 				var b strings.Builder
-				for _, i := range pk {
+				for _, j := range pk {
 					// +1 because checkout rows carry rid first.
-					b.WriteString(r[i+1].AsString())
+					b.WriteString(t.StringAt(i, j+1))
 					b.WriteByte('\x1f')
 				}
 				k := b.String()
@@ -719,11 +722,10 @@ func (c *CVD) checkoutMerged(versions []vgraph.VersionID, tableName string) (*re
 				seenPK[k] = struct{}{}
 			}
 			seenRID[rid] = struct{}{}
-			// The per-version staging rows already share the data-table
-			// backing; pass them through without another copy.
-			if err := out.Insert(shareRow(r, len(out.Schema.Columns))); err != nil {
-				return nil, err
-			}
+			keep = append(keep, int32(i))
+		}
+		if err := out.AppendFrom(t, keep); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
@@ -795,7 +797,7 @@ func (c *CVD) CommitTable(tableName, msg, author string) (vgraph.VersionID, erro
 		restore()
 		return 0, err
 	}
-	v, err := c.Commit(info.parents, proj.Rows, proj.Schema, msg, author)
+	v, err := c.Commit(info.parents, proj.Rows(), proj.Schema, msg, author)
 	if err != nil {
 		restore()
 		return 0, err
@@ -811,7 +813,7 @@ func (c *CVD) CommitCSV(parents []vgraph.VersionID, r io.Reader, schema relstore
 	if err != nil {
 		return 0, err
 	}
-	return c.Commit(parents, t.Rows, schema, msg, author)
+	return c.Commit(parents, t.Rows(), schema, msg, author)
 }
 
 // DiscardCheckout drops a staging table without committing it.

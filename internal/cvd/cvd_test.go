@@ -137,7 +137,7 @@ func TestCheckoutContentsAgreeAcrossModels(t *testing.T) {
 				t.Fatalf("%v checkout v%d: %v", kind, v, err)
 			}
 			vk := versionKey{}
-			for _, r := range tab.Rows {
+			for _, r := range tab.Rows() {
 				var parts []string
 				for _, cell := range r[1:] {
 					parts = append(parts, cell.AsString())
@@ -292,7 +292,7 @@ func TestMultiVersionCheckoutPrimaryKeyPrecedence(t *testing.T) {
 		t.Fatalf("merged checkout has %d rows, want 5", tab.Len())
 	}
 	coIdx := tab.Schema.ColumnIndex("coexpression")
-	for _, r := range tab.Rows {
+	for _, r := range tab.Rows() {
 		if r[1].AsString() == "ENSP273047" && r[2].AsString() == "ENSP261890" {
 			if r[coIdx].AsInt() != 0 {
 				t.Errorf("precedence violated: coexpression = %d, want 0 (v1's record)", r[coIdx].AsInt())
@@ -305,7 +305,7 @@ func TestMultiVersionCheckoutPrimaryKeyPrecedence(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.DiscardCheckout("merged2")
-	for _, r := range tab2.Rows {
+	for _, r := range tab2.Rows() {
 		if r[1].AsString() == "ENSP273047" && r[2].AsString() == "ENSP261890" {
 			if r[coIdx].AsInt() != 83 {
 				t.Errorf("precedence violated: coexpression = %d, want 83 (v3's record)", r[coIdx].AsInt())

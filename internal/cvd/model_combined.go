@@ -93,7 +93,7 @@ func (m *combinedModel) Checkout(v vgraph.VersionID, tableName string) (*relstor
 			found = true
 			row := make(relstore.Row, 0, len(outSchema.Columns))
 			row = append(row, r[:len(outSchema.Columns)].Clone()...)
-			out.Rows = append(out.Rows, padRow(row, len(outSchema.Columns)))
+			out.AppendRow(padRow(row, len(outSchema.Columns)))
 		}
 		return true
 	})
@@ -132,7 +132,7 @@ func (m *combinedModel) AlterSchema(newSchema relstore.Schema) error {
 }
 
 func (m *combinedModel) addColumnBeforeVlist(t *relstore.Table, c relstore.Column) error {
-	oldRows := t.Rows
+	oldRows := t.Rows()
 	m.schema, _ = m.schema.WithColumn(c)
 	newTab := relstore.NewTable(t.Name, m.combinedSchema())
 	newTab.SetStats(t.Stats())

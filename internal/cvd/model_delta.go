@@ -170,7 +170,7 @@ func (m *deltaModel) Checkout(v vgraph.VersionID, tableName string) (*relstore.T
 			}
 			row := make(relstore.Row, 0, dataCols+1)
 			row = append(row, r[:len(r)-1].Clone()...)
-			out.Rows = append(out.Rows, padRow(row, dataCols+1))
+			out.AppendRow(padRow(row, dataCols+1))
 			return true
 		})
 		base := m.bases[cur]

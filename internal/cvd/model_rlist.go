@@ -157,18 +157,6 @@ func (m *rlistModel) rsetOf(v vgraph.VersionID) (*recset.Set, error) {
 	return recset.FromSorted(rlist), nil
 }
 
-// shareRow passes a physical row through to a checkout or partition table
-// without copying when the width matches (the common case: rows are
-// immutable once inserted, so sharing the backing is safe under the
-// copy-on-write discipline of relstore.Table). A width mismatch — possible
-// only transiently around schema evolution — falls back to clone-and-pad.
-func shareRow(r relstore.Row, want int) relstore.Row {
-	if len(r) == want {
-		return r
-	}
-	return padRow(r.Clone(), want)
-}
-
 func (m *rlistModel) Checkout(v vgraph.VersionID, tableName string) (*relstore.Table, error) {
 	set, err := m.rsetOf(v)
 	if err != nil {
@@ -183,19 +171,29 @@ func (m *rlistModel) Checkout(v vgraph.VersionID, tableName string) (*relstore.T
 		src = m.partitions[k]
 	}
 	data := m.db.MustTable(src)
-	rows, err := relstore.JoinOnRIDSetParallel(data, ridColumn, set, m.join, m.workers)
+	if m.cloneOnCheckout {
+		// Benchmark-only replay of the pre-zero-copy path: materialize and
+		// deep-clone every matching row.
+		rows, err := relstore.JoinOnRIDSetParallel(data, ridColumn, set, m.join, m.workers)
+		if err != nil {
+			return nil, err
+		}
+		out := relstore.NewTable(tableName, data.Schema.Clone())
+		out.SetStats(data.Stats())
+		width := len(out.Schema.Columns)
+		for _, r := range rows {
+			out.AppendRow(padRow(r.Clone(), width))
+		}
+		_ = out.BuildIndexOn(ridColumn)
+		return out, nil
+	}
+	// The columnar fast path: the join resolves to a selection vector over
+	// the data table and the staging table is gathered column-wise — sharing
+	// the column backing outright (copy-on-write) when the version covers the
+	// whole backing table.
+	out, err := relstore.JoinTableOnRIDSet(data, ridColumn, set, m.join, m.workers, tableName)
 	if err != nil {
 		return nil, err
-	}
-	out := relstore.NewTable(tableName, data.Schema.Clone())
-	out.SetStats(data.Stats())
-	width := len(out.Schema.Columns)
-	for _, r := range rows {
-		if m.cloneOnCheckout {
-			out.Rows = append(out.Rows, padRow(r.Clone(), width))
-		} else {
-			out.Rows = append(out.Rows, shareRow(r, width))
-		}
 	}
 	_ = out.BuildIndexOn(ridColumn)
 	return out, nil
@@ -364,8 +362,8 @@ func (m *rlistModel) ApplyPartitioning(p vgraph.Partitioning) error {
 
 // fillPartition inserts into t (partition k) all records belonging to any of
 // versions, fetched from the unpartitioned data table with a compressed-set
-// probe, sharing row backing with the data table. The union set becomes the
-// partition's resident-rid cache.
+// probe and appended column-wise (no row materialization). The union set
+// becomes the partition's resident-rid cache.
 func (m *rlistModel) fillPartition(t *relstore.Table, k int, versions []vgraph.VersionID) error {
 	need := recset.New()
 	for _, v := range versions {
@@ -376,15 +374,12 @@ func (m *rlistModel) fillPartition(t *relstore.Table, k int, versions []vgraph.V
 		need.UnionWith(rs)
 	}
 	data := m.db.MustTable(m.dataTab)
-	rows, err := relstore.JoinOnRIDSet(data, ridColumn, need, relstore.HashJoin)
+	sel, err := data.SelectRIDSet(ridColumn, need)
 	if err != nil {
 		return err
 	}
-	width := len(t.Schema.Columns)
-	for _, r := range rows {
-		if err := t.Insert(shareRow(r, width)); err != nil {
-			return err
-		}
+	if err := t.AppendFrom(data, sel); err != nil {
+		return err
 	}
 	m.resident[k] = need
 	return nil
@@ -452,7 +447,6 @@ func (m *rlistModel) Migrate(p vgraph.Partitioning, plan []MigrationOp) (Migrati
 		if err != nil {
 			return res, err
 		}
-		width := len(t.Schema.Columns)
 		// missing starts as everything the new partition needs; records copied
 		// over from the transformed old partition are subtracted below.
 		missing := need
@@ -463,31 +457,28 @@ func (m *rlistModel) Migrate(p vgraph.Partitioning, plan []MigrationOp) (Migrati
 			// re-deriving it from the scan.
 			old := oldTables[op.FromPartition]
 			oldResident := m.residentOf(op.FromPartition)
-			ridIdx := old.Schema.ColumnIndex(ridColumn)
-			old.Scan(func(_ int, r relstore.Row) bool {
-				if need.Contains(r[ridIdx].AsInt()) {
-					_ = t.Insert(shareRow(r, width))
-				} else {
-					res.RecordsDeleted++
-				}
-				return true
-			})
+			sel, err := old.SelectRIDSet(ridColumn, need)
+			if err != nil {
+				return res, err
+			}
+			res.RecordsDeleted += int64(old.Len() - len(sel))
+			if err := t.AppendFrom(old, sel); err != nil {
+				return res, err
+			}
 			missing = recset.AndNot(need, oldResident)
 		} else {
 			res.PartitionsBuilt++
 		}
 		// Insert the records still missing, fetched from the master data table.
 		data := m.db.MustTable(m.dataTab)
-		rows, err := relstore.JoinOnRIDSet(data, ridColumn, missing, relstore.HashJoin)
+		sel, err := data.SelectRIDSet(ridColumn, missing)
 		if err != nil {
 			return res, err
 		}
-		for _, r := range rows {
-			if err := t.Insert(shareRow(r, width)); err != nil {
-				return res, err
-			}
-			res.RecordsInserted++
+		if err := t.AppendFrom(data, sel); err != nil {
+			return res, err
 		}
+		res.RecordsInserted += int64(len(sel))
 		newNames[op.NewPartition] = tmpName
 		newResident[op.NewPartition] = need
 	}
@@ -534,10 +525,10 @@ func (m *rlistModel) residentOf(k int) *recset.Set {
 	t := m.db.MustTable(m.partitions[k])
 	ridIdx := t.Schema.ColumnIndex(ridColumn)
 	rs := recset.New()
-	t.Scan(func(_ int, r relstore.Row) bool {
-		rs.Add(r[ridIdx].AsInt())
-		return true
-	})
+	for i := 0; i < t.Len(); i++ {
+		rs.Add(t.IntAt(i, ridIdx))
+	}
+	t.Stats().AddSeqReads(int64(t.Len()))
 	if k < len(m.resident) {
 		m.resident[k] = rs
 	}
@@ -599,18 +590,20 @@ func (m *rlistModel) addVersionToPartition(v vgraph.VersionID, k int, rids []vgr
 	}
 	if len(missing) > 0 {
 		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
-		width := len(t.Schema.Columns)
 		data := m.db.MustTable(m.dataTab)
-		rows, err := relstore.JoinOnRIDSet(data, ridColumn, recset.FromSorted(missing), relstore.HashJoin)
+		sel, err := data.SelectRIDSet(ridColumn, recset.FromSorted(missing))
 		if err != nil {
 			return err
 		}
-		ridIdx := t.Schema.ColumnIndex(ridColumn)
-		for _, r := range rows {
-			if err := t.Insert(shareRow(r, width)); err != nil {
-				return err
-			}
-			have.Add(r[ridIdx].AsInt())
+		found, err := data.GatherInts(ridColumn, sel)
+		if err != nil {
+			return err
+		}
+		if err := t.AppendFrom(data, sel); err != nil {
+			return err
+		}
+		for _, rid := range found {
+			have.Add(rid)
 		}
 	}
 	if m.partitionOf == nil {

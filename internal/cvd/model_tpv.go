@@ -81,7 +81,7 @@ func (m *tpvModel) Checkout(v vgraph.VersionID, tableName string) (*relstore.Tab
 	out := relstore.NewTable(tableName, src.Schema.Clone())
 	out.SetStats(src.Stats())
 	src.Scan(func(_ int, r relstore.Row) bool {
-		out.Rows = append(out.Rows, r.Clone())
+		out.AppendRow(r.Clone())
 		return true
 	})
 	_ = out.BuildIndexOn(ridColumn)

@@ -105,7 +105,7 @@ func (m *vlistModel) Checkout(v vgraph.VersionID, tableName string) (*relstore.T
 	out := relstore.NewTable(tableName, data.Schema.Clone())
 	out.SetStats(data.Stats())
 	for _, r := range rows {
-		out.Rows = append(out.Rows, r.Clone())
+		out.AppendRow(r.Clone())
 	}
 	_ = out.BuildIndexOn(ridColumn)
 	return out, nil

@@ -15,11 +15,63 @@ import (
 // functional primitives ancestor/descendant/parent, and the v_diff /
 // v_intersect aggregation functions.
 
-// Predicate filters data rows; a nil predicate accepts every row.
-type Predicate func(relstore.Row) bool
+// Predicate filters data rows; a nil predicate accepts every row. Opaque
+// predicates (arbitrary Go functions, see RowPredicate) are evaluated row at
+// a time; predicates built by NamedPredicate carry their column comparison
+// in structured form, so the versioned query shortcuts push them down to the
+// vectorized relstore scan (Table.FilterVec) instead of materializing and
+// testing every row.
+type Predicate interface {
+	// Match reports whether the row satisfies the predicate.
+	Match(relstore.Row) bool
+}
+
+// RowPredicate wraps an arbitrary row function as an (opaque) Predicate.
+type RowPredicate func(relstore.Row) bool
+
+// Match implements Predicate.
+func (f RowPredicate) Match(r relstore.Row) bool { return f(r) }
+
+// columnPredicate is a single column comparison with the operator resolved
+// to a compiled relstore.CmpOp once at construction — the per-row work is a
+// three-way compare plus a jump table, and the comparison is available in
+// structured form for vectorized pushdown.
+type columnPredicate struct {
+	column string
+	idx    int // column position in the CVD schema at construction time
+	op     relstore.CmpOp
+	value  relstore.Value
+}
+
+// Match implements Predicate (the row-at-a-time fallback).
+func (p *columnPredicate) Match(r relstore.Row) bool {
+	if p.idx >= len(r) {
+		return false
+	}
+	return p.op.Eval(r[p.idx].Compare(p.value))
+}
+
+// multiColumnPredicate is the conjunction of compiled column comparisons;
+// its pushdown form is the chained selection refinement of
+// relstore.Table.FilterVecAll.
+type multiColumnPredicate struct {
+	preds []*columnPredicate
+}
+
+// Match implements Predicate (the row-at-a-time fallback).
+func (p *multiColumnPredicate) Match(r relstore.Row) bool {
+	for _, cp := range p.preds {
+		if !cp.Match(r) {
+			return false
+		}
+	}
+	return true
+}
 
 // NamedPredicate builds a predicate comparing a named column against a value
 // with the given comparison operator ("=", "!=", "<", "<=", ">", ">=").
+// Unknown operators yield a predicate that matches nothing, mirroring the
+// historical behavior.
 func (c *CVD) NamedPredicate(column, op string, value relstore.Value) (Predicate, error) {
 	c.mu.RLock()
 	idx := c.schema.ColumnIndex(column)
@@ -27,28 +79,92 @@ func (c *CVD) NamedPredicate(column, op string, value relstore.Value) (Predicate
 	if idx < 0 {
 		return nil, fmt.Errorf("cvd: %s: unknown column %q", c.name, column)
 	}
-	return func(r relstore.Row) bool {
-		if idx >= len(r) {
-			return false
+	cmp, ok := relstore.ParseCmpOp(op)
+	if !ok {
+		return RowPredicate(func(relstore.Row) bool { return false }), nil
+	}
+	return &columnPredicate{column: column, idx: idx, op: cmp, value: value}, nil
+}
+
+// ColumnComparison specifies one comparison of a compiled multi-predicate
+// (NamedPredicateAll).
+type ColumnComparison struct {
+	Column string
+	Op     string
+	Value  relstore.Value
+}
+
+// NamedPredicateAll builds the conjunction of column comparisons, each
+// compiled once like NamedPredicate. When pushed down, the comparisons
+// evaluate as a chained selection refinement: the first scans its whole
+// column vector, each subsequent one touches only the surviving rows.
+func (c *CVD) NamedPredicateAll(comparisons []ColumnComparison) (Predicate, error) {
+	if len(comparisons) == 0 {
+		return nil, fmt.Errorf("cvd: %s: NamedPredicateAll requires at least one comparison", c.name)
+	}
+	preds := make([]*columnPredicate, 0, len(comparisons))
+	for _, cmp := range comparisons {
+		p, err := c.NamedPredicate(cmp.Column, cmp.Op, cmp.Value)
+		if err != nil {
+			return nil, err
 		}
-		cmp := r[idx].Compare(value)
-		switch op {
-		case "=", "==":
-			return cmp == 0
-		case "!=", "<>":
-			return cmp != 0
-		case "<":
-			return cmp < 0
-		case "<=":
-			return cmp <= 0
-		case ">":
-			return cmp > 0
-		case ">=":
-			return cmp >= 0
-		default:
-			return false
+		cp, ok := p.(*columnPredicate)
+		if !ok {
+			// Unknown operator: the whole conjunction matches nothing.
+			return RowPredicate(func(relstore.Row) bool { return false }), nil
 		}
-	}, nil
+		preds = append(preds, cp)
+	}
+	if len(preds) == 1 {
+		return preds[0], nil
+	}
+	return &multiColumnPredicate{preds: preds}, nil
+}
+
+// pushdownSetLocked evaluates a (multi-)column predicate vectorized over
+// the split-by-rlist master data table, returning the compressed set of
+// rids whose record content satisfies it. It returns ok=false when the
+// predicate is opaque or the CVD's physical model has no shared data table
+// to scan (the caller then falls back to row-at-a-time evaluation).
+// Callers hold c.mu.
+func (c *CVD) pushdownSetLocked(pred Predicate) (*recset.Set, bool) {
+	var cps []*columnPredicate
+	switch p := pred.(type) {
+	case *columnPredicate:
+		cps = []*columnPredicate{p}
+	case *multiColumnPredicate:
+		cps = p.preds
+	default:
+		return nil, false
+	}
+	m, ok := c.model.(*rlistModel)
+	if !ok {
+		return nil, false
+	}
+	data, ok := c.db.Table(m.dataTab)
+	if !ok {
+		return nil, false
+	}
+	preds := make([]relstore.ColPred, 0, len(cps))
+	for _, cp := range cps {
+		// Resolve the column against the data table (rid first, then the
+		// data attributes): the registered position may predate schema
+		// evolution.
+		di := data.Schema.ColumnIndex(cp.column)
+		if di < 0 {
+			return nil, false
+		}
+		preds = append(preds, relstore.ColPred{Col: data.Schema.Columns[di].Name, Op: cp.op, Value: cp.value})
+	}
+	sel, err := data.FilterVecAll(preds)
+	if err != nil {
+		return nil, false
+	}
+	rids, err := data.GatherInts(ridColumn, sel)
+	if err != nil {
+		return nil, false
+	}
+	return recset.FromSlice(rids), true
 }
 
 // VersionedRow pairs a record with the version it was selected from.
@@ -64,19 +180,32 @@ type VersionedRow struct {
 func (c *CVD) ScanVersions(versions []vgraph.VersionID, pred Predicate, limit int) ([]VersionedRow, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	// Vectorized pushdown: a column predicate is evaluated once over the
+	// shared data table's column vectors, and each version's scan reduces to
+	// a compressed-set intersection — rows are materialized only for the
+	// records that both belong to the version and match.
+	var match *recset.Set
+	if set, ok := c.pushdownSetLocked(pred); ok {
+		match = set
+		pred = nil
+	}
 	var out []VersionedRow
 	for _, v := range versions {
 		if c.graph.Node(v) == nil {
 			return nil, fmt.Errorf("cvd: %s: unknown version %d", c.name, v)
 		}
+		rset := c.bip.RecordSet(v)
+		if match != nil {
+			rset = recset.And(rset, match)
+		}
 		done := false
-		c.bip.RecordSet(v).ForEach(func(x int64) bool {
+		rset.ForEach(func(x int64) bool {
 			rid := vgraph.RecordID(x)
 			row, ok := c.recordContentLocked(rid)
 			if !ok {
 				return true
 			}
-			if pred != nil && !pred(row) {
+			if pred != nil && !pred.Match(row) {
 				return true
 			}
 			out = append(out, VersionedRow{Version: v, RID: rid, Row: row})
@@ -164,15 +293,26 @@ func (c *CVD) AggregateByVersion(versions []vgraph.VersionID, pred Predicate, ag
 	if versions == nil {
 		versions = c.graph.Versions()
 	}
+	// Same pushdown as ScanVersions: evaluate a column predicate once over
+	// the data table's column vectors, then intersect per version.
+	var match *recset.Set
+	if set, ok := c.pushdownSetLocked(pred); ok {
+		match = set
+		pred = nil
+	}
 	out := make(map[vgraph.VersionID]relstore.Value, len(versions))
 	for _, v := range versions {
 		if c.graph.Node(v) == nil {
 			return nil, fmt.Errorf("cvd: %s: unknown version %d", c.name, v)
 		}
+		rset := c.bip.RecordSet(v)
+		if match != nil {
+			rset = recset.And(rset, match)
+		}
 		var rows []relstore.Row
-		c.bip.RecordSet(v).ForEach(func(x int64) bool {
+		rset.ForEach(func(x int64) bool {
 			row, ok := c.recordContentLocked(vgraph.RecordID(x))
-			if ok && (pred == nil || pred(row)) {
+			if ok && (pred == nil || pred.Match(row)) {
 				rows = append(rows, row)
 			}
 			return true

@@ -56,6 +56,151 @@ func TestPredicateOperators(t *testing.T) {
 	}
 }
 
+// TestMultiPredicatePushdownMatchesRowFallback pins that the compiled
+// multi-predicate (NamedPredicateAll, pushed down as a chained selection
+// refinement) selects exactly the rows the equivalent opaque conjunction
+// does.
+func TestMultiPredicatePushdownMatchesRowFallback(t *testing.T) {
+	_, c := buildProteinCVD(t, SplitByRlist)
+	versions := c.Versions()
+	named, err := c.NamedPredicateAll([]ColumnComparison{
+		{Column: "cooccurrence", Op: ">", Value: relstore.Int(0)},
+		{Column: "protein1", Op: "=", Value: relstore.Str("ENSP273047")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := c.Schema()
+	coIdx, p1Idx := schema.ColumnIndex("cooccurrence"), schema.ColumnIndex("protein1")
+	opaque := RowPredicate(func(r relstore.Row) bool {
+		return coIdx < len(r) && p1Idx < len(r) &&
+			r[coIdx].Compare(relstore.Int(0)) > 0 &&
+			r[p1Idx].Compare(relstore.Str("ENSP273047")) == 0
+	})
+	fast, err := c.ScanVersions(versions, named, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := c.ScanVersions(versions, opaque, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast) == 0 || len(fast) != len(slow) {
+		t.Fatalf("multi-predicate pushdown %d rows, fallback %d", len(fast), len(slow))
+	}
+	for i := range fast {
+		if fast[i].Version != slow[i].Version || fast[i].RID != slow[i].RID {
+			t.Fatalf("row %d differs: %+v vs %+v", i, fast[i], slow[i])
+		}
+	}
+	if _, err := c.NamedPredicateAll(nil); err == nil {
+		t.Error("empty comparison list should error")
+	}
+	if _, err := c.NamedPredicateAll([]ColumnComparison{{Column: "nope", Op: "=", Value: relstore.Int(1)}}); err == nil {
+		t.Error("unknown column should error")
+	}
+}
+
+// TestPredicatePushdownEvolvedColumnNulls pins the delicate pushdown case:
+// a predicate over a column added by schema evolution, where every
+// pre-evolution record reads NULL (padded by AddColumn on the data table
+// and by recordContentLocked in the catalog) and NULL sorts before
+// everything — so e.g. `< 0.5` matches all old records. The vectorized
+// FilterVec plan and the row-at-a-time fallback must agree exactly.
+func TestPredicatePushdownEvolvedColumnNulls(t *testing.T) {
+	_, c := buildProteinCVD(t, SplitByRlist)
+	wide := relstore.MustSchema([]relstore.Column{
+		{Name: "protein1", Type: relstore.TypeString},
+		{Name: "confidence", Type: relstore.TypeFloat},
+	})
+	if _, err := c.Commit([]vgraph.VersionID{4},
+		[]relstore.Row{{relstore.Str("ENSP900000"), relstore.Float(0.9)}},
+		wide, "evolve: add confidence", "dave"); err != nil {
+		t.Fatalf("evolving commit: %v", err)
+	}
+	versions := c.Versions()
+	idx := c.Schema().ColumnIndex("confidence")
+	if idx < 0 {
+		t.Fatal("schema evolution did not add the confidence column")
+	}
+	for _, op := range []string{"=", "!=", "<", "<=", ">", ">="} {
+		val := relstore.Float(0.5)
+		named, err := c.NamedPredicate("confidence", op, val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmp, _ := relstore.ParseCmpOp(op)
+		opaque := RowPredicate(func(r relstore.Row) bool {
+			return idx < len(r) && cmp.Eval(r[idx].Compare(val))
+		})
+		fast, err := c.ScanVersions(versions, named, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := c.ScanVersions(versions, opaque, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast) != len(slow) {
+			t.Fatalf("op %s: pushdown %d rows, fallback %d", op, len(fast), len(slow))
+		}
+		for i := range fast {
+			if fast[i].Version != slow[i].Version || fast[i].RID != slow[i].RID {
+				t.Fatalf("op %s: row %d differs: %+v vs %+v", op, i, fast[i], slow[i])
+			}
+		}
+		// The NULL-matching operators must actually select old records,
+		// otherwise this test is vacuous.
+		if (op == "<" || op == "<=" || op == "!=") && len(fast) == 0 {
+			t.Fatalf("op %s selected nothing; expected NULL cells to match", op)
+		}
+	}
+}
+
+// TestPredicatePushdownMatchesRowFallback pins that the vectorized pushdown
+// (NamedPredicate on a split-by-rlist CVD) selects exactly the rows an
+// equivalent opaque RowPredicate does — across every model and operator.
+func TestPredicatePushdownMatchesRowFallback(t *testing.T) {
+	for _, kind := range []ModelKind{SplitByRlist, CombinedTable} {
+		_, c := buildProteinCVD(t, kind)
+		versions := c.Versions()
+		for _, op := range []string{"=", "!=", "<", "<=", ">", ">="} {
+			for _, val := range []relstore.Value{relstore.Int(53), relstore.Int(0), relstore.Null(), relstore.Str("ENSP261890")} {
+				named, err := c.NamedPredicate("cooccurrence", op, val)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cmp, _ := relstore.ParseCmpOp(op)
+				idx := -1
+				for i, col := range c.Schema().Columns {
+					if col.Name == "cooccurrence" {
+						idx = i
+					}
+				}
+				opaque := RowPredicate(func(r relstore.Row) bool {
+					return idx < len(r) && cmp.Eval(r[idx].Compare(val))
+				})
+				fast, err := c.ScanVersions(versions, named, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				slow, err := c.ScanVersions(versions, opaque, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(fast) != len(slow) {
+					t.Fatalf("model %v op %s val %v: pushdown %d rows, fallback %d", kind, op, val, len(fast), len(slow))
+				}
+				for i := range fast {
+					if fast[i].Version != slow[i].Version || fast[i].RID != slow[i].RID {
+						t.Fatalf("model %v op %s: row %d differs: %+v vs %+v", kind, op, i, fast[i], slow[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestAggregateByVersion(t *testing.T) {
 	_, c := buildProteinCVD(t, SplitByRlist)
 	// SELECT vid, count(*) FROM CVD interaction GROUP BY vid
@@ -223,8 +368,8 @@ func TestSchemaEvolutionOnCommit(t *testing.T) {
 	if coIdx < 0 {
 		t.Fatal("checked-out table lacks evolved column")
 	}
-	if !tab.Rows[0][coIdx].IsNull() {
-		t.Errorf("old record should have NULL coexpression, got %v", tab.Rows[0][coIdx])
+	if !tab.At(0, coIdx).IsNull() {
+		t.Errorf("old record should have NULL coexpression, got %v", tab.At(0, coIdx))
 	}
 	// Metadata records the attribute ids per version; v3 has more than v1.
 	m1, _ := c.Meta(1)

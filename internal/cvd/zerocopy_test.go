@@ -9,11 +9,13 @@ import (
 	"repro/internal/vgraph"
 )
 
-// The zero-copy checkout fast path shares row backing between the data
-// tables and checkout staging tables; the tests here pin down the
-// copy-on-write boundary: staging-table mutation must never leak into the
-// CVD's stored versions, and concurrent checkouts plus staging edits must be
-// race-free (run with -race).
+// The zero-copy checkout fast path shares column backing between the data
+// tables and checkout staging tables (copy-on-write per column since the
+// columnar layout; it was per-row sharing before). The tests here pin down
+// the boundary: staging-table mutation must never leak into the CVD's
+// stored versions, mutating one column must not disturb its siblings'
+// sharing, and concurrent checkouts plus staging edits must be race-free
+// (run with -race).
 
 // TestZeroCopyStagingMutationIsolation edits a staging table through every
 // mutating path (UpdateWhere, AddColumn, AlterColumnType) and verifies a
@@ -46,7 +48,7 @@ func TestZeroCopyStagingMutationIsolation(t *testing.T) {
 	}
 	fIdx := fresh.Schema.ColumnIndex("neighborhood")
 	coIdx := fresh.Schema.ColumnIndex("cooccurrence")
-	for _, r := range fresh.Rows {
+	for _, r := range fresh.Rows() {
 		if r[fIdx].AsInt() == 999 {
 			t.Fatalf("staging UpdateWhere leaked into the stored version: %v", r)
 		}
@@ -57,14 +59,67 @@ func TestZeroCopyStagingMutationIsolation(t *testing.T) {
 	if fresh.Schema.HasColumn("note") {
 		t.Fatal("staging AddColumn leaked into the stored version's schema")
 	}
-	if len(fresh.Rows[0]) != len(fresh.Schema.Columns) {
-		t.Fatalf("fresh checkout row width %d != schema width %d", len(fresh.Rows[0]), len(fresh.Schema.Columns))
+	if len(fresh.RowAt(0)) != len(fresh.Schema.Columns) {
+		t.Fatalf("fresh checkout row width %d != schema width %d", len(fresh.RowAt(0)), len(fresh.Schema.Columns))
+	}
+}
+
+// TestZeroCopyColumnSharingBoundary pins the per-column copy-on-write
+// boundary itself: a checkout that covers its whole backing table shares
+// every column vector outright, and rewriting one column breaks exactly that
+// column's sharing — the siblings keep referencing the data table's backing.
+func TestZeroCopyColumnSharingBoundary(t *testing.T) {
+	db := relstore.NewDatabase("zc")
+	schema := relstore.MustSchema([]relstore.Column{
+		{Name: "gene", Type: relstore.TypeString},
+		{Name: "score", Type: relstore.TypeInt},
+	}, "gene")
+	rows := []relstore.Row{
+		{relstore.Str("g1"), relstore.Int(10)},
+		{relstore.Str("g2"), relstore.Int(20)},
+		{relstore.Str("g3"), relstore.Int(30)},
+	}
+	c, err := Init(db, "zc_cvd", schema, rows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single-version CVD: version 1 covers the whole data table, so the
+	// staging table shares the column backing instead of gathering copies.
+	work, err := c.Checkout([]vgraph.VersionID{1}, "work")
+	if err != nil {
+		t.Fatalf("checkout: %v", err)
+	}
+	width := len(work.Schema.Columns)
+	if got := work.SharedColumns(); got != width {
+		t.Fatalf("full-cover checkout shares %d of %d columns, want all", got, width)
+	}
+	// Rewriting one column copies that column only.
+	sIdx := work.Schema.ColumnIndex("score")
+	work.Set(0, sIdx, relstore.Int(999))
+	if got := work.SharedColumns(); got != width-1 {
+		t.Fatalf("after one-column edit %d of %d columns still shared, want %d", got, width, width-1)
+	}
+	// The edit stayed in the staging table.
+	fresh, err := c.Checkout([]vgraph.VersionID{1}, "fresh")
+	if err != nil {
+		t.Fatalf("fresh checkout: %v", err)
+	}
+	if got := fresh.At(0, fresh.Schema.ColumnIndex("score")).AsInt(); got == 999 {
+		t.Fatal("staging Set leaked into the stored version")
+	}
+	// AddColumn allocates a new column without touching shared siblings.
+	if err := work.AddColumn(relstore.Column{Name: "note", Type: relstore.TypeString}); err != nil {
+		t.Fatal(err)
+	}
+	if got := work.SharedColumns(); got != width-1 {
+		t.Fatalf("AddColumn disturbed sharing: %d shared, want %d", got, width-1)
 	}
 }
 
 // TestZeroCopyConcurrentCheckoutsAndEdits runs parallel checkouts of a
 // partitioned CVD while each goroutine mutates its own staging table; with
-// shared row backing this exercises the copy-on-write paths under -race.
+// shared column backing this exercises the per-column copy-on-write paths
+// under -race.
 func TestZeroCopyConcurrentCheckoutsAndEdits(t *testing.T) {
 	_, c := buildProteinCVD(t, SplitByRlist)
 	m, err := c.Rlist()
@@ -116,12 +171,12 @@ func TestZeroCopyConcurrentCheckoutsAndEdits(t *testing.T) {
 	if err != nil {
 		t.Fatalf("final checkout: %v", err)
 	}
-	if len(final.Rows) != 3 {
-		t.Fatalf("version 1 has %d rows after concurrent edits, want 3", len(final.Rows))
+	if final.Len() != 3 {
+		t.Fatalf("version 1 has %d rows after concurrent edits, want 3", final.Len())
 	}
 	nIdx := final.Schema.ColumnIndex("neighborhood")
 	want := map[string]int64{"ENSP273047": 0, "ENSP300413": 426}
-	for _, r := range final.Rows {
+	for _, r := range final.Rows() {
 		if w, ok := want[r[1].AsString()]; ok && r[nIdx].AsInt() != w {
 			t.Fatalf("stored version mutated: row %v", r)
 		}
@@ -129,7 +184,8 @@ func TestZeroCopyConcurrentCheckoutsAndEdits(t *testing.T) {
 }
 
 // TestZeroCopyCommitAfterStagingEdit checks the full checkout → edit →
-// commit round trip still produces the right new version under row sharing.
+// commit round trip still produces the right new version under column
+// sharing.
 func TestZeroCopyCommitAfterStagingEdit(t *testing.T) {
 	_, c := buildProteinCVD(t, SplitByRlist)
 	work, err := c.Checkout([]vgraph.VersionID{1}, "work")
@@ -155,7 +211,7 @@ func TestZeroCopyCommitAfterStagingEdit(t *testing.T) {
 	found := false
 	gn := got.Schema.ColumnIndex("neighborhood")
 	gp2 := got.Schema.ColumnIndex("protein2")
-	for _, r := range got.Rows {
+	for _, r := range got.Rows() {
 		if r[gp2].AsString() == "ENSP261890" {
 			found = true
 			if r[gn].AsInt() != 777 {
@@ -171,7 +227,7 @@ func TestZeroCopyCommitAfterStagingEdit(t *testing.T) {
 	if err != nil {
 		t.Fatalf("checkout v1: %v", err)
 	}
-	for _, r := range orig.Rows {
+	for _, r := range orig.Rows() {
 		if r[gp2].AsString() == "ENSP261890" && r[gn].AsInt() != 0 {
 			t.Fatalf("version 1 mutated by commit: %v", r)
 		}

@@ -189,8 +189,8 @@ func fingerprintOf(t *relstore.Table, size int) fingerprint {
 	for i := range sig {
 		sig[i] = ^uint64(0)
 	}
-	for _, r := range t.Rows {
-		h := hashString(rowKey(r))
+	for pos := 0; pos < t.Len(); pos++ {
+		h := hashString(rowKey(t.RowAt(pos)))
 		for i := range sig {
 			mixed := mix(h, uint64(i+1))
 			if mixed < sig[i] {
@@ -352,11 +352,11 @@ func projectKeys(t *relstore.Table, cols []string) map[string]struct{} {
 		idx = append(idx, t.Schema.ColumnIndex(c))
 	}
 	out := make(map[string]struct{}, t.Len())
-	for _, r := range t.Rows {
+	for pos := 0; pos < t.Len(); pos++ {
 		parts := make([]string, len(idx))
 		for i, ci := range idx {
-			if ci >= 0 && ci < len(r) {
-				parts[i] = r[ci].AsString()
+			if ci >= 0 {
+				parts[i] = t.StringAt(pos, ci)
 			}
 		}
 		out[strings.Join(parts, "\x1f")] = struct{}{}
@@ -368,10 +368,11 @@ func projectKeys(t *relstore.Table, cols []string) map[string]struct{} {
 func projectColumn(t *relstore.Table, col string) map[string]relstore.Row {
 	ci := t.Schema.ColumnIndex(col)
 	out := make(map[string]relstore.Row, t.Len())
-	for _, r := range t.Rows {
-		if ci >= 0 && ci < len(r) {
-			out[r[ci].AsString()] = r
-		}
+	if ci < 0 {
+		return out
+	}
+	for pos := 0; pos < t.Len(); pos++ {
+		out[t.StringAt(pos, ci)] = t.RowAt(pos)
 	}
 	return out
 }

@@ -131,9 +131,9 @@ func WriteCSV(w io.Writer, t *Table) error {
 		return err
 	}
 	rec := make([]string, len(t.Schema.Columns))
-	for _, r := range t.Rows {
-		for i, v := range r {
-			rec[i] = v.AsString()
+	for i := 0; i < t.Len(); i++ {
+		for j := range rec {
+			rec[j] = t.StringAt(i, j)
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -41,27 +41,19 @@ func (m JoinMethod) String() string {
 }
 
 // JoinOnRIDs returns the rows of the data table whose value in ridColumn is
-// contained in rids, using the requested join method. The returned rows are
-// shared (not copied).
+// contained in rids, using the requested join method. All three strategies
+// probe the rid column vector directly and materialize only the matching
+// rows.
 //
 // This is the core of the checkout SQL translation for split-by-vlist and
 // split-by-rlist (Table 4.1): the rid list is obtained from the versioning
 // table and then joined with the data table.
 func JoinOnRIDs(data *Table, ridColumn string, rids []int64, method JoinMethod) ([]Row, error) {
-	ci := data.Schema.ColumnIndex(ridColumn)
-	if ci < 0 {
-		return nil, fmt.Errorf("relstore: table %s has no column %q", data.Name, ridColumn)
+	sel, err := joinSelection(data, ridColumn, ridProbe{rids: rids}, method)
+	if err != nil {
+		return nil, err
 	}
-	switch method {
-	case HashJoin:
-		return hashJoinRIDs(data, ci, rids), nil
-	case MergeJoin:
-		return mergeJoinRIDs(data, ci, rids), nil
-	case IndexNestedLoopJoin:
-		return indexNestedLoopRIDs(data, ci, rids)
-	default:
-		return nil, fmt.Errorf("relstore: unknown join method %d", int(method))
-	}
+	return data.GatherRows(sel), nil
 }
 
 // JoinOnRIDSet is JoinOnRIDs with a compressed record set as the probe side:
@@ -69,169 +61,162 @@ func JoinOnRIDs(data *Table, ridColumn string, rids []int64, method JoinMethod) 
 // so the hash join probes the compressed set directly instead of first
 // building a map[int64]struct{}, the merge join skips re-sorting (recsets
 // iterate in ascending order by construction), and cardinalities size the
-// output exactly. The returned rows are shared (not copied).
+// output exactly. The returned rows are materialized from the column
+// vectors; checkout uses JoinTableOnRIDSet to skip the row materialization
+// entirely.
 func JoinOnRIDSet(data *Table, ridColumn string, set *recset.Set, method JoinMethod) ([]Row, error) {
+	sel, err := joinSelection(data, ridColumn, ridProbe{set: set}, method)
+	if err != nil {
+		return nil, err
+	}
+	return data.GatherRows(sel), nil
+}
+
+// JoinTableOnRIDSet performs the rid join and gathers the matching rows
+// column-wise into a new table named tableName — the zero-materialization
+// checkout path. When the join selects the entire data table the result
+// shares the column backing copy-on-write (see Table.GatherInto). workers >
+// 1 chunks the hash-join probe across goroutines.
+func JoinTableOnRIDSet(data *Table, ridColumn string, set *recset.Set, method JoinMethod, workers int, tableName string) (*Table, error) {
+	var sel Selection
+	var err error
+	if method == HashJoin && workers > 1 && data.nrows >= parallelJoinMinRows {
+		sel, err = parallelSetSelection(data, ridColumn, set, workers)
+	} else {
+		sel, err = joinSelection(data, ridColumn, ridProbe{set: set}, method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return data.GatherInto(tableName, sel), nil
+}
+
+// SelectRIDSet returns the positions of the rows whose ridColumn value is in
+// set (a full sequential scan probing the compressed set per row).
+func (t *Table) SelectRIDSet(ridColumn string, set *recset.Set) (Selection, error) {
+	return joinSelection(t, ridColumn, ridProbe{set: set}, HashJoin)
+}
+
+// ridProbe is the probe side of a rid join: either a compressed set or a
+// plain rid slice.
+type ridProbe struct {
+	set  *recset.Set
+	rids []int64
+}
+
+func (p ridProbe) len() int {
+	if p.set != nil {
+		return int(p.set.Len())
+	}
+	return len(p.rids)
+}
+
+// sorted returns the probe rids in ascending order.
+func (p ridProbe) sorted() []int64 {
+	if p.set != nil {
+		return p.set.Slice() // recsets iterate ascending by construction
+	}
+	out := make([]int64, len(p.rids))
+	copy(out, p.rids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// contains builds the membership predicate once (a map for plain slices, the
+// compressed set itself otherwise).
+func (p ridProbe) contains() func(int64) bool {
+	if p.set != nil {
+		return p.set.Contains
+	}
+	m := make(map[int64]struct{}, len(p.rids))
+	for _, r := range p.rids {
+		m[r] = struct{}{}
+	}
+	return func(x int64) bool {
+		_, ok := m[x]
+		return ok
+	}
+}
+
+// joinSelection evaluates a rid join down to a selection vector over the
+// data table, preserving the cost-model accounting of the row-backed
+// implementation: the hash join charges a full sequential scan plus one hash
+// probe per row, the merge join a scan (doubled when the data side must be
+// sorted first), and the index-nested-loop one random read per probe rid.
+func joinSelection(data *Table, ridColumn string, probe ridProbe, method JoinMethod) (Selection, error) {
 	ci := data.Schema.ColumnIndex(ridColumn)
 	if ci < 0 {
 		return nil, fmt.Errorf("relstore: table %s has no column %q", data.Name, ridColumn)
 	}
+	col := data.cols[ci]
 	switch method {
 	case HashJoin:
-		out := make([]Row, 0, set.Len())
-		probes := int64(0)
-		data.Scan(func(_ int, r Row) bool {
-			probes++
-			if set.Contains(r[ci].AsInt()) {
-				out = append(out, r)
+		contains := probe.contains()
+		sel := make(Selection, 0, probe.len())
+		for i := 0; i < data.nrows; i++ {
+			if contains(col.asInt(i)) {
+				sel = append(sel, int32(i))
 			}
-			return true
-		})
-		data.stats.AddHashProbes(probes)
-		return out, nil
+		}
+		data.stats.AddSeqReads(int64(data.nrows))
+		data.stats.AddHashProbes(int64(data.nrows))
+		return sel, nil
 	case MergeJoin:
-		return mergeJoinSorted(data, ci, set.Slice()), nil
+		return mergeJoinSelection(data, ci, probe.sorted()), nil
 	case IndexNestedLoopJoin:
 		cols := data.IndexColumns()
 		if len(cols) != 1 || data.Schema.ColumnIndex(cols[0]) != ci {
 			return nil, fmt.Errorf("relstore: index-nested-loop join requires a unique index on %q of table %s", data.Schema.Columns[ci].Name, data.Name)
 		}
-		out := make([]Row, 0, set.Len())
-		set.ForEach(func(rid int64) bool {
-			if row, ok := data.LookupIndex(Int(rid)); ok {
-				out = append(out, row)
+		if data.intIndex == nil {
+			return nil, fmt.Errorf("relstore: index-nested-loop join requires an integer index on %q of table %s", data.Schema.Columns[ci].Name, data.Name)
+		}
+		var sel Selection
+		if probe.set != nil {
+			sel = make(Selection, 0, probe.len())
+			probe.set.ForEach(func(rid int64) bool {
+				if pos, ok := data.intIndex[rid]; ok {
+					data.stats.AddRandomReads(1)
+					sel = append(sel, int32(pos))
+				}
+				return true
+			})
+		} else {
+			sel = make(Selection, 0, len(probe.rids))
+			for _, rid := range probe.rids {
+				if pos, ok := data.intIndex[rid]; ok {
+					data.stats.AddRandomReads(1)
+					sel = append(sel, int32(pos))
+				}
 			}
-			return true
-		})
-		return out, nil
+		}
+		return sel, nil
 	default:
 		return nil, fmt.Errorf("relstore: unknown join method %d", int(method))
 	}
 }
 
-// JoinOnRIDSetParallel is JoinOnRIDSet with the same chunked-scan
-// parallelism as JoinOnRIDsParallel; the compressed set is shared read-only
-// across the probing goroutines.
-func JoinOnRIDSetParallel(data *Table, ridColumn string, set *recset.Set, method JoinMethod, workers int) ([]Row, error) {
-	if method != HashJoin || workers <= 1 || len(data.Rows) < parallelJoinMinRows {
-		return JoinOnRIDSet(data, ridColumn, set, method)
-	}
-	ci := data.Schema.ColumnIndex(ridColumn)
-	if ci < 0 {
-		return nil, fmt.Errorf("relstore: table %s has no column %q", data.Name, ridColumn)
-	}
-	chunks := parallel.Chunks(workers, len(data.Rows))
-	parts := parallel.Map(workers, len(chunks), func(k int) []Row {
-		lo, hi := chunks[k][0], chunks[k][1]
-		var out []Row
-		for _, r := range data.Rows[lo:hi] {
-			if set.Contains(r[ci].AsInt()) {
-				out = append(out, r)
-			}
-		}
-		data.stats.AddSeqReads(int64(hi - lo))
-		data.stats.AddHashProbes(int64(hi - lo))
-		return out
-	})
-	out := make([]Row, 0, set.Len())
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out, nil
-}
-
-// parallelJoinMinRows is the data-table size below which JoinOnRIDsParallel
-// always runs sequentially: splitting a scan this small across goroutines
-// costs more than the scan itself.
-const parallelJoinMinRows = 2048
-
-// JoinOnRIDsParallel is JoinOnRIDs with intra-operation parallelism: for the
-// hash join, the sequential scan of the data table is split into contiguous
-// row chunks probed concurrently by up to workers goroutines, and the chunk
-// outputs are concatenated in chunk order so the result row order (and the
-// accounted cost) is identical to the sequential join. Merge and
-// index-nested-loop joins, small tables, and workers <= 1 all fall back to
-// the sequential path.
-func JoinOnRIDsParallel(data *Table, ridColumn string, rids []int64, method JoinMethod, workers int) ([]Row, error) {
-	if method != HashJoin || workers <= 1 || len(data.Rows) < parallelJoinMinRows {
-		return JoinOnRIDs(data, ridColumn, rids, method)
-	}
-	ci := data.Schema.ColumnIndex(ridColumn)
-	if ci < 0 {
-		return nil, fmt.Errorf("relstore: table %s has no column %q", data.Name, ridColumn)
-	}
-	set := make(map[int64]struct{}, len(rids))
-	for _, r := range rids {
-		set[r] = struct{}{}
-	}
-	chunks := parallel.Chunks(workers, len(data.Rows))
-	parts := parallel.Map(workers, len(chunks), func(k int) []Row {
-		lo, hi := chunks[k][0], chunks[k][1]
-		var out []Row
-		for _, r := range data.Rows[lo:hi] {
-			if _, ok := set[r[ci].AsInt()]; ok {
-				out = append(out, r)
-			}
-		}
-		data.stats.AddSeqReads(int64(hi - lo))
-		data.stats.AddHashProbes(int64(hi - lo))
-		return out
-	})
-	out := make([]Row, 0, len(rids))
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out, nil
-}
-
-// hashJoinRIDs builds a hash set over rids, then sequentially scans the data
-// table probing each row. Cost: |rids| build + |data| probes.
-func hashJoinRIDs(data *Table, ridCol int, rids []int64) []Row {
-	set := make(map[int64]struct{}, len(rids))
-	for _, r := range rids {
-		set[r] = struct{}{}
-	}
-	out := make([]Row, 0, len(rids))
-	probes := int64(0)
-	data.Scan(func(_ int, r Row) bool {
-		probes++
-		if _, ok := set[r[ridCol].AsInt()]; ok {
-			out = append(out, r)
-		}
-		return true
-	})
-	data.stats.AddHashProbes(probes)
-	return out
-}
-
-// mergeJoinRIDs sorts the rid list and merges it against the data table.
-func mergeJoinRIDs(data *Table, ridCol int, rids []int64) []Row {
-	sorted := make([]int64, len(rids))
-	copy(sorted, rids)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	return mergeJoinSorted(data, ridCol, sorted)
-}
-
-// mergeJoinSorted merges an already-sorted rid list against the data table.
-// When the table is clustered on rid this is a single sequential pass;
-// otherwise the data side must be sorted first (modelled as a full scan plus
-// the sort's sequential reads).
-func mergeJoinSorted(data *Table, ridCol int, sorted []int64) []Row {
-	type ridRow struct {
+// mergeJoinSelection merges an already-sorted rid list against the data
+// table's rid column. When the table is clustered on rid this is a single
+// sequential pass; otherwise the data side must be sorted first (modelled as
+// a full scan plus the sort's sequential reads).
+func mergeJoinSelection(data *Table, ridCol int, sorted []int64) Selection {
+	col := data.cols[ridCol]
+	type ridPos struct {
 		rid int64
-		row Row
+		pos int32
 	}
-	pairs := make([]ridRow, 0, len(data.Rows))
-	data.Scan(func(_ int, r Row) bool {
-		pairs = append(pairs, ridRow{rid: r[ridCol].AsInt(), row: r})
-		return true
-	})
+	pairs := make([]ridPos, data.nrows)
+	for i := 0; i < data.nrows; i++ {
+		pairs[i] = ridPos{rid: col.asInt(i), pos: int32(i)}
+	}
+	data.stats.AddSeqReads(int64(data.nrows))
 	if data.Cluster != ClusterOnRID {
 		// Sorting the data side costs another pass in the cost model.
 		data.stats.AddSeqReads(int64(len(pairs)))
 		sort.Slice(pairs, func(i, j int) bool { return pairs[i].rid < pairs[j].rid })
 	}
-
-	out := make([]Row, 0, len(sorted))
+	sel := make(Selection, 0, len(sorted))
 	i, j := 0, 0
 	for i < len(pairs) && j < len(sorted) {
 		switch {
@@ -240,28 +225,83 @@ func mergeJoinSorted(data *Table, ridCol int, sorted []int64) []Row {
 		case pairs[i].rid > sorted[j]:
 			j++
 		default:
-			out = append(out, pairs[i].row)
+			sel = append(sel, pairs[i].pos)
 			i++
 			j++
 		}
 	}
-	return out
+	return sel
 }
 
-// indexNestedLoopRIDs performs one index lookup per rid. The data table must
-// have a unique index on the rid column.
-func indexNestedLoopRIDs(data *Table, ridCol int, rids []int64) ([]Row, error) {
-	cols := data.IndexColumns()
-	if len(cols) != 1 || data.Schema.ColumnIndex(cols[0]) != ridCol {
-		return nil, fmt.Errorf("relstore: index-nested-loop join requires a unique index on %q of table %s", data.Schema.Columns[ridCol].Name, data.Name)
+// parallelJoinMinRows is the data-table size below which the parallel join
+// variants always run sequentially: splitting a scan this small across
+// goroutines costs more than the scan itself.
+const parallelJoinMinRows = 2048
+
+// parallelSetSelection is the chunked hash-join probe: contiguous row ranges
+// of the rid column are probed concurrently and the per-chunk selections are
+// concatenated in chunk order, so the result (and the accounted cost) is
+// identical to the sequential probe.
+func parallelSetSelection(data *Table, ridColumn string, set *recset.Set, workers int) (Selection, error) {
+	ci := data.Schema.ColumnIndex(ridColumn)
+	if ci < 0 {
+		return nil, fmt.Errorf("relstore: table %s has no column %q", data.Name, ridColumn)
 	}
-	out := make([]Row, 0, len(rids))
-	for _, rid := range rids {
-		if row, ok := data.LookupIndex(Int(rid)); ok {
-			out = append(out, row)
+	col := data.cols[ci]
+	chunks := parallel.Chunks(workers, data.nrows)
+	parts := parallel.Map(workers, len(chunks), func(k int) Selection {
+		lo, hi := chunks[k][0], chunks[k][1]
+		var out Selection
+		for i := lo; i < hi; i++ {
+			if set.Contains(col.asInt(i)) {
+				out = append(out, int32(i))
+			}
 		}
+		data.stats.AddSeqReads(int64(hi - lo))
+		data.stats.AddHashProbes(int64(hi - lo))
+		return out
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p)
 	}
-	return out, nil
+	sel := make(Selection, 0, total)
+	for _, p := range parts {
+		sel = append(sel, p...)
+	}
+	return sel, nil
+}
+
+// JoinOnRIDSetParallel is JoinOnRIDSet with the chunked-scan parallelism of
+// parallelSetSelection; the compressed set is shared read-only across the
+// probing goroutines.
+func JoinOnRIDSetParallel(data *Table, ridColumn string, set *recset.Set, method JoinMethod, workers int) ([]Row, error) {
+	if method != HashJoin || workers <= 1 || data.nrows < parallelJoinMinRows {
+		return JoinOnRIDSet(data, ridColumn, set, method)
+	}
+	sel, err := parallelSetSelection(data, ridColumn, set, workers)
+	if err != nil {
+		return nil, err
+	}
+	return data.GatherRows(sel), nil
+}
+
+// JoinOnRIDsParallel is JoinOnRIDs with intra-operation parallelism: for the
+// hash join, the probe of the rid column is split into contiguous chunks
+// probed concurrently by up to workers goroutines, and the chunk selections
+// are concatenated in chunk order so the result row order (and the accounted
+// cost) is identical to the sequential join. Merge and index-nested-loop
+// joins, small tables, and workers <= 1 all fall back to the sequential
+// path.
+func JoinOnRIDsParallel(data *Table, ridColumn string, rids []int64, method JoinMethod, workers int) ([]Row, error) {
+	if method != HashJoin || workers <= 1 || data.nrows < parallelJoinMinRows {
+		return JoinOnRIDs(data, ridColumn, rids, method)
+	}
+	sel, err := parallelSetSelection(data, ridColumn, recset.FromSlice(rids), workers)
+	if err != nil {
+		return nil, err
+	}
+	return data.GatherRows(sel), nil
 }
 
 // HashJoinTables performs a general equi-join of two tables on the named
@@ -277,22 +317,29 @@ func HashJoinTables(left *Table, leftCol string, right *Table, rightCol string) 
 	if ri < 0 {
 		return nil, Schema{}, fmt.Errorf("relstore: table %s has no column %q", right.Name, rightCol)
 	}
-	build := make(map[string][]Row)
-	right.Scan(func(_ int, r Row) bool {
-		build[r[ri].AsString()] = append(build[r[ri].AsString()], r)
-		return true
-	})
+	build := make(map[string][]int, right.nrows)
+	for i := 0; i < right.nrows; i++ {
+		k := right.cols[ri].asString(i)
+		build[k] = append(build[k], i)
+	}
+	right.stats.AddSeqReads(int64(right.nrows))
 	var out []Row
-	left.Scan(func(_ int, l Row) bool {
+	for i := 0; i < left.nrows; i++ {
 		left.stats.AddHashProbes(1)
-		for _, r := range build[l[li].AsString()] {
+		matches := build[left.cols[li].asString(i)]
+		if len(matches) == 0 {
+			continue
+		}
+		l := left.RowAt(i)
+		for _, rpos := range matches {
+			r := right.RowAt(rpos)
 			joined := make(Row, 0, len(l)+len(r))
 			joined = append(joined, l...)
 			joined = append(joined, r...)
 			out = append(out, joined)
 		}
-		return true
-	})
+	}
+	left.stats.AddSeqReads(int64(left.nrows))
 	cols := make([]Column, 0, len(left.Schema.Columns)+len(right.Schema.Columns))
 	for _, c := range left.Schema.Columns {
 		cols = append(cols, Column{Name: left.Name + "." + c.Name, Type: c.Type})

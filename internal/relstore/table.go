@@ -2,12 +2,16 @@ package relstore
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
 // Row is a single tuple; values are positionally aligned with the table's
-// schema.
+// schema. Since the columnar rewrite a Row is a materialized view: tables
+// store typed column vectors (see column.go) and produce Rows on demand
+// (RowAt, Scan, Rows). Materialized rows share integer-array element slices
+// with the column storage, so the long-standing discipline still applies:
+// never write through a Row obtained from a table; Clone it first or replace
+// the cell with Set.
 type Row []Value
 
 // Clone returns a deep copy of the row (array values are copied too).
@@ -46,20 +50,24 @@ const (
 	ClusterOnPK
 )
 
-// Table is an in-memory relation with an optional unique index.
+// Table is an in-memory relation stored column-major: one typed vector per
+// attribute plus a per-cell type/null tag vector (column.go), with an
+// optional unique index over row positions.
 //
-// Rows may share their backing with other tables: checkout staging tables
-// reference the data-table rows directly instead of deep-copying them
-// (zero-copy checkout), relying on rows being immutable once inserted. Every
-// mutating path therefore replaces rows (copy-on-write) rather than writing
-// into them — see UpdateWhere, AddColumn and AlterColumnType. Code outside
-// this package must follow the same rule: never write through a Row obtained
-// from a table; replace the slot with a fresh row instead.
+// Columns may share their backing vectors with other tables: checkout
+// staging tables that cover a whole source table reference its column
+// vectors directly (zero-copy checkout), and every mutating path copies the
+// affected column's backing first — copy-on-write per column, replacing the
+// per-row sharing the engine used before the columnar layout. Code outside
+// this package must follow the matching read discipline: never write through
+// a Row obtained from a table; use Set / UpdateWhere / Insert instead.
 type Table struct {
 	Name    string
 	Schema  Schema
-	Rows    []Row
 	Cluster ClusterMode
+
+	cols  []*column
+	nrows int
 
 	// The unique index over indexCols (typically the primary key, or rid for
 	// data tables) lives in exactly one of two stores: intIndex when the
@@ -76,6 +84,10 @@ type Table struct {
 // primary key, a unique index is built on it.
 func NewTable(name string, schema Schema) *Table {
 	t := &Table{Name: name, Schema: schema, stats: &CostStats{}}
+	t.cols = make([]*column, len(schema.Columns))
+	for i := range t.cols {
+		t.cols[i] = newColumn(0)
+	}
 	if pk := schema.PrimaryKeyIndexes(); len(pk) > 0 {
 		t.resetIndexStores(pk)
 	}
@@ -107,6 +119,62 @@ func (t *Table) SetStats(s *CostStats) {
 // Stats returns the cost statistics collector for this table.
 func (t *Table) Stats() *CostStats { return t.stats }
 
+// Len returns the number of rows.
+func (t *Table) Len() int { return t.nrows }
+
+// RowAt materializes row i as a fresh Row view over the column vectors.
+func (t *Table) RowAt(i int) Row {
+	out := make(Row, len(t.cols))
+	for j, c := range t.cols {
+		out[j] = c.value(i)
+	}
+	return out
+}
+
+// Rows materializes every row. It exists for whole-table consumers (CSV
+// export, tests, commit staging); scan-shaped code should use Scan, At, or
+// the vectorized operators instead of materializing the table.
+func (t *Table) Rows() []Row {
+	out := make([]Row, t.nrows)
+	for i := range out {
+		out[i] = t.RowAt(i)
+	}
+	return out
+}
+
+// At returns the value of one cell without materializing its row.
+func (t *Table) At(row, col int) Value { return t.cols[col].value(row) }
+
+// IntAt returns one cell as an int64 (Value.AsInt semantics) without
+// materializing the Value — the rid-probe hot path.
+func (t *Table) IntAt(row, col int) int64 { return t.cols[col].asInt(row) }
+
+// StringAt returns one cell's string rendering (Value.AsString semantics)
+// without materializing the Value.
+func (t *Table) StringAt(row, col int) string { return t.cols[col].asString(row) }
+
+// Set overwrites one cell, copying the column's backing first when it is
+// shared with another table. Set does not maintain the unique index; callers
+// that change indexed columns must rebuild with BuildIndexOn (UpdateWhere
+// does this automatically).
+func (t *Table) Set(row, col int, v Value) {
+	t.cols[col].ensureOwned()
+	t.cols[col].set(row, v)
+}
+
+// SharedColumns reports how many of the table's columns currently share
+// backing vectors with another table — a diagnostic for pinning the
+// copy-on-write boundary in tests.
+func (t *Table) SharedColumns() int {
+	n := 0
+	for _, c := range t.cols {
+		if c.isShared() {
+			n++
+		}
+	}
+	return n
+}
+
 // BuildIndexOn (re)builds the unique index on the named columns, replacing
 // any existing index. It returns an error on duplicate keys.
 func (t *Table) BuildIndexOn(cols ...string) error {
@@ -120,9 +188,9 @@ func (t *Table) BuildIndexOn(cols ...string) error {
 	}
 	if len(idx) == 1 && t.Schema.Columns[idx[0]].Type == TypeInt {
 		ci := idx[0]
-		uniq := make(map[int64]int, len(t.Rows))
-		for pos, r := range t.Rows {
-			k := r[ci].AsInt()
+		uniq := make(map[int64]int, t.nrows)
+		for pos := 0; pos < t.nrows; pos++ {
+			k := t.cols[ci].asInt(pos)
 			if prev, dup := uniq[k]; dup {
 				return fmt.Errorf("relstore: table %s: duplicate index key %d at rows %d and %d", t.Name, k, prev, pos)
 			}
@@ -133,9 +201,9 @@ func (t *Table) BuildIndexOn(cols ...string) error {
 		t.uniqueIndex = nil
 		return nil
 	}
-	uniq := make(map[string]int, len(t.Rows))
-	for pos, r := range t.Rows {
-		k := encodeKey(r, idx)
+	uniq := make(map[string]int, t.nrows)
+	for pos := 0; pos < t.nrows; pos++ {
+		k := t.encodeKeyAt(pos, idx)
 		if prev, dup := uniq[k]; dup {
 			return fmt.Errorf("relstore: table %s: duplicate index key %q at rows %d and %d", t.Name, k, prev, pos)
 		}
@@ -164,6 +232,17 @@ func (t *Table) IndexColumns() []string {
 
 func encodeKey(r Row, cols []int) string {
 	var b strings.Builder
+	size := len(cols)
+	for _, c := range cols {
+		if c < len(r) {
+			if r[c].Type == TypeString {
+				size += len(r[c].S)
+			} else {
+				size += 20
+			}
+		}
+	}
+	b.Grow(size)
 	for i, c := range cols {
 		if i > 0 {
 			b.WriteByte('\x00')
@@ -175,8 +254,41 @@ func encodeKey(r Row, cols []int) string {
 	return b.String()
 }
 
+// encodeKeyAt is encodeKey straight off the column vectors.
+func (t *Table) encodeKeyAt(pos int, cols []int) string {
+	var b strings.Builder
+	size := len(cols)
+	for _, c := range cols {
+		if c < len(t.cols) {
+			if ValueType(t.cols[c].tags[pos]) == TypeString {
+				size += len(t.cols[c].strs[pos])
+			} else {
+				size += 20
+			}
+		}
+	}
+	b.Grow(size)
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte('\x00')
+		}
+		if c < len(t.cols) {
+			b.WriteString(t.cols[c].asString(pos))
+		}
+	}
+	return b.String()
+}
+
 // KeyOf returns the encoded index key of a row for this table's index.
 func (t *Table) KeyOf(r Row) string { return encodeKey(r, t.indexCols) }
+
+// ownAll establishes private copies of every shared column before an
+// operation that writes in place across the table (insert, delete, sort).
+func (t *Table) ownAll() {
+	for _, c := range t.cols {
+		c.ensureOwned()
+	}
+}
 
 // Insert appends a row, maintaining the unique index if present. The row
 // length must match the schema.
@@ -189,17 +301,42 @@ func (t *Table) Insert(r Row) error {
 		if _, dup := t.intIndex[k]; dup {
 			return fmt.Errorf("relstore: table %s: duplicate key %d", t.Name, k)
 		}
-		t.intIndex[k] = len(t.Rows)
+		t.intIndex[k] = t.nrows
 	} else if t.uniqueIndex != nil {
 		k := encodeKey(r, t.indexCols)
 		if _, dup := t.uniqueIndex[k]; dup {
 			return fmt.Errorf("relstore: table %s: duplicate key %q", t.Name, k)
 		}
-		t.uniqueIndex[k] = len(t.Rows)
+		t.uniqueIndex[k] = t.nrows
 	}
-	t.Rows = append(t.Rows, r)
+	t.appendRow(r)
 	t.stats.AddRowsWritten(1)
 	return nil
+}
+
+// appendRow scatters a row into the column vectors without touching the
+// index or the cost counters.
+func (t *Table) appendRow(r Row) {
+	for j, c := range t.cols {
+		c.ensureOwned()
+		if j < len(r) {
+			c.append(r[j])
+		} else {
+			c.append(Null())
+		}
+	}
+	t.nrows++
+}
+
+// AppendRow appends a row without index maintenance (the bulk path staging
+// and test code used to reach by appending to the Rows field directly).
+// Rows shorter than the schema are padded with NULL. The unique index, if
+// any, goes stale; rebuild it with BuildIndexOn when needed.
+func (t *Table) AppendRow(r Row) {
+	if len(r) > len(t.Schema.Columns) {
+		r = r[:len(t.Schema.Columns)]
+	}
+	t.appendRow(r)
 }
 
 // MustInsert inserts and panics on error; for tests and generators.
@@ -209,8 +346,13 @@ func (t *Table) MustInsert(r Row) {
 	}
 }
 
-// InsertBatch appends many rows, maintaining the index.
+// InsertBatch appends many rows, maintaining the index. The column vectors
+// are grown once up front instead of per row.
 func (t *Table) InsertBatch(rows []Row) error {
+	for _, c := range t.cols {
+		c.ensureOwned()
+		c.reserve(len(rows))
+	}
 	for _, r := range rows {
 		if err := t.Insert(r); err != nil {
 			return err
@@ -219,15 +361,12 @@ func (t *Table) InsertBatch(rows []Row) error {
 	return nil
 }
 
-// Len returns the number of rows.
-func (t *Table) Len() int { return len(t.Rows) }
-
 // StorageBytes returns the accounted size of the table including its index
-// (8 bytes per indexed row, approximating a hash/btree entry).
+// (16 bytes per indexed row, approximating a hash/btree entry).
 func (t *Table) StorageBytes() int64 {
 	var n int64
-	for _, r := range t.Rows {
-		n += r.StorageBytes()
+	for _, c := range t.cols {
+		n += c.storageBytes()
 	}
 	if t.uniqueIndex != nil {
 		n += int64(len(t.uniqueIndex)) * 16
@@ -250,7 +389,7 @@ func (t *Table) LookupIndex(key ...Value) (Row, bool) {
 			return nil, false
 		}
 		t.stats.AddRandomReads(1)
-		return t.Rows[pos], true
+		return t.RowAt(pos), true
 	}
 	if t.uniqueIndex == nil {
 		return nil, false
@@ -267,27 +406,30 @@ func (t *Table) LookupIndex(key ...Value) (Row, bool) {
 		return nil, false
 	}
 	t.stats.AddRandomReads(1)
-	return t.Rows[pos], true
+	return t.RowAt(pos), true
 }
 
 // Scan iterates all rows (sequential reads in the cost model), invoking fn
-// for each; if fn returns false the scan stops early. The read counter is
-// accumulated locally and added once, so concurrent scans of shared tables
-// do not contend on the shared statistics collector.
+// for each; if fn returns false the scan stops early. Each row is
+// materialized fresh from the column vectors, so callbacks may retain it.
+// The read counter is accumulated locally and added once, so concurrent
+// scans of shared tables do not contend on the shared statistics collector.
 func (t *Table) Scan(fn func(pos int, r Row) bool) {
 	read := int64(0)
-	for i, r := range t.Rows {
+	for i := 0; i < t.nrows; i++ {
 		read++
-		if !fn(i, r) {
+		if !fn(i, t.RowAt(i)) {
 			break
 		}
 	}
 	t.stats.AddSeqReads(read)
 }
 
-// Filter returns all rows satisfying pred (a full sequential scan).
+// Filter returns all rows satisfying pred (a full sequential scan). For
+// column-comparison predicates, FilterVec evaluates without materializing
+// rows and is much faster.
 func (t *Table) Filter(pred func(Row) bool) []Row {
-	var out []Row
+	out := make([]Row, 0, t.nrows/4+1)
 	t.Scan(func(_ int, r Row) bool {
 		if pred(r) {
 			out = append(out, r)
@@ -297,13 +439,189 @@ func (t *Table) Filter(pred func(Row) bool) []Row {
 	return out
 }
 
+// FilterVec evaluates `col op value` over the whole column vector into a
+// selection vector, without materializing any row. The comparison semantics
+// are exactly Value.Compare's (NULL sorts before everything, numeric types
+// compare numerically, otherwise the string renderings compare), so the
+// result always matches the row-at-a-time Filter over the same predicate.
+func (t *Table) FilterVec(col string, op CmpOp, value Value) (Selection, error) {
+	ci := t.Schema.ColumnIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("relstore: table %s has no column %q", t.Name, col)
+	}
+	sel := t.cols[ci].filter(op, value, nil)
+	t.stats.AddSeqReads(int64(t.nrows))
+	return sel, nil
+}
+
+// FilterVecAll is the compiled multi-predicate form: the first comparison
+// scans its whole column, and each subsequent comparison refines the
+// surviving selection, touching only the rows still alive.
+func (t *Table) FilterVecAll(preds []ColPred) (Selection, error) {
+	if len(preds) == 0 {
+		sel := make(Selection, t.nrows)
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+		t.stats.AddSeqReads(int64(t.nrows))
+		return sel, nil
+	}
+	var sel Selection
+	for k, p := range preds {
+		ci := t.Schema.ColumnIndex(p.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("relstore: table %s has no column %q", t.Name, p.Col)
+		}
+		if k == 0 {
+			sel = t.cols[ci].filter(p.Op, p.Value, nil)
+			t.stats.AddSeqReads(int64(t.nrows))
+		} else {
+			t.stats.AddSeqReads(int64(len(sel)))
+			sel = t.cols[ci].filter(p.Op, p.Value, sel)
+		}
+		if len(sel) == 0 {
+			break
+		}
+	}
+	return sel, nil
+}
+
+// GatherRows materializes the selected rows (the bridge from a selection
+// vector back to the row-shaped APIs).
+func (t *Table) GatherRows(sel Selection) []Row {
+	out := make([]Row, len(sel))
+	for k, i := range sel {
+		out[k] = t.RowAt(int(i))
+	}
+	return out
+}
+
+// GatherInts returns Value.AsInt of the named column at the selected
+// positions (used to turn a selection into a rid list).
+func (t *Table) GatherInts(col string, sel Selection) ([]int64, error) {
+	ci := t.Schema.ColumnIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("relstore: table %s has no column %q", t.Name, col)
+	}
+	out := make([]int64, len(sel))
+	for k, i := range sel {
+		out[k] = t.cols[ci].asInt(int(i))
+	}
+	return out, nil
+}
+
+// GatherInto builds a new table holding the selected rows, column-wise. When
+// the selection covers the entire table in order, the new table shares the
+// column backing vectors outright (zero-copy, copy-on-write per column);
+// otherwise each column is gathered into fresh vectors (scalar cells copied,
+// integer-array elements and string bytes shared). The new table carries the
+// source's schema and stats collector but no index; callers build one as
+// needed.
+func (t *Table) GatherInto(name string, sel Selection) *Table {
+	out := &Table{Name: name, Schema: t.Schema.Clone(), Cluster: t.Cluster, stats: t.stats}
+	out.nrows = len(sel)
+	out.cols = make([]*column, len(t.cols))
+	if t.isFullSelection(sel) {
+		for j, c := range t.cols {
+			out.cols[j] = c.share()
+		}
+		return out
+	}
+	for j, c := range t.cols {
+		out.cols[j] = c.gather(sel)
+	}
+	return out
+}
+
+// isFullSelection reports whether sel is exactly [0, 1, ..., nrows-1].
+func (t *Table) isFullSelection(sel Selection) bool {
+	if len(sel) != t.nrows {
+		return false
+	}
+	for i, p := range sel {
+		if int(p) != i {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendFrom appends the selected rows of src column-wise, maintaining the
+// unique index. src may have fewer columns than t (missing cells become
+// NULL, the transient width mismatch around schema evolution); more is an
+// error.
+func (t *Table) AppendFrom(src *Table, sel Selection) error {
+	if len(src.cols) > len(t.cols) {
+		return fmt.Errorf("relstore: table %s: cannot append %d-column rows from %s into %d columns", t.Name, len(src.cols), src.Name, len(t.cols))
+	}
+	// Validate every index key before registering any, so a duplicate-key
+	// error leaves the index untouched (registering as we go would strand
+	// phantom entries pointing past the end of the table).
+	if t.intIndex != nil {
+		ci := t.indexCols[0]
+		if ci >= len(src.cols) {
+			return fmt.Errorf("relstore: table %s: source %s lacks indexed column %d", t.Name, src.Name, ci)
+		}
+		keys := make([]int64, len(sel))
+		seen := make(map[int64]struct{}, len(sel))
+		for k, i := range sel {
+			key := src.cols[ci].asInt(int(i))
+			if _, dup := t.intIndex[key]; dup {
+				return fmt.Errorf("relstore: table %s: duplicate key %d", t.Name, key)
+			}
+			if _, dup := seen[key]; dup {
+				return fmt.Errorf("relstore: table %s: duplicate key %d", t.Name, key)
+			}
+			seen[key] = struct{}{}
+			keys[k] = key
+		}
+		for k, key := range keys {
+			t.intIndex[key] = t.nrows + k
+		}
+	} else if t.uniqueIndex != nil {
+		keys := make([]string, len(sel))
+		seen := make(map[string]struct{}, len(sel))
+		for k, i := range sel {
+			key := src.encodeKeyAt(int(i), t.indexCols)
+			if _, dup := t.uniqueIndex[key]; dup {
+				return fmt.Errorf("relstore: table %s: duplicate key %q", t.Name, key)
+			}
+			if _, dup := seen[key]; dup {
+				return fmt.Errorf("relstore: table %s: duplicate key %q", t.Name, key)
+			}
+			seen[key] = struct{}{}
+			keys[k] = key
+		}
+		for k, key := range keys {
+			t.uniqueIndex[key] = t.nrows + k
+		}
+	}
+	for j, c := range t.cols {
+		c.ensureOwned()
+		if j < len(src.cols) {
+			c.appendFrom(src.cols[j], sel)
+		} else {
+			for range sel {
+				c.append(Null())
+			}
+		}
+	}
+	t.nrows += len(sel)
+	t.stats.AddRowsWritten(int64(len(sel)))
+	return nil
+}
+
 // UpdateWhere applies fn to every row satisfying pred, returning the number
-// of rows updated. The unique index is rebuilt if indexed columns changed.
+// of rows updated. Only the cells fn actually changed are scattered back
+// into the column vectors — untouched columns keep their (possibly shared)
+// backing, preserving the per-column copy-on-write boundary — and the
+// unique index is rebuilt if indexed columns changed.
 func (t *Table) UpdateWhere(pred func(Row) bool, fn func(Row) Row) (int, error) {
 	updated := 0
 	indexDirty := false
-	for i, r := range t.Rows {
+	for i := 0; i < t.nrows; i++ {
 		t.stats.AddSeqReads(1)
+		r := t.RowAt(i)
 		if !pred(r) {
 			continue
 		}
@@ -314,7 +632,11 @@ func (t *Table) UpdateWhere(pred func(Row) bool, fn func(Row) Row) (int, error) 
 		if t.HasIndex() && encodeKey(r, t.indexCols) != encodeKey(nr, t.indexCols) {
 			indexDirty = true
 		}
-		t.Rows[i] = nr
+		for j := range t.cols {
+			if !sameValue(r[j], nr[j]) {
+				t.Set(i, j, nr[j])
+			}
+		}
 		t.stats.AddRowsWritten(1)
 		updated++
 	}
@@ -330,22 +652,43 @@ func (t *Table) UpdateWhere(pred func(Row) bool, fn func(Row) Row) (int, error) 
 // DeleteWhere removes all rows satisfying pred and returns how many were
 // removed. The unique index is rebuilt.
 func (t *Table) DeleteWhere(pred func(Row) bool) int {
-	kept := t.Rows[:0]
-	removed := 0
-	for _, r := range t.Rows {
+	keep := make(Selection, 0, t.nrows)
+	for i := 0; i < t.nrows; i++ {
 		t.stats.AddSeqReads(1)
-		if pred(r) {
-			removed++
-			continue
+		if !pred(t.RowAt(i)) {
+			keep = append(keep, int32(i))
 		}
-		kept = append(kept, r)
 	}
-	t.Rows = kept
-	if t.HasIndex() && removed > 0 {
+	removed := t.nrows - len(keep)
+	if removed == 0 {
+		return 0
+	}
+	for j, c := range t.cols {
+		t.cols[j] = c.gather(keep)
+	}
+	t.nrows = len(keep)
+	if t.HasIndex() {
 		names := t.IndexColumns()
 		_ = t.BuildIndexOn(names...)
 	}
 	return removed
+}
+
+// Shrink keeps only the first n rows (the staging/test path that used to
+// reslice the Rows field). The unique index is rebuilt if present.
+func (t *Table) Shrink(n int) {
+	if n >= t.nrows {
+		return
+	}
+	t.ownAll()
+	for _, c := range t.cols {
+		c.truncate(n)
+	}
+	t.nrows = n
+	if t.HasIndex() {
+		names := t.IndexColumns()
+		_ = t.BuildIndexOn(names...)
+	}
 }
 
 // SortBy physically reorders the table by the named columns (ascending) and
@@ -359,15 +702,10 @@ func (t *Table) SortBy(mode ClusterMode, cols ...string) error {
 		}
 		idx = append(idx, i)
 	}
-	sort.SliceStable(t.Rows, func(a, b int) bool {
-		ra, rb := t.Rows[a], t.Rows[b]
-		for _, c := range idx {
-			if cmp := ra[c].Compare(rb[c]); cmp != 0 {
-				return cmp < 0
-			}
-		}
-		return false
-	})
+	order := sortSelection(t.cols, idx, t.nrows)
+	for j, c := range t.cols {
+		t.cols[j] = c.gather(order)
+	}
 	t.Cluster = mode
 	if t.HasIndex() {
 		names := t.IndexColumns()
@@ -379,6 +717,8 @@ func (t *Table) SortBy(mode ClusterMode, cols ...string) error {
 }
 
 // Project returns a new in-memory table containing only the named columns.
+// The projected columns are copied (fresh vectors; string bytes and
+// integer-array elements shared).
 func (t *Table) Project(name string, cols ...string) (*Table, error) {
 	idx := make([]int, 0, len(cols))
 	outCols := make([]Column, 0, len(cols))
@@ -396,26 +736,23 @@ func (t *Table) Project(name string, cols ...string) (*Table, error) {
 	}
 	out := NewTable(name, schema)
 	out.SetStats(t.stats)
-	for _, r := range t.Rows {
-		nr := make(Row, len(idx))
-		for j, c := range idx {
-			nr[j] = r[c]
-		}
-		out.Rows = append(out.Rows, nr)
+	out.nrows = t.nrows
+	for j, c := range idx {
+		out.cols[j] = t.cols[c].copyOwned()
 	}
-	t.stats.AddSeqReads(int64(len(t.Rows)))
+	t.stats.AddSeqReads(int64(t.nrows))
 	return out, nil
 }
 
-// Clone returns a deep copy of the table (rows and index) sharing the same
-// stats collector.
+// Clone returns a deep copy of the table (columns, array elements, and
+// index) sharing the same stats collector.
 func (t *Table) Clone(name string) *Table {
 	out := NewTable(name, t.Schema.Clone())
 	out.SetStats(t.stats)
 	out.Cluster = t.Cluster
-	out.Rows = make([]Row, len(t.Rows))
-	for i, r := range t.Rows {
-		out.Rows[i] = r.Clone()
+	out.nrows = t.nrows
+	for j, c := range t.cols {
+		out.cols[j] = c.deepCopy()
 	}
 	if t.indexCols != nil {
 		names := t.IndexColumns()
@@ -425,31 +762,25 @@ func (t *Table) Clone(name string) *Table {
 }
 
 // AddColumn appends a column to the schema, filling existing rows with NULL
-// (the ALTER TABLE ... ADD COLUMN path used by schema evolution). Rows are
-// replaced rather than appended to in place: a row's backing may be shared
-// with another table (zero-copy checkout), and an append into shared spare
-// capacity would write outside this table.
+// (the ALTER TABLE ... ADD COLUMN path used by schema evolution). With
+// columnar storage this allocates exactly one new null column; sibling
+// columns — possibly shared with another table — are untouched.
 func (t *Table) AddColumn(c Column) error {
 	newSchema, err := t.Schema.WithColumn(c)
 	if err != nil {
 		return err
 	}
 	t.Schema = newSchema
-	for i, r := range t.Rows {
-		nr := make(Row, len(r)+1)
-		copy(nr, r)
-		nr[len(r)] = Null()
-		t.Rows[i] = nr
-	}
-	t.stats.AddRowsWritten(int64(len(t.Rows)))
+	t.cols = append(t.cols, newNullColumn(t.nrows))
+	t.stats.AddRowsWritten(int64(t.nrows))
 	return nil
 }
 
 // AlterColumnType changes a column's declared type and casts existing values
 // (integer→decimal etc.), mirroring the single-pool evolution of Section 4.3.
-// Modified rows are replaced copy-on-write (their backing may be shared with
-// another table), and the unique index is rebuilt when it covers the altered
-// column.
+// Only the altered column is rewritten (copy-on-write when its backing is
+// shared with another table), and the unique index is rebuilt when it covers
+// the altered column.
 func (t *Table) AlterColumnType(name string, typ ValueType) error {
 	ci := t.Schema.ColumnIndex(name)
 	if ci < 0 {
@@ -460,8 +791,9 @@ func (t *Table) AlterColumnType(name string, typ ValueType) error {
 		return err
 	}
 	t.Schema = newSchema
-	for i, r := range t.Rows {
-		v := r[ci]
+	col := t.cols[ci]
+	for i := 0; i < t.nrows; i++ {
+		v := col.value(i)
 		if v.IsNull() {
 			continue
 		}
@@ -478,10 +810,8 @@ func (t *Table) AlterColumnType(name string, typ ValueType) error {
 		default:
 			continue
 		}
-		nr := make(Row, len(r))
-		copy(nr, r)
-		nr[ci] = cast
-		t.Rows[i] = nr
+		col.ensureOwned()
+		col.set(i, cast)
 		t.stats.AddRowsWritten(1)
 	}
 	if t.HasIndex() {
@@ -501,9 +831,14 @@ func (t *Table) AlterColumnType(name string, typ ValueType) error {
 	return nil
 }
 
-// Truncate removes all rows but keeps the schema and index definition.
+// Truncate removes all rows but keeps the schema and index definition. The
+// column vectors are replaced outright, so backing shared with another table
+// is released rather than written through.
 func (t *Table) Truncate() {
-	t.Rows = t.Rows[:0]
+	for j := range t.cols {
+		t.cols[j] = newColumn(0)
+	}
+	t.nrows = 0
 	if t.uniqueIndex != nil {
 		t.uniqueIndex = make(map[string]int)
 	}

@@ -143,9 +143,9 @@ func TestTableSortByAndCluster(t *testing.T) {
 		t.Error("cluster mode not recorded")
 	}
 	prev := int64(-1)
-	for _, r := range tbl.Rows {
+	for _, r := range tbl.Rows() {
 		if r[0].AsInt() < prev {
-			t.Fatalf("rows not sorted by rid: %v", tbl.Rows)
+			t.Fatalf("rows not sorted by rid: %v", tbl.Rows())
 		}
 		prev = r[0].AsInt()
 	}
@@ -165,8 +165,8 @@ func TestTableProject(t *testing.T) {
 	if len(p.Schema.Columns) != 2 || p.Len() != 4 {
 		t.Fatalf("projection has %d cols, %d rows", len(p.Schema.Columns), p.Len())
 	}
-	if p.Rows[2][1].AsInt() != 20 {
-		t.Errorf("projected value = %d, want 20", p.Rows[2][1].AsInt())
+	if p.At(2, 1).AsInt() != 20 {
+		t.Errorf("projected value = %d, want 20", p.At(2, 1).AsInt())
 	}
 	if _, err := tbl.Project("p2", "nonexistent"); err == nil {
 		t.Error("projecting unknown column should error")
@@ -177,8 +177,8 @@ func TestTableCloneIsDeep(t *testing.T) {
 	tbl := NewTable("t", MustSchema([]Column{{Name: "rid", Type: TypeInt}, {Name: "vlist", Type: TypeIntArray}}, "rid"))
 	tbl.MustInsert(Row{Int(1), IntArray([]int64{1, 2})})
 	cl := tbl.Clone("t2")
-	cl.Rows[0][1].A[0] = 99
-	if tbl.Rows[0][1].A[0] == 99 {
+	cl.RowAt(0)[1].A[0] = 99
+	if tbl.At(0, 1).A[0] == 99 {
 		t.Error("Clone shares array storage with original")
 	}
 	if _, ok := cl.LookupIndex(Int(1)); !ok {
@@ -191,7 +191,7 @@ func TestTableAddColumnAndAlterType(t *testing.T) {
 	if err := tbl.AddColumn(Column{Name: "neighborhood", Type: TypeInt}); err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Rows[0]) != 5 || !tbl.Rows[0][4].IsNull() {
+	if len(tbl.RowAt(0)) != 5 || !tbl.At(0, 4).IsNull() {
 		t.Error("AddColumn should fill NULLs")
 	}
 	if err := tbl.AlterColumnType("coexpression", TypeFloat); err != nil {
@@ -200,8 +200,8 @@ func TestTableAddColumnAndAlterType(t *testing.T) {
 	if tbl.Schema.Columns[3].Type != TypeFloat {
 		t.Error("AlterColumnType did not change schema")
 	}
-	if tbl.Rows[1][3].Type != TypeFloat || tbl.Rows[1][3].AsFloat() != 10 {
-		t.Errorf("value not cast: %v", tbl.Rows[1][3])
+	if tbl.At(1, 3).Type != TypeFloat || tbl.At(1, 3).AsFloat() != 10 {
+		t.Errorf("value not cast: %v", tbl.At(1, 3))
 	}
 	if err := tbl.AlterColumnType("missing", TypeInt); err == nil {
 		t.Error("altering missing column should error")
@@ -288,10 +288,10 @@ func TestCSVRoundTrip(t *testing.T) {
 	if back.Len() != tbl.Len() {
 		t.Fatalf("round trip lost rows: %d vs %d", back.Len(), tbl.Len())
 	}
-	for i := range tbl.Rows {
-		for j := range tbl.Rows[i] {
-			if !tbl.Rows[i][j].Equal(back.Rows[i][j]) {
-				t.Errorf("row %d col %d: %v != %v", i, j, tbl.Rows[i][j], back.Rows[i][j])
+	for i := 0; i < tbl.Len(); i++ {
+		for j := range tbl.Schema.Columns {
+			if !tbl.At(i, j).Equal(back.At(i, j)) {
+				t.Errorf("row %d col %d: %v != %v", i, j, tbl.At(i, j), back.At(i, j))
 			}
 		}
 	}
@@ -306,10 +306,10 @@ func TestReadCSVMissingColumnAndBadValues(t *testing.T) {
 	if tbl.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", tbl.Len())
 	}
-	if !tbl.Rows[0][2].IsNull() {
+	if !tbl.At(0, 2).IsNull() {
 		t.Error("missing column should be NULL")
 	}
-	if !tbl.Rows[1][0].IsNull() {
+	if !tbl.At(1, 0).IsNull() {
 		t.Error("unparseable integer should be NULL")
 	}
 }

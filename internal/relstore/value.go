@@ -245,6 +245,29 @@ func (v Value) Compare(o Value) int {
 // Equal reports whether two values compare equal.
 func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
 
+// sameValue reports exact equality — same type tag and same payload —
+// unlike Equal, which compares by ordering semantics (Int(1) equals
+// Float(1)). Used to detect cells an update did not actually change.
+func sameValue(a, b Value) bool {
+	if a.Type != b.Type {
+		return false
+	}
+	switch a.Type {
+	case TypeInt:
+		return a.I == b.I
+	case TypeFloat:
+		return a.F == b.F
+	case TypeString:
+		return a.S == b.S
+	case TypeBool:
+		return a.B == b.B
+	case TypeIntArray:
+		return compareIntSlices(a.A, b.A) == 0
+	default:
+		return true
+	}
+}
+
 func isNumeric(t ValueType) bool {
 	return t == TypeInt || t == TypeFloat || t == TypeBool
 }

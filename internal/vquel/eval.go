@@ -57,9 +57,9 @@ func (v value) render() relstore.Value {
 	case v.relation != nil:
 		return relstore.Str(v.relation.Name)
 	case v.isTuple:
-		parts := make([]string, len(v.tupleRel.Table.Rows[v.tupleIdx]))
-		for i, cell := range v.tupleRel.Table.Rows[v.tupleIdx] {
-			parts[i] = cell.AsString()
+		parts := make([]string, len(v.tupleRel.Table.Schema.Columns))
+		for i := range parts {
+			parts[i] = v.tupleRel.Table.StringAt(v.tupleIdx, i)
 		}
 		return relstore.Str(strings.Join(parts, "|"))
 	default:
@@ -378,8 +378,19 @@ func (e *Evaluator) step(v value, seg PathSegment, b binding) ([]value, error) {
 		rel := v.relation
 		switch strings.ToLower(name) {
 		case "tuples", "records":
+			// Scalar filters over a relation's tuples push straight down to
+			// the vectorized column scan when the filter is a plain
+			// column-vs-literal comparison; only opaque filters fall back to
+			// enumerating and testing tuple values one at a time.
+			if sel, ok := e.pushdownTupleFilter(rel, seg.Filter); ok {
+				out := make([]value, 0, len(sel))
+				for _, i := range sel {
+					out = append(out, tupleValue(rel, int(i)))
+				}
+				return out, nil
+			}
 			var out []value
-			for i := range rel.Table.Rows {
+			for i := 0; i < rel.Table.Len(); i++ {
 				out = append(out, tupleValue(rel, i))
 			}
 			return filterAll(out)
@@ -395,7 +406,6 @@ func (e *Evaluator) step(v value, seg PathSegment, b binding) ([]value, error) {
 		}
 	case v.isTuple:
 		rel := v.tupleRel
-		row := rel.Table.Rows[v.tupleIdx]
 		switch strings.ToLower(name) {
 		case "all":
 			return []value{scalarValue(v.render())}, nil
@@ -412,10 +422,10 @@ func (e *Evaluator) step(v value, seg PathSegment, b binding) ([]value, error) {
 			// records (Figure 6.1), so a missing column reads as NULL rather
 			// than erroring.
 			idx := rel.Table.Schema.ColumnIndex(name)
-			if idx < 0 || idx >= len(row) {
+			if idx < 0 {
 				return []value{scalarValue(relstore.Null())}, nil
 			}
-			return []value{scalarValue(row[idx])}, nil
+			return []value{scalarValue(rel.Table.At(v.tupleIdx, idx))}, nil
 		}
 	case v.isScalar:
 		// ".name" on a scalar (e.g. V.author.name) is the identity.
@@ -425,6 +435,78 @@ func (e *Evaluator) step(v value, seg PathSegment, b binding) ([]value, error) {
 		return nil, fmt.Errorf("vquel: cannot navigate %q from a scalar", name)
 	default:
 		return nil, fmt.Errorf("vquel: cannot navigate from an empty value")
+	}
+}
+
+// pushdownTupleFilter recognizes inline tuple filters of the shape
+// `column op literal` (either side) and evaluates them as one vectorized
+// column scan (relstore.Table.FilterVec) instead of materializing and
+// testing every tuple. It declines (ok=false) anything it cannot prove
+// equivalent to the row-at-a-time path: opaque paths, aggregate operands,
+// the special tuple attributes (all/parents/id), unknown columns, and
+// unknown operators — those keep their historical evaluation and errors.
+func (e *Evaluator) pushdownTupleFilter(rel *Relation, f *Comparison) (relstore.Selection, bool) {
+	if f == nil {
+		return nil, false
+	}
+	col, op, lit, ok := splitColumnComparison(rel, *f)
+	if !ok {
+		return nil, false
+	}
+	sel, err := rel.Table.FilterVec(col, op, lit)
+	if err != nil {
+		return nil, false
+	}
+	return sel, true
+}
+
+// splitColumnComparison normalizes a comparison to (column, op, literal),
+// flipping the operator when the literal is on the left.
+func splitColumnComparison(rel *Relation, f Comparison) (string, relstore.CmpOp, relstore.Value, bool) {
+	op, ok := relstore.ParseCmpOp(f.Op)
+	if !ok {
+		return "", 0, relstore.Value{}, false
+	}
+	if col, ok := bareColumn(rel, f.Left); ok && f.Right.Literal != nil {
+		return col, op, literalValue(*f.Right.Literal), true
+	}
+	if col, ok := bareColumn(rel, f.Right); ok && f.Left.Literal != nil {
+		return col, flipCmpOp(op), literalValue(*f.Left.Literal), true
+	}
+	return "", 0, relstore.Value{}, false
+}
+
+// bareColumn reports whether the operand is a segment-free path naming a
+// real (non-special) column of the relation.
+func bareColumn(rel *Relation, op Operand) (string, bool) {
+	if op.Path == nil || op.Agg != nil || op.Literal != nil || len(op.Path.Segments) != 0 {
+		return "", false
+	}
+	name := op.Path.Base
+	switch strings.ToLower(name) {
+	case "all", "parents", "id":
+		return "", false // special tuple attributes, not columns
+	}
+	if rel.Table.Schema.ColumnIndex(name) < 0 {
+		return "", false
+	}
+	return name, true
+}
+
+// flipCmpOp mirrors an operator across the comparison (literal op column →
+// column flipped-op literal).
+func flipCmpOp(op relstore.CmpOp) relstore.CmpOp {
+	switch op {
+	case relstore.CmpLT:
+		return relstore.CmpGT
+	case relstore.CmpLE:
+		return relstore.CmpGE
+	case relstore.CmpGT:
+		return relstore.CmpLT
+	case relstore.CmpGE:
+		return relstore.CmpLE
+	default:
+		return op
 	}
 }
 

@@ -364,3 +364,36 @@ func TestFromCVD(t *testing.T) {
 		t.Errorf("ancestors of v2 = %v, want [v1]", res.Rows)
 	}
 }
+
+// Inline scalar tuple filters push down to the vectorized column scan; the
+// result must match the row-at-a-time evaluation exactly, for both operand
+// orders and for filters the pushdown must decline (special attributes).
+func TestTupleFilterPushdownEquivalence(t *testing.T) {
+	repo := buildFigure61Repo(t)
+	res := runQuery(t, repo, `
+		range of E is Version(id = "v02").Relations(name = "Employee").Tuples(age > 40)
+		retrieve E.employee_id, E.age`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("age > 40 in v02: got %d rows, want 3: %v", len(res.Rows), res.Rows)
+	}
+	for _, r := range res.Rows {
+		if r[1].AsInt() <= 40 {
+			t.Errorf("pushdown returned non-matching row: %v", r)
+		}
+	}
+	// A string-typed column filter takes the same pushdown path.
+	smiths := runQuery(t, repo, `
+		range of E is Version(id = "v02").Relations(name = "Employee").Tuples(last_name = "Smith")
+		retrieve E.employee_id`)
+	if len(smiths.Rows) != 3 {
+		t.Errorf("last_name = Smith in v02: got %d rows, want 3", len(smiths.Rows))
+	}
+	// The special tuple attribute `id` is NOT a column: the filter must fall
+	// back to the row-at-a-time path and keep its tuple-index semantics.
+	byIdx := runQuery(t, repo, `
+		range of E is Version(id = "v02").Relations(name = "Employee").Tuples(id = 0)
+		retrieve E.employee_id`)
+	if len(byIdx.Rows) != 1 {
+		t.Errorf("id = 0 filter: got %d rows, want 1 (tuple index, not a column)", len(byIdx.Rows))
+	}
+}
