@@ -131,6 +131,20 @@ func BenchmarkRecsetSubsystem(b *testing.B) {
 	}
 }
 
+// BenchmarkDurableSubsystem times the durable storage suite (RunDurable):
+// binary snapshot save/restore, journaled load with fsync per commit, WAL
+// streaming replay, and the re-init-from-CSV baseline. The small SCI_1K
+// preset keeps the fsync-heavy measurements inside benchtime budgets;
+// cmd/benchrunner -experiment durable runs the full-size version and writes
+// BENCH_durable.json.
+func BenchmarkDurableSubsystem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := benchmark.RunDurable("SCI_1K", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkColumnarSubsystem times the full before/after suite of the
 // columnar storage subsystem (RunColumnar): frozen row-backed tables with
 // closure predicates vs typed column vectors with vectorized predicate

@@ -1,8 +1,11 @@
 // Command orpheus is a small command-line front end to the OrpheusDB engine.
-// Because the engine in this repository is embedded and in-memory, the CLI
-// operates on a session script: it reads commands from stdin (or -script),
-// one per line, against a single engine instance — mirroring the interactive
-// command-line workflow of Chapter 3.
+// Because the engine in this repository is embedded, the CLI operates on a
+// session script: it reads commands from stdin (or -script), one per line,
+// against a single engine instance — mirroring the interactive command-line
+// workflow of Chapter 3. With -data <dir> the session is durable: the data
+// directory's snapshot is loaded and its commit WAL replayed on startup, and
+// every init / commit / drop is journaled (fsync on the commit boundary), so
+// the session's datasets survive process restarts.
 //
 // Supported commands:
 //
@@ -19,13 +22,20 @@
 //	optimize <cvd> [factor]                   run the partition optimizer (γ = factor·|R|)
 //	run <cvd> <vquel query ...>               run a VQuel query
 //	export <cvd> -v <v> -f <csv-file>         write a version to a CSV file
+//	save <dir>                                export a snapshot of the engine to a directory
+//	load <dir>                                replace the session with a data directory's state
+//	log [cvd]                                 commit log (all CVDs, or one) plus durability status
+//	checkpoint                                fold the WAL into a fresh snapshot (durable sessions)
+//	drop <cvd>                                drop a CVD
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -36,21 +46,56 @@ import (
 )
 
 func main() {
-	script := flag.String("script", "", "file with one command per line (default: stdin)")
-	workers := flag.Int("workers", 0, "worker-pool size for parallel engine operations (0 = single-threaded)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	in := os.Stdin
+// session is the mutable CLI state: the engine plus the output streams. load
+// swaps the engine wholesale.
+type session struct {
+	engine *core.Engine
+	out    io.Writer
+	errw   io.Writer
+}
+
+// run is the testable entry point: it executes the whole session and returns
+// the process exit code (0 when every command succeeded, 1 when any failed,
+// 2 on setup errors).
+func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("orpheus", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	script := fs.String("script", "", "file with one command per line (default: stdin)")
+	workers := fs.Int("workers", 0, "worker-pool size for parallel engine operations (0 = single-threaded)")
+	dataDir := fs.String("data", "", "durable data directory (snapshot + commit WAL); replayed on start")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	in := stdin
 	if *script != "" {
 		f, err := os.Open(*script)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "orpheus:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "orpheus:", err)
+			return 2
 		}
 		defer f.Close()
 		in = f
 	}
-	engine := core.Open("orpheus", core.WithWorkers(*workers))
+	var engine *core.Engine
+	if *dataDir != "" {
+		var err error
+		engine, err = core.OpenDurable("orpheus", *dataDir, core.WithWorkers(*workers))
+		if err != nil {
+			fmt.Fprintln(stderr, "orpheus:", err)
+			return 2
+		}
+		warnRecovery(stderr, engine)
+	} else {
+		engine = core.Open("orpheus", core.WithWorkers(*workers))
+	}
+	s := &session{engine: engine, out: stdout, errw: stderr}
+	defer func() { s.engine.Close() }()
+
+	failed := false
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for scanner.Scan() {
@@ -58,46 +103,68 @@ func main() {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		if err := execute(engine, line); err != nil {
-			fmt.Fprintf(os.Stderr, "orpheus: %s: %v\n", line, err)
+		if err := s.execute(line); err != nil {
+			fmt.Fprintf(stderr, "orpheus: %s: %v\n", line, err)
+			failed = true
 		}
 	}
+	if err := scanner.Err(); err != nil {
+		// A scanner failure (read error, or a command line over the 1 MiB
+		// buffer) silently ends the session early; that must not look like
+		// success.
+		fmt.Fprintln(stderr, "orpheus: reading commands:", err)
+		return 2
+	}
+	if failed {
+		return 1
+	}
+	return 0
 }
 
-func execute(engine *core.Engine, line string) error {
+func (s *session) execute(line string) error {
 	fields := strings.Fields(line)
 	cmd := fields[0]
 	args := fields[1:]
 	switch cmd {
 	case "init":
-		return cmdInit(engine, args)
+		return s.cmdInit(args)
 	case "checkout":
-		return cmdCheckout(engine, args)
+		return s.cmdCheckout(args)
 	case "commit":
-		return cmdCommit(engine, args)
+		return s.cmdCommit(args)
 	case "diff":
-		return cmdDiff(engine, args)
+		return s.cmdDiff(args)
 	case "select":
-		return cmdSelect(engine, args)
+		return s.cmdSelect(args)
 	case "ls":
-		for _, name := range engine.List() {
-			fmt.Println(name)
+		for _, name := range s.engine.List() {
+			fmt.Fprintln(s.out, name)
 		}
 		return nil
 	case "versions":
-		return cmdVersions(engine, args)
+		return s.cmdVersions(args)
 	case "optimize":
-		return cmdOptimize(engine, args)
+		return s.cmdOptimize(args)
 	case "run":
-		return cmdRun(engine, args)
+		return s.cmdRun(args)
 	case "export":
-		return cmdExport(engine, args)
+		return s.cmdExport(args)
+	case "save":
+		return s.cmdSave(args)
+	case "load":
+		return s.cmdLoad(args)
+	case "log":
+		return s.cmdLog(args)
+	case "checkpoint":
+		return s.cmdCheckpoint(args)
+	case "drop":
+		return s.cmdDrop(args)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 }
 
-func cmdInit(engine *core.Engine, args []string) error {
+func (s *session) cmdInit(args []string) error {
 	if len(args) < 2 {
 		return fmt.Errorf("usage: init <cvd> <csv-file> [pk=col,col]")
 	}
@@ -131,15 +198,15 @@ func cmdInit(engine *core.Engine, args []string) error {
 	if _, err := f.Seek(0, 0); err != nil {
 		return err
 	}
-	_, err = engine.InitFromCSV(name, f, schema, cvd.Options{Author: os.Getenv("USER"), Message: "imported from " + file})
+	_, err = s.engine.InitFromCSV(name, f, schema, cvd.Options{Author: os.Getenv("USER"), Message: "imported from " + file})
 	if err == nil {
-		fmt.Printf("initialized CVD %s from %s\n", name, file)
+		fmt.Fprintf(s.out, "initialized CVD %s from %s\n", name, file)
 	}
 	return err
 }
 
-func parseVersions(s string) ([]vgraph.VersionID, error) {
-	parts := strings.Split(s, ",")
+func parseVersions(v string) ([]vgraph.VersionID, error) {
+	parts := strings.Split(v, ",")
 	out := make([]vgraph.VersionID, 0, len(parts))
 	for _, p := range parts {
 		n, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
@@ -171,7 +238,7 @@ func flagValues(args []string, flagName string) []string {
 	return out
 }
 
-func cmdCheckout(engine *core.Engine, args []string) error {
+func (s *session) cmdCheckout(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: checkout <cvd> -v <versions> -t <table>")
 	}
@@ -180,27 +247,27 @@ func cmdCheckout(engine *core.Engine, args []string) error {
 		return err
 	}
 	table := flagValue(args, "-t")
-	tab, err := engine.Checkout(args[0], versions, table)
+	tab, err := s.engine.Checkout(args[0], versions, table)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("checked out %d records into %s\n", tab.Len(), table)
+	fmt.Fprintf(s.out, "checked out %d records into %s\n", tab.Len(), table)
 	return nil
 }
 
-func cmdCommit(engine *core.Engine, args []string) error {
+func (s *session) cmdCommit(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: commit <cvd> -t <table> -m <message>")
 	}
-	v, err := engine.Commit(args[0], flagValue(args, "-t"), flagValue(args, "-m"), os.Getenv("USER"))
+	v, err := s.engine.Commit(args[0], flagValue(args, "-t"), flagValue(args, "-m"), os.Getenv("USER"))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("committed version %d\n", v)
+	fmt.Fprintf(s.out, "committed version %d\n", v)
 	return nil
 }
 
-func cmdDiff(engine *core.Engine, args []string) error {
+func (s *session) cmdDiff(args []string) error {
 	if len(args) != 3 {
 		return fmt.Errorf("usage: diff <cvd> <v1> <v2>")
 	}
@@ -212,25 +279,25 @@ func cmdDiff(engine *core.Engine, args []string) error {
 	if err != nil {
 		return err
 	}
-	d, err := engine.Diff(args[0], vgraph.VersionID(a), vgraph.VersionID(b))
+	d, err := s.engine.Diff(args[0], vgraph.VersionID(a), vgraph.VersionID(b))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("only in v%d: %d records; only in v%d: %d records\n", a, len(d.OnlyInA), b, len(d.OnlyInB))
+	fmt.Fprintf(s.out, "only in v%d: %d records; only in v%d: %d records\n", a, len(d.OnlyInA), b, len(d.OnlyInB))
 	return nil
 }
 
 // parsePredicate splits "<col><op><value>" (e.g. "coexpression>80") on the
 // first comparison operator, preferring the two-character spellings.
-func parsePredicate(s string) (col, op string, val relstore.Value, err error) {
+func parsePredicate(p string) (col, op string, val relstore.Value, err error) {
 	for _, cand := range []string{"<=", ">=", "!=", "<>", "==", "=", "<", ">"} {
-		if i := strings.Index(s, cand); i > 0 {
-			col = strings.TrimSpace(s[:i])
+		if i := strings.Index(p, cand); i > 0 {
+			col = strings.TrimSpace(p[:i])
 			op = cand
-			raw := strings.TrimSpace(s[i+len(cand):])
+			raw := strings.TrimSpace(p[i+len(cand):])
 			switch {
 			case raw == "":
-				return "", "", relstore.Value{}, fmt.Errorf("predicate %q has no value", s)
+				return "", "", relstore.Value{}, fmt.Errorf("predicate %q has no value", p)
 			default:
 				if n, err := strconv.ParseInt(raw, 10, 64); err == nil {
 					return col, op, relstore.Int(n), nil
@@ -242,18 +309,18 @@ func parsePredicate(s string) (col, op string, val relstore.Value, err error) {
 			}
 		}
 	}
-	return "", "", relstore.Value{}, fmt.Errorf("predicate %q has no comparison operator", s)
+	return "", "", relstore.Value{}, fmt.Errorf("predicate %q has no comparison operator", p)
 }
 
 // cmdSelect runs the versioned SELECT shortcut: predicates are compiled
 // once (cvd.NamedPredicate / NamedPredicateAll for repeated -w flags) and
 // pushed down to the vectorized column scan of the data table, with the
 // multi-predicate form chaining selection refinements.
-func cmdSelect(engine *core.Engine, args []string) error {
+func (s *session) cmdSelect(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: select <cvd> -v <versions> [-w <col><op><value>]... [-limit n]")
 	}
-	c, err := engine.CVD(args[0])
+	c, err := s.engine.CVD(args[0])
 	if err != nil {
 		return err
 	}
@@ -290,33 +357,33 @@ func cmdSelect(engine *core.Engine, args []string) error {
 		return err
 	}
 	cols := c.Schema().ColumnNames()
-	fmt.Println("version\trid\t" + strings.Join(cols, "\t"))
+	fmt.Fprintln(s.out, "version\trid\t"+strings.Join(cols, "\t"))
 	for _, vr := range rows {
 		cells := make([]string, len(vr.Row))
 		for i, v := range vr.Row {
 			cells[i] = v.AsString()
 		}
-		fmt.Printf("v%d\t%d\t%s\n", vr.Version, vr.RID, strings.Join(cells, "\t"))
+		fmt.Fprintf(s.out, "v%d\t%d\t%s\n", vr.Version, vr.RID, strings.Join(cells, "\t"))
 	}
-	fmt.Printf("(%d rows)\n", len(rows))
+	fmt.Fprintf(s.out, "(%d rows)\n", len(rows))
 	return nil
 }
 
-func cmdVersions(engine *core.Engine, args []string) error {
+func (s *session) cmdVersions(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: versions <cvd>")
 	}
-	c, err := engine.CVD(args[0])
+	c, err := s.engine.CVD(args[0])
 	if err != nil {
 		return err
 	}
 	for _, m := range c.AllMeta() {
-		fmt.Printf("v%d\tparents=%v\trecords=%d\tauthor=%s\tmsg=%s\n", m.ID, m.Parents, m.NumRecords, m.Author, m.Message)
+		fmt.Fprintf(s.out, "v%d\tparents=%v\trecords=%d\tauthor=%s\tmsg=%s\n", m.ID, m.Parents, m.NumRecords, m.Author, m.Message)
 	}
 	return nil
 }
 
-func cmdOptimize(engine *core.Engine, args []string) error {
+func (s *session) cmdOptimize(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: optimize <cvd> [storage-factor]")
 	}
@@ -328,35 +395,35 @@ func cmdOptimize(engine *core.Engine, args []string) error {
 		}
 		factor = f
 	}
-	rep, err := engine.Optimize(args[0], factor)
+	rep, err := s.engine.Optimize(args[0], factor)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("partitioned into %d partitions (delta=%.3f, est. storage %d records, est. avg checkout %.1f records)\n",
+	fmt.Fprintf(s.out, "partitioned into %d partitions (delta=%.3f, est. storage %d records, est. avg checkout %.1f records)\n",
 		rep.Partitions, rep.Delta, rep.EstimatedStorage, rep.EstimatedAvgCost)
 	return nil
 }
 
-func cmdRun(engine *core.Engine, args []string) error {
+func (s *session) cmdRun(args []string) error {
 	if len(args) < 2 {
 		return fmt.Errorf("usage: run <cvd> <vquel query>")
 	}
-	res, err := engine.Query(args[0], strings.Join(args[1:], " "))
+	res, err := s.engine.Query(args[0], strings.Join(args[1:], " "))
 	if err != nil {
 		return err
 	}
-	fmt.Println(strings.Join(res.Columns, "\t"))
+	fmt.Fprintln(s.out, strings.Join(res.Columns, "\t"))
 	for _, row := range res.Rows {
 		cells := make([]string, len(row))
 		for i, v := range row {
 			cells[i] = v.AsString()
 		}
-		fmt.Println(strings.Join(cells, "\t"))
+		fmt.Fprintln(s.out, strings.Join(cells, "\t"))
 	}
 	return nil
 }
 
-func cmdExport(engine *core.Engine, args []string) error {
+func (s *session) cmdExport(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: export <cvd> -v <version> -f <csv-file>")
 	}
@@ -365,7 +432,7 @@ func cmdExport(engine *core.Engine, args []string) error {
 		return err
 	}
 	file := flagValue(args, "-f")
-	c, err := engine.CVD(args[0])
+	c, err := s.engine.CVD(args[0])
 	if err != nil {
 		return err
 	}
@@ -377,6 +444,104 @@ func cmdExport(engine *core.Engine, args []string) error {
 	if err := c.CheckoutToCSV(versions, f); err != nil {
 		return err
 	}
-	fmt.Printf("exported %v to %s\n", versions, file)
+	fmt.Fprintf(s.out, "exported %v to %s\n", versions, file)
+	return nil
+}
+
+// cmdSave exports a one-shot binary snapshot of the whole engine into a
+// directory that `orpheus -data <dir>` (or `load <dir>`) can open later.
+func (s *session) cmdSave(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: save <dir>")
+	}
+	if err := s.engine.Save(args[0]); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "saved %d CVDs to %s\n", len(s.engine.List()), args[0])
+	return nil
+}
+
+// cmdLoad replaces the session's engine with the state recovered from a data
+// directory (snapshot + WAL replay). The session stays durable against that
+// directory afterwards.
+func (s *session) cmdLoad(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: load <dir>")
+	}
+	loaded, err := core.OpenDurable("orpheus", args[0], core.WithWorkers(s.engine.Workers()))
+	if err != nil {
+		return err
+	}
+	warnRecovery(s.errw, loaded)
+	s.engine.Close()
+	s.engine = loaded
+	fmt.Fprintf(s.out, "loaded %d CVDs from %s\n", len(loaded.List()), args[0])
+	return nil
+}
+
+// warnRecovery reports, on stderr, anything crash recovery had to repair
+// while opening a data directory — the events that dropped bytes (a torn
+// append) or an entire stale WAL deserve a visible trace.
+func warnRecovery(errw io.Writer, e *core.Engine) {
+	rec := e.Recovery()
+	if rec.TornTail {
+		fmt.Fprintf(errw, "orpheus: recovery: truncated a torn WAL record in %s (a crashed append; all fully-committed versions were recovered)\n", e.DataDir())
+	}
+	if rec.StaleWAL {
+		fmt.Fprintf(errw, "orpheus: recovery: discarded a stale WAL in %s (crash during checkpoint; its contents were already in the snapshot)\n", e.DataDir())
+	}
+}
+
+// cmdLog prints the commit log — every version of every CVD (or one CVD)
+// with parents, author, timestamp, and message — plus the session's
+// durability binding.
+func (s *session) cmdLog(args []string) error {
+	if len(args) > 1 {
+		return fmt.Errorf("usage: log [cvd]")
+	}
+	if dir := s.engine.DataDir(); dir != "" {
+		fmt.Fprintf(s.out, "data directory: %s\n", dir)
+	} else {
+		fmt.Fprintln(s.out, "data directory: (none — in-memory session)")
+	}
+	names := s.engine.List()
+	if len(args) == 1 {
+		names = []string{args[0]}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c, err := s.engine.CVD(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "== %s (%s, %d versions, %d records)\n", name, c.Model(), c.NumVersions(), c.NumRecords())
+		for _, m := range c.AllMeta() {
+			fmt.Fprintf(s.out, "v%d\t%s\tparents=%v\tauthor=%s\t%s\n",
+				m.ID, m.CommitAt.Format("2006-01-02T15:04:05"), m.Parents, m.Author, m.Message)
+		}
+	}
+	return nil
+}
+
+// cmdCheckpoint folds the WAL into a fresh snapshot (durable sessions only).
+func (s *session) cmdCheckpoint(args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("usage: checkpoint")
+	}
+	if err := s.engine.Checkpoint(); err != nil {
+		return err
+	}
+	fmt.Fprintln(s.out, "checkpointed")
+	return nil
+}
+
+func (s *session) cmdDrop(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: drop <cvd>")
+	}
+	if err := s.engine.Drop(args[0]); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "dropped %s\n", args[0])
 	return nil
 }

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runSession drives the CLI in-process: a script of commands against fresh
+// output buffers, returning the exit code plus captured stdout/stderr.
+func runSession(t *testing.T, argv []string, script string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(argv, strings.NewReader(script), &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// writeCSV drops a small CSV fixture and returns its path.
+func writeCSV(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const proteinCSV = "pid,score,kind\n1,80,alpha\n2,95,beta\n3,70,alpha\n"
+
+func TestDispatchHappyPath(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeCSV(t, dir, "p.csv", proteinCSV)
+	exportPath := filepath.Join(dir, "out.csv")
+	script := strings.Join([]string{
+		"# comment lines and blanks are skipped",
+		"",
+		"init proteins " + csv + " pk=pid",
+		"ls",
+		"checkout proteins -v 1 -t work",
+		"commit proteins -t work -m recommit",
+		"diff proteins 1 2",
+		"select proteins -v 1,2 -w score>75 -limit 10",
+		"versions proteins",
+		"export proteins -v 2 -f " + exportPath,
+		"log proteins",
+		"drop proteins",
+		"ls",
+	}, "\n")
+	code, out, errw := runSession(t, nil, script)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, errw)
+	}
+	for _, want := range []string{
+		"initialized CVD proteins from " + csv,
+		"checked out 3 records into work",
+		"committed version 2",
+		"only in v1: 0 records; only in v2: 0 records",
+		"(4 rows)",
+		"v1\tparents=[]",
+		"exported [2] to " + exportPath,
+		"data directory: (none — in-memory session)",
+		"== proteins (split-by-rlist, 2 versions",
+		"dropped proteins",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	if errw != "" {
+		t.Errorf("unexpected stderr: %s", errw)
+	}
+	// After the drop, the final ls prints nothing for the CVD.
+	bare := 0
+	for _, line := range strings.Split(out, "\n") {
+		if line == "proteins" {
+			bare++
+		}
+	}
+	if bare != 1 {
+		t.Errorf("expected exactly one bare `proteins` list line, got %d:\n%s", bare, out)
+	}
+	exported, err := os.ReadFile(exportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(exported), "pid,score,kind\n") {
+		t.Errorf("export lacks header: %q", exported)
+	}
+}
+
+func TestDispatchErrorsSetExitCode(t *testing.T) {
+	cases := []struct {
+		name    string
+		script  string
+		wantErr string
+	}{
+		{"unknown command", "frobnicate", `unknown command "frobnicate"`},
+		{"unknown cvd", "checkout nope -v 1 -t t", `unknown CVD "nope"`},
+		{"bad version id", "diff nope x 2", "invalid syntax"},
+		{"missing csv", "init d /nonexistent/x.csv", "no such file"},
+		{"bad usage", "commit", "usage: commit"},
+		{"checkpoint in-memory", "checkpoint", "requires a durable engine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errw := runSession(t, nil, tc.script)
+			if code != 1 {
+				t.Fatalf("exit code %d, want 1 (stderr: %s)", code, errw)
+			}
+			if !strings.Contains(errw, tc.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantErr, errw)
+			}
+		})
+	}
+	// Errors do not abort the session: later commands still run.
+	code, out, _ := runSession(t, nil, "frobnicate\nls")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	_ = out
+}
+
+func TestBadFlagsExitCode(t *testing.T) {
+	code, _, _ := runSession(t, []string{"-nosuchflag"}, "")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	code, _, _ = runSession(t, []string{"-script", "/nonexistent/script"}, "")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+// TestSaveLoadAcrossSessions drives the durable workflow end to end through
+// the CLI: one session builds and saves, a second loads (via `load`), a third
+// opens the directory with -data, and all see the same history.
+func TestSaveLoadAcrossSessions(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeCSV(t, dir, "p.csv", proteinCSV)
+	saveDir := filepath.Join(dir, "datadir")
+
+	code, out, errw := runSession(t, nil, strings.Join([]string{
+		"init proteins " + csv + " pk=pid",
+		"checkout proteins -v 1 -t work",
+		"commit proteins -t work -m second",
+		"save " + saveDir,
+	}, "\n"))
+	if code != 0 {
+		t.Fatalf("save session exit %d: %s", code, errw)
+	}
+	if !strings.Contains(out, "saved 1 CVDs to "+saveDir) {
+		t.Errorf("missing save confirmation:\n%s", out)
+	}
+
+	// Session 2: starts empty, loads the directory, keeps working durably.
+	code, out, errw = runSession(t, nil, strings.Join([]string{
+		"load " + saveDir,
+		"ls",
+		"versions proteins",
+		"checkout proteins -v 2 -t more",
+		"commit proteins -t more -m third",
+		"checkpoint",
+	}, "\n"))
+	if code != 0 {
+		t.Fatalf("load session exit %d: %s", code, errw)
+	}
+	for _, want := range []string{"loaded 1 CVDs from " + saveDir, "proteins", "msg=second", "committed version 3", "checkpointed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("load session stdout missing %q:\n%s", want, out)
+		}
+	}
+
+	// Session 3: -data opens the same directory; the post-load commit (which
+	// went through the WAL, then a checkpoint) must still be there.
+	code, out, errw = runSession(t, []string{"-data", saveDir}, "log proteins\nselect proteins -v 3 -limit 1")
+	if code != 0 {
+		t.Fatalf("-data session exit %d: %s", code, errw)
+	}
+	for _, want := range []string{"data directory: " + saveDir, "3 versions", "third"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-data session stdout missing %q:\n%s", want, out)
+		}
+	}
+}

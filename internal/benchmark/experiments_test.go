@@ -147,6 +147,28 @@ func TestRunConcurrent(t *testing.T) {
 	}
 }
 
+func TestRunDurable(t *testing.T) {
+	report, table, err := RunDurable("SCI_1K", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 5 {
+		t.Fatalf("results = %d, want 5\n%s", len(report.Results), table)
+	}
+	if report.SnapshotBytes <= 0 || report.WALBytes <= 0 {
+		t.Errorf("empty artifacts: snapshot %d bytes, WAL %d bytes", report.SnapshotBytes, report.WALBytes)
+	}
+	// The acceptance bar of the durable subsystem: recovering the engine from
+	// its binary snapshot must be at least 2x faster than re-ingesting every
+	// version from CSV.
+	if report.RestoreSpeedupVsCSV < 2 {
+		t.Errorf("snapshot restore speedup vs CSV re-init = %.2fx, want >= 2x\n%s", report.RestoreSpeedupVsCSV, table)
+	}
+	if _, err := report.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunCh7(t *testing.T) {
 	table, err := RunCh7(15, 3)
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/cvd"
+	"repro/internal/durable"
 	"repro/internal/partition"
 	"repro/internal/relstore"
 	"repro/internal/vgraph"
@@ -27,12 +28,47 @@ import (
 
 // Engine is an OrpheusDB instance: a backing database plus the CVDs it
 // manages. All methods are safe for concurrent use.
+//
+// An engine is either ephemeral (Open) or durable (OpenDurable): a durable
+// engine is bound to a data directory whose snapshot and commit WAL it
+// replayed on startup, appends every Init / Commit / Drop to the WAL (fsync
+// on the commit boundary), and folds the WAL into a fresh snapshot on
+// Checkpoint. See package durable for the on-disk format.
 type Engine struct {
 	mu      sync.RWMutex // guards the CVD registry
 	db      *relstore.Database
 	cvds    map[string]*cvd.CVD
 	workers int
+
+	// dropping reserves names mid-Drop (guarded by mu): the name stays
+	// un-reusable by Init between the drop's WAL record being prepared and
+	// the registry unlink, without holding mu across the fence wait.
+	dropping map[string]struct{}
+
+	// store is the durable data directory binding; nil for ephemeral
+	// engines. The lock order across the stack is engine registry → CVD
+	// lock → store append mutex (commits take CVD → store; checkpoints take
+	// registry → every CVD → store).
+	store *durable.Store
+	// recovery records what OpenDurable had to repair; immutable after open.
+	recovery RecoveryInfo
 }
+
+// RecoveryInfo reports what opening a data directory had to repair.
+type RecoveryInfo struct {
+	// TornTail: a partially-written WAL record (crashed append) was found
+	// and truncated away. Every fully-committed record before it survived.
+	TornTail bool
+	// StaleWAL: a WAL older than the snapshot was discarded — the signature
+	// of a crash between a checkpoint's snapshot rename and WAL reset.
+	// Everything in the discarded WAL is already in the snapshot.
+	StaleWAL bool
+}
+
+// Recovery returns what OpenDurable had to repair when the engine's data
+// directory was opened (the zero value for ephemeral engines and clean
+// opens).
+func (e *Engine) Recovery() RecoveryInfo { return e.recovery }
 
 // Option configures an Engine at Open time.
 type Option func(*Engine)
@@ -47,7 +83,7 @@ func WithWorkers(n int) Option {
 
 // Open creates an engine over a fresh in-memory database.
 func Open(name string, opts ...Option) *Engine {
-	e := &Engine{db: relstore.NewDatabase(name), cvds: make(map[string]*cvd.CVD)}
+	e := &Engine{db: relstore.NewDatabase(name), cvds: make(map[string]*cvd.CVD), dropping: make(map[string]struct{})}
 	for _, o := range opts {
 		o(e)
 	}
@@ -62,7 +98,10 @@ func (e *Engine) Database() *relstore.Database { return e.db }
 func (e *Engine) Workers() int { return e.workers }
 
 // Init creates a new CVD from initial rows (the `init` command). Unless the
-// options say otherwise, the CVD inherits the engine's worker count.
+// options say otherwise, the CVD inherits the engine's worker count. On a
+// durable engine the creation (with its initial rows) is appended to the
+// commit WAL and fsynced before Init returns, and every later commit to the
+// CVD is journaled the same way.
 func (e *Engine) Init(name string, schema relstore.Schema, rows []relstore.Row, opts cvd.Options) (*cvd.CVD, error) {
 	if opts.Workers == 0 {
 		opts.Workers = e.workers
@@ -72,9 +111,29 @@ func (e *Engine) Init(name string, schema relstore.Schema, rows []relstore.Row, 
 	if _, dup := e.cvds[name]; dup {
 		return nil, fmt.Errorf("core: CVD %q already exists", name)
 	}
+	if _, busy := e.dropping[name]; busy {
+		return nil, fmt.Errorf("core: CVD %q is being dropped", name)
+	}
 	c, err := cvd.Init(e.db, name, schema, rows, opts)
 	if err != nil {
 		return nil, err
+	}
+	if e.store != nil {
+		// The WAL append (including its fsync) runs under the registry lock
+		// deliberately: holding e.mu across both the in-memory creation and
+		// the OpInit append is what makes Init atomic with Checkpoint — a
+		// checkpoint can never observe the CVD without its init record being
+		// either folded in or in the continuing WAL.
+		meta, _ := c.Meta(1)
+		at := opts.At
+		if meta != nil {
+			at = meta.CommitAt
+		}
+		if err := e.store.LogInit(name, opts.Model, schema, rows, opts.Message, opts.Author, at); err != nil {
+			c.Drop()
+			return nil, fmt.Errorf("core: journaling init of %q: %w", name, err)
+		}
+		c.SetJournal(e.store)
 	}
 	e.cvds[name] = c
 	return c, nil
@@ -84,11 +143,21 @@ func (e *Engine) Init(name string, schema relstore.Schema, rows []relstore.Row, 
 // the benchmark harness directly against the engine's database) so that it
 // is reachable through the engine façade. Like Init, the adopted CVD
 // inherits the engine's worker count unless its own was set explicitly.
+//
+// On a durable engine an adopted CVD is NOT durable until the next
+// Checkpoint: its pre-adoption history cannot be expressed as WAL records,
+// so no journal is attached either — journaling commits against a CVD the
+// snapshot does not contain would make the WAL unreplayable. Checkpoint
+// folds the CVD into the snapshot and attaches the journal atomically; call
+// it right after adopting.
 func (e *Engine) Adopt(c *cvd.CVD) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.cvds[c.Name()]; dup {
 		return fmt.Errorf("core: CVD %q already exists", c.Name())
+	}
+	if _, busy := e.dropping[c.Name()]; busy {
+		return fmt.Errorf("core: CVD %q is being dropped", c.Name())
 	}
 	c.InheritWorkers(e.workers)
 	e.cvds[c.Name()] = c
@@ -127,16 +196,53 @@ func (e *Engine) List() []string {
 	return names
 }
 
-// Drop removes a CVD and its backing tables (the `drop` command).
+// Drop removes a CVD and its backing tables (the `drop` command). The
+// registry lock is held only to unlink the CVD: the teardown itself — which
+// must wait for in-flight checkouts and commits of that CVD — runs outside
+// it, so concurrent List / CVD / Checkout calls on other datasets never
+// stall behind one dataset's teardown.
 func (e *Engine) Drop(name string) error {
+	// Reserve the name first: Init refuses reserved names, so no OpInit for
+	// a reused name can reach the WAL before this drop's OpDrop, without the
+	// registry lock being held across the fence below.
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	c, ok := e.cvds[name]
+	if ok {
+		if _, busy := e.dropping[name]; busy {
+			ok = false // another Drop of the same name is in flight
+		} else {
+			e.dropping[name] = struct{}{}
+		}
+	}
+	e.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("core: unknown CVD %q", name)
 	}
-	c.Drop()
+	var logErr error
+	if e.store != nil {
+		// WAL ordering: the OpDrop must land after any in-flight commit's
+		// OpCommit, so fence the CVD's exclusive lock (waiting out in-flight
+		// work without holding e.mu — registry traffic on other datasets
+		// stays live) and detach its journal; commits that slip in after the
+		// fence journal nothing, and the teardown below discards them anyway.
+		c.LockExclusive()
+		c.SetJournalLocked(nil)
+		logErr = e.store.LogDrop(name)
+		c.UnlockExclusive()
+	}
+	e.mu.Lock()
 	delete(e.cvds, name)
+	e.mu.Unlock()
+	// The name reservation outlives the unlink: it is released only after the
+	// teardown finishes, so an Init reusing the name cannot create fresh
+	// backing tables that the in-flight c.Drop() would then destroy.
+	c.Drop()
+	e.mu.Lock()
+	delete(e.dropping, name)
+	e.mu.Unlock()
+	if logErr != nil {
+		return fmt.Errorf("core: journaling drop of %q: %w", name, logErr)
+	}
 	return nil
 }
 

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cvd"
+	"repro/internal/durable"
+	"repro/internal/relstore"
+)
+
+// This file binds the engine to the durable storage subsystem (package
+// durable): opening a data directory (snapshot load + WAL replay), journaling
+// live operations, exporting snapshots, and checkpointing.
+
+// OpenDurable opens an engine bound to a data directory. If the directory
+// holds a snapshot it is loaded (tables rebuilt straight from their columnar
+// lanes), and the commit WAL is replayed on top of it — every fully-committed
+// record is applied, a torn tail from a crashed append is truncated away, and
+// a WAL made stale by a crashed checkpoint is discarded. Afterwards every
+// Init / Commit / Drop through the engine (or directly on a managed CVD) is
+// appended to the WAL and fsynced before it returns.
+func OpenDurable(name, dir string, opts ...Option) (*Engine, error) {
+	store, res, err := durable.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	e := Open(name, opts...)
+	e.recovery = RecoveryInfo{TornTail: res.TornTail, StaleWAL: res.StaleWAL}
+	if res.Snapshot != nil {
+		if res.Snapshot.DBName != "" {
+			e.db = relstore.NewDatabase(res.Snapshot.DBName)
+		}
+		for _, t := range res.Snapshot.Tables {
+			e.db.AttachTable(t)
+		}
+		for _, st := range res.Snapshot.CVDs {
+			c, err := cvd.Restore(e.db, st)
+			if err != nil {
+				store.Close()
+				return nil, err
+			}
+			e.cvds[c.Name()] = c
+		}
+	}
+	// Stream the WAL through the engine one record at a time (a large log is
+	// never materialized whole).
+	if _, err := store.ReplayWAL(e.applyRecord); err != nil {
+		store.Close()
+		return nil, err
+	}
+	// Attach the journal only after replay so replayed operations are not
+	// logged a second time.
+	e.store = store
+	for _, c := range e.cvds {
+		c.SetJournal(store)
+		c.InheritWorkers(e.workers)
+	}
+	return e, nil
+}
+
+// applyRecord replays one WAL record against the in-memory engine. Replay
+// runs before the journal is attached, so nothing here re-logs.
+func (e *Engine) applyRecord(rec *durable.Record) error {
+	switch rec.Op {
+	case durable.OpInit:
+		if _, dup := e.cvds[rec.CVD]; dup {
+			return fmt.Errorf("core: WAL replays init of existing CVD %q", rec.CVD)
+		}
+		c, err := cvd.Init(e.db, rec.CVD, rec.Schema, rec.Rows, cvd.Options{
+			Model:   rec.Kind,
+			Author:  rec.Author,
+			Message: rec.Message,
+			At:      rec.At,
+			Workers: e.workers,
+		})
+		if err != nil {
+			return fmt.Errorf("core: replaying init of %q: %w", rec.CVD, err)
+		}
+		e.cvds[rec.CVD] = c
+		return nil
+	case durable.OpCommit:
+		c, ok := e.cvds[rec.CVD]
+		if !ok {
+			return fmt.Errorf("core: WAL replays commit to unknown CVD %q (a CVD adopted but never checkpointed?)", rec.CVD)
+		}
+		if _, err := c.CommitAt(rec.Parents, rec.Rows, rec.Schema, rec.Message, rec.Author, rec.At); err != nil {
+			return fmt.Errorf("core: replaying commit to %q: %w", rec.CVD, err)
+		}
+		return nil
+	case durable.OpDrop:
+		// A drop may race a checkpoint in the original process (the CVD was
+		// already unlinked from the snapshot's registry), so a drop of an
+		// unknown CVD is a no-op, not corruption.
+		if c, ok := e.cvds[rec.CVD]; ok {
+			c.Drop()
+			delete(e.cvds, rec.CVD)
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: unknown WAL record op %d", rec.Op)
+	}
+}
+
+// Durable reports whether the engine is bound to a data directory.
+func (e *Engine) Durable() bool { return e.store != nil }
+
+// DataDir returns the bound data directory ("" for ephemeral engines).
+func (e *Engine) DataDir() string {
+	if e.store == nil {
+		return ""
+	}
+	return e.store.Dir()
+}
+
+// buildSnapshot assembles the full engine snapshot under a consistent set of
+// locks: the registry shared lock plus every CVD's lock (in name order,
+// shared or exclusive per the flag), held for the whole serialization so no
+// commit can slip between two CVDs' sections. The returned release function
+// drops the locks; callers that need to act while the engine is still fenced
+// (Checkpoint resetting the WAL) do so before calling it.
+func (e *Engine) buildSnapshot(exclusive bool) (*durable.Snapshot, []*cvd.CVD, func(), error) {
+	e.mu.RLock()
+	names := make([]string, 0, len(e.cvds))
+	for n := range e.cvds {
+		// A CVD with a drop in flight is excluded: its OpDrop may already be
+		// in the WAL (which a checkpoint is about to truncate), and its
+		// teardown may race the serialization. Skipping it makes the
+		// snapshot agree with the drop's outcome — the replayed OpDrop, if
+		// it survives in the new WAL, degrades to a tolerated no-op.
+		if _, busy := e.dropping[n]; busy {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	locked := make([]*cvd.CVD, 0, len(names))
+	for _, n := range names {
+		c := e.cvds[n]
+		if exclusive {
+			c.LockExclusive()
+		} else {
+			c.LockShared()
+		}
+		locked = append(locked, c)
+	}
+	release := func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			if exclusive {
+				locked[i].UnlockExclusive()
+			} else {
+				locked[i].UnlockShared()
+			}
+		}
+		e.mu.RUnlock()
+	}
+	snap := &durable.Snapshot{DBName: e.db.Name()}
+	for _, c := range locked {
+		st := c.ExportState()
+		snap.CVDs = append(snap.CVDs, st)
+		for _, name := range st.Tables {
+			t, ok := e.db.Table(name)
+			if !ok {
+				// Writing a snapshot that names a table it does not contain
+				// would fail only at restore time — after a checkpoint has
+				// already truncated the WAL. Fail loudly now instead.
+				release()
+				return nil, nil, nil, fmt.Errorf("core: snapshot of CVD %q: backing table %q missing from database", c.Name(), name)
+			}
+			snap.Tables = append(snap.Tables, t)
+		}
+	}
+	return snap, locked, release, nil
+}
+
+// Save exports a one-shot snapshot of the whole engine into dir (created if
+// needed): every CVD's versions, partition maps, and metadata, serialized
+// from the live columnar storage. The directory can later be opened with
+// OpenDurable. Saving into a live data directory (one with a WAL) is
+// refused — use Checkpoint for that.
+func (e *Engine) Save(dir string) error {
+	snap, _, release, err := e.buildSnapshot(false)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return durable.SaveSnapshot(dir, snap)
+}
+
+// Checkpoint folds the commit WAL into a fresh snapshot of the bound data
+// directory and truncates the WAL, bounding recovery time. It requires a
+// durable engine.
+//
+// Checkpoint takes every CVD's exclusive lock (writers and readers are
+// fenced for the duration of the snapshot write): the fence is what lets it
+// atomically fold adopted CVDs into the snapshot and attach their journals —
+// no commit can land between "in the snapshot" and "journaled", which would
+// otherwise leave WAL records that replay against a CVD the snapshot does
+// not contain.
+func (e *Engine) Checkpoint() error {
+	if e.store == nil {
+		return fmt.Errorf("core: Checkpoint requires a durable engine (OpenDurable)")
+	}
+	snap, locked, release, err := e.buildSnapshot(true)
+	if err != nil {
+		return err
+	}
+	defer release()
+	if err := e.store.Checkpoint(snap); err != nil {
+		return err
+	}
+	for _, c := range locked {
+		c.SetJournalLocked(e.store)
+	}
+	return nil
+}
+
+// Close releases the durable binding (closing the WAL file). The in-memory
+// engine remains usable, but further commits on a previously durable engine
+// will fail their journal append. Close on an ephemeral engine is a no-op.
+func (e *Engine) Close() error {
+	if e.store == nil {
+		return nil
+	}
+	return e.store.Close()
+}

@@ -1,0 +1,607 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cvd"
+	"repro/internal/durable"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// checkoutRows materializes one version into rows (rid column included) and
+// drops the staging table again.
+func checkoutRows(t *testing.T, e *Engine, cvdName string, v vgraph.VersionID, tag string) []relstore.Row {
+	t.Helper()
+	tab := fmt.Sprintf("co_%s_%s_%d", cvdName, tag, v)
+	out, err := e.Checkout(cvdName, []vgraph.VersionID{v}, tab)
+	if err != nil {
+		t.Fatalf("checkout %s v%d: %v", cvdName, v, err)
+	}
+	rows := make([]relstore.Row, out.Len())
+	for i := range rows {
+		rows[i] = out.RowAt(i).Clone()
+	}
+	c, err := e.CVD(cvdName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.DiscardCheckout(tab)
+	return rows
+}
+
+// rowsExactlyEqual demands bit-level equality: same order, same type tags,
+// same payloads.
+func rowsExactlyEqual(t *testing.T, ctx string, a, b []relstore.Row) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d rows != %d rows", ctx, len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("%s row %d: width %d != %d", ctx, i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			va, vb := a[i][j], b[i][j]
+			if va.Type != vb.Type || va.AsString() != vb.AsString() {
+				t.Fatalf("%s row %d col %d: %v (%v) != %v (%v)", ctx, i, j, va, va.Type, vb, vb.Type)
+			}
+		}
+	}
+}
+
+// enginesEquivalent verifies that every version of every CVD checks out
+// identically on both engines and that metadata survived.
+func enginesEquivalent(t *testing.T, tag string, a, b *Engine) {
+	t.Helper()
+	namesA, namesB := a.List(), b.List()
+	if len(namesA) != len(namesB) {
+		t.Fatalf("%s: CVD lists %v vs %v", tag, namesA, namesB)
+	}
+	for i := range namesA {
+		if namesA[i] != namesB[i] {
+			t.Fatalf("%s: CVD lists %v vs %v", tag, namesA, namesB)
+		}
+	}
+	for _, name := range namesA {
+		ca, err := a.CVD(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := b.CVD(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ca.Schema().Equal(cb.Schema()) {
+			t.Fatalf("%s/%s: schema %v != %v", tag, name, ca.Schema(), cb.Schema())
+		}
+		if ca.NumRecords() != cb.NumRecords() {
+			t.Fatalf("%s/%s: records %d != %d", tag, name, ca.NumRecords(), cb.NumRecords())
+		}
+		va, vb := ca.Versions(), cb.Versions()
+		if len(va) != len(vb) {
+			t.Fatalf("%s/%s: %d versions != %d", tag, name, len(va), len(vb))
+		}
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("%s/%s: version order %v vs %v", tag, name, va, vb)
+			}
+			rowsExactlyEqual(t, fmt.Sprintf("%s/%s v%d", tag, name, va[i]),
+				checkoutRows(t, a, name, va[i], tag+"a"),
+				checkoutRows(t, b, name, va[i], tag+"b"))
+			ma, oka := ca.Meta(va[i])
+			mb, okb := cb.Meta(vb[i])
+			if !oka || !okb {
+				t.Fatalf("%s/%s v%d: metadata missing (%v, %v)", tag, name, va[i], oka, okb)
+			}
+			if ma.Message != mb.Message || ma.Author != mb.Author || !ma.CommitAt.Equal(mb.CommitAt) || ma.NumRecords != mb.NumRecords {
+				t.Fatalf("%s/%s v%d: metadata %+v != %+v", tag, name, va[i], ma, mb)
+			}
+		}
+	}
+}
+
+// randomValue produces a value for a column, sometimes NULL, sometimes of a
+// surprising type (exercising the heterogeneous-column escape hatch).
+func randomValue(rng *rand.Rand, typ relstore.ValueType) relstore.Value {
+	if rng.Intn(6) == 0 {
+		return relstore.Null()
+	}
+	switch typ {
+	case relstore.TypeInt:
+		return relstore.Int(rng.Int63n(1_000_000) - 500_000)
+	case relstore.TypeFloat:
+		return relstore.Float(rng.NormFloat64() * 100)
+	case relstore.TypeBool:
+		return relstore.Bool(rng.Intn(2) == 0)
+	default:
+		return relstore.Str(fmt.Sprintf("s%d", rng.Intn(10_000)))
+	}
+}
+
+var colTypes = []relstore.ValueType{relstore.TypeInt, relstore.TypeFloat, relstore.TypeString, relstore.TypeBool}
+
+// buildRandomCVD grows a CVD through a random commit history: branching
+// parents, row churn, and — crucially for the property — schema evolution
+// mid-history (new columns, generalized types).
+func buildRandomCVD(t *testing.T, rng *rand.Rand, e *Engine, name string, model cvd.ModelKind) {
+	t.Helper()
+	ncols := 2 + rng.Intn(3)
+	cols := []relstore.Column{{Name: "k", Type: relstore.TypeInt}}
+	for i := 1; i < ncols; i++ {
+		cols = append(cols, relstore.Column{Name: fmt.Sprintf("c%d", i), Type: colTypes[rng.Intn(len(colTypes))]})
+	}
+	schema := relstore.MustSchema(cols, "k")
+	nextKey := int64(1)
+	makeRows := func(s relstore.Schema, n int) []relstore.Row {
+		rows := make([]relstore.Row, n)
+		for i := range rows {
+			row := make(relstore.Row, len(s.Columns))
+			row[0] = relstore.Int(nextKey)
+			nextKey++
+			for j := 1; j < len(s.Columns); j++ {
+				row[j] = randomValue(rng, s.Columns[j].Type)
+			}
+			rows[i] = row
+		}
+		return rows
+	}
+	clock := time.Unix(1_700_000_000, 0)
+	tick := func() time.Time {
+		clock = clock.Add(time.Second)
+		return clock
+	}
+	_, err := e.Init(name, schema, makeRows(schema, 5+rng.Intn(20)), cvd.Options{
+		Model: model, Author: "prop", Message: "v1", Clock: tick,
+	})
+	if err != nil {
+		t.Fatalf("init %s: %v", name, err)
+	}
+	c, err := e.CVD(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nversions := 3 + rng.Intn(6)
+	for i := 0; i < nversions; i++ {
+		versions := c.Versions()
+		parent := versions[rng.Intn(len(versions))]
+		rowSchema := schema
+		if rng.Intn(3) == 0 {
+			// Evolve: add a column and/or generalize an existing one.
+			evolved := schema.Clone()
+			if rng.Intn(2) == 0 {
+				evolved.Columns = append(evolved.Columns, relstore.Column{
+					Name: fmt.Sprintf("e%d_%d", i, rng.Intn(100)),
+					Type: colTypes[rng.Intn(len(colTypes))],
+				})
+			} else if len(evolved.Columns) > 1 {
+				evolved.Columns[1+rng.Intn(len(evolved.Columns)-1)].Type = relstore.TypeString
+			}
+			rowSchema = evolved
+			schema = evolved
+		}
+		if _, err := c.Commit([]vgraph.VersionID{parent}, makeRows(rowSchema, 3+rng.Intn(15)), rowSchema, fmt.Sprintf("v%d", i+2), "prop"); err != nil {
+			t.Fatalf("commit %s #%d: %v", name, i, err)
+		}
+	}
+}
+
+// TestSnapshotRoundTripProperty is the snapshot property test of the
+// acceptance criteria: across randomized schemas, nulls, evolved columns,
+// several data models, and partitioned storage, a Save + OpenDurable cycle
+// reconstructs an engine whose every version checks out bit-identically.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			e := Open("prop")
+			models := []cvd.ModelKind{cvd.SplitByRlist, cvd.SplitByVlist, cvd.CombinedTable, cvd.TablePerVersion, cvd.DeltaBased}
+			ncvds := 1 + rng.Intn(3)
+			for i := 0; i < ncvds; i++ {
+				buildRandomCVD(t, rng, e, fmt.Sprintf("cvd%d", i), models[rng.Intn(len(models))])
+			}
+			// Partition one rlist CVD half the time so partition maps and
+			// resident sets go through the snapshot too.
+			buildRandomCVD(t, rng, e, "parted", cvd.SplitByRlist)
+			if trial%2 == 0 {
+				if _, err := e.Optimize("parted", 2.0); err != nil {
+					t.Fatalf("optimize: %v", err)
+				}
+			}
+
+			dir := t.TempDir()
+			if err := e.Save(dir); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			restored, err := OpenDurable("prop", dir)
+			if err != nil {
+				t.Fatalf("open durable: %v", err)
+			}
+			defer restored.Close()
+			enginesEquivalent(t, fmt.Sprintf("trial%d", trial), e, restored)
+
+			// The restored engine must remain fully writable: commit on top of
+			// a restored version and check out the result.
+			name := restored.List()[0]
+			rc, err := restored.CVD(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			latest, _ := rc.LatestVersion()
+			tab := "post_restore"
+			if _, err := restored.Checkout(name, []vgraph.VersionID{latest}, tab); err != nil {
+				t.Fatalf("post-restore checkout: %v", err)
+			}
+			if _, err := restored.Commit(name, tab, "post-restore commit", "prop"); err != nil {
+				t.Fatalf("post-restore commit: %v", err)
+			}
+		})
+	}
+}
+
+// TestSnapshotRoundTripPartitioned pins partitioned rlist storage round-trip:
+// partition maps, per-partition tables, and resident record sets must come
+// back so checkouts still read exactly one partition.
+func TestSnapshotRoundTripPartitioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	e := Open("parts")
+	buildRandomCVD(t, rng, e, "d", cvd.SplitByRlist)
+	if _, err := e.Optimize("d", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := e.CVD("d")
+	m, err := c.Rlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Partitioned() {
+		t.Fatal("optimizer did not partition")
+	}
+	dir := t.TempDir()
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := OpenDurable("parts", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	rc, _ := restored.CVD("d")
+	rm, err := rc.Rlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rm.Partitioned() {
+		t.Fatal("partitioning lost in round trip")
+	}
+	for _, v := range c.Versions() {
+		if got, want := rm.PartitionOf(v), m.PartitionOf(v); got != want {
+			t.Fatalf("v%d assigned to partition %d after restore, want %d", v, got, want)
+		}
+	}
+	enginesEquivalent(t, "parted", e, restored)
+}
+
+// TestWALCrashRecovery is the crash-recovery property test of the acceptance
+// criteria: the WAL is truncated mid-record at every byte offset inside its
+// tail, and reopening must recover every fully-committed version — no more,
+// no less — and stay writable.
+func TestWALCrashRecovery(t *testing.T) {
+	build := func(t *testing.T, dir string) (versions int) {
+		e, err := OpenDurable("crash", dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schema := relstore.MustSchema([]relstore.Column{
+			{Name: "id", Type: relstore.TypeInt},
+			{Name: "payload", Type: relstore.TypeString},
+		}, "id")
+		rows := []relstore.Row{
+			{relstore.Int(1), relstore.Str("a")},
+			{relstore.Int(2), relstore.Str("b")},
+		}
+		if _, err := e.Init("d", schema, rows, cvd.Options{Author: "crash", Message: "v1"}); err != nil {
+			t.Fatal(err)
+		}
+		c, _ := e.CVD("d")
+		for i := 0; i < 4; i++ {
+			rows = append(rows, relstore.Row{relstore.Int(int64(10 + i)), relstore.Str(fmt.Sprintf("p%d", i))})
+			if _, err := c.Commit([]vgraph.VersionID{vgraph.VersionID(i + 1)}, rows, schema, fmt.Sprintf("v%d", i+2), "crash"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n := c.NumVersions()
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	master := t.TempDir()
+	total := build(t, master)
+	if total != 5 {
+		t.Fatalf("built %d versions, want 5", total)
+	}
+	walRaw, err := os.ReadFile(filepath.Join(master, durable.WALFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate inside the tail: from the full file back into the middle of
+	// the WAL, at every byte offset of the last quarter plus a spread of
+	// earlier offsets.
+	cuts := map[int]struct{}{}
+	for c := len(walRaw) - 1; c > len(walRaw)*3/4; c-- {
+		cuts[c] = struct{}{}
+	}
+	for c := len(walRaw) * 3 / 4; c > 20; c -= 37 {
+		cuts[c] = struct{}{}
+	}
+	for cut := range cuts {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, durable.WALFile), walRaw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		e, err := OpenDurable("crash", dir)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		names := e.List()
+		if len(names) == 0 {
+			// Cut inside the init record: nothing recovered, which is correct.
+			e.Close()
+			continue
+		}
+		c, err := e.CVD("d")
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		got := c.NumVersions()
+		if got < 1 || got > total {
+			t.Fatalf("cut %d: recovered %d versions", cut, got)
+		}
+		// Every recovered version must check out completely: v_k has 2+(k-1)
+		// rows by construction.
+		for _, v := range c.Versions() {
+			rows := checkoutRows(t, e, "d", v, fmt.Sprintf("cut%d", cut))
+			if want := 2 + int(v) - 1; len(rows) != want {
+				t.Fatalf("cut %d v%d: %d rows, want %d", cut, v, len(rows), want)
+			}
+		}
+		// The recovered engine must accept new commits (the torn tail was
+		// truncated to a clean append boundary).
+		latest, _ := c.LatestVersion()
+		tab := "recommit"
+		if _, err := e.Checkout("d", []vgraph.VersionID{latest}, tab); err != nil {
+			t.Fatalf("cut %d: checkout after recovery: %v", cut, err)
+		}
+		if _, err := e.Commit("d", tab, "after recovery", "crash"); err != nil {
+			t.Fatalf("cut %d: commit after recovery: %v", cut, err)
+		}
+		after := c.NumVersions()
+		e.Close()
+		// And that commit must itself be durable.
+		e2, err := OpenDurable("crash", dir)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		c2, err := e2.CVD("d")
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if c2.NumVersions() != after {
+			t.Fatalf("cut %d: %d versions after reopen, want %d", cut, c2.NumVersions(), after)
+		}
+		e2.Close()
+	}
+}
+
+// TestCheckpointFoldsWAL verifies the checkpoint lifecycle: WAL grows with
+// commits, Checkpoint folds it into the snapshot and truncates it, recovery
+// works from the snapshot alone, and post-checkpoint commits land in the
+// fresh WAL.
+func TestCheckpointFoldsWAL(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenDurable("ckpt", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := relstore.MustSchema([]relstore.Column{{Name: "id", Type: relstore.TypeInt}}, "id")
+	if _, err := e.Init("d", schema, []relstore.Row{{relstore.Int(1)}}, cvd.Options{Message: "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := e.CVD("d")
+	if _, err := c.Commit([]vgraph.VersionID{1}, []relstore.Row{{relstore.Int(1)}, {relstore.Int(2)}}, schema, "v2", "t"); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, durable.WALFile)
+	grown, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	truncated, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated.Size() >= grown.Size() {
+		t.Fatalf("checkpoint did not truncate the WAL (%d -> %d bytes)", grown.Size(), truncated.Size())
+	}
+	if _, err := os.Stat(filepath.Join(dir, durable.SnapshotFile)); err != nil {
+		t.Fatalf("no snapshot after checkpoint: %v", err)
+	}
+	// Post-checkpoint commit lands in the fresh WAL.
+	if _, err := c.Commit([]vgraph.VersionID{2}, []relstore.Row{{relstore.Int(1)}, {relstore.Int(2)}, {relstore.Int(3)}}, schema, "v3", "t"); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e2, err := OpenDurable("ckpt", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	c2, err := e2.CVD("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumVersions() != 3 {
+		t.Fatalf("recovered %d versions, want 3", c2.NumVersions())
+	}
+	rows := checkoutRows(t, e2, "d", 3, "ck")
+	if len(rows) != 3 {
+		t.Fatalf("v3 has %d rows after recovery, want 3", len(rows))
+	}
+}
+
+// TestAdoptDurability pins the adopt contract on a durable engine: an
+// adopted CVD (and commits to it) are invisible to recovery until a
+// Checkpoint folds them in — crucially, a crash before that checkpoint must
+// leave the data directory openable, not bricked by WAL records that replay
+// against a CVD the snapshot does not contain.
+func TestAdoptDurability(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenDurable("adopt", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := relstore.MustSchema([]relstore.Column{{Name: "id", Type: relstore.TypeInt}}, "id")
+	// A journaled CVD for contrast.
+	if _, err := e.Init("native", schema, []relstore.Row{{relstore.Int(1)}}, cvd.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Build a CVD outside the engine and adopt it, then commit to it WITHOUT
+	// checkpointing — simulating the crash-before-checkpoint window.
+	adopted, err := cvd.Init(e.Database(), "adopted", schema, []relstore.Row{{relstore.Int(1)}}, cvd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Adopt(adopted); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adopted.Commit([]vgraph.VersionID{1}, []relstore.Row{{relstore.Int(1)}, {relstore.Int(2)}}, schema, "pre-ckpt", "a"); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	// Reopen: the directory must open cleanly; the adopted CVD is simply not
+	// there (its history was never durable), while the journaled one is.
+	e2, err := OpenDurable("adopt", dir)
+	if err != nil {
+		t.Fatalf("reopen after adopt-without-checkpoint: %v", err)
+	}
+	if got := e2.List(); len(got) != 1 || got[0] != "native" {
+		t.Fatalf("recovered CVDs %v, want [native]", got)
+	}
+
+	// Adopt again, checkpoint, then commit: now everything must be durable.
+	adopted2, err := cvd.Init(e2.Database(), "adopted", schema, []relstore.Row{{relstore.Int(1)}}, cvd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Adopt(adopted2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adopted2.Commit([]vgraph.VersionID{1}, []relstore.Row{{relstore.Int(1)}, {relstore.Int(3)}}, schema, "post-ckpt", "a"); err != nil {
+		t.Fatal(err)
+	}
+	e2.Close()
+	e3, err := OpenDurable("adopt", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e3.Close()
+	c, err := e3.CVD("adopted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumVersions() != 2 {
+		t.Fatalf("adopted CVD recovered with %d versions, want 2", c.NumVersions())
+	}
+	m, ok := c.Meta(2)
+	if !ok || m.Message != "post-ckpt" {
+		t.Fatalf("post-checkpoint commit not recovered: %+v", m)
+	}
+}
+
+// TestCommitTableJournalFailure pins CommitAt's partial-success contract at
+// the CommitTable level: when the commit applies in memory but the WAL
+// append fails (store closed/poisoned), the staging table must be consumed —
+// not restored — so a retry cannot create a duplicate version.
+func TestCommitTableJournalFailure(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenDurable("jfail", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := relstore.MustSchema([]relstore.Column{{Name: "id", Type: relstore.TypeInt}}, "id")
+	if _, err := e.Init("d", schema, []relstore.Row{{relstore.Int(1)}}, cvd.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Checkout("d", []vgraph.VersionID{1}, "stage"); err != nil {
+		t.Fatal(err)
+	}
+	// Poison the journal: every further append fails.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := e.CVD("d")
+	v, err := e.Commit("d", "stage", "m", "a")
+	if err == nil {
+		t.Fatal("commit with a closed store succeeded silently")
+	}
+	if v != 2 {
+		t.Fatalf("partial-success version = %d, want 2", v)
+	}
+	if c.NumVersions() != 2 {
+		t.Fatalf("NumVersions = %d, want 2 (commit applied in memory)", c.NumVersions())
+	}
+	// The staging table is consumed: a retry must fail the claim, not
+	// duplicate the version.
+	if _, err := e.Commit("d", "stage", "m", "a"); err == nil {
+		t.Fatal("retry after journal failure re-committed the staging table")
+	}
+	if c.NumVersions() != 2 {
+		t.Fatalf("NumVersions after retry = %d, want 2", c.NumVersions())
+	}
+	if e.Database().HasTable("stage") {
+		t.Fatal("staging table survived the consumed commit")
+	}
+}
+
+// TestDurableDropRecovery verifies drops are journaled and replayed.
+func TestDurableDropRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenDurable("drop", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := relstore.MustSchema([]relstore.Column{{Name: "id", Type: relstore.TypeInt}}, "id")
+	for _, name := range []string{"keep", "toss"} {
+		if _, err := e.Init(name, schema, []relstore.Row{{relstore.Int(1)}}, cvd.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Drop("toss"); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e2, err := OpenDurable("drop", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if got := e2.List(); len(got) != 1 || got[0] != "keep" {
+		t.Fatalf("recovered CVDs %v, want [keep]", got)
+	}
+}

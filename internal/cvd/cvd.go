@@ -58,6 +58,11 @@ type CVD struct {
 	workersSet bool // workers was configured explicitly (Options or SetWorkers)
 	csvSeq     atomic.Int64
 	clock      func() time.Time
+
+	// journal, when set, receives the logical redo record of every
+	// successful commit (see SetJournal); guarded by mu like the rest of the
+	// version state.
+	journal Journal
 }
 
 type checkoutInfo struct {
@@ -77,6 +82,10 @@ type Options struct {
 	// Clock overrides the time source (used by tests and the benchmark
 	// harness for reproducibility).
 	Clock func() time.Time
+	// At, when non-zero, is the commit timestamp of the initial version.
+	// WAL replay uses it to reproduce the original metadata exactly; when
+	// zero the clock supplies the time.
+	At time.Time
 	// Workers bounds the intra-operation parallelism of the hot paths
 	// (multi-version checkout, partitioned scans, partition builds). 0 or 1
 	// keeps every operation single-threaded on the calling goroutine; n > 1
@@ -150,7 +159,11 @@ func Init(db *relstore.Database, name string, schema relstore.Schema, rows []rel
 		meta.drop()
 		return nil, err
 	}
-	if err := c.recordVersion(req, opts.Message, opts.Author, clock()); err != nil {
+	at := opts.At
+	if at.IsZero() {
+		at = clock()
+	}
+	if err := c.recordVersion(req, opts.Message, opts.Author, at); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -593,6 +606,14 @@ func (c *CVD) recordVersion(req CommitRequest, msg, author string, at time.Time)
 // commits serialize, and checkouts/queries wait rather than observing a
 // half-applied version.
 func (c *CVD) Commit(parents []vgraph.VersionID, rows []relstore.Row, rowSchema relstore.Schema, msg, author string) (vgraph.VersionID, error) {
+	return c.CommitAt(parents, rows, rowSchema, msg, author, time.Time{})
+}
+
+// CommitAt is Commit with an explicit commit timestamp (zero means "now").
+// WAL replay uses it so a replayed commit reproduces the original version
+// metadata bit for bit; replayed commits run before a journal is attached,
+// so they are not logged a second time.
+func (c *CVD) CommitAt(parents []vgraph.VersionID, rows []relstore.Row, rowSchema relstore.Schema, msg, author string, at time.Time) (vgraph.VersionID, error) {
 	if len(parents) == 0 {
 		return 0, fmt.Errorf("cvd: %s: commit requires at least one parent version", c.name)
 	}
@@ -613,8 +634,18 @@ func (c *CVD) Commit(parents []vgraph.VersionID, rows []relstore.Row, rowSchema 
 	if err := c.model.AppendVersion(req); err != nil {
 		return 0, err
 	}
-	if err := c.recordVersion(req, msg, author, c.clock()); err != nil {
+	if at.IsZero() {
+		at = c.clock()
+	}
+	if err := c.recordVersion(req, msg, author, at); err != nil {
 		return 0, err
+	}
+	if c.journal != nil {
+		if err := c.journal.LogCommit(c.name, parents, rows, rowSchema, msg, author, at); err != nil {
+			// The commit is applied in memory; surface the durability failure
+			// so the caller knows the WAL does not cover it.
+			return req.Version, fmt.Errorf("cvd: %s: version %d committed but journaling failed: %w", c.name, req.Version, err)
+		}
 	}
 	return req.Version, nil
 }
@@ -799,6 +830,14 @@ func (c *CVD) CommitTable(tableName, msg, author string) (vgraph.VersionID, erro
 	}
 	v, err := c.Commit(info.parents, proj.Rows(), proj.Schema, msg, author)
 	if err != nil {
+		if v != 0 {
+			// The commit was applied in memory but journaling it failed
+			// (CommitAt's partial success). The staging table is consumed —
+			// restoring the claim would let a retry commit the same rows as
+			// a duplicate version.
+			c.db.DropTable(tableName)
+			return v, err
+		}
 		restore()
 		return 0, err
 	}

@@ -1,0 +1,290 @@
+package cvd
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/recset"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// This file is the persistence boundary of a CVD: it exposes the complete
+// logical state needed to serialize a CVD into a durable snapshot (package
+// durable) and rebuilds a live CVD from that state plus the backing tables.
+// The binary format lives entirely in package durable; cvd only decides WHAT
+// constitutes the persistent state.
+
+// Journal receives the logical redo log of a CVD: every successful commit is
+// reported (with its staged rows, row schema — which also carries any schema
+// evolution — and commit timestamp) so a write-ahead log can make it durable.
+// Implementations are called while the CVD's exclusive lock is held, after
+// the commit has been applied in memory; they must not call back into the
+// CVD.
+type Journal interface {
+	LogCommit(cvdName string, parents []vgraph.VersionID, rows []relstore.Row, rowSchema relstore.Schema, msg, author string, at time.Time) error
+}
+
+// SetJournal attaches (or detaches, with nil) the commit journal. The engine
+// wires this up when the CVD belongs to a durable data directory; replayed
+// commits run before the journal is attached so they are not re-logged.
+func (c *CVD) SetJournal(j Journal) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = j
+}
+
+// LockShared acquires the CVD's shared (read) lock without running a
+// callback, for callers — the snapshot writer — that must hold several CVDs'
+// locks at once. Pair with UnlockShared; prefer WithShared everywhere else.
+func (c *CVD) LockShared() { c.mu.RLock() }
+
+// UnlockShared releases the lock taken by LockShared.
+func (c *CVD) UnlockShared() { c.mu.RUnlock() }
+
+// LockExclusive acquires the CVD's exclusive lock without running a
+// callback, for the checkpoint path that must fence writers on several CVDs
+// at once (and swap journals while fenced). Pair with UnlockExclusive;
+// prefer WithExclusive everywhere else.
+func (c *CVD) LockExclusive() { c.mu.Lock() }
+
+// UnlockExclusive releases the lock taken by LockExclusive.
+func (c *CVD) UnlockExclusive() { c.mu.Unlock() }
+
+// SetJournalLocked is SetJournal for callers already holding the exclusive
+// lock (LockExclusive).
+func (c *CVD) SetJournalLocked(j Journal) { c.journal = j }
+
+// PersistedRecord is one entry of the record catalog (rid → data values).
+type PersistedRecord struct {
+	RID vgraph.RecordID
+	Row relstore.Row
+}
+
+// VersionRecordSet pairs a version with its compressed record set, in the
+// bipartite graph's insertion order.
+type VersionRecordSet struct {
+	Version vgraph.VersionID
+	Set     *recset.Set
+}
+
+// PersistentState is the complete logical state of a CVD minus the backing
+// tables themselves (those are serialized separately, straight from their
+// columnar lanes; Tables names which ones belong to this CVD). Exported
+// pointers (Graph, Metas, record sets, resident sets) are live internal
+// state: ExportState must be called under the shared lock (LockShared) and
+// the state must be consumed — serialized — before the lock is released.
+type PersistentState struct {
+	Name    string
+	Kind    ModelKind
+	Schema  relstore.Schema
+	NextVID vgraph.VersionID
+	NextRID vgraph.RecordID
+
+	Records    []PersistedRecord  // record catalog sorted by rid
+	Graph      *vgraph.Graph      // version graph
+	RecordSets []VersionRecordSet // bipartite graph, insertion order
+	Metas      []*VersionMeta     // version metadata ordered by id
+	Attrs      []Attribute        // attribute registry in registration order
+
+	// Tables lists every backing table of this CVD (data, versioning,
+	// metadata, partitions, per-version/delta tables). Checked-out staging
+	// tables are deliberately absent: they are transient working state.
+	Tables []string
+
+	// Split-by-rlist partitioned storage (all empty when unpartitioned or
+	// when another model is in use).
+	Partitions  []string
+	PartitionOf map[vgraph.VersionID]int
+	Resident    []*recset.Set
+}
+
+// ExportState assembles the CVD's persistent state. The caller must hold the
+// shared lock (LockShared) and keep holding it until serialization finishes;
+// the returned structure shares internal pointers rather than copying the
+// whole dataset.
+func (c *CVD) ExportState() *PersistentState {
+	st := &PersistentState{
+		Name:    c.name,
+		Kind:    c.kind,
+		Schema:  c.schema.Clone(),
+		NextVID: c.nextVID,
+		NextRID: c.nextRID,
+		Graph:   c.graph,
+		Metas:   c.meta.all(),
+		Attrs:   c.attrs.All(),
+		Tables:  append(c.modelTableNames(), c.meta.name),
+	}
+	st.Records = make([]PersistedRecord, 0, len(c.records))
+	for rid, row := range c.records {
+		st.Records = append(st.Records, PersistedRecord{RID: rid, Row: row})
+	}
+	sort.Slice(st.Records, func(i, j int) bool { return st.Records[i].RID < st.Records[j].RID })
+	for _, v := range c.bip.Versions() {
+		st.RecordSets = append(st.RecordSets, VersionRecordSet{Version: v, Set: c.bip.RecordSet(v)})
+	}
+	if m, ok := c.model.(*rlistModel); ok && m.partitions != nil {
+		st.Partitions = append([]string(nil), m.partitions...)
+		st.PartitionOf = make(map[vgraph.VersionID]int, len(m.partitionOf))
+		for v, k := range m.partitionOf {
+			st.PartitionOf[v] = k
+		}
+		st.Resident = m.resident
+	}
+	return st
+}
+
+// modelTableNames lists the backing tables of the physical data model.
+func (c *CVD) modelTableNames() []string {
+	switch m := c.model.(type) {
+	case *rlistModel:
+		out := []string{m.dataTab, m.versioningTabName()}
+		return append(out, m.partitions...)
+	case *vlistModel:
+		return []string{m.dataTabName(), m.versioningTabName()}
+	case *combinedModel:
+		return []string{m.tabName()}
+	case *tpvModel:
+		out := make([]string, 0, len(m.versions))
+		for _, name := range m.versions {
+			out = append(out, name)
+		}
+		sort.Strings(out)
+		return out
+	case *deltaModel:
+		out := make([]string, 0, len(m.bases)+1)
+		for v := range m.bases {
+			out = append(out, m.deltaTabName(v))
+		}
+		sort.Strings(out)
+		return append(out, m.metaTabName())
+	default:
+		return nil
+	}
+}
+
+// Restore rebuilds a live CVD from a persistent state. Every table named in
+// st.Tables must already have been deserialized into db; Restore only wires
+// the in-memory structures (graph, bipartite record sets, record catalog,
+// metadata, attribute registry, model bookkeeping) back around them. The
+// restored CVD takes ownership of the state's pointers.
+func Restore(db *relstore.Database, st *PersistentState) (*CVD, error) {
+	for _, name := range st.Tables {
+		if !db.HasTable(name) {
+			return nil, fmt.Errorf("cvd: restore %s: backing table %q missing from database", st.Name, name)
+		}
+	}
+	c := &CVD{
+		name:      st.Name,
+		db:        db,
+		kind:      st.Kind,
+		schema:    st.Schema.Clone(),
+		graph:     st.Graph,
+		bip:       vgraph.NewBipartite(),
+		records:   make(map[vgraph.RecordID]relstore.Row, len(st.Records)),
+		nextVID:   st.NextVID,
+		nextRID:   st.NextRID,
+		checkouts: make(map[string]checkoutInfo),
+		reserved:  make(map[string]struct{}),
+		workers:   1,
+		clock:     time.Now,
+	}
+	for _, rec := range st.Records {
+		c.records[rec.RID] = rec.Row
+	}
+	for _, vs := range st.RecordSets {
+		c.bip.SetVersionSet(vs.Version, vs.Set)
+	}
+	c.attrs = restoreAttributeRegistry(st.Attrs)
+	meta, err := restoreMetadataStore(db, st.Name, st.Metas)
+	if err != nil {
+		return nil, err
+	}
+	c.meta = meta
+	model, err := restoreModel(db, st)
+	if err != nil {
+		return nil, err
+	}
+	c.model = model
+	return c, nil
+}
+
+// restoreAttributeRegistry rebuilds the registry from its persisted rows.
+// Attribute ids are assigned densely from 1, so the next id is len+1.
+func restoreAttributeRegistry(attrs []Attribute) *AttributeRegistry {
+	r := NewAttributeRegistry()
+	for i, a := range attrs {
+		r.byID[a.ID] = i
+		if a.ID >= r.nextID {
+			r.nextID = a.ID + 1
+		}
+	}
+	r.attrs = append(r.attrs, attrs...)
+	return r
+}
+
+// restoreMetadataStore re-attaches the metadata store to its already
+// deserialized mirror table and repopulates the in-memory map.
+func restoreMetadataStore(db *relstore.Database, cvdName string, metas []*VersionMeta) (*metadataStore, error) {
+	name := cvdName + "_metadata"
+	if !db.HasTable(name) {
+		return nil, fmt.Errorf("cvd: restore %s: metadata table %q missing", cvdName, name)
+	}
+	s := &metadataStore{db: db, name: name, metas: make(map[vgraph.VersionID]*VersionMeta, len(metas))}
+	for _, m := range metas {
+		if _, dup := s.metas[m.ID]; dup {
+			return nil, fmt.Errorf("cvd: restore %s: duplicate metadata for version %d", cvdName, m.ID)
+		}
+		s.metas[m.ID] = m
+	}
+	return s, nil
+}
+
+// restoreModel rebuilds the physical data model's in-memory bookkeeping
+// around the already deserialized tables.
+func restoreModel(db *relstore.Database, st *PersistentState) (DataModel, error) {
+	switch st.Kind {
+	case SplitByRlist:
+		m := newRlistModel(db, st.Name, st.Schema)
+		if len(st.Partitions) > 0 {
+			m.partitions = append([]string(nil), st.Partitions...)
+			m.partitionOf = make(map[vgraph.VersionID]int, len(st.PartitionOf))
+			for v, k := range st.PartitionOf {
+				m.partitionOf[v] = k
+			}
+			if len(st.Resident) == len(st.Partitions) {
+				m.resident = st.Resident
+			} else {
+				// Defensive: residentOf rebuilds lazily from partition scans.
+				m.resident = make([]*recset.Set, len(st.Partitions))
+			}
+		}
+		return m, nil
+	case SplitByVlist:
+		return newVlistModel(db, st.Name, st.Schema), nil
+	case CombinedTable:
+		return newCombinedModel(db, st.Name, st.Schema), nil
+	case TablePerVersion:
+		m := newTPVModel(db, st.Name, st.Schema)
+		for _, v := range st.Graph.Versions() {
+			m.versions[v] = m.tabName(v)
+		}
+		return m, nil
+	case DeltaBased:
+		m := newDeltaModel(db, st.Name, st.Schema)
+		// The precedent chain is mirrored in the metadata table; rebuild the
+		// in-memory map from it.
+		meta, ok := db.Table(m.metaTabName())
+		if !ok {
+			return nil, fmt.Errorf("cvd: restore %s: precedent table missing", st.Name)
+		}
+		meta.Scan(func(_ int, r relstore.Row) bool {
+			m.bases[vgraph.VersionID(r[0].AsInt())] = vgraph.VersionID(r[1].AsInt())
+			return true
+		})
+		return m, nil
+	default:
+		return nil, fmt.Errorf("cvd: restore %s: unknown data model %d", st.Name, int(st.Kind))
+	}
+}

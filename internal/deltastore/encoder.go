@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 )
 
 // Encoder produces and applies deltas between two byte-level versions of a
@@ -107,8 +108,14 @@ func (LineDiff) Apply(base, delta []byte) ([]byte, error) {
 			if err != nil {
 				return nil, fmt.Errorf("deltastore: corrupt insert op: %w", err)
 			}
+			// Bound the allocation by the bytes actually left in the delta: a
+			// corrupt length must fail, not allocate gigabytes, and a partial
+			// Read must not silently yield a half-empty line.
+			if l > uint64(r.Len()) {
+				return nil, fmt.Errorf("deltastore: insert op claims %d bytes with %d left", l, r.Len())
+			}
 			line := make([]byte, l)
-			if _, err := r.Read(line); err != nil {
+			if _, err := io.ReadFull(r, line); err != nil {
 				return nil, fmt.Errorf("deltastore: corrupt insert payload: %w", err)
 			}
 			out.Write(line)

@@ -1,0 +1,285 @@
+// Package durable is the persistence subsystem of the engine: a versioned
+// binary snapshot format for the full engine state (columnar table lanes,
+// compressed record sets, version graphs, partition maps, and CVD metadata)
+// plus an append-only commit write-ahead log with crash recovery. A data
+// directory holds one snapshot file and one WAL; opening it loads the
+// snapshot and replays the WAL (tolerating a torn tail), and checkpointing
+// folds the WAL into a fresh snapshot and truncates it.
+//
+// See FORMAT.md in this directory for the on-disk layout. The format is
+// self-describing enough to fail loudly — every section and WAL record is
+// CRC32-framed and the files carry magic plus a format version — but it is
+// not portable across incompatible format versions: bump formatVersion on
+// layout changes and keep readers refusing unknown versions.
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/relstore"
+)
+
+const (
+	// formatVersion is bumped on any incompatible change to the snapshot or
+	// WAL payload layout. Readers refuse other versions.
+	formatVersion = 1
+
+	snapshotMagic = "ORPHSNP1"
+	walMagic      = "ORPHWAL1"
+
+	// SnapshotFile and WALFile are the fixed file names inside a data
+	// directory.
+	SnapshotFile = "snapshot.orph"
+	WALFile      = "wal.orph"
+)
+
+// enc is a little-endian append-only encoder over a byte slice.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)      { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16)    { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32)    { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)    { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) varint(v int64)  { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) f64(v float64)   { e.u64(math.Float64bits(v)) }
+func (e *enc) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *enc) raw(b []byte) { e.b = append(e.b, b...) }
+
+// dec is the matching decoder with a sticky error: after the first failure
+// every accessor returns zero values, so decode code reads linearly and
+// checks d.err once per section.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("durable: "+format, args...)
+	}
+}
+
+func (d *dec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b)-d.off < n {
+		d.fail("truncated payload: need %d bytes at offset %d of %d", n, d.off, len(d.b))
+		return false
+	}
+	return true
+}
+
+func (d *dec) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) boolean() bool { return d.u8() != 0 }
+
+// length reads a uvarint count and bounds it by the remaining bytes divided
+// by minBytesPer, so corrupt counts fail instead of allocating gigabytes.
+func (d *dec) length(minBytesPer int) int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if minBytesPer < 1 {
+		minBytesPer = 1
+	}
+	if n > uint64((len(d.b)-d.off)/minBytesPer)+1 {
+		d.fail("implausible element count %d with %d bytes left", n, len(d.b)-d.off)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) str() string {
+	n := d.length(1)
+	if !d.need(n) {
+		return ""
+	}
+	v := string(d.b[d.off : d.off+n])
+	d.off += n
+	return v
+}
+
+func (d *dec) raw(n int) []byte {
+	if !d.need(n) {
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+// ---- shared sub-encodings ---------------------------------------------------
+
+// value encodes one relstore.Value as a type tag plus typed payload.
+func (e *enc) value(v relstore.Value) {
+	e.u8(uint8(v.Type))
+	switch v.Type {
+	case relstore.TypeInt:
+		e.varint(v.I)
+	case relstore.TypeFloat:
+		e.f64(v.F)
+	case relstore.TypeString:
+		e.str(v.S)
+	case relstore.TypeBool:
+		e.boolean(v.B)
+	case relstore.TypeIntArray:
+		e.uvarint(uint64(len(v.A)))
+		for _, x := range v.A {
+			e.varint(x)
+		}
+	}
+}
+
+func (d *dec) value() relstore.Value {
+	t := relstore.ValueType(d.u8())
+	switch t {
+	case relstore.TypeNull:
+		return relstore.Null()
+	case relstore.TypeInt:
+		return relstore.Int(d.varint())
+	case relstore.TypeFloat:
+		return relstore.Float(d.f64())
+	case relstore.TypeString:
+		return relstore.Str(d.str())
+	case relstore.TypeBool:
+		return relstore.Bool(d.boolean())
+	case relstore.TypeIntArray:
+		n := d.length(1)
+		a := make([]int64, n)
+		for i := range a {
+			a[i] = d.varint()
+		}
+		return relstore.IntArray(a)
+	default:
+		d.fail("unknown value type %d", int(t))
+		return relstore.Null()
+	}
+}
+
+func (e *enc) row(r relstore.Row) {
+	e.uvarint(uint64(len(r)))
+	for _, v := range r {
+		e.value(v)
+	}
+}
+
+func (d *dec) row() relstore.Row {
+	n := d.length(1)
+	r := make(relstore.Row, n)
+	for i := range r {
+		r[i] = d.value()
+	}
+	return r
+}
+
+func (e *enc) schema(s relstore.Schema) {
+	e.uvarint(uint64(len(s.Columns)))
+	for _, c := range s.Columns {
+		e.str(c.Name)
+		e.uvarint(uint64(c.Type))
+	}
+	e.uvarint(uint64(len(s.PrimaryKey)))
+	for _, k := range s.PrimaryKey {
+		e.str(k)
+	}
+}
+
+func (d *dec) schema() relstore.Schema {
+	ncols := d.length(2)
+	cols := make([]relstore.Column, ncols)
+	for i := range cols {
+		cols[i] = relstore.Column{Name: d.str(), Type: relstore.ValueType(d.uvarint())}
+	}
+	npk := d.length(1)
+	pk := make([]string, npk)
+	for i := range pk {
+		pk[i] = d.str()
+	}
+	if d.err != nil {
+		return relstore.Schema{}
+	}
+	s, err := relstore.NewSchema(cols, pk...)
+	if err != nil {
+		d.fail("invalid schema: %v", err)
+		return relstore.Schema{}
+	}
+	return s
+}

@@ -1,0 +1,221 @@
+package durable
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/recset"
+	"repro/internal/relstore"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []relstore.Value{
+		relstore.Null(),
+		relstore.Int(0), relstore.Int(-7), relstore.Int(1 << 60),
+		relstore.Float(3.25), relstore.Float(-0.0),
+		relstore.Str(""), relstore.Str("héllo\x00world"),
+		relstore.Bool(true), relstore.Bool(false),
+		relstore.IntArray(nil), relstore.IntArray([]int64{1, -2, 3}),
+	}
+	var e enc
+	for _, v := range vals {
+		e.value(v)
+	}
+	d := &dec{b: e.b}
+	for i, want := range vals {
+		got := d.value()
+		if d.err != nil {
+			t.Fatalf("value %d: %v", i, d.err)
+		}
+		if got.Type != want.Type || got.AsString() != want.AsString() {
+			t.Fatalf("value %d: got %v (%v), want %v (%v)", i, got, got.Type, want, want.Type)
+		}
+	}
+	if d.off != len(d.b) {
+		t.Fatalf("decoder left %d bytes", len(d.b)-d.off)
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	s := relstore.MustSchema([]relstore.Column{
+		{Name: "id", Type: relstore.TypeInt},
+		{Name: "name", Type: relstore.TypeString},
+		{Name: "score", Type: relstore.TypeFloat},
+	}, "id", "name")
+	var e enc
+	e.schema(s)
+	d := &dec{b: e.b}
+	got := d.schema()
+	if d.err != nil {
+		t.Fatal(d.err)
+	}
+	if !got.Equal(s) {
+		t.Fatalf("schema round trip: got %v, want %v", got, s)
+	}
+}
+
+// randomTable builds a table with heterogeneous columns: every lane type,
+// nulls sprinkled in, and cells whose type disagrees with the declared column
+// type (the columnar layer's escape hatch).
+func randomTable(t *testing.T, rng *rand.Rand, name string, nrows int) *relstore.Table {
+	t.Helper()
+	schema := relstore.MustSchema([]relstore.Column{
+		{Name: "rid", Type: relstore.TypeInt},
+		{Name: "txt", Type: relstore.TypeString},
+		{Name: "val", Type: relstore.TypeFloat},
+		{Name: "flag", Type: relstore.TypeBool},
+		{Name: "arr", Type: relstore.TypeIntArray},
+	}, "rid")
+	tab := relstore.NewTable(name, schema)
+	for i := 0; i < nrows; i++ {
+		row := relstore.Row{
+			relstore.Int(int64(i + 1)),
+			relstore.Str(""),
+			relstore.Float(rng.NormFloat64()),
+			relstore.Bool(rng.Intn(2) == 0),
+			relstore.IntArray([]int64{rng.Int63n(100), -rng.Int63n(100)}),
+		}
+		switch rng.Intn(5) {
+		case 0:
+			row[1] = relstore.Null()
+		case 1:
+			row[1] = relstore.Int(rng.Int63n(1000)) // stray int in a string column
+		default:
+			row[1] = relstore.Str(string(rune('a' + rng.Intn(26))))
+		}
+		if rng.Intn(4) == 0 {
+			row[2] = relstore.Null()
+		}
+		if rng.Intn(6) == 0 {
+			row[4] = relstore.Null()
+		}
+		if err := tab.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func tablesEqual(t *testing.T, a, b *relstore.Table) {
+	t.Helper()
+	if a.Name != b.Name {
+		t.Fatalf("table name %q != %q", a.Name, b.Name)
+	}
+	if !a.Schema.Equal(b.Schema) {
+		t.Fatalf("table %s: schema %v != %v", a.Name, a.Schema, b.Schema)
+	}
+	if a.Cluster != b.Cluster {
+		t.Fatalf("table %s: cluster %v != %v", a.Name, a.Cluster, b.Cluster)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("table %s: %d rows != %d rows", a.Name, a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		ra, rb := a.RowAt(i), b.RowAt(i)
+		for j := range ra {
+			va, vb := ra[j], rb[j]
+			if va.Type != vb.Type || va.AsString() != vb.AsString() {
+				t.Fatalf("table %s row %d col %d: %v (%v) != %v (%v)", a.Name, i, j, va, va.Type, vb, vb.Type)
+			}
+		}
+	}
+}
+
+func TestTableSectionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 63, 500} {
+		tab := randomTable(t, rng, "tab", n)
+		var e enc
+		encodeTable(&e, tab)
+		got, err := decodeTable(&dec{b: e.b})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		tablesEqual(t, tab, got)
+		if tab.HasIndex() != got.HasIndex() {
+			t.Fatalf("n=%d: index presence diverged", n)
+		}
+	}
+}
+
+func TestSnapshotStreamRoundTripAndCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	snap := &Snapshot{
+		DBName: "db",
+		Epoch:  42,
+		Tables: []*relstore.Table{
+			randomTable(t, rng, "a", 40),
+			randomTable(t, rng, "b", 7),
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DBName != "db" || got.Epoch != 42 || len(got.Tables) != 2 {
+		t.Fatalf("manifest mismatch: %+v", got)
+	}
+	for i := range snap.Tables {
+		tablesEqual(t, snap.Tables[i], got.Tables[i])
+	}
+
+	// Flip one payload byte: the section CRC must catch it.
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[len(raw)/2] ^= 0xFF
+	if _, err := ReadSnapshot(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted snapshot read succeeded")
+	}
+
+	// Truncations must error, not panic.
+	for cut := 1; cut < len(raw); cut += 97 {
+		if _, err := ReadSnapshot(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncated snapshot (%d bytes) read succeeded", cut)
+		}
+	}
+}
+
+func TestRecsetBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sets := []*recset.Set{
+		nil,
+		recset.New(),
+		recset.FromSlice([]int64{1, 2, 3, 1 << 40}),
+	}
+	// A dense run that forces bitmap containers plus a sparse spread.
+	dense := make([]int64, 0, 10000)
+	for i := int64(0); i < 10000; i++ {
+		dense = append(dense, i)
+	}
+	sets = append(sets, recset.FromSlice(dense))
+	sparse := make([]int64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		sparse = append(sparse, rng.Int63n(1<<30))
+	}
+	sets = append(sets, recset.FromSlice(sparse))
+
+	for i, s := range sets {
+		b := s.AppendBinary(nil)
+		got, n, err := recset.DecodeBinary(b)
+		if err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+		if n != len(b) {
+			t.Fatalf("set %d: consumed %d of %d bytes", i, n, len(b))
+		}
+		if got.Len() != s.Len() || !recset.Equal(got, orEmpty(s)) {
+			t.Fatalf("set %d: round trip mismatch (%d vs %d elements)", i, got.Len(), s.Len())
+		}
+	}
+}
+
+func orEmpty(s *recset.Set) *recset.Set {
+	if s == nil {
+		return recset.New()
+	}
+	return s
+}

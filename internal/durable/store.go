@@ -1,0 +1,254 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/cvd"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// Store manages one data directory: the snapshot file plus the commit WAL.
+// It is safe for concurrent use; appends serialize behind an internal mutex.
+//
+// Epoch discipline: the snapshot records the WAL epoch that continues it.
+// Checkpoint first writes the new snapshot (epoch+1, atomic rename), then
+// resets the WAL to the new epoch. A crash between the two leaves a WAL whose
+// epoch is older than the snapshot's; Open detects that and discards the
+// stale WAL — everything in it is already folded into the snapshot.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	wal   *os.File
+	lock  *os.File // flock-held lock file fencing other processes
+	epoch uint64
+}
+
+// LockFile is the advisory lock file inside a data directory: Open takes an
+// exclusive flock on it, so a second engine (same process or another one)
+// opening the directory fails loudly instead of interleaving WAL appends
+// with the first. The kernel releases the lock automatically when the
+// holding process dies.
+const LockFile = "lock.orph"
+
+// lockDir acquires the directory's advisory lock, non-blocking.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, LockFile), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: data directory %s is locked by another engine: %w", dir, err)
+	}
+	return f, nil
+}
+
+// OpenResult is what Open recovered from a data directory: the snapshot (nil
+// when none was ever written) and recovery diagnostics. The WAL records that
+// continue the snapshot are streamed separately through Store.ReplayWAL so a
+// large log is never materialized whole.
+type OpenResult struct {
+	Snapshot *Snapshot
+	// TornTail reports whether a partially-written WAL record (a crashed
+	// append) was found and truncated away.
+	TornTail bool
+	// StaleWAL reports whether a WAL older than the snapshot was discarded
+	// (a crash between checkpoint's snapshot rename and WAL reset).
+	StaleWAL bool
+}
+
+// Open opens (creating if needed) a data directory, loads its snapshot, and
+// recovers the WAL's framing: a torn tail from a crashed append is truncated
+// so the file ends on a record boundary. Call ReplayWAL next to stream the
+// surviving records; the returned store is ready for appends.
+func Open(dir string) (*Store, *OpenResult, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &OpenResult{}
+	snap, err := ReadSnapshotFile(filepath.Join(dir, SnapshotFile))
+	if err != nil {
+		lock.Close()
+		return nil, nil, err
+	}
+	res.Snapshot = snap
+	var snapEpoch uint64
+	if snap != nil {
+		snapEpoch = snap.Epoch
+	}
+
+	walPath := filepath.Join(dir, WALFile)
+	f, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		lock.Close()
+		return nil, nil, err
+	}
+	s := &Store{dir: dir, wal: f, lock: lock, epoch: snapEpoch}
+	fail := func(err error) (*Store, *OpenResult, error) {
+		f.Close()
+		lock.Close()
+		return nil, nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	if info.Size() < walHeaderSize {
+		// Fresh (or never-completed) WAL: write a clean header at the
+		// snapshot's epoch.
+		if err := writeWALHeader(f, snapEpoch); err != nil {
+			return fail(err)
+		}
+		return s, res, nil
+	}
+	walEpoch, err := readWALHeader(f)
+	if err != nil {
+		return fail(err)
+	}
+	switch {
+	case walEpoch < snapEpoch:
+		// Crash between checkpoint's snapshot rename and WAL reset: the WAL
+		// predates the snapshot, so everything in it is already folded in.
+		res.StaleWAL = true
+		if err := writeWALHeader(f, snapEpoch); err != nil {
+			return fail(err)
+		}
+	case walEpoch > snapEpoch:
+		return fail(fmt.Errorf("durable: WAL epoch %d is newer than snapshot epoch %d — refusing to open %s", walEpoch, snapEpoch, dir))
+	default:
+		validEnd, torn, err := scanWAL(f)
+		if err != nil {
+			return fail(err)
+		}
+		if torn {
+			if err := f.Truncate(validEnd); err != nil {
+				return fail(err)
+			}
+			if err := f.Sync(); err != nil {
+				return fail(err)
+			}
+		}
+		res.TornTail = torn
+	}
+	return s, res, nil
+}
+
+// ReplayWAL streams every record of the (already recovered) WAL to apply in
+// append order, one decoded record at a time. Call it once, right after
+// Open and before any appends.
+func (s *Store) ReplayWAL(apply func(*Record) error) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return 0, fmt.Errorf("durable: store %s is closed", s.dir)
+	}
+	return replayWAL(s.wal, apply)
+}
+
+// Dir returns the data directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// Epoch returns the current snapshot/WAL generation.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Close closes the WAL file and releases the directory lock. The store must
+// not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.wal != nil {
+		err = s.wal.Close()
+		s.wal = nil
+	}
+	if s.lock != nil {
+		s.lock.Close() // closing drops the flock
+		s.lock = nil
+	}
+	return err
+}
+
+// append frames, appends, and fsyncs one record.
+func (s *Store) append(rec *Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return fmt.Errorf("durable: store %s is closed", s.dir)
+	}
+	return appendRecord(s.wal, rec)
+}
+
+// LogInit journals the creation of a CVD with its initial rows.
+func (s *Store) LogInit(name string, kind cvd.ModelKind, schema relstore.Schema, rows []relstore.Row, msg, author string, at time.Time) error {
+	return s.append(&Record{Op: OpInit, CVD: name, Kind: kind, Schema: schema, Rows: rows, Message: msg, Author: author, At: at})
+}
+
+// LogDrop journals dropping a CVD.
+func (s *Store) LogDrop(name string) error {
+	return s.append(&Record{Op: OpDrop, CVD: name})
+}
+
+// LogCommit implements cvd.Journal: it journals one committed version with
+// its staged rows and row schema (which also carries schema evolution).
+func (s *Store) LogCommit(cvdName string, parents []vgraph.VersionID, rows []relstore.Row, rowSchema relstore.Schema, msg, author string, at time.Time) error {
+	return s.append(&Record{Op: OpCommit, CVD: cvdName, Parents: parents, Rows: rows, Schema: rowSchema, Message: msg, Author: author, At: at})
+}
+
+// Checkpoint folds the WAL into a fresh snapshot: the snapshot is written
+// atomically under the next epoch, then the WAL is reset (truncated to a
+// clean header) at that same epoch. The caller must pass a snapshot that
+// reflects every operation logged so far — the engine holds its locks across
+// building snap and calling Checkpoint.
+func (s *Store) Checkpoint(snap *Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return fmt.Errorf("durable: store %s is closed", s.dir)
+	}
+	snap.Epoch = s.epoch + 1
+	if err := WriteSnapshotFile(filepath.Join(s.dir, SnapshotFile), snap); err != nil {
+		return err
+	}
+	if err := writeWALHeader(s.wal, snap.Epoch); err != nil {
+		// The snapshot is already on disk at the new epoch but the WAL still
+		// carries the old one; anything appended to it now would be discarded
+		// as stale on the next open. Poison the store so no later commit can
+		// claim durability it does not have — recovery from the snapshot is
+		// intact, and reopening the directory heals the WAL.
+		s.wal.Close()
+		s.wal = nil
+		return fmt.Errorf("durable: checkpoint of %s wrote the snapshot but failed to reset the WAL; store disabled until reopen: %w", s.dir, err)
+	}
+	s.epoch = snap.Epoch
+	return nil
+}
+
+// SaveSnapshot writes a one-shot snapshot (epoch 0, no WAL) into dir,
+// creating it if needed — the engine's Save-to-a-new-directory export path. A
+// directory that already holds a WAL is refused: overwriting its snapshot
+// with epoch 0 would desynchronize the epoch pairing.
+func SaveSnapshot(dir string, snap *Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if _, err := os.Stat(filepath.Join(dir, WALFile)); err == nil {
+		return fmt.Errorf("durable: %s is a live data directory (has a WAL); use Checkpoint instead of Save", dir)
+	}
+	snap.Epoch = 0
+	return WriteSnapshotFile(filepath.Join(dir, SnapshotFile), snap)
+}

@@ -1,0 +1,258 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/cvd"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// The commit WAL is an append-only file of self-delimiting records:
+//
+//	header: magic "ORPHWAL1", uint32 format version, uint64 epoch
+//	record: uint32 payload length, uint32 CRC32(payload), payload
+//
+// Each payload is one logical engine operation (init / commit / drop). The
+// file is fsynced after every append — the commit boundary — so a committed
+// version survives a crash. Replay reads records until the end of the file;
+// a torn tail (short header, short payload, or CRC mismatch from a crashed
+// append) ends replay and is truncated away, keeping every fully-committed
+// record before it.
+
+// walHeaderSize is the fixed byte length of the WAL header.
+const walHeaderSize = 8 + 4 + 8
+
+// RecordOp enumerates the logical operations a WAL record can carry.
+type RecordOp uint8
+
+// WAL record operations.
+const (
+	OpInit   RecordOp = 1 // create a CVD with its initial version
+	OpCommit RecordOp = 2 // commit a new version (rows carry schema changes too)
+	OpDrop   RecordOp = 3 // drop a CVD
+)
+
+// Record is one decoded WAL entry: a logical redo operation.
+type Record struct {
+	Op      RecordOp
+	CVD     string
+	Kind    cvd.ModelKind      // OpInit: physical data model
+	Schema  relstore.Schema    // OpInit: initial schema; OpCommit: row schema
+	Parents []vgraph.VersionID // OpCommit
+	Rows    []relstore.Row     // OpInit, OpCommit
+	Message string
+	Author  string
+	At      time.Time // original commit timestamp, reproduced on replay
+}
+
+func encodeRecord(e *enc, r *Record) {
+	e.u8(uint8(r.Op))
+	e.str(r.CVD)
+	switch r.Op {
+	case OpInit:
+		e.uvarint(uint64(r.Kind))
+		e.schema(r.Schema)
+		e.str(r.Message)
+		e.str(r.Author)
+		e.varint(timeNano(r.At))
+		e.uvarint(uint64(len(r.Rows)))
+		for _, row := range r.Rows {
+			e.row(row)
+		}
+	case OpCommit:
+		e.uvarint(uint64(len(r.Parents)))
+		for _, p := range r.Parents {
+			e.uvarint(uint64(p))
+		}
+		e.schema(r.Schema)
+		e.str(r.Message)
+		e.str(r.Author)
+		e.varint(timeNano(r.At))
+		e.uvarint(uint64(len(r.Rows)))
+		for _, row := range r.Rows {
+			e.row(row)
+		}
+	case OpDrop:
+		// name only
+	}
+}
+
+func decodeRecord(payload []byte) (*Record, error) {
+	d := &dec{b: payload}
+	r := &Record{Op: RecordOp(d.u8()), CVD: d.str()}
+	switch r.Op {
+	case OpInit:
+		r.Kind = cvd.ModelKind(d.uvarint())
+		r.Schema = d.schema()
+		r.Message = d.str()
+		r.Author = d.str()
+		r.At = nanoTime(d.varint())
+		n := d.length(2)
+		r.Rows = make([]relstore.Row, n)
+		for i := range r.Rows {
+			r.Rows[i] = d.row()
+		}
+	case OpCommit:
+		np := d.length(1)
+		r.Parents = make([]vgraph.VersionID, np)
+		for i := range r.Parents {
+			r.Parents[i] = vgraph.VersionID(d.uvarint())
+		}
+		r.Schema = d.schema()
+		r.Message = d.str()
+		r.Author = d.str()
+		r.At = nanoTime(d.varint())
+		n := d.length(2)
+		r.Rows = make([]relstore.Row, n)
+		for i := range r.Rows {
+			r.Rows[i] = d.row()
+		}
+	case OpDrop:
+	default:
+		return nil, fmt.Errorf("durable: unknown WAL op %d", uint8(r.Op))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("durable: WAL record: %d trailing bytes", len(payload)-d.off)
+	}
+	return r, nil
+}
+
+// writeWALHeader (re)writes the header at the start of f and truncates
+// everything after it.
+func writeWALHeader(f *os.File, epoch uint64) error {
+	var hdr [walHeaderSize]byte
+	copy(hdr[:8], walMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], formatVersion)
+	binary.LittleEndian.PutUint64(hdr[12:], epoch)
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// readWALHeader validates the header and returns the epoch.
+func readWALHeader(f *os.File) (uint64, error) {
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, walHeaderSize), hdr[:]); err != nil {
+		return 0, fmt.Errorf("durable: reading WAL header: %w", err)
+	}
+	if string(hdr[:8]) != walMagic {
+		return 0, fmt.Errorf("durable: not a WAL file (magic %q)", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != formatVersion {
+		return 0, fmt.Errorf("durable: unsupported WAL format version %d (want %d)", v, formatVersion)
+	}
+	return binary.LittleEndian.Uint64(hdr[12:]), nil
+}
+
+// scanWAL validates the record frames after the header without decoding
+// payloads (pass 1 of recovery): it returns the offset just past the last
+// fully-valid record and whether a torn tail — truncated header or payload,
+// or a CRC mismatch from a crashed append — follows it.
+func scanWAL(f *os.File) (validEnd int64, torn bool, err error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, false, err
+	}
+	size := info.Size()
+	offset := int64(walHeaderSize)
+	var hdr [8]byte
+	var payload []byte
+	for {
+		if size-offset < int64(len(hdr)) {
+			return offset, size > offset, nil
+		}
+		if _, err := f.ReadAt(hdr[:], offset); err != nil {
+			return offset, false, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		want := binary.LittleEndian.Uint32(hdr[4:])
+		if size-offset-int64(len(hdr)) < int64(n) {
+			return offset, true, nil
+		}
+		if int(n) > cap(payload) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := f.ReadAt(payload, offset+int64(len(hdr))); err != nil {
+			return offset, false, err
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return offset, true, nil
+		}
+		offset += int64(len(hdr)) + int64(n)
+	}
+}
+
+// replayWAL streams every record after the header to apply, decoding one
+// payload at a time so replaying a large WAL never materializes the whole
+// log in memory. The caller (Open) has already truncated any torn tail, so
+// every frame here is complete and CRC-valid.
+func replayWAL(f *os.File, apply func(*Record) error) (applied int, err error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := info.Size()
+	offset := int64(walHeaderSize)
+	var hdr [8]byte
+	for size-offset >= int64(len(hdr)) {
+		if _, err := f.ReadAt(hdr[:], offset); err != nil {
+			return applied, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		payload := make([]byte, n)
+		if _, err := f.ReadAt(payload, offset+int64(len(hdr))); err != nil {
+			return applied, err
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			// A record that passes its CRC but does not decode is real
+			// corruption, not a torn tail: fail loudly instead of silently
+			// dropping committed history.
+			return applied, err
+		}
+		if err := apply(rec); err != nil {
+			return applied, fmt.Errorf("durable: replaying WAL record %d: %w", applied, err)
+		}
+		applied++
+		offset += int64(len(hdr)) + int64(n)
+	}
+	return applied, nil
+}
+
+// appendRecord frames and appends one record at the end of the WAL and
+// fsyncs — the commit boundary.
+func appendRecord(f *os.File, rec *Record) error {
+	var e enc
+	e.b = make([]byte, 8) // header placeholder
+	encodeRecord(&e, rec)
+	payload := e.b[8:]
+	if len(payload) > math.MaxUint32 {
+		// A wrapped length field would frame-corrupt the log and take every
+		// later record down with it during torn-tail recovery.
+		return fmt.Errorf("durable: WAL record of %d bytes exceeds the 4 GiB frame limit; checkpoint and commit in smaller batches", len(payload))
+	}
+	binary.LittleEndian.PutUint32(e.b[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(e.b[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		return err
+	}
+	if _, err := f.Write(e.b); err != nil {
+		return err
+	}
+	return f.Sync()
+}

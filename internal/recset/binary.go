@@ -1,0 +1,149 @@
+package recset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Binary serialization of a Set for the durable storage layer (package
+// durable). Containers are written verbatim in their in-memory shape — a
+// sorted-array container as its []uint16 low parts, a bitmap container as its
+// 1024 64-bit words — so serialization is a straight memory walk and
+// deserialization rebuilds the exact same container layout with no re-packing.
+//
+// Layout (all integers little-endian):
+//
+//	uint32  container count
+//	per container:
+//	  int64   high key
+//	  uint8   kind (0 = array, 1 = bitmap)
+//	  array:  uint32 n, then n × uint16 low parts (sorted ascending)
+//	  bitmap: uint32 n (cardinality), then 1024 × uint64 words
+//
+// Framing (length prefix, CRC) is the caller's concern.
+
+const (
+	containerKindArray  = 0
+	containerKindBitmap = 1
+)
+
+// AppendBinary appends the set's binary encoding to dst and returns the
+// extended slice. A nil set encodes as an empty set.
+func (s *Set) AppendBinary(dst []byte) []byte {
+	if s == nil {
+		return binary.LittleEndian.AppendUint32(dst, 0)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s.keys)))
+	for i, key := range s.keys {
+		c := s.cs[i]
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(key))
+		if c.bitmap != nil {
+			dst = append(dst, containerKindBitmap)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(c.n))
+			for _, w := range c.bitmap {
+				dst = binary.LittleEndian.AppendUint64(dst, w)
+			}
+			continue
+		}
+		dst = append(dst, containerKindArray)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(c.array)))
+		for _, v := range c.array {
+			dst = binary.LittleEndian.AppendUint16(dst, v)
+		}
+	}
+	return dst
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Set) MarshalBinary() ([]byte, error) {
+	return s.AppendBinary(nil), nil
+}
+
+// DecodeBinary decodes a set produced by AppendBinary from the front of b,
+// returning the set and the number of bytes consumed.
+func DecodeBinary(b []byte) (*Set, int, error) {
+	if len(b) < 4 {
+		return nil, 0, fmt.Errorf("recset: truncated set header")
+	}
+	nkeys := int(binary.LittleEndian.Uint32(b))
+	off := 4
+	// Bound the pre-allocation by the bytes actually present: every container
+	// costs at least 13 bytes (key + kind + n), so a corrupt count fails here
+	// instead of attempting a gigantic allocation.
+	if nkeys > (len(b)-off)/13+1 {
+		return nil, 0, fmt.Errorf("recset: implausible container count %d with %d bytes left", nkeys, len(b)-off)
+	}
+	s := &Set{
+		keys: make([]int64, 0, nkeys),
+		cs:   make([]*container, 0, nkeys),
+	}
+	var prevKey int64
+	for i := 0; i < nkeys; i++ {
+		if len(b)-off < 8+1+4 {
+			return nil, 0, fmt.Errorf("recset: truncated container %d header", i)
+		}
+		key := int64(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+		kind := b[off]
+		off++
+		n := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if i > 0 && key <= prevKey {
+			return nil, 0, fmt.Errorf("recset: container keys out of order (%d after %d)", key, prevKey)
+		}
+		prevKey = key
+		var c *container
+		switch kind {
+		case containerKindArray:
+			if n > arrayMaxLen || len(b)-off < 2*n {
+				return nil, 0, fmt.Errorf("recset: bad array container (n=%d, %d bytes left)", n, len(b)-off)
+			}
+			arr := make([]uint16, n)
+			for j := range arr {
+				arr[j] = binary.LittleEndian.Uint16(b[off:])
+				off += 2
+				if j > 0 && arr[j] <= arr[j-1] {
+					return nil, 0, fmt.Errorf("recset: array container values out of order")
+				}
+			}
+			c = &container{array: arr, n: n}
+		case containerKindBitmap:
+			if n < 0 || n > 1<<16 || len(b)-off < 8*bitmapWords {
+				return nil, 0, fmt.Errorf("recset: bad bitmap container (n=%d, %d bytes left)", n, len(b)-off)
+			}
+			bm := make([]uint64, bitmapWords)
+			card := 0
+			for j := range bm {
+				bm[j] = binary.LittleEndian.Uint64(b[off:])
+				card += bits.OnesCount64(bm[j])
+				off += 8
+			}
+			if card != n {
+				return nil, 0, fmt.Errorf("recset: bitmap container cardinality %d does not match header %d", card, n)
+			}
+			c = &container{bitmap: bm, n: n}
+		default:
+			return nil, 0, fmt.Errorf("recset: unknown container kind %d", kind)
+		}
+		s.keys = append(s.keys, key)
+		s.cs = append(s.cs, c)
+		s.n += int64(c.n)
+	}
+	return s, off, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. Trailing bytes after
+// a complete set are an error; use DecodeBinary to read a set embedded in a
+// larger buffer.
+func (s *Set) UnmarshalBinary(b []byte) error {
+	got, n, err := DecodeBinary(b)
+	if err != nil {
+		return err
+	}
+	if n != len(b) {
+		return fmt.Errorf("recset: %d trailing bytes after set", len(b)-n)
+	}
+	*s = *got
+	return nil
+}
