@@ -158,3 +158,16 @@ func BenchmarkColumnarSubsystem(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkGroupCommitSubsystem times the WAL group-commit sweep
+// (RunGroupCommit): the 64/256-client commit storm with fsync-per-commit vs
+// batched fsyncs. A reduced per-client commit count keeps the fsync-heavy
+// sweep inside benchtime budgets; cmd/benchrunner -experiment groupcommit
+// runs the full-size version and writes BENCH_groupcommit.json.
+func BenchmarkGroupCommitSubsystem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := benchmark.RunGroupCommit(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

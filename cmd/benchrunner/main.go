@@ -12,6 +12,7 @@
 //	go run ./cmd/benchrunner -experiment recset -out BENCH_recset.json
 //	go run ./cmd/benchrunner -experiment columnar -out BENCH_columnar.json
 //	go run ./cmd/benchrunner -experiment durable -out BENCH_durable.json
+//	go run ./cmd/benchrunner -experiment groupcommit -out BENCH_groupcommit.json
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment id: fig4.1, tab5.2, fig5.7, fig5.8, fig5.10, fig5.14, fig5.17, concurrent, recset, columnar, durable, ch7, ch8, all")
+	experiment := flag.String("experiment", "all", "experiment id: fig4.1, tab5.2, fig5.7, fig5.8, fig5.10, fig5.14, fig5.17, concurrent, recset, columnar, durable, groupcommit, ch7, ch8, all")
 	dataset := flag.String("dataset", "SCI_10K", "dataset preset for single-dataset experiments")
 	scale := flag.Int("scale", 1, "scale multiplier applied to dataset presets")
 	workers := flag.Int("workers", 0, "engine worker-pool size for parallel operations (0 = single-threaded operations)")
@@ -172,6 +173,21 @@ func run(experiment, dataset string, scale, workers int, latency time.Duration, 
 			return err
 		}
 		if err := writeReport("durable", doc); err != nil {
+			return err
+		}
+	}
+	if want("groupcommit") {
+		ran = true
+		report, table, err := benchmark.RunGroupCommit(0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table)
+		doc, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		if err := writeReport("groupcommit", doc); err != nil {
 			return err
 		}
 	}

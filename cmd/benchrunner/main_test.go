@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestUnknownExperiment: an id that matches nothing is an error, not a
+// silent no-op run.
+func TestUnknownExperiment(t *testing.T) {
+	err := run("no-such-experiment", "SCI_1K", 1, 0, -1, "")
+	if err == nil {
+		t.Fatal("unknown experiment id ran successfully")
+	}
+	if !strings.Contains(err.Error(), "no-such-experiment") {
+		t.Fatalf("error does not name the experiment: %v", err)
+	}
+}
+
+// TestDispatchSingleExperiment: a known id at small scale runs end to end.
+func TestDispatchSingleExperiment(t *testing.T) {
+	if err := run("fig5.7", "SCI_1K", 1, 0, -1, ""); err != nil {
+		t.Fatalf("fig5.7: %v", err)
+	}
+}
+
+// TestOutWritesJSON: -out with an explicitly selected report-producing
+// experiment writes a parseable JSON document at the given path.
+func TestOutWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full group-commit sweep")
+	}
+	out := filepath.Join(t.TempDir(), "gc.json")
+	if err := run("groupcommit", "SCI_1K", 1, 0, -1, out); err != nil {
+		t.Fatalf("groupcommit: %v", err)
+	}
+	doc, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("-out file not written: %v", err)
+	}
+	var report struct {
+		Results []struct {
+			Clients int     `json:"clients"`
+			Speedup float64 `json:"speedup"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(doc, &report); err != nil {
+		t.Fatalf("-out is not valid JSON: %v", err)
+	}
+	if len(report.Results) != 2 || report.Results[0].Clients != 64 {
+		t.Fatalf("unexpected report shape: %+v", report)
+	}
+}

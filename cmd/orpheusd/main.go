@@ -1,0 +1,116 @@
+// Command orpheusd is the hosted deployment of the OrpheusDB engine: a
+// long-running daemon serving the versioning command set (init / checkout /
+// commit / select / log) over HTTP with JSON bodies, against one durable
+// data directory. Many clients share the engine concurrently — per-session
+// staging tables keep their checkouts apart, an admission-control cap sheds
+// load past -max-inflight with 503s, and WAL group commit (-group-commit-*)
+// lets concurrent commits share fsyncs.
+//
+// Shutdown is a graceful drain: on SIGINT/SIGTERM the listener stops
+// accepting, in-flight requests run to completion (bounded by
+// -drain-timeout), leftover session state is reclaimed, and the engine
+// checkpoints — folding the WAL into a fresh snapshot — before closing, so
+// the next start recovers instantly instead of replaying the whole log.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it serves until ctx is cancelled (the
+// signal handler in main, or the test), drains, and returns the exit code.
+func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("orpheusd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7431", "listen address (host:port; port 0 picks a free port)")
+	dataDir := fs.String("data", "", "durable data directory (required); snapshot + WAL replayed on start")
+	maxInflight := fs.Int("max-inflight", server.DefaultMaxInflight, "admission-control cap on concurrently handled requests")
+	workers := fs.Int("workers", 0, "worker-pool size for parallel engine operations (0 = single-threaded)")
+	gcBatch := fs.Int("group-commit-batch", 0, "max commits sharing one WAL fsync (0 = default, 1 = disable batching)")
+	gcDelay := fs.Duration("group-commit-delay", 0, "how long a batch leader waits for followers (0 = no added latency)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *dataDir == "" {
+		fmt.Fprintln(stderr, "orpheusd: -data <dir> is required (the daemon exists to host a durable directory)")
+		return 2
+	}
+
+	engine, err := core.OpenDurable("orpheusd", *dataDir,
+		core.WithWorkers(*workers),
+		core.GroupCommit(*gcBatch, *gcDelay))
+	if err != nil {
+		fmt.Fprintln(stderr, "orpheusd:", err)
+		return 2
+	}
+	rec := engine.Recovery()
+	if rec.TornTail {
+		fmt.Fprintln(stderr, "orpheusd: recovery: truncated a torn WAL record (crashed append; all fully-committed versions recovered)")
+	}
+	if rec.StaleWAL {
+		fmt.Fprintln(stderr, "orpheusd: recovery: discarded a stale WAL (crash during checkpoint; contents already in the snapshot)")
+	}
+
+	srv := server.New(engine, server.Config{MaxInflight: *maxInflight})
+	hs := &http.Server{Handler: srv}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "orpheusd:", err)
+		engine.Close()
+		return 2
+	}
+	fmt.Fprintf(stdout, "orpheusd: listening on %s (data: %s)\n", ln.Addr(), engine.DataDir())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	code := 0
+	select {
+	case err := <-serveErr:
+		// The listener died on its own — an error, not a drain.
+		fmt.Fprintln(stderr, "orpheusd:", err)
+		code = 1
+	case <-ctx.Done():
+		// Drain: stop accepting, let in-flight requests finish (bounded),
+		// then fold the WAL into a snapshot so restart is replay-free.
+		fmt.Fprintln(stdout, "orpheusd: draining")
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := hs.Shutdown(sctx); err != nil {
+			fmt.Fprintln(stderr, "orpheusd: drain:", err)
+			code = 1
+		}
+		cancel()
+		srv.CloseSessions()
+		if err := engine.Checkpoint(); err != nil {
+			fmt.Fprintln(stderr, "orpheusd: checkpoint on drain:", err)
+			code = 1
+		}
+	}
+	if err := engine.Close(); err != nil {
+		fmt.Fprintln(stderr, "orpheusd: close:", err)
+		code = 1
+	}
+	if code == 0 {
+		fmt.Fprintln(stdout, "orpheusd: stopped")
+	}
+	return code
+}

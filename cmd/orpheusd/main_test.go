@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: run writes to it from the
+// serving goroutine while the test polls for the listening line.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on ([^ ]+)`)
+
+// startDaemon runs the daemon on a free port against dir and returns its base
+// URL, the cancel that triggers the drain, and a channel with the exit code.
+func startDaemon(t *testing.T, dir string, extra ...string) (string, context.CancelFunc, <-chan int, *syncBuffer) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out, errw := &syncBuffer{}, &syncBuffer{}
+	done := make(chan int, 1)
+	argv := append([]string{"-addr", "127.0.0.1:0", "-data", dir}, extra...)
+	go func() { done <- run(ctx, argv, out, errw) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], cancel, done, errw
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("daemon exited early with code %d: %s", code, errw.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address; stderr: %s", errw.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func postJSON(t *testing.T, url string, body interface{}, out interface{}) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServeCommitDrain is the full daemon lifecycle: start against an empty
+// data directory, init + checkout + commit over HTTP, drain via the signal
+// context, and verify the drain checkpointed — the restart finds a snapshot
+// (no WAL replay) holding both versions.
+func TestServeCommitDrain(t *testing.T) {
+	dir := t.TempDir()
+	base, cancel, done, errw := startDaemon(t, dir, "-group-commit-batch", "8")
+
+	init := map[string]interface{}{
+		"cvd": "d",
+		"columns": []map[string]string{
+			{"name": "id", "type": "int"}, {"name": "val", "type": "string"},
+		},
+		"pk":      []string{"id"},
+		"rows":    [][]interface{}{{1, "a"}, {2, "b"}},
+		"message": "seed", "author": "alice",
+	}
+	if code := postJSON(t, base+"/v1/init", init, nil); code != http.StatusOK {
+		t.Fatalf("init over HTTP: status %d", code)
+	}
+	var sess struct {
+		Session string `json:"session"`
+	}
+	if code := postJSON(t, base+"/v1/session", struct{}{}, &sess); code != http.StatusOK {
+		t.Fatalf("session: status %d", code)
+	}
+	co := map[string]interface{}{"session": sess.Session, "cvd": "d", "versions": []int64{1}, "table": "wd"}
+	if code := postJSON(t, base+"/v1/checkout", co, nil); code != http.StatusOK {
+		t.Fatalf("checkout: status %d", code)
+	}
+	var cr struct {
+		Version int64 `json:"version"`
+	}
+	cm := map[string]interface{}{"session": sess.Session, "cvd": "d", "table": "wd", "message": "m", "author": "bob"}
+	if code := postJSON(t, base+"/v1/commit", cm, &cr); code != http.StatusOK || cr.Version != 2 {
+		t.Fatalf("commit: status %d, version %d", code, cr.Version)
+	}
+
+	// Drain.
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("daemon exited %d: %s", code, errw.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+
+	// The drain checkpointed: a snapshot exists, so restart is replay-free.
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.orph")); err != nil {
+		t.Fatalf("no snapshot after drain: %v", err)
+	}
+
+	// Restart: both versions are there.
+	base2, cancel2, done2, errw2 := startDaemon(t, dir)
+	var lr struct {
+		Versions []struct {
+			Version int64 `json:"version"`
+		} `json:"versions"`
+	}
+	resp, err := http.Get(base2 + "/v1/log?cvd=d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(lr.Versions) != 2 {
+		t.Fatalf("restarted daemon sees %d versions, want 2", len(lr.Versions))
+	}
+	cancel2()
+	select {
+	case code := <-done2:
+		if code != 0 {
+			t.Fatalf("second daemon exited %d: %s", code, errw2.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("second daemon did not drain")
+	}
+}
+
+// TestFlagErrors: bad invocations exit 2 without serving.
+func TestFlagErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(context.Background(), []string{"-no-such-flag"}, &out, &errw); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run(context.Background(), nil, &out, &errw); code != 2 {
+		t.Fatalf("missing -data: exit %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "-data") {
+		t.Fatalf("missing-data error not surfaced: %q", errw.String())
+	}
+	// An unopenable data directory (a file in the way) also exits 2.
+	dir := t.TempDir()
+	blocked := filepath.Join(dir, "blocked")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run(context.Background(), []string{"-data", blocked}, &out, &errw); code != 2 {
+		t.Fatalf("unopenable dir: exit %d, want 2", code)
+	}
+}

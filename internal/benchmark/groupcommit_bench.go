@@ -1,0 +1,170 @@
+package benchmark
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cvd"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// GroupCommitResult is one client-count point of the group-commit sweep:
+// the same commit storm run twice against fresh data directories, once with
+// batching disabled (every commit pays its own fsync — the pre-group-commit
+// behaviour) and once with the batched WAL.
+type GroupCommitResult struct {
+	Clients          int   `json:"clients"`
+	CommitsPerClient int   `json:"commits_per_client"`
+	TotalCommits     int   `json:"total_commits"`
+	BaselineNs       int64 `json:"baseline_ns"`
+	BatchedNs        int64 `json:"batched_ns"`
+
+	// Throughputs are total commits per second of wall time.
+	BaselineThroughput float64 `json:"baseline_commits_per_sec"`
+	BatchedThroughput  float64 `json:"batched_commits_per_sec"`
+
+	// Speedup is batched over baseline throughput — the acceptance metric
+	// (TestRunGroupCommit requires >= 2x at 64 clients).
+	Speedup float64 `json:"speedup"`
+}
+
+// GroupCommitReport is the BENCH_groupcommit.json document.
+type GroupCommitReport struct {
+	MaxBatch   int                 `json:"max_batch"`
+	MaxDelayUs int64               `json:"max_delay_us"`
+	Results    []GroupCommitResult `json:"results"`
+}
+
+// JSON renders the report.
+func (r GroupCommitReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// groupCommitSchema is deliberately tiny: the sweep measures the fsync
+// amortization of the commit boundary, not row serialization.
+func groupCommitSchema() relstore.Schema {
+	return relstore.MustSchema([]relstore.Column{
+		{Name: "id", Type: relstore.TypeInt},
+		{Name: "val", Type: relstore.TypeInt},
+	}, "id")
+}
+
+// commitStorm opens a fresh durable engine in its own directory, gives every
+// client its own CVD (one CVD's commits serialize on its exclusive lock, so
+// batching can only come from distinct datasets committing concurrently —
+// the hosted many-client workload orpheusd serves), then times all clients
+// committing concurrently.
+func commitStorm(clients, commitsPerClient, maxBatch int, maxDelay time.Duration) (time.Duration, error) {
+	dir, err := os.MkdirTemp("", "gc-bench-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	e, err := core.OpenDurable("gc", dir, core.GroupCommit(maxBatch, maxDelay))
+	if err != nil {
+		return 0, err
+	}
+	defer e.Close()
+	schema := groupCommitSchema()
+	cvds := make([]*cvd.CVD, clients)
+	for i := range cvds {
+		c, err := e.Init(fmt.Sprintf("client%d", i), schema, []relstore.Row{{relstore.Int(int64(i)), relstore.Int(0)}}, cvd.Options{Author: "bench"})
+		if err != nil {
+			return 0, err
+		}
+		cvds[i] = c
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := time.Now()
+	for i, c := range cvds {
+		wg.Add(1)
+		go func(i int, c *cvd.CVD) {
+			defer wg.Done()
+			parent := vgraph.VersionID(1)
+			for n := 0; n < commitsPerClient; n++ {
+				rows := []relstore.Row{{relstore.Int(int64(i)), relstore.Int(int64(n + 1))}}
+				v, err := c.Commit([]vgraph.VersionID{parent}, rows, schema, "bench", "bench")
+				if err != nil {
+					errs <- fmt.Errorf("client %d commit %d: %w", i, n, err)
+					return
+				}
+				parent = v
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return 0, err
+	}
+	for i, c := range cvds {
+		if got, want := c.NumVersions(), commitsPerClient+1; got != want {
+			return 0, fmt.Errorf("client %d ended with %d versions, want %d", i, got, want)
+		}
+	}
+	return elapsed, nil
+}
+
+// RunGroupCommit sweeps the WAL group-commit win at 64 and 256 concurrent
+// clients. Each point runs the identical commit storm twice: MaxBatch 1
+// (every commit fsyncs alone) vs the batched configuration, where a batch
+// leader waits maxDelay for followers so concurrent commits share one
+// write+fsync. commitsPerClient <= 0 selects the default (8).
+func RunGroupCommit(commitsPerClient int) (GroupCommitReport, Table, error) {
+	if commitsPerClient <= 0 {
+		commitsPerClient = 8
+	}
+	// MaxBatch 0 selects the store default; the 2ms leader wait trades a
+	// bounded latency bump for large batches under heavy concurrency.
+	const maxBatch = 0
+	const maxDelay = 2 * time.Millisecond
+	report := GroupCommitReport{MaxBatch: maxBatch, MaxDelayUs: maxDelay.Microseconds()}
+
+	for _, clients := range []int{64, 256} {
+		baseline, err := commitStorm(clients, commitsPerClient, 1, 0)
+		if err != nil {
+			return report, Table{}, err
+		}
+		batched, err := commitStorm(clients, commitsPerClient, maxBatch, maxDelay)
+		if err != nil {
+			return report, Table{}, err
+		}
+		total := clients * commitsPerClient
+		res := GroupCommitResult{
+			Clients:          clients,
+			CommitsPerClient: commitsPerClient,
+			TotalCommits:     total,
+			BaselineNs:       baseline.Nanoseconds(),
+			BatchedNs:        batched.Nanoseconds(),
+		}
+		if baseline > 0 {
+			res.BaselineThroughput = float64(total) / baseline.Seconds()
+		}
+		if batched > 0 {
+			res.BatchedThroughput = float64(total) / batched.Seconds()
+		}
+		if res.BaselineThroughput > 0 {
+			res.Speedup = res.BatchedThroughput / res.BaselineThroughput
+		}
+		report.Results = append(report.Results, res)
+	}
+
+	table := Table{
+		Title:   fmt.Sprintf("WAL group commit: batched vs fsync-per-commit (%d commits/client)", commitsPerClient),
+		Columns: []string{"clients", "commits", "baseline", "batched", "baseline c/s", "batched c/s", "speedup"},
+	}
+	for _, r := range report.Results {
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%d", r.Clients), fmt.Sprintf("%d", r.TotalCommits),
+			ms(time.Duration(r.BaselineNs)), ms(time.Duration(r.BatchedNs)),
+			f2(r.BaselineThroughput), f2(r.BatchedThroughput), f2(r.Speedup),
+		})
+	}
+	return report, table, nil
+}

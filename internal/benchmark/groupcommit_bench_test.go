@@ -1,0 +1,31 @@
+package benchmark
+
+import "testing"
+
+func TestRunGroupCommit(t *testing.T) {
+	report, table, err := RunGroupCommit(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 2 {
+		t.Fatalf("results = %d, want 2 (64 and 256 clients)\n%s", len(report.Results), table)
+	}
+	for _, r := range report.Results {
+		if r.BaselineThroughput <= 0 || r.BatchedThroughput <= 0 {
+			t.Errorf("%d clients: non-positive throughput (baseline %.1f, batched %.1f)",
+				r.Clients, r.BaselineThroughput, r.BatchedThroughput)
+		}
+		if r.TotalCommits != r.Clients*r.CommitsPerClient {
+			t.Errorf("%d clients: total commits %d", r.Clients, r.TotalCommits)
+		}
+	}
+	// The acceptance bar of WAL group commit: at 64 concurrent clients,
+	// sharing fsyncs must at least double commit throughput over
+	// fsync-per-commit.
+	if report.Results[0].Speedup < 2 {
+		t.Errorf("64-client group-commit speedup = %.2fx, want >= 2x\n%s", report.Results[0].Speedup, table)
+	}
+	if _, err := report.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/cvd"
 	"repro/internal/durable"
@@ -46,10 +47,14 @@ type Engine struct {
 	dropping map[string]struct{}
 
 	// store is the durable data directory binding; nil for ephemeral
-	// engines. The lock order across the stack is engine registry → CVD
-	// lock → store append mutex (commits take CVD → store; checkpoints take
-	// registry → every CVD → store).
+	// engines and after Close. Guarded by mu. The lock order across the
+	// stack is engine registry → CVD lock → store append mutex (commits take
+	// CVD → store; checkpoints take registry → every CVD → store).
 	store *durable.Store
+	// gc is the WAL group-commit configuration applied by OpenDurable when
+	// gcSet (the GroupCommit option was given).
+	gc    durable.GroupCommitConfig
+	gcSet bool
 	// recovery records what OpenDurable had to repair; immutable after open.
 	recovery RecoveryInfo
 }
@@ -79,6 +84,20 @@ type Option func(*Engine)
 // bounds intra-operation fan-out).
 func WithWorkers(n int) Option {
 	return func(e *Engine) { e.workers = n }
+}
+
+// GroupCommit configures WAL group commit for a durable engine (OpenDurable;
+// ephemeral engines ignore it): up to maxBatch concurrent commits share one
+// WAL write+fsync, and a batch leader waits up to maxDelay for followers once
+// the disk is free. maxBatch 1 disables batching (every commit fsyncs alone —
+// the pre-group-commit behaviour); maxBatch <= 0 selects the default
+// (durable.DefaultGroupCommitBatch). maxDelay 0 adds no latency: batches then
+// form only from commits that queue while an earlier batch is fsyncing.
+func GroupCommit(maxBatch int, maxDelay time.Duration) Option {
+	return func(e *Engine) {
+		e.gc = durable.GroupCommitConfig{MaxBatch: maxBatch, MaxDelay: maxDelay}
+		e.gcSet = true
+	}
 }
 
 // Open creates an engine over a fresh in-memory database.
@@ -207,6 +226,7 @@ func (e *Engine) Drop(name string) error {
 	// registry lock being held across the fence below.
 	e.mu.Lock()
 	c, ok := e.cvds[name]
+	store := e.store
 	if ok {
 		if _, busy := e.dropping[name]; busy {
 			ok = false // another Drop of the same name is in flight
@@ -219,7 +239,7 @@ func (e *Engine) Drop(name string) error {
 		return fmt.Errorf("core: unknown CVD %q", name)
 	}
 	var logErr error
-	if e.store != nil {
+	if store != nil {
 		// WAL ordering: the OpDrop must land after any in-flight commit's
 		// OpCommit, so fence the CVD's exclusive lock (waiting out in-flight
 		// work without holding e.mu — registry traffic on other datasets
@@ -227,7 +247,7 @@ func (e *Engine) Drop(name string) error {
 		// fence journal nothing, and the teardown below discards them anyway.
 		c.LockExclusive()
 		c.SetJournalLocked(nil)
-		logErr = e.store.LogDrop(name)
+		logErr = store.LogDrop(name)
 		c.UnlockExclusive()
 	}
 	e.mu.Lock()

@@ -26,6 +26,9 @@ func OpenDurable(name, dir string, opts ...Option) (*Engine, error) {
 		return nil, err
 	}
 	e := Open(name, opts...)
+	if e.gcSet {
+		store.SetGroupCommit(e.gc)
+	}
 	e.recovery = RecoveryInfo{TornTail: res.TornTail, StaleWAL: res.StaleWAL}
 	if res.Snapshot != nil {
 		if res.Snapshot.DBName != "" {
@@ -102,15 +105,27 @@ func (e *Engine) applyRecord(rec *durable.Record) error {
 	}
 }
 
-// Durable reports whether the engine is bound to a data directory.
-func (e *Engine) Durable() bool { return e.store != nil }
+// Durable reports whether the engine is bound to a data directory. It
+// reports false after Close: the binding is gone and commits are no longer
+// journaled.
+func (e *Engine) Durable() bool { return e.getStore() != nil }
 
-// DataDir returns the bound data directory ("" for ephemeral engines).
+// DataDir returns the bound data directory ("" for ephemeral and closed
+// engines).
 func (e *Engine) DataDir() string {
-	if e.store == nil {
+	store := e.getStore()
+	if store == nil {
 		return ""
 	}
-	return e.store.Dir()
+	return store.Dir()
+}
+
+// getStore reads the durable binding under the registry lock (Close clears
+// it concurrently).
+func (e *Engine) getStore() *durable.Store {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store
 }
 
 // buildSnapshot assembles the full engine snapshot under a consistent set of
@@ -198,29 +213,49 @@ func (e *Engine) Save(dir string) error {
 // otherwise leave WAL records that replay against a CVD the snapshot does
 // not contain.
 func (e *Engine) Checkpoint() error {
-	if e.store == nil {
-		return fmt.Errorf("core: Checkpoint requires a durable engine (OpenDurable)")
-	}
 	snap, locked, release, err := e.buildSnapshot(true)
 	if err != nil {
 		return err
 	}
 	defer release()
-	if err := e.store.Checkpoint(snap); err != nil {
+	// buildSnapshot holds the registry lock, so the store cannot be cleared
+	// by a concurrent Close between this read and the checkpoint itself.
+	store := e.store
+	if store == nil {
+		return fmt.Errorf("core: Checkpoint requires a durable engine (OpenDurable)")
+	}
+	if err := store.Checkpoint(snap); err != nil {
 		return err
 	}
 	for _, c := range locked {
-		c.SetJournalLocked(e.store)
+		c.SetJournalLocked(store)
 	}
 	return nil
 }
 
-// Close releases the durable binding (closing the WAL file). The in-memory
-// engine remains usable, but further commits on a previously durable engine
-// will fail their journal append. Close on an ephemeral engine is a no-op.
+// Close releases the durable binding: every CVD's journal is detached, the
+// store is cleared (Durable reports false, DataDir returns "" afterwards),
+// and the WAL file and directory lock are released. The in-memory engine
+// remains usable as an ephemeral engine — later commits simply stop being
+// journaled, instead of tripping journal-append failures against a closed
+// WAL. Close on an ephemeral (or already closed) engine is a no-op.
 func (e *Engine) Close() error {
-	if e.store == nil {
+	e.mu.Lock()
+	store := e.store
+	e.store = nil
+	cvds := make([]*cvd.CVD, 0, len(e.cvds))
+	for _, c := range e.cvds {
+		cvds = append(cvds, c)
+	}
+	e.mu.Unlock()
+	if store == nil {
 		return nil
 	}
-	return e.store.Close()
+	// Detach outside the registry lock (lock order registry → CVD): each
+	// detach waits out that CVD's in-flight commit, so no commit can reach
+	// the store after it is closed and mistake "closed" for a lost write.
+	for _, c := range cvds {
+		c.SetJournal(nil)
+	}
+	return store.Close()
 }

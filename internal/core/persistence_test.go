@@ -534,16 +534,25 @@ func TestAdoptDurability(t *testing.T) {
 	}
 }
 
+// failingJournal implements cvd.Journal and rejects every append — the shape
+// of a WAL whose disk went bad.
+type failingJournal struct{}
+
+func (failingJournal) LogCommit(string, []vgraph.VersionID, []relstore.Row, relstore.Schema, string, string, time.Time) error {
+	return fmt.Errorf("injected journal failure")
+}
+
 // TestCommitTableJournalFailure pins CommitAt's partial-success contract at
 // the CommitTable level: when the commit applies in memory but the WAL
-// append fails (store closed/poisoned), the staging table must be consumed —
-// not restored — so a retry cannot create a duplicate version.
+// append fails, the staging table must be consumed — not restored — so a
+// retry cannot create a duplicate version.
 func TestCommitTableJournalFailure(t *testing.T) {
 	dir := t.TempDir()
 	e, err := OpenDurable("jfail", dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer e.Close()
 	schema := relstore.MustSchema([]relstore.Column{{Name: "id", Type: relstore.TypeInt}}, "id")
 	if _, err := e.Init("d", schema, []relstore.Row{{relstore.Int(1)}}, cvd.Options{}); err != nil {
 		t.Fatal(err)
@@ -551,20 +560,21 @@ func TestCommitTableJournalFailure(t *testing.T) {
 	if _, err := e.Checkout("d", []vgraph.VersionID{1}, "stage"); err != nil {
 		t.Fatal(err)
 	}
-	// Poison the journal: every further append fails.
-	if err := e.Close(); err != nil {
-		t.Fatal(err)
-	}
 	c, _ := e.CVD("d")
+	// Swap in a journal whose appends fail.
+	c.SetJournal(failingJournal{})
 	v, err := e.Commit("d", "stage", "m", "a")
 	if err == nil {
-		t.Fatal("commit with a closed store succeeded silently")
+		t.Fatal("commit with a failing journal succeeded silently")
 	}
 	if v != 2 {
 		t.Fatalf("partial-success version = %d, want 2", v)
 	}
 	if c.NumVersions() != 2 {
 		t.Fatalf("NumVersions = %d, want 2 (commit applied in memory)", c.NumVersions())
+	}
+	if c.JournalErr() == nil {
+		t.Fatal("journal not poisoned after the failed append")
 	}
 	// The staging table is consumed: a retry must fail the claim, not
 	// duplicate the version.
@@ -576,6 +586,58 @@ func TestCommitTableJournalFailure(t *testing.T) {
 	}
 	if e.Database().HasTable("stage") {
 		t.Fatal("staging table survived the consumed commit")
+	}
+}
+
+// TestCloseDetachesDurability pins the Close contract: after Close the
+// engine is ephemeral — Durable reports false, DataDir is empty, journals
+// are detached (later commits succeed un-journaled instead of tripping
+// append failures against a closed WAL), and the data directory is unlocked
+// and intact for the next OpenDurable.
+func TestCloseDetachesDurability(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenDurable("close", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := relstore.MustSchema([]relstore.Column{{Name: "id", Type: relstore.TypeInt}}, "id")
+	if _, err := e.Init("d", schema, []relstore.Row{{relstore.Int(1)}}, cvd.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := e.CVD("d")
+	if _, err := c.Commit([]vgraph.VersionID{1}, []relstore.Row{{relstore.Int(2)}}, schema, "durable", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Durable() {
+		t.Fatal("Durable() still true after Close")
+	}
+	if got := e.DataDir(); got != "" {
+		t.Fatalf("DataDir() = %q after Close, want empty", got)
+	}
+	// The journal is detached: this commit is ephemeral and must succeed.
+	if _, err := c.Commit([]vgraph.VersionID{2}, []relstore.Row{{relstore.Int(3)}}, schema, "ephemeral", "a"); err != nil {
+		t.Fatalf("ephemeral commit after Close: %v", err)
+	}
+	// Close is idempotent.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The directory reopens cleanly (flock released) with only the journaled
+	// history — the post-Close commit was never logged.
+	e2, err := OpenDurable("close", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	rc, err := e2.CVD("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.NumVersions() != 2 {
+		t.Fatalf("recovered %d versions, want 2", rc.NumVersions())
 	}
 }
 

@@ -63,6 +63,13 @@ type CVD struct {
 	// successful commit (see SetJournal); guarded by mu like the rest of the
 	// version state.
 	journal Journal
+	// journalErr is the sticky poison set when a journal append fails: the
+	// in-memory CVD then holds a version the WAL lacks, and journaling any
+	// later commit would reference state the log cannot replay. While set,
+	// commits fail fast; attaching or detaching a journal (SetJournal /
+	// SetJournalLocked — the checkpoint path, which folds the diverged state
+	// into a fresh snapshot) clears it.
+	journalErr error
 }
 
 type checkoutInfo struct {
@@ -619,6 +626,15 @@ func (c *CVD) CommitAt(parents []vgraph.VersionID, rows []relstore.Row, rowSchem
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.journal != nil && c.journalErr != nil {
+		// An earlier commit was applied in memory but never reached the WAL.
+		// Journaling this one would produce a log that replays against a
+		// parent the WAL does not contain — refuse before touching any state,
+		// so the divergence stays confined to the one lost version until a
+		// checkpoint (which snapshots the diverged state and re-arms the
+		// journal) or a reopen heals it.
+		return 0, fmt.Errorf("cvd: %s: commit refused: journal poisoned by an earlier append failure (in-memory state diverged from the WAL; checkpoint or reopen to recover): %w", c.name, c.journalErr)
+	}
 	for _, p := range parents {
 		if c.graph.Node(p) == nil {
 			return 0, fmt.Errorf("cvd: %s: unknown parent version %d", c.name, p)
@@ -642,8 +658,12 @@ func (c *CVD) CommitAt(parents []vgraph.VersionID, rows []relstore.Row, rowSchem
 	}
 	if c.journal != nil {
 		if err := c.journal.LogCommit(c.name, parents, rows, rowSchema, msg, author, at); err != nil {
-			// The commit is applied in memory; surface the durability failure
-			// so the caller knows the WAL does not cover it.
+			// The commit is applied in memory but the WAL lacks it: poison the
+			// journal so every later commit fails fast instead of appending
+			// records that replay against this missing version, then surface
+			// the durability failure so the caller knows the WAL does not
+			// cover it.
+			c.journalErr = err
 			return req.Version, fmt.Errorf("cvd: %s: version %d committed but journaling failed: %w", c.name, req.Version, err)
 		}
 	}

@@ -1,0 +1,137 @@
+package cvd
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// journaledCommit is one captured LogCommit call — everything needed to
+// replay the commit through CommitAt, the way WAL recovery does.
+type journaledCommit struct {
+	parents []vgraph.VersionID
+	rows    []relstore.Row
+	schema  relstore.Schema
+	msg     string
+	author  string
+	at      time.Time
+}
+
+// flakyJournal records every successful append and fails the ones whose
+// index is armed, simulating a WAL whose disk rejected an append.
+type flakyJournal struct {
+	log      []journaledCommit
+	failNext bool
+}
+
+func (j *flakyJournal) LogCommit(_ string, parents []vgraph.VersionID, rows []relstore.Row, schema relstore.Schema, msg, author string, at time.Time) error {
+	if j.failNext {
+		j.failNext = false
+		return errors.New("injected journal failure")
+	}
+	j.log = append(j.log, journaledCommit{
+		parents: append([]vgraph.VersionID(nil), parents...),
+		rows:    rows, schema: schema, msg: msg, author: author, at: at,
+	})
+	return nil
+}
+
+// TestJournalPoisonedAfterAppendFailure: once a commit is applied in memory
+// but its journal append fails, the CVD holds a version the log lacks. Later
+// commits must fail fast (poisoned journal) instead of journaling records
+// that replay against the missing version — and the captured log must stay
+// replayable: replaying it yields exactly the versions whose appends
+// succeeded.
+func TestJournalPoisonedAfterAppendFailure(t *testing.T) {
+	db, c := buildProteinCVD(t, SplitByRlist)
+	j := &flakyJournal{}
+	c.SetJournal(j)
+
+	// A journaled commit that succeeds end to end.
+	v5rows := []relstore.Row{prow("ENSP000001", "ENSP000002", 1, 2, 3)}
+	v5, err := c.Commit([]vgraph.VersionID{4}, v5rows, proteinSchema(), "journaled", "alice")
+	if err != nil {
+		t.Fatalf("journaled commit: %v", err)
+	}
+	if len(j.log) != 1 {
+		t.Fatalf("journal captured %d commits, want 1", len(j.log))
+	}
+
+	// The divergence: applied in memory, lost by the journal.
+	j.failNext = true
+	lostRows := []relstore.Row{prow("ENSP000003", "ENSP000004", 4, 5, 6)}
+	lost, err := c.Commit([]vgraph.VersionID{v5}, lostRows, proteinSchema(), "lost", "bob")
+	if err == nil {
+		t.Fatal("commit with failing journal reported success")
+	}
+	if lost == 0 {
+		t.Fatal("partial success must return the in-memory version id")
+	}
+	if c.JournalErr() == nil {
+		t.Fatal("journal not poisoned after append failure")
+	}
+	versionsAfterLoss := c.NumVersions()
+
+	// Later commits must fail fast, BEFORE touching in-memory state.
+	_, err = c.Commit([]vgraph.VersionID{lost}, v5rows, proteinSchema(), "rejected", "carol")
+	if err == nil {
+		t.Fatal("commit against a poisoned journal succeeded")
+	}
+	if !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("poison error not surfaced: %v", err)
+	}
+	if got := c.NumVersions(); got != versionsAfterLoss {
+		t.Fatalf("rejected commit mutated state: %d versions, want %d", got, versionsAfterLoss)
+	}
+	if got := len(j.log); got != 1 {
+		t.Fatalf("poisoned journal still received %d appends, want 1", got)
+	}
+
+	// Replayability pin: a fresh CVD built from the same history plus the
+	// captured journal reproduces every journaled version without error —
+	// the log contains no record referencing the lost version.
+	_, fresh := buildProteinCVD(t, SplitByRlist)
+	for i, jc := range j.log {
+		if _, err := fresh.CommitAt(jc.parents, jc.rows, jc.schema, jc.msg, jc.author, jc.at); err != nil {
+			t.Fatalf("replaying journaled commit %d: %v", i, err)
+		}
+	}
+	if got, want := fresh.NumVersions(), 5; got != want {
+		t.Fatalf("replay produced %d versions, want %d", got, want)
+	}
+	_ = db
+
+	// Re-attaching the journal (the checkpoint path, after the diverged state
+	// is folded into a snapshot) clears the poison.
+	c.SetJournal(j)
+	if c.JournalErr() != nil {
+		t.Fatal("SetJournal did not clear the poison")
+	}
+	if _, err := c.Commit([]vgraph.VersionID{lost}, v5rows, proteinSchema(), "healed", "dave"); err != nil {
+		t.Fatalf("commit after journal re-attach: %v", err)
+	}
+}
+
+// TestJournalDetachClearsPoison: detaching (journal = nil) also clears the
+// poison — an engine Close detaches every journal, and the now-ephemeral CVD
+// must keep accepting commits.
+func TestJournalDetachClearsPoison(t *testing.T) {
+	_, c := buildProteinCVD(t, SplitByRlist)
+	j := &flakyJournal{failNext: true}
+	c.SetJournal(j)
+	rows := []relstore.Row{prow("ENSP000001", "ENSP000002", 1, 2, 3)}
+	if _, err := c.Commit([]vgraph.VersionID{4}, rows, proteinSchema(), "lost", "a"); err == nil {
+		t.Fatal("commit with failing journal reported success")
+	}
+	c.SetJournal(nil)
+	if c.JournalErr() != nil {
+		t.Fatal("detach did not clear the poison")
+	}
+	if _, err := c.Commit([]vgraph.VersionID{4}, rows, proteinSchema(), "ephemeral", "a"); err != nil {
+		t.Fatalf("ephemeral commit after detach: %v", err)
+	}
+}

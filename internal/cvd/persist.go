@@ -29,10 +29,15 @@ type Journal interface {
 // SetJournal attaches (or detaches, with nil) the commit journal. The engine
 // wires this up when the CVD belongs to a durable data directory; replayed
 // commits run before the journal is attached so they are not re-logged.
+// Attaching (or detaching) clears any journal poison left by a failed
+// append: the caller is asserting that the journal's backing log agrees with
+// the in-memory state again (a checkpoint folded the diverged state into the
+// snapshot, or the store was reopened).
 func (c *CVD) SetJournal(j Journal) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.journal = j
+	c.journalErr = nil
 }
 
 // LockShared acquires the CVD's shared (read) lock without running a
@@ -53,8 +58,20 @@ func (c *CVD) LockExclusive() { c.mu.Lock() }
 func (c *CVD) UnlockExclusive() { c.mu.Unlock() }
 
 // SetJournalLocked is SetJournal for callers already holding the exclusive
-// lock (LockExclusive).
-func (c *CVD) SetJournalLocked(j Journal) { c.journal = j }
+// lock (LockExclusive); like SetJournal it clears any journal poison.
+func (c *CVD) SetJournalLocked(j Journal) {
+	c.journal = j
+	c.journalErr = nil
+}
+
+// JournalErr reports the sticky journal poison: non-nil after a commit was
+// applied in memory but its journal append failed, until a checkpoint or
+// journal swap clears it.
+func (c *CVD) JournalErr() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.journalErr
+}
 
 // PersistedRecord is one entry of the record catalog (rid → data values).
 type PersistedRecord struct {

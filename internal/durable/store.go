@@ -2,6 +2,7 @@ package durable
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -14,7 +15,9 @@ import (
 )
 
 // Store manages one data directory: the snapshot file plus the commit WAL.
-// It is safe for concurrent use; appends serialize behind an internal mutex.
+// It is safe for concurrent use; appends coalesce through a leader/follower
+// group-commit queue (see append) while checkpoints and replay serialize
+// behind the store mutex.
 //
 // Epoch discipline: the snapshot records the WAL epoch that continues it.
 // Checkpoint first writes the new snapshot (epoch+1, atomic rename), then
@@ -24,10 +27,77 @@ import (
 type Store struct {
 	dir string
 
-	mu    sync.Mutex
-	wal   *os.File
-	lock  *os.File // flock-held lock file fencing other processes
-	epoch uint64
+	// mu guards the WAL handle, epoch, end-of-log offset, and poison state,
+	// and serializes every disk operation (batch writes, checkpoints, replay).
+	mu       sync.Mutex
+	wal      walFile
+	lock     *os.File // flock-held lock file fencing other processes
+	epoch    uint64
+	walSize  int64 // offset just past the last durable record (header included)
+	poisoned error // sticky fatal error: the log tail state is unknown
+
+	// gcMu guards the open group-commit batch. It is never held across disk
+	// I/O: appenders join the pending batch under gcMu, then the batch leader
+	// takes mu for the single write+fsync.
+	gcMu    sync.Mutex
+	pending *walBatch
+	gc      GroupCommitConfig
+}
+
+// walFile is the subset of *os.File the WAL code uses. It exists so tests can
+// wrap the real file with a fault-injecting implementation and prove the
+// failure paths (short writes, failed fsyncs) keep the log recoverable.
+type walFile interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Close() error
+}
+
+// DefaultGroupCommitBatch is the frames-per-fsync cap used when group commit
+// is not configured explicitly.
+const DefaultGroupCommitBatch = 128
+
+// GroupCommitConfig tunes the leader/follower commit batching of append.
+type GroupCommitConfig struct {
+	// MaxBatch caps how many records share one write+fsync. 1 disables
+	// batching (every record syncs alone — the pre-group-commit behaviour);
+	// <= 0 selects DefaultGroupCommitBatch.
+	MaxBatch int
+	// MaxDelay is how long a batch leader waits for followers once the disk
+	// is free. 0 (the default) never waits: batching then arises naturally
+	// from appends that queue up while the previous batch is fsyncing, adding
+	// no latency to uncontended commits.
+	MaxDelay time.Duration
+}
+
+func (c GroupCommitConfig) normalized() GroupCommitConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultGroupCommitBatch
+	}
+	if c.MaxDelay < 0 {
+		c.MaxDelay = 0
+	}
+	return c
+}
+
+// SetGroupCommit configures commit batching. It may be called at any time;
+// the configuration applies to batches formed after the call.
+func (s *Store) SetGroupCommit(cfg GroupCommitConfig) {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	s.gc = cfg.normalized()
+}
+
+// walBatch is one group-commit unit: the frames of every record admitted to
+// it, written and fsynced together by the batch leader.
+type walBatch struct {
+	frames [][]byte
+	full   chan struct{} // closed when the batch reaches MaxBatch
+	done   chan struct{} // closed by the leader once err is set
+	err    error
 }
 
 // LockFile is the advisory lock file inside a data directory: Open takes an
@@ -94,7 +164,7 @@ func Open(dir string) (*Store, *OpenResult, error) {
 		lock.Close()
 		return nil, nil, err
 	}
-	s := &Store{dir: dir, wal: f, lock: lock, epoch: snapEpoch}
+	s := &Store{dir: dir, wal: f, lock: lock, epoch: snapEpoch, walSize: walHeaderSize, gc: GroupCommitConfig{}.normalized()}
 	fail := func(err error) (*Store, *OpenResult, error) {
 		f.Close()
 		lock.Close()
@@ -139,6 +209,7 @@ func Open(dir string) (*Store, *OpenResult, error) {
 				return fail(err)
 			}
 		}
+		s.walSize = validEnd
 		res.TornTail = torn
 	}
 	return s, res, nil
@@ -151,7 +222,7 @@ func (s *Store) ReplayWAL(apply func(*Record) error) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal == nil {
-		return 0, fmt.Errorf("durable: store %s is closed", s.dir)
+		return 0, s.closedErr()
 	}
 	return replayWAL(s.wal, apply)
 }
@@ -183,14 +254,123 @@ func (s *Store) Close() error {
 	return err
 }
 
-// append frames, appends, and fsyncs one record.
-func (s *Store) append(rec *Record) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.wal == nil {
-		return fmt.Errorf("durable: store %s is closed", s.dir)
+// closedErr distinguishes a poisoned store (failure path disabled it) from a
+// plainly closed one; callers hold s.mu.
+func (s *Store) closedErr() error {
+	if s.poisoned != nil {
+		return s.poisoned
 	}
-	return appendRecord(s.wal, rec)
+	return fmt.Errorf("durable: store %s is closed", s.dir)
+}
+
+// append frames one record and makes it durable through the group-commit
+// queue: the first appender to find no open batch becomes the leader — it
+// waits for the disk to be free (and optionally MaxDelay for followers),
+// seals the batch, and performs one write+fsync for every record in it.
+// Appenders that arrive while a batch is open join it and wait for the
+// leader's verdict. Uncontended appends still sync immediately: with
+// MaxDelay 0 the leader never waits for company, so batching only arises
+// from genuine concurrency.
+func (s *Store) append(rec *Record) error {
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return err
+	}
+	s.gcMu.Lock()
+	cfg := s.gc
+	if b := s.pending; b != nil {
+		// Follower: join the open batch and wait for its leader.
+		b.frames = append(b.frames, frame)
+		if len(b.frames) >= cfg.MaxBatch {
+			// Full: stop admitting followers and wake a delaying leader.
+			s.pending = nil
+			close(b.full)
+		}
+		s.gcMu.Unlock()
+		<-b.done
+		return b.err
+	}
+	b := &walBatch{frames: [][]byte{frame}, full: make(chan struct{}), done: make(chan struct{})}
+	if cfg.MaxBatch > 1 {
+		s.pending = b
+	}
+	s.gcMu.Unlock()
+
+	// Leader: wait for the disk (the previous batch's fsync, a checkpoint, or
+	// a replay) — followers accumulate into b meanwhile.
+	s.mu.Lock()
+	if cfg.MaxDelay > 0 && cfg.MaxBatch > 1 {
+		t := time.NewTimer(cfg.MaxDelay)
+		select {
+		case <-b.full:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+	// Seal the batch: after this no appender can join it.
+	s.gcMu.Lock()
+	if s.pending == b {
+		s.pending = nil
+	}
+	frames := b.frames
+	s.gcMu.Unlock()
+
+	err = s.writeFramesLocked(frames)
+	s.mu.Unlock()
+	b.err = err
+	close(b.done)
+	return err
+}
+
+// writeFramesLocked appends the sealed batch's frames with one write and one
+// fsync; the caller holds s.mu. On any write or sync failure the log tail
+// past the pre-append offset is garbage: it is truncated back (and the
+// truncation fsynced) so the next append — and recovery — continue from the
+// last durable record instead of burying later commits behind torn bytes. If
+// the truncation itself fails the tail state is unknown and the store is
+// poisoned: every later operation fails until the directory is reopened.
+func (s *Store) writeFramesLocked(frames [][]byte) error {
+	if s.wal == nil {
+		return s.closedErr()
+	}
+	var buf []byte
+	if len(frames) == 1 {
+		buf = frames[0]
+	} else {
+		total := 0
+		for _, f := range frames {
+			total += len(f)
+		}
+		buf = make([]byte, 0, total)
+		for _, f := range frames {
+			buf = append(buf, f...)
+		}
+	}
+	start := s.walSize
+	_, err := s.wal.WriteAt(buf, start)
+	if err == nil {
+		err = s.wal.Sync()
+	}
+	if err == nil {
+		s.walSize = start + int64(len(buf))
+		return nil
+	}
+	// Failure path: remove whatever landed past the last durable record.
+	if terr := s.truncateTailLocked(start); terr != nil {
+		s.poisoned = fmt.Errorf("durable: WAL append to %s failed (%v) and truncating the torn tail failed too (%v); store disabled until reopen", s.dir, err, terr)
+		s.wal.Close()
+		s.wal = nil
+		return s.poisoned
+	}
+	return fmt.Errorf("durable: WAL append to %s failed; log truncated back to the last durable record: %w", s.dir, err)
+}
+
+// truncateTailLocked cuts the WAL back to off and makes the cut durable.
+func (s *Store) truncateTailLocked(off int64) error {
+	if err := s.wal.Truncate(off); err != nil {
+		return err
+	}
+	return s.wal.Sync()
 }
 
 // LogInit journals the creation of a CVD with its initial rows.
@@ -218,7 +398,7 @@ func (s *Store) Checkpoint(snap *Snapshot) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal == nil {
-		return fmt.Errorf("durable: store %s is closed", s.dir)
+		return s.closedErr()
 	}
 	snap.Epoch = s.epoch + 1
 	if err := WriteSnapshotFile(filepath.Join(s.dir, SnapshotFile), snap); err != nil {
@@ -230,25 +410,37 @@ func (s *Store) Checkpoint(snap *Snapshot) error {
 		// as stale on the next open. Poison the store so no later commit can
 		// claim durability it does not have — recovery from the snapshot is
 		// intact, and reopening the directory heals the WAL.
+		s.poisoned = fmt.Errorf("durable: checkpoint of %s wrote the snapshot but failed to reset the WAL; store disabled until reopen", s.dir)
 		s.wal.Close()
 		s.wal = nil
 		return fmt.Errorf("durable: checkpoint of %s wrote the snapshot but failed to reset the WAL; store disabled until reopen: %w", s.dir, err)
 	}
 	s.epoch = snap.Epoch
+	s.walSize = walHeaderSize
 	return nil
 }
 
 // SaveSnapshot writes a one-shot snapshot (epoch 0, no WAL) into dir,
-// creating it if needed — the engine's Save-to-a-new-directory export path. A
-// directory that already holds a WAL is refused: overwriting its snapshot
-// with epoch 0 would desynchronize the epoch pairing.
+// creating it if needed — the engine's Save-to-a-new-directory export path.
+// The directory's advisory lock is held for the write so a concurrent engine
+// cannot open the directory mid-export. A directory that already holds a WAL
+// is refused: overwriting its snapshot with epoch 0 would desynchronize the
+// epoch pairing.
 func SaveSnapshot(dir string, snap *Snapshot) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	// Check for a WAL before taking the flock: saving into a live, currently
+	// open data directory then fails with this message instead of the lock
+	// contention one. The post-lock write is still fenced either way.
 	if _, err := os.Stat(filepath.Join(dir, WALFile)); err == nil {
 		return fmt.Errorf("durable: %s is a live data directory (has a WAL); use Checkpoint instead of Save", dir)
 	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return err
+	}
+	defer lock.Close()
 	snap.Epoch = 0
 	return WriteSnapshotFile(filepath.Join(dir, SnapshotFile), snap)
 }

@@ -6,7 +6,6 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
 	"time"
 
 	"repro/internal/cvd"
@@ -129,7 +128,7 @@ func decodeRecord(payload []byte) (*Record, error) {
 
 // writeWALHeader (re)writes the header at the start of f and truncates
 // everything after it.
-func writeWALHeader(f *os.File, epoch uint64) error {
+func writeWALHeader(f walFile, epoch uint64) error {
 	var hdr [walHeaderSize]byte
 	copy(hdr[:8], walMagic)
 	binary.LittleEndian.PutUint32(hdr[8:12], formatVersion)
@@ -144,7 +143,7 @@ func writeWALHeader(f *os.File, epoch uint64) error {
 }
 
 // readWALHeader validates the header and returns the epoch.
-func readWALHeader(f *os.File) (uint64, error) {
+func readWALHeader(f walFile) (uint64, error) {
 	var hdr [walHeaderSize]byte
 	if _, err := io.ReadFull(io.NewSectionReader(f, 0, walHeaderSize), hdr[:]); err != nil {
 		return 0, fmt.Errorf("durable: reading WAL header: %w", err)
@@ -162,7 +161,7 @@ func readWALHeader(f *os.File) (uint64, error) {
 // payloads (pass 1 of recovery): it returns the offset just past the last
 // fully-valid record and whether a torn tail — truncated header or payload,
 // or a CRC mismatch from a crashed append — follows it.
-func scanWAL(f *os.File) (validEnd int64, torn bool, err error) {
+func scanWAL(f walFile) (validEnd int64, torn bool, err error) {
 	info, err := f.Stat()
 	if err != nil {
 		return 0, false, err
@@ -201,7 +200,7 @@ func scanWAL(f *os.File) (validEnd int64, torn bool, err error) {
 // payload at a time so replaying a large WAL never materializes the whole
 // log in memory. The caller (Open) has already truncated any torn tail, so
 // every frame here is complete and CRC-valid.
-func replayWAL(f *os.File, apply func(*Record) error) (applied int, err error) {
+func replayWAL(f walFile, apply func(*Record) error) (applied int, err error) {
 	info, err := f.Stat()
 	if err != nil {
 		return 0, err
@@ -234,9 +233,11 @@ func replayWAL(f *os.File, apply func(*Record) error) (applied int, err error) {
 	return applied, nil
 }
 
-// appendRecord frames and appends one record at the end of the WAL and
-// fsyncs — the commit boundary.
-func appendRecord(f *os.File, rec *Record) error {
+// encodeFrame frames one record — uint32 length, uint32 CRC32, payload — as
+// the byte slice the group-commit queue hands to the batch leader, which
+// writes and fsyncs every frame of its batch in one pass (the commit
+// boundary).
+func encodeFrame(rec *Record) ([]byte, error) {
 	var e enc
 	e.b = make([]byte, 8) // header placeholder
 	encodeRecord(&e, rec)
@@ -244,15 +245,9 @@ func appendRecord(f *os.File, rec *Record) error {
 	if len(payload) > math.MaxUint32 {
 		// A wrapped length field would frame-corrupt the log and take every
 		// later record down with it during torn-tail recovery.
-		return fmt.Errorf("durable: WAL record of %d bytes exceeds the 4 GiB frame limit; checkpoint and commit in smaller batches", len(payload))
+		return nil, fmt.Errorf("durable: WAL record of %d bytes exceeds the 4 GiB frame limit; checkpoint and commit in smaller batches", len(payload))
 	}
 	binary.LittleEndian.PutUint32(e.b[:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(e.b[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		return err
-	}
-	if _, err := f.Write(e.b); err != nil {
-		return err
-	}
-	return f.Sync()
+	return e.b, nil
 }

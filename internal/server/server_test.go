@@ -1,0 +1,347 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// post sends a JSON body and decodes the JSON answer into out (when non-nil),
+// returning the status code.
+func post(t *testing.T, ts *httptest.Server, path string, body, out interface{}) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func get(t *testing.T, ts *httptest.Server, path string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func openSession(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	var sr sessionResponse
+	if code := post(t, ts, "/v1/session", struct{}{}, &sr); code != http.StatusOK {
+		t.Fatalf("session open: status %d", code)
+	}
+	if sr.Session == "" {
+		t.Fatal("session open returned no id")
+	}
+	return sr.Session
+}
+
+var proteinInit = initRequest{
+	CVD: "protein",
+	Columns: []columnSpec{
+		{Name: "protein1", Type: "string"},
+		{Name: "protein2", Type: "string"},
+		{Name: "coexpression", Type: "int"},
+	},
+	PK: []string{"protein1", "protein2"},
+	Rows: [][]interface{}{
+		{"ENSP1", "ENSP2", 80},
+		{"ENSP1", "ENSP3", 40},
+	},
+	Message: "seed",
+	Author:  "alice",
+}
+
+// TestVersioningOverHTTP drives the full client workflow — init, checkout
+// into a session, commit, select with a predicate, log — over the wire.
+func TestVersioningOverHTTP(t *testing.T) {
+	e := core.Open("t")
+	ts := httptest.NewServer(New(e, Config{}))
+	defer ts.Close()
+
+	var ir initResponse
+	if code := post(t, ts, "/v1/init", proteinInit, &ir); code != http.StatusOK {
+		t.Fatalf("init: status %d", code)
+	}
+	if ir.Version != 1 || ir.Records != 2 {
+		t.Fatalf("init response = %+v", ir)
+	}
+	// Re-init of the same name is a conflict.
+	if code := post(t, ts, "/v1/init", proteinInit, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate init: status %d, want 409", code)
+	}
+
+	sid := openSession(t, ts)
+	var cr checkoutResponse
+	code := post(t, ts, "/v1/checkout", checkoutRequest{Session: sid, CVD: "protein", Versions: []int64{1}, Table: "wd"}, &cr)
+	if code != http.StatusOK || cr.Records != 2 {
+		t.Fatalf("checkout: status %d, response %+v", code, cr)
+	}
+	// The physical staging table is session-scoped, not the logical name.
+	if e.Database().HasTable("wd") {
+		t.Fatal("staging table leaked under its logical name")
+	}
+
+	if _, ok := e.Database().Table(sid + "__wd"); !ok {
+		t.Fatal("session-scoped staging table missing")
+	}
+	var mr commitResponse
+	code = post(t, ts, "/v1/commit", commitRequest{Session: sid, CVD: "protein", Table: "wd", Message: "same", Author: "bob"}, &mr)
+	if code != http.StatusOK || mr.Version != 2 {
+		t.Fatalf("commit: status %d, version %d", code, mr.Version)
+	}
+	// The staged entry is consumed: committing again is a 404.
+	if code := post(t, ts, "/v1/commit", commitRequest{Session: sid, CVD: "protein", Table: "wd"}, nil); code != http.StatusNotFound {
+		t.Fatalf("re-commit of consumed table: status %d, want 404", code)
+	}
+
+	var sr selectResponse
+	code = post(t, ts, "/v1/select", selectRequest{
+		CVD: "protein", Versions: []int64{1},
+		Where: []predicateSpec{{Column: "coexpression", Op: ">", Value: 50}},
+	}, &sr)
+	if code != http.StatusOK {
+		t.Fatalf("select: status %d", code)
+	}
+	if len(sr.Rows) != 1 {
+		t.Fatalf("select returned %d rows, want 1", len(sr.Rows))
+	}
+	if got := sr.Rows[0].Values[0]; got != "ENSP1" {
+		t.Fatalf("select row = %v", sr.Rows[0].Values)
+	}
+	if v, ok := sr.Rows[0].Values[2].(float64); !ok || v != 80 {
+		t.Fatalf("int column over JSON = %v (%T)", sr.Rows[0].Values[2], sr.Rows[0].Values[2])
+	}
+
+	var lr logResponse
+	if code := get(t, ts, "/v1/log?cvd=protein", &lr); code != http.StatusOK {
+		t.Fatalf("log: status %d", code)
+	}
+	if len(lr.Versions) != 2 || lr.Versions[1].Version != 2 || lr.Versions[1].Author != "bob" {
+		t.Fatalf("log = %+v", lr)
+	}
+
+	var st statusResponse
+	if code := get(t, ts, "/v1/status", &st); code != http.StatusOK {
+		t.Fatalf("status: status %d", code)
+	}
+	if len(st.CVDs) != 1 || st.CVDs[0] != "protein" || st.Durable || st.Sessions != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+// TestSessionIsolation: two sessions stage the same logical table name
+// without colliding, and closing a session reclaims its staging tables.
+func TestSessionIsolation(t *testing.T) {
+	e := core.Open("t")
+	ts := httptest.NewServer(New(e, Config{}))
+	defer ts.Close()
+	if code := post(t, ts, "/v1/init", proteinInit, nil); code != http.StatusOK {
+		t.Fatalf("init: status %d", code)
+	}
+	a := openSession(t, ts)
+	b := openSession(t, ts)
+	for _, sid := range []string{a, b} {
+		code := post(t, ts, "/v1/checkout", checkoutRequest{Session: sid, CVD: "protein", Versions: []int64{1}, Table: "wd"}, nil)
+		if code != http.StatusOK {
+			t.Fatalf("checkout in %s: status %d", sid, code)
+		}
+	}
+	// Double-stage of the same logical name within ONE session is refused.
+	code := post(t, ts, "/v1/checkout", checkoutRequest{Session: a, CVD: "protein", Versions: []int64{1}, Table: "wd"}, nil)
+	if code != http.StatusConflict {
+		t.Fatalf("double checkout: status %d, want 409", code)
+	}
+	// Closing session a drops its staging table; b's survives and commits.
+	if code := post(t, ts, "/v1/session/close", sessionResponse{Session: a}, nil); code != http.StatusOK {
+		t.Fatalf("session close: status %d", code)
+	}
+	if e.Database().HasTable(a + "__wd") {
+		t.Fatal("closed session's staging table not reclaimed")
+	}
+	var mr commitResponse
+	code = post(t, ts, "/v1/commit", commitRequest{Session: b, CVD: "protein", Table: "wd", Message: "b wins", Author: "b"}, &mr)
+	if code != http.StatusOK || mr.Version != 2 {
+		t.Fatalf("commit from surviving session: status %d, version %d", code, mr.Version)
+	}
+	// Commits against a session that no longer exists 404.
+	if code := post(t, ts, "/v1/commit", commitRequest{Session: a, CVD: "protein", Table: "wd"}, nil); code != http.StatusNotFound {
+		t.Fatalf("commit in closed session: status %d, want 404", code)
+	}
+}
+
+// TestAdmissionControl: with MaxInflight 1 and the single slot held, further
+// requests are shed with 503 instead of queued.
+func TestAdmissionControl(t *testing.T) {
+	e := core.Open("t")
+	s := New(e, Config{MaxInflight: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Occupy the only slot directly (the handler path would release it too
+	// fast to observe).
+	s.sem <- struct{}{}
+	resp, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated server answered %d, want 503", resp.StatusCode)
+	}
+	<-s.sem
+	if code := get(t, ts, "/v1/status", nil); code != http.StatusOK {
+		t.Fatalf("drained server answered %d, want 200", code)
+	}
+}
+
+// TestConcurrentCommits: many sessions commit to their own CVDs over HTTP at
+// once — the paths the -race build must prove clean, and on a durable engine
+// the natural group-commit workload.
+func TestConcurrentCommits(t *testing.T) {
+	dir := t.TempDir()
+	e, err := core.OpenDurable("srv", dir, core.GroupCommit(0, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ts := httptest.NewServer(New(e, Config{}))
+	defer ts.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("ds%d", i)
+			req := proteinInit
+			req.CVD = name
+			var buf bytes.Buffer
+			if err := json.NewEncoder(&buf).Encode(req); err != nil {
+				errs <- err
+				return
+			}
+			resp, err := http.Post(ts.URL+"/v1/init", "application/json", &buf)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("init %s: status %d", name, resp.StatusCode)
+				return
+			}
+			var sr sessionResponse
+			r2, err := http.Post(ts.URL+"/v1/session", "application/json", bytes.NewReader([]byte("{}")))
+			if err != nil {
+				errs <- err
+				return
+			}
+			json.NewDecoder(r2.Body).Decode(&sr)
+			r2.Body.Close()
+			for c := 0; c < 3; c++ {
+				co, _ := json.Marshal(checkoutRequest{Session: sr.Session, CVD: name, Versions: []int64{1}, Table: "wd"})
+				r3, err := http.Post(ts.URL+"/v1/checkout", "application/json", bytes.NewReader(co))
+				if err != nil {
+					errs <- err
+					return
+				}
+				r3.Body.Close()
+				cm, _ := json.Marshal(commitRequest{Session: sr.Session, CVD: name, Table: "wd", Message: "m", Author: "a"})
+				r4, err := http.Post(ts.URL+"/v1/commit", "application/json", bytes.NewReader(cm))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if r4.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("commit %s round %d: status %d", name, c, r4.StatusCode)
+					r4.Body.Close()
+					return
+				}
+				r4.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Every dataset has 1 init + 3 commits; reopen proves it all hit the WAL.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := core.OpenDurable("srv", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i := 0; i < clients; i++ {
+		c, err := re.CVD(fmt.Sprintf("ds%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.NumVersions() != 4 {
+			t.Fatalf("ds%d recovered %d versions, want 4", i, c.NumVersions())
+		}
+	}
+}
+
+// TestBadRequests: malformed inputs come back as 4xx JSON errors.
+func TestBadRequests(t *testing.T) {
+	e := core.Open("t")
+	ts := httptest.NewServer(New(e, Config{}))
+	defer ts.Close()
+	var er errorResponse
+	if code := post(t, ts, "/v1/init", initRequest{CVD: "x"}, &er); code != http.StatusBadRequest || er.Error == "" {
+		t.Fatalf("init without columns: status %d, err %q", code, er.Error)
+	}
+	bad := proteinInit
+	bad.CVD = "y"
+	bad.Columns = []columnSpec{{Name: "a", Type: "no-such-type"}}
+	bad.Rows = nil
+	if code := post(t, ts, "/v1/init", bad, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad column type: status %d", code)
+	}
+	if code := post(t, ts, "/v1/checkout", checkoutRequest{Session: "nope", CVD: "x", Table: "t"}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d", code)
+	}
+	if code := get(t, ts, "/v1/log?cvd=missing", nil); code != http.StatusNotFound {
+		t.Fatalf("log of unknown CVD: status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/init")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on POST endpoint: status %d", resp.StatusCode)
+	}
+}
