@@ -4,211 +4,238 @@
 // BENCH.md at the repository root for the per-experiment index and how to
 // read the rendered tables.
 //
+// The -experiment presets are a fixed registry; for scenarios declared as
+// data, benchrunner is also a thin loader over the workload harness: -spec
+// runs a specs/*.yaml workload spec and writes its BENCH_<name>.json report
+// (equivalent to workloadrunner without the crash modes).
+//
 // Usage:
 //
 //	go run ./cmd/benchrunner -experiment all
 //	go run ./cmd/benchrunner -experiment fig5.8 -dataset SCI_10K -scale 1
 //	go run ./cmd/benchrunner -experiment concurrent -workers 4
 //	go run ./cmd/benchrunner -experiment recset -out BENCH_recset.json
-//	go run ./cmd/benchrunner -experiment columnar -out BENCH_columnar.json
-//	go run ./cmd/benchrunner -experiment durable -out BENCH_durable.json
-//	go run ./cmd/benchrunner -experiment groupcommit -out BENCH_groupcommit.json
+//	go run ./cmd/benchrunner -spec specs/branch_heavy.yaml
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/benchmark"
+	"repro/internal/workload"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment id: fig4.1, tab5.2, fig5.7, fig5.8, fig5.10, fig5.14, fig5.17, concurrent, recset, columnar, durable, groupcommit, ch7, ch8, all")
+	experiment := flag.String("experiment", "all", "experiment id (see -experiment help, or BENCH.md): "+strings.Join(experimentIDs(), ", ")+", all")
+	spec := flag.String("spec", "", "run a declarative workload spec file instead of a preset experiment")
 	dataset := flag.String("dataset", "SCI_10K", "dataset preset for single-dataset experiments")
 	scale := flag.Int("scale", 1, "scale multiplier applied to dataset presets")
 	workers := flag.Int("workers", 0, "engine worker-pool size for parallel operations (0 = single-threaded operations)")
 	latency := flag.Duration("latency", 0, "simulated client-server round trip for the concurrent experiment (0 = default 5ms, negative = none)")
-	out := flag.String("out", "", "output path for the recset/columnar experiment's JSON report; honored only when that experiment is selected explicitly (never under -experiment all, where two reports would overwrite each other)")
+	out := flag.String("out", "", "output path for a JSON report; honored for -spec and for explicitly selected report-producing experiments (never under -experiment all, where two reports would overwrite each other)")
 	flag.Parse()
 
-	if err := run(*experiment, *dataset, *scale, *workers, *latency, *out); err != nil {
+	if err := run(*experiment, *spec, *dataset, *scale, *workers, *latency, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, dataset string, scale, workers int, latency time.Duration, out string) error {
-	want := func(id string) bool {
-		return experiment == "all" || strings.EqualFold(experiment, id)
+// expParams carries the CLI knobs into the registry entries.
+type expParams struct {
+	dataset string
+	scale   int
+	workers int
+	latency time.Duration
+}
+
+// experiment is one registry entry: a primary id, the figure aliases that
+// select the same run, and the runner. A non-nil report document is written
+// to -out when this experiment was selected explicitly.
+type experiment struct {
+	id      string
+	aliases []string
+	run     func(p expParams) (table string, report []byte, err error)
+}
+
+// tableOnly adapts experiments without a JSON report.
+func tableOnly(fn func(p expParams) (string, error)) func(expParams) (string, []byte, error) {
+	return func(p expParams) (string, []byte, error) {
+		table, err := fn(p)
+		return table, nil, err
 	}
-	ran := false
-	if want("fig4.1") {
-		ran = true
-		_, table, err := benchmark.RunFig41(nil, scale)
+}
+
+// withReport adapts experiments returning a benchmark report with a JSON()
+// method alongside the rendered table.
+func withReport[R interface{ JSON() ([]byte, error) }](fn func(p expParams) (R, string, error)) func(expParams) (string, []byte, error) {
+	return func(p expParams) (string, []byte, error) {
+		report, table, err := fn(p)
 		if err != nil {
-			return err
+			return "", nil, err
 		}
-		fmt.Println(table)
-	}
-	if want("tab5.2") {
-		ran = true
-		table, err := benchmark.RunTable52(nil, scale)
+		doc, err := report.JSON()
 		if err != nil {
-			return err
+			return "", nil, err
 		}
-		fmt.Println(table)
+		return table, doc, nil
 	}
-	if want("fig5.7") {
-		ran = true
+}
+
+// experiments is the dispatch registry, in `-experiment all` execution order.
+var experiments = []experiment{
+	{id: "fig4.1", run: tableOnly(func(p expParams) (string, error) {
+		_, table, err := benchmark.RunFig41(nil, p.scale)
+		return table.String(), err
+	})},
+	{id: "tab5.2", run: tableOnly(func(p expParams) (string, error) {
+		table, err := benchmark.RunTable52(nil, p.scale)
+		return table.String(), err
+	})},
+	{id: "fig5.7", run: tableOnly(func(p expParams) (string, error) {
 		table, err := benchmark.RunFig57(nil, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table)
-	}
-	if want("fig5.8") || want("fig5.20") {
-		ran = true
-		_, table, err := benchmark.RunFig58(dataset, scale)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table)
-	}
-	if want("fig5.10") || want("fig5.12") {
-		ran = true
-		table, err := benchmark.RunFig510(nil, scale)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table)
-	}
-	if want("fig5.14") || want("fig5.15") {
-		ran = true
-		table, err := benchmark.RunFig514(nil, scale, 20)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table)
-	}
-	if want("fig5.17") || want("fig5.19") {
-		ran = true
-		table, err := benchmark.RunFig517(dataset, scale, 1.5, 2)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table)
-	}
-	if want("concurrent") {
-		ran = true
+		return table.String(), err
+	})},
+	{id: "fig5.8", aliases: []string{"fig5.20"}, run: tableOnly(func(p expParams) (string, error) {
+		_, table, err := benchmark.RunFig58(p.dataset, p.scale)
+		return table.String(), err
+	})},
+	{id: "fig5.10", aliases: []string{"fig5.12"}, run: tableOnly(func(p expParams) (string, error) {
+		table, err := benchmark.RunFig510(nil, p.scale)
+		return table.String(), err
+	})},
+	{id: "fig5.14", aliases: []string{"fig5.15"}, run: tableOnly(func(p expParams) (string, error) {
+		table, err := benchmark.RunFig514(nil, p.scale, 20)
+		return table.String(), err
+	})},
+	{id: "fig5.17", aliases: []string{"fig5.19"}, run: tableOnly(func(p expParams) (string, error) {
+		table, err := benchmark.RunFig517(p.dataset, p.scale, 1.5, 2)
+		return table.String(), err
+	})},
+	{id: "concurrent", run: tableOnly(func(p expParams) (string, error) {
 		_, table, err := benchmark.RunConcurrent(benchmark.ConcurrentConfig{
-			Dataset:    dataset,
-			Scale:      scale,
-			SimLatency: latency,
-			Workers:    workers,
+			Dataset:    p.dataset,
+			Scale:      p.scale,
+			SimLatency: p.latency,
+			Workers:    p.workers,
 		})
+		return table.String(), err
+	})},
+	{id: "recset", run: withReport(func(p expParams) (benchmark.RecsetReport, string, error) {
+		report, table, err := benchmark.RunRecset(p.dataset, p.scale)
+		return report, table.String(), err
+	})},
+	{id: "columnar", run: withReport(func(p expParams) (benchmark.ColumnarReport, string, error) {
+		report, table, err := benchmark.RunColumnar(p.dataset, p.scale)
+		return report, table.String(), err
+	})},
+	{id: "durable", run: withReport(func(p expParams) (benchmark.DurableReport, string, error) {
+		report, table, err := benchmark.RunDurable(p.dataset, p.scale)
+		return report, table.String(), err
+	})},
+	{id: "groupcommit", run: withReport(func(p expParams) (benchmark.GroupCommitReport, string, error) {
+		report, table, err := benchmark.RunGroupCommit(0)
+		return report, table.String(), err
+	})},
+	{id: "ch7", run: tableOnly(func(p expParams) (string, error) {
+		table, err := benchmark.RunCh7(40, 7)
+		return table.String(), err
+	})},
+	{id: "ch8", run: tableOnly(func(p expParams) (string, error) {
+		table, err := benchmark.RunCh8(30, 7)
+		return table.String(), err
+	})},
+}
+
+// experimentIDs lists primary registry ids, sorted for the flag help.
+func experimentIDs() []string {
+	ids := make([]string, 0, len(experiments))
+	for _, e := range experiments {
+		ids = append(ids, e.id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// matches reports whether the selector picks this entry.
+func (e *experiment) matches(selector string) bool {
+	if strings.EqualFold(selector, e.id) {
+		return true
+	}
+	for _, a := range e.aliases {
+		if strings.EqualFold(selector, a) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(selector, specPath, dataset string, scale, workers int, latency time.Duration, out string) error {
+	if specPath != "" {
+		return runSpec(specPath, out)
+	}
+	p := expParams{dataset: dataset, scale: scale, workers: workers, latency: latency}
+	all := selector == "all"
+	ran := false
+	for i := range experiments {
+		e := &experiments[i]
+		if !all && !e.matches(selector) {
+			continue
+		}
+		ran = true
+		table, report, err := e.run(p)
 		if err != nil {
 			return err
 		}
 		fmt.Println(table)
-	}
-	// -out is honored only for an explicitly selected experiment: under
-	// -experiment all, recset and columnar would otherwise write the same
-	// file one after the other, silently destroying the first report.
-	writeReport := func(id string, doc []byte) error {
-		if out == "" {
-			return nil
+		if report == nil || out == "" {
+			continue
 		}
-		if !strings.EqualFold(experiment, id) {
-			fmt.Printf("skipping -out for %s (only written with -experiment %s)\n", id, id)
-			return nil
+		// -out is honored only for an explicitly selected experiment: under
+		// -experiment all, recset and columnar would otherwise write the same
+		// file one after the other, silently destroying the first report.
+		if all {
+			fmt.Printf("skipping -out for %s (only written with -experiment %s)\n", e.id, e.id)
+			continue
 		}
-		if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(out, append(report, '\n'), 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", out)
-		return nil
-	}
-	if want("recset") {
-		ran = true
-		report, table, err := benchmark.RunRecset(dataset, scale)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table)
-		doc, err := report.JSON()
-		if err != nil {
-			return err
-		}
-		if err := writeReport("recset", doc); err != nil {
-			return err
-		}
-	}
-	if want("columnar") {
-		ran = true
-		report, table, err := benchmark.RunColumnar(dataset, scale)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table)
-		doc, err := report.JSON()
-		if err != nil {
-			return err
-		}
-		if err := writeReport("columnar", doc); err != nil {
-			return err
-		}
-	}
-	if want("durable") {
-		ran = true
-		report, table, err := benchmark.RunDurable(dataset, scale)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table)
-		doc, err := report.JSON()
-		if err != nil {
-			return err
-		}
-		if err := writeReport("durable", doc); err != nil {
-			return err
-		}
-	}
-	if want("groupcommit") {
-		ran = true
-		report, table, err := benchmark.RunGroupCommit(0)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table)
-		doc, err := report.JSON()
-		if err != nil {
-			return err
-		}
-		if err := writeReport("groupcommit", doc); err != nil {
-			return err
-		}
-	}
-	if want("ch7") {
-		ran = true
-		table, err := benchmark.RunCh7(40, 7)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table)
-	}
-	if want("ch8") {
-		ran = true
-		table, err := benchmark.RunCh8(30, 7)
-		if err != nil {
-			return err
-		}
-		fmt.Println(table)
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q", experiment)
+		return fmt.Errorf("unknown experiment %q (known: %s)", selector, strings.Join(experimentIDs(), ", "))
 	}
+	return nil
+}
+
+// runSpec is the thin-loader path: parse the declarative spec, run it
+// through the workload harness, and write the BENCH_<name>.json report.
+func runSpec(specPath, out string) error {
+	spec, err := workload.ParseSpecFile(specPath)
+	if err != nil {
+		return err
+	}
+	report, err := workload.Run(spec)
+	if err != nil {
+		return err
+	}
+	doc, err := report.JSON()
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		out = "BENCH_" + spec.Name + ".json"
+	}
+	if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d ops, %.0f ops/s, %d errors → %s\n",
+		spec.Name, report.TotalOps, report.ThroughputPerSec, report.TotalErrors, out)
 	return nil
 }

@@ -1,0 +1,124 @@
+// Command workloadrunner executes declarative workload specs against the
+// engine and emits BENCH_<spec>.json reports, or — with -crash — runs the
+// kill -9 crash-injection campaign that proves acknowledged commits survive
+// hard process death.
+//
+// Usage:
+//
+//	workloadrunner -spec specs/continuous_ingest.yaml [-out BENCH_x.json]
+//	workloadrunner -spec specs/durable_crash.yaml -crash [-iterations 20] [-data DIR] [-keep-failed]
+//
+// -crash-child is internal: it is how the crash parent re-execs this binary
+// as the victim process.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("workloadrunner", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specPath := fs.String("spec", "", "workload spec file (.yaml or .json), required")
+	out := fs.String("out", "", "report path (default BENCH_<spec>.json, or CRASH_<spec>.json with -crash)")
+	crash := fs.Bool("crash", false, "run the kill -9 crash-injection campaign instead of the workload")
+	iterations := fs.Int("iterations", 0, "override spec crash.iterations (crash mode)")
+	dataDir := fs.String("data", "", "data dir for the durable store (default: a temp dir)")
+	keepFailed := fs.Bool("keep-failed", false, "preserve the data dir when crash verification fails")
+	crashChild := fs.Bool("crash-child", false, "internal: run as the crash victim process")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *specPath == "" {
+		fmt.Fprintln(stderr, "workloadrunner: -spec is required")
+		fs.Usage()
+		return 2
+	}
+	if *crashChild {
+		if *dataDir == "" {
+			fmt.Fprintln(stderr, "workloadrunner: -crash-child requires -data")
+			return 2
+		}
+		return workload.CrashChild(*specPath, *dataDir, stdout)
+	}
+	spec, err := workload.ParseSpecFile(*specPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "workloadrunner: %v\n", err)
+		return 1
+	}
+	if *crash {
+		return runCrash(spec, *out, *iterations, *dataDir, *keepFailed, stdout, stderr)
+	}
+	return runWorkload(spec, *out, stdout, stderr)
+}
+
+func runWorkload(spec *workload.Spec, out string, stdout, stderr io.Writer) int {
+	report, err := workload.Run(spec)
+	if err != nil {
+		fmt.Fprintf(stderr, "workloadrunner: %v\n", err)
+		return 1
+	}
+	data, err := report.JSON()
+	if err != nil {
+		fmt.Fprintf(stderr, "workloadrunner: %v\n", err)
+		return 1
+	}
+	if out == "" {
+		out = "BENCH_" + spec.Name + ".json"
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(stderr, "workloadrunner: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: %d ops in %.0fms (%.0f ops/s, %d errors, %d shed) → %s\n",
+		spec.Name, report.TotalOps, report.ElapsedMs, report.ThroughputPerSec,
+		report.TotalErrors, report.TotalShed, out)
+	return 0
+}
+
+func runCrash(spec *workload.Spec, out string, iterations int, dataDir string, keepFailed bool, stdout, stderr io.Writer) int {
+	if !spec.Engine.Durable {
+		fmt.Fprintf(stderr, "workloadrunner: -crash requires a durable spec (engine.durable: true)\n")
+		return 1
+	}
+	if iterations > 0 {
+		spec.Crash.Iterations = iterations
+	}
+	report, err := workload.RunCrash(spec, workload.CrashConfig{
+		DataDir:    dataDir,
+		KeepFailed: keepFailed,
+		Log:        stderr,
+		ArgsFor: func(specPath, childDir string) []string {
+			return []string{"-crash-child", "-spec", specPath, "-data", childDir}
+		},
+	})
+	if report != nil {
+		if data, jerr := report.JSON(); jerr == nil {
+			if out == "" {
+				out = "CRASH_" + spec.Name + ".json"
+			}
+			if werr := os.WriteFile(out, append(data, '\n'), 0o644); werr != nil {
+				fmt.Fprintf(stderr, "workloadrunner: %v\n", werr)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "workloadrunner: CRASH FAILURE: %v\n", err)
+		if report != nil && report.FailedDataDir != "" {
+			fmt.Fprintf(stderr, "workloadrunner: failing data dir preserved at %s\n", report.FailedDataDir)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: %d kill -9 iterations survived (%d clean exits, %d commits acked, %d versions verified bit-identical) → %s\n",
+		spec.Name, report.Kills, report.CleanExits, report.AckedCommits, report.VerifiedVersions, out)
+	return 0
+}

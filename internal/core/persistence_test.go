@@ -15,94 +15,24 @@ import (
 )
 
 // checkoutRows materializes one version into rows (rid column included) and
-// drops the staging table again.
+// drops the staging table again. The comparator itself lives in compare.go
+// (CheckoutVersionRows) so the crash-injection harness can reuse it.
 func checkoutRows(t *testing.T, e *Engine, cvdName string, v vgraph.VersionID, tag string) []relstore.Row {
 	t.Helper()
-	tab := fmt.Sprintf("co_%s_%s_%d", cvdName, tag, v)
-	out, err := e.Checkout(cvdName, []vgraph.VersionID{v}, tab)
-	if err != nil {
-		t.Fatalf("checkout %s v%d: %v", cvdName, v, err)
-	}
-	rows := make([]relstore.Row, out.Len())
-	for i := range rows {
-		rows[i] = out.RowAt(i).Clone()
-	}
-	c, err := e.CVD(cvdName)
+	rows, err := CheckoutVersionRows(e, cvdName, v, tag)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.DiscardCheckout(tab)
 	return rows
 }
 
-// rowsExactlyEqual demands bit-level equality: same order, same type tags,
-// same payloads.
-func rowsExactlyEqual(t *testing.T, ctx string, a, b []relstore.Row) {
-	t.Helper()
-	if len(a) != len(b) {
-		t.Fatalf("%s: %d rows != %d rows", ctx, len(a), len(b))
-	}
-	for i := range a {
-		if len(a[i]) != len(b[i]) {
-			t.Fatalf("%s row %d: width %d != %d", ctx, i, len(a[i]), len(b[i]))
-		}
-		for j := range a[i] {
-			va, vb := a[i][j], b[i][j]
-			if va.Type != vb.Type || va.AsString() != vb.AsString() {
-				t.Fatalf("%s row %d col %d: %v (%v) != %v (%v)", ctx, i, j, va, va.Type, vb, vb.Type)
-			}
-		}
-	}
-}
-
 // enginesEquivalent verifies that every version of every CVD checks out
-// identically on both engines and that metadata survived.
+// identically on both engines and that metadata survived (EnginesEquivalent
+// in compare.go, shared with the crash harness).
 func enginesEquivalent(t *testing.T, tag string, a, b *Engine) {
 	t.Helper()
-	namesA, namesB := a.List(), b.List()
-	if len(namesA) != len(namesB) {
-		t.Fatalf("%s: CVD lists %v vs %v", tag, namesA, namesB)
-	}
-	for i := range namesA {
-		if namesA[i] != namesB[i] {
-			t.Fatalf("%s: CVD lists %v vs %v", tag, namesA, namesB)
-		}
-	}
-	for _, name := range namesA {
-		ca, err := a.CVD(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		cb, err := b.CVD(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !ca.Schema().Equal(cb.Schema()) {
-			t.Fatalf("%s/%s: schema %v != %v", tag, name, ca.Schema(), cb.Schema())
-		}
-		if ca.NumRecords() != cb.NumRecords() {
-			t.Fatalf("%s/%s: records %d != %d", tag, name, ca.NumRecords(), cb.NumRecords())
-		}
-		va, vb := ca.Versions(), cb.Versions()
-		if len(va) != len(vb) {
-			t.Fatalf("%s/%s: %d versions != %d", tag, name, len(va), len(vb))
-		}
-		for i := range va {
-			if va[i] != vb[i] {
-				t.Fatalf("%s/%s: version order %v vs %v", tag, name, va, vb)
-			}
-			rowsExactlyEqual(t, fmt.Sprintf("%s/%s v%d", tag, name, va[i]),
-				checkoutRows(t, a, name, va[i], tag+"a"),
-				checkoutRows(t, b, name, va[i], tag+"b"))
-			ma, oka := ca.Meta(va[i])
-			mb, okb := cb.Meta(vb[i])
-			if !oka || !okb {
-				t.Fatalf("%s/%s v%d: metadata missing (%v, %v)", tag, name, va[i], oka, okb)
-			}
-			if ma.Message != mb.Message || ma.Author != mb.Author || !ma.CommitAt.Equal(mb.CommitAt) || ma.NumRecords != mb.NumRecords {
-				t.Fatalf("%s/%s v%d: metadata %+v != %+v", tag, name, va[i], ma, mb)
-			}
-		}
+	if err := EnginesEquivalent(tag, a, b); err != nil {
+		t.Fatal(err)
 	}
 }
 

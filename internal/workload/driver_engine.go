@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/cvd"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// newRowKeyBase keeps workload-inserted keys far above anything the seed
+// generator produced, so commits never collide on the primary key.
+const newRowKeyBase = int64(1) << 40
+
+// versionPool is the committed-version universe the clients draw targets
+// from; commits and merges grow it as the run progresses.
+type versionPool struct {
+	mu       sync.Mutex
+	versions []vgraph.VersionID
+}
+
+func newVersionPool(vs []vgraph.VersionID) *versionPool {
+	return &versionPool{versions: append([]vgraph.VersionID(nil), vs...)}
+}
+
+func (p *versionPool) add(v vgraph.VersionID) {
+	p.mu.Lock()
+	p.versions = append(p.versions, v)
+	p.mu.Unlock()
+}
+
+func (p *versionPool) pick(rng *rand.Rand) vgraph.VersionID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.versions[rng.Intn(len(p.versions))]
+}
+
+// pickTwo returns two distinct versions when the pool has at least two;
+// otherwise both results are the single version.
+func (p *versionPool) pickTwo(rng *rand.Rand) (vgraph.VersionID, vgraph.VersionID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.versions)
+	if n < 2 {
+		return p.versions[0], p.versions[0]
+	}
+	i := rng.Intn(n)
+	j := rng.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	return p.versions[i], p.versions[j]
+}
+
+// engineDriver runs the mix directly against the in-process engine — the
+// embedded deployment of the paper, no network between client and CVD.
+type engineDriver struct {
+	engine *core.Engine
+	cvd    *cvd.CVD
+	pool   *versionPool
+	seq    atomic.Int64
+	nextK  atomic.Int64
+	maxKey int64
+}
+
+func newEngineDriver(engine *core.Engine, spec *Spec) (*engineDriver, error) {
+	c, err := engine.CVD(CVDName)
+	if err != nil {
+		return nil, err
+	}
+	return &engineDriver{
+		engine: engine,
+		cvd:    c,
+		pool:   newVersionPool(c.Versions()),
+		maxKey: c.NumRecords(),
+	}, nil
+}
+
+func (d *engineDriver) close() error { return nil }
+
+func (d *engineDriver) do(client int, rng *rand.Rand, op opKind) error {
+	switch op {
+	case opCommit:
+		return d.commit(client, rng)
+	case opCheckout:
+		return d.checkout(client, rng)
+	case opSelect:
+		return d.selectOp(rng)
+	case opMerge:
+		return d.merge(client, rng)
+	}
+	return fmt.Errorf("workload: unknown op %v", op)
+}
+
+// commit stages a checkout of a random version, appends one fresh record,
+// and commits it back — the continuous-ingest shape.
+func (d *engineDriver) commit(client int, rng *rand.Rand) error {
+	v := d.pool.pick(rng)
+	return d.commitVersions(client, rng, []vgraph.VersionID{v}, true)
+}
+
+// merge stages a merged checkout of two versions and commits it, producing a
+// two-parent version.
+func (d *engineDriver) merge(client int, rng *rand.Rand) error {
+	a, b := d.pool.pickTwo(rng)
+	if a == b {
+		// Degenerate pool: fall back to a plain commit rather than failing.
+		return d.commitVersions(client, rng, []vgraph.VersionID{a}, false)
+	}
+	return d.commitVersions(client, rng, []vgraph.VersionID{a, b}, false)
+}
+
+func (d *engineDriver) commitVersions(client int, rng *rand.Rand, parents []vgraph.VersionID, appendRow bool) error {
+	tab := d.stagingName(client)
+	t, err := d.engine.Checkout(CVDName, parents, tab)
+	if err != nil {
+		return err
+	}
+	if appendRow {
+		t.AppendRow(d.newRow(rng, t.Schema))
+	}
+	nv, err := d.engine.Commit(CVDName, tab, "workload commit", fmt.Sprintf("client-%d", client))
+	if err != nil {
+		if nv == 0 {
+			d.cvd.DiscardCheckout(tab)
+		}
+		return err
+	}
+	d.pool.add(nv)
+	return nil
+}
+
+// checkout materializes a random version and discards it — the read path
+// that stresses recset decompression and table assembly.
+func (d *engineDriver) checkout(client int, rng *rand.Rand) error {
+	v := d.pool.pick(rng)
+	tab := d.stagingName(client)
+	if _, err := d.engine.Checkout(CVDName, []vgraph.VersionID{v}, tab); err != nil {
+		return err
+	}
+	d.cvd.DiscardCheckout(tab)
+	return nil
+}
+
+// selectOp runs a versioned predicate scan without materializing a table.
+func (d *engineDriver) selectOp(rng *rand.Rand) error {
+	v := d.pool.pick(rng)
+	bound := int64(1)
+	if d.maxKey > 1 {
+		bound = d.maxKey
+	}
+	pred, err := d.cvd.NamedPredicate("key", ">", relstore.Int(rng.Int63n(bound)))
+	if err != nil {
+		return err
+	}
+	_, err = d.cvd.ScanVersions([]vgraph.VersionID{v}, pred, 100)
+	return err
+}
+
+func (d *engineDriver) stagingName(client int) string {
+	return fmt.Sprintf("w_%d_%d", client, d.seq.Add(1))
+}
+
+// newRow synthesizes one fresh record shaped like the staging table: the rid
+// column (first, stripped again by commit) gets a placeholder, the primary
+// key gets a globally unique value, attributes get random fill.
+func (d *engineDriver) newRow(rng *rand.Rand, schema relstore.Schema) relstore.Row {
+	row := make(relstore.Row, len(schema.Columns))
+	for i, col := range schema.Columns {
+		switch {
+		case i == 0:
+			row[i] = relstore.Int(-1)
+		case col.Name == "key":
+			row[i] = relstore.Int(newRowKeyBase + d.nextK.Add(1))
+		default:
+			row[i] = randomCell(rng, col.Type)
+		}
+	}
+	return row
+}
+
+func randomCell(rng *rand.Rand, t relstore.ValueType) relstore.Value {
+	switch t {
+	case relstore.TypeString:
+		return relstore.Str(fmt.Sprintf("w%08d", rng.Intn(1e8)))
+	case relstore.TypeFloat:
+		return relstore.Float(rng.Float64())
+	default:
+		return relstore.Int(rng.Int63n(1_000_000))
+	}
+}

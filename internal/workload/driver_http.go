@@ -1,0 +1,261 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/vgraph"
+)
+
+// httpDriver runs the mix over the orpheusd HTTP API: the runner owns the
+// engine, serves it on a loopback listener, and each client drives it with
+// JSON requests through its own session — the hosted deployment of the
+// paper, admission control and session reclaim included.
+type httpDriver struct {
+	api    *server.Server
+	srv    *http.Server
+	ln     net.Listener
+	base   string
+	client *http.Client
+	pool   *versionPool
+	states []*httpClientState
+	churn  int
+	maxKey int64
+	seq    atomic.Int64
+}
+
+// httpClientState is one client's session bookkeeping; each client goroutine
+// owns its entry exclusively, so no locking.
+type httpClientState struct {
+	session string
+	staged  int // checkout-op tables staged since the session opened
+}
+
+func newHTTPDriver(engine *core.Engine, spec *Spec) (*httpDriver, error) {
+	c, err := engine.CVD(CVDName)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("workload: http listener: %w", err)
+	}
+	api := server.New(engine, server.Config{})
+	srv := &http.Server{Handler: api}
+	go srv.Serve(ln)
+	states := make([]*httpClientState, spec.Clients)
+	for i := range states {
+		states[i] = &httpClientState{}
+	}
+	return &httpDriver{
+		api:    api,
+		srv:    srv,
+		ln:     ln,
+		base:   "http://" + ln.Addr().String(),
+		client: &http.Client{Timeout: 30 * time.Second},
+		pool:   newVersionPool(c.Versions()),
+		states: states,
+		churn:  spec.SessionChurn,
+		maxKey: c.NumRecords(),
+	}, nil
+}
+
+func (d *httpDriver) close() error {
+	err := d.srv.Close()
+	d.api.CloseSessions()
+	return err
+}
+
+func (d *httpDriver) do(client int, rng *rand.Rand, op opKind) error {
+	switch op {
+	case opCommit:
+		return d.commit(client, rng, false)
+	case opMerge:
+		return d.commit(client, rng, true)
+	case opCheckout:
+		return d.checkout(client, rng)
+	case opSelect:
+		return d.selectOp(rng)
+	}
+	return fmt.Errorf("workload: unknown op %v", op)
+}
+
+// commit checks a version (or a two-version merge) out into a staging table
+// and immediately commits it back, creating a new version through the full
+// server commit path.
+func (d *httpDriver) commit(client int, rng *rand.Rand, merge bool) error {
+	var versions []int64
+	if merge {
+		a, b := d.pool.pickTwo(rng)
+		if a == b {
+			versions = []int64{int64(a)}
+		} else {
+			versions = []int64{int64(a), int64(b)}
+		}
+	} else {
+		versions = []int64{int64(d.pool.pick(rng))}
+	}
+	table := fmt.Sprintf("wd%d", d.seq.Add(1))
+	var committed struct {
+		Version int64 `json:"version"`
+	}
+	// Checkout and commit run inside one withSession closure: if the server
+	// drops the session between the two (a mid-run drain), the commit's 404
+	// retries the whole sequence under a fresh session instead of stranding
+	// a staged table it can no longer commit.
+	err := d.withSession(client, func(sess string) (int, error) {
+		var out struct {
+			Table   string `json:"table"`
+			Records int    `json:"records"`
+		}
+		status, err := d.post("/v1/checkout", map[string]interface{}{
+			"session": sess, "cvd": CVDName, "versions": versions, "table": table,
+		}, &out)
+		if err != nil {
+			return status, err
+		}
+		return d.post("/v1/commit", map[string]interface{}{
+			"session": sess, "cvd": CVDName, "table": table,
+			"message": "workload commit", "author": fmt.Sprintf("client-%d", client),
+		}, &committed)
+	})
+	if err != nil {
+		return err
+	}
+	d.pool.add(vgraph.VersionID(committed.Version))
+	return nil
+}
+
+// checkout stages a version under the session and leaves it there; session
+// churn (close + reopen after spec.session_churn checkouts) exercises the
+// server's staging-table reclaim.
+func (d *httpDriver) checkout(client int, rng *rand.Rand) error {
+	v := d.pool.pick(rng)
+	table := fmt.Sprintf("wd%d", d.seq.Add(1))
+	err := d.withSession(client, func(sess string) (int, error) {
+		var out struct {
+			Table   string `json:"table"`
+			Records int    `json:"records"`
+		}
+		return d.post("/v1/checkout", map[string]interface{}{
+			"session": sess, "cvd": CVDName, "versions": []int64{int64(v)}, "table": table,
+		}, &out)
+	})
+	if err != nil {
+		return err
+	}
+	st := d.states[client]
+	st.staged++
+	if d.churn > 0 && st.staged >= d.churn {
+		d.closeSession(st)
+	}
+	return nil
+}
+
+// selectOp runs a predicate scan; sessionless, like any read-only consumer.
+func (d *httpDriver) selectOp(rng *rand.Rand) error {
+	v := d.pool.pick(rng)
+	bound := int64(1)
+	if d.maxKey > 1 {
+		bound = d.maxKey
+	}
+	var out struct {
+		Columns []string          `json:"columns"`
+		Rows    []json.RawMessage `json:"rows"`
+	}
+	status, err := d.post("/v1/select", map[string]interface{}{
+		"cvd": CVDName, "versions": []int64{int64(v)},
+		"where": []map[string]interface{}{{"column": "key", "op": ">", "value": rng.Int63n(bound)}},
+		"limit": 100,
+	}, &out)
+	if status == http.StatusServiceUnavailable {
+		return errShed
+	}
+	return err
+}
+
+// withSession runs fn with the client's session, opening one on demand. A
+// 404 (the server dropped the session, e.g. a mid-run drain) discards the
+// cached id and retries once with a fresh session; a 503 maps to errShed.
+func (d *httpDriver) withSession(client int, fn func(session string) (int, error)) error {
+	st := d.states[client]
+	for attempt := 0; attempt < 4; attempt++ {
+		if st.session == "" {
+			var out struct {
+				Session string `json:"session"`
+			}
+			status, err := d.post("/v1/session", map[string]interface{}{}, &out)
+			if status == http.StatusServiceUnavailable {
+				return errShed
+			}
+			if err != nil {
+				return err
+			}
+			st.session = out.Session
+			st.staged = 0
+		}
+		status, err := fn(st.session)
+		switch {
+		case status == http.StatusServiceUnavailable:
+			return errShed
+		case status == http.StatusNotFound && err != nil && strings.Contains(err.Error(), "unknown session"):
+			st.session = ""
+			continue
+		}
+		return err
+	}
+	return fmt.Errorf("workload: session lost on every retry")
+}
+
+func (d *httpDriver) closeSession(st *httpClientState) {
+	if st.session == "" {
+		return
+	}
+	d.post("/v1/session/close", map[string]interface{}{"session": st.session}, &struct{}{})
+	st.session = ""
+	st.staged = 0
+}
+
+// post sends one JSON request and decodes the response, returning the HTTP
+// status alongside any error (non-2xx bodies become errors carrying the
+// server's error message).
+func (d *httpDriver) post(path string, body interface{}, out interface{}) (int, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := d.client.Post(d.base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return resp.StatusCode, fmt.Errorf("%s: %s (status %d)", path, e.Error, resp.StatusCode)
+		}
+		return resp.StatusCode, fmt.Errorf("%s: status %d", path, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("%s: decoding response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}

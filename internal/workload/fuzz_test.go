@@ -1,0 +1,51 @@
+package workload
+
+import "testing"
+
+// FuzzParseSpec pins the parser's no-panic contract: arbitrary bytes —
+// malformed YAML, truncated JSON, binary garbage — must produce either a
+// valid spec or an error, never a panic. The seed corpus covers both
+// syntaxes, every section, and the known failure shapes.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"name: ok\n",
+		"# only a comment\n",
+		"name: full\nmode: http\ndataset: CUR_10K\nclients: 3\nops: 50\nmix:\n  commit: 25\n  checkout: 25\n  select: 25\n  merge: 25\n",
+		"name: d\nduration: 2s\nengine:\n  durable: true\n  group_commit_batch: 8\n  group_commit_delay: 1ms\n",
+		"name: c\ncrash:\n  iterations: 3\n  max_commits: 10\n  checkpoint_pct: 100\n  min_kill_delay: 1ms\n  max_kill_delay: 2ms\n",
+		`{"name": "j", "clients": 2, "mix": {"commit": 50, "checkout": 50, "select": 0, "merge": 0}}`,
+		`{"name": "j", "duration": "250ms"}`,
+		`{"name": "j", "duration": 1000000}`,
+		"{",
+		`{"name"`,
+		"name: x\nbogus: 1\n",
+		"name: x\nmix:\n\tcommit: 100\n",
+		"name: x\n  stray: 1\n",
+		"name: x\nname: y\n",
+		"name: x\nclients: -9999999999999999999999\n",
+		"mix:\nengine:\ncrash:\n",
+		"name: x\nduration: 9223372036854775807ns\n",
+		":\n::\n:::\n",
+		"\x00\x01\x02",
+		"name: \"quoted value\" # trailing comment\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err == nil && spec == nil {
+			t.Fatal("nil spec with nil error")
+		}
+		if err == nil {
+			// A parsed spec must satisfy its own invariants.
+			if spec.Mix.Sum() != 100 {
+				t.Fatalf("accepted spec with mix sum %d: %+v", spec.Mix.Sum(), spec)
+			}
+			if spec.Name == "" {
+				t.Fatalf("accepted spec without a name: %+v", spec)
+			}
+		}
+	})
+}

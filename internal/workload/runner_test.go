@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/benchmark"
+	"repro/internal/core"
+)
+
+// TestMain doubles as the crash child: RunCrash re-execs this test binary
+// with ["crash-child", specPath, dataDir], which must bypass the test
+// framework entirely and behave like workloadrunner -crash-child.
+func TestMain(m *testing.M) {
+	if len(os.Args) >= 4 && os.Args[1] == "crash-child" {
+		os.Exit(CrashChild(os.Args[2], os.Args[3], os.Stdout))
+	}
+	os.Exit(m.Run())
+}
+
+func crashChildArgs(specPath, dataDir string) []string {
+	return []string{"crash-child", specPath, dataDir}
+}
+
+// smallSpec is a fast mixed workload against the smallest preset.
+func smallSpec(t *testing.T, mode string) *Spec {
+	t.Helper()
+	spec := &Spec{
+		Name:    "t_" + mode,
+		Mode:    mode,
+		Dataset: "SCI_1K",
+		Clients: 4,
+		Ops:     80,
+		Mix:     Mix{Commit: 20, Checkout: 30, Select: 40, Merge: 10},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func checkReport(t *testing.T, spec *Spec, report *Report) {
+	t.Helper()
+	if report.TotalOps+report.TotalErrors+report.TotalShed != int64(spec.Ops) {
+		t.Errorf("ops accounted: %d ok + %d errors + %d shed != %d issued",
+			report.TotalOps, report.TotalErrors, report.TotalShed, spec.Ops)
+	}
+	if report.TotalErrors != 0 {
+		t.Errorf("%d operations failed: %+v", report.TotalErrors, report.Ops)
+	}
+	if report.SeedVersions == 0 || report.SeedRecords == 0 {
+		t.Errorf("seed shape empty: %d versions, %d records", report.SeedVersions, report.SeedRecords)
+	}
+	// ~20% commits + ~10% merges must have grown the version graph.
+	if report.FinalVersions <= report.SeedVersions {
+		t.Errorf("no versions created: seed %d, final %d", report.SeedVersions, report.FinalVersions)
+	}
+	if report.ThroughputPerSec <= 0 {
+		t.Errorf("throughput %f", report.ThroughputPerSec)
+	}
+}
+
+func TestRunInProcess(t *testing.T) {
+	spec := smallSpec(t, ModeInProcess)
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, spec, report)
+}
+
+func TestRunHTTP(t *testing.T) {
+	spec := smallSpec(t, ModeHTTP)
+	spec.SessionChurn = 3
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, spec, report)
+}
+
+func TestRunDurableGroupCommit(t *testing.T) {
+	spec := smallSpec(t, ModeInProcess)
+	spec.Name = "t_durable"
+	spec.Ops = 40
+	spec.Engine = EngineSpec{Durable: true, GroupCommitBatch: 8, GroupCommitDelay: Duration(time.Millisecond)}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalErrors != 0 {
+		t.Errorf("%d operations failed on durable engine: %+v", report.TotalErrors, report.Ops)
+	}
+}
+
+// TestRunHTTPStressDrain is the -race admission-path stress: a mixed
+// read/write HTTP workload with aggressive session churn while the server's
+// sessions are repeatedly drained out from under the clients (the daemon's
+// CloseSessions path). Clients must transparently reopen sessions; the run
+// must finish with every operation accounted for.
+func TestRunHTTPStressDrain(t *testing.T) {
+	spec := &Spec{
+		Name:         "t_stress",
+		Mode:         ModeHTTP,
+		Dataset:      "SCI_1K",
+		Clients:      8,
+		Ops:          240,
+		SessionChurn: 2,
+		Mix:          Mix{Commit: 25, Checkout: 35, Select: 30, Merge: 10},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.workloadConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := benchmark.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := core.Open(spec.Name, core.WithWorkers(0))
+	if err := seedEngine(engine, w); err != nil {
+		t.Fatal(err)
+	}
+	drv, err := newHTTPDriver(engine, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drv.close()
+
+	// Drain every open session repeatedly while the clients run.
+	stop := make(chan struct{})
+	var drains sync.WaitGroup
+	drains.Add(1)
+	go func() {
+		defer drains.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+				drv.api.CloseSessions()
+			}
+		}
+	}()
+	recs := runClients(spec, drv)
+	close(stop)
+	drains.Wait()
+
+	stats := mergeStats(recs.perClient)
+	var ok, errs, shed int64
+	for _, st := range stats {
+		ok += st.Count
+		errs += st.Errors
+		shed += st.Shed
+	}
+	if ok+errs+shed != int64(spec.Ops) {
+		t.Errorf("ops accounted: %d ok + %d errors + %d shed != %d issued", ok, errs, shed, spec.Ops)
+	}
+	if ok == 0 {
+		t.Error("no operation succeeded under drain churn")
+	}
+	// Commits must have landed despite the drains.
+	c, err := engine.CVD(CVDName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumVersions() <= len(w.Graph.TopoOrder()) {
+		t.Errorf("no committed versions survived drain churn: %d", c.NumVersions())
+	}
+}
+
+// TestRunCrashSmoke runs a short real kill -9 campaign: fork this test
+// binary as the crash child, kill it mid-commit, and verify acknowledged
+// commits recover bit-identically. The full 20-iteration campaign runs in CI
+// via workloadrunner; this keeps the unit suite fast.
+func TestRunCrashSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks and kills child processes")
+	}
+	spec := &Spec{
+		Name:   "t_crash",
+		Engine: EngineSpec{Durable: true},
+		Crash: CrashSpec{
+			Iterations:    3,
+			MaxCommits:    300,
+			CheckpointPct: 20,
+			MinKillDelay:  Duration(5 * time.Millisecond),
+			MaxKillDelay:  Duration(60 * time.Millisecond),
+		},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	report, err := RunCrash(spec, CrashConfig{
+		ArgsFor: crashChildArgs,
+		DataDir: t.TempDir() + "/data",
+	})
+	if err != nil {
+		t.Fatalf("crash campaign failed: %v", err)
+	}
+	if report.Kills != 3 {
+		t.Errorf("kills = %d, want 3", report.Kills)
+	}
+	if report.AckedCommits == 0 {
+		t.Error("no commits were acknowledged before the kills")
+	}
+	if report.VerifiedVersions < report.AckedCommits {
+		t.Errorf("verified %d versions < %d acked", report.VerifiedVersions, report.AckedCommits)
+	}
+}
+
+// TestCrashDetectsLoss pins the harness's teeth: verifying a data dir whose
+// recovered history is shorter than the acknowledged high-water mark must
+// fail with an acknowledged-commit-loss error.
+func TestCrashDetectsLoss(t *testing.T) {
+	spec := &Spec{Name: "t_loss", Engine: EngineSpec{Durable: true}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	engine, err := core.OpenDurable("loss", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replayCrashHistory(engine, spec.Seed, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// 5 versions on disk, but 7 were "acknowledged": must be flagged.
+	if _, err := verifyCrashDir(spec, dir, 7); err == nil {
+		t.Fatal("verifyCrashDir accepted a history missing acknowledged commits")
+	}
+	// The honest count passes.
+	verified, err := verifyCrashDir(spec, dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verified != 5 {
+		t.Errorf("verified %d versions, want 5", verified)
+	}
+}
+
+// TestCrashDetectsCorruption pins content verification: a recovered history
+// whose row payloads differ from the deterministic expectation must fail
+// bit-identity even when the version count matches.
+func TestCrashDetectsCorruption(t *testing.T) {
+	spec := &Spec{Name: "t_corrupt", Engine: EngineSpec{Durable: true}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	engine, err := core.OpenDurable("corrupt", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same shape, wrong payloads: replay with a different seed.
+	if err := replayCrashHistory(engine, spec.Seed+1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verifyCrashDir(spec, dir, 4); err == nil {
+		t.Fatal("verifyCrashDir accepted diverged content")
+	}
+}

@@ -1,0 +1,541 @@
+// Package workload is the declarative workload harness: a benchmark scenario
+// is a small YAML or JSON spec — dataset, scale, workload kind, branch
+// factor, client count, operation mix, duration or op count, and engine
+// knobs — that compiles to a driver over the engine (in process, or over the
+// orpheusd HTTP API) and emits one BENCH_<spec>.json report with throughput
+// and latency percentiles. Opening a new scenario means writing a spec file,
+// not a new Go bench function (the dolt import_benchmarker idiom).
+//
+// The package also carries the crash-injection harness (crash.go): a parent
+// process forks a child committing deterministic content into a durable data
+// directory, kill -9s it at randomized points mid-commit or mid-checkpoint,
+// reopens the directory, and verifies that every acknowledged commit checks
+// out bit-identically (the comparators shared with core's persistence
+// round-trip property tests).
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/benchmark"
+)
+
+// Duration is a time.Duration that marshals to and from JSON (and the YAML
+// subset) as a Go duration string ("250ms"), with bare integers read as
+// nanoseconds for compatibility with numeric JSON.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "250ms"-style strings or integer nanoseconds.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("invalid duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("duration must be a string like \"250ms\" or integer nanoseconds: %s", data)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Std returns the duration as a time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// Mix is the operation mix: what percentage of operations are commits
+// (checkout head + commit on top), bare checkouts, versioned selects, and
+// merges (checkout of two versions committed as one child). The four must
+// sum to exactly 100.
+type Mix struct {
+	Commit   int `json:"commit"`
+	Checkout int `json:"checkout"`
+	Select   int `json:"select"`
+	Merge    int `json:"merge"`
+}
+
+// Sum returns the percentage total.
+func (m Mix) Sum() int { return m.Commit + m.Checkout + m.Select + m.Merge }
+
+// EngineSpec is the engine configuration block of a spec.
+type EngineSpec struct {
+	// Workers is the engine's intra-operation worker-pool size
+	// (core.WithWorkers; 0 = single-threaded operations).
+	Workers int `json:"workers,omitempty"`
+	// Durable binds the run to a data directory (OpenDurable): every commit
+	// is WAL-journaled and fsynced. Off by default — throughput specs
+	// usually measure the in-memory engine.
+	Durable bool `json:"durable,omitempty"`
+	// DataDir is the durable data directory; empty selects a fresh temporary
+	// directory removed after the run. Only valid with Durable.
+	DataDir string `json:"data_dir,omitempty"`
+	// GroupCommitBatch / GroupCommitDelay configure WAL group commit
+	// (core.GroupCommit) on a durable engine; zero values select defaults.
+	GroupCommitBatch int      `json:"group_commit_batch,omitempty"`
+	GroupCommitDelay Duration `json:"group_commit_delay,omitempty"`
+}
+
+// CrashSpec parameterizes the crash-injection harness (workloadrunner
+// -crash): how many kill -9 iterations to run, how the child behaves, and
+// the randomized kill window.
+type CrashSpec struct {
+	// Iterations is the number of kill -9 cycles (default 20). Every
+	// iteration spawns a child on the same data directory, kills it, reopens
+	// the directory, and verifies every acknowledged commit bit-identically.
+	Iterations int `json:"iterations,omitempty"`
+	// MaxCommits bounds how many commits the child attempts per iteration
+	// (default 500 — high enough that the kill lands first).
+	MaxCommits int `json:"max_commits,omitempty"`
+	// CheckpointPct is the percent chance, per commit, that the child runs a
+	// checkpoint right after it (default 10) — so kills also land
+	// mid-checkpoint, exercising the stale-WAL recovery path.
+	CheckpointPct int `json:"checkpoint_pct,omitempty"`
+	// MinKillDelay / MaxKillDelay bound the randomized delay between the
+	// child's first acknowledged commit and the kill (defaults 20ms / 400ms).
+	MinKillDelay Duration `json:"min_kill_delay,omitempty"`
+	MaxKillDelay Duration `json:"max_kill_delay,omitempty"`
+}
+
+// Spec is one declared workload scenario. The zero value is not runnable:
+// parse specs with ParseSpec / ParseSpecFile (which reject unknown keys) or
+// fill the struct and call Validate.
+type Spec struct {
+	// Name labels the run; the report is written to BENCH_<name>.json by
+	// default. ParseSpecFile defaults it to the spec file's base name.
+	Name string `json:"name"`
+	// Mode selects the driver: "inprocess" (default) drives core.Engine
+	// directly; "http" serves the engine through internal/server (the
+	// orpheusd HTTP API) on a loopback listener and drives it with HTTP
+	// clients — sessions, admission control and JSON codecs included.
+	Mode string `json:"mode,omitempty"`
+	// Dataset names the seed dataset preset (benchmark.Preset; default
+	// SCI_10K). Scale multiplies its record counts.
+	Dataset string `json:"dataset,omitempty"`
+	Scale   int    `json:"scale,omitempty"`
+	// Kind overrides the workload kind ("SCI" or "CUR"); empty keeps the
+	// preset's kind.
+	Kind string `json:"kind,omitempty"`
+	// Branches / VersionsPerBranch override the preset's branch factor —
+	// how the seed history is shaped (branch-heavy specs set Branches into
+	// the thousands with one or two versions each).
+	Branches          int `json:"branches,omitempty"`
+	VersionsPerBranch int `json:"versions_per_branch,omitempty"`
+	// Clients is the number of concurrent clients (default 4).
+	Clients int `json:"clients,omitempty"`
+	// Ops is the total operation count across all clients; Duration runs
+	// for wall-clock time instead. Exactly one may be set (when both are
+	// zero, Ops defaults to 200).
+	Ops      int      `json:"ops,omitempty"`
+	Duration Duration `json:"duration,omitempty"`
+	// Seed makes the run deterministic (default 42).
+	Seed int64 `json:"seed,omitempty"`
+	// SessionChurn (http mode) is how many staged checkouts a client
+	// accumulates before closing its session — reclaiming its staging
+	// tables — and opening a fresh one (default 8).
+	SessionChurn int `json:"session_churn,omitempty"`
+
+	Mix    Mix        `json:"mix"`
+	Engine EngineSpec `json:"engine,omitempty"`
+	Crash  CrashSpec  `json:"crash,omitempty"`
+}
+
+// Modes.
+const (
+	ModeInProcess = "inprocess"
+	ModeHTTP      = "http"
+)
+
+// ParseSpec parses a workload spec from YAML (the flat subset described in
+// BENCH.md: top-level `key: value` lines plus one nesting level for the
+// mix/engine/crash blocks) or JSON (when the document starts with '{').
+// Unknown keys, duplicate keys, malformed values, and an operation mix that
+// does not sum to 100 are all errors; malformed input never panics (pinned
+// by FuzzParseSpec).
+func ParseSpec(data []byte) (*Spec, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	var spec Spec
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		dec := json.NewDecoder(bytes.NewReader(trimmed))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return nil, fmt.Errorf("workload: parsing JSON spec: %w", err)
+		}
+	} else if err := parseYAMLSubset(data, &spec); err != nil {
+		return nil, fmt.Errorf("workload: parsing spec: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// ParseSpecFile reads and parses a spec file; a missing name defaults to the
+// file's base name without extension.
+func ParseSpecFile(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	var spec Spec
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		dec := json.NewDecoder(bytes.NewReader(trimmed))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return nil, fmt.Errorf("workload: %s: parsing JSON spec: %w", path, err)
+		}
+	} else if err := parseYAMLSubset(data, &spec); err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", path, err)
+	}
+	if spec.Name == "" {
+		base := filepath.Base(path)
+		spec.Name = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", path, err)
+	}
+	return &spec, nil
+}
+
+// Validate checks the spec and applies defaults; it is called by the
+// parsers and must be called on hand-built specs before Run.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: spec needs a name")
+	}
+	if s.Mode == "" {
+		s.Mode = ModeInProcess
+	}
+	if s.Mode != ModeInProcess && s.Mode != ModeHTTP {
+		return fmt.Errorf("workload: unknown mode %q (want %q or %q)", s.Mode, ModeInProcess, ModeHTTP)
+	}
+	if s.Dataset == "" {
+		s.Dataset = "SCI_10K"
+	}
+	if s.Scale == 0 {
+		s.Scale = 1
+	}
+	if s.Scale < 0 {
+		return fmt.Errorf("workload: scale must be positive")
+	}
+	if _, err := benchmark.Preset(s.Dataset, s.Scale); err != nil {
+		return fmt.Errorf("workload: %w (known presets: %s)", err, strings.Join(benchmark.PresetNames(), ", "))
+	}
+	switch s.Kind {
+	case "", "SCI", "CUR":
+	default:
+		return fmt.Errorf("workload: unknown kind %q (want SCI or CUR)", s.Kind)
+	}
+	if s.Branches < 0 || s.VersionsPerBranch < 0 {
+		return fmt.Errorf("workload: branches and versions_per_branch must be non-negative")
+	}
+	if s.Clients == 0 {
+		s.Clients = 4
+	}
+	if s.Clients < 0 || s.Clients > 1024 {
+		return fmt.Errorf("workload: clients must be in [1, 1024], got %d", s.Clients)
+	}
+	if s.Ops < 0 {
+		return fmt.Errorf("workload: ops must be non-negative")
+	}
+	if s.Duration < 0 {
+		return fmt.Errorf("workload: duration must be non-negative")
+	}
+	if s.Ops > 0 && s.Duration > 0 {
+		return fmt.Errorf("workload: set ops or duration, not both")
+	}
+	if s.Ops == 0 && s.Duration == 0 {
+		s.Ops = 200
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.SessionChurn == 0 {
+		s.SessionChurn = 8
+	}
+	if s.SessionChurn < 0 {
+		return fmt.Errorf("workload: session_churn must be non-negative")
+	}
+	if s.Mix == (Mix{}) {
+		s.Mix = Mix{Commit: 10, Checkout: 40, Select: 45, Merge: 5}
+	}
+	if s.Mix.Commit < 0 || s.Mix.Checkout < 0 || s.Mix.Select < 0 || s.Mix.Merge < 0 {
+		return fmt.Errorf("workload: operation-mix percentages must be non-negative: %+v", s.Mix)
+	}
+	if got := s.Mix.Sum(); got != 100 {
+		return fmt.Errorf("workload: operation mix must sum to 100, got %d (%+v)", got, s.Mix)
+	}
+	if s.Engine.Workers < 0 {
+		return fmt.Errorf("workload: engine workers must be non-negative")
+	}
+	if s.Engine.GroupCommitBatch < 0 || s.Engine.GroupCommitDelay < 0 {
+		return fmt.Errorf("workload: group-commit knobs must be non-negative")
+	}
+	if s.Engine.DataDir != "" && !s.Engine.Durable {
+		return fmt.Errorf("workload: engine data_dir requires durable: true")
+	}
+	if s.Crash.Iterations < 0 || s.Crash.MaxCommits < 0 {
+		return fmt.Errorf("workload: crash iterations and max_commits must be non-negative")
+	}
+	if s.Crash.Iterations == 0 {
+		s.Crash.Iterations = 20
+	}
+	if s.Crash.MaxCommits == 0 {
+		s.Crash.MaxCommits = 500
+	}
+	if s.Crash.CheckpointPct < 0 || s.Crash.CheckpointPct > 100 {
+		return fmt.Errorf("workload: crash checkpoint_pct must be in [0, 100]")
+	}
+	if s.Crash.CheckpointPct == 0 {
+		s.Crash.CheckpointPct = 10
+	}
+	if s.Crash.MinKillDelay == 0 {
+		s.Crash.MinKillDelay = Duration(20 * time.Millisecond)
+	}
+	if s.Crash.MaxKillDelay == 0 {
+		s.Crash.MaxKillDelay = Duration(400 * time.Millisecond)
+	}
+	if s.Crash.MinKillDelay < 0 || s.Crash.MaxKillDelay < s.Crash.MinKillDelay {
+		return fmt.Errorf("workload: crash kill-delay window [%s, %s] is invalid",
+			s.Crash.MinKillDelay.Std(), s.Crash.MaxKillDelay.Std())
+	}
+	return nil
+}
+
+// workloadConfig translates the spec's dataset block into a generator config.
+func (s *Spec) workloadConfig() (benchmark.Config, error) {
+	cfg, err := benchmark.Preset(s.Dataset, s.Scale)
+	if err != nil {
+		return benchmark.Config{}, err
+	}
+	switch s.Kind {
+	case "SCI":
+		cfg.Kind = benchmark.SCI
+	case "CUR":
+		cfg.Kind = benchmark.CUR
+	}
+	if s.Branches > 0 {
+		cfg.Branches = s.Branches
+	}
+	if s.VersionsPerBranch > 0 {
+		cfg.VersionsPerBranch = s.VersionsPerBranch
+	}
+	cfg.Seed = s.Seed
+	cfg.Name = s.Dataset
+	return cfg, nil
+}
+
+// ---- YAML subset parser -----------------------------------------------------
+
+// parseYAMLSubset parses the declarative spec syntax: `key: value` lines,
+// `#` comments, blank lines, and exactly one nesting level for the `mix:`,
+// `engine:` and `crash:` blocks (children indented by spaces). It is
+// deliberately tiny — no anchors, no lists, no multi-line scalars — so spec
+// files stay flat and the parser stays fuzzable without a YAML dependency.
+func parseYAMLSubset(data []byte, spec *Spec) error {
+	section := "" // "", "mix", "engine", "crash"
+	seen := map[string]bool{}
+	for lineNo, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, " \t\r")
+		trimmedAll := strings.TrimSpace(line)
+		if trimmedAll == "" || strings.HasPrefix(trimmedAll, "#") {
+			continue
+		}
+		indent := len(line) - len(strings.TrimLeft(line, " "))
+		if strings.HasPrefix(strings.TrimLeft(line, " "), "\t") || strings.HasPrefix(line, "\t") {
+			return fmt.Errorf("line %d: tabs are not allowed for indentation", lineNo+1)
+		}
+		key, value, ok := strings.Cut(trimmedAll, ":")
+		if !ok {
+			return fmt.Errorf("line %d: expected `key: value`, got %q", lineNo+1, trimmedAll)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		// Strip a trailing comment (specs never need '#' inside a value).
+		if i := strings.Index(value, "#"); i >= 0 {
+			value = strings.TrimSpace(value[:i])
+		}
+		value = strings.Trim(value, `"'`)
+		if key == "" {
+			return fmt.Errorf("line %d: empty key", lineNo+1)
+		}
+		if indent == 0 {
+			section = ""
+			if value == "" {
+				switch key {
+				case "mix", "engine", "crash":
+					if seen[key] {
+						return fmt.Errorf("line %d: duplicate section %q", lineNo+1, key)
+					}
+					seen[key] = true
+					section = key
+					continue
+				default:
+					return fmt.Errorf("line %d: key %q has no value", lineNo+1, key)
+				}
+			}
+			if seen[key] {
+				return fmt.Errorf("line %d: duplicate key %q", lineNo+1, key)
+			}
+			seen[key] = true
+			if err := spec.setTopLevel(key, value); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			continue
+		}
+		// Indented line: must belong to an open section.
+		if section == "" {
+			return fmt.Errorf("line %d: indented key %q outside a mix/engine/crash block", lineNo+1, key)
+		}
+		if value == "" {
+			return fmt.Errorf("line %d: key %q has no value", lineNo+1, key)
+		}
+		qualified := section + "." + key
+		if seen[qualified] {
+			return fmt.Errorf("line %d: duplicate key %q", lineNo+1, qualified)
+		}
+		seen[qualified] = true
+		var err error
+		switch section {
+		case "mix":
+			err = spec.setMix(key, value)
+		case "engine":
+			err = spec.setEngine(key, value)
+		case "crash":
+			err = spec.setCrash(key, value)
+		}
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+	}
+	return nil
+}
+
+func (s *Spec) setTopLevel(key, value string) error {
+	switch key {
+	case "name":
+		s.Name = value
+	case "mode":
+		s.Mode = value
+	case "dataset":
+		s.Dataset = value
+	case "scale":
+		return yInt(key, value, &s.Scale)
+	case "kind":
+		s.Kind = value
+	case "branches":
+		return yInt(key, value, &s.Branches)
+	case "versions_per_branch":
+		return yInt(key, value, &s.VersionsPerBranch)
+	case "clients":
+		return yInt(key, value, &s.Clients)
+	case "ops":
+		return yInt(key, value, &s.Ops)
+	case "duration":
+		return yDuration(key, value, &s.Duration)
+	case "seed":
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("key %q: not an integer: %q", key, value)
+		}
+		s.Seed = n
+	case "session_churn":
+		return yInt(key, value, &s.SessionChurn)
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+	return nil
+}
+
+func (s *Spec) setMix(key, value string) error {
+	switch key {
+	case "commit":
+		return yInt("mix.commit", value, &s.Mix.Commit)
+	case "checkout":
+		return yInt("mix.checkout", value, &s.Mix.Checkout)
+	case "select":
+		return yInt("mix.select", value, &s.Mix.Select)
+	case "merge":
+		return yInt("mix.merge", value, &s.Mix.Merge)
+	}
+	return fmt.Errorf("unknown key \"mix.%s\"", key)
+}
+
+func (s *Spec) setEngine(key, value string) error {
+	switch key {
+	case "workers":
+		return yInt("engine.workers", value, &s.Engine.Workers)
+	case "durable":
+		return yBool("engine.durable", value, &s.Engine.Durable)
+	case "data_dir":
+		s.Engine.DataDir = value
+		return nil
+	case "group_commit_batch":
+		return yInt("engine.group_commit_batch", value, &s.Engine.GroupCommitBatch)
+	case "group_commit_delay":
+		return yDuration("engine.group_commit_delay", value, &s.Engine.GroupCommitDelay)
+	}
+	return fmt.Errorf("unknown key \"engine.%s\"", key)
+}
+
+func (s *Spec) setCrash(key, value string) error {
+	switch key {
+	case "iterations":
+		return yInt("crash.iterations", value, &s.Crash.Iterations)
+	case "max_commits":
+		return yInt("crash.max_commits", value, &s.Crash.MaxCommits)
+	case "checkpoint_pct":
+		return yInt("crash.checkpoint_pct", value, &s.Crash.CheckpointPct)
+	case "min_kill_delay":
+		return yDuration("crash.min_kill_delay", value, &s.Crash.MinKillDelay)
+	case "max_kill_delay":
+		return yDuration("crash.max_kill_delay", value, &s.Crash.MaxKillDelay)
+	}
+	return fmt.Errorf("unknown key \"crash.%s\"", key)
+}
+
+func yInt(key, value string, into *int) error {
+	n, err := strconv.Atoi(value)
+	if err != nil {
+		return fmt.Errorf("key %q: not an integer: %q", key, value)
+	}
+	*into = n
+	return nil
+}
+
+func yBool(key, value string, into *bool) error {
+	switch value {
+	case "true", "yes", "on":
+		*into = true
+	case "false", "no", "off":
+		*into = false
+	default:
+		return fmt.Errorf("key %q: not a boolean: %q", key, value)
+	}
+	return nil
+}
+
+func yDuration(key, value string, into *Duration) error {
+	d, err := time.ParseDuration(value)
+	if err != nil {
+		return fmt.Errorf("key %q: not a duration: %q", key, value)
+	}
+	*into = Duration(d)
+	return nil
+}

@@ -1,0 +1,297 @@
+package workload
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	spec, err := ParseSpec([]byte("name: defaults\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]interface{}{
+		"mode":          ModeInProcess,
+		"dataset":       "SCI_10K",
+		"scale":         1,
+		"clients":       4,
+		"ops":           200,
+		"seed":          int64(42),
+		"session_churn": 8,
+	}
+	got := map[string]interface{}{
+		"mode":          spec.Mode,
+		"dataset":       spec.Dataset,
+		"scale":         spec.Scale,
+		"clients":       spec.Clients,
+		"ops":           spec.Ops,
+		"seed":          spec.Seed,
+		"session_churn": spec.SessionChurn,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("defaults: got %+v, want %+v", got, want)
+	}
+	if spec.Mix.Sum() != 100 {
+		t.Errorf("default mix sums to %d, want 100", spec.Mix.Sum())
+	}
+	if spec.Crash.Iterations != 20 || spec.Crash.MaxCommits != 500 || spec.Crash.CheckpointPct != 10 {
+		t.Errorf("crash defaults: %+v", spec.Crash)
+	}
+	if spec.Crash.MinKillDelay.Std() != 20*time.Millisecond || spec.Crash.MaxKillDelay.Std() != 400*time.Millisecond {
+		t.Errorf("kill window defaults: [%s, %s]", spec.Crash.MinKillDelay.Std(), spec.Crash.MaxKillDelay.Std())
+	}
+}
+
+func TestParseSpecTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantErr string // substring; empty = must parse
+		check   func(t *testing.T, s *Spec)
+	}{
+		{
+			name: "full yaml",
+			in: `# comment
+name: full
+mode: http
+dataset: CUR_10K
+kind: CUR
+scale: 2
+branches: 30
+versions_per_branch: 3
+clients: 12
+duration: 1500ms
+seed: 7
+session_churn: 5
+mix:
+  commit: 25
+  checkout: 25
+  select: 25
+  merge: 25
+engine:
+  workers: 4
+  durable: true
+  group_commit_batch: 16
+  group_commit_delay: 3ms
+crash:
+  iterations: 7
+  max_commits: 100
+  checkpoint_pct: 50
+  min_kill_delay: 5ms
+  max_kill_delay: 50ms
+`,
+			check: func(t *testing.T, s *Spec) {
+				if s.Mode != ModeHTTP || s.Dataset != "CUR_10K" || s.Scale != 2 || s.Clients != 12 {
+					t.Errorf("top level: %+v", s)
+				}
+				if s.Duration.Std() != 1500*time.Millisecond || s.Ops != 0 {
+					t.Errorf("duration %s ops %d", s.Duration.Std(), s.Ops)
+				}
+				if s.Mix != (Mix{Commit: 25, Checkout: 25, Select: 25, Merge: 25}) {
+					t.Errorf("mix: %+v", s.Mix)
+				}
+				if !s.Engine.Durable || s.Engine.Workers != 4 || s.Engine.GroupCommitBatch != 16 ||
+					s.Engine.GroupCommitDelay.Std() != 3*time.Millisecond {
+					t.Errorf("engine: %+v", s.Engine)
+				}
+				if s.Crash.Iterations != 7 || s.Crash.MaxKillDelay.Std() != 50*time.Millisecond {
+					t.Errorf("crash: %+v", s.Crash)
+				}
+			},
+		},
+		{
+			name: "json spec",
+			in:   `{"name": "j", "clients": 2, "mix": {"commit": 50, "checkout": 50, "select": 0, "merge": 0}}`,
+			check: func(t *testing.T, s *Spec) {
+				if s.Clients != 2 || s.Mix.Commit != 50 {
+					t.Errorf("json spec: %+v", s)
+				}
+			},
+		},
+		{
+			name:    "unknown top-level key yaml",
+			in:      "name: x\nbogus: 1\n",
+			wantErr: `unknown key "bogus"`,
+		},
+		{
+			name:    "unknown section key yaml",
+			in:      "name: x\nmix:\n  commit: 100\n  typo: 0\n",
+			wantErr: `unknown key "mix.typo"`,
+		},
+		{
+			name:    "unknown key json",
+			in:      `{"name": "x", "bogus": 1}`,
+			wantErr: "unknown field",
+		},
+		{
+			name:    "duplicate key",
+			in:      "name: x\nname: y\n",
+			wantErr: `duplicate key "name"`,
+		},
+		{
+			name:    "duplicate section key",
+			in:      "name: x\nmix:\n  commit: 50\n  commit: 50\n",
+			wantErr: `duplicate key "mix.commit"`,
+		},
+		{
+			name:    "tab indentation",
+			in:      "name: x\nmix:\n\tcommit: 100\n",
+			wantErr: "tabs are not allowed",
+		},
+		{
+			name:    "indented key outside section",
+			in:      "name: x\n  stray: 1\n",
+			wantErr: "outside a mix/engine/crash block",
+		},
+		{
+			name:    "mix does not sum to 100",
+			in:      "name: x\nmix:\n  commit: 10\n  checkout: 10\n  select: 10\n  merge: 10\n",
+			wantErr: "operation mix must sum to 100, got 40",
+		},
+		{
+			name:    "mix over 100",
+			in:      `{"name": "x", "mix": {"commit": 90, "checkout": 20, "select": 0, "merge": 0}}`,
+			wantErr: "operation mix must sum to 100, got 110",
+		},
+		{
+			name:    "negative mix entry",
+			in:      `{"name": "x", "mix": {"commit": 120, "checkout": -20, "select": 0, "merge": 0}}`,
+			wantErr: "must be non-negative",
+		},
+		{
+			name:    "ops and duration both set",
+			in:      "name: x\nops: 10\nduration: 1s\n",
+			wantErr: "set ops or duration, not both",
+		},
+		{
+			name:    "data_dir without durable",
+			in:      "name: x\nengine:\n  data_dir: /tmp/somewhere\n",
+			wantErr: "data_dir requires durable",
+		},
+		{
+			name:    "unknown dataset",
+			in:      "name: x\ndataset: SCI_999Z\n",
+			wantErr: "unknown preset",
+		},
+		{
+			name:    "unknown mode",
+			in:      "name: x\nmode: carrier-pigeon\n",
+			wantErr: "unknown mode",
+		},
+		{
+			name:    "unknown kind",
+			in:      "name: x\nkind: OLTP\n",
+			wantErr: "unknown kind",
+		},
+		{
+			name:    "bad integer",
+			in:      "name: x\nclients: many\n",
+			wantErr: "not an integer",
+		},
+		{
+			name:    "bad duration",
+			in:      "name: x\nduration: fortnight\n",
+			wantErr: "not a duration",
+		},
+		{
+			name:    "bad bool",
+			in:      "name: x\nengine:\n  durable: maybe\n",
+			wantErr: "not a boolean",
+		},
+		{
+			name:    "missing name",
+			in:      "clients: 2\n",
+			wantErr: "needs a name",
+		},
+		{
+			name:    "invalid kill window",
+			in:      "name: x\ncrash:\n  min_kill_delay: 100ms\n  max_kill_delay: 10ms\n",
+			wantErr: "kill-delay window",
+		},
+		{
+			name:    "line without colon",
+			in:      "name: x\njust words\n",
+			wantErr: "expected `key: value`",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := ParseSpec([]byte(tc.in))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if tc.check != nil {
+					tc.check(t, spec)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q, got spec %+v", tc.wantErr, spec)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestSpecReportRoundTrip pins the report-header contract: the spec embedded
+// in a BENCH_*.json report parses back into the exact spec that ran,
+// defaults included — so a report is a reproducible run description.
+func TestSpecReportRoundTrip(t *testing.T) {
+	spec, err := ParseSpec([]byte(`name: roundtrip
+mode: http
+dataset: SCI_1K
+clients: 3
+duration: 750ms
+mix:
+  commit: 20
+  checkout: 30
+  select: 40
+  merge: 10
+engine:
+  durable: true
+  group_commit_delay: 4ms
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := &Report{Spec: *spec, TotalOps: 123}
+	data, err := report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Spec json.RawMessage `json:"spec"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(decoded.Spec)
+	if err != nil {
+		t.Fatalf("report header does not re-parse as a spec: %v", err)
+	}
+	if !reflect.DeepEqual(back, spec) {
+		t.Errorf("round trip diverged:\n ran %+v\n got %+v", spec, back)
+	}
+}
+
+func TestParseSpecFileNameDefault(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/my_scenario.yaml"
+	if err := os.WriteFile(path, []byte("clients: 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSpecFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "my_scenario" {
+		t.Errorf("name defaulted to %q, want my_scenario", spec.Name)
+	}
+}
