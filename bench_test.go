@@ -145,6 +145,20 @@ func BenchmarkDurableSubsystem(b *testing.B) {
 	}
 }
 
+// BenchmarkDurableIncremental times the incremental-checkpoint experiment
+// (RunDurableIncremental): full checkpoint of a seeded history, a small burst
+// of commits, then the incremental checkpoint that should rewrite only the
+// touched chunks. The small SCI_1K preset keeps it inside benchtime budgets;
+// cmd/benchrunner -experiment durable embeds the full-size SCI_50K report in
+// BENCH_durable.json (or -experiment durable-incremental writes it alone).
+func BenchmarkDurableIncremental(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := benchmark.RunDurableIncremental("SCI_1K", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkColumnarSubsystem times the full before/after suite of the
 // columnar storage subsystem (RunColumnar): frozen row-backed tables with
 // closure predicates vs typed column vectors with vectorized predicate

@@ -136,6 +136,21 @@ var experiments = []experiment{
 	})},
 	{id: "durable", run: withReport(func(p expParams) (benchmark.DurableReport, string, error) {
 		report, table, err := benchmark.RunDurable(p.dataset, p.scale)
+		if err != nil {
+			return report, "", err
+		}
+		// Attach the incremental-checkpoint experiment so BENCH_durable.json
+		// carries the full durability picture. SCI_50K regardless of
+		// -dataset: the reuse margins only show on a large seeded CVD.
+		incr, itable, err := benchmark.RunDurableIncremental("SCI_50K", 1)
+		if err != nil {
+			return report, "", err
+		}
+		report.Incremental = &incr
+		return report, table.String() + "\n" + itable.String(), nil
+	})},
+	{id: "durable-incremental", run: withReport(func(p expParams) (benchmark.IncrementalReport, string, error) {
+		report, table, err := benchmark.RunDurableIncremental("SCI_50K", 1)
 		return report, table.String(), err
 	})},
 	{id: "groupcommit", run: withReport(func(p expParams) (benchmark.GroupCommitReport, string, error) {

@@ -25,7 +25,9 @@
 //	save <dir>                                export a snapshot of the engine to a directory
 //	load <dir>                                replace the session with a data directory's state
 //	log [cvd]                                 commit log (all CVDs, or one) plus durability status
-//	checkpoint                                fold the WAL into a fresh snapshot (durable sessions)
+//	checkpoint                                write an incremental checkpoint manifest (durable sessions)
+//	epochs                                    list retained checkpoint epochs (durable sessions)
+//	restore <epoch> <dir>                     export a retained epoch as a standalone directory
 //	drop <cvd>                                drop a CVD
 package main
 
@@ -38,6 +40,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cvd"
@@ -66,6 +69,7 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	script := fs.String("script", "", "file with one command per line (default: stdin)")
 	workers := fs.Int("workers", 0, "worker-pool size for parallel engine operations (0 = single-threaded)")
 	dataDir := fs.String("data", "", "durable data directory (snapshot + commit WAL); replayed on start")
+	keepEpochs := fs.Int("keep-epochs", 0, "checkpoint manifests retained for point-in-time restore (0 = default)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -83,7 +87,7 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var engine *core.Engine
 	if *dataDir != "" {
 		var err error
-		engine, err = core.OpenDurable("orpheus", *dataDir, core.WithWorkers(*workers))
+		engine, err = core.OpenDurable("orpheus", *dataDir, core.WithWorkers(*workers), core.WithCheckpointRetention(*keepEpochs))
 		if err != nil {
 			fmt.Fprintln(stderr, "orpheus:", err)
 			return 2
@@ -157,6 +161,10 @@ func (s *session) execute(line string) error {
 		return s.cmdLog(args)
 	case "checkpoint":
 		return s.cmdCheckpoint(args)
+	case "epochs":
+		return s.cmdEpochs(args)
+	case "restore":
+		return s.cmdRestore(args)
 	case "drop":
 		return s.cmdDrop(args)
 	default:
@@ -523,7 +531,8 @@ func (s *session) cmdLog(args []string) error {
 	return nil
 }
 
-// cmdCheckpoint folds the WAL into a fresh snapshot (durable sessions only).
+// cmdCheckpoint writes an incremental checkpoint manifest (durable sessions
+// only): only chunks that changed since the previous checkpoint hit the disk.
 func (s *session) cmdCheckpoint(args []string) error {
 	if len(args) != 0 {
 		return fmt.Errorf("usage: checkpoint")
@@ -531,7 +540,46 @@ func (s *session) cmdCheckpoint(args []string) error {
 	if err := s.engine.Checkpoint(); err != nil {
 		return err
 	}
-	fmt.Fprintln(s.out, "checkpointed")
+	if stats, ok := s.engine.LastCheckpoint(); ok {
+		fmt.Fprintf(s.out, "checkpointed epoch %d: %d/%d chunks written, %d bytes to disk (%d referenced chunk bytes) in %s\n",
+			stats.Epoch, stats.ChunksWritten, stats.Chunks, stats.BytesWritten, stats.ChunkBytes, stats.Duration.Round(time.Millisecond))
+	} else {
+		fmt.Fprintln(s.out, "checkpointed")
+	}
+	return nil
+}
+
+// cmdEpochs lists the checkpoint epochs the data directory still retains
+// manifests for — each is restorable with `restore <epoch> <dir>`.
+func (s *session) cmdEpochs(args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("usage: epochs")
+	}
+	epochs, err := s.engine.RetainedEpochs()
+	if err != nil {
+		return err
+	}
+	for _, e := range epochs {
+		fmt.Fprintln(s.out, e)
+	}
+	fmt.Fprintf(s.out, "(%d retained epochs)\n", len(epochs))
+	return nil
+}
+
+// cmdRestore exports the engine state captured by a retained checkpoint epoch
+// as a standalone directory, openable later with -data or load.
+func (s *session) cmdRestore(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: restore <epoch> <dir>")
+	}
+	epoch, err := strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad epoch %q", args[0])
+	}
+	if err := s.engine.ExportEpoch(epoch, args[1]); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "restored epoch %d to %s\n", epoch, args[1])
 	return nil
 }
 

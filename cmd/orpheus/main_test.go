@@ -184,3 +184,47 @@ func TestSaveLoadAcrossSessions(t *testing.T) {
 		}
 	}
 }
+
+// TestEpochsAndRestore drives the point-in-time workflow through the CLI:
+// each checkpoint leaves a retained epoch, `epochs` lists them, and `restore`
+// exports one as a standalone directory holding exactly the history of that
+// moment.
+func TestEpochsAndRestore(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeCSV(t, dir, "p.csv", proteinCSV)
+	dataDir := filepath.Join(dir, "datadir")
+	restoreDir := filepath.Join(dir, "restored")
+
+	code, out, errw := runSession(t, []string{"-data", dataDir, "-keep-epochs", "4"}, strings.Join([]string{
+		"init proteins " + csv + " pk=pid",
+		"checkpoint", // epoch 1: one version
+		"checkout proteins -v 1 -t work",
+		"commit proteins -t work -m second",
+		"checkpoint", // epoch 2: two versions
+		"epochs",
+		"restore 1 " + restoreDir,
+	}, "\n"))
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errw)
+	}
+	for _, want := range []string{"(2 retained epochs)", "restored epoch 1 to " + restoreDir, "chunks written"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+
+	// The restored directory is the pre-second-commit state.
+	code, out, errw = runSession(t, []string{"-data", restoreDir}, "versions proteins")
+	if code != 0 {
+		t.Fatalf("restored session exit %d: %s", code, errw)
+	}
+	if !strings.Contains(out, "v1\t") || strings.Contains(out, "v2\t") {
+		t.Errorf("restored session should hold exactly v1:\n%s", out)
+	}
+
+	// A pruned/unknown epoch is refused with exit code 1.
+	code, _, errw = runSession(t, []string{"-data", dataDir}, "restore 99 "+filepath.Join(dir, "nope"))
+	if code != 1 {
+		t.Fatalf("restore of unknown epoch: exit %d, want 1 (stderr: %s)", code, errw)
+	}
+}

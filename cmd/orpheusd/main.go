@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -47,6 +48,8 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	gcBatch := fs.Int("group-commit-batch", 0, "max commits sharing one WAL fsync (0 = default, 1 = disable batching)")
 	gcDelay := fs.Duration("group-commit-delay", 0, "how long a batch leader waits for followers (0 = no added latency)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	ckptEvery := fs.Duration("checkpoint-interval", 0, "period between background checkpoints while serving (0 = checkpoint only on drain)")
+	keepEpochs := fs.Int("keep-epochs", 0, "checkpoint manifests retained for point-in-time restore (0 = default)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -57,6 +60,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 
 	engine, err := core.OpenDurable("orpheusd", *dataDir,
 		core.WithWorkers(*workers),
+		core.WithCheckpointRetention(*keepEpochs),
 		core.GroupCommit(*gcBatch, *gcDelay))
 	if err != nil {
 		fmt.Fprintln(stderr, "orpheusd:", err)
@@ -83,6 +87,30 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
+	// Periodic background checkpoints: the commit fence is held only while
+	// copy-on-write references are captured and the WAL segment sealed, so
+	// serving continues while each checkpoint encodes and writes.
+	ckptStop := make(chan struct{})
+	var ckptWG sync.WaitGroup
+	if *ckptEvery > 0 {
+		ckptWG.Add(1)
+		go func() {
+			defer ckptWG.Done()
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ckptStop:
+					return
+				case <-tick.C:
+					if err := engine.Checkpoint(); err != nil {
+						fmt.Fprintln(stderr, "orpheusd: periodic checkpoint:", err)
+					}
+				}
+			}
+		}()
+	}
+
 	code := 0
 	select {
 	case err := <-serveErr:
@@ -100,11 +128,19 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		}
 		cancel()
 		srv.CloseSessions()
+		close(ckptStop)
+		ckptWG.Wait()
 		if err := engine.Checkpoint(); err != nil {
 			fmt.Fprintln(stderr, "orpheusd: checkpoint on drain:", err)
 			code = 1
 		}
 	}
+	select {
+	case <-ckptStop:
+	default:
+		close(ckptStop)
+	}
+	ckptWG.Wait()
 	if err := engine.Close(); err != nil {
 		fmt.Fprintln(stderr, "orpheusd: close:", err)
 		code = 1

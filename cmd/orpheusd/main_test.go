@@ -129,9 +129,10 @@ func TestServeCommitDrain(t *testing.T) {
 		t.Fatal("daemon did not drain")
 	}
 
-	// The drain checkpointed: a snapshot exists, so restart is replay-free.
-	if _, err := os.Stat(filepath.Join(dir, "snapshot.orph")); err != nil {
-		t.Fatalf("no snapshot after drain: %v", err)
+	// The drain checkpointed: a manifest exists, so restart is replay-free.
+	manifests, err := filepath.Glob(filepath.Join(dir, "manifest-*.orph"))
+	if err != nil || len(manifests) == 0 {
+		t.Fatalf("no checkpoint manifest after drain: %v (err=%v)", manifests, err)
 	}
 
 	// Restart: both versions are there.

@@ -46,6 +46,11 @@ type DurableReport struct {
 	ReplaySpeedupVsCSV float64 `json:"replay_speedup_vs_csv"`
 
 	Results []DurableResult `json:"results"`
+
+	// Incremental holds the durable-incremental experiment (content-addressed
+	// chunk reuse + lane codecs), attached when the durable experiment runs
+	// through benchrunner so BENCH_durable.json carries both.
+	Incremental *IncrementalReport `json:"incremental,omitempty"`
 }
 
 // JSON renders the report.
@@ -204,11 +209,10 @@ func RunDurable(dataset string, scale int) (DurableReport, Table, error) {
 	}
 	walWrite := time.Since(start)
 	we.Close()
-	info, err = os.Stat(filepath.Join(walDir, durable.WALFile))
+	report.WALBytes, err = durable.WALBytes(walDir)
 	if err != nil {
 		return report, Table{}, err
 	}
-	report.WALBytes = info.Size()
 	report.Results = append(report.Results, DurableResult{
 		Name:   "wal-write",
 		Detail: fmt.Sprintf("journaled load, fsync per commit, %d commits", len(order)),

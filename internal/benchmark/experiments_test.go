@@ -169,6 +169,41 @@ func TestRunDurable(t *testing.T) {
 	}
 }
 
+// TestRunDurableIncremental is the incremental-checkpoint acceptance gate:
+// on a large seeded CVD, a checkpoint after a small-delta burst must reuse
+// almost everything (bytes written <= 15% of the full checkpoint and >= 4x
+// faster), and the sampled lane codecs must shrink the flat snapshot >= 2x
+// vs identity encodings. SCI_50K is deliberate — on smaller presets the
+// always-re-encoded tail bands dominate and the margins vanish.
+func TestRunDurableIncremental(t *testing.T) {
+	report, table, err := RunDurableIncremental("SCI_50K", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first checkpoint writes essentially everything; the pack may still
+	// dedup the odd pair of identical small bands by content.
+	if report.Full.ChunksWritten < report.Full.Chunks*9/10 {
+		t.Errorf("full checkpoint wrote only %d of %d chunks", report.Full.ChunksWritten, report.Full.Chunks)
+	}
+	if report.Incremental.ChunksWritten >= report.Incremental.Chunks {
+		t.Errorf("incremental checkpoint reused no chunks (%d/%d written)\n%s",
+			report.Incremental.ChunksWritten, report.Incremental.Chunks, table)
+	}
+	if report.BytesWrittenRatio > 0.15 {
+		t.Errorf("incremental checkpoint wrote %.1f%% of full-checkpoint bytes, want <= 15%%\n%s",
+			report.BytesWrittenRatio*100, table)
+	}
+	if report.Speedup < 4 {
+		t.Errorf("incremental checkpoint speedup = %.2fx, want >= 4x\n%s", report.Speedup, table)
+	}
+	if report.CompressionRatio < 2 {
+		t.Errorf("lane codecs shrink the snapshot %.2fx, want >= 2x\n%s", report.CompressionRatio, table)
+	}
+	if _, err := report.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunCh7(t *testing.T) {
 	table, err := RunCh7(15, 3)
 	if err != nil {

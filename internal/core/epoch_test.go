@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cvd"
+	"repro/internal/durable"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// kvSchema is the two-column schema the epoch tests commit against.
+func kvSchema(t *testing.T) relstore.Schema {
+	t.Helper()
+	return relstore.MustSchema([]relstore.Column{
+		{Name: "id", Type: relstore.TypeInt},
+		{Name: "payload", Type: relstore.TypeString},
+	}, "id")
+}
+
+// TestRestoreAnyRetainedEpoch is the point-in-time property test of the
+// acceptance criteria: after a run of commits interleaved with checkpoints,
+// every retained epoch restores (OpenAtEpoch) to exactly the state the engine
+// held at that checkpoint's fence — every version present then checks out
+// bit-identically, and versions committed later are absent.
+func TestRestoreAnyRetainedEpoch(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenDurable("pit", dir, WithCheckpointRetention(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := kvSchema(t)
+	rows := []relstore.Row{{relstore.Int(1), relstore.Str("seed")}}
+	if _, err := e.Init("d", schema, rows, cvd.Options{Message: "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := e.CVD("d")
+
+	// expected[epoch][version] is the reference checkout captured at the
+	// moment of each checkpoint.
+	expected := map[uint64]map[vgraph.VersionID][]relstore.Row{}
+	next := int64(2)
+	for ckpt := 0; ckpt < 5; ckpt++ {
+		for i := 0; i < 2; i++ {
+			rows = append(rows, relstore.Row{relstore.Int(next), relstore.Str(fmt.Sprintf("p%d", next))})
+			next++
+			parent, _ := c.LatestVersion()
+			if _, err := c.Commit([]vgraph.VersionID{parent}, rows, schema, fmt.Sprintf("c%d", next), "pit"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		epochs, err := e.RetainedEpochs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		epoch := epochs[len(epochs)-1]
+		ref := map[vgraph.VersionID][]relstore.Row{}
+		for _, v := range c.Versions() {
+			got, err := CheckoutVersionRows(e, "d", v, fmt.Sprintf("ref%d", epoch))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref[v] = got
+		}
+		expected[epoch] = ref
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(expected) != 5 {
+		t.Fatalf("captured %d checkpoint references, want 5", len(expected))
+	}
+
+	for epoch, ref := range expected {
+		re, err := OpenAtEpoch("pit", dir, epoch)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		rc, err := re.CVD("d")
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		if got, want := rc.NumVersions(), len(ref); got != want {
+			t.Fatalf("epoch %d: restored %d versions, want %d", epoch, got, want)
+		}
+		for v, want := range ref {
+			got, err := CheckoutVersionRows(re, "d", v, fmt.Sprintf("pit%d", epoch))
+			if err != nil {
+				t.Fatalf("epoch %d v%d: %v", epoch, v, err)
+			}
+			if err := RowsBitIdentical(fmt.Sprintf("epoch %d v%d", epoch, v), got, want); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestCheckpointAsyncCommitsContinue pins the non-blocking checkpoint
+// contract: once CheckpointAsync returns, commits proceed into the fresh WAL
+// segment while the background half encodes; the manifest captures exactly
+// the fenced state (a point-in-time restore excludes the later commits), and
+// a reopen recovers everything.
+func TestCheckpointAsyncCommitsContinue(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenDurable("bg", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := kvSchema(t)
+	rows := []relstore.Row{{relstore.Int(1), relstore.Str("seed")}}
+	if _, err := e.Init("d", schema, rows, cvd.Options{Message: "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := e.CVD("d")
+	for i := 0; i < 3; i++ {
+		rows = append(rows, relstore.Row{relstore.Int(int64(10 + i)), relstore.Str("pre")})
+		parent, _ := c.LatestVersion()
+		if _, err := c.Commit([]vgraph.VersionID{parent}, rows, schema, "pre", "bg"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fenced := c.NumVersions()
+
+	done, err := e.CheckpointAsync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// These commits overlap the background half of the checkpoint.
+	for i := 0; i < 5; i++ {
+		rows = append(rows, relstore.Row{relstore.Int(int64(100 + i)), relstore.Str("post")})
+		parent, _ := c.LatestVersion()
+		if _, err := c.Commit([]vgraph.VersionID{parent}, rows, schema, "post", "bg"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("background checkpoint: %v", err)
+	}
+	total := c.NumVersions()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The manifest holds the fenced state only.
+	re, err := OpenAtEpoch("bg", dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := re.CVD("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.NumVersions() != fenced {
+		t.Fatalf("epoch 1 restored %d versions, want the %d at the fence", rc.NumVersions(), fenced)
+	}
+
+	// A live reopen replays the overlapping commits from the fresh segment.
+	e2, err := OpenDurable("bg", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	c2, err := e2.CVD("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumVersions() != total {
+		t.Fatalf("reopen recovered %d versions, want %d", c2.NumVersions(), total)
+	}
+}
+
+// TestRetentionAndExportEpoch verifies the retention window prunes old
+// manifests (and OpenAtEpoch refuses them) while ExportEpoch turns a retained
+// one into a standalone directory that opens to the equivalent engine.
+func TestRetentionAndExportEpoch(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenDurable("ret", dir, WithCheckpointRetention(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := kvSchema(t)
+	rows := []relstore.Row{{relstore.Int(1), relstore.Str("seed")}}
+	if _, err := e.Init("d", schema, rows, cvd.Options{Message: "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := e.CVD("d")
+	for ckpt := 0; ckpt < 4; ckpt++ {
+		rows = append(rows, relstore.Row{relstore.Int(int64(2 + ckpt)), relstore.Str("x")})
+		parent, _ := c.LatestVersion()
+		if _, err := c.Commit([]vgraph.VersionID{parent}, rows, schema, "x", "ret"); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epochs, err := e.RetainedEpochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 2 || epochs[0] != 3 || epochs[1] != 4 {
+		t.Fatalf("retained epochs %v, want [3 4]", epochs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, durable.ManifestFileName(1))); !os.IsNotExist(err) {
+		t.Fatalf("pruned manifest 1 still on disk (err=%v)", err)
+	}
+
+	// Export the newest epoch (== current state, nothing committed since).
+	exp := t.TempDir()
+	if err := e.ExportEpoch(4, exp); err != nil {
+		t.Fatal(err)
+	}
+	// A pruned epoch is not exportable.
+	if err := e.ExportEpoch(1, t.TempDir()); err == nil {
+		t.Fatal("ExportEpoch of a pruned epoch succeeded")
+	}
+	exported, err := OpenDurable("ret", exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exported.Close()
+	if err := EnginesEquivalent("export", e, exported); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Pruned epochs are refused by the read-only opener too.
+	if _, err := OpenAtEpoch("ret", dir, 1); err == nil {
+		t.Fatal("OpenAtEpoch of a pruned epoch succeeded")
+	}
+}

@@ -55,8 +55,20 @@ type Engine struct {
 	// gcSet (the GroupCommit option was given).
 	gc    durable.GroupCommitConfig
 	gcSet bool
+	// retain is the checkpoint retention window applied by OpenDurable
+	// (0 keeps the store default).
+	retain int
 	// recovery records what OpenDurable had to repair; immutable after open.
 	recovery RecoveryInfo
+
+	// ckptSem serializes checkpoints (including the background half of
+	// CheckpointAsync); Close acquires it to wait out an in-flight background
+	// checkpoint before closing the store.
+	ckptSem chan struct{}
+	// ckptStatsMu guards the last-checkpoint record.
+	ckptStatsMu sync.Mutex
+	lastCkpt    durable.CheckpointStats
+	ckptDone    bool
 }
 
 // RecoveryInfo reports what opening a data directory had to repair.
@@ -86,6 +98,15 @@ func WithWorkers(n int) Option {
 	return func(e *Engine) { e.workers = n }
 }
 
+// WithCheckpointRetention sets how many checkpoint manifests a durable engine
+// retains for point-in-time restore (OpenAtEpoch); older manifests and the
+// chunks only they reference are garbage-collected after each checkpoint.
+// n < 1 and 0 keep the store default (durable.DefaultCheckpointRetention).
+// Ephemeral engines ignore it.
+func WithCheckpointRetention(n int) Option {
+	return func(e *Engine) { e.retain = n }
+}
+
 // GroupCommit configures WAL group commit for a durable engine (OpenDurable;
 // ephemeral engines ignore it): up to maxBatch concurrent commits share one
 // WAL write+fsync, and a batch leader waits up to maxDelay for followers once
@@ -102,7 +123,12 @@ func GroupCommit(maxBatch int, maxDelay time.Duration) Option {
 
 // Open creates an engine over a fresh in-memory database.
 func Open(name string, opts ...Option) *Engine {
-	e := &Engine{db: relstore.NewDatabase(name), cvds: make(map[string]*cvd.CVD), dropping: make(map[string]struct{})}
+	e := &Engine{
+		db:       relstore.NewDatabase(name),
+		cvds:     make(map[string]*cvd.CVD),
+		dropping: make(map[string]struct{}),
+		ckptSem:  make(chan struct{}, 1),
+	}
 	for _, o := range opts {
 		o(e)
 	}

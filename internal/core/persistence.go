@@ -29,21 +29,15 @@ func OpenDurable(name, dir string, opts ...Option) (*Engine, error) {
 	if e.gcSet {
 		store.SetGroupCommit(e.gc)
 	}
+	store.SetWorkers(e.workers)
+	if e.retain > 0 {
+		store.SetRetention(e.retain)
+	}
 	e.recovery = RecoveryInfo{TornTail: res.TornTail, StaleWAL: res.StaleWAL}
 	if res.Snapshot != nil {
-		if res.Snapshot.DBName != "" {
-			e.db = relstore.NewDatabase(res.Snapshot.DBName)
-		}
-		for _, t := range res.Snapshot.Tables {
-			e.db.AttachTable(t)
-		}
-		for _, st := range res.Snapshot.CVDs {
-			c, err := cvd.Restore(e.db, st)
-			if err != nil {
-				store.Close()
-				return nil, err
-			}
-			e.cvds[c.Name()] = c
+		if err := e.restoreSnapshot(res.Snapshot); err != nil {
+			store.Close()
+			return nil, err
 		}
 	}
 	// Stream the WAL through the engine one record at a time (a large log is
@@ -57,6 +51,46 @@ func OpenDurable(name, dir string, opts ...Option) (*Engine, error) {
 	e.store = store
 	for _, c := range e.cvds {
 		c.SetJournal(store)
+		c.InheritWorkers(e.workers)
+	}
+	return e, nil
+}
+
+// restoreSnapshot populates a fresh engine from a decoded snapshot: tables
+// attach straight to the backing database and each CVD state is rebuilt over
+// them.
+func (e *Engine) restoreSnapshot(snap *durable.Snapshot) error {
+	if snap.DBName != "" {
+		e.db = relstore.NewDatabase(snap.DBName)
+	}
+	for _, t := range snap.Tables {
+		e.db.AttachTable(t)
+	}
+	for _, st := range snap.CVDs {
+		c, err := cvd.Restore(e.db, st)
+		if err != nil {
+			return err
+		}
+		e.cvds[c.Name()] = c
+	}
+	return nil
+}
+
+// OpenAtEpoch materializes the engine state captured by a retained checkpoint
+// manifest of dir as an ephemeral engine: no lock is held on the directory
+// afterwards, nothing is journaled, and the live engine (if any) is
+// unaffected. Use Engine.RetainedEpochs (or durable.ListEpochs) to discover
+// which epochs are restorable.
+func OpenAtEpoch(name, dir string, epoch uint64, opts ...Option) (*Engine, error) {
+	snap, err := durable.OpenAtEpoch(dir, epoch)
+	if err != nil {
+		return nil, err
+	}
+	e := Open(name, opts...)
+	if err := e.restoreSnapshot(snap); err != nil {
+		return nil, err
+	}
+	for _, c := range e.cvds {
 		c.InheritWorkers(e.workers)
 	}
 	return e, nil
@@ -130,11 +164,16 @@ func (e *Engine) getStore() *durable.Store {
 
 // buildSnapshot assembles the full engine snapshot under a consistent set of
 // locks: the registry shared lock plus every CVD's lock (in name order,
-// shared or exclusive per the flag), held for the whole serialization so no
-// commit can slip between two CVDs' sections. The returned release function
-// drops the locks; callers that need to act while the engine is still fenced
-// (Checkpoint resetting the WAL) do so before calling it.
-func (e *Engine) buildSnapshot(exclusive bool) (*durable.Snapshot, []*cvd.CVD, func(), error) {
+// shared or exclusive per the flag). The returned release function drops the
+// locks; callers that need to act while the engine is still fenced
+// (Checkpoint sealing the WAL segment) do so before calling it.
+//
+// With cow the snapshot references copy-on-write captures — cloned table
+// headers over shared immutable column lanes (Table.SnapshotClone) and CVD
+// states whose mutable containers are copied (ExportStateCOW) — so it stays
+// consistent after release while commits continue; without it the snapshot
+// shares live structures and is only valid while the locks are held.
+func (e *Engine) buildSnapshot(exclusive, cow bool) (*durable.Snapshot, []*cvd.CVD, func(), error) {
 	e.mu.RLock()
 	names := make([]string, 0, len(e.cvds))
 	for n := range e.cvds {
@@ -171,7 +210,12 @@ func (e *Engine) buildSnapshot(exclusive bool) (*durable.Snapshot, []*cvd.CVD, f
 	}
 	snap := &durable.Snapshot{DBName: e.db.Name()}
 	for _, c := range locked {
-		st := c.ExportState()
+		var st *cvd.PersistentState
+		if cow {
+			st = c.ExportStateCOW()
+		} else {
+			st = c.ExportState()
+		}
 		snap.CVDs = append(snap.CVDs, st)
 		for _, name := range st.Tables {
 			t, ok := e.db.Table(name)
@@ -181,6 +225,9 @@ func (e *Engine) buildSnapshot(exclusive bool) (*durable.Snapshot, []*cvd.CVD, f
 				// already truncated the WAL. Fail loudly now instead.
 				release()
 				return nil, nil, nil, fmt.Errorf("core: snapshot of CVD %q: backing table %q missing from database", c.Name(), name)
+			}
+			if cow {
+				t = t.SnapshotClone()
 			}
 			snap.Tables = append(snap.Tables, t)
 		}
@@ -194,7 +241,7 @@ func (e *Engine) buildSnapshot(exclusive bool) (*durable.Snapshot, []*cvd.CVD, f
 // OpenDurable. Saving into a live data directory (one with a WAL) is
 // refused — use Checkpoint for that.
 func (e *Engine) Save(dir string) error {
-	snap, _, release, err := e.buildSnapshot(false)
+	snap, _, release, err := e.buildSnapshot(false, false)
 	if err != nil {
 		return err
 	}
@@ -202,35 +249,133 @@ func (e *Engine) Save(dir string) error {
 	return durable.SaveSnapshot(dir, snap)
 }
 
-// Checkpoint folds the commit WAL into a fresh snapshot of the bound data
-// directory and truncates the WAL, bounding recovery time. It requires a
-// durable engine.
-//
-// Checkpoint takes every CVD's exclusive lock (writers and readers are
-// fenced for the duration of the snapshot write): the fence is what lets it
-// atomically fold adopted CVDs into the snapshot and attach their journals —
-// no commit can land between "in the snapshot" and "journaled", which would
-// otherwise leave WAL records that replay against a CVD the snapshot does
-// not contain.
-func (e *Engine) Checkpoint() error {
-	snap, locked, release, err := e.buildSnapshot(true)
+// RetainedEpochs returns the checkpoint epochs the bound data directory still
+// retains manifests for, ascending. It requires a durable engine.
+func (e *Engine) RetainedEpochs() ([]uint64, error) {
+	store := e.getStore()
+	if store == nil {
+		return nil, fmt.Errorf("core: RetainedEpochs requires a durable engine (OpenDurable)")
+	}
+	return store.RetainedEpochs(), nil
+}
+
+// ExportEpoch exports the engine state captured by a retained checkpoint
+// epoch of the bound data directory as a flat snapshot in dir (which must not
+// be a live data directory). The export can later be loaded with OpenDurable.
+func (e *Engine) ExportEpoch(epoch uint64, dir string) error {
+	store := e.getStore()
+	if store == nil {
+		return fmt.Errorf("core: ExportEpoch requires a durable engine (OpenDurable)")
+	}
+	snap, err := store.LoadEpoch(epoch)
 	if err != nil {
 		return err
 	}
-	defer release()
+	return durable.SaveSnapshot(dir, snap)
+}
+
+// Checkpoint folds the committed state into a fresh checkpoint manifest of
+// the bound data directory (writing only chunks that changed since the last
+// one) and seals the WAL segment it covers, bounding recovery time. It
+// requires a durable engine. Checkpoint waits for the whole checkpoint; see
+// CheckpointAsync for the non-blocking form it wraps.
+func (e *Engine) Checkpoint() error {
+	done, err := e.CheckpointAsync()
+	if err != nil {
+		return err
+	}
+	return <-done
+}
+
+// CheckpointAsync begins a checkpoint and completes it in the background.
+//
+// The commit fence (every CVD's exclusive lock) is held only long enough to
+// capture copy-on-write references to the column lanes and version metadata
+// and to seal the active WAL segment — typically far shorter than encoding
+// and writing the checkpoint itself. Commits resume into a fresh WAL segment
+// while chunk encoding, hashing, and manifest writing run on a background
+// goroutine; the returned channel delivers that half's result (buffered, so
+// it may be abandoned). Recovery composes the newest durable manifest with
+// every WAL segment after it, so a crash mid-checkpoint loses nothing.
+//
+// One exception degrades to a synchronous checkpoint under the fence: a CVD
+// whose journal is not this store (adopted since the last checkpoint, or
+// poisoned by an append failure) must have its journal attached atomically
+// with the checkpoint — no commit may land between "in the manifest" and
+// "journaled" — so the fence is held through completion.
+//
+// Checkpoints are serialized: a second CheckpointAsync blocks until the
+// previous one's background half finishes.
+func (e *Engine) CheckpointAsync() (<-chan error, error) {
+	e.ckptSem <- struct{}{}
+	fail := func(err error) (<-chan error, error) {
+		<-e.ckptSem
+		return nil, err
+	}
+	snap, locked, release, err := e.buildSnapshot(true, true)
+	if err != nil {
+		return fail(err)
+	}
 	// buildSnapshot holds the registry lock, so the store cannot be cleared
 	// by a concurrent Close between this read and the checkpoint itself.
 	store := e.store
 	if store == nil {
-		return fmt.Errorf("core: Checkpoint requires a durable engine (OpenDurable)")
+		release()
+		return fail(fmt.Errorf("core: Checkpoint requires a durable engine (OpenDurable)"))
 	}
-	if err := store.Checkpoint(snap); err != nil {
-		return err
+	job, err := store.BeginCheckpoint()
+	if err != nil {
+		release()
+		return fail(err)
 	}
+	attach := false
 	for _, c := range locked {
-		c.SetJournalLocked(store)
+		if j, jerr := c.JournalLocked(); j != cvd.Journal(store) || jerr != nil {
+			attach = true
+			break
+		}
 	}
-	return nil
+	done := make(chan error, 1)
+	if attach {
+		stats, err := store.CompleteCheckpoint(job, snap)
+		if err == nil {
+			for _, c := range locked {
+				c.SetJournalLocked(store)
+			}
+		}
+		release()
+		e.recordCheckpoint(stats, err)
+		done <- err
+		<-e.ckptSem
+		return done, nil
+	}
+	release()
+	go func() {
+		stats, err := store.CompleteCheckpoint(job, snap)
+		e.recordCheckpoint(stats, err)
+		done <- err
+		<-e.ckptSem
+	}()
+	return done, nil
+}
+
+// recordCheckpoint notes a completed checkpoint's stats for LastCheckpoint.
+func (e *Engine) recordCheckpoint(stats durable.CheckpointStats, err error) {
+	if err != nil {
+		return
+	}
+	e.ckptStatsMu.Lock()
+	e.lastCkpt = stats
+	e.ckptDone = true
+	e.ckptStatsMu.Unlock()
+}
+
+// LastCheckpoint returns the stats of the most recent successful checkpoint
+// through this engine (ok reports whether one has completed).
+func (e *Engine) LastCheckpoint() (stats durable.CheckpointStats, ok bool) {
+	e.ckptStatsMu.Lock()
+	defer e.ckptStatsMu.Unlock()
+	return e.lastCkpt, e.ckptDone
 }
 
 // Close releases the durable binding: every CVD's journal is detached, the
@@ -239,7 +384,13 @@ func (e *Engine) Checkpoint() error {
 // remains usable as an ephemeral engine — later commits simply stop being
 // journaled, instead of tripping journal-append failures against a closed
 // WAL. Close on an ephemeral (or already closed) engine is a no-op.
+//
+// Close first waits out the background half of any in-flight CheckpointAsync
+// (and keeps new checkpoints from starting mid-close), so the store is never
+// closed under a running checkpoint.
 func (e *Engine) Close() error {
+	e.ckptSem <- struct{}{}
+	defer func() { <-e.ckptSem }()
 	e.mu.Lock()
 	store := e.store
 	e.store = nil

@@ -258,7 +258,7 @@ func TestWALCrashRecovery(t *testing.T) {
 	if total != 5 {
 		t.Fatalf("built %d versions, want 5", total)
 	}
-	walRaw, err := os.ReadFile(filepath.Join(master, durable.WALFile))
+	walRaw, err := os.ReadFile(filepath.Join(master, durable.WALSegmentFileName(0)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func TestWALCrashRecovery(t *testing.T) {
 	}
 	for cut := range cuts {
 		dir := t.TempDir()
-		if err := os.WriteFile(filepath.Join(dir, durable.WALFile), walRaw[:cut], 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, durable.WALSegmentFileName(0)), walRaw[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
 		e, err := OpenDurable("crash", dir)
@@ -332,10 +332,11 @@ func TestWALCrashRecovery(t *testing.T) {
 	}
 }
 
-// TestCheckpointFoldsWAL verifies the checkpoint lifecycle: WAL grows with
-// commits, Checkpoint folds it into the snapshot and truncates it, recovery
-// works from the snapshot alone, and post-checkpoint commits land in the
-// fresh WAL.
+// TestCheckpointFoldsWAL verifies the checkpoint lifecycle: the WAL segment
+// grows with commits, Checkpoint seals it behind a manifest (the sealed
+// segment is deleted once the manifest is durable), recovery works from the
+// manifest plus the fresh segment, and post-checkpoint commits land in that
+// fresh segment.
 func TestCheckpointFoldsWAL(t *testing.T) {
 	dir := t.TempDir()
 	e, err := OpenDurable("ckpt", dir)
@@ -350,23 +351,28 @@ func TestCheckpointFoldsWAL(t *testing.T) {
 	if _, err := c.Commit([]vgraph.VersionID{1}, []relstore.Row{{relstore.Int(1)}, {relstore.Int(2)}}, schema, "v2", "t"); err != nil {
 		t.Fatal(err)
 	}
-	walPath := filepath.Join(dir, durable.WALFile)
-	grown, err := os.Stat(walPath)
+	grown, err := os.Stat(filepath.Join(dir, durable.WALSegmentFileName(0)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := e.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	truncated, err := os.Stat(walPath)
+	if _, err := os.Stat(filepath.Join(dir, durable.WALSegmentFileName(0))); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint left the sealed WAL segment behind (err=%v)", err)
+	}
+	fresh, err := os.Stat(filepath.Join(dir, durable.WALSegmentFileName(1)))
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("no fresh WAL segment after checkpoint: %v", err)
 	}
-	if truncated.Size() >= grown.Size() {
-		t.Fatalf("checkpoint did not truncate the WAL (%d -> %d bytes)", grown.Size(), truncated.Size())
+	if fresh.Size() >= grown.Size() {
+		t.Fatalf("fresh WAL segment not empty (%d bytes, sealed had %d)", fresh.Size(), grown.Size())
 	}
-	if _, err := os.Stat(filepath.Join(dir, durable.SnapshotFile)); err != nil {
-		t.Fatalf("no snapshot after checkpoint: %v", err)
+	if _, err := os.Stat(filepath.Join(dir, durable.ManifestFileName(1))); err != nil {
+		t.Fatalf("no manifest after checkpoint: %v", err)
+	}
+	if stats, ok := e.LastCheckpoint(); !ok || stats.Epoch != 1 || stats.Chunks == 0 {
+		t.Fatalf("LastCheckpoint = %+v, %v", stats, ok)
 	}
 	// Post-checkpoint commit lands in the fresh WAL.
 	if _, err := c.Commit([]vgraph.VersionID{2}, []relstore.Row{{relstore.Int(1)}, {relstore.Int(2)}, {relstore.Int(3)}}, schema, "v3", "t"); err != nil {

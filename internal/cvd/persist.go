@@ -73,6 +73,14 @@ func (c *CVD) JournalErr() error {
 	return c.journalErr
 }
 
+// JournalLocked returns the attached journal and the sticky journal poison
+// for a caller already holding the exclusive lock (LockExclusive) — the
+// checkpoint fence, which cannot call JournalErr without self-deadlocking on
+// the RWMutex.
+func (c *CVD) JournalLocked() (Journal, error) {
+	return c.journal, c.journalErr
+}
+
 // PersistedRecord is one entry of the record catalog (rid → data values).
 type PersistedRecord struct {
 	RID vgraph.RecordID
@@ -148,6 +156,35 @@ func (c *CVD) ExportState() *PersistentState {
 			st.PartitionOf[v] = k
 		}
 		st.Resident = m.resident
+	}
+	return st
+}
+
+// ExportStateCOW assembles the persistent state as a frozen capture that
+// stays valid after the CVD's lock is released — the non-blocking checkpoint
+// path. The caller must hold the exclusive lock for the call itself. The
+// mutable structures (version graph, partition resident sets, version
+// metadata) are cloned; structurally immutable data — catalog rows and
+// committed record sets, which commits only ever add to, never mutate — is
+// shared by pointer, so the capture is O(versions) extra memory, not
+// O(dataset).
+func (c *CVD) ExportStateCOW() *PersistentState {
+	st := c.ExportState()
+	st.Graph = c.graph.Clone()
+	metas := make([]*VersionMeta, len(st.Metas))
+	for i, m := range st.Metas {
+		cp := *m
+		metas[i] = &cp
+	}
+	st.Metas = metas
+	if len(st.Resident) > 0 {
+		res := make([]*recset.Set, len(st.Resident))
+		for i, s := range st.Resident {
+			if s != nil {
+				res[i] = s.Clone()
+			}
+		}
+		st.Resident = res
 	}
 	return st
 }

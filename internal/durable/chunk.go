@@ -1,0 +1,757 @@
+package durable
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/cvd"
+	"repro/internal/recset"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// The format v2 snapshot is content-addressed: engine state is split into
+// chunks — fixed-geometry row bands of each table column, the CVD head
+// (graph, metadata, counters), bands of the record catalog, and runs of
+// per-version record sets — each serialized independently and identified by
+// the SHA-256 of its payload truncated to 16 bytes. A checkpoint manifest
+// maps section → chunk hash, and chunk payloads live in the append-only
+// chunk pack (pack.go), so a checkpoint writes only chunks whose content
+// changed and retained manifests share unchanged chunks structurally.
+//
+// Band geometry is fixed multiples from row 0, so appending rows (the
+// dominant mutation: rlist commits append to the shared data table, the
+// versioning table, and the catalog) dirties only the tail band of each
+// section while every full interior band keeps its hash.
+
+// ChunkHash is the 16-byte truncated SHA-256 content address of a chunk
+// payload (the payload includes its one-byte kind prefix).
+type ChunkHash [16]byte
+
+// String renders the hash as hex for diagnostics.
+func (h ChunkHash) String() string { return hex.EncodeToString(h[:]) }
+
+// hashChunk computes the content address of a chunk payload.
+func hashChunk(payload []byte) ChunkHash {
+	sum := sha256.Sum256(payload)
+	var h ChunkHash
+	copy(h[:], sum[:16])
+	return h
+}
+
+// Chunk payload kinds (first payload byte).
+const (
+	chunkColBand     uint8 = 1 // one row band of one table column's lanes
+	chunkCVDHead     uint8 = 2 // CVD identity, counters, graph, metas, partitions
+	chunkCatalogBand uint8 = 3 // one band of a CVD's record catalog
+	chunkRecsetRun   uint8 = 4 // one run of per-version record sets
+)
+
+// Band geometry. These are defaults for newly written checkpoints; readers
+// take the actual geometry from the manifest or snapshot stream, so the
+// constants can change without a format break.
+const (
+	// DefaultBandRows is the row-band height of table-column chunks.
+	DefaultBandRows = 4096
+	// defaultCatalogBand is how many catalog records form one chunk.
+	defaultCatalogBand = 4096
+	// defaultRecsetRun is how many version record sets form one chunk. Kept
+	// small: the partial tail run is re-encoded on every checkpoint (its
+	// content moves with each commit), so short runs let older — typically
+	// larger — record sets settle into full, fingerprint-cached bands
+	// quickly, keeping incremental checkpoints proportional to the delta.
+	defaultRecsetRun = 16
+	// bandTargetBytes caps roughly how many raw table bytes one row band
+	// spans across all its columns. Fixed-height bands are fine for narrow
+	// rows, but a table with fat array cells (a versions table's record
+	// lists) would otherwise pack megabytes into the always-re-encoded tail
+	// band and defeat incremental checkpoints.
+	bandTargetBytes = 1 << 20
+)
+
+// maxBandRows bounds band geometry read from disk before any allocation.
+const maxBandRows = 1 << 22
+
+// numBands returns how many fixed-height bands cover n elements.
+func numBands(n, band int) int {
+	if n <= 0 || band <= 0 {
+		return 0
+	}
+	return (n + band - 1) / band
+}
+
+// bandSpan returns the element range [lo, hi) of band b.
+func bandSpan(b, band, n int) (int, int) {
+	lo := b * band
+	hi := lo + band
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// ---- table column bands -----------------------------------------------------
+
+// encodeColBand appends the chunk payload for rows [lo, hi) of one column to
+// e: kind, row count, lane presence mask, then each present lane under its
+// sampled encoding id (lanecodec.go). rawLanes forces the identity encodings
+// (the benchmark's uncompressed baseline).
+func encodeColBand(e *enc, l relstore.ColumnLanes, lo, hi int, rawLanes bool) {
+	e.u8(chunkColBand)
+	n := hi - lo
+	e.uvarint(uint64(n))
+	var present uint8
+	if l.Ints != nil {
+		present |= laneInts
+	}
+	if l.Floats != nil {
+		present |= laneFloats
+	}
+	if l.Strs != nil {
+		present |= laneStrs
+	}
+	if l.Arrs != nil {
+		present |= laneArrs
+	}
+	e.u8(present)
+
+	tags := l.Tags[lo:hi]
+	tagEnc := relstore.TagEncRaw
+	if !rawLanes {
+		tagEnc = relstore.PickTagEnc(tags)
+	}
+	e.u8(tagEnc)
+	e.b = relstore.AppendTagLane(e.b, tagEnc, tags)
+
+	if l.Ints != nil {
+		vals := l.Ints[lo:hi]
+		intEnc := relstore.IntEncRaw
+		if !rawLanes {
+			intEnc = relstore.PickIntEnc(vals)
+		}
+		e.u8(intEnc)
+		e.b = relstore.AppendIntLane(e.b, intEnc, vals)
+	}
+	if l.Floats != nil {
+		e.b = relstore.AppendFloatLane(e.b, l.Floats[lo:hi])
+	}
+	if l.Strs != nil {
+		vals := l.Strs[lo:hi]
+		strEnc := relstore.StrEncRaw
+		if !rawLanes {
+			strEnc = relstore.PickStrEnc(vals)
+		}
+		e.u8(strEnc)
+		e.b = relstore.AppendStrLane(e.b, strEnc, vals)
+	}
+	if l.Arrs != nil {
+		arrs := l.Arrs[lo:hi]
+		arrEnc := relstore.ArrEncRaw
+		if !rawLanes {
+			arrEnc = relstore.PickArrEnc(arrs)
+		}
+		e.u8(arrEnc)
+		e.b = relstore.AppendArrLane(e.b, arrEnc, arrs)
+	}
+}
+
+// decodeColBand decodes a column-band payload, appending each present lane
+// into dst's lanes, and returns the grown lanes plus the presence mask and
+// decoded row count.
+func decodeColBand(payload []byte, dst relstore.ColumnLanes) (relstore.ColumnLanes, uint8, int, error) {
+	fail := func(err error) (relstore.ColumnLanes, uint8, int, error) {
+		return relstore.ColumnLanes{}, 0, 0, err
+	}
+	d := &dec{b: payload}
+	if k := d.u8(); k != chunkColBand {
+		return fail(fmt.Errorf("durable: chunk kind %d, want column band", k))
+	}
+	n64 := d.uvarint()
+	if n64 > maxBandRows {
+		return fail(fmt.Errorf("durable: column band of %d rows exceeds the %d-row bound", n64, maxBandRows))
+	}
+	n := int(n64)
+	present := d.u8()
+	tagEnc := d.u8()
+	if d.err != nil {
+		return fail(d.err)
+	}
+	var err error
+	var used int
+	dst.Tags, used, err = relstore.DecodeTagLane(dst.Tags, d.b[d.off:], tagEnc, n)
+	if err != nil {
+		return fail(err)
+	}
+	d.off += used
+	if present&laneInts != 0 {
+		intEnc := d.u8()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		dst.Ints, used, err = relstore.DecodeIntLane(dst.Ints, d.b[d.off:], intEnc, n)
+		if err != nil {
+			return fail(err)
+		}
+		d.off += used
+	}
+	if present&laneFloats != 0 {
+		dst.Floats, used, err = relstore.DecodeFloatLane(dst.Floats, d.b[d.off:], n)
+		if err != nil {
+			return fail(err)
+		}
+		d.off += used
+	}
+	if present&laneStrs != 0 {
+		strEnc := d.u8()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		dst.Strs, used, err = relstore.DecodeStrLane(dst.Strs, d.b[d.off:], strEnc, n)
+		if err != nil {
+			return fail(err)
+		}
+		d.off += used
+	}
+	if present&laneArrs != 0 {
+		arrEnc := d.u8()
+		if d.err != nil {
+			return fail(d.err)
+		}
+		dst.Arrs, used, err = relstore.DecodeArrLane(dst.Arrs, d.b[d.off:], arrEnc, n)
+		if err != nil {
+			return fail(err)
+		}
+		d.off += used
+	}
+	if d.off != len(payload) {
+		return fail(fmt.Errorf("durable: column band: %d trailing bytes", len(payload)-d.off))
+	}
+	return dst, present, n, nil
+}
+
+// ---- table metadata and assembly --------------------------------------------
+
+// tableMeta is the per-table header shared by manifests and the snapshot
+// stream: everything about a table except its cell data.
+type tableMeta struct {
+	name     string
+	schema   relstore.Schema
+	cluster  relstore.ClusterMode
+	index    []string
+	nrows    int
+	bandRows int
+}
+
+func (e *enc) tableMeta(m *tableMeta) {
+	e.str(m.name)
+	e.schema(m.schema)
+	e.uvarint(uint64(m.cluster))
+	e.uvarint(uint64(len(m.index)))
+	for _, c := range m.index {
+		e.str(c)
+	}
+	e.uvarint(uint64(m.nrows))
+	e.uvarint(uint64(m.bandRows))
+}
+
+func (d *dec) tableMeta() tableMeta {
+	var m tableMeta
+	m.name = d.str()
+	m.schema = d.schema()
+	m.cluster = relstore.ClusterMode(d.uvarint())
+	nidx := d.length(1)
+	m.index = make([]string, nidx)
+	for i := range m.index {
+		m.index[i] = d.str()
+	}
+	nrows := d.uvarint()
+	band := d.uvarint()
+	if d.err != nil {
+		return m
+	}
+	if band == 0 || band > maxBandRows {
+		d.fail("table %s: implausible band height %d", m.name, band)
+		return m
+	}
+	if nrows > 1<<40 {
+		d.fail("table %s: implausible row count %d", m.name, nrows)
+		return m
+	}
+	m.nrows = int(nrows)
+	m.bandRows = int(band)
+	return m
+}
+
+// metaForTable captures a table's serialization header.
+func metaForTable(t *relstore.Table) tableMeta {
+	return tableMeta{
+		name:     t.Name,
+		schema:   t.Schema,
+		cluster:  t.Cluster,
+		index:    t.IndexColumns(),
+		nrows:    t.Len(),
+		bandRows: bandRowsFor(t),
+	}
+}
+
+// bandRowsFor sizes a table's row bands so one band spans roughly
+// bandTargetBytes of accounted storage. The height shrinks in powers of four
+// from DefaultBandRows, so narrow tables keep the default geometry and the
+// boundaries only reshuffle (forcing a one-time full re-encode) when a
+// table's average row width crosses a 4x threshold.
+func bandRowsFor(t *relstore.Table) int {
+	n := t.Len()
+	if n == 0 {
+		return DefaultBandRows
+	}
+	avg := t.StorageBytes() / int64(n)
+	band := DefaultBandRows
+	for band > 1 && int64(band)*avg > bandTargetBytes {
+		band /= 4
+	}
+	return band
+}
+
+// tableAssembler rebuilds a table from its meta plus column-band chunks
+// delivered in band order per column (columns may arrive in any interleaving).
+type tableAssembler struct {
+	meta  tableMeta
+	lanes []relstore.ColumnLanes
+	rows  []int // rows assembled so far, per column
+	mask  []uint8
+	begun []bool
+}
+
+func newTableAssembler(meta tableMeta) *tableAssembler {
+	ncols := len(meta.schema.Columns)
+	return &tableAssembler{
+		meta:  meta,
+		lanes: make([]relstore.ColumnLanes, ncols),
+		rows:  make([]int, ncols),
+		mask:  make([]uint8, ncols),
+		begun: make([]bool, ncols),
+	}
+}
+
+// addBand decodes the next band of column ci into the assembler.
+func (a *tableAssembler) addBand(ci int, payload []byte) error {
+	if ci < 0 || ci >= len(a.lanes) {
+		return fmt.Errorf("durable: table %s: band for column %d of %d", a.meta.name, ci, len(a.lanes))
+	}
+	lo := a.rows[ci]
+	if lo >= a.meta.nrows {
+		return fmt.Errorf("durable: table %s: column %d has more bands than %d rows need", a.meta.name, ci, a.meta.nrows)
+	}
+	want := a.meta.bandRows
+	if lo+want > a.meta.nrows {
+		want = a.meta.nrows - lo
+	}
+	lanes, present, n, err := decodeColBand(payload, a.lanes[ci])
+	if err != nil {
+		return fmt.Errorf("durable: table %s column %d band at row %d: %w", a.meta.name, ci, lo, err)
+	}
+	if n != want {
+		return fmt.Errorf("durable: table %s column %d band at row %d: %d rows, want %d", a.meta.name, ci, lo, n, want)
+	}
+	// Lane presence is a whole-column property (lanes materialize for the
+	// full column or not at all), so every band must agree with the first.
+	if a.begun[ci] && present != a.mask[ci] {
+		return fmt.Errorf("durable: table %s column %d: lane mask changed between bands (%x != %x)", a.meta.name, ci, present, a.mask[ci])
+	}
+	a.lanes[ci] = lanes
+	a.mask[ci] = present
+	a.begun[ci] = true
+	a.rows[ci] = lo + n
+	return nil
+}
+
+// finish validates completeness and builds the table.
+func (a *tableAssembler) finish() (*relstore.Table, error) {
+	for ci, got := range a.rows {
+		if got != a.meta.nrows {
+			return nil, fmt.Errorf("durable: table %s column %d: assembled %d of %d rows", a.meta.name, ci, got, a.meta.nrows)
+		}
+	}
+	return relstore.NewTableFromLanes(a.meta.name, a.meta.schema, a.meta.cluster, a.meta.nrows, a.lanes, a.meta.index)
+}
+
+// ---- CVD head chunk ---------------------------------------------------------
+
+// encodeCVDHead appends the CVD head chunk: the persisted CVD state minus the
+// record catalog and the per-version record sets, which chunk separately.
+// Field order matches the v1 CVD section with those two blocks removed.
+func encodeCVDHead(e *enc, st *cvd.PersistentState) {
+	e.u8(chunkCVDHead)
+	e.str(st.Name)
+	e.uvarint(uint64(st.Kind))
+	e.schema(st.Schema)
+	e.uvarint(uint64(st.NextVID))
+	e.uvarint(uint64(st.NextRID))
+
+	versions := st.Graph.Versions()
+	e.uvarint(uint64(len(versions)))
+	for _, v := range versions {
+		n := st.Graph.Node(v)
+		e.uvarint(uint64(n.ID))
+		e.varint(n.NumRecords)
+		e.varint(int64(n.NumAttrs))
+	}
+	edges := st.Graph.Edges()
+	e.uvarint(uint64(len(edges)))
+	for _, ed := range edges {
+		e.uvarint(uint64(ed.Parent))
+		e.uvarint(uint64(ed.Child))
+		e.varint(ed.Weight)
+		e.varint(int64(ed.CommonAttrs))
+	}
+
+	e.uvarint(uint64(len(st.Metas)))
+	for _, m := range st.Metas {
+		e.uvarint(uint64(m.ID))
+		e.uvarint(uint64(len(m.Parents)))
+		for _, p := range m.Parents {
+			e.uvarint(uint64(p))
+		}
+		e.varint(timeNano(m.CheckoutAt))
+		e.varint(timeNano(m.CommitAt))
+		e.str(m.Message)
+		e.str(m.Author)
+		e.uvarint(uint64(len(m.Attributes)))
+		for _, a := range m.Attributes {
+			e.uvarint(uint64(a))
+		}
+		e.varint(m.NumRecords)
+	}
+
+	e.uvarint(uint64(len(st.Attrs)))
+	for _, a := range st.Attrs {
+		e.uvarint(uint64(a.ID))
+		e.str(a.Name)
+		e.uvarint(uint64(a.Type))
+	}
+
+	e.uvarint(uint64(len(st.Tables)))
+	for _, t := range st.Tables {
+		e.str(t)
+	}
+
+	e.uvarint(uint64(len(st.Partitions)))
+	for _, p := range st.Partitions {
+		e.str(p)
+	}
+	if len(st.Partitions) > 0 {
+		e.uvarint(uint64(len(st.PartitionOf)))
+		for _, v := range sortedVersionKeys(st.PartitionOf) {
+			e.uvarint(uint64(v))
+			e.uvarint(uint64(st.PartitionOf[v]))
+		}
+		for _, rs := range st.Resident {
+			e.b = rs.AppendBinary(e.b)
+		}
+	}
+}
+
+// decodeCVDHead parses a CVD head chunk. Records and RecordSets stay nil —
+// the cvdAssembler fills them from catalog-band and recset-run chunks.
+func decodeCVDHead(payload []byte) (*cvd.PersistentState, error) {
+	d := &dec{b: payload}
+	if k := d.u8(); k != chunkCVDHead {
+		return nil, fmt.Errorf("durable: chunk kind %d, want CVD head", k)
+	}
+	st := &cvd.PersistentState{
+		Name:    d.str(),
+		Kind:    cvd.ModelKind(d.uvarint()),
+		Schema:  d.schema(),
+		NextVID: vgraph.VersionID(d.uvarint()),
+		NextRID: vgraph.RecordID(d.uvarint()),
+	}
+
+	g := vgraph.New()
+	nver := d.length(2)
+	for i := 0; i < nver; i++ {
+		id := vgraph.VersionID(d.uvarint())
+		numRecords := d.varint()
+		numAttrs := int(d.varint())
+		if d.err != nil {
+			return nil, d.err
+		}
+		n, err := g.AddVersion(id, numRecords)
+		if err != nil {
+			return nil, fmt.Errorf("durable: CVD %s: %w", st.Name, err)
+		}
+		n.NumAttrs = numAttrs
+	}
+	nedge := d.length(2)
+	for i := 0; i < nedge; i++ {
+		parent := vgraph.VersionID(d.uvarint())
+		child := vgraph.VersionID(d.uvarint())
+		weight := d.varint()
+		commonAttrs := int(d.varint())
+		if d.err != nil {
+			return nil, d.err
+		}
+		if err := g.AddEdgeAttrs(parent, child, weight, commonAttrs); err != nil {
+			return nil, fmt.Errorf("durable: CVD %s: %w", st.Name, err)
+		}
+	}
+	st.Graph = g
+
+	nmeta := d.length(2)
+	st.Metas = make([]*cvd.VersionMeta, nmeta)
+	for i := range st.Metas {
+		m := &cvd.VersionMeta{ID: vgraph.VersionID(d.uvarint())}
+		nparents := d.length(1)
+		m.Parents = make([]vgraph.VersionID, nparents)
+		for j := range m.Parents {
+			m.Parents[j] = vgraph.VersionID(d.uvarint())
+		}
+		m.CheckoutAt = nanoTime(d.varint())
+		m.CommitAt = nanoTime(d.varint())
+		m.Message = d.str()
+		m.Author = d.str()
+		nattrs := d.length(1)
+		m.Attributes = make([]cvd.AttrID, nattrs)
+		for j := range m.Attributes {
+			m.Attributes[j] = cvd.AttrID(d.uvarint())
+		}
+		m.NumRecords = d.varint()
+		st.Metas[i] = m
+	}
+
+	nattr := d.length(2)
+	st.Attrs = make([]cvd.Attribute, nattr)
+	for i := range st.Attrs {
+		st.Attrs[i] = cvd.Attribute{
+			ID:   cvd.AttrID(d.uvarint()),
+			Name: d.str(),
+			Type: relstore.ValueType(d.uvarint()),
+		}
+	}
+
+	ntab := d.length(1)
+	st.Tables = make([]string, ntab)
+	for i := range st.Tables {
+		st.Tables[i] = d.str()
+	}
+
+	nparts := d.length(1)
+	if nparts > 0 {
+		st.Partitions = make([]string, nparts)
+		for i := range st.Partitions {
+			st.Partitions[i] = d.str()
+		}
+		nassign := d.length(2)
+		st.PartitionOf = make(map[vgraph.VersionID]int, nassign)
+		for i := 0; i < nassign; i++ {
+			v := vgraph.VersionID(d.uvarint())
+			st.PartitionOf[v] = int(d.uvarint())
+		}
+		st.Resident = make([]*recset.Set, nparts)
+		for i := range st.Resident {
+			st.Resident[i] = d.recset()
+		}
+	}
+
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("durable: CVD head %s: %d trailing bytes", st.Name, len(d.b)-d.off)
+	}
+	return st, nil
+}
+
+// ---- catalog bands and recset runs ------------------------------------------
+
+// encodeCatalogBand appends one band of the record catalog.
+func encodeCatalogBand(e *enc, recs []cvd.PersistedRecord) {
+	e.u8(chunkCatalogBand)
+	e.uvarint(uint64(len(recs)))
+	for _, rec := range recs {
+		e.uvarint(uint64(rec.RID))
+		e.row(rec.Row)
+	}
+}
+
+// decodeCatalogBand appends the band's records to dst.
+func decodeCatalogBand(dst []cvd.PersistedRecord, payload []byte) ([]cvd.PersistedRecord, error) {
+	d := &dec{b: payload}
+	if k := d.u8(); k != chunkCatalogBand {
+		return nil, fmt.Errorf("durable: chunk kind %d, want catalog band", k)
+	}
+	n := d.length(2)
+	for i := 0; i < n; i++ {
+		dst = append(dst, cvd.PersistedRecord{RID: vgraph.RecordID(d.uvarint()), Row: d.row()})
+		if d.err != nil {
+			return nil, d.err
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("durable: catalog band: %d trailing bytes", len(payload)-d.off)
+	}
+	return dst, nil
+}
+
+// encodeRecsetRun appends one run of per-version record sets.
+func encodeRecsetRun(e *enc, sets []cvd.VersionRecordSet) {
+	e.u8(chunkRecsetRun)
+	e.uvarint(uint64(len(sets)))
+	for _, vs := range sets {
+		e.uvarint(uint64(vs.Version))
+		e.b = vs.Set.AppendBinary(e.b)
+	}
+}
+
+// decodeRecsetRun appends the run's record sets to dst.
+func decodeRecsetRun(dst []cvd.VersionRecordSet, payload []byte) ([]cvd.VersionRecordSet, error) {
+	d := &dec{b: payload}
+	if k := d.u8(); k != chunkRecsetRun {
+		return nil, fmt.Errorf("durable: chunk kind %d, want record-set run", k)
+	}
+	n := d.length(2)
+	for i := 0; i < n; i++ {
+		dst = append(dst, cvd.VersionRecordSet{Version: vgraph.VersionID(d.uvarint()), Set: d.recset()})
+		if d.err != nil {
+			return nil, d.err
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("durable: record-set run: %d trailing bytes", len(payload)-d.off)
+	}
+	return dst, nil
+}
+
+// cvdLayout is the per-CVD section geometry in manifests and the snapshot
+// stream: how many records and sets the chunks must reassemble.
+type cvdLayout struct {
+	name    string
+	records int // catalog record count
+	catBand int // catalog band height
+	sets    int // version record-set count
+	runLen  int // record sets per run chunk
+}
+
+func (e *enc) cvdLayout(l *cvdLayout) {
+	e.str(l.name)
+	e.uvarint(uint64(l.records))
+	e.uvarint(uint64(l.catBand))
+	e.uvarint(uint64(l.sets))
+	e.uvarint(uint64(l.runLen))
+}
+
+func (d *dec) cvdLayout() cvdLayout {
+	var l cvdLayout
+	l.name = d.str()
+	records := d.uvarint()
+	catBand := d.uvarint()
+	sets := d.uvarint()
+	runLen := d.uvarint()
+	if d.err != nil {
+		return l
+	}
+	if records > 1<<40 || sets > 1<<40 {
+		d.fail("CVD %s: implausible layout counts (%d records, %d sets)", l.name, records, sets)
+		return l
+	}
+	if catBand == 0 || catBand > maxBandRows || runLen == 0 || runLen > maxBandRows {
+		d.fail("CVD %s: implausible band geometry (%d, %d)", l.name, catBand, runLen)
+		return l
+	}
+	l.records = int(records)
+	l.catBand = int(catBand)
+	l.sets = int(sets)
+	l.runLen = int(runLen)
+	return l
+}
+
+// layoutForCVD captures a CVD state's chunk geometry.
+func layoutForCVD(st *cvd.PersistentState) cvdLayout {
+	return cvdLayout{
+		name:    st.Name,
+		records: len(st.Records),
+		catBand: defaultCatalogBand,
+		sets:    len(st.RecordSets),
+		runLen:  defaultRecsetRun,
+	}
+}
+
+// cvdAssembler rebuilds a persisted CVD state from its head chunk plus
+// catalog-band and recset-run chunks delivered in order.
+type cvdAssembler struct {
+	layout cvdLayout
+	st     *cvd.PersistentState
+}
+
+func newCVDAssembler(layout cvdLayout, headPayload []byte) (*cvdAssembler, error) {
+	st, err := decodeCVDHead(headPayload)
+	if err != nil {
+		return nil, err
+	}
+	if st.Name != layout.name {
+		return nil, fmt.Errorf("durable: CVD head names %q, manifest says %q", st.Name, layout.name)
+	}
+	if layout.records > 0 {
+		st.Records = make([]cvd.PersistedRecord, 0, layout.records)
+	}
+	if layout.sets > 0 {
+		st.RecordSets = make([]cvd.VersionRecordSet, 0, layout.sets)
+	}
+	return &cvdAssembler{layout: layout, st: st}, nil
+}
+
+func (a *cvdAssembler) addCatalogBand(payload []byte) error {
+	before := len(a.st.Records)
+	if before >= a.layout.records {
+		return fmt.Errorf("durable: CVD %s: more catalog bands than %d records need", a.layout.name, a.layout.records)
+	}
+	recs, err := decodeCatalogBand(a.st.Records, payload)
+	if err != nil {
+		return fmt.Errorf("durable: CVD %s catalog band at %d: %w", a.layout.name, before, err)
+	}
+	want := a.layout.catBand
+	if before+want > a.layout.records {
+		want = a.layout.records - before
+	}
+	if len(recs)-before != want {
+		return fmt.Errorf("durable: CVD %s catalog band at %d: %d records, want %d", a.layout.name, before, len(recs)-before, want)
+	}
+	a.st.Records = recs
+	return nil
+}
+
+func (a *cvdAssembler) addRecsetRun(payload []byte) error {
+	before := len(a.st.RecordSets)
+	if before >= a.layout.sets {
+		return fmt.Errorf("durable: CVD %s: more record-set runs than %d sets need", a.layout.name, a.layout.sets)
+	}
+	sets, err := decodeRecsetRun(a.st.RecordSets, payload)
+	if err != nil {
+		return fmt.Errorf("durable: CVD %s record-set run at %d: %w", a.layout.name, before, err)
+	}
+	want := a.layout.runLen
+	if before+want > a.layout.sets {
+		want = a.layout.sets - before
+	}
+	if len(sets)-before != want {
+		return fmt.Errorf("durable: CVD %s record-set run at %d: %d sets, want %d", a.layout.name, before, len(sets)-before, want)
+	}
+	a.st.RecordSets = sets
+	return nil
+}
+
+func (a *cvdAssembler) finish() (*cvd.PersistentState, error) {
+	if got := len(a.st.Records); got != a.layout.records {
+		return nil, fmt.Errorf("durable: CVD %s: assembled %d of %d catalog records", a.layout.name, got, a.layout.records)
+	}
+	if got := len(a.st.RecordSets); got != a.layout.sets {
+		return nil, fmt.Errorf("durable: CVD %s: assembled %d of %d record sets", a.layout.name, got, a.layout.sets)
+	}
+	return a.st, nil
+}

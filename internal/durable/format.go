@@ -1,10 +1,16 @@
-// Package durable is the persistence subsystem of the engine: a versioned
-// binary snapshot format for the full engine state (columnar table lanes,
-// compressed record sets, version graphs, partition maps, and CVD metadata)
-// plus an append-only commit write-ahead log with crash recovery. A data
-// directory holds one snapshot file and one WAL; opening it loads the
-// snapshot and replays the WAL (tolerating a torn tail), and checkpointing
-// folds the WAL into a fresh snapshot and truncates it.
+// Package durable is the persistence subsystem of the engine: incremental,
+// content-addressed checkpoints of the full engine state (columnar table
+// lanes under sampled per-lane codecs, compressed record sets, version
+// graphs, partition maps, and CVD metadata) plus an append-only commit
+// write-ahead log with crash recovery. A live data directory holds the
+// chunk pack (chunks.orph), one manifest per retained checkpoint epoch
+// (manifest-<epoch>.orph), and epoch-named WAL segments (wal-<epoch>.orph);
+// opening it assembles the latest manifest's chunks and replays the WAL
+// segments at or after that epoch (tolerating a torn tail). A checkpoint
+// writes only chunks whose content hash changed, seals the active WAL
+// segment, and starts a new one — commits keep flowing while the chunks are
+// encoded in the background. Prior manifests are retained for point-in-time
+// restore; a refcounting GC drops unreferenced chunks.
 //
 // See FORMAT.md in this directory for the on-disk layout. The format is
 // self-describing enough to fail loudly — every section and WAL record is
@@ -22,18 +28,43 @@ import (
 )
 
 const (
-	// formatVersion is bumped on any incompatible change to the snapshot or
-	// WAL payload layout. Readers refuse other versions.
-	formatVersion = 1
+	// formatVersion is bumped on any incompatible change to the snapshot,
+	// chunk, manifest, or WAL payload layout. Readers refuse other versions.
+	// Version 2 introduced content-addressed chunked checkpoints (manifest +
+	// chunk pack), lane codecs, and epoch-named WAL segments.
+	formatVersion = 2
 
 	snapshotMagic = "ORPHSNP1"
 	walMagic      = "ORPHWAL1"
+	packMagic     = "ORPHPAK1"
+	manifestMagic = "ORPHMAN1"
 
-	// SnapshotFile and WALFile are the fixed file names inside a data
-	// directory.
+	// SnapshotFile is the single-file snapshot name: the Save export format
+	// (and the only file of a Save-created directory). Live data directories
+	// instead persist through manifest-<epoch>.orph + chunks.orph.
 	SnapshotFile = "snapshot.orph"
-	WALFile      = "wal.orph"
+
+	// WALFile is the format v1 WAL name. v2 names WAL segments by epoch
+	// (WALSegmentFileName); the old name is only detected to refuse v1
+	// directories loudly.
+	WALFile = "wal.orph"
 )
+
+// WALSegmentFileName returns the WAL segment file name for an epoch; the
+// fixed-width hex key makes lexical order equal epoch order.
+func WALSegmentFileName(epoch uint64) string {
+	return fmt.Sprintf("wal-%016x.orph", epoch)
+}
+
+// parseWALSegmentName extracts the epoch from a WAL segment file name.
+func parseWALSegmentName(name string) (uint64, bool) {
+	var epoch uint64
+	var tail string
+	if n, err := fmt.Sscanf(name, "wal-%16x%s", &epoch, &tail); err != nil || n != 2 || tail != ".orph" {
+		return 0, false
+	}
+	return epoch, true
+}
 
 // enc is a little-endian append-only encoder over a byte slice.
 type enc struct{ b []byte }

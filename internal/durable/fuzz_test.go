@@ -1,0 +1,187 @@
+package durable
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/cvd"
+	"repro/internal/recset"
+	"repro/internal/relstore"
+	"repro/internal/vgraph"
+)
+
+// The chunk and manifest decoders sit directly behind the CRC-framed pack and
+// manifest files, but a flipped disk block can pass a stale CRC or the frame
+// check can be the thing that's corrupt — so the decoders themselves must
+// treat their input as hostile: arbitrary bytes return an error, never panic,
+// and never trigger an implausible allocation.
+
+// fuzzColBandPayload encodes one real column band for the seed corpus.
+func fuzzColBandPayload(rawLanes bool) []byte {
+	const n = 20
+	lanes := relstore.ColumnLanes{
+		Tags:   make([]uint8, n),
+		Ints:   make([]int64, n),
+		Floats: make([]float64, n),
+		Strs:   make([]string, n),
+		Arrs:   make([][]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		lanes.Tags[i] = uint8(relstore.TypeInt)
+		lanes.Ints[i] = int64(i * 1000)
+		lanes.Floats[i] = float64(i) / 3
+		lanes.Strs[i] = []string{"x", "y", "z"}[i%3]
+		lanes.Arrs[i] = []int64{int64(i), int64(i + 1)}
+	}
+	var e enc
+	encodeColBand(&e, lanes, 0, n, rawLanes)
+	return e.b
+}
+
+// fuzzCVDState builds a small but fully populated persistent CVD state.
+func fuzzCVDState() *cvd.PersistentState {
+	schema := relstore.MustSchema([]relstore.Column{
+		{Name: "key", Type: relstore.TypeInt},
+		{Name: "val", Type: relstore.TypeString},
+	}, "key")
+	g := vgraph.New()
+	for v := vgraph.VersionID(1); v <= 3; v++ {
+		node, err := g.AddVersion(v, int64(v)*10)
+		if err != nil {
+			panic(err)
+		}
+		node.NumAttrs = 2
+	}
+	if err := g.AddEdgeAttrs(1, 2, 5, 2); err != nil {
+		panic(err)
+	}
+	if err := g.AddEdgeAttrs(1, 3, 7, 2); err != nil {
+		panic(err)
+	}
+	st := &cvd.PersistentState{
+		Name:    "fuzz",
+		Kind:    cvd.SplitByRlist,
+		Schema:  schema,
+		NextVID: 4,
+		NextRID: 31,
+		Graph:   g,
+		Metas: []*cvd.VersionMeta{
+			{ID: 1, CommitAt: time.Unix(0, 12345), Message: "init", Author: "f", Attributes: []cvd.AttrID{1, 2}, NumRecords: 10},
+			{ID: 2, Parents: []vgraph.VersionID{1}, Message: "edit", NumRecords: 20},
+			{ID: 3, Parents: []vgraph.VersionID{1}, NumRecords: 30},
+		},
+		Attrs: []cvd.Attribute{
+			{ID: 1, Name: "key", Type: relstore.TypeInt},
+			{ID: 2, Name: "val", Type: relstore.TypeString},
+		},
+		Tables: []string{"fuzz_data", "fuzz_versions"},
+	}
+	for rid := vgraph.RecordID(1); rid <= 30; rid++ {
+		st.Records = append(st.Records, cvd.PersistedRecord{
+			RID: rid,
+			Row: relstore.Row{relstore.Int(int64(rid)), relstore.Str("r")},
+		})
+	}
+	for v := vgraph.VersionID(1); v <= 3; v++ {
+		st.RecordSets = append(st.RecordSets, cvd.VersionRecordSet{
+			Version: v,
+			Set:     recset.FromSlice([]int64{1, 2, int64(v) * 10}),
+		})
+	}
+	return st
+}
+
+// FuzzChunkDecode runs arbitrary payloads through all four chunk decoders.
+// The payload kind byte routes real chunks to the right decoder, but every
+// decoder sees every input here — a pack lookup can hand back the wrong kind.
+func FuzzChunkDecode(f *testing.F) {
+	var e enc
+	st := fuzzCVDState()
+	encodeCVDHead(&e, st)
+	f.Add(append([]byte(nil), e.b...))
+	e.b = e.b[:0]
+	encodeCatalogBand(&e, st.Records)
+	f.Add(append([]byte(nil), e.b...))
+	e.b = e.b[:0]
+	encodeRecsetRun(&e, st.RecordSets)
+	f.Add(append([]byte(nil), e.b...))
+	f.Add(fuzzColBandPayload(false))
+	f.Add(fuzzColBandPayload(true))
+	f.Add([]byte{})
+	f.Add([]byte{chunkColBand})
+	f.Add([]byte{chunkCVDHead, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if lanes, present, n, err := decodeColBand(data, relstore.ColumnLanes{}); err == nil {
+			if len(lanes.Tags) != n {
+				t.Fatalf("column band: %d tags for %d rows", len(lanes.Tags), n)
+			}
+			if present&laneInts != 0 && len(lanes.Ints) != n {
+				t.Fatalf("column band: %d ints for %d rows", len(lanes.Ints), n)
+			}
+			if present&laneStrs != 0 && len(lanes.Strs) != n {
+				t.Fatalf("column band: %d strings for %d rows", len(lanes.Strs), n)
+			}
+		}
+		if st, err := decodeCVDHead(data); err == nil && st.Graph == nil {
+			t.Fatal("CVD head decoded without a graph")
+		}
+		_, _ = decodeCatalogBand(nil, data)
+		_, _ = decodeRecsetRun(nil, data)
+	})
+}
+
+// FuzzManifestDecode pins two properties of the manifest payload codec: no
+// input panics or over-allocates (band counts are derived from decoded
+// geometry, so a hostile header could otherwise demand terabytes), and any
+// accepted input re-encodes to a stable canonical form — encode(decode(x)) is
+// a fixed point even when x itself used non-canonical varints.
+func FuzzManifestDecode(f *testing.F) {
+	st := fuzzCVDState()
+	m := &manifest{dbName: "db", epoch: 9}
+	schema := relstore.MustSchema([]relstore.Column{
+		{Name: "rid", Type: relstore.TypeInt},
+		{Name: "txt", Type: relstore.TypeString},
+	}, "rid")
+	mt := manifestTable{meta: tableMeta{
+		name: "t", schema: schema, nrows: 10, bandRows: 4, index: []string{"rid"},
+	}}
+	for ci := 0; ci < len(schema.Columns); ci++ {
+		bands := make([]ChunkHash, numBands(10, 4))
+		for b := range bands {
+			bands[b] = hashChunk([]byte{byte(ci), byte(b)})
+		}
+		mt.cols = append(mt.cols, bands)
+	}
+	m.tables = append(m.tables, mt)
+	layout := layoutForCVD(st)
+	mc := manifestCVD{
+		layout:  layout,
+		head:    hashChunk([]byte("head")),
+		catalog: make([]ChunkHash, numBands(layout.records, layout.catBand)),
+		runs:    make([]ChunkHash, numBands(layout.sets, layout.runLen)),
+	}
+	m.cvds = append(m.cvds, mc)
+	var e enc
+	encodeManifestPayload(&e, m)
+	f.Add(append([]byte(nil), e.b...))
+	f.Add(e.b[:len(e.b)/2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeManifestPayload(data)
+		if err != nil {
+			return
+		}
+		var e1 enc
+		encodeManifestPayload(&e1, m)
+		m2, err := decodeManifestPayload(e1.b)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		var e2 enc
+		encodeManifestPayload(&e2, m2)
+		if !bytes.Equal(e1.b, e2.b) {
+			t.Fatal("manifest encoding is not a fixed point after one round trip")
+		}
+	})
+}

@@ -1,0 +1,413 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// A checkpoint manifest is the root of one epoch's snapshot: per-table and
+// per-CVD geometry plus the chunk hash of every section. The manifest file
+// is small (16 bytes per chunk reference), written atomically via temp +
+// rename after the pack is fsynced, and named for its epoch —
+// manifest-<epoch>.orph — so a directory listing enumerates the retained
+// restore points.
+//
+//	file: magic "ORPHMAN1", uint32 format version,
+//	      uint32 payload length, uint32 CRC32(payload), payload
+//
+// Payload layout (enc encoding):
+//
+//	str dbName, u64 epoch
+//	uvarint ntables, per table: tableMeta, ncols × nbands × hash16 (col-major)
+//	uvarint ncvds, per CVD: cvdLayout, head hash16,
+//	    catalog-band hashes, recset-run hashes
+
+// manifest is one decoded checkpoint manifest.
+type manifest struct {
+	dbName string
+	epoch  uint64
+	tables []manifestTable
+	cvds   []manifestCVD
+}
+
+type manifestTable struct {
+	meta tableMeta
+	cols [][]ChunkHash // [column][band]
+}
+
+type manifestCVD struct {
+	layout  cvdLayout
+	head    ChunkHash
+	catalog []ChunkHash
+	runs    []ChunkHash
+}
+
+// ManifestFileName returns the manifest file name for an epoch; the fixed-
+// width hex key makes lexical order equal epoch order.
+func ManifestFileName(epoch uint64) string {
+	return fmt.Sprintf("manifest-%016x.orph", epoch)
+}
+
+// parseManifestName extracts the epoch from a manifest file name.
+func parseManifestName(name string) (uint64, bool) {
+	var epoch uint64
+	var tail string
+	if n, err := fmt.Sscanf(name, "manifest-%16x%s", &epoch, &tail); err != nil || n != 2 || tail != ".orph" {
+		return 0, false
+	}
+	return epoch, true
+}
+
+func (e *enc) chunkHash(h ChunkHash) { e.b = append(e.b, h[:]...) }
+
+func (d *dec) chunkHash() ChunkHash {
+	var h ChunkHash
+	copy(h[:], d.raw(16))
+	return h
+}
+
+// hashesFit reports whether count 16-byte chunk hashes can still be present
+// in the remaining payload, failing the decoder otherwise. Band counts are
+// derived from decoded geometry (rows ÷ band height), not read directly, so
+// this check must run before the hash slices are allocated — a corrupt
+// manifest could otherwise demand terabytes.
+func (d *dec) hashesFit(count int64, what string) bool {
+	if d.err != nil {
+		return false
+	}
+	if remaining := int64(len(d.b) - d.off); count < 0 || count > remaining/16 {
+		d.fail("%s: %d chunk hashes exceed remaining %d bytes", what, count, remaining)
+		return false
+	}
+	return true
+}
+
+// encodeManifestPayload serializes the manifest body (without file framing).
+func encodeManifestPayload(e *enc, m *manifest) {
+	e.str(m.dbName)
+	e.u64(m.epoch)
+	e.uvarint(uint64(len(m.tables)))
+	for i := range m.tables {
+		t := &m.tables[i]
+		e.tableMeta(&t.meta)
+		for _, bands := range t.cols {
+			for _, h := range bands {
+				e.chunkHash(h)
+			}
+		}
+	}
+	e.uvarint(uint64(len(m.cvds)))
+	for i := range m.cvds {
+		c := &m.cvds[i]
+		e.cvdLayout(&c.layout)
+		e.chunkHash(c.head)
+		for _, h := range c.catalog {
+			e.chunkHash(h)
+		}
+		for _, h := range c.runs {
+			e.chunkHash(h)
+		}
+	}
+}
+
+// decodeManifestPayload parses a manifest body.
+func decodeManifestPayload(payload []byte) (*manifest, error) {
+	d := &dec{b: payload}
+	m := &manifest{dbName: d.str(), epoch: d.u64()}
+	ntables := d.length(2)
+	m.tables = make([]manifestTable, 0, ntables)
+	for i := 0; i < ntables; i++ {
+		var t manifestTable
+		t.meta = d.tableMeta()
+		if d.err != nil {
+			return nil, d.err
+		}
+		nbands := numBands(t.meta.nrows, t.meta.bandRows)
+		if !d.hashesFit(int64(nbands)*int64(len(t.meta.schema.Columns)), "table "+t.meta.name) {
+			return nil, d.err
+		}
+		t.cols = make([][]ChunkHash, len(t.meta.schema.Columns))
+		for ci := range t.cols {
+			bands := make([]ChunkHash, nbands)
+			for b := range bands {
+				bands[b] = d.chunkHash()
+			}
+			t.cols[ci] = bands
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		m.tables = append(m.tables, t)
+	}
+	ncvds := d.length(2)
+	m.cvds = make([]manifestCVD, 0, ncvds)
+	for i := 0; i < ncvds; i++ {
+		var c manifestCVD
+		c.layout = d.cvdLayout()
+		if d.err != nil {
+			return nil, d.err
+		}
+		c.head = d.chunkHash()
+		ncat := numBands(c.layout.records, c.layout.catBand)
+		nruns := numBands(c.layout.sets, c.layout.runLen)
+		if !d.hashesFit(int64(ncat)+int64(nruns), "CVD "+c.layout.name) {
+			return nil, d.err
+		}
+		c.catalog = make([]ChunkHash, ncat)
+		for b := range c.catalog {
+			c.catalog[b] = d.chunkHash()
+		}
+		c.runs = make([]ChunkHash, nruns)
+		for b := range c.runs {
+			c.runs[b] = d.chunkHash()
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		m.cvds = append(m.cvds, c)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("durable: manifest: %d trailing bytes", len(payload)-d.off)
+	}
+	return m, nil
+}
+
+// writeManifestFile writes the manifest atomically into dir and returns its
+// file size. The chunk pack must already be fsynced: the rename is the
+// commit point of the checkpoint.
+func writeManifestFile(dir string, m *manifest) (int64, error) {
+	var e enc
+	e.raw([]byte(manifestMagic))
+	e.u32(formatVersion)
+	e.u32(0) // payload length placeholder
+	e.u32(0) // payload CRC placeholder
+	bodyStart := len(e.b)
+	encodeManifestPayload(&e, m)
+	payload := e.b[bodyStart:]
+	binary.LittleEndian.PutUint32(e.b[12:16], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(e.b[16:20], crc32.ChecksumIEEE(payload))
+
+	tmp, err := os.CreateTemp(dir, ".manifest-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(e.b); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, ManifestFileName(m.epoch))); err != nil {
+		return 0, err
+	}
+	return int64(len(e.b)), syncDir(dir)
+}
+
+// readManifestFile loads and validates one manifest file.
+func readManifestFile(path string) (*manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 20 {
+		return nil, fmt.Errorf("durable: manifest %s: truncated header", path)
+	}
+	if string(data[:8]) != manifestMagic {
+		return nil, fmt.Errorf("durable: %s is not a manifest (magic %q)", path, data[:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != formatVersion {
+		return nil, fmt.Errorf("durable: unsupported manifest version %d (want %d)", v, formatVersion)
+	}
+	n := binary.LittleEndian.Uint32(data[12:16])
+	want := binary.LittleEndian.Uint32(data[16:20])
+	if int64(n) != int64(len(data)-20) {
+		return nil, fmt.Errorf("durable: manifest %s: payload length %d does not match file size", path, n)
+	}
+	payload := data[20:]
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("durable: manifest %s: CRC mismatch (%08x != %08x)", path, got, want)
+	}
+	m, err := decodeManifestPayload(payload)
+	if err != nil {
+		return nil, fmt.Errorf("durable: manifest %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// chunkRefs calls fn for every chunk reference in the manifest (duplicates
+// included — identical bands of different epochs, or within one epoch,
+// reference the same chunk).
+func (m *manifest) chunkRefs(fn func(ChunkHash)) {
+	for i := range m.tables {
+		for _, bands := range m.tables[i].cols {
+			for _, h := range bands {
+				fn(h)
+			}
+		}
+	}
+	for i := range m.cvds {
+		c := &m.cvds[i]
+		fn(c.head)
+		for _, h := range c.catalog {
+			fn(h)
+		}
+		for _, h := range c.runs {
+			fn(h)
+		}
+	}
+}
+
+// listManifestEpochs returns the epochs of all manifest files in dir,
+// ascending.
+func listManifestEpochs(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var epochs []uint64
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		if epoch, ok := parseManifestName(ent.Name()); ok {
+			epochs = append(epochs, epoch)
+		}
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	return epochs, nil
+}
+
+// loadSnapshotFromManifest assembles the full snapshot a manifest describes,
+// fetching chunk payloads through get.
+func loadSnapshotFromManifest(m *manifest, get func(ChunkHash) ([]byte, error)) (*Snapshot, error) {
+	snap := &Snapshot{DBName: m.dbName, Epoch: m.epoch}
+	for i := range m.tables {
+		mt := &m.tables[i]
+		asm := newTableAssembler(mt.meta)
+		for ci, bands := range mt.cols {
+			for _, h := range bands {
+				payload, err := get(h)
+				if err != nil {
+					return nil, fmt.Errorf("durable: table %s: %w", mt.meta.name, err)
+				}
+				if err := asm.addBand(ci, payload); err != nil {
+					return nil, err
+				}
+			}
+		}
+		t, err := asm.finish()
+		if err != nil {
+			return nil, err
+		}
+		snap.Tables = append(snap.Tables, t)
+	}
+	for i := range m.cvds {
+		mc := &m.cvds[i]
+		head, err := get(mc.head)
+		if err != nil {
+			return nil, fmt.Errorf("durable: CVD %s head: %w", mc.layout.name, err)
+		}
+		asm, err := newCVDAssembler(mc.layout, head)
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range mc.catalog {
+			payload, err := get(h)
+			if err != nil {
+				return nil, fmt.Errorf("durable: CVD %s catalog: %w", mc.layout.name, err)
+			}
+			if err := asm.addCatalogBand(payload); err != nil {
+				return nil, err
+			}
+		}
+		for _, h := range mc.runs {
+			payload, err := get(h)
+			if err != nil {
+				return nil, fmt.Errorf("durable: CVD %s record sets: %w", mc.layout.name, err)
+			}
+			if err := asm.addRecsetRun(payload); err != nil {
+				return nil, err
+			}
+		}
+		st, err := asm.finish()
+		if err != nil {
+			return nil, err
+		}
+		snap.CVDs = append(snap.CVDs, st)
+	}
+	return snap, nil
+}
+
+// manifestForSnapshot is used by tests and the flat-file writer to derive
+// geometry without going through the store: it chunks a snapshot and hands
+// every payload to emit, returning the manifest skeleton. emit receives the
+// payload and must return its hash (typically hashChunk + pack put).
+func manifestForSnapshot(snap *Snapshot, rawLanes bool, emit func(payload []byte) (ChunkHash, error)) (*manifest, error) {
+	m := &manifest{dbName: snap.DBName, epoch: snap.Epoch}
+	var e enc
+	for _, t := range snap.Tables {
+		meta := metaForTable(t)
+		mt := manifestTable{meta: meta, cols: make([][]ChunkHash, len(meta.schema.Columns))}
+		nbands := numBands(meta.nrows, meta.bandRows)
+		for ci := range mt.cols {
+			lanes := t.ColumnLanes(ci)
+			bands := make([]ChunkHash, nbands)
+			for b := range bands {
+				lo, hi := bandSpan(b, meta.bandRows, meta.nrows)
+				e.b = e.b[:0]
+				encodeColBand(&e, lanes, lo, hi, rawLanes)
+				h, err := emit(e.b)
+				if err != nil {
+					return nil, err
+				}
+				bands[b] = h
+			}
+			mt.cols[ci] = bands
+		}
+		m.tables = append(m.tables, mt)
+	}
+	for _, st := range snap.CVDs {
+		layout := layoutForCVD(st)
+		mc := manifestCVD{layout: layout}
+		e.b = e.b[:0]
+		encodeCVDHead(&e, st)
+		h, err := emit(e.b)
+		if err != nil {
+			return nil, err
+		}
+		mc.head = h
+		mc.catalog = make([]ChunkHash, numBands(layout.records, layout.catBand))
+		for b := range mc.catalog {
+			lo, hi := bandSpan(b, layout.catBand, layout.records)
+			e.b = e.b[:0]
+			encodeCatalogBand(&e, st.Records[lo:hi])
+			if mc.catalog[b], err = emit(e.b); err != nil {
+				return nil, err
+			}
+		}
+		mc.runs = make([]ChunkHash, numBands(layout.sets, layout.runLen))
+		for b := range mc.runs {
+			lo, hi := bandSpan(b, layout.runLen, layout.sets)
+			e.b = e.b[:0]
+			encodeRecsetRun(&e, st.RecordSets[lo:hi])
+			if mc.runs[b], err = emit(e.b); err != nil {
+				return nil, err
+			}
+		}
+		m.cvds = append(m.cvds, mc)
+	}
+	return m, nil
+}

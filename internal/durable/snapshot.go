@@ -47,12 +47,25 @@ type Snapshot struct {
 	CVDs   []*cvd.PersistentState
 }
 
-// Section kinds of the snapshot stream.
+// Section kinds of the single-file snapshot stream (the Save export format).
+// The stream is strictly sequential — header, then per table its meta
+// followed by its column-band chunks (col-major), then per CVD its layout +
+// head chunk followed by catalog-band and recset-run chunks — so both writer
+// and reader touch one section at a time: peak memory is O(largest section),
+// not O(snapshot).
 const (
-	secManifest uint8 = 1
-	secTable    uint8 = 2
-	secCVD      uint8 = 3
+	secHeader uint8 = 1
+	secTable  uint8 = 2
+	secCVD    uint8 = 3
+	secChunk  uint8 = 4
 )
+
+// SnapshotOptions tunes snapshot encoding.
+type SnapshotOptions struct {
+	// RawLanes forces the identity lane encodings, disabling the sampled
+	// codecs — the uncompressed baseline for the compression benchmark.
+	RawLanes bool
+}
 
 // writeSection frames one section: kind, payload length, payload, CRC32.
 func writeSection(w io.Writer, kind uint8, payload []byte) error {
@@ -104,10 +117,17 @@ func readSection(r io.Reader) (uint8, []byte, error) {
 	return kind, payload, nil
 }
 
-// WriteSnapshot serializes a snapshot to w: magic, format version, then a
-// manifest section followed by one section per table and per CVD, each
-// CRC32-framed independently so corruption is localized on read.
+// WriteSnapshot serializes a snapshot to w with default options.
 func WriteSnapshot(w io.Writer, snap *Snapshot) error {
+	return WriteSnapshotOpts(w, snap, SnapshotOptions{})
+}
+
+// WriteSnapshotOpts serializes a snapshot to w: magic, format version, then
+// the sequential section stream (see the section-kind comment), each section
+// CRC32-framed independently so corruption is localized on read. One encoder
+// buffer is reused for every section, so peak memory above the snapshot
+// itself is the largest single chunk.
+func WriteSnapshotOpts(w io.Writer, snap *Snapshot, opts SnapshotOptions) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
@@ -122,27 +142,70 @@ func WriteSnapshot(w io.Writer, snap *Snapshot) error {
 	e.u64(snap.Epoch)
 	e.uvarint(uint64(len(snap.Tables)))
 	e.uvarint(uint64(len(snap.CVDs)))
-	if err := writeSection(bw, secManifest, e.b); err != nil {
+	if err := writeSection(bw, secHeader, e.b); err != nil {
 		return err
 	}
 	for _, t := range snap.Tables {
+		meta := metaForTable(t)
 		e.b = e.b[:0]
-		encodeTable(&e, t)
+		e.tableMeta(&meta)
 		if err := writeSection(bw, secTable, e.b); err != nil {
 			return err
 		}
+		for ci := range meta.schema.Columns {
+			lanes := t.ColumnLanes(ci)
+			for b := 0; b < numBands(meta.nrows, meta.bandRows); b++ {
+				lo, hi := bandSpan(b, meta.bandRows, meta.nrows)
+				e.b = e.b[:0]
+				encodeColBand(&e, lanes, lo, hi, opts.RawLanes)
+				if err := writeSection(bw, secChunk, e.b); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	for _, st := range snap.CVDs {
+		layout := layoutForCVD(st)
 		e.b = e.b[:0]
-		encodeCVDState(&e, st)
+		e.cvdLayout(&layout)
+		encodeCVDHead(&e, st)
 		if err := writeSection(bw, secCVD, e.b); err != nil {
 			return err
+		}
+		for b := 0; b < numBands(layout.records, layout.catBand); b++ {
+			lo, hi := bandSpan(b, layout.catBand, layout.records)
+			e.b = e.b[:0]
+			encodeCatalogBand(&e, st.Records[lo:hi])
+			if err := writeSection(bw, secChunk, e.b); err != nil {
+				return err
+			}
+		}
+		for b := 0; b < numBands(layout.sets, layout.runLen); b++ {
+			lo, hi := bandSpan(b, layout.runLen, layout.sets)
+			e.b = e.b[:0]
+			encodeRecsetRun(&e, st.RecordSets[lo:hi])
+			if err := writeSection(bw, secChunk, e.b); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadSnapshot parses a snapshot stream written by WriteSnapshot.
+// readChunkSection reads the next section and requires it to be a chunk.
+func readChunkSection(br io.Reader, what string) ([]byte, error) {
+	kind, payload, err := readSection(br)
+	if err != nil {
+		return nil, fmt.Errorf("durable: %s: %w", what, err)
+	}
+	if kind != secChunk {
+		return nil, fmt.Errorf("durable: %s: section kind %d, want chunk", what, kind)
+	}
+	return payload, nil
+}
+
+// ReadSnapshot parses a snapshot stream written by WriteSnapshot, one
+// section at a time.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic [8]byte
@@ -157,27 +220,27 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("durable: reading snapshot version: %w", err)
 	}
 	if v := binary.LittleEndian.Uint32(ver[:]); v != formatVersion {
-		return nil, fmt.Errorf("durable: unsupported snapshot format version %d (want %d)", v, formatVersion)
+		return nil, fmt.Errorf("durable: unsupported snapshot format version %d (want %d; reopen with a matching build and re-export)", v, formatVersion)
 	}
 	kind, payload, err := readSection(br)
 	if err != nil {
 		return nil, err
 	}
-	if kind != secManifest {
-		return nil, fmt.Errorf("durable: first section is kind %d, want manifest", kind)
+	if kind != secHeader {
+		return nil, fmt.Errorf("durable: first section is kind %d, want header", kind)
 	}
 	d := &dec{b: payload}
 	snap := &Snapshot{DBName: d.str(), Epoch: d.u64()}
-	// The manifest counts refer to the sections that follow, not to bytes of
+	// The header counts refer to the sections that follow, not to bytes of
 	// this payload, so they get an absolute bound rather than the
 	// payload-relative plausibility check.
 	numTables := d.uvarint()
 	numCVDs := d.uvarint()
 	if d.err != nil {
-		return nil, fmt.Errorf("durable: manifest: %w", d.err)
+		return nil, fmt.Errorf("durable: snapshot header: %w", d.err)
 	}
 	if numTables > 1<<24 || numCVDs > 1<<24 {
-		return nil, fmt.Errorf("durable: manifest: implausible section counts (%d tables, %d CVDs)", numTables, numCVDs)
+		return nil, fmt.Errorf("durable: snapshot header: implausible section counts (%d tables, %d CVDs)", numTables, numCVDs)
 	}
 	for i := uint64(0); i < numTables; i++ {
 		kind, payload, err := readSection(br)
@@ -187,9 +250,26 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 		if kind != secTable {
 			return nil, fmt.Errorf("durable: section %d is kind %d, want table", i, kind)
 		}
-		t, err := decodeTable(&dec{b: payload})
+		td := &dec{b: payload}
+		meta := td.tableMeta()
+		if td.err != nil {
+			return nil, fmt.Errorf("durable: table section %d: %w", i, td.err)
+		}
+		asm := newTableAssembler(meta)
+		for ci := range meta.schema.Columns {
+			for b := 0; b < numBands(meta.nrows, meta.bandRows); b++ {
+				chunk, err := readChunkSection(br, fmt.Sprintf("table %s column %d", meta.name, ci))
+				if err != nil {
+					return nil, err
+				}
+				if err := asm.addBand(ci, chunk); err != nil {
+					return nil, err
+				}
+			}
+		}
+		t, err := asm.finish()
 		if err != nil {
-			return nil, fmt.Errorf("durable: table section %d: %w", i, err)
+			return nil, err
 		}
 		snap.Tables = append(snap.Tables, t)
 	}
@@ -201,9 +281,36 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 		if kind != secCVD {
 			return nil, fmt.Errorf("durable: section %d is kind %d, want CVD", i, kind)
 		}
-		st, err := decodeCVDState(&dec{b: payload})
+		cd := &dec{b: payload}
+		layout := cd.cvdLayout()
+		if cd.err != nil {
+			return nil, fmt.Errorf("durable: CVD section %d: %w", i, cd.err)
+		}
+		asm, err := newCVDAssembler(layout, payload[cd.off:])
 		if err != nil {
-			return nil, fmt.Errorf("durable: CVD section %d: %w", i, err)
+			return nil, err
+		}
+		for b := 0; b < numBands(layout.records, layout.catBand); b++ {
+			chunk, err := readChunkSection(br, fmt.Sprintf("CVD %s catalog", layout.name))
+			if err != nil {
+				return nil, err
+			}
+			if err := asm.addCatalogBand(chunk); err != nil {
+				return nil, err
+			}
+		}
+		for b := 0; b < numBands(layout.sets, layout.runLen); b++ {
+			chunk, err := readChunkSection(br, fmt.Sprintf("CVD %s record sets", layout.name))
+			if err != nil {
+				return nil, err
+			}
+			if err := asm.addRecsetRun(chunk); err != nil {
+				return nil, err
+			}
+		}
+		st, err := asm.finish()
+		if err != nil {
+			return nil, err
 		}
 		snap.CVDs = append(snap.CVDs, st)
 	}
@@ -220,6 +327,31 @@ func WriteSnapshotFile(path string, snap *Snapshot) error {
 	}
 	defer os.Remove(tmp.Name())
 	if err := WriteSnapshot(tmp, snap); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// WriteSnapshotFileOpts is WriteSnapshotFile with explicit encoding options.
+func WriteSnapshotFileOpts(path string, snap *Snapshot, opts SnapshotOptions) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteSnapshotOpts(tmp, snap, opts); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -271,214 +403,7 @@ const (
 	laneArrs
 )
 
-// encodeTable writes one table: name, schema, clustering, index definition,
-// row count, then each column's physical lanes — the tag vector verbatim and
-// every materialized payload lane (int64/float64/string/overflow).
-func encodeTable(e *enc, t *relstore.Table) {
-	e.str(t.Name)
-	e.schema(t.Schema)
-	e.uvarint(uint64(t.Cluster))
-	idx := t.IndexColumns()
-	e.uvarint(uint64(len(idx)))
-	for _, c := range idx {
-		e.str(c)
-	}
-	n := t.Len()
-	e.uvarint(uint64(n))
-	for ci := range t.Schema.Columns {
-		l := t.ColumnLanes(ci)
-		var present uint8
-		if l.Ints != nil {
-			present |= laneInts
-		}
-		if l.Floats != nil {
-			present |= laneFloats
-		}
-		if l.Strs != nil {
-			present |= laneStrs
-		}
-		if l.Arrs != nil {
-			present |= laneArrs
-		}
-		e.u8(present)
-		e.raw(l.Tags)
-		if l.Ints != nil {
-			for _, v := range l.Ints {
-				e.u64(uint64(v))
-			}
-		}
-		if l.Floats != nil {
-			for _, v := range l.Floats {
-				e.f64(v)
-			}
-		}
-		if l.Strs != nil {
-			for _, s := range l.Strs {
-				e.str(s)
-			}
-		}
-		if l.Arrs != nil {
-			for _, a := range l.Arrs {
-				e.uvarint(uint64(len(a)))
-				for _, v := range a {
-					e.varint(v)
-				}
-			}
-		}
-	}
-}
-
-func decodeTable(d *dec) (*relstore.Table, error) {
-	name := d.str()
-	schema := d.schema()
-	cluster := relstore.ClusterMode(d.uvarint())
-	nidx := d.length(1)
-	idx := make([]string, nidx)
-	for i := range idx {
-		idx[i] = d.str()
-	}
-	n := d.length(1)
-	if d.err != nil {
-		return nil, d.err
-	}
-	lanes := make([]relstore.ColumnLanes, len(schema.Columns))
-	for ci := range lanes {
-		present := d.u8()
-		tags := d.raw(n)
-		if d.err != nil {
-			return nil, d.err
-		}
-		l := relstore.ColumnLanes{Tags: append([]uint8(nil), tags...)}
-		if present&laneInts != 0 {
-			l.Ints = make([]int64, n)
-			for i := range l.Ints {
-				l.Ints[i] = int64(d.u64())
-			}
-		}
-		if present&laneFloats != 0 {
-			l.Floats = make([]float64, n)
-			for i := range l.Floats {
-				l.Floats[i] = d.f64()
-			}
-		}
-		if present&laneStrs != 0 {
-			l.Strs = make([]string, n)
-			for i := range l.Strs {
-				l.Strs[i] = d.str()
-			}
-		}
-		if present&laneArrs != 0 {
-			l.Arrs = make([][]int64, n)
-			for i := range l.Arrs {
-				an := d.length(1)
-				if an == 0 {
-					continue
-				}
-				a := make([]int64, an)
-				for j := range a {
-					a[j] = d.varint()
-				}
-				l.Arrs[i] = a
-			}
-		}
-		if d.err != nil {
-			return nil, d.err
-		}
-		lanes[ci] = l
-	}
-	if d.off != len(d.b) {
-		return nil, fmt.Errorf("durable: table %s: %d trailing bytes", name, len(d.b)-d.off)
-	}
-	return relstore.NewTableFromLanes(name, schema, cluster, n, lanes, idx)
-}
-
 // ---- CVD sections -----------------------------------------------------------
-
-// encodeCVDState writes one CVD's logical state: identity and counters, the
-// record catalog, the version graph, the bipartite record sets (recset
-// containers verbatim), version metadata, the attribute registry, the
-// backing-table list, and the partition map of partitioned rlist storage.
-func encodeCVDState(e *enc, st *cvd.PersistentState) {
-	e.str(st.Name)
-	e.uvarint(uint64(st.Kind))
-	e.schema(st.Schema)
-	e.uvarint(uint64(st.NextVID))
-	e.uvarint(uint64(st.NextRID))
-
-	e.uvarint(uint64(len(st.Records)))
-	for _, rec := range st.Records {
-		e.uvarint(uint64(rec.RID))
-		e.row(rec.Row)
-	}
-
-	versions := st.Graph.Versions()
-	e.uvarint(uint64(len(versions)))
-	for _, v := range versions {
-		n := st.Graph.Node(v)
-		e.uvarint(uint64(n.ID))
-		e.varint(n.NumRecords)
-		e.varint(int64(n.NumAttrs))
-	}
-	edges := st.Graph.Edges()
-	e.uvarint(uint64(len(edges)))
-	for _, ed := range edges {
-		e.uvarint(uint64(ed.Parent))
-		e.uvarint(uint64(ed.Child))
-		e.varint(ed.Weight)
-		e.varint(int64(ed.CommonAttrs))
-	}
-
-	e.uvarint(uint64(len(st.RecordSets)))
-	for _, vs := range st.RecordSets {
-		e.uvarint(uint64(vs.Version))
-		e.b = vs.Set.AppendBinary(e.b)
-	}
-
-	e.uvarint(uint64(len(st.Metas)))
-	for _, m := range st.Metas {
-		e.uvarint(uint64(m.ID))
-		e.uvarint(uint64(len(m.Parents)))
-		for _, p := range m.Parents {
-			e.uvarint(uint64(p))
-		}
-		e.varint(timeNano(m.CheckoutAt))
-		e.varint(timeNano(m.CommitAt))
-		e.str(m.Message)
-		e.str(m.Author)
-		e.uvarint(uint64(len(m.Attributes)))
-		for _, a := range m.Attributes {
-			e.uvarint(uint64(a))
-		}
-		e.varint(m.NumRecords)
-	}
-
-	e.uvarint(uint64(len(st.Attrs)))
-	for _, a := range st.Attrs {
-		e.uvarint(uint64(a.ID))
-		e.str(a.Name)
-		e.uvarint(uint64(a.Type))
-	}
-
-	e.uvarint(uint64(len(st.Tables)))
-	for _, t := range st.Tables {
-		e.str(t)
-	}
-
-	e.uvarint(uint64(len(st.Partitions)))
-	for _, p := range st.Partitions {
-		e.str(p)
-	}
-	if len(st.Partitions) > 0 {
-		e.uvarint(uint64(len(st.PartitionOf)))
-		for _, v := range sortedVersionKeys(st.PartitionOf) {
-			e.uvarint(uint64(v))
-			e.uvarint(uint64(st.PartitionOf[v]))
-		}
-		for _, rs := range st.Resident {
-			e.b = rs.AppendBinary(e.b)
-		}
-	}
-}
 
 func sortedVersionKeys(m map[vgraph.VersionID]int) []vgraph.VersionID {
 	out := make([]vgraph.VersionID, 0, len(m))
@@ -502,118 +427,3 @@ func (d *dec) recset() *recset.Set {
 	return s
 }
 
-func decodeCVDState(d *dec) (*cvd.PersistentState, error) {
-	st := &cvd.PersistentState{
-		Name:    d.str(),
-		Kind:    cvd.ModelKind(d.uvarint()),
-		Schema:  d.schema(),
-		NextVID: vgraph.VersionID(d.uvarint()),
-		NextRID: vgraph.RecordID(d.uvarint()),
-	}
-
-	nrec := d.length(2)
-	st.Records = make([]cvd.PersistedRecord, nrec)
-	for i := range st.Records {
-		st.Records[i] = cvd.PersistedRecord{RID: vgraph.RecordID(d.uvarint()), Row: d.row()}
-	}
-
-	g := vgraph.New()
-	nver := d.length(2)
-	for i := 0; i < nver; i++ {
-		id := vgraph.VersionID(d.uvarint())
-		numRecords := d.varint()
-		numAttrs := int(d.varint())
-		if d.err != nil {
-			return nil, d.err
-		}
-		n, err := g.AddVersion(id, numRecords)
-		if err != nil {
-			return nil, fmt.Errorf("durable: CVD %s: %w", st.Name, err)
-		}
-		n.NumAttrs = numAttrs
-	}
-	nedge := d.length(2)
-	for i := 0; i < nedge; i++ {
-		parent := vgraph.VersionID(d.uvarint())
-		child := vgraph.VersionID(d.uvarint())
-		weight := d.varint()
-		commonAttrs := int(d.varint())
-		if d.err != nil {
-			return nil, d.err
-		}
-		if err := g.AddEdgeAttrs(parent, child, weight, commonAttrs); err != nil {
-			return nil, fmt.Errorf("durable: CVD %s: %w", st.Name, err)
-		}
-	}
-	st.Graph = g
-
-	nsets := d.length(2)
-	st.RecordSets = make([]cvd.VersionRecordSet, nsets)
-	for i := range st.RecordSets {
-		st.RecordSets[i] = cvd.VersionRecordSet{Version: vgraph.VersionID(d.uvarint()), Set: d.recset()}
-	}
-
-	nmeta := d.length(2)
-	st.Metas = make([]*cvd.VersionMeta, nmeta)
-	for i := range st.Metas {
-		m := &cvd.VersionMeta{ID: vgraph.VersionID(d.uvarint())}
-		nparents := d.length(1)
-		m.Parents = make([]vgraph.VersionID, nparents)
-		for j := range m.Parents {
-			m.Parents[j] = vgraph.VersionID(d.uvarint())
-		}
-		m.CheckoutAt = nanoTime(d.varint())
-		m.CommitAt = nanoTime(d.varint())
-		m.Message = d.str()
-		m.Author = d.str()
-		nattrs := d.length(1)
-		m.Attributes = make([]cvd.AttrID, nattrs)
-		for j := range m.Attributes {
-			m.Attributes[j] = cvd.AttrID(d.uvarint())
-		}
-		m.NumRecords = d.varint()
-		st.Metas[i] = m
-	}
-
-	nattr := d.length(2)
-	st.Attrs = make([]cvd.Attribute, nattr)
-	for i := range st.Attrs {
-		st.Attrs[i] = cvd.Attribute{
-			ID:   cvd.AttrID(d.uvarint()),
-			Name: d.str(),
-			Type: relstore.ValueType(d.uvarint()),
-		}
-	}
-
-	ntab := d.length(1)
-	st.Tables = make([]string, ntab)
-	for i := range st.Tables {
-		st.Tables[i] = d.str()
-	}
-
-	nparts := d.length(1)
-	if nparts > 0 {
-		st.Partitions = make([]string, nparts)
-		for i := range st.Partitions {
-			st.Partitions[i] = d.str()
-		}
-		nassign := d.length(2)
-		st.PartitionOf = make(map[vgraph.VersionID]int, nassign)
-		for i := 0; i < nassign; i++ {
-			v := vgraph.VersionID(d.uvarint())
-			st.PartitionOf[v] = int(d.uvarint())
-		}
-		st.Resident = make([]*recset.Set, nparts)
-		for i := range st.Resident {
-			st.Resident[i] = d.recset()
-		}
-	}
-
-	if d.err != nil {
-		return nil, d.err
-	}
-	if d.off != len(d.b) {
-		return nil, fmt.Errorf("durable: CVD %s: %d trailing bytes", st.Name, len(d.b)-d.off)
-	}
-	return st, nil
-}

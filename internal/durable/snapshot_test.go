@@ -122,19 +122,36 @@ func tablesEqual(t *testing.T, a, b *relstore.Table) {
 	}
 }
 
-func TestTableSectionRoundTrip(t *testing.T) {
+func TestTableBandChunkRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for _, n := range []int{0, 1, 63, 500} {
-		tab := randomTable(t, rng, "tab", n)
-		var e enc
-		encodeTable(&e, tab)
-		got, err := decodeTable(&dec{b: e.b})
-		if err != nil {
-			t.Fatalf("n=%d: %v", n, err)
-		}
-		tablesEqual(t, tab, got)
-		if tab.HasIndex() != got.HasIndex() {
-			t.Fatalf("n=%d: index presence diverged", n)
+		for _, raw := range []bool{false, true} {
+			tab := randomTable(t, rng, "tab", n)
+			meta := metaForTable(tab)
+			// A small band height forces multi-band assembly even for the
+			// modest row counts above.
+			meta.bandRows = 64
+			asm := newTableAssembler(meta)
+			var e enc
+			for ci := range meta.schema.Columns {
+				lanes := tab.ColumnLanes(ci)
+				for b := 0; b < numBands(meta.nrows, meta.bandRows); b++ {
+					lo, hi := bandSpan(b, meta.bandRows, meta.nrows)
+					e.b = e.b[:0]
+					encodeColBand(&e, lanes, lo, hi, raw)
+					if err := asm.addBand(ci, e.b); err != nil {
+						t.Fatalf("n=%d raw=%v: %v", n, raw, err)
+					}
+				}
+			}
+			got, err := asm.finish()
+			if err != nil {
+				t.Fatalf("n=%d raw=%v: %v", n, raw, err)
+			}
+			tablesEqual(t, tab, got)
+			if tab.HasIndex() != got.HasIndex() {
+				t.Fatalf("n=%d raw=%v: index presence diverged", n, raw)
+			}
 		}
 	}
 }

@@ -2,39 +2,56 @@ package durable
 
 import (
 	"fmt"
+	"hash/maphash"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/cvd"
+	"repro/internal/parallel"
 	"repro/internal/relstore"
 	"repro/internal/vgraph"
 )
 
-// Store manages one data directory: the snapshot file plus the commit WAL.
-// It is safe for concurrent use; appends coalesce through a leader/follower
-// group-commit queue (see append) while checkpoints and replay serialize
-// behind the store mutex.
+// Store manages one data directory: the chunk pack, the retained checkpoint
+// manifests, and the epoch-named commit WAL segments. It is safe for
+// concurrent use; appends coalesce through a leader/follower group-commit
+// queue (see append) while checkpoints run in two halves — BeginCheckpoint
+// seals the active WAL segment and starts a fresh one under the store mutex
+// (cheap, done inside the engine's commit fence), then CompleteCheckpoint
+// encodes, hashes, and writes the chunks outside the mutex while commits keep
+// flowing into the new segment.
 //
-// Epoch discipline: the snapshot records the WAL epoch that continues it.
-// Checkpoint first writes the new snapshot (epoch+1, atomic rename), then
-// resets the WAL to the new epoch. A crash between the two leaves a WAL whose
-// epoch is older than the snapshot's; Open detects that and discards the
-// stale WAL — everything in it is already folded into the snapshot.
+// Epoch discipline: the active WAL segment's epoch always equals the epoch
+// the NEXT manifest will be written under. A manifest at epoch M covers
+// exactly the state of every segment with epoch < M, so recovery loads the
+// newest manifest and replays the segments at or after its epoch, in order.
+// Segments older than the newest manifest are deleted as stale on open and
+// after every completed checkpoint.
 type Store struct {
 	dir string
 
-	// mu guards the WAL handle, epoch, end-of-log offset, and poison state,
-	// and serializes every disk operation (batch writes, checkpoints, replay).
-	mu       sync.Mutex
-	wal      walFile
-	lock     *os.File // flock-held lock file fencing other processes
-	epoch    uint64
-	walSize  int64 // offset just past the last durable record (header included)
-	poisoned error // sticky fatal error: the log tail state is unknown
+	// mu guards the WAL handle, epochs, end-of-log offset, poison state, the
+	// sealed-segment list, and the manifest map, and serializes every WAL disk
+	// operation (batch writes, sealing, replay).
+	mu         sync.Mutex
+	wal        walFile
+	walPath    string
+	lock       *os.File // flock-held lock file fencing other processes
+	epoch      uint64   // active WAL segment epoch == next manifest epoch
+	base       uint64   // newest durable manifest epoch (or flat-snapshot epoch)
+	walSize    int64    // offset just past the last durable record (header included)
+	poisoned   error    // sticky fatal error: the log tail state is unknown
+	sealed     []walSegment
+	ckptActive bool
+	manifests  map[uint64]*manifest
+	retain     int
+	gens       map[string]uint64 // per-CVD drop generation (see LogDrop)
 
 	// gcMu guards the open group-commit batch. It is never held across disk
 	// I/O: appenders join the pending batch under gcMu, then the batch leader
@@ -42,6 +59,31 @@ type Store struct {
 	gcMu    sync.Mutex
 	pending *walBatch
 	gc      GroupCommitConfig
+
+	pack    *chunkPack
+	workers int // checkpoint encode parallelism; <= 0 selects GOMAXPROCS
+
+	// Process-local fingerprint cache: full-band content fingerprints from the
+	// previous checkpoint mapped to the chunk hash they produced, so an
+	// unchanged interior band skips encoding and hashing entirely. The maphash
+	// seeds are fresh per open — the cache never persists, and a miss only
+	// costs a re-encode. Accessed only inside a running checkpoint (serialized
+	// by ckptActive).
+	fpSeed1, fpSeed2 maphash.Seed
+	fpCache          map[string]fpEntry
+}
+
+// fpEntry is one fingerprint-cache slot: the band's 128-bit content
+// fingerprint and the chunk hash it encoded to last checkpoint.
+type fpEntry struct {
+	fp   [2]uint64
+	hash ChunkHash
+}
+
+// walSegment names one on-disk WAL segment.
+type walSegment struct {
+	epoch uint64
+	path  string
 }
 
 // walFile is the subset of *os.File the WAL code uses. It exists so tests can
@@ -59,6 +101,14 @@ type walFile interface {
 // DefaultGroupCommitBatch is the frames-per-fsync cap used when group commit
 // is not configured explicitly.
 const DefaultGroupCommitBatch = 128
+
+// DefaultCheckpointRetention is how many checkpoint manifests a store keeps
+// for point-in-time restore when not configured explicitly.
+const DefaultCheckpointRetention = 8
+
+// packCompactMinDead is the minimum dead-byte volume before retention GC
+// rewrites the chunk pack.
+const packCompactMinDead = 4 << 20
 
 // GroupCommitConfig tunes the leader/follower commit batching of append.
 type GroupCommitConfig struct {
@@ -89,6 +139,25 @@ func (s *Store) SetGroupCommit(cfg GroupCommitConfig) {
 	s.gcMu.Lock()
 	defer s.gcMu.Unlock()
 	s.gc = cfg.normalized()
+}
+
+// SetRetention sets how many checkpoint manifests to keep (at least 1). It
+// applies to the garbage collection after the next completed checkpoint.
+func (s *Store) SetRetention(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retain = n
+}
+
+// SetWorkers sets the checkpoint encode parallelism; n <= 0 selects
+// GOMAXPROCS.
+func (s *Store) SetWorkers(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.workers = n
 }
 
 // walBatch is one group-commit unit: the frames of every record admitted to
@@ -129,116 +198,283 @@ type OpenResult struct {
 	// TornTail reports whether a partially-written WAL record (a crashed
 	// append) was found and truncated away.
 	TornTail bool
-	// StaleWAL reports whether a WAL older than the snapshot was discarded
-	// (a crash between checkpoint's snapshot rename and WAL reset).
+	// StaleWAL reports whether WAL segments older than the newest manifest
+	// were discarded (their content is already folded into the checkpoint).
 	StaleWAL bool
 }
 
-// Open opens (creating if needed) a data directory, loads its snapshot, and
-// recovers the WAL's framing: a torn tail from a crashed append is truncated
-// so the file ends on a record boundary. Call ReplayWAL next to stream the
-// surviving records; the returned store is ready for appends.
+// removeLeftoverTemps clears crash debris: temp files whose rename never
+// happened.
+func removeLeftoverTemps(dir string) {
+	for _, pat := range []string{".snapshot-*.tmp", ".manifest-*.tmp", ".chunks-*.tmp"} {
+		matches, _ := filepath.Glob(filepath.Join(dir, pat))
+		for _, m := range matches {
+			os.Remove(m)
+		}
+	}
+}
+
+// listWALSegments returns the directory's WAL segments, epoch-ascending.
+func listWALSegments(dir string) ([]walSegment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []walSegment
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		if epoch, ok := parseWALSegmentName(ent.Name()); ok {
+			segs = append(segs, walSegment{epoch: epoch, path: filepath.Join(dir, ent.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].epoch < segs[j].epoch })
+	return segs, nil
+}
+
+// Open opens (creating if needed) a data directory and recovers it: the
+// newest manifest's chunks are assembled into the snapshot (falling back to a
+// flat snapshot.orph export if no checkpoint ever completed), stale WAL
+// segments are deleted, and the surviving segments' framing is validated — a
+// torn tail from a crashed append is truncated so the active segment ends on
+// a record boundary. Call ReplayWAL next to stream the surviving records; the
+// returned store is ready for appends.
 func Open(dir string) (*Store, *OpenResult, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, WALFile)); err == nil {
+		return nil, nil, fmt.Errorf("durable: %s holds a format v1 WAL (%s); this build reads format v2 only — re-export from a v1 build and load the export", dir, WALFile)
 	}
 	lock, err := lockDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
+	s := &Store{
+		dir:       dir,
+		lock:      lock,
+		gc:        GroupCommitConfig{}.normalized(),
+		manifests: make(map[uint64]*manifest),
+		retain:    DefaultCheckpointRetention,
+		gens:      make(map[string]uint64),
+		fpSeed1:   maphash.MakeSeed(),
+		fpSeed2:   maphash.MakeSeed(),
+		fpCache:   make(map[string]fpEntry),
+	}
 	res := &OpenResult{}
-	snap, err := ReadSnapshotFile(filepath.Join(dir, SnapshotFile))
-	if err != nil {
+	fail := func(err error) (*Store, *OpenResult, error) {
+		if s.wal != nil {
+			s.wal.Close()
+		}
+		if s.pack != nil {
+			s.pack.close()
+		}
 		lock.Close()
 		return nil, nil, err
 	}
-	res.Snapshot = snap
-	var snapEpoch uint64
-	if snap != nil {
-		snapEpoch = snap.Epoch
+	removeLeftoverTemps(dir)
+
+	// A torn pack tail is routine crash debris: chunks only become reachable
+	// once a manifest referencing them is durably renamed in, and the pack is
+	// fsynced before the manifest, so the truncated bytes were unreferenced.
+	pack, _, err := openPack(filepath.Join(dir, PackFile))
+	if err != nil {
+		return fail(err)
+	}
+	s.pack = pack
+
+	epochs, err := listManifestEpochs(dir)
+	if err != nil {
+		return fail(err)
+	}
+	for _, e := range epochs {
+		m, err := readManifestFile(filepath.Join(dir, ManifestFileName(e)))
+		if err != nil {
+			return fail(err)
+		}
+		if m.epoch != e {
+			return fail(fmt.Errorf("durable: manifest %s carries epoch %d", ManifestFileName(e), m.epoch))
+		}
+		s.manifests[e] = m
+	}
+	if len(epochs) > 0 {
+		s.base = epochs[len(epochs)-1]
+		snap, err := loadSnapshotFromManifest(s.manifests[s.base], pack.get)
+		if err != nil {
+			return fail(err)
+		}
+		res.Snapshot = snap
+	} else {
+		snap, err := ReadSnapshotFile(filepath.Join(dir, SnapshotFile))
+		if err != nil {
+			return fail(err)
+		}
+		if snap != nil {
+			s.base = snap.Epoch
+			res.Snapshot = snap
+		}
 	}
 
-	walPath := filepath.Join(dir, WALFile)
-	f, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	segs, err := listWALSegments(dir)
 	if err != nil {
-		lock.Close()
-		return nil, nil, err
+		return fail(err)
 	}
-	s := &Store{dir: dir, wal: f, lock: lock, epoch: snapEpoch, walSize: walHeaderSize, gc: GroupCommitConfig{}.normalized()}
-	fail := func(err error) (*Store, *OpenResult, error) {
+	var keep []walSegment
+	for _, seg := range segs {
+		if seg.epoch < s.base {
+			// Older than the newest manifest: everything in it is already
+			// folded into the checkpoint (a crash beat the post-checkpoint
+			// cleanup to the delete).
+			res.StaleWAL = true
+			if err := os.Remove(seg.path); err != nil {
+				return fail(err)
+			}
+			continue
+		}
+		keep = append(keep, seg)
+	}
+	if len(keep) == 0 {
+		seg := walSegment{epoch: s.base, path: filepath.Join(dir, WALSegmentFileName(s.base))}
+		f, err := os.OpenFile(seg.path, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return fail(err)
+		}
+		s.wal, s.walPath, s.epoch, s.walSize = f, seg.path, seg.epoch, walHeaderSize
+		if err := writeWALHeader(f, seg.epoch); err != nil {
+			return fail(err)
+		}
+		return s, res, nil
+	}
+	if keep[0].epoch != s.base {
+		return fail(fmt.Errorf("durable: %s: WAL segment for epoch %d is missing (oldest present is %d)", dir, s.base, keep[0].epoch))
+	}
+	for i := 1; i < len(keep); i++ {
+		if keep[i].epoch != keep[i-1].epoch+1 {
+			return fail(fmt.Errorf("durable: %s: WAL segments %d and %d are not contiguous", dir, keep[i-1].epoch, keep[i].epoch))
+		}
+	}
+	// Sealed segments (all but the newest): they were closed by a completed
+	// BeginCheckpoint after every append in them returned durably, so a torn
+	// tail here is mid-log corruption, not crash debris.
+	for _, seg := range keep[:len(keep)-1] {
+		f, err := os.Open(seg.path)
+		if err != nil {
+			return fail(err)
+		}
+		e, err := readWALHeader(f)
+		if err == nil && e != seg.epoch {
+			err = fmt.Errorf("durable: WAL segment %s carries epoch %d", seg.path, e)
+		}
+		var torn bool
+		if err == nil {
+			_, torn, err = scanWAL(f)
+		}
 		f.Close()
-		lock.Close()
-		return nil, nil, err
+		if err != nil {
+			return fail(err)
+		}
+		if torn {
+			return fail(fmt.Errorf("durable: sealed WAL segment %s has a torn tail — refusing to drop committed history", seg.path))
+		}
+		s.sealed = append(s.sealed, seg)
 	}
+
+	active := keep[len(keep)-1]
+	f, err := os.OpenFile(active.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fail(err)
+	}
+	s.wal, s.walPath, s.epoch, s.walSize = f, active.path, active.epoch, walHeaderSize
 	info, err := f.Stat()
 	if err != nil {
 		return fail(err)
 	}
 	if info.Size() < walHeaderSize {
-		// Fresh (or never-completed) WAL: write a clean header at the
-		// snapshot's epoch.
-		if err := writeWALHeader(f, snapEpoch); err != nil {
+		// Crash inside BeginCheckpoint after creating the new segment but
+		// before its header landed: finish the header now.
+		if err := writeWALHeader(f, active.epoch); err != nil {
 			return fail(err)
 		}
 		return s, res, nil
 	}
-	walEpoch, err := readWALHeader(f)
+	e, err := readWALHeader(f)
 	if err != nil {
 		return fail(err)
 	}
-	switch {
-	case walEpoch < snapEpoch:
-		// Crash between checkpoint's snapshot rename and WAL reset: the WAL
-		// predates the snapshot, so everything in it is already folded in.
-		res.StaleWAL = true
-		if err := writeWALHeader(f, snapEpoch); err != nil {
-			return fail(err)
-		}
-	case walEpoch > snapEpoch:
-		return fail(fmt.Errorf("durable: WAL epoch %d is newer than snapshot epoch %d — refusing to open %s", walEpoch, snapEpoch, dir))
-	default:
-		validEnd, torn, err := scanWAL(f)
-		if err != nil {
-			return fail(err)
-		}
-		if torn {
-			if err := f.Truncate(validEnd); err != nil {
-				return fail(err)
-			}
-			if err := f.Sync(); err != nil {
-				return fail(err)
-			}
-		}
-		s.walSize = validEnd
-		res.TornTail = torn
+	if e != active.epoch {
+		return fail(fmt.Errorf("durable: WAL segment %s carries epoch %d", active.path, e))
 	}
+	validEnd, torn, err := scanWAL(f)
+	if err != nil {
+		return fail(err)
+	}
+	if torn {
+		if err := f.Truncate(validEnd); err != nil {
+			return fail(err)
+		}
+		if err := f.Sync(); err != nil {
+			return fail(err)
+		}
+	}
+	s.walSize = validEnd
+	res.TornTail = torn
 	return s, res, nil
 }
 
-// ReplayWAL streams every record of the (already recovered) WAL to apply in
-// append order, one decoded record at a time. Call it once, right after
-// Open and before any appends.
+// ReplayWAL streams every record of the (already recovered) WAL segments to
+// apply in append order — sealed segments first, then the active one — one
+// decoded record at a time. Call it once, right after Open and before any
+// appends.
 func (s *Store) ReplayWAL(apply func(*Record) error) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal == nil {
 		return 0, s.closedErr()
 	}
-	return replayWAL(s.wal, apply)
+	total := 0
+	for _, seg := range s.sealed {
+		f, err := os.Open(seg.path)
+		if err != nil {
+			return total, err
+		}
+		n, err := replayWAL(f, apply)
+		f.Close()
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	n, err := replayWAL(s.wal, apply)
+	return total + n, err
 }
 
 // Dir returns the data directory path.
 func (s *Store) Dir() string { return s.dir }
 
-// Epoch returns the current snapshot/WAL generation.
+// Epoch returns the active WAL segment's epoch (== the epoch the next
+// completed checkpoint will be written under).
 func (s *Store) Epoch() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.epoch
 }
 
-// Close closes the WAL file and releases the directory lock. The store must
-// not be used afterwards.
+// RetainedEpochs returns the epochs a point-in-time restore can load,
+// ascending.
+func (s *Store) RetainedEpochs() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, 0, len(s.manifests))
+	for e := range s.manifests {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Close closes the WAL segment, the chunk pack, and releases the directory
+// lock. The store must not be used afterwards.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -246,6 +482,11 @@ func (s *Store) Close() error {
 	if s.wal != nil {
 		err = s.wal.Close()
 		s.wal = nil
+	}
+	if s.pack != nil {
+		if perr := s.pack.close(); err == nil {
+			err = perr
+		}
 	}
 	if s.lock != nil {
 		s.lock.Close() // closing drops the flock
@@ -296,8 +537,8 @@ func (s *Store) append(rec *Record) error {
 	}
 	s.gcMu.Unlock()
 
-	// Leader: wait for the disk (the previous batch's fsync, a checkpoint, or
-	// a replay) — followers accumulate into b meanwhile.
+	// Leader: wait for the disk (the previous batch's fsync, a segment seal,
+	// or a replay) — followers accumulate into b meanwhile.
 	s.mu.Lock()
 	if cfg.MaxDelay > 0 && cfg.MaxBatch > 1 {
 		t := time.NewTimer(cfg.MaxDelay)
@@ -378,8 +619,14 @@ func (s *Store) LogInit(name string, kind cvd.ModelKind, schema relstore.Schema,
 	return s.append(&Record{Op: OpInit, CVD: name, Kind: kind, Schema: schema, Rows: rows, Message: msg, Author: author, At: at})
 }
 
-// LogDrop journals dropping a CVD.
+// LogDrop journals dropping a CVD. It also bumps the name's drop generation:
+// catalog and record-set fingerprint-cache keys include it, so a CVD
+// re-created under a dropped name can never structurally alias the old one's
+// cached chunks.
 func (s *Store) LogDrop(name string) error {
+	s.mu.Lock()
+	s.gens[name]++
+	s.mu.Unlock()
 	return s.append(&Record{Op: OpDrop, CVD: name})
 }
 
@@ -389,52 +636,456 @@ func (s *Store) LogCommit(cvdName string, parents []vgraph.VersionID, rows []rel
 	return s.append(&Record{Op: OpCommit, CVD: cvdName, Parents: parents, Rows: rows, Schema: rowSchema, Message: msg, Author: author, At: at})
 }
 
-// Checkpoint folds the WAL into a fresh snapshot: the snapshot is written
-// atomically under the next epoch, then the WAL is reset (truncated to a
-// clean header) at that same epoch. The caller must pass a snapshot that
-// reflects every operation logged so far — the engine holds its locks across
-// building snap and calling Checkpoint.
-func (s *Store) Checkpoint(snap *Snapshot) error {
+// ---- checkpointing -----------------------------------------------------------
+
+// CheckpointJob is the handle BeginCheckpoint returns: the epoch the
+// checkpoint will commit under plus state captured inside the commit fence.
+type CheckpointJob struct {
+	epoch uint64
+	start time.Time
+	gens  map[string]uint64
+}
+
+// Epoch returns the epoch the checkpoint will be written under.
+func (j *CheckpointJob) Epoch() uint64 { return j.epoch }
+
+// CheckpointStats reports what one completed checkpoint cost.
+type CheckpointStats struct {
+	Epoch         uint64
+	Chunks        int   // chunk references in the manifest
+	ChunksWritten int   // chunks actually appended to the pack (not reused)
+	ChunkBytes    int64 // payload bytes of every referenced chunk
+	BytesWritten  int64 // bytes appended to disk: new pack frames + manifest
+	ManifestBytes int64
+	Duration      time.Duration
+}
+
+// BeginCheckpoint seals the active WAL segment and opens the next one, so
+// commits logged after it are outside the checkpoint being taken. It is
+// cheap (one file create + header write) and must be called while the caller
+// holds the engine state fixed — the snapshot later passed to
+// CompleteCheckpoint must reflect exactly the operations logged before this
+// call.
+func (s *Store) BeginCheckpoint() (*CheckpointJob, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal == nil {
-		return s.closedErr()
+		return nil, s.closedErr()
 	}
-	snap.Epoch = s.epoch + 1
-	if err := WriteSnapshotFile(filepath.Join(s.dir, SnapshotFile), snap); err != nil {
-		return err
+	if s.ckptActive {
+		return nil, fmt.Errorf("durable: a checkpoint of %s is already in progress", s.dir)
 	}
-	if err := writeWALHeader(s.wal, snap.Epoch); err != nil {
-		// The snapshot is already on disk at the new epoch but the WAL still
-		// carries the old one; anything appended to it now would be discarded
-		// as stale on the next open. Poison the store so no later commit can
-		// claim durability it does not have — recovery from the snapshot is
-		// intact, and reopening the directory heals the WAL.
-		s.poisoned = fmt.Errorf("durable: checkpoint of %s wrote the snapshot but failed to reset the WAL; store disabled until reopen", s.dir)
-		s.wal.Close()
-		s.wal = nil
-		return fmt.Errorf("durable: checkpoint of %s wrote the snapshot but failed to reset the WAL; store disabled until reopen: %w", s.dir, err)
+	newEpoch := s.epoch + 1
+	newPath := filepath.Join(s.dir, WALSegmentFileName(newEpoch))
+	f, err := os.OpenFile(newPath, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
 	}
-	s.epoch = snap.Epoch
-	s.walSize = walHeaderSize
-	return nil
+	if err := writeWALHeader(f, newEpoch); err != nil {
+		f.Close()
+		os.Remove(newPath)
+		return nil, err
+	}
+	// Seal the old segment. Every record in it is already fsynced (append's
+	// commit boundary), so a close error cannot lose data; the file stays
+	// readable by path for replay either way.
+	s.wal.Close()
+	s.sealed = append(s.sealed, walSegment{epoch: s.epoch, path: s.walPath})
+	s.wal, s.walPath, s.epoch, s.walSize = f, newPath, newEpoch, walHeaderSize
+	s.ckptActive = true
+	job := &CheckpointJob{epoch: newEpoch, start: time.Now(), gens: make(map[string]uint64, len(s.gens))}
+	for k, v := range s.gens {
+		job.gens[k] = v
+	}
+	return job, nil
 }
 
-// SaveSnapshot writes a one-shot snapshot (epoch 0, no WAL) into dir,
+// CompleteCheckpoint encodes the snapshot into content-addressed chunks,
+// writes the changed ones to the pack, fsyncs it, and commits the checkpoint
+// by renaming in the manifest — all without holding the store mutex, so
+// commits keep flowing into the segment BeginCheckpoint opened. On success
+// the covered WAL segments are deleted and retention GC prunes old manifests
+// and unreferenced chunks. On failure nothing is committed and the store
+// stays fully usable: commits remain durable in the active segment, and the
+// next checkpoint folds them in.
+func (s *Store) CompleteCheckpoint(job *CheckpointJob, snap *Snapshot) (CheckpointStats, error) {
+	var stats CheckpointStats
+	if job == nil {
+		return stats, fmt.Errorf("durable: CompleteCheckpoint without a BeginCheckpoint job")
+	}
+	defer func() {
+		s.mu.Lock()
+		s.ckptActive = false
+		s.mu.Unlock()
+	}()
+	snap.Epoch = job.epoch
+	m, newCache, stats, err := s.encodeSnapshotChunks(job, snap)
+	if err != nil {
+		return stats, fmt.Errorf("durable: checkpoint %d of %s: %w", job.epoch, s.dir, err)
+	}
+	if err := s.pack.sync(); err != nil {
+		return stats, err
+	}
+	mb, err := writeManifestFile(s.dir, m)
+	if err != nil {
+		return stats, err
+	}
+	stats.ManifestBytes = mb
+	stats.BytesWritten += mb
+
+	s.mu.Lock()
+	s.fpCache = newCache
+	s.base = job.epoch
+	s.manifests[job.epoch] = m
+	var keep []walSegment
+	for _, seg := range s.sealed {
+		if seg.epoch < job.epoch {
+			os.Remove(seg.path)
+		} else {
+			keep = append(keep, seg)
+		}
+	}
+	s.sealed = keep
+	retain := s.retain
+	s.mu.Unlock()
+
+	// The flat snapshot export (if this directory began life as one) is
+	// superseded by the manifest now.
+	os.Remove(filepath.Join(s.dir, SnapshotFile))
+	s.collectGarbage(retain)
+	stats.Duration = time.Since(job.start)
+	return stats, nil
+}
+
+// Checkpoint is the synchronous form: seal, encode, and commit in one call.
+// The caller must hold the engine state fixed for the full duration (the
+// non-blocking path is BeginCheckpoint under the fence + CompleteCheckpoint
+// outside it).
+func (s *Store) Checkpoint(snap *Snapshot) error {
+	job, err := s.BeginCheckpoint()
+	if err != nil {
+		return err
+	}
+	_, err = s.CompleteCheckpoint(job, snap)
+	return err
+}
+
+// CheckpointSync is Checkpoint returning the stats.
+func (s *Store) CheckpointSync(snap *Snapshot) (CheckpointStats, error) {
+	job, err := s.BeginCheckpoint()
+	if err != nil {
+		return CheckpointStats{}, err
+	}
+	return s.CompleteCheckpoint(job, snap)
+}
+
+// encodeSnapshotChunks chunks the snapshot, writing changed chunks to the
+// pack, and returns the manifest plus the next fingerprint cache. Table
+// columns encode in parallel; full interior bands whose content fingerprint
+// matches the previous checkpoint skip encoding entirely and reuse their
+// chunk hash. Catalog bands and record-set runs exploit a stronger invariant
+// — within one CVD lifetime (see LogDrop's generation) both are strictly
+// append-only, so a full band at the same index is immutable and only needs
+// its boundary guard checked.
+func (s *Store) encodeSnapshotChunks(job *CheckpointJob, snap *Snapshot) (*manifest, map[string]fpEntry, CheckpointStats, error) {
+	stats := CheckpointStats{Epoch: snap.Epoch}
+	m := &manifest{dbName: snap.DBName, epoch: snap.Epoch}
+	newCache := make(map[string]fpEntry)
+	var cacheMu sync.Mutex
+	var chunks, written, chunkBytes, bytesWritten atomic.Int64
+
+	// emit writes one encoded payload to the pack (deduplicated by content).
+	emit := func(payload []byte) (ChunkHash, error) {
+		h := hashChunk(payload)
+		wrote, err := s.pack.put(h, payload)
+		if err != nil {
+			return h, err
+		}
+		chunks.Add(1)
+		chunkBytes.Add(int64(len(payload)))
+		if wrote {
+			written.Add(1)
+			bytesWritten.Add(packFrameOverhead + int64(len(payload)))
+		}
+		return h, nil
+	}
+	// reuse accounts for a band served from the fingerprint cache.
+	reuse := func(h ChunkHash) {
+		chunks.Add(1)
+		if n, ok := s.pack.sizeOf(h); ok {
+			chunkBytes.Add(int64(n))
+		}
+	}
+
+	type unit struct{ ti, ci int }
+	var units []unit
+	m.tables = make([]manifestTable, len(snap.Tables))
+	for ti, t := range snap.Tables {
+		meta := metaForTable(t)
+		mt := manifestTable{meta: meta, cols: make([][]ChunkHash, len(meta.schema.Columns))}
+		nb := numBands(meta.nrows, meta.bandRows)
+		for ci := range mt.cols {
+			mt.cols[ci] = make([]ChunkHash, nb)
+			units = append(units, unit{ti, ci})
+		}
+		m.tables[ti] = mt
+	}
+	s.mu.Lock()
+	workers := s.workers
+	s.mu.Unlock()
+	err := parallel.ForEachErr(workers, len(units), func(i int) error {
+		u := units[i]
+		mt := &m.tables[u.ti]
+		meta := &mt.meta
+		lanes := snap.Tables[u.ti].ColumnLanes(u.ci)
+		var e enc
+		nb := numBands(meta.nrows, meta.bandRows)
+		for b := 0; b < nb; b++ {
+			lo, hi := bandSpan(b, meta.bandRows, meta.nrows)
+			if hi-lo == meta.bandRows {
+				key := fmt.Sprintf("b|%s|%d|%d", meta.name, u.ci, b)
+				fp := lanes.BandFingerprint(s.fpSeed1, s.fpSeed2, lo, hi)
+				cacheMu.Lock()
+				old, ok := s.fpCache[key]
+				cacheMu.Unlock()
+				if ok && old.fp == fp && s.pack.has(old.hash) {
+					mt.cols[u.ci][b] = old.hash
+					reuse(old.hash)
+					cacheMu.Lock()
+					newCache[key] = old
+					cacheMu.Unlock()
+					continue
+				}
+				e.b = e.b[:0]
+				encodeColBand(&e, lanes, lo, hi, false)
+				h, err := emit(e.b)
+				if err != nil {
+					return err
+				}
+				mt.cols[u.ci][b] = h
+				cacheMu.Lock()
+				newCache[key] = fpEntry{fp: fp, hash: h}
+				cacheMu.Unlock()
+				continue
+			}
+			// Tail band: its content moves on every append, always re-encode.
+			e.b = e.b[:0]
+			encodeColBand(&e, lanes, lo, hi, false)
+			h, err := emit(e.b)
+			if err != nil {
+				return err
+			}
+			mt.cols[u.ci][b] = h
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, stats, err
+	}
+
+	// CVD sections run serially: heads are small and always re-encoded (the
+	// pack deduplicates them by content), and the append-only sections are
+	// mostly cache hits.
+	var e enc
+	for _, st := range snap.CVDs {
+		gen := job.gens[st.Name]
+		layout := layoutForCVD(st)
+		mc := manifestCVD{layout: layout}
+		e.b = e.b[:0]
+		encodeCVDHead(&e, st)
+		h, err := emit(e.b)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		mc.head = h
+
+		nb := numBands(layout.records, layout.catBand)
+		mc.catalog = make([]ChunkHash, nb)
+		for b := 0; b < nb; b++ {
+			lo, hi := bandSpan(b, layout.catBand, layout.records)
+			if hi-lo == layout.catBand {
+				key := fmt.Sprintf("c|%s|%d|%d", st.Name, gen, b)
+				fp := [2]uint64{uint64(st.Records[lo].RID), uint64(st.Records[hi-1].RID)}
+				if old, ok := s.fpCache[key]; ok && old.fp == fp && s.pack.has(old.hash) {
+					mc.catalog[b] = old.hash
+					reuse(old.hash)
+					newCache[key] = old
+					continue
+				}
+			}
+			e.b = e.b[:0]
+			encodeCatalogBand(&e, st.Records[lo:hi])
+			if mc.catalog[b], err = emit(e.b); err != nil {
+				return nil, nil, stats, err
+			}
+			if hi-lo == layout.catBand {
+				key := fmt.Sprintf("c|%s|%d|%d", st.Name, gen, b)
+				fp := [2]uint64{uint64(st.Records[lo].RID), uint64(st.Records[hi-1].RID)}
+				newCache[key] = fpEntry{fp: fp, hash: mc.catalog[b]}
+			}
+		}
+
+		nr := numBands(layout.sets, layout.runLen)
+		mc.runs = make([]ChunkHash, nr)
+		for r := 0; r < nr; r++ {
+			lo, hi := bandSpan(r, layout.runLen, layout.sets)
+			var fp [2]uint64
+			full := hi-lo == layout.runLen
+			var key string
+			if full {
+				key = fmt.Sprintf("r|%s|%d|%d", st.Name, gen, r)
+				var sum int64
+				for _, vs := range st.RecordSets[lo:hi] {
+					sum += vs.Set.Len()
+				}
+				fp = [2]uint64{
+					uint64(st.RecordSets[lo].Version)<<32 | uint64(st.RecordSets[hi-1].Version)&0xffffffff,
+					uint64(sum),
+				}
+				if old, ok := s.fpCache[key]; ok && old.fp == fp && s.pack.has(old.hash) {
+					mc.runs[r] = old.hash
+					reuse(old.hash)
+					newCache[key] = old
+					continue
+				}
+			}
+			e.b = e.b[:0]
+			encodeRecsetRun(&e, st.RecordSets[lo:hi])
+			if mc.runs[r], err = emit(e.b); err != nil {
+				return nil, nil, stats, err
+			}
+			if full {
+				newCache[key] = fpEntry{fp: fp, hash: mc.runs[r]}
+			}
+		}
+		m.cvds = append(m.cvds, mc)
+	}
+
+	stats.Chunks = int(chunks.Load())
+	stats.ChunksWritten = int(written.Load())
+	stats.ChunkBytes = chunkBytes.Load()
+	stats.BytesWritten = bytesWritten.Load()
+	return m, newCache, stats, nil
+}
+
+// collectGarbage prunes manifests beyond the retention window, then rewrites
+// the chunk pack when enough dead bytes have accumulated. Runs with
+// ckptActive still held, so no concurrent checkpoint appends chunks while
+// the pack compacts.
+func (s *Store) collectGarbage(retain int) {
+	s.mu.Lock()
+	epochs := make([]uint64, 0, len(s.manifests))
+	for e := range s.manifests {
+		epochs = append(epochs, e)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	removed := false
+	for len(epochs) > retain {
+		e := epochs[0]
+		epochs = epochs[1:]
+		delete(s.manifests, e)
+		os.Remove(filepath.Join(s.dir, ManifestFileName(e)))
+		removed = true
+	}
+	live := make(map[ChunkHash]struct{})
+	for _, m := range s.manifests {
+		m.chunkRefs(func(h ChunkHash) { live[h] = struct{}{} })
+	}
+	s.mu.Unlock()
+	if removed {
+		// Make the deletions durable before dropping the chunks they pinned:
+		// a resurrected manifest must never reference compacted-away chunks.
+		syncDir(s.dir)
+	}
+	total, liveBytes := s.pack.bytes(live)
+	if dead := total - liveBytes; dead > packCompactMinDead && dead > liveBytes {
+		// Best-effort: a failed compaction leaves the old pack fully intact.
+		s.pack.compact(live)
+	}
+}
+
+// LoadEpoch assembles the snapshot of one retained checkpoint epoch — the
+// point-in-time restore read path. It does not disturb the live state.
+func (s *Store) LoadEpoch(epoch uint64) (*Snapshot, error) {
+	s.mu.Lock()
+	m := s.manifests[epoch]
+	s.mu.Unlock()
+	if m == nil {
+		return nil, fmt.Errorf("durable: epoch %d is not retained in %s (see RetainedEpochs)", epoch, s.dir)
+	}
+	return loadSnapshotFromManifest(m, s.pack.get)
+}
+
+// ---- package-level directory helpers ----------------------------------------
+
+// ListEpochs returns the retained checkpoint epochs of a data directory,
+// ascending, without opening it as a store.
+func ListEpochs(dir string) ([]uint64, error) {
+	return listManifestEpochs(dir)
+}
+
+// OpenAtEpoch loads the snapshot of one retained epoch from a closed data
+// directory (the directory lock is held only for the read).
+func OpenAtEpoch(dir string, epoch uint64) (*Snapshot, error) {
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer lock.Close()
+	m, err := readManifestFile(filepath.Join(dir, ManifestFileName(epoch)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("durable: epoch %d is not retained in %s", epoch, dir)
+		}
+		return nil, err
+	}
+	pack, _, err := openPack(filepath.Join(dir, PackFile))
+	if err != nil {
+		return nil, err
+	}
+	defer pack.close()
+	return loadSnapshotFromManifest(m, pack.get)
+}
+
+// WALBytes sums the sizes of a data directory's WAL segments — the log
+// volume recovery would have to replay.
+func WALBytes(dir string) (int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		if _, ok := parseWALSegmentName(ent.Name()); !ok {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			return 0, err
+		}
+		total += info.Size()
+	}
+	return total, nil
+}
+
+// SaveSnapshot writes a one-shot flat snapshot (epoch 0, no WAL) into dir,
 // creating it if needed — the engine's Save-to-a-new-directory export path.
 // The directory's advisory lock is held for the write so a concurrent engine
-// cannot open the directory mid-export. A directory that already holds a WAL
-// is refused: overwriting its snapshot with epoch 0 would desynchronize the
-// epoch pairing.
+// cannot open the directory mid-export. A directory that already holds live
+// checkpoint state is refused: overwriting part of it would desynchronize
+// the manifest/WAL pairing.
 func SaveSnapshot(dir string, snap *Snapshot) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	// Check for a WAL before taking the flock: saving into a live, currently
-	// open data directory then fails with this message instead of the lock
-	// contention one. The post-lock write is still fenced either way.
-	if _, err := os.Stat(filepath.Join(dir, WALFile)); err == nil {
-		return fmt.Errorf("durable: %s is a live data directory (has a WAL); use Checkpoint instead of Save", dir)
+	// Check for live artifacts before taking the flock: saving into a live,
+	// currently open data directory then fails with this message instead of
+	// the lock contention one. The post-lock write is still fenced either way.
+	if live, what := liveDirArtifact(dir); live {
+		return fmt.Errorf("durable: %s is a live data directory (has %s); use Checkpoint instead of Save", dir, what)
 	}
 	lock, err := lockDir(dir)
 	if err != nil {
@@ -443,4 +1094,25 @@ func SaveSnapshot(dir string, snap *Snapshot) error {
 	defer lock.Close()
 	snap.Epoch = 0
 	return WriteSnapshotFile(filepath.Join(dir, SnapshotFile), snap)
+}
+
+// liveDirArtifact reports whether dir holds live data-directory state and
+// what kind was found.
+func liveDirArtifact(dir string) (bool, string) {
+	if _, err := os.Stat(filepath.Join(dir, WALFile)); err == nil {
+		return true, "a format v1 WAL"
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, ""
+	}
+	for _, ent := range entries {
+		if _, ok := parseManifestName(ent.Name()); ok {
+			return true, "a checkpoint manifest"
+		}
+		if _, ok := parseWALSegmentName(ent.Name()); ok {
+			return true, "a WAL segment"
+		}
+	}
+	return false, ""
 }

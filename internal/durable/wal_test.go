@@ -103,7 +103,7 @@ func TestWALTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	logThree(t, s)
-	walPath := filepath.Join(dir, WALFile)
+	walPath := filepath.Join(dir, WALSegmentFileName(0))
 	info, err := os.Stat(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +119,7 @@ func TestWALTornTail(t *testing.T) {
 
 	for cut := full - 1; cut > walHeaderSize; cut-- {
 		dir2 := t.TempDir()
-		p2 := filepath.Join(dir2, WALFile)
+		p2 := filepath.Join(dir2, WALSegmentFileName(0))
 		if err := os.WriteFile(p2, raw[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +168,7 @@ func TestWALCorruptTail(t *testing.T) {
 	}
 	logThree(t, s)
 	s.Close()
-	walPath := filepath.Join(dir, WALFile)
+	walPath := filepath.Join(dir, WALSegmentFileName(0))
 	raw, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -221,7 +221,7 @@ func TestStaleWALDiscarded(t *testing.T) {
 	logThree(t, s)
 	// Checkpoint writes an (empty-engine) snapshot at epoch 1... then
 	// simulate the crash by restoring the old epoch-0 WAL content.
-	walPath := filepath.Join(dir, WALFile)
+	walPath := filepath.Join(dir, WALSegmentFileName(0))
 	oldWAL, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)

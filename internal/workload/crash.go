@@ -381,11 +381,29 @@ func CrashChild(specPath, dataDir string, stdout io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "ACK %d\n", v)
 		if spec.Crash.CheckpointPct > 0 && rng.Intn(100) < spec.Crash.CheckpointPct {
-			if err := engine.Checkpoint(); err != nil {
-				fmt.Fprintf(os.Stderr, "crash child: checkpoint: %v\n", err)
-				return 1
+			if spec.Crash.CheckpointMode == CheckpointBackground {
+				// Background mode: the WAL fence is placed synchronously (so
+				// the commit fence is real), but the encode/write half races
+				// the kill. A kill mid-encode must recover from the previous
+				// manifest plus the sealed segments.
+				done, err := engine.CheckpointAsync()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "crash child: checkpoint: %v\n", err)
+					return 1
+				}
+				fmt.Fprintf(stdout, "CKPT\n")
+				go func() {
+					if err := <-done; err != nil {
+						fmt.Fprintf(os.Stderr, "crash child: background checkpoint: %v\n", err)
+					}
+				}()
+			} else {
+				if err := engine.Checkpoint(); err != nil {
+					fmt.Fprintf(os.Stderr, "crash child: checkpoint: %v\n", err)
+					return 1
+				}
+				fmt.Fprintf(stdout, "CKPT\n")
 			}
-			fmt.Fprintf(stdout, "CKPT\n")
 		}
 	}
 	return 0

@@ -1,0 +1,58 @@
+package workload
+
+import "fmt"
+
+// CheckpointImpactReport quantifies what background checkpointing costs the
+// foreground commit path: the same spec is run twice — once with
+// checkpoint_every disabled, once as written — and the commit p99 latencies
+// are compared. The claim under test is that checkpointing is non-blocking:
+// commits only pay for the COW capture and WAL segment roll, never the
+// chunk encode, so the ratio should stay near 1.
+type CheckpointImpactReport struct {
+	Baseline        *Report `json:"baseline"`
+	WithCheckpoints *Report `json:"with_checkpoints"`
+
+	BaselineCommitP99Ms   float64 `json:"baseline_commit_p99_ms"`
+	CheckpointCommitP99Ms float64 `json:"checkpoint_commit_p99_ms"`
+	// P99Ratio is checkpointed / baseline commit p99 (0 when the baseline
+	// recorded no commits).
+	P99Ratio float64 `json:"p99_ratio"`
+	// Checkpoints that actually ran during the checkpointed leg.
+	Checkpoints int64 `json:"checkpoints"`
+}
+
+// RunCheckpointImpact runs spec twice — a baseline leg with checkpointing
+// (and restore verification) stripped, then the spec as written — and
+// returns the commit-p99 comparison. The spec must have
+// engine.checkpoint_every set, or there is nothing to measure.
+func RunCheckpointImpact(spec *Spec) (*CheckpointImpactReport, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Engine.CheckpointEvery <= 0 {
+		return nil, fmt.Errorf("workload: checkpoint impact needs engine.checkpoint_every > 0")
+	}
+	base := *spec
+	base.Name = spec.Name + "-baseline"
+	base.Engine.CheckpointEvery = 0
+	base.Engine.RestoreEpoch = 0
+	baseline, err := Run(&base)
+	if err != nil {
+		return nil, fmt.Errorf("workload: baseline leg: %w", err)
+	}
+	with, err := Run(spec)
+	if err != nil {
+		return nil, fmt.Errorf("workload: checkpointed leg: %w", err)
+	}
+	out := &CheckpointImpactReport{
+		Baseline:              baseline,
+		WithCheckpoints:       with,
+		BaselineCommitP99Ms:   baseline.CommitP99Ms(),
+		CheckpointCommitP99Ms: with.CommitP99Ms(),
+		Checkpoints:           with.Checkpoints,
+	}
+	if out.BaselineCommitP99Ms > 0 {
+		out.P99Ratio = out.CheckpointCommitP99Ms / out.BaselineCommitP99Ms
+	}
+	return out, nil
+}

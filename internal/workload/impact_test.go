@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunCheckpointAndRestore pins the runner's checkpoint_every/restore_epoch
+// wiring: background checkpoints fire during the run, and afterwards the data
+// dir reopens at the newest retained epoch with the workload CVD intact.
+func TestRunCheckpointAndRestore(t *testing.T) {
+	spec := smallSpec(t, ModeInProcess)
+	spec.Name = "t_ckpt_restore"
+	spec.Ops = 120
+	spec.Mix = Mix{Commit: 60, Checkout: 20, Select: 20, Merge: 0}
+	spec.Engine = EngineSpec{Durable: true, CheckpointEvery: 10, RestoreEpoch: -1}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalErrors != 0 {
+		t.Errorf("%d operations failed: %+v", report.TotalErrors, report.Ops)
+	}
+	if report.Checkpoints < 1 {
+		t.Errorf("checkpoints = %d, want >= 1 (checkpoint_every=10 over ~72 commits)", report.Checkpoints)
+	}
+	if report.CheckpointErrors != 0 {
+		t.Errorf("checkpoint errors = %d", report.CheckpointErrors)
+	}
+	if !report.RestoreVerified {
+		t.Error("restore_epoch -1 did not verify")
+	}
+	if report.RestoredEpoch < 1 {
+		t.Errorf("restored epoch = %d, want >= 1", report.RestoredEpoch)
+	}
+}
+
+// TestRunRestoreSpecificEpoch pins restore_epoch with an explicit epoch id
+// (every run checkpoints at least once with these op counts, so epoch 1 is
+// always retained).
+func TestRunRestoreSpecificEpoch(t *testing.T) {
+	spec := smallSpec(t, ModeInProcess)
+	spec.Name = "t_ckpt_epoch1"
+	spec.Ops = 60
+	spec.Mix = Mix{Commit: 80, Checkout: 10, Select: 10, Merge: 0}
+	spec.Engine = EngineSpec{Durable: true, CheckpointEvery: 5, RestoreEpoch: 1}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.RestoreVerified || report.RestoredEpoch != 1 {
+		t.Errorf("restore: verified=%v epoch=%d, want verified epoch 1",
+			report.RestoreVerified, report.RestoredEpoch)
+	}
+}
+
+// TestCheckpointImpactContinuousIngest is the commit-p99 budget assertion for
+// the continuous_ingest spec: background checkpoints must not blow up
+// foreground commit latency. The spec file is shortened for the unit suite
+// (CI runs the full spec via workloadrunner).
+func TestCheckpointImpactContinuousIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed two-leg workload")
+	}
+	spec, err := ParseSpecFile("../../specs/continuous_ingest.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Duration = Duration(900 * time.Millisecond)
+	spec.Engine.CheckpointEvery = 40
+	imp, err := RunCheckpointImpact(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Checkpoints < 1 {
+		t.Errorf("checkpointed leg ran %d checkpoints, want >= 1", imp.Checkpoints)
+	}
+	if !imp.WithCheckpoints.RestoreVerified {
+		t.Error("checkpointed leg did not verify its restore epoch")
+	}
+	// Budget: p99 with background checkpoints <= 1.5x baseline. Absolute
+	// escape hatch for noisy shared runners: if the checkpointed p99 is
+	// itself tiny, the ratio is measurement noise, not a stall.
+	const budgetRatio, escapeHatchMs = 1.5, 15.0
+	if imp.P99Ratio > budgetRatio && imp.CheckpointCommitP99Ms > escapeHatchMs {
+		t.Errorf("commit p99 %.2fms is %.2fx baseline %.2fms (budget %.1fx)",
+			imp.CheckpointCommitP99Ms, imp.P99Ratio, imp.BaselineCommitP99Ms, budgetRatio)
+	}
+	t.Logf("commit p99: baseline %.3fms, with checkpoints %.3fms (ratio %.2f, %d checkpoints)",
+		imp.BaselineCommitP99Ms, imp.CheckpointCommitP99Ms, imp.P99Ratio, imp.Checkpoints)
+}

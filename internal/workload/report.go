@@ -68,7 +68,27 @@ type Report struct {
 	FinalVersions int   `json:"final_versions"`
 	FinalRecords  int64 `json:"final_records"`
 
+	// Background checkpoints the runner triggered (engine.checkpoint_every)
+	// and how many of them failed.
+	Checkpoints      int64 `json:"checkpoints,omitempty"`
+	CheckpointErrors int64 `json:"checkpoint_errors,omitempty"`
+	// Point-in-time restore verification (engine.restore_epoch): the epoch
+	// that was reopened and whether its content checked out.
+	RestoredEpoch   uint64 `json:"restored_epoch,omitempty"`
+	RestoreVerified bool   `json:"restore_verified,omitempty"`
+
 	Ops []OpStats `json:"ops"`
+}
+
+// CommitP99Ms returns the commit operation's p99 latency (0 when the run had
+// no successful commits).
+func (r *Report) CommitP99Ms() float64 {
+	for _, st := range r.Ops {
+		if st.Op == opCommit.String() {
+			return st.P99Ms
+		}
+	}
+	return 0
 }
 
 // JSON renders the report.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/benchmark"
 	"repro/internal/core"
 	"repro/internal/cvd"
+	"repro/internal/durable"
 	"repro/internal/vgraph"
 )
 
@@ -50,7 +51,7 @@ func Run(spec *Spec) (*Report, error) {
 		return nil, err
 	}
 
-	engine, cleanup, err := openEngine(spec)
+	engine, dataDir, cleanup, err := openEngine(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -79,9 +80,41 @@ func Run(spec *Spec) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer drv.close()
+	drvClosed := false
+	defer func() {
+		if !drvClosed {
+			drv.close()
+		}
+	}()
+
+	// engine.checkpoint_every: a decorator counts successful commits and a
+	// dedicated goroutine runs the checkpoints, so client latency only sees
+	// the commit fence (COW capture + WAL segment seal), never the encode.
+	var ckpt *ckptDriver
+	var ckptWG sync.WaitGroup
+	if spec.Engine.CheckpointEvery > 0 {
+		ckpt = &ckptDriver{driver: drv, every: int64(spec.Engine.CheckpointEvery), trigger: make(chan struct{}, 1)}
+		ckptWG.Add(1)
+		go func() {
+			defer ckptWG.Done()
+			for range ckpt.trigger {
+				if err := engine.Checkpoint(); err != nil {
+					ckpt.errs.Add(1)
+				} else {
+					ckpt.done.Add(1)
+				}
+			}
+		}()
+		drv = ckpt
+	}
 
 	recs := runClients(spec, drv)
+	if ckpt != nil {
+		close(ckpt.trigger)
+		ckptWG.Wait()
+		report.Checkpoints = ckpt.done.Load()
+		report.CheckpointErrors = ckpt.errs.Load()
+	}
 
 	elapsed := recs.elapsed
 	report.ElapsedMs = msf(elapsed)
@@ -96,7 +129,95 @@ func Run(spec *Spec) (*Report, error) {
 	}
 	report.FinalVersions = c.NumVersions()
 	report.FinalRecords = c.NumRecords()
+
+	// engine.restore_epoch: shut the live store down, reopen the data dir at
+	// the requested (or latest) retained manifest epoch, and prove the
+	// point-in-time state checks out. Must run before cleanup removes a
+	// disposable temp dir.
+	if spec.Engine.RestoreEpoch != 0 {
+		drvClosed = true
+		if err := drv.close(); err != nil {
+			return nil, err
+		}
+		if err := engine.Close(); err != nil {
+			return nil, err
+		}
+		if err := verifyRestore(spec, dataDir, report); err != nil {
+			return nil, err
+		}
+	}
 	return report, nil
+}
+
+// ckptDriver decorates a driver to count successful commits and nudge the
+// checkpointer goroutine every `every` of them. The trigger channel has
+// capacity 1 and sends never block: if a checkpoint is already pending the
+// nudge coalesces into it.
+type ckptDriver struct {
+	driver
+	every   int64
+	commits atomic.Int64
+	done    atomic.Int64
+	errs    atomic.Int64
+	trigger chan struct{}
+}
+
+func (c *ckptDriver) do(client int, rng *rand.Rand, op opKind) error {
+	err := c.driver.do(client, rng, op)
+	if err == nil && op == opCommit {
+		if n := c.commits.Add(1); n%c.every == 0 {
+			select {
+			case c.trigger <- struct{}{}:
+			default:
+			}
+		}
+	}
+	return err
+}
+
+// verifyRestore reopens dir at the spec's restore epoch (-1 = latest
+// retained) and checks the workload CVD out at its first and newest version.
+func verifyRestore(spec *Spec, dir string, report *Report) error {
+	epochs, err := durable.ListEpochs(dir)
+	if err != nil {
+		return fmt.Errorf("workload: restore_epoch: %w", err)
+	}
+	if len(epochs) == 0 {
+		return fmt.Errorf("workload: restore_epoch: no retained epochs in %s (did any checkpoint run?)", dir)
+	}
+	var epoch uint64
+	if spec.Engine.RestoreEpoch < 0 {
+		epoch = epochs[len(epochs)-1]
+	} else {
+		epoch = uint64(spec.Engine.RestoreEpoch)
+		found := false
+		for _, e := range epochs {
+			found = found || e == epoch
+		}
+		if !found {
+			return fmt.Errorf("workload: restore_epoch %d not retained (have %v)", epoch, epochs)
+		}
+	}
+	re, err := core.OpenAtEpoch(spec.Name+"-restore", dir, epoch)
+	if err != nil {
+		return fmt.Errorf("workload: restoring epoch %d: %w", epoch, err)
+	}
+	defer re.Close()
+	c, err := re.CVD(CVDName)
+	if err != nil {
+		return fmt.Errorf("workload: restored epoch %d: %w", epoch, err)
+	}
+	// Version ids are dense and commit-ordered, so the newest id equals the
+	// version count at that epoch.
+	latest := vgraph.VersionID(c.NumVersions())
+	for _, v := range []vgraph.VersionID{1, latest} {
+		if _, err := core.CheckoutVersionRows(re, CVDName, v, fmt.Sprintf("restore-epoch-%d", epoch)); err != nil {
+			return fmt.Errorf("workload: restored epoch %d: version %d: %w", epoch, v, err)
+		}
+	}
+	report.RestoredEpoch = epoch
+	report.RestoreVerified = true
+	return nil
 }
 
 // clientRun is the outcome of the client fan-out.
@@ -167,21 +288,22 @@ func pickOp(rng *rand.Rand, m Mix) opKind {
 
 // openEngine builds the engine the spec asks for: ephemeral or durable (in
 // the spec's data_dir or a disposable temp dir), with the worker and
-// group-commit knobs applied.
-func openEngine(spec *Spec) (*core.Engine, func(), error) {
+// group-commit knobs applied. For durable engines it also returns the data
+// directory so the runner can reopen it for restore verification.
+func openEngine(spec *Spec) (*core.Engine, string, func(), error) {
 	opts := []core.Option{core.WithWorkers(spec.Engine.Workers)}
 	if spec.Engine.GroupCommitBatch != 0 || spec.Engine.GroupCommitDelay != 0 {
 		opts = append(opts, core.GroupCommit(spec.Engine.GroupCommitBatch, spec.Engine.GroupCommitDelay.Std()))
 	}
 	if !spec.Engine.Durable {
-		return core.Open(spec.Name, opts...), func() {}, nil
+		return core.Open(spec.Name, opts...), "", func() {}, nil
 	}
 	dir := spec.Engine.DataDir
 	removeDir := false
 	if dir == "" {
 		tmp, err := os.MkdirTemp("", "workload-"+spec.Name+"-*")
 		if err != nil {
-			return nil, nil, err
+			return nil, "", nil, err
 		}
 		dir = tmp
 		removeDir = true
@@ -191,7 +313,7 @@ func openEngine(spec *Spec) (*core.Engine, func(), error) {
 		if removeDir {
 			os.RemoveAll(dir)
 		}
-		return nil, nil, err
+		return nil, "", nil, err
 	}
 	cleanup := func() {
 		engine.Close()
@@ -199,7 +321,7 @@ func openEngine(spec *Spec) (*core.Engine, func(), error) {
 			os.RemoveAll(dir)
 		}
 	}
-	return engine, cleanup, nil
+	return engine, dir, cleanup, nil
 }
 
 // seedEngine loads a generated workload into the engine through the engine

@@ -213,6 +213,44 @@ func TestRunCrashSmoke(t *testing.T) {
 	}
 }
 
+// TestRunCrashBackgroundCheckpointSmoke is the background-checkpoint variant:
+// the child places the WAL fence synchronously but races the kill through the
+// encode/write half, so some iterations die with a checkpoint mid-flight and
+// must recover from the previous manifest plus the sealed segments.
+func TestRunCrashBackgroundCheckpointSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks and kills child processes")
+	}
+	spec := &Spec{
+		Name:   "t_crash_bg",
+		Engine: EngineSpec{Durable: true},
+		Crash: CrashSpec{
+			Iterations:     3,
+			MaxCommits:     300,
+			CheckpointPct:  40,
+			CheckpointMode: CheckpointBackground,
+			MinKillDelay:   Duration(5 * time.Millisecond),
+			MaxKillDelay:   Duration(60 * time.Millisecond),
+		},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	report, err := RunCrash(spec, CrashConfig{
+		ArgsFor: crashChildArgs,
+		DataDir: t.TempDir() + "/data",
+	})
+	if err != nil {
+		t.Fatalf("background-checkpoint crash campaign failed: %v", err)
+	}
+	if report.Kills != 3 {
+		t.Errorf("kills = %d, want 3", report.Kills)
+	}
+	if report.VerifiedVersions < report.AckedCommits {
+		t.Errorf("verified %d versions < %d acked", report.VerifiedVersions, report.AckedCommits)
+	}
+}
+
 // TestCrashDetectsLoss pins the harness's teeth: verifying a data dir whose
 // recovered history is shorter than the acknowledged high-water mark must
 // fail with an acknowledged-commit-loss error.

@@ -89,7 +89,23 @@ type EngineSpec struct {
 	// (core.GroupCommit) on a durable engine; zero values select defaults.
 	GroupCommitBatch int      `json:"group_commit_batch,omitempty"`
 	GroupCommitDelay Duration `json:"group_commit_delay,omitempty"`
+	// CheckpointEvery triggers a background checkpoint (core.CheckpointAsync
+	// through the engine's sync wrapper, run off the client goroutines) every
+	// N successful commit operations. Requires Durable. 0 disables runner
+	// checkpoints.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// RestoreEpoch verifies point-in-time restore after the run: the data
+	// directory is reopened read-only at the given retained checkpoint epoch
+	// (-1 = the newest retained one) and its content checked out. Requires
+	// Durable and CheckpointEvery. 0 disables the check.
+	RestoreEpoch int `json:"restore_epoch,omitempty"`
 }
+
+// Crash-child checkpoint modes.
+const (
+	CheckpointSync       = "sync"
+	CheckpointBackground = "background"
+)
 
 // CrashSpec parameterizes the crash-injection harness (workloadrunner
 // -crash): how many kill -9 iterations to run, how the child behaves, and
@@ -106,6 +122,12 @@ type CrashSpec struct {
 	// checkpoint right after it (default 10) — so kills also land
 	// mid-checkpoint, exercising the stale-WAL recovery path.
 	CheckpointPct int `json:"checkpoint_pct,omitempty"`
+	// CheckpointMode is how the child checkpoints: "sync" (default) waits for
+	// the whole checkpoint; "background" uses CheckpointAsync and keeps
+	// committing while it completes, so kills land mid-background-checkpoint
+	// and recovery must fall back to the previous manifest plus the WAL
+	// segments.
+	CheckpointMode string `json:"checkpoint_mode,omitempty"`
 	// MinKillDelay / MaxKillDelay bound the randomized delay between the
 	// child's first acknowledged commit and the kill (defaults 20ms / 400ms).
 	MinKillDelay Duration `json:"min_kill_delay,omitempty"`
@@ -290,6 +312,18 @@ func (s *Spec) Validate() error {
 	if s.Engine.DataDir != "" && !s.Engine.Durable {
 		return fmt.Errorf("workload: engine data_dir requires durable: true")
 	}
+	if s.Engine.CheckpointEvery < 0 {
+		return fmt.Errorf("workload: engine checkpoint_every must be non-negative")
+	}
+	if s.Engine.CheckpointEvery > 0 && !s.Engine.Durable {
+		return fmt.Errorf("workload: engine checkpoint_every requires durable: true")
+	}
+	if s.Engine.RestoreEpoch < -1 {
+		return fmt.Errorf("workload: engine restore_epoch must be -1 (latest), 0 (off), or a retained epoch")
+	}
+	if s.Engine.RestoreEpoch != 0 && s.Engine.CheckpointEvery <= 0 {
+		return fmt.Errorf("workload: engine restore_epoch requires checkpoint_every (no checkpoint, nothing to restore)")
+	}
 	if s.Crash.Iterations < 0 || s.Crash.MaxCommits < 0 {
 		return fmt.Errorf("workload: crash iterations and max_commits must be non-negative")
 	}
@@ -304,6 +338,14 @@ func (s *Spec) Validate() error {
 	}
 	if s.Crash.CheckpointPct == 0 {
 		s.Crash.CheckpointPct = 10
+	}
+	switch s.Crash.CheckpointMode {
+	case "":
+		s.Crash.CheckpointMode = CheckpointSync
+	case CheckpointSync, CheckpointBackground:
+	default:
+		return fmt.Errorf("workload: crash checkpoint_mode must be %q or %q, got %q",
+			CheckpointSync, CheckpointBackground, s.Crash.CheckpointMode)
 	}
 	if s.Crash.MinKillDelay == 0 {
 		s.Crash.MinKillDelay = Duration(20 * time.Millisecond)
@@ -490,6 +532,10 @@ func (s *Spec) setEngine(key, value string) error {
 		return yInt("engine.group_commit_batch", value, &s.Engine.GroupCommitBatch)
 	case "group_commit_delay":
 		return yDuration("engine.group_commit_delay", value, &s.Engine.GroupCommitDelay)
+	case "checkpoint_every":
+		return yInt("engine.checkpoint_every", value, &s.Engine.CheckpointEvery)
+	case "restore_epoch":
+		return yInt("engine.restore_epoch", value, &s.Engine.RestoreEpoch)
 	}
 	return fmt.Errorf("unknown key \"engine.%s\"", key)
 }
@@ -502,6 +548,9 @@ func (s *Spec) setCrash(key, value string) error {
 		return yInt("crash.max_commits", value, &s.Crash.MaxCommits)
 	case "checkpoint_pct":
 		return yInt("crash.checkpoint_pct", value, &s.Crash.CheckpointPct)
+	case "checkpoint_mode":
+		s.Crash.CheckpointMode = value
+		return nil
 	case "min_kill_delay":
 		return yDuration("crash.min_kill_delay", value, &s.Crash.MinKillDelay)
 	case "max_kill_delay":
