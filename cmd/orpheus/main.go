@@ -64,6 +64,11 @@ type session struct {
 // the process exit code (0 when every command succeeded, 1 when any failed,
 // 2 on setup errors).
 func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	// fsck is a standalone subcommand, not a session command: it operates on
+	// a closed data directory and must not open an engine over it first.
+	if len(argv) > 0 && argv[0] == "fsck" {
+		return runFsck(argv[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("orpheus", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	script := fs.String("script", "", "file with one command per line (default: stdin)")

@@ -228,3 +228,78 @@ func TestEpochsAndRestore(t *testing.T) {
 		t.Fatalf("restore of unknown epoch: exit %d, want 1 (stderr: %s)", code, errw)
 	}
 }
+
+// TestFsckCommand runs `orpheus fsck` end to end: a healthy directory exits
+// 0, a corrupted pack exits 1 and names the damage, and a torn WAL tail is
+// repaired by -repair after which the directory is clean again.
+func TestFsckCommand(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data")
+	csv := writeCSV(t, dir, "p.csv", proteinCSV)
+	code, _, errw := runSession(t, []string{"-data", data},
+		"init proteins "+csv+" pk=pid\ncheckpoint\ncheckout proteins -v 1 -t work\ncommit proteins -t work -m tweak\n")
+	if code != 0 {
+		t.Fatalf("seed session exit %d: %s", code, errw)
+	}
+
+	code, out, errw := runSession(t, []string{"fsck", data}, "")
+	if code != 0 {
+		t.Fatalf("fsck of healthy dir exit %d: %s%s", code, out, errw)
+	}
+	if !strings.Contains(out, "clean") {
+		t.Fatalf("fsck output missing 'clean': %s", out)
+	}
+
+	// Tear the active WAL tail: fsck must flag it, -repair must fix it.
+	var walPath string
+	entries, err := os.ReadDir(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if strings.HasPrefix(ent.Name(), "wal-") && strings.HasSuffix(ent.Name(), ".orph") {
+			walPath = filepath.Join(data, ent.Name())
+		}
+	}
+	if walPath == "" {
+		t.Fatal("no WAL segment in data dir")
+	}
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 9, 9, 0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	code, out, _ = runSession(t, []string{"fsck", data}, "")
+	if code != 1 {
+		t.Fatalf("fsck of torn dir exit %d, want 1: %s", code, out)
+	}
+	if !strings.Contains(out, string("torn-wal-tail")) {
+		t.Fatalf("fsck output missing torn-wal-tail: %s", out)
+	}
+
+	code, out, _ = runSession(t, []string{"fsck", "-repair", data}, "")
+	if code != 0 {
+		t.Fatalf("fsck -repair exit %d: %s", code, out)
+	}
+	if !strings.Contains(out, "REPAIRED") {
+		t.Fatalf("fsck -repair output missing REPAIRED: %s", out)
+	}
+
+	// The repaired directory must open and still hold both versions.
+	code, out, errw = runSession(t, []string{"-data", data}, "versions proteins\n")
+	if code != 0 {
+		t.Fatalf("reopening repaired dir exit %d: %s", code, errw)
+	}
+	if !strings.Contains(out, "v1") || !strings.Contains(out, "v2") {
+		t.Fatalf("repaired dir lost versions: %s", out)
+	}
+
+	// Usage errors exit 2.
+	if code, _, _ := runSession(t, []string{"fsck"}, ""); code != 2 {
+		t.Fatalf("fsck with no dir exit %d, want 2", code)
+	}
+}

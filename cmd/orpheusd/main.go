@@ -50,6 +50,9 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	ckptEvery := fs.Duration("checkpoint-interval", 0, "period between background checkpoints while serving (0 = checkpoint only on drain)")
 	keepEpochs := fs.Int("keep-epochs", 0, "checkpoint manifests retained for point-in-time restore (0 = default)")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read a request, header through body (0 = no limit)")
+	writeTimeout := fs.Duration("write-timeout", 2*time.Minute, "max time to write a response (0 = no limit; bounds large checkouts/selects)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "how long an idle keep-alive connection is held open (0 = no limit)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -75,7 +78,15 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	}
 
 	srv := server.New(engine, server.Config{MaxInflight: *maxInflight})
-	hs := &http.Server{Handler: srv}
+	// A stalled or malicious client must not pin a connection (and its
+	// admission-control slot) forever: bound the read, the write, and the
+	// idle keep-alive separately. Zero disables a bound, matching net/http.
+	hs := &http.Server{
+		Handler:      srv,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "orpheusd:", err)

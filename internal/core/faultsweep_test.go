@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cvd"
+	"repro/internal/relstore"
+	"repro/internal/vfs"
+	"repro/internal/vgraph"
+)
+
+// The fault-point sweep: a deterministic commit/checkpoint workload is run
+// once against an unarmed vfs.FaultFS to count its durable I/O operations,
+// then re-run once per operation index with a fault injected exactly there —
+// ENOSPC, a short (torn) write, an fsync error, or a crash that drops every
+// unsynced buffer. After each injected run the data directory is reopened on
+// the real filesystem and every acknowledged commit must check out
+// bit-identical to a reference engine, or the reopen must fail with a
+// diagnosable error. Silent loss and panics are the two forbidden outcomes.
+// The sweep covers three durability modes: fsync-per-commit, group commit,
+// and background checkpoint.
+
+const sweepCVD = "sweep"
+
+func sweepSchema() relstore.Schema {
+	return relstore.MustSchema([]relstore.Column{
+		{Name: "key", Type: relstore.TypeInt},
+		{Name: "payload", Type: relstore.TypeString},
+	}, "key")
+}
+
+// sweepRows is the deterministic content of version v: keys 1..v with a
+// payload that is a pure function of (seed, key).
+func sweepRows(seed int64, v int) []relstore.Row {
+	rows := make([]relstore.Row, v)
+	for k := 1; k <= v; k++ {
+		rows[k-1] = relstore.Row{
+			relstore.Int(int64(k)),
+			relstore.Str(fmt.Sprintf("sweep-%d-%d", seed, k)),
+		}
+	}
+	return rows
+}
+
+const sweepVersions = 6
+
+// runSweepWorkload drives the deterministic history against dir through fs
+// and returns how many commits were acknowledged (Commit returned nil). A
+// failed open or commit ends the workload early — exactly like a client that
+// stops on the first error — but a failed checkpoint does not, because
+// commits must survive a checkpoint that dies halfway.
+func runSweepWorkload(mode, dir string, fs vfs.FS, seed int64) (acked int) {
+	var opts []Option
+	switch mode {
+	case "fsync-per-commit":
+		opts = []Option{GroupCommit(1, 0)}
+	case "group-commit":
+		opts = []Option{GroupCommit(8, 0)}
+	case "background-checkpoint":
+		// Store-default group commit; the checkpoint runs concurrently with
+		// later commits.
+	}
+	opts = append(opts, WithFS(fs), WithWorkers(1))
+	e, err := OpenDurable("sweep", dir, opts...)
+	if err != nil {
+		return 0
+	}
+	defer e.Close()
+	if _, err := e.Init(sweepCVD, sweepSchema(), sweepRows(seed, 1), cvd.Options{
+		Author: "sweep", Message: "sweep v1",
+	}); err != nil {
+		return 0
+	}
+	acked = 1
+	c, err := e.CVD(sweepCVD)
+	if err != nil {
+		return acked
+	}
+	commit := func(v int) bool {
+		_, err := c.Commit([]vgraph.VersionID{vgraph.VersionID(v - 1)}, sweepRows(seed, v),
+			sweepSchema(), fmt.Sprintf("sweep v%d", v), "sweep")
+		if err != nil {
+			return false
+		}
+		acked = v
+		return true
+	}
+	switch mode {
+	case "background-checkpoint":
+		for v := 2; v <= 3; v++ {
+			if !commit(v) {
+				return acked
+			}
+		}
+		done, err := e.CheckpointAsync()
+		for v := 4; v <= sweepVersions; v++ {
+			if !commit(v) {
+				break
+			}
+		}
+		if err == nil {
+			<-done
+		}
+	default:
+		for v := 2; v <= 4; v++ {
+			if !commit(v) {
+				return acked
+			}
+		}
+		_ = e.Checkpoint() // a dead checkpoint must not take commits with it
+		for v := 5; v <= sweepVersions; v++ {
+			if !commit(v) {
+				return acked
+			}
+		}
+	}
+	return acked
+}
+
+// verifySweepDir reopens dir on the real filesystem and checks the
+// no-silent-loss invariant: either the open fails with a diagnosable error,
+// or every acknowledged version (and any unacknowledged trailing commit that
+// made it to disk) checks out bit-identical to a reference engine.
+func verifySweepDir(dir string, seed int64, acked int) error {
+	recovered, err := OpenDurable("sweep-verify", dir)
+	if err != nil {
+		// Failing loudly is an allowed outcome; failing silently is not.
+		return nil
+	}
+	defer recovered.Close()
+	var have int
+	if c, err := recovered.CVD(sweepCVD); err == nil {
+		have = c.NumVersions()
+	}
+	if have < acked {
+		return fmt.Errorf("silent loss: acked v%d but only %d versions recovered", acked, have)
+	}
+	if have == 0 {
+		return nil
+	}
+	reference := Open("sweep-reference")
+	if _, err := reference.Init(sweepCVD, sweepSchema(), sweepRows(seed, 1), cvd.Options{
+		Author: "sweep", Message: "sweep v1",
+	}); err != nil {
+		return fmt.Errorf("building reference: %w", err)
+	}
+	rc, err := reference.CVD(sweepCVD)
+	if err != nil {
+		return err
+	}
+	for v := 2; v <= have; v++ {
+		if _, err := rc.Commit([]vgraph.VersionID{vgraph.VersionID(v - 1)}, sweepRows(seed, v),
+			sweepSchema(), fmt.Sprintf("sweep v%d", v), "sweep"); err != nil {
+			return fmt.Errorf("building reference: %w", err)
+		}
+	}
+	for v := 1; v <= have; v++ {
+		got, err := CheckoutVersionRows(recovered, sweepCVD, vgraph.VersionID(v), "recovered")
+		if err != nil {
+			return fmt.Errorf("recovered engine, v%d: %w", v, err)
+		}
+		want, err := CheckoutVersionRows(reference, sweepCVD, vgraph.VersionID(v), "reference")
+		if err != nil {
+			return fmt.Errorf("reference engine, v%d: %w", v, err)
+		}
+		if err := RowsBitIdentical(fmt.Sprintf("sweep v%d", v), got, want); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepOnce runs the workload with a single fault armed at op index op and
+// verifies the invariant. It reports whether the fault actually fired (runs
+// short enough not to reach op count as zero injection points, not as
+// failures). Panics anywhere in the run are converted into test failures
+// that name the exact injection point.
+func sweepOnce(t *testing.T, mode string, kind vfs.FaultKind, op int64, seed int64) (injected bool) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "data")
+	fs := vfs.NewFaultFS(vfs.OS(), seed)
+	fs.FailAt(op, kind)
+	var acked int
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("mode=%s kind=%s op=%d: workload panicked: %v", mode, kind, op, r)
+			}
+		}()
+		acked = runSweepWorkload(mode, dir, fs, seed)
+	}()
+	if fs.Injected() == 0 {
+		return false
+	}
+	if err := verifySweepDir(dir, seed, acked); err != nil {
+		t.Errorf("mode=%s kind=%s op=%d acked=%d: %v", mode, kind, op, acked, err)
+	}
+	return true
+}
+
+// TestFaultPointSweep is the systematic sweep. It asserts the acceptance
+// floor in-test: at least 200 distinct injection points across the three
+// durability modes, with zero silent-loss or panic failures.
+func TestFaultPointSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-point sweep is the long way around; skipped in -short")
+	}
+	modes := []string{"fsync-per-commit", "group-commit", "background-checkpoint"}
+	kinds := []vfs.FaultKind{vfs.FaultENOSPC, vfs.FaultShortWrite, vfs.FaultSyncErr, vfs.FaultCrash}
+	const seed = 42
+	var totalPoints int
+	for _, mode := range modes {
+		// Golden run: count the workload's durable I/O operations with the
+		// fault injector present but unarmed, and prove the workload itself
+		// is sound.
+		goldenDir := filepath.Join(t.TempDir(), "golden")
+		goldenFS := vfs.NewFaultFS(vfs.OS(), seed)
+		acked := runSweepWorkload(mode, goldenDir, goldenFS, seed)
+		if acked != sweepVersions {
+			t.Fatalf("mode=%s: golden run acked %d versions, want %d", mode, acked, sweepVersions)
+		}
+		if err := verifySweepDir(goldenDir, seed, acked); err != nil {
+			t.Fatalf("mode=%s: golden run does not verify: %v", mode, err)
+		}
+		ops := goldenFS.Ops()
+		if ops < 20 {
+			t.Fatalf("mode=%s: golden run issued only %d durable I/O ops — sweep would be vacuous", mode, ops)
+		}
+		var points int
+		for _, kind := range kinds {
+			for op := int64(1); op <= ops; op++ {
+				if sweepOnce(t, mode, kind, op, seed) {
+					points++
+				}
+			}
+		}
+		t.Logf("mode=%s: %d ops in golden run, %d injection points fired", mode, ops, points)
+		totalPoints += points
+	}
+	if totalPoints < 200 {
+		t.Fatalf("sweep covered only %d injection points, want >= 200", totalPoints)
+	}
+}
+
+// TestCheckpointAsyncENOSPC starves a background checkpoint of disk space
+// mid-flight: the checkpoint must fail (or the store end up poisoned — also
+// an error, never silence) while every acknowledged commit stays intact, and
+// the directory must reopen cleanly once space returns.
+func TestCheckpointAsyncENOSPC(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	const seed = 7
+	fs := vfs.NewFaultFS(vfs.OS(), seed)
+	e, err := OpenDurable("enospc", dir, WithFS(fs), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Init(sweepCVD, sweepSchema(), sweepRows(seed, 1), cvd.Options{
+		Author: "sweep", Message: "sweep v1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := e.CVD(sweepCVD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := 1
+	for v := 2; v <= 4; v++ {
+		if _, err := c.Commit([]vgraph.VersionID{vgraph.VersionID(v - 1)}, sweepRows(seed, v),
+			sweepSchema(), fmt.Sprintf("sweep v%d", v), "sweep"); err != nil {
+			t.Fatalf("commit v%d: %v", v, err)
+		}
+		acked = v
+	}
+	// The disk fills mid-checkpoint: a handful of bytes is enough for the
+	// checkpoint to start writing its pack, not enough to finish.
+	fs.SetWriteBudget(64)
+	done, err := e.CheckpointAsync()
+	if err == nil {
+		err = <-done
+	}
+	if err == nil {
+		t.Fatal("checkpoint on a full disk reported success")
+	}
+	fs.SetWriteBudget(-1)
+	// Poisoned-or-recoverable: a later commit may succeed (recovered) or fail
+	// loudly (poisoned); silence is the only wrong answer — checked below by
+	// reopening and demanding every acked commit back.
+	if _, err := c.Commit([]vgraph.VersionID{vgraph.VersionID(acked)}, sweepRows(seed, acked+1),
+		sweepSchema(), fmt.Sprintf("sweep v%d", acked+1), "sweep"); err == nil {
+		acked++
+	} else {
+		t.Logf("post-ENOSPC commit refused (store poisoned): %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Logf("close after ENOSPC: %v", err)
+	}
+	if err := verifySweepDir(dir, seed, acked); err != nil {
+		t.Fatalf("after ENOSPC checkpoint: %v", err)
+	}
+	// The directory must also still be openable for writing (no stuck temp
+	// files or half-written manifests wedging recovery).
+	e2, err := OpenDurable("enospc-reopen", dir)
+	if err != nil {
+		t.Fatalf("reopening after ENOSPC checkpoint: %v", err)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = os.RemoveAll(dir)
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/partition"
 	"repro/internal/relstore"
+	"repro/internal/vfs"
 	"repro/internal/vgraph"
 	"repro/internal/vquel"
 )
@@ -58,6 +59,10 @@ type Engine struct {
 	// retain is the checkpoint retention window applied by OpenDurable
 	// (0 keeps the store default).
 	retain int
+	// fsys is the filesystem the durable layer runs on (nil means the real
+	// one, vfs.OS()); set by WithFS so fault-injection tests can route every
+	// durable I/O operation through a vfs.FaultFS.
+	fsys vfs.FS
 	// recovery records what OpenDurable had to repair; immutable after open.
 	recovery RecoveryInfo
 
@@ -119,6 +124,14 @@ func GroupCommit(maxBatch int, maxDelay time.Duration) Option {
 		e.gc = durable.GroupCommitConfig{MaxBatch: maxBatch, MaxDelay: maxDelay}
 		e.gcSet = true
 	}
+}
+
+// WithFS routes a durable engine's storage I/O through fsys (OpenDurable
+// only; ephemeral engines ignore it). The production default is the real
+// filesystem; fault-injection tests pass a vfs.FaultFS to fail or crash at
+// any chosen I/O operation.
+func WithFS(fsys vfs.FS) Option {
+	return func(e *Engine) { e.fsys = fsys }
 }
 
 // Open creates an engine over a fresh in-memory database.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cvd"
 	"repro/internal/durable"
 	"repro/internal/relstore"
+	"repro/internal/vfs"
 )
 
 // This file binds the engine to the durable storage subsystem (package
@@ -21,11 +22,15 @@ import (
 // Init / Commit / Drop through the engine (or directly on a managed CVD) is
 // appended to the WAL and fsynced before it returns.
 func OpenDurable(name, dir string, opts ...Option) (*Engine, error) {
-	store, res, err := durable.Open(dir)
+	e := Open(name, opts...)
+	fsys := e.fsys
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
+	store, res, err := durable.OpenFS(dir, fsys)
 	if err != nil {
 		return nil, err
 	}
-	e := Open(name, opts...)
 	if e.gcSet {
 		store.SetGroupCommit(e.gc)
 	}

@@ -1,92 +1,23 @@
 package durable
 
 import (
-	"errors"
 	"fmt"
 	"reflect"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/vfs"
 	"repro/internal/vgraph"
 )
 
-// faultFile wraps the store's WAL file with switchable failure injection: a
-// failing write still lands a torn prefix (as a crashed or erroring kernel
-// write would), and syncs are counted so group-commit tests can assert how
-// many fsyncs a concurrent append storm actually cost.
-type faultFile struct {
-	walFile
-	mu sync.Mutex
-	// Each counter arms that many failures of its operation; every triggered
-	// failure consumes one, so a single-shot fault does not cascade into the
-	// recovery path's own truncate+sync.
-	syncs      int
-	failWrites int
-	failSyncs  int
-	failTruncs int
-}
-
-func (f *faultFile) set(fn func(*faultFile)) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	fn(f)
-}
-
-func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
-	f.mu.Lock()
-	fail := f.failWrites > 0
-	if fail {
-		f.failWrites--
-	}
-	f.mu.Unlock()
-	if fail {
-		// Land a torn prefix: the bytes a real short write leaves behind.
-		n := len(p) / 2
-		f.walFile.WriteAt(p[:n], off)
-		return n, errors.New("injected write failure")
-	}
-	return f.walFile.WriteAt(p, off)
-}
-
-func (f *faultFile) Sync() error {
-	f.mu.Lock()
-	f.syncs++
-	fail := f.failSyncs > 0
-	if fail {
-		f.failSyncs--
-	}
-	f.mu.Unlock()
-	if fail {
-		return errors.New("injected sync failure")
-	}
-	return f.walFile.Sync()
-}
-
-func (f *faultFile) Truncate(size int64) error {
-	f.mu.Lock()
-	fail := f.failTruncs > 0
-	if fail {
-		f.failTruncs--
-	}
-	f.mu.Unlock()
-	if fail {
-		return errors.New("injected truncate failure")
-	}
-	return f.walFile.Truncate(size)
-}
-
-func (f *faultFile) syncCount() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.syncs
-}
-
-// injectFaults swaps the store's WAL file for a fault-injecting wrapper.
-func injectFaults(s *Store) *faultFile {
+// injectFaults swaps the store's WAL file for the fault-injecting wrapper
+// promoted into internal/vfs (FaultFile): failing writes land a torn prefix,
+// syncs are counted, and each armed failure is single-shot.
+func injectFaults(s *Store) *vfs.FaultFile {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ff := &faultFile{walFile: s.wal}
+	ff := vfs.NewFaultFile(s.wal)
 	s.wal = ff
 	return ff
 }
@@ -111,13 +42,11 @@ func TestAppendFailureKeepsLaterCommits(t *testing.T) {
 			if err := s.LogInit("cvd", 0, walSchema(), walRows(3), "init", "alice", at); err != nil {
 				t.Fatal(err)
 			}
-			ff.set(func(f *faultFile) {
-				if mode == "write" {
-					f.failWrites = 1
-				} else {
-					f.failSyncs = 1
-				}
-			})
+			if mode == "write" {
+				ff.FailWrites(1)
+			} else {
+				ff.FailSyncs(1)
+			}
 			if err := s.LogCommit("cvd", []vgraph.VersionID{1}, walRows(2), walSchema(), "lost", "bob", at.Add(time.Second)); err == nil {
 				t.Fatal("append with injected fault succeeded")
 			}
@@ -165,7 +94,8 @@ func TestAppendTruncateFailurePoisonsStore(t *testing.T) {
 	if err := s.LogInit("cvd", 0, walSchema(), walRows(3), "init", "alice", at); err != nil {
 		t.Fatal(err)
 	}
-	ff.set(func(f *faultFile) { f.failWrites = 1; f.failTruncs = 1 })
+	ff.FailWrites(1)
+	ff.FailTruncs(1)
 	if err := s.LogDrop("x"); err == nil {
 		t.Fatal("append with injected fault succeeded")
 	}
@@ -220,7 +150,7 @@ func TestGroupCommitBatchesFsyncs(t *testing.T) {
 			t.Fatalf("append %d: %v", i, err)
 		}
 	}
-	if got := ff.syncCount(); got >= n {
+	if got := ff.SyncCount(); got >= n {
 		t.Fatalf("%d appends cost %d fsyncs; group commit did not batch", n, got)
 	}
 	s.Close()
@@ -258,7 +188,7 @@ func TestGroupCommitDisabled(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := ff.syncCount(); got != n {
+	if got := ff.SyncCount(); got != n {
 		t.Fatalf("%d sequential unbatched appends cost %d fsyncs, want %d", n, got, n)
 	}
 }
@@ -281,7 +211,7 @@ func TestGroupCommitFailureFailsWholeBatch(t *testing.T) {
 	}
 	// Arm more write failures than batches the 8 appends could possibly
 	// split into: however the race shakes out, every batch's write fails.
-	ff.set(func(f *faultFile) { f.failWrites = 8 })
+	ff.FailWrites(8)
 	const n = 8
 	var wg sync.WaitGroup
 	errs := make([]error, n)
@@ -298,7 +228,7 @@ func TestGroupCommitFailureFailsWholeBatch(t *testing.T) {
 			t.Fatalf("append %d of the failing batch reported success", i)
 		}
 	}
-	ff.set(func(f *faultFile) { f.failWrites = 0 })
+	ff.FailWrites(0)
 	if err := s.LogDrop("after"); err != nil {
 		t.Fatalf("append after failed batch: %v", err)
 	}

@@ -4,9 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
+
+	"repro/internal/vfs"
 )
 
 // A checkpoint manifest is the root of one epoch's snapshot: per-table and
@@ -182,7 +183,7 @@ func decodeManifestPayload(payload []byte) (*manifest, error) {
 // writeManifestFile writes the manifest atomically into dir and returns its
 // file size. The chunk pack must already be fsynced: the rename is the
 // commit point of the checkpoint.
-func writeManifestFile(dir string, m *manifest) (int64, error) {
+func writeManifestFile(fsys vfs.FS, dir string, m *manifest) (int64, error) {
 	var e enc
 	e.raw([]byte(manifestMagic))
 	e.u32(formatVersion)
@@ -194,11 +195,11 @@ func writeManifestFile(dir string, m *manifest) (int64, error) {
 	binary.LittleEndian.PutUint32(e.b[12:16], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(e.b[16:20], crc32.ChecksumIEEE(payload))
 
-	tmp, err := os.CreateTemp(dir, ".manifest-*.tmp")
+	tmp, err := fsys.CreateTemp(dir, ".manifest-*.tmp")
 	if err != nil {
 		return 0, err
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	if _, err := tmp.Write(e.b); err != nil {
 		tmp.Close()
 		return 0, err
@@ -210,15 +211,15 @@ func writeManifestFile(dir string, m *manifest) (int64, error) {
 	if err := tmp.Close(); err != nil {
 		return 0, err
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, ManifestFileName(m.epoch))); err != nil {
+	if err := fsys.Rename(tmp.Name(), filepath.Join(dir, ManifestFileName(m.epoch))); err != nil {
 		return 0, err
 	}
-	return int64(len(e.b)), syncDir(dir)
+	return int64(len(e.b)), fsys.SyncDir(dir)
 }
 
 // readManifestFile loads and validates one manifest file.
-func readManifestFile(path string) (*manifest, error) {
-	data, err := os.ReadFile(path)
+func readManifestFile(fsys vfs.FS, path string) (*manifest, error) {
+	data, err := vfs.ReadFile(fsys, path)
 	if err != nil {
 		return nil, err
 	}
@@ -272,8 +273,8 @@ func (m *manifest) chunkRefs(fn func(ChunkHash)) {
 
 // listManifestEpochs returns the epochs of all manifest files in dir,
 // ascending.
-func listManifestEpochs(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func listManifestEpochs(fsys vfs.FS, dir string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}

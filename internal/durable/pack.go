@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/vfs"
 )
 
 // The chunk pack is the append-only chunk store of a data directory:
@@ -42,16 +44,17 @@ type chunkLoc struct {
 // All methods are safe for concurrent use.
 type chunkPack struct {
 	mu   sync.Mutex
+	fsys vfs.FS
 	path string
-	f    *os.File
+	f    vfs.File
 	idx  map[ChunkHash]chunkLoc
 	size int64 // end of the last valid frame == next append offset
 }
 
 // openPack opens (creating if needed) the pack at path and scans its frames
 // into the index. A torn tail is truncated; tornTail reports that.
-func openPack(path string) (p *chunkPack, tornTail bool, err error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+func openPack(fsys vfs.FS, path string) (p *chunkPack, tornTail bool, err error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, false, err
 	}
@@ -76,7 +79,7 @@ func openPack(path string) (p *chunkPack, tornTail bool, err error) {
 		if err := f.Sync(); err != nil {
 			return fail(err)
 		}
-		return &chunkPack{path: path, f: f, idx: make(map[ChunkHash]chunkLoc), size: packHeaderSize}, false, nil
+		return &chunkPack{fsys: fsys, path: path, f: f, idx: make(map[ChunkHash]chunkLoc), size: packHeaderSize}, false, nil
 	}
 	var hdr [packHeaderSize]byte
 	if _, err := f.ReadAt(hdr[:], 0); err != nil {
@@ -136,7 +139,7 @@ func openPack(path string) (p *chunkPack, tornTail bool, err error) {
 			return fail(err)
 		}
 	}
-	return &chunkPack{path: path, f: f, idx: idx, size: valid}, tornTail, nil
+	return &chunkPack{fsys: fsys, path: path, f: f, idx: idx, size: valid}, tornTail, nil
 }
 
 // has reports whether the chunk is present.
@@ -250,11 +253,11 @@ func (p *chunkPack) compact(live map[ChunkHash]struct{}) error {
 		return fmt.Errorf("durable: chunk pack %s is closed", p.path)
 	}
 	dir := filepath.Dir(p.path)
-	tmp, err := os.CreateTemp(dir, ".chunks-*.tmp")
+	tmp, err := p.fsys.CreateTemp(dir, ".chunks-*.tmp")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer p.fsys.Remove(tmp.Name())
 	bw := bufio.NewWriterSize(tmp, 1<<20)
 	var hdr [packHeaderSize]byte
 	copy(hdr[:8], packMagic)
@@ -276,6 +279,13 @@ func (p *chunkPack) compact(live map[ChunkHash]struct{}) error {
 		if _, err := p.f.ReadAt(payload, loc.off); err != nil {
 			tmp.Close()
 			return err
+		}
+		if got := hashChunk(payload); got != h {
+			// Copying a silently-rotted live chunk forward would launder the
+			// corruption behind a fresh CRC; abort and leave the old pack (and
+			// its detectable mismatch) intact for fsck.
+			tmp.Close()
+			return fmt.Errorf("durable: compacting %s: chunk %s content hash mismatch (%s)", p.path, h, got)
 		}
 		copy(frame[:16], h[:])
 		binary.LittleEndian.PutUint32(frame[16:20], loc.n)
@@ -302,13 +312,13 @@ func (p *chunkPack) compact(live map[ChunkHash]struct{}) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), p.path); err != nil {
+	if err := p.fsys.Rename(tmp.Name(), p.path); err != nil {
 		return err
 	}
-	if err := syncDir(dir); err != nil {
+	if err := p.fsys.SyncDir(dir); err != nil {
 		return err
 	}
-	f, err := os.OpenFile(p.path, os.O_RDWR, 0o644)
+	f, err := p.fsys.OpenFile(p.path, os.O_RDWR, 0o644)
 	if err != nil {
 		// The old handle now reads the unlinked pre-compaction file — still
 		// consistent, so keep serving from it rather than failing the store.

@@ -1,0 +1,689 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/vfs"
+)
+
+// Scrub is the offline integrity checker behind `orpheus fsck`: it walks a
+// closed data directory end to end — chunk pack frames (CRC and content
+// hash), checkpoint manifests (file CRC plus every chunk reference),
+// WAL segment framing and record decoding, and the manifest/segment epoch
+// chain — classifies every defect it finds, and (with Repair) fixes what can
+// be fixed without dropping committed history silently:
+//
+//   - a torn pack tail or torn active-WAL tail (crash debris) is truncated
+//     away, exactly as recovery would;
+//   - corrupt chunks no manifest references are compacted out of the pack;
+//   - when the newest manifest references corrupt or missing chunks but an
+//     older retained manifest is fully intact, the damaged manifests (and
+//     the WAL segments stranded by the fallback) are quarantined with a
+//     .corrupt suffix so the directory opens again at the older epoch — and
+//     the report says exactly which epochs were lost;
+//   - everything else (a torn sealed segment, a corrupt live chunk with no
+//     intact fallback, an undecodable committed record) is reported with the
+//     affected epochs and left untouched.
+
+// IssueKind classifies one defect found by Scrub.
+type IssueKind string
+
+// The corruption classes Scrub distinguishes.
+const (
+	// IssueTornPackTail: the chunk pack ends mid-frame — a crashed append.
+	// Repairable: the tail is unreferenced by construction (manifests are
+	// written only after the pack is fsynced).
+	IssueTornPackTail IssueKind = "torn-pack-tail"
+	// IssueCorruptChunk: a pack frame whose payload fails its CRC or whose
+	// content does not hash to the frame's chunk hash (mid-file corruption,
+	// not a torn tail). Repairable by compaction only if no manifest
+	// references it.
+	IssueCorruptChunk IssueKind = "corrupt-chunk"
+	// IssueDanglingRef: a manifest references a chunk the pack does not hold.
+	IssueDanglingRef IssueKind = "dangling-ref"
+	// IssueCorruptManifest: a manifest file fails its magic, CRC, or decode.
+	IssueCorruptManifest IssueKind = "corrupt-manifest"
+	// IssueTornWALTail: the active WAL segment ends mid-record — a crashed
+	// append. Repairable: recovery would truncate it identically.
+	IssueTornWALTail IssueKind = "torn-wal-tail"
+	// IssueSealedWALTorn: a sealed segment ends mid-record. Every record in a
+	// sealed segment was acknowledged, so this is committed-history loss —
+	// never repaired silently.
+	IssueSealedWALTorn IssueKind = "sealed-wal-torn"
+	// IssueCorruptWALRecord: a record passes its frame CRC but does not
+	// decode — mid-log corruption of committed history.
+	IssueCorruptWALRecord IssueKind = "corrupt-wal-record"
+	// IssueMissingWALSegment: the manifest/segment epoch chain has a hole.
+	IssueMissingWALSegment IssueKind = "missing-wal-segment"
+	// IssueCorruptSnapshot: the flat snapshot.orph fails validation (only
+	// checked when it is the recovery root, i.e. no manifest exists).
+	IssueCorruptSnapshot IssueKind = "corrupt-snapshot"
+	// IssueUnopenable: after repairs, a full open of the directory still
+	// fails (reported by Scrub's verification pass).
+	IssueUnopenable IssueKind = "unopenable"
+)
+
+// ScrubIssue is one classified defect.
+type ScrubIssue struct {
+	Kind   IssueKind `json:"kind"`
+	Path   string    `json:"path,omitempty"`
+	Detail string    `json:"detail"`
+	// Epochs lists the checkpoint epochs whose restorability the issue
+	// affects (empty when none — e.g. a corrupt chunk nothing references).
+	Epochs []uint64 `json:"epochs,omitempty"`
+	// Repaired reports that a Repair run fixed this issue.
+	Repaired bool `json:"repaired,omitempty"`
+}
+
+// ScrubReport is the outcome of one Scrub pass.
+type ScrubReport struct {
+	Issues []ScrubIssue `json:"issues"`
+	// ChunksChecked counts pack frames whose CRC and content hash were
+	// verified; ManifestsChecked and SegmentsChecked count files walked.
+	ChunksChecked    int `json:"chunks_checked"`
+	ManifestsChecked int `json:"manifests_checked"`
+	SegmentsChecked  int `json:"segments_checked"`
+	// Repairs counts repair actions taken (0 unless ScrubOptions.Repair).
+	Repairs int `json:"repairs"`
+}
+
+// Healthy reports a defect-free directory.
+func (r *ScrubReport) Healthy() bool { return len(r.Issues) == 0 }
+
+// Unrepaired counts issues no repair fixed — the fsck exit-status signal.
+func (r *ScrubReport) Unrepaired() int {
+	n := 0
+	for _, is := range r.Issues {
+		if !is.Repaired {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *ScrubReport) addIssue(is ScrubIssue) { r.Issues = append(r.Issues, is) }
+
+// ScrubOptions configures Scrub.
+type ScrubOptions struct {
+	// Repair applies the safe repairs instead of only reporting.
+	Repair bool
+	// FS substitutes the filesystem (nil = the real one).
+	FS vfs.FS
+}
+
+// Scrub checks the data directory at dir. It takes the directory's advisory
+// lock for the duration — a directory held open by a live engine refuses to
+// scrub. The returned report lists every defect found; err is reserved for
+// I/O failures of the scrub itself (an unreadable directory), not for
+// corruption, which is always reported rather than returned.
+func Scrub(dir string, opts ScrubOptions) (*ScrubReport, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
+	if _, err := fsys.Stat(dir); err != nil {
+		return nil, err
+	}
+	lock, err := lockDir(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ScrubReport{}
+	scrubErr := scrubLocked(fsys, dir, opts, rep)
+	lock.Close()
+	if scrubErr != nil {
+		return rep, scrubErr
+	}
+	// Verification pass: after a repair run, the directory must actually
+	// open (full recovery path: manifest load, chunk hash verification, WAL
+	// scan). The lock is released above so OpenFS can take it.
+	if opts.Repair && rep.Repairs > 0 {
+		s, _, err := OpenFS(dir, fsys)
+		if err != nil {
+			rep.addIssue(ScrubIssue{Kind: IssueUnopenable, Path: dir,
+				Detail: fmt.Sprintf("directory still fails to open after repair: %v", err)})
+		} else {
+			s.Close()
+		}
+	}
+	return rep, nil
+}
+
+// packState is the pack walk's outcome.
+type packState struct {
+	path    string
+	exists  bool
+	valid   map[ChunkHash]chunkLoc
+	corrupt map[ChunkHash]chunkLoc // frames present but failing CRC or hash
+	tornAt  int64                  // file offset of a torn tail, -1 if none
+	size    int64
+	headerBad string // non-empty: the file is not a readable pack at all
+}
+
+// scanPackFile walks every pack frame, verifying both the frame CRC and the
+// payload's content hash against the frame's chunk hash. Frames that fail
+// either but carry a plausible length are skipped over (mid-file corruption
+// must not hide the chunks after it); an implausible length or a short read
+// at end of file is a torn tail.
+func scanPackFile(fsys vfs.FS, path string, rep *ScrubReport) (*packState, error) {
+	st := &packState{path: path, tornAt: -1,
+		valid: make(map[ChunkHash]chunkLoc), corrupt: make(map[ChunkHash]chunkLoc)}
+	f, err := vfs.Open(fsys, path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return st, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	st.exists = true
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	st.size = info.Size()
+	if st.size < packHeaderSize {
+		st.headerBad = fmt.Sprintf("%d bytes is shorter than the pack header", st.size)
+		return st, nil
+	}
+	var hdr [packHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, err
+	}
+	if string(hdr[:8]) != packMagic {
+		st.headerBad = fmt.Sprintf("bad magic %q", hdr[:8])
+		return st, nil
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != formatVersion {
+		st.headerBad = fmt.Sprintf("unsupported format version %d (want %d)", v, formatVersion)
+		return st, nil
+	}
+	off := int64(packHeaderSize)
+	var frame [packFrameOverhead]byte
+	for off < st.size {
+		if st.size-off < packFrameOverhead {
+			st.tornAt = off
+			break
+		}
+		if _, err := f.ReadAt(frame[:], off); err != nil {
+			return nil, err
+		}
+		var h ChunkHash
+		copy(h[:], frame[:16])
+		n := binary.LittleEndian.Uint32(frame[16:20])
+		wantCRC := binary.LittleEndian.Uint32(frame[20:24])
+		if int64(n) > st.size-off-packFrameOverhead {
+			// The length field runs past end of file: either a torn append
+			// or header rot that makes the rest of the file unparseable.
+			st.tornAt = off
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := f.ReadAt(payload, off+packFrameOverhead); err != nil {
+			return nil, err
+		}
+		loc := chunkLoc{off: off + packFrameOverhead, n: n}
+		rep.ChunksChecked++
+		crcOK := crc32.ChecksumIEEE(payload) == wantCRC
+		hashOK := hashChunk(payload) == h
+		switch {
+		case crcOK && hashOK:
+			st.valid[h] = loc
+		case !crcOK && off+packFrameOverhead+int64(n) == st.size:
+			// A CRC failure in the file's very last frame is
+			// indistinguishable from a crashed append: classify torn tail.
+			st.tornAt = off
+		default:
+			st.corrupt[h] = loc
+		}
+		if st.tornAt >= 0 {
+			break
+		}
+		off += packFrameOverhead + int64(n)
+	}
+	return st, nil
+}
+
+// manifestState is one manifest's scrub outcome.
+type manifestState struct {
+	epoch    uint64
+	path     string
+	m        *manifest // nil when the file itself is corrupt
+	dangling []ChunkHash
+	corrupt  []ChunkHash
+}
+
+func (ms *manifestState) usable() bool {
+	return ms.m != nil && len(ms.dangling) == 0 && len(ms.corrupt) == 0
+}
+
+// walState is one WAL segment's scrub outcome.
+type walState struct {
+	epoch     uint64
+	path      string
+	headerErr error
+	validEnd  int64
+	torn      bool
+	decodeErr error // a CRC-valid record that does not decode
+	records   int
+}
+
+// scanWALSegment validates one segment: header, framing, and a full decode
+// of every CRC-valid record (a record that passes its CRC but does not
+// decode is mid-log corruption, not a torn tail).
+func scanWALSegment(fsys vfs.FS, path string, epoch uint64) (*walState, error) {
+	ws := &walState{epoch: epoch, path: path}
+	f, err := vfs.Open(fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if info.Size() < walHeaderSize {
+		// Crash inside BeginCheckpoint before the new segment's header
+		// landed; recovery completes the header, so this is only a torn tail
+		// when the segment is sealed.
+		ws.validEnd = walHeaderSize
+		ws.torn = info.Size() > 0
+		return ws, nil
+	}
+	e, err := readWALHeader(f)
+	if err != nil {
+		ws.headerErr = err
+		return ws, nil
+	}
+	if e != epoch {
+		ws.headerErr = fmt.Errorf("segment carries epoch %d, name says %d", e, epoch)
+		return ws, nil
+	}
+	ws.validEnd, ws.torn, err = scanWAL(f)
+	if err != nil {
+		return nil, err
+	}
+	// Decode pass over the valid region.
+	offset := int64(walHeaderSize)
+	var hdr [8]byte
+	for offset < ws.validEnd {
+		if _, err := f.ReadAt(hdr[:], offset); err != nil {
+			return nil, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		payload := make([]byte, n)
+		if _, err := f.ReadAt(payload, offset+int64(len(hdr))); err != nil {
+			return nil, err
+		}
+		if _, err := decodeRecord(payload); err != nil {
+			ws.decodeErr = fmt.Errorf("record %d: %w", ws.records, err)
+			break
+		}
+		ws.records++
+		offset += int64(len(hdr)) + int64(n)
+	}
+	return ws, nil
+}
+
+// scrubLocked runs the actual analysis (and repairs) under the directory
+// lock.
+func scrubLocked(fsys vfs.FS, dir string, opts ScrubOptions, rep *ScrubReport) error {
+	packPath := filepath.Join(dir, PackFile)
+	pack, err := scanPackFile(fsys, packPath, rep)
+	if err != nil {
+		return err
+	}
+	if pack.headerBad != "" {
+		rep.addIssue(ScrubIssue{Kind: IssueCorruptChunk, Path: packPath,
+			Detail: "pack header unreadable: " + pack.headerBad})
+	}
+	if pack.tornAt >= 0 {
+		is := ScrubIssue{Kind: IssueTornPackTail, Path: packPath,
+			Detail: fmt.Sprintf("pack ends mid-frame at offset %d (file size %d)", pack.tornAt, pack.size)}
+		if opts.Repair {
+			if err := truncateFile(fsys, packPath, pack.tornAt); err != nil {
+				is.Detail += fmt.Sprintf("; truncate failed: %v", err)
+			} else {
+				is.Repaired = true
+				rep.Repairs++
+			}
+		}
+		rep.addIssue(is)
+	}
+
+	// Manifests: file integrity plus every chunk reference.
+	epochs, err := listManifestEpochs(fsys, dir)
+	if err != nil {
+		return err
+	}
+	var manifests []*manifestState
+	for _, e := range epochs {
+		ms := &manifestState{epoch: e, path: filepath.Join(dir, ManifestFileName(e))}
+		rep.ManifestsChecked++
+		m, err := readManifestFile(fsys, ms.path)
+		if err != nil {
+			rep.addIssue(ScrubIssue{Kind: IssueCorruptManifest, Path: ms.path,
+				Detail: err.Error(), Epochs: []uint64{e}})
+		} else if m.epoch != e {
+			rep.addIssue(ScrubIssue{Kind: IssueCorruptManifest, Path: ms.path,
+				Detail: fmt.Sprintf("manifest carries epoch %d, name says %d", m.epoch, e),
+				Epochs: []uint64{e}})
+		} else {
+			ms.m = m
+			seen := make(map[ChunkHash]struct{})
+			m.chunkRefs(func(h ChunkHash) {
+				if _, dup := seen[h]; dup {
+					return
+				}
+				seen[h] = struct{}{}
+				if _, ok := pack.valid[h]; ok {
+					return
+				}
+				if _, ok := pack.corrupt[h]; ok {
+					ms.corrupt = append(ms.corrupt, h)
+				} else {
+					ms.dangling = append(ms.dangling, h)
+				}
+			})
+			for _, h := range ms.corrupt {
+				rep.addIssue(ScrubIssue{Kind: IssueCorruptChunk, Path: packPath,
+					Detail: fmt.Sprintf("live chunk %s fails CRC/content-hash verification (referenced by epoch %d)", h, e),
+					Epochs: []uint64{e}})
+			}
+			for _, h := range ms.dangling {
+				rep.addIssue(ScrubIssue{Kind: IssueDanglingRef, Path: ms.path,
+					Detail: fmt.Sprintf("manifest references chunk %s which the pack does not hold", h),
+					Epochs: []uint64{e}})
+			}
+		}
+		manifests = append(manifests, ms)
+	}
+
+	// The recovery root Scrub will hold the directory to: the newest usable
+	// manifest, else the flat snapshot (validated only when it is the root).
+	bestUsable := -1
+	for i := len(manifests) - 1; i >= 0; i-- {
+		if manifests[i].usable() {
+			bestUsable = i
+			break
+		}
+	}
+	var base uint64
+	haveRoot := false
+	if bestUsable >= 0 {
+		base = manifests[bestUsable].epoch
+		haveRoot = true
+	} else if len(manifests) == 0 {
+		snapPath := filepath.Join(dir, SnapshotFile)
+		if _, err := fsys.Stat(snapPath); err == nil {
+			snap, err := readSnapshotFileFS(fsys, snapPath)
+			if err != nil {
+				rep.addIssue(ScrubIssue{Kind: IssueCorruptSnapshot, Path: snapPath, Detail: err.Error()})
+			} else if snap != nil {
+				base = snap.Epoch
+				haveRoot = true
+			}
+		} else {
+			haveRoot = true // empty/fresh directory: base 0
+		}
+	}
+
+	// Quarantine fallback: the newest manifests are damaged but an older one
+	// is intact. Renaming the damaged manifests (and the WAL segments the
+	// fallback strands — their records build on checkpoints that are gone)
+	// to .corrupt lets the directory open again at the older epoch. The lost
+	// epochs are reported, never dropped silently.
+	newestDamaged := len(manifests) > 0 && !manifests[len(manifests)-1].usable()
+	if newestDamaged && bestUsable >= 0 && opts.Repair {
+		var lost []uint64
+		ok := true
+		for _, ms := range manifests[bestUsable+1:] {
+			if err := fsys.Rename(ms.path, ms.path+".corrupt"); err != nil {
+				ok = false
+				break
+			}
+			lost = append(lost, ms.epoch)
+			rep.Repairs++
+		}
+		if ok {
+			fsys.SyncDir(dir)
+			manifests = manifests[:bestUsable+1]
+			rep.addIssue(ScrubIssue{Kind: IssueCorruptManifest, Path: dir, Repaired: true,
+				Detail: fmt.Sprintf("fell back to intact manifest epoch %d; quarantined %d damaged newer manifest(s) as .corrupt — epochs %v are no longer restorable", base, len(lost), lost),
+				Epochs: lost})
+		}
+	} else if newestDamaged && bestUsable < 0 && len(manifests) > 0 {
+		rep.addIssue(ScrubIssue{Kind: IssueCorruptManifest, Path: dir,
+			Detail: "no intact manifest remains; the directory cannot be repaired from checkpoints",
+			Epochs: manifestEpochsOf(manifests)})
+	}
+
+	// WAL segments: framing, record decode, and chain contiguity from base.
+	segs, err := listWALSegments(fsys, dir)
+	if err != nil {
+		return err
+	}
+	var chain []walSegment
+	for _, seg := range segs {
+		if seg.epoch < base {
+			continue // stale: recovery deletes these, content already checkpointed
+		}
+		chain = append(chain, seg)
+	}
+	sort.Slice(chain, func(i, j int) bool { return chain[i].epoch < chain[j].epoch })
+	if haveRoot && len(chain) > 0 {
+		if chain[0].epoch != base {
+			is := ScrubIssue{Kind: IssueMissingWALSegment, Path: dir,
+				Detail: fmt.Sprintf("WAL segment for epoch %d is missing (oldest present is %d); commits since checkpoint %d are stranded", base, chain[0].epoch, base),
+				Epochs: []uint64{base}}
+			if opts.Repair {
+				// The stranded segments' records build on state that no
+				// longer exists; quarantine them so the directory opens at
+				// the base checkpoint.
+				ok := true
+				var lostEpochs []uint64
+				for _, seg := range chain {
+					if err := fsys.Rename(seg.path, seg.path+".corrupt"); err != nil {
+						ok = false
+						break
+					}
+					lostEpochs = append(lostEpochs, seg.epoch)
+					rep.Repairs++
+				}
+				if ok {
+					fsys.SyncDir(dir)
+					is.Repaired = true
+					is.Detail += fmt.Sprintf("; quarantined stranded segment(s) %v as .corrupt — their records are no longer replayable", lostEpochs)
+					chain = nil
+				}
+			}
+			rep.addIssue(is)
+		} else {
+			for i := 1; i < len(chain); i++ {
+				if chain[i].epoch != chain[i-1].epoch+1 {
+					rep.addIssue(ScrubIssue{Kind: IssueMissingWALSegment, Path: dir,
+						Detail: fmt.Sprintf("WAL segments %d and %d are not contiguous", chain[i-1].epoch, chain[i].epoch),
+						Epochs: []uint64{chain[i-1].epoch + 1}})
+					break
+				}
+			}
+		}
+	}
+	for i, seg := range chain {
+		active := i == len(chain)-1
+		rep.SegmentsChecked++
+		ws, err := scanWALSegment(fsys, seg.path, seg.epoch)
+		if err != nil {
+			return err
+		}
+		switch {
+		case ws.headerErr != nil:
+			rep.addIssue(ScrubIssue{Kind: IssueCorruptWALRecord, Path: seg.path,
+				Detail: "WAL header unreadable: " + ws.headerErr.Error(), Epochs: []uint64{seg.epoch}})
+		case ws.decodeErr != nil:
+			rep.addIssue(ScrubIssue{Kind: IssueCorruptWALRecord, Path: seg.path,
+				Detail: "committed record does not decode: " + ws.decodeErr.Error(), Epochs: []uint64{seg.epoch}})
+		case ws.torn && !active:
+			rep.addIssue(ScrubIssue{Kind: IssueSealedWALTorn, Path: seg.path,
+				Detail: fmt.Sprintf("sealed segment ends mid-record at offset %d — committed history is damaged; refusing to truncate", ws.validEnd),
+				Epochs: []uint64{seg.epoch}})
+		case ws.torn && active:
+			is := ScrubIssue{Kind: IssueTornWALTail, Path: seg.path,
+				Detail: fmt.Sprintf("active segment ends mid-record at offset %d (a crashed append); the torn bytes were never acknowledged", ws.validEnd),
+				Epochs: []uint64{seg.epoch}}
+			if opts.Repair {
+				if err := truncateFile(fsys, seg.path, ws.validEnd); err != nil {
+					is.Detail += fmt.Sprintf("; truncate failed: %v", err)
+				} else {
+					is.Repaired = true
+					rep.Repairs++
+				}
+			}
+			rep.addIssue(is)
+		}
+	}
+
+	// Dead corrupt chunks: compact them out of the pack. Live ones must stay
+	// in place — dropping the frame would turn a detectable hash mismatch
+	// into a dangling reference.
+	if len(pack.corrupt) > 0 && opts.Repair {
+		live := make(map[ChunkHash]struct{})
+		for _, ms := range manifests {
+			if ms.m != nil {
+				ms.m.chunkRefs(func(h ChunkHash) { live[h] = struct{}{} })
+			}
+		}
+		dead := 0
+		anyLive := false
+		for h := range pack.corrupt {
+			if _, ok := live[h]; ok {
+				anyLive = true
+			} else {
+				dead++
+			}
+		}
+		if dead > 0 && !anyLive {
+			is := ScrubIssue{Kind: IssueCorruptChunk, Path: packPath,
+				Detail: fmt.Sprintf("compacted %d corrupt unreferenced chunk frame(s) out of the pack", dead)}
+			if err := rewritePackDroppingCorrupt(fsys, packPath, pack); err != nil {
+				is.Detail = fmt.Sprintf("compacting %d corrupt unreferenced chunk frame(s) failed: %v", dead, err)
+			} else {
+				is.Repaired = true
+				rep.Repairs++
+			}
+			rep.addIssue(is)
+		}
+	}
+	// Corrupt chunks nothing references (reported even without Repair so a
+	// plain fsck run shows them).
+	if !opts.Repair {
+		live := make(map[ChunkHash]struct{})
+		for _, ms := range manifests {
+			if ms.m != nil {
+				ms.m.chunkRefs(func(h ChunkHash) { live[h] = struct{}{} })
+			}
+		}
+		for h := range pack.corrupt {
+			if _, ok := live[h]; !ok {
+				rep.addIssue(ScrubIssue{Kind: IssueCorruptChunk, Path: packPath,
+					Detail: fmt.Sprintf("unreferenced chunk %s fails CRC/content-hash verification (safe to compact away with -repair)", h)})
+			}
+		}
+	}
+	return nil
+}
+
+func manifestEpochsOf(ms []*manifestState) []uint64 {
+	out := make([]uint64, len(ms))
+	for i, m := range ms {
+		out[i] = m.epoch
+	}
+	return out
+}
+
+// truncateFile truncates path to size and syncs it.
+func truncateFile(fsys vfs.FS, path string, size int64) error {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// rewritePackDroppingCorrupt streams every valid frame of the pack into a
+// temp file and renames it over — the fsck sibling of chunkPack.compact,
+// keeping all valid chunks (live or dead; retention GC owns dead-chunk
+// collection) and dropping only frames that fail verification.
+func rewritePackDroppingCorrupt(fsys vfs.FS, path string, pack *packState) error {
+	src, err := vfs.Open(fsys, path)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	dir := filepath.Dir(path)
+	tmp, err := fsys.CreateTemp(dir, ".chunks-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer fsys.Remove(tmp.Name())
+	var hdr [packHeaderSize]byte
+	copy(hdr[:8], packMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], formatVersion)
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		tmp.Close()
+		return err
+	}
+	// Deterministic output order: by source offset.
+	type entry struct {
+		h   ChunkHash
+		loc chunkLoc
+	}
+	entries := make([]entry, 0, len(pack.valid))
+	for h, loc := range pack.valid {
+		entries = append(entries, entry{h, loc})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].loc.off < entries[j].loc.off })
+	var frame [packFrameOverhead]byte
+	for _, ent := range entries {
+		payload := make([]byte, ent.loc.n)
+		if _, err := src.ReadAt(payload, ent.loc.off); err != nil {
+			tmp.Close()
+			return err
+		}
+		if got := hashChunk(payload); got != ent.h {
+			tmp.Close()
+			return fmt.Errorf("chunk %s changed under scrub (now hashes %s)", ent.h, got)
+		}
+		copy(frame[:16], ent.h[:])
+		binary.LittleEndian.PutUint32(frame[16:20], ent.loc.n)
+		binary.LittleEndian.PutUint32(frame[20:24], crc32.ChecksumIEEE(payload))
+		if _, err := tmp.Write(frame[:]); err != nil {
+			tmp.Close()
+			return err
+		}
+		if _, err := tmp.Write(payload); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}

@@ -1,0 +1,401 @@
+package durable
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/relstore"
+	"repro/internal/vfs"
+	"repro/internal/vgraph"
+)
+
+// The fsck "teeth" tests: each one injects a precise, realistic corruption
+// into a real data directory and proves Scrub detects it — and repairs it
+// exactly when repair is safe.
+
+// buildScrubDir creates a closed data directory with one completed
+// checkpoint and a non-empty active WAL segment.
+func buildScrubDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Unix(0, 42)
+	if err := s.LogInit("cvd", 0, walSchema(), walRows(3), "init", "alice", at); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	snap := &Snapshot{DBName: "db", Tables: []*relstore.Table{randomTable(t, rng, "a", 64)}}
+	if _, err := s.CheckpointSync(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LogCommit("cvd", []vgraph.VersionID{1}, walRows(2), walSchema(), "post-ckpt", "bob", at.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+type packFrame struct {
+	off     int64 // frame start (hash field)
+	n       uint32
+	h       ChunkHash
+	payload []byte
+}
+
+// readPackFrames parses every frame of a pack file.
+func readPackFrames(t *testing.T, path string) []packFrame {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []packFrame
+	off := int64(packHeaderSize)
+	for off < int64(len(data)) {
+		var f packFrame
+		f.off = off
+		copy(f.h[:], data[off:off+16])
+		f.n = binary.LittleEndian.Uint32(data[off+16 : off+20])
+		f.payload = data[off+packFrameOverhead : off+packFrameOverhead+int64(f.n)]
+		frames = append(frames, f)
+		off += packFrameOverhead + int64(f.n)
+	}
+	return frames
+}
+
+func scrubKinds(rep *ScrubReport) map[IssueKind]int {
+	kinds := make(map[IssueKind]int)
+	for _, is := range rep.Issues {
+		kinds[is.Kind]++
+	}
+	return kinds
+}
+
+func TestScrubHealthyDir(t *testing.T) {
+	dir := buildScrubDir(t)
+	rep, err := Scrub(dir, ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() {
+		t.Fatalf("healthy directory reported issues: %+v", rep.Issues)
+	}
+	if rep.ChunksChecked == 0 || rep.ManifestsChecked == 0 || rep.SegmentsChecked == 0 {
+		t.Fatalf("scrub walked nothing: %+v", rep)
+	}
+}
+
+// TestScrubFlippedLiveChunk: silent bit rot inside a live chunk. The flip is
+// paired with a recomputed frame CRC, so only the content-hash check can
+// catch it — the exact gap a CRC-only scrubber would miss. Detection is
+// mandatory; repair is impossible (the payload is gone) so the issue must
+// stay unrepaired and name the affected epoch.
+func TestScrubFlippedLiveChunk(t *testing.T) {
+	dir := buildScrubDir(t)
+	packPath := filepath.Join(dir, PackFile)
+	frames := readPackFrames(t, packPath)
+	if len(frames) < 2 {
+		t.Fatalf("fixture pack has %d frames, want >= 2", len(frames))
+	}
+	f, err := os.OpenFile(packPath, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := frames[0]
+	flipped := append([]byte(nil), target.payload...)
+	flipped[len(flipped)/2] ^= 0x01
+	if _, err := f.WriteAt(flipped, target.off+packFrameOverhead); err != nil {
+		t.Fatal(err)
+	}
+	var crcField [4]byte
+	binary.LittleEndian.PutUint32(crcField[:], crc32.ChecksumIEEE(flipped))
+	if _, err := f.WriteAt(crcField[:], target.off+20); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	for _, repair := range []bool{false, true} {
+		rep, err := Scrub(dir, ScrubOptions{Repair: repair})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds := scrubKinds(rep)
+		if kinds[IssueCorruptChunk] == 0 {
+			t.Fatalf("repair=%v: flipped live chunk not detected: %+v", repair, rep.Issues)
+		}
+		found := false
+		for _, is := range rep.Issues {
+			if is.Kind == IssueCorruptChunk && len(is.Epochs) > 0 {
+				found = true
+				if is.Repaired {
+					t.Fatalf("a corrupt LIVE chunk claims to be repaired: %+v", is)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("repair=%v: no corrupt-chunk issue names the affected epoch: %+v", repair, rep.Issues)
+		}
+		if rep.Unrepaired() == 0 {
+			t.Fatalf("repair=%v: irrecoverable rot reported as fully repaired", repair)
+		}
+	}
+}
+
+// TestScrubPlainBitFlip: the classic single bit flip (no CRC fix-up). The
+// frame CRC catches it; mid-file position must classify as corruption, not a
+// torn tail.
+func TestScrubPlainBitFlip(t *testing.T) {
+	dir := buildScrubDir(t)
+	packPath := filepath.Join(dir, PackFile)
+	frames := readPackFrames(t, packPath)
+	if len(frames) < 2 {
+		t.Fatalf("fixture pack has %d frames, want >= 2", len(frames))
+	}
+	f, err := os.OpenFile(packPath, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := frames[0] // mid-file: later frames follow
+	b := []byte{target.payload[0] ^ 0x80}
+	if _, err := f.WriteAt(b, target.off+packFrameOverhead); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rep, err := Scrub(dir, ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := scrubKinds(rep)
+	if kinds[IssueCorruptChunk] == 0 {
+		t.Fatalf("mid-file bit flip not detected as corrupt chunk: %+v", rep.Issues)
+	}
+	if kinds[IssueTornPackTail] != 0 {
+		t.Fatalf("mid-file bit flip misclassified as torn tail: %+v", rep.Issues)
+	}
+}
+
+// TestScrubDanglingRef: a chunk the manifest references vanishes from the
+// pack (here: the pack is rewritten without its first frame — the shape left
+// by a bad compaction or an external truncate+rewrite).
+func TestScrubDanglingRef(t *testing.T) {
+	dir := buildScrubDir(t)
+	packPath := filepath.Join(dir, PackFile)
+	data, err := os.ReadFile(packPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := readPackFrames(t, packPath)
+	if len(frames) < 2 {
+		t.Fatalf("fixture pack has %d frames, want >= 2", len(frames))
+	}
+	// Splice out frame 0.
+	cut := frames[1].off
+	out := append(append([]byte(nil), data[:packHeaderSize]...), data[cut:]...)
+	if err := os.WriteFile(packPath, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Scrub(dir, ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := scrubKinds(rep)
+	if kinds[IssueDanglingRef] == 0 {
+		t.Fatalf("dangling manifest reference not detected: %+v", rep.Issues)
+	}
+}
+
+// TestScrubTornWALTail: a crashed append leaves half a record at the end of
+// the active segment. Detection is mandatory; repair (truncating the
+// unacknowledged bytes) is safe, after which the directory must reopen with
+// every committed record intact.
+func TestScrubTornWALTail(t *testing.T) {
+	dir := buildScrubDir(t)
+	segs, err := listWALSegments(vfs.OS(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := segs[len(segs)-1]
+	f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record header claiming 1000 payload bytes, followed by only 6.
+	var tail [8 + 6]byte
+	binary.LittleEndian.PutUint32(tail[:4], 1000)
+	binary.LittleEndian.PutUint32(tail[4:8], 0xdeadbeef)
+	if _, err := f.Write(tail[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rep, err := Scrub(dir, ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrubKinds(rep)[IssueTornWALTail] == 0 {
+		t.Fatalf("torn active WAL tail not detected: %+v", rep.Issues)
+	}
+
+	rep, err = Scrub(dir, ScrubOptions{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrubKinds(rep)[IssueTornWALTail] == 0 {
+		t.Fatalf("torn tail vanished from repair report: %+v", rep.Issues)
+	}
+	if rep.Unrepaired() != 0 {
+		t.Fatalf("torn active tail should repair cleanly: %+v", rep.Issues)
+	}
+	s, _, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopening repaired directory: %v", err)
+	}
+	var commits int
+	if _, err := s.ReplayWAL(func(r *Record) error {
+		commits++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if commits != 1 {
+		t.Fatalf("replayed %d records after repair, want 1 (the post-checkpoint commit)", commits)
+	}
+}
+
+// TestScrubTornPackTail: garbage appended to the pack (a crashed chunk
+// append) is classified as a torn tail and truncated away on repair.
+func TestScrubTornPackTail(t *testing.T) {
+	dir := buildScrubDir(t)
+	packPath := filepath.Join(dir, PackFile)
+	f, err := os.OpenFile(packPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("half a frame")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rep, err := Scrub(dir, ScrubOptions{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrubKinds(rep)[IssueTornPackTail] == 0 {
+		t.Fatalf("torn pack tail not detected: %+v", rep.Issues)
+	}
+	if rep.Unrepaired() != 0 {
+		t.Fatalf("torn pack tail should repair cleanly: %+v", rep.Issues)
+	}
+	if _, err := Scrub(dir, ScrubOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScrubManifestFallback: the newest of two retained manifests is
+// corrupted. Scrub must fall back to the older intact one on repair —
+// quarantining the damaged manifest and the WAL segments stranded by the
+// fallback — and report exactly which epochs were lost. The directory must
+// open again afterwards.
+func TestScrubManifestFallback(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRetention(4)
+	at := time.Unix(0, 42)
+	if err := s.LogInit("cvd", 0, walSchema(), walRows(3), "init", "alice", at); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	if _, err := s.CheckpointSync(&Snapshot{DBName: "db", Tables: []*relstore.Table{randomTable(t, rng, "a", 64)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CheckpointSync(&Snapshot{DBName: "db", Tables: []*relstore.Table{randomTable(t, rng, "b", 64)}}); err != nil {
+		t.Fatal(err)
+	}
+	epochs := s.RetainedEpochs()
+	if len(epochs) < 2 {
+		t.Fatalf("fixture retained %d epochs, want >= 2", len(epochs))
+	}
+	newest := epochs[len(epochs)-1]
+	older := epochs[len(epochs)-2]
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte in the newest manifest's payload.
+	manPath := filepath.Join(dir, ManifestFileName(newest))
+	data, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(manPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Scrub(dir, ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrubKinds(rep)[IssueCorruptManifest] == 0 {
+		t.Fatalf("corrupt newest manifest not detected: %+v", rep.Issues)
+	}
+
+	rep, err = Scrub(dir, ScrubOptions{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lostReported bool
+	for _, is := range rep.Issues {
+		if is.Repaired {
+			for _, e := range is.Epochs {
+				if e == newest {
+					lostReported = true
+				}
+			}
+		}
+	}
+	if !lostReported {
+		t.Fatalf("fallback repair does not report epoch %d as lost: %+v", newest, rep.Issues)
+	}
+	if scrubKinds(rep)[IssueUnopenable] != 0 {
+		t.Fatalf("directory still unopenable after fallback repair: %+v", rep.Issues)
+	}
+	s2, res, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopening after fallback repair: %v", err)
+	}
+	defer s2.Close()
+	if s2.Epoch() != older {
+		t.Fatalf("reopened at epoch %d, want fallback epoch %d", s2.Epoch(), older)
+	}
+	if res.Snapshot == nil {
+		t.Fatal("fallback open recovered no snapshot")
+	}
+}
+
+// TestScrubRefusesLiveDir: a directory held open by a live store must refuse
+// to scrub rather than racing its writes.
+func TestScrubRefusesLiveDir(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := Scrub(dir, ScrubOptions{}); err == nil {
+		t.Fatal("scrub of a locked live directory succeeded")
+	}
+}

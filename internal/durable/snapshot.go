@@ -15,6 +15,7 @@ import (
 	"repro/internal/cvd"
 	"repro/internal/recset"
 	"repro/internal/relstore"
+	"repro/internal/vfs"
 	"repro/internal/vgraph"
 )
 
@@ -320,37 +321,23 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 // WriteSnapshotFile writes a snapshot atomically: into a temp file in the
 // same directory, fsynced, then renamed over the target.
 func WriteSnapshotFile(path string, snap *Snapshot) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".snapshot-*.tmp")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := WriteSnapshot(tmp, snap); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	return syncDir(dir)
+	return writeSnapshotFileFS(vfs.OS(), path, snap, SnapshotOptions{})
 }
 
 // WriteSnapshotFileOpts is WriteSnapshotFile with explicit encoding options.
 func WriteSnapshotFileOpts(path string, snap *Snapshot, opts SnapshotOptions) error {
+	return writeSnapshotFileFS(vfs.OS(), path, snap, opts)
+}
+
+// writeSnapshotFileFS is the FS-explicit snapshot writer behind the exported
+// entry points: temp file, fsync, rename, dir sync.
+func writeSnapshotFileFS(fsys vfs.FS, path string, snap *Snapshot, opts SnapshotOptions) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".snapshot-*.tmp")
+	tmp, err := fsys.CreateTemp(dir, ".snapshot-*.tmp")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	if err := WriteSnapshotOpts(tmp, snap, opts); err != nil {
 		tmp.Close()
 		return err
@@ -362,15 +349,19 @@ func WriteSnapshotFileOpts(path string, snap *Snapshot, opts SnapshotOptions) er
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return fsys.SyncDir(dir)
 }
 
 // ReadSnapshotFile loads a snapshot file; a missing file returns (nil, nil).
 func ReadSnapshotFile(path string) (*Snapshot, error) {
-	f, err := os.Open(path)
+	return readSnapshotFileFS(vfs.OS(), path)
+}
+
+func readSnapshotFileFS(fsys vfs.FS, path string) (*Snapshot, error) {
+	f, err := vfs.Open(fsys, path)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -379,18 +370,6 @@ func ReadSnapshotFile(path string) (*Snapshot, error) {
 	}
 	defer f.Close()
 	return ReadSnapshot(f)
-}
-
-// syncDir fsyncs a directory so a rename inside it is durable; best-effort on
-// platforms where directories cannot be opened for sync.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return nil
-	}
-	defer d.Close()
-	_ = d.Sync()
-	return nil
 }
 
 // ---- table sections ---------------------------------------------------------
@@ -426,4 +405,3 @@ func (d *dec) recset() *recset.Set {
 	d.off += n
 	return s
 }
-

@@ -9,12 +9,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"syscall"
 	"time"
 
 	"repro/internal/cvd"
 	"repro/internal/parallel"
 	"repro/internal/relstore"
+	"repro/internal/vfs"
 	"repro/internal/vgraph"
 )
 
@@ -34,19 +34,20 @@ import (
 // Segments older than the newest manifest are deleted as stale on open and
 // after every completed checkpoint.
 type Store struct {
-	dir string
+	dir  string
+	fsys vfs.FS // every byte of durable I/O goes through this
 
 	// mu guards the WAL handle, epochs, end-of-log offset, poison state, the
 	// sealed-segment list, and the manifest map, and serializes every WAL disk
 	// operation (batch writes, sealing, replay).
 	mu         sync.Mutex
-	wal        walFile
+	wal        vfs.File
 	walPath    string
-	lock       *os.File // flock-held lock file fencing other processes
-	epoch      uint64   // active WAL segment epoch == next manifest epoch
-	base       uint64   // newest durable manifest epoch (or flat-snapshot epoch)
-	walSize    int64    // offset just past the last durable record (header included)
-	poisoned   error    // sticky fatal error: the log tail state is unknown
+	lock       io.Closer // held advisory lock fencing other processes
+	epoch      uint64    // active WAL segment epoch == next manifest epoch
+	base       uint64    // newest durable manifest epoch (or flat-snapshot epoch)
+	walSize    int64     // offset just past the last durable record (header included)
+	poisoned   error     // sticky fatal error: the log tail state is unknown
 	sealed     []walSegment
 	ckptActive bool
 	manifests  map[uint64]*manifest
@@ -84,18 +85,6 @@ type fpEntry struct {
 type walSegment struct {
 	epoch uint64
 	path  string
-}
-
-// walFile is the subset of *os.File the WAL code uses. It exists so tests can
-// wrap the real file with a fault-injecting implementation and prove the
-// failure paths (short writes, failed fsyncs) keep the log recoverable.
-type walFile interface {
-	io.ReaderAt
-	io.WriterAt
-	Truncate(size int64) error
-	Sync() error
-	Stat() (os.FileInfo, error)
-	Close() error
 }
 
 // DefaultGroupCommitBatch is the frames-per-fsync cap used when group commit
@@ -177,16 +166,15 @@ type walBatch struct {
 const LockFile = "lock.orph"
 
 // lockDir acquires the directory's advisory lock, non-blocking.
-func lockDir(dir string) (*os.File, error) {
-	f, err := os.OpenFile(filepath.Join(dir, LockFile), os.O_RDWR|os.O_CREATE, 0o644)
+func lockDir(fsys vfs.FS, dir string) (io.Closer, error) {
+	lock, err := fsys.Lock(filepath.Join(dir, LockFile))
 	if err != nil {
-		return nil, err
-	}
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
+		if os.IsNotExist(err) || os.IsPermission(err) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("durable: data directory %s is locked by another engine: %w", dir, err)
 	}
-	return f, nil
+	return lock, nil
 }
 
 // OpenResult is what Open recovered from a data directory: the snapshot (nil
@@ -205,18 +193,18 @@ type OpenResult struct {
 
 // removeLeftoverTemps clears crash debris: temp files whose rename never
 // happened.
-func removeLeftoverTemps(dir string) {
+func removeLeftoverTemps(fsys vfs.FS, dir string) {
 	for _, pat := range []string{".snapshot-*.tmp", ".manifest-*.tmp", ".chunks-*.tmp"} {
-		matches, _ := filepath.Glob(filepath.Join(dir, pat))
+		matches, _ := vfs.Glob(fsys, dir, pat)
 		for _, m := range matches {
-			os.Remove(m)
+			fsys.Remove(m)
 		}
 	}
 }
 
 // listWALSegments returns the directory's WAL segments, epoch-ascending.
-func listWALSegments(dir string) ([]walSegment, error) {
-	entries, err := os.ReadDir(dir)
+func listWALSegments(fsys vfs.FS, dir string) ([]walSegment, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -241,18 +229,26 @@ func listWALSegments(dir string) ([]walSegment, error) {
 // a record boundary. Call ReplayWAL next to stream the surviving records; the
 // returned store is ready for appends.
 func Open(dir string) (*Store, *OpenResult, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(dir, vfs.OS())
+}
+
+// OpenFS is Open on an explicit filesystem — the production entry point uses
+// vfs.OS(); fault-injection tests substitute a vfs.FaultFS so every byte of
+// durable I/O is interceptable.
+func OpenFS(dir string, fsys vfs.FS) (*Store, *OpenResult, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, err
 	}
-	if _, err := os.Stat(filepath.Join(dir, WALFile)); err == nil {
+	if _, err := fsys.Stat(filepath.Join(dir, WALFile)); err == nil {
 		return nil, nil, fmt.Errorf("durable: %s holds a format v1 WAL (%s); this build reads format v2 only — re-export from a v1 build and load the export", dir, WALFile)
 	}
-	lock, err := lockDir(dir)
+	lock, err := lockDir(fsys, dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	s := &Store{
 		dir:       dir,
+		fsys:      fsys,
 		lock:      lock,
 		gc:        GroupCommitConfig{}.normalized(),
 		manifests: make(map[uint64]*manifest),
@@ -273,23 +269,23 @@ func Open(dir string) (*Store, *OpenResult, error) {
 		lock.Close()
 		return nil, nil, err
 	}
-	removeLeftoverTemps(dir)
+	removeLeftoverTemps(fsys, dir)
 
 	// A torn pack tail is routine crash debris: chunks only become reachable
 	// once a manifest referencing them is durably renamed in, and the pack is
 	// fsynced before the manifest, so the truncated bytes were unreferenced.
-	pack, _, err := openPack(filepath.Join(dir, PackFile))
+	pack, _, err := openPack(fsys, filepath.Join(dir, PackFile))
 	if err != nil {
 		return fail(err)
 	}
 	s.pack = pack
 
-	epochs, err := listManifestEpochs(dir)
+	epochs, err := listManifestEpochs(fsys, dir)
 	if err != nil {
 		return fail(err)
 	}
 	for _, e := range epochs {
-		m, err := readManifestFile(filepath.Join(dir, ManifestFileName(e)))
+		m, err := readManifestFile(fsys, filepath.Join(dir, ManifestFileName(e)))
 		if err != nil {
 			return fail(err)
 		}
@@ -306,7 +302,7 @@ func Open(dir string) (*Store, *OpenResult, error) {
 		}
 		res.Snapshot = snap
 	} else {
-		snap, err := ReadSnapshotFile(filepath.Join(dir, SnapshotFile))
+		snap, err := readSnapshotFileFS(fsys, filepath.Join(dir, SnapshotFile))
 		if err != nil {
 			return fail(err)
 		}
@@ -316,7 +312,7 @@ func Open(dir string) (*Store, *OpenResult, error) {
 		}
 	}
 
-	segs, err := listWALSegments(dir)
+	segs, err := listWALSegments(fsys, dir)
 	if err != nil {
 		return fail(err)
 	}
@@ -327,7 +323,7 @@ func Open(dir string) (*Store, *OpenResult, error) {
 			// folded into the checkpoint (a crash beat the post-checkpoint
 			// cleanup to the delete).
 			res.StaleWAL = true
-			if err := os.Remove(seg.path); err != nil {
+			if err := fsys.Remove(seg.path); err != nil {
 				return fail(err)
 			}
 			continue
@@ -336,7 +332,7 @@ func Open(dir string) (*Store, *OpenResult, error) {
 	}
 	if len(keep) == 0 {
 		seg := walSegment{epoch: s.base, path: filepath.Join(dir, WALSegmentFileName(s.base))}
-		f, err := os.OpenFile(seg.path, os.O_RDWR|os.O_CREATE, 0o644)
+		f, err := fsys.OpenFile(seg.path, os.O_RDWR|os.O_CREATE, 0o644)
 		if err != nil {
 			return fail(err)
 		}
@@ -358,7 +354,7 @@ func Open(dir string) (*Store, *OpenResult, error) {
 	// BeginCheckpoint after every append in them returned durably, so a torn
 	// tail here is mid-log corruption, not crash debris.
 	for _, seg := range keep[:len(keep)-1] {
-		f, err := os.Open(seg.path)
+		f, err := vfs.Open(fsys, seg.path)
 		if err != nil {
 			return fail(err)
 		}
@@ -381,7 +377,7 @@ func Open(dir string) (*Store, *OpenResult, error) {
 	}
 
 	active := keep[len(keep)-1]
-	f, err := os.OpenFile(active.path, os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(active.path, os.O_RDWR, 0o644)
 	if err != nil {
 		return fail(err)
 	}
@@ -434,7 +430,7 @@ func (s *Store) ReplayWAL(apply func(*Record) error) (int, error) {
 	}
 	total := 0
 	for _, seg := range s.sealed {
-		f, err := os.Open(seg.path)
+		f, err := vfs.Open(s.fsys, seg.path)
 		if err != nil {
 			return total, err
 		}
@@ -677,13 +673,13 @@ func (s *Store) BeginCheckpoint() (*CheckpointJob, error) {
 	}
 	newEpoch := s.epoch + 1
 	newPath := filepath.Join(s.dir, WALSegmentFileName(newEpoch))
-	f, err := os.OpenFile(newPath, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := s.fsys.OpenFile(newPath, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	if err := writeWALHeader(f, newEpoch); err != nil {
 		f.Close()
-		os.Remove(newPath)
+		s.fsys.Remove(newPath)
 		return nil, err
 	}
 	// Seal the old segment. Every record in it is already fsynced (append's
@@ -726,7 +722,7 @@ func (s *Store) CompleteCheckpoint(job *CheckpointJob, snap *Snapshot) (Checkpoi
 	if err := s.pack.sync(); err != nil {
 		return stats, err
 	}
-	mb, err := writeManifestFile(s.dir, m)
+	mb, err := writeManifestFile(s.fsys, s.dir, m)
 	if err != nil {
 		return stats, err
 	}
@@ -740,7 +736,7 @@ func (s *Store) CompleteCheckpoint(job *CheckpointJob, snap *Snapshot) (Checkpoi
 	var keep []walSegment
 	for _, seg := range s.sealed {
 		if seg.epoch < job.epoch {
-			os.Remove(seg.path)
+			s.fsys.Remove(seg.path)
 		} else {
 			keep = append(keep, seg)
 		}
@@ -751,7 +747,7 @@ func (s *Store) CompleteCheckpoint(job *CheckpointJob, snap *Snapshot) (Checkpoi
 
 	// The flat snapshot export (if this directory began life as one) is
 	// superseded by the manifest now.
-	os.Remove(filepath.Join(s.dir, SnapshotFile))
+	s.fsys.Remove(filepath.Join(s.dir, SnapshotFile))
 	s.collectGarbage(retain)
 	stats.Duration = time.Since(job.start)
 	return stats, nil
@@ -984,7 +980,7 @@ func (s *Store) collectGarbage(retain int) {
 		e := epochs[0]
 		epochs = epochs[1:]
 		delete(s.manifests, e)
-		os.Remove(filepath.Join(s.dir, ManifestFileName(e)))
+		s.fsys.Remove(filepath.Join(s.dir, ManifestFileName(e)))
 		removed = true
 	}
 	live := make(map[ChunkHash]struct{})
@@ -995,7 +991,7 @@ func (s *Store) collectGarbage(retain int) {
 	if removed {
 		// Make the deletions durable before dropping the chunks they pinned:
 		// a resurrected manifest must never reference compacted-away chunks.
-		syncDir(s.dir)
+		s.fsys.SyncDir(s.dir)
 	}
 	total, liveBytes := s.pack.bytes(live)
 	if dead := total - liveBytes; dead > packCompactMinDead && dead > liveBytes {
@@ -1021,25 +1017,26 @@ func (s *Store) LoadEpoch(epoch uint64) (*Snapshot, error) {
 // ListEpochs returns the retained checkpoint epochs of a data directory,
 // ascending, without opening it as a store.
 func ListEpochs(dir string) ([]uint64, error) {
-	return listManifestEpochs(dir)
+	return listManifestEpochs(vfs.OS(), dir)
 }
 
 // OpenAtEpoch loads the snapshot of one retained epoch from a closed data
 // directory (the directory lock is held only for the read).
 func OpenAtEpoch(dir string, epoch uint64) (*Snapshot, error) {
-	lock, err := lockDir(dir)
+	fsys := vfs.OS()
+	lock, err := lockDir(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
 	defer lock.Close()
-	m, err := readManifestFile(filepath.Join(dir, ManifestFileName(epoch)))
+	m, err := readManifestFile(fsys, filepath.Join(dir, ManifestFileName(epoch)))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, fmt.Errorf("durable: epoch %d is not retained in %s", epoch, dir)
 		}
 		return nil, err
 	}
-	pack, _, err := openPack(filepath.Join(dir, PackFile))
+	pack, _, err := openPack(fsys, filepath.Join(dir, PackFile))
 	if err != nil {
 		return nil, err
 	}
@@ -1087,7 +1084,7 @@ func SaveSnapshot(dir string, snap *Snapshot) error {
 	if live, what := liveDirArtifact(dir); live {
 		return fmt.Errorf("durable: %s is a live data directory (has %s); use Checkpoint instead of Save", dir, what)
 	}
-	lock, err := lockDir(dir)
+	lock, err := lockDir(vfs.OS(), dir)
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cvd"
 	"repro/internal/relstore"
+	"repro/internal/vfs"
 	"repro/internal/vgraph"
 )
 
@@ -128,7 +129,7 @@ func decodeRecord(payload []byte) (*Record, error) {
 
 // writeWALHeader (re)writes the header at the start of f and truncates
 // everything after it.
-func writeWALHeader(f walFile, epoch uint64) error {
+func writeWALHeader(f vfs.File, epoch uint64) error {
 	var hdr [walHeaderSize]byte
 	copy(hdr[:8], walMagic)
 	binary.LittleEndian.PutUint32(hdr[8:12], formatVersion)
@@ -143,7 +144,7 @@ func writeWALHeader(f walFile, epoch uint64) error {
 }
 
 // readWALHeader validates the header and returns the epoch.
-func readWALHeader(f walFile) (uint64, error) {
+func readWALHeader(f vfs.File) (uint64, error) {
 	var hdr [walHeaderSize]byte
 	if _, err := io.ReadFull(io.NewSectionReader(f, 0, walHeaderSize), hdr[:]); err != nil {
 		return 0, fmt.Errorf("durable: reading WAL header: %w", err)
@@ -161,7 +162,7 @@ func readWALHeader(f walFile) (uint64, error) {
 // payloads (pass 1 of recovery): it returns the offset just past the last
 // fully-valid record and whether a torn tail — truncated header or payload,
 // or a CRC mismatch from a crashed append — follows it.
-func scanWAL(f walFile) (validEnd int64, torn bool, err error) {
+func scanWAL(f vfs.File) (validEnd int64, torn bool, err error) {
 	info, err := f.Stat()
 	if err != nil {
 		return 0, false, err
@@ -200,7 +201,7 @@ func scanWAL(f walFile) (validEnd int64, torn bool, err error) {
 // payload at a time so replaying a large WAL never materializes the whole
 // log in memory. The caller (Open) has already truncated any torn tail, so
 // every frame here is complete and CRC-valid.
-func replayWAL(f walFile, apply func(*Record) error) (applied int, err error) {
+func replayWAL(f vfs.File, apply func(*Record) error) (applied int, err error) {
 	info, err := f.Stat()
 	if err != nil {
 		return 0, err

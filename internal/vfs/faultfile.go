@@ -1,0 +1,99 @@
+package vfs
+
+import (
+	"errors"
+	"sync"
+)
+
+// FaultFile wraps one already-open File with switchable failure injection: a
+// failing write still lands a torn prefix (as a crashed or erroring kernel
+// write would), and syncs are counted so group-commit tests can assert how
+// many fsyncs a concurrent append storm actually cost. It is the single-file
+// sibling of FaultFS, for tests that want to wrap a live handle (the WAL)
+// without routing the whole directory through a fault filesystem.
+type FaultFile struct {
+	File
+	mu sync.Mutex
+	// Each counter arms that many failures of its operation; every triggered
+	// failure consumes one, so a single-shot fault does not cascade into the
+	// recovery path's own truncate+sync.
+	syncs      int
+	failWrites int
+	failSyncs  int
+	failTruncs int
+}
+
+// NewFaultFile wraps f.
+func NewFaultFile(f File) *FaultFile { return &FaultFile{File: f} }
+
+// FailWrites arms n write failures (each lands a torn half-prefix).
+func (f *FaultFile) FailWrites(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWrites = n
+}
+
+// FailSyncs arms n sync failures.
+func (f *FaultFile) FailSyncs(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSyncs = n
+}
+
+// FailTruncs arms n truncate failures.
+func (f *FaultFile) FailTruncs(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failTruncs = n
+}
+
+// SyncCount returns how many Sync calls have been observed (failed ones
+// included).
+func (f *FaultFile) SyncCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+func (f *FaultFile) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	fail := f.failWrites > 0
+	if fail {
+		f.failWrites--
+	}
+	f.mu.Unlock()
+	if fail {
+		// Land a torn prefix: the bytes a real short write leaves behind.
+		n := len(p) / 2
+		f.File.WriteAt(p[:n], off)
+		return n, errors.New("injected write failure")
+	}
+	return f.File.WriteAt(p, off)
+}
+
+func (f *FaultFile) Sync() error {
+	f.mu.Lock()
+	f.syncs++
+	fail := f.failSyncs > 0
+	if fail {
+		f.failSyncs--
+	}
+	f.mu.Unlock()
+	if fail {
+		return errors.New("injected sync failure")
+	}
+	return f.File.Sync()
+}
+
+func (f *FaultFile) Truncate(size int64) error {
+	f.mu.Lock()
+	fail := f.failTruncs > 0
+	if fail {
+		f.failTruncs--
+	}
+	f.mu.Unlock()
+	if fail {
+		return errors.New("injected truncate failure")
+	}
+	return f.File.Truncate(size)
+}

@@ -1,0 +1,65 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"syscall"
+)
+
+// OsFS is the production FS: thin delegation to the os package. The zero
+// value is ready to use; OS() returns a shared instance.
+type OsFS struct{}
+
+var osFS = OsFS{}
+
+// OS returns the production filesystem.
+func OS() FS { return osFS }
+
+// osFile adapts *os.File's Stat signature (os.FileInfo vs fs.FileInfo are
+// the same type, so this is a direct embed).
+func (OsFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OsFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (OsFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OsFS) Remove(name string) error { return os.Remove(name) }
+
+func (OsFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (OsFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (OsFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// SyncDir fsyncs a directory so a rename inside it is durable; best-effort
+// on platforms where directories cannot be opened for sync.
+func (OsFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+// Lock takes an exclusive non-blocking flock on name, creating the file if
+// needed. The kernel releases the lock automatically when the holding
+// process dies; Close releases it explicitly.
+func (OsFS) Lock(name string) (io.Closer, error) {
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s is locked: %w", name, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,104 @@
+// Package vfs is the filesystem abstraction under the durable storage layer.
+// Production code runs on OsFS (thin delegation to the os package); tests run
+// the same code on FaultFS, a deterministic, seeded fault injector that
+// buffers writes like a kernel page cache and can fail or crash at any
+// durable I/O operation — ENOSPC, short (torn) writes, fsync errors, whole-
+// process crash points that drop unsynced buffers, and bit flips on read.
+// FaultFile is the single-file variant for tests that only need to wrap one
+// already-open file (the WAL fault tests).
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the subset of *os.File the durable layer uses. Everything the
+// storage code does to an open file — sequential and positioned reads and
+// writes, truncation, fsync, stat — goes through this interface so a fault
+// injector can intercept every byte.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.WriterAt
+	io.Closer
+
+	// Name returns the path the file was opened with.
+	Name() string
+	// Truncate changes the file size.
+	Truncate(size int64) error
+	// Sync flushes the file's content to stable storage — the durability
+	// boundary every commit protocol in the durable layer is built on.
+	Sync() error
+	// Stat returns file metadata; implementations must report the logical
+	// (post-buffered-write) size.
+	Stat() (fs.FileInfo, error)
+}
+
+// FS is the directory-level operations of a data directory: opening and
+// creating files, the atomic temp+rename commit protocol, deletion, listing,
+// directory fsync, and advisory locking.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics. Implementations may
+	// reject flags the durable layer never uses (O_TRUNC, O_APPEND).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a new temp file in dir with os.CreateTemp semantics.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists a directory like os.ReadDir.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Stat returns metadata for a path; like File.Stat it must report the
+	// logical size of buffered content.
+	Stat(name string) (fs.FileInfo, error)
+	// MkdirAll creates a directory path like os.MkdirAll.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory so renames inside it are durable;
+	// best-effort on platforms where directories cannot be opened for sync.
+	SyncDir(dir string) error
+	// Lock takes an exclusive, non-blocking advisory lock on the named file
+	// (creating it if needed). Closing the returned Closer releases it.
+	Lock(name string) (io.Closer, error)
+}
+
+// Open opens a file read-only.
+func Open(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDONLY, 0)
+}
+
+// ReadFile reads a whole file through fsys.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := Open(fsys, name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// Glob returns the names in dir matching pattern (filepath.Match against the
+// base name), joined with dir. Unlike filepath.Glob it runs through fsys, so
+// a fault injector sees the listing.
+func Glob(fsys FS, dir, pattern string) ([]string, error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		if ok, err := filepath.Match(pattern, ent.Name()); err != nil {
+			return nil, err
+		} else if ok {
+			out = append(out, filepath.Join(dir, ent.Name()))
+		}
+	}
+	return out, nil
+}

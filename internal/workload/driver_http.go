@@ -32,6 +32,10 @@ type httpDriver struct {
 	churn  int
 	maxKey int64
 	seq    atomic.Int64
+	// retries counts requests re-sent after a 503 shed or a transient
+	// connection error; reported in the BENCH report (total_retries), never
+	// as operation errors.
+	retries atomic.Int64
 }
 
 // httpClientState is one client's session bookkeeping; each client goroutine
@@ -226,10 +230,56 @@ func (d *httpDriver) closeSession(st *httpClientState) {
 	st.staged = 0
 }
 
-// post sends one JSON request and decodes the response, returning the HTTP
-// status alongside any error (non-2xx bodies become errors carrying the
-// server's error message).
+// Retry policy for one request: a 503 shed or a transient connection error
+// (refused/reset during a drain window) is retried a bounded number of times
+// with exponential backoff plus jitter; anything still failing after that
+// surfaces to the caller as usual. Retries are counted in the report rather
+// than as errors — the server shedding briefly is designed degradation, not
+// a workload failure.
+const (
+	retryAttempts    = 4
+	retryBackoffBase = 5 * time.Millisecond
+	retryBackoffCap  = 100 * time.Millisecond
+)
+
+// retryableConnErr reports whether a transport-level error (no HTTP status
+// at all) looks transient: the connection was refused, reset, or dropped
+// mid-flight, the shapes a server drain or restart produces.
+func retryableConnErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "connection refused") ||
+		strings.Contains(msg, "connection reset") ||
+		strings.Contains(msg, "EOF") ||
+		strings.Contains(msg, "broken pipe")
+}
+
+// post sends one JSON request with bounded retry on 503s and transient
+// connection errors, decoding the response like postOnce.
 func (d *httpDriver) post(path string, body interface{}, out interface{}) (int, error) {
+	backoff := retryBackoffBase
+	for attempt := 0; ; attempt++ {
+		status, err := d.postOnce(path, body, out)
+		retryable := status == http.StatusServiceUnavailable || (status == 0 && retryableConnErr(err))
+		if !retryable || attempt == retryAttempts-1 {
+			return status, err
+		}
+		d.retries.Add(1)
+		// Full jitter: sleep a uniform fraction of the exponential step so
+		// concurrent clients that were shed together do not return together.
+		time.Sleep(time.Duration(rand.Int63n(int64(backoff)) + int64(backoff)/2))
+		if backoff *= 2; backoff > retryBackoffCap {
+			backoff = retryBackoffCap
+		}
+	}
+}
+
+// postOnce sends one JSON request and decodes the response, returning the
+// HTTP status alongside any error (non-2xx bodies become errors carrying the
+// server's error message).
+func (d *httpDriver) postOnce(path string, body interface{}, out interface{}) (int, error) {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return 0, err

@@ -58,10 +58,14 @@ type Report struct {
 	SeedVersions int   `json:"seed_versions"`
 	SeedRecords  int64 `json:"seed_records"`
 
-	ElapsedMs        float64 `json:"elapsed_ms"`
-	TotalOps         int64   `json:"total_ops"`
-	TotalErrors      int64   `json:"total_errors"`
-	TotalShed        int64   `json:"total_shed,omitempty"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	TotalOps    int64   `json:"total_ops"`
+	TotalErrors int64   `json:"total_errors"`
+	TotalShed   int64   `json:"total_shed,omitempty"`
+	// TotalRetries counts requests the http driver re-sent after a 503 shed
+	// or a transient connection error (bounded backoff+jitter); retried
+	// requests that eventually succeed are not errors.
+	TotalRetries     int64   `json:"total_retries,omitempty"`
 	ThroughputPerSec float64 `json:"throughput_per_sec"`
 
 	// Final engine shape after the run (commits and merges grow it).

@@ -71,9 +71,13 @@ func Run(spec *Spec) (*Report, error) {
 	}
 
 	var drv driver
+	// httpDrv keeps the concrete driver reachable after decorators wrap it
+	// (the retry counter lives on it, not on the ckptDriver wrapper).
+	var httpDrv *httpDriver
 	switch spec.Mode {
 	case ModeHTTP:
-		drv, err = newHTTPDriver(engine, spec)
+		httpDrv, err = newHTTPDriver(engine, spec)
+		drv = httpDrv
 	default:
 		drv, err = newEngineDriver(engine, spec)
 	}
@@ -123,6 +127,9 @@ func Run(spec *Spec) (*Report, error) {
 		report.TotalOps += st.Count
 		report.TotalErrors += st.Errors
 		report.TotalShed += st.Shed
+	}
+	if httpDrv != nil {
+		report.TotalRetries = httpDrv.retries.Load()
 	}
 	if elapsed > 0 {
 		report.ThroughputPerSec = float64(report.TotalOps) / elapsed.Seconds()
